@@ -1,0 +1,43 @@
+# Reproduction of "Compiler Optimization of Memory-Resident Value
+# Communication Between Speculative Threads" (CGO 2004).
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench figs csv clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full test suite, including the reproduction regression tests and the
+# property tests over random programs (a few minutes).
+test:
+	$(GO) test ./...
+
+# Quick tests only (skips the full reproduction and property runs).
+test-short:
+	$(GO) test -short ./...
+
+# The software TLS runtime under the race detector.
+race:
+	$(GO) test -race ./internal/tlsrt/
+
+# One benchmark per paper figure/table plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every figure and table of the paper.
+figs:
+	$(GO) run ./cmd/tlsbench
+
+# Figures as CSV (e.g. FIG=10).
+FIG ?= 10
+csv:
+	$(GO) run ./cmd/tlsbench -fig $(FIG) -format csv
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,81 @@
+// Command tlsbench regenerates the paper's figures and tables over the 15
+// re-created benchmarks.
+//
+// Usage:
+//
+//	tlsbench                    # all figures and tables, all benchmarks
+//	tlsbench -fig 8             # one figure
+//	tlsbench -table 1           # Table 1 (simulation parameters)
+//	tlsbench -table 2           # Table 2 (coverage and speedups)
+//	tlsbench -bench gzip_comp   # restrict to one benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tlssync"
+	"tlssync/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate (2, 6, 7, 8, 9, 10, 11, 12); empty = all")
+	table := flag.String("table", "", "table to regenerate (1 or 2)")
+	bench := flag.String("bench", "", "restrict to one benchmark by name")
+	format := flag.String("format", "text", "output format for bar figures: text or csv")
+	flag.Parse()
+
+	if *table == "1" {
+		fmt.Print(tlssync.MachineTable1())
+		return
+	}
+
+	var runs []*tlssync.Run
+	if *bench != "" {
+		w, err := tlssync.Benchmark(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := tlssync.NewRun(w)
+		if err != nil {
+			fatal(err)
+		}
+		runs = []*tlssync.Run{r}
+	} else {
+		var err error
+		fmt.Fprintln(os.Stderr, "compiling and baselining 15 benchmarks...")
+		runs, err = tlssync.PrepareAll()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	ids := tlssync.ExperimentIDs()
+	switch {
+	case *fig != "":
+		ids = []string{*fig}
+	case *table == "2":
+		ids = []string{"T2"}
+	}
+	for _, id := range ids {
+		exp, ok := tlssync.Experiments[id]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", id))
+		}
+		f, err := exp(runs)
+		if err != nil {
+			fatal(err)
+		}
+		if *format == "csv" && len(f.Rows) > 0 {
+			fmt.Print(report.CSV(f.Rows))
+			continue
+		}
+		fmt.Println(f.Text)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tlsbench:", err)
+	os.Exit(1)
+}

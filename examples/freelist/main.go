@@ -1,0 +1,145 @@
+// Freelist walks through the paper's running example (Figure 4): a loop
+// whose iterations add and remove elements of a linked free list through
+// the procedures free_element() and use_element(). The global free_list
+// is read and modified every iteration — through aliasing pointers — so
+// plain speculation fails constantly.
+//
+// The example prints each stage of the compiler's work:
+//  1. the profiled inter-epoch dependences with call paths (§2.3),
+//  2. the dependence-graph groups at the 5% threshold (Figure 5),
+//  3. the procedure clones and inserted synchronization (Figure 4b),
+//  4. the transformed IR of a cloned procedure,
+//  5. the simulated outcome: speculation (U) vs synchronization (C).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"tlssync"
+	"tlssync/internal/depgraph"
+	"tlssync/internal/memsync"
+)
+
+const src = `
+type Elem struct {
+	next *Elem;
+	val  int;
+}
+var free_list *Elem;
+var sum int;
+var work_tbl [512]int;
+var out [1024]int;
+
+func free_element(e *Elem) {
+	e->next = free_list;
+	free_list = e;
+}
+
+func use_element() *Elem {
+	var e *Elem = free_list;
+	if e != nil {
+		free_list = e->next;
+	}
+	return e;
+}
+
+func work(i int) {
+	// All free-list manipulation happens up front, so the last store to
+	// free_list (and its signal) executes early in the epoch — the
+	// instruction scheduling the paper relies on to keep the critical
+	// forwarding path short.
+	var e *Elem = use_element();
+	var v int = 0;
+	if e != nil {
+		v = e->val;
+		free_element(e);
+	}
+	var j int = 0;
+	var acc int = 0;
+	while j < 6 {
+		acc = acc + work_tbl[(i * 17 + j * 41) % 512];
+		j = j + 1;
+	}
+	out[i % 1024] = acc + v;
+}
+
+func main() {
+	var i int;
+	for i = 0; i < 512; i = i + 1 {
+		work_tbl[i] = i * 7 % 97;
+	}
+	free_element(new(Elem));
+	parallel for i = 0; i < 400; i = i + 1 {
+		var e *Elem = new(Elem);
+		e->val = i;
+		free_element(e);
+		work(i);
+	}
+	var s int = 0;
+	for i = 0; i < 1024; i = i + 1 { s = s + out[i]; }
+	print(s);
+}
+`
+
+func main() {
+	b, err := tlssync.Compile(tlssync.Config{
+		Source: src, RefInput: []int64{1}, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== 1. profiled inter-epoch dependences (instruction id @ call path) ===")
+	rp := b.RefProfile.Regions[0]
+	deps := rp.FrequentDeps(0, false)
+	for _, k := range deps {
+		fmt.Printf("  store %-14s -> load %-14s  in %5.1f%% of epochs\n",
+			k.Store, k.Load, 100*rp.Frequency(k))
+	}
+
+	fmt.Println("\n=== 2. dependence graph groups at the 5% threshold (Figure 5) ===")
+	g := depgraph.Build(rp, 0.05)
+	for _, grp := range g.Groups {
+		fmt.Printf("  group %d (freq %.1f%%): loads %v / stores %v\n",
+			grp.ID, 100*grp.Freq, grp.Loads, grp.Stores)
+	}
+
+	fmt.Println("\n=== 3. transformation summary (cloning + wait/signal insertion) ===")
+	for _, info := range b.MemInfoRef {
+		fmt.Print(memsync.Summary(info))
+	}
+	var clones []string
+	for _, f := range b.Ref.Funcs {
+		if strings.Contains(f.Name, "$m") {
+			clones = append(clones, f.Name)
+		}
+	}
+	sort.Strings(clones)
+	fmt.Printf("  cloned procedures: %v\n", clones)
+
+	if len(clones) > 0 {
+		fmt.Printf("\n=== 4. transformed IR of %s (compare the paper's Figure 4b) ===\n", clones[0])
+		fmt.Print(b.Ref.FuncMap[clones[0]].String())
+	}
+
+	fmt.Println("=== 5. simulation: speculation vs synchronization ===")
+	w := &tlssync.Workload{Name: "freelist", Label: "FREELIST", Source: src,
+		Train: []int64{1}, Ref: []int64{1},
+		Character: "paper Figure 4", PaperCoverage: 1, Expect: "C"}
+	run, err := tlssync.NewRun(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range []string{"U", "C"} {
+		res, err := run.Simulate(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bar := run.Bar(p, res)
+		fmt.Printf("  %s: normalized time %6.1f (fail %.1f, sync %.1f)  violations=%d  speedup %.2fx\n",
+			p, bar.Total(), bar.Fail, bar.Sync, res.Violations, run.RegionSpeedup(res))
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: compile a small MiniC program with the TLS pipeline,
+// simulate it under plain speculation (U) and compiler-inserted memory
+// synchronization (C), and compare.
+//
+// The program's parallel loop carries a frequent memory-resident
+// dependence through the global `total`, so plain speculation keeps
+// violating and re-executing epochs, while the synchronized binary
+// forwards the value point-to-point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tlssync"
+)
+
+const src = `
+var total int;
+var table [2048]int;
+var out [1024]int;
+
+func main() {
+	var i int;
+	// Fill a lookup table (sequential phase).
+	for i = 0; i < 2048; i = i + 1 {
+		table[i] = i * 37 % 1009;
+	}
+	// Speculatively parallelized loop: every iteration reads and updates
+	// the running total — a 100%-frequency inter-epoch dependence.
+	parallel for i = 0; i < 400; i = i + 1 {
+		var j int = 0;
+		var acc int = 0;
+		while j < 10 {
+			acc = acc + table[(i * 13 + j * 131) % 2048];
+			j = j + 1;
+		}
+		total = total + acc % 100;
+		out[i % 1024] = acc;
+	}
+	print(total);
+}
+`
+
+func main() {
+	w := &tlssync.Workload{
+		Name: "quickstart", Label: "QUICKSTART",
+		Source: src,
+		Train:  []int64{1, 2, 3}, Ref: []int64{1, 2, 3},
+		Character: "single hot accumulator dependence", PaperCoverage: 1, Expect: "C",
+	}
+	run, err := tlssync.NewRun(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sequential region time: %d cycles (coverage %.1f%%)\n\n",
+		run.SeqRegion, 100*run.Coverage())
+
+	for _, policy := range []string{"U", "C", "O"} {
+		res, err := run.Simulate(policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bar := run.Bar(policy, res)
+		fmt.Printf("%s: normalized region time %6.1f  "+
+			"(busy %.1f, fail %.1f, sync %.1f, other %.1f)  violations=%d  speedup=%.2fx\n",
+			policy, bar.Total(), bar.Busy, bar.Fail, bar.Sync, bar.Other,
+			res.Violations, run.RegionSpeedup(res))
+	}
+
+	fmt.Println("\nU wastes most slots on failed speculation; C converts them into")
+	fmt.Println("brief synchronization stalls; O is the perfect-communication bound.")
+}

@@ -1,0 +1,91 @@
+// Threshold reruns the paper's Figure 6 question on a custom program:
+// how frequent must a dependence be before synchronizing it beats
+// speculating on it? The program has three dependences at very different
+// frequencies (~90%, ~20%, ~4% of epochs); the example sweeps the
+// group-formation threshold and reports what gets synchronized and the
+// resulting performance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tlssync"
+	"tlssync/internal/memsync"
+	"tlssync/internal/regions"
+	"tlssync/internal/sim"
+)
+
+const src = `
+var hot int;
+var warm int;
+var cool int;
+var tbl [2048]int;
+var out [1024]int;
+
+func main() {
+	var i int;
+	for i = 0; i < 2048; i = i + 1 {
+		tbl[i] = i * 31 % 997;
+	}
+	parallel for i = 0; i < 600; i = i + 1 {
+		var j int = 0;
+		var acc int = 0;
+		while j < 8 {
+			acc = acc + tbl[(i * 19 + j * 113) % 2048];
+			j = j + 1;
+		}
+		hot = hot + acc % 7;          // every epoch (~100%)
+		if i % 16 < 2 {
+			warm = warm + acc % 11;   // 2-epoch bursts: ~6% within window
+		}
+		if i % 64 < 2 {
+			cool = cool + acc % 13;   // 2-epoch bursts: ~1.6% within window
+		}
+		out[i % 1024] = acc;
+	}
+	print(hot + warm + cool);
+}
+`
+
+func main() {
+	for _, thresh := range []float64{0.50, 0.15, 0.05, 0.01} {
+		b, err := tlssync.Compile(tlssync.Config{
+			Source: src, RefInput: []int64{1}, Seed: 9, Threshold: thresh,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		groups := 0
+		loads := 0
+		for _, info := range b.MemInfoRef {
+			groups += len(info.Groups)
+			loads += info.LoadsSync
+		}
+
+		// Simulate the synchronized binary.
+		tr, err := b.Trace(b.Ref, []int64{1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sim.Simulate(sim.Input{Trace: tr, Policy: sim.PolicyC("C")})
+
+		// Sequential baseline for normalization.
+		seqTr, err := b.Trace(b.Plain, []int64{1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq := sim.SimulateSequentialRegions(sim.Input{Trace: seqTr})
+
+		norm := 100 * float64(res.RegionCycles()) / float64(seq.RegionCycles())
+		fmt.Printf("threshold %4.0f%%: %d group(s), %d load(s) synchronized, "+
+			"normalized time %6.1f, violations %d\n",
+			100*thresh, groups, loads, norm, res.Violations)
+		_ = regions.Defaults()
+		_ = memsync.DefaultOptions()
+	}
+	fmt.Println("\nAt 50% and 15% only the hot dependence is synchronized; 5%")
+	fmt.Println("brings in the warm one (fewer violations); 1% additionally")
+	fmt.Println("synchronizes the cool one, which speculation was already")
+	fmt.Println("handling cheaply — the paper settles on 5% (Figure 6).")
+}

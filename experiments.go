@@ -1,0 +1,305 @@
+package tlssync
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"tlssync/internal/report"
+	"tlssync/internal/sim"
+)
+
+// This file regenerates each of the paper's figures and tables. Every
+// experiment takes prepared Runs (so callers can reuse compilations
+// across figures) and returns both structured rows and rendered text.
+
+// Figure is a rendered experiment with its structured data.
+type Figure struct {
+	ID    string
+	Title string
+	Rows  []report.Row
+	Text  string
+}
+
+// PrepareAll compiles and baselines every benchmark, in parallel
+// (compilation and baselining are independent per benchmark; the
+// per-benchmark pipeline itself stays deterministic).
+func PrepareAll() ([]*Run, error) {
+	ws := Benchmarks()
+	runs := make([]*Run, len(ws))
+	errs := make([]error, len(ws))
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w *Workload) {
+			defer wg.Done()
+			runs[i], errs[i] = NewRun(w)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}
+
+func barsFor(r *Run, labels ...string) ([]report.Bar, error) {
+	var bars []report.Bar
+	for _, l := range labels {
+		res, err := r.Simulate(l)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", r.W.Name, l, err)
+		}
+		bars = append(bars, r.Bar(l, res))
+	}
+	return bars, nil
+}
+
+// Fig2 — the potential of improving memory value communication: baseline
+// TLS (U) vs perfect memory value communication (O).
+func Fig2(runs []*Run) (*Figure, error) {
+	f := &Figure{ID: "2", Title: "Figure 2: potential performance impact of perfect memory-resident value communication\n" +
+		"U = TLS baseline, O = no memory violations and no memory sync stalls"}
+	for _, r := range runs {
+		bars, err := barsFor(r, "U", "O")
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, report.Row{Bench: r.W.Label, Bars: bars})
+	}
+	f.Text = report.RenderBars(f.Title, f.Rows, 50)
+	return f, nil
+}
+
+// Fig6 — the threshold study: perfect prediction of loads whose
+// inter-epoch dependence frequency exceeds 25%, 15% and 5% of epochs.
+func Fig6(runs []*Run) (*Figure, error) {
+	f := &Figure{ID: "6", Title: "Figure 6: perfect prediction of loads above dependence-frequency thresholds\n" +
+		"U = none; F25/F15/F5 = loads violating in >25%/>15%/>5% of epochs predicted perfectly"}
+	for _, r := range runs {
+		bars, err := barsFor(r, "U")
+		if err != nil {
+			return nil, err
+		}
+		for _, th := range []struct {
+			label string
+			frac  float64
+		}{{"F25", 0.25}, {"F15", 0.15}, {"F5", 0.05}} {
+			set := make(map[int]bool)
+			for _, rp := range r.Build.RefProfile.Regions {
+				for id := range rp.LoadsAboveThreshold(th.frac) {
+					set[id] = true
+				}
+			}
+			res, err := r.SimulatePolicy("fig6-"+th.label,
+				sim.Policy{Name: th.label, OracleLoads: set})
+			if err != nil {
+				return nil, err
+			}
+			bars = append(bars, r.Bar(th.label, res))
+		}
+		f.Rows = append(f.Rows, report.Row{Bench: r.W.Label, Bars: bars})
+	}
+	f.Text = report.RenderBars(f.Title, f.Rows, 50)
+	return f, nil
+}
+
+// Fig7 — dependence distance distribution (paper §2.4: most frequent
+// dependences are between consecutive epochs).
+func Fig7(runs []*Run) (*Figure, error) {
+	f := &Figure{ID: "7", Title: "Dependence distance distribution (per §2.4)"}
+	var sb strings.Builder
+	sb.WriteString(f.Title + "\n\n")
+	agg := make(map[int]int)
+	for _, r := range runs {
+		h := make(map[int]int)
+		for _, rp := range r.Build.RefProfile.Regions {
+			for d, n := range rp.DistanceHistogram() {
+				h[d] += n
+				agg[d] += n
+			}
+		}
+		if len(h) == 0 {
+			fmt.Fprintf(&sb, "%s: no inter-epoch dependences\n", r.W.Label)
+			continue
+		}
+		sb.WriteString(report.Histogram(r.W.Label, h, 30))
+	}
+	sb.WriteString("\n")
+	sb.WriteString(report.Histogram("ALL BENCHMARKS", agg, 40))
+	f.Text = sb.String()
+	return f, nil
+}
+
+// Fig8 — compiler-inserted synchronization: U vs T (train-input profile)
+// vs C (ref-input profile).
+func Fig8(runs []*Run) (*Figure, error) {
+	f := &Figure{ID: "8", Title: "Figure 8: compiler-inserted synchronization of memory-resident values\n" +
+		"U = baseline; T = profiled on train input; C = profiled on ref input"}
+	for _, r := range runs {
+		bars, err := barsFor(r, "U", "T", "C")
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, report.Row{Bench: r.W.Label, Bars: bars})
+	}
+	f.Text = report.RenderBars(f.Title, f.Rows, 50)
+	return f, nil
+}
+
+// Fig9 — the cost of synchronization: C vs E (perfectly predicted
+// synchronized values: no wait stalls) vs L (synchronized loads stall
+// until the previous epoch completes).
+func Fig9(runs []*Run) (*Figure, error) {
+	f := &Figure{ID: "9", Title: "Figure 9: sensitivity to the cost of synchronization\n" +
+		"C = compiler sync; E = perfect prediction of synchronized values; L = stall until previous epoch completes"}
+	for _, r := range runs {
+		bars, err := barsFor(r, "C", "E", "L")
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, report.Row{Bench: r.W.Label, Bars: bars})
+	}
+	f.Text = report.RenderBars(f.Title, f.Rows, 50)
+	return f, nil
+}
+
+// Fig10 — compiler-inserted vs hardware-inserted synchronization:
+// U, P (hw value prediction), H (hw sync), C (compiler sync), B (hybrid).
+func Fig10(runs []*Run) (*Figure, error) {
+	f := &Figure{ID: "10", Title: "Figure 10: compiler-inserted vs hardware-inserted synchronization\n" +
+		"U = baseline; P = hw value prediction; H = hw sync (periodic reset); C = compiler sync; B = hybrid"}
+	for _, r := range runs {
+		bars, err := barsFor(r, "U", "P", "H", "C", "B")
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, report.Row{Bench: r.W.Label, Bars: bars})
+	}
+	f.Text = report.RenderBars(f.Title, f.Rows, 50)
+	return f, nil
+}
+
+// Fig11 — classifying violating loads by which scheme would have
+// synchronized them, under four stall modes (U: stall for nothing,
+// C: compiler marks, H: hardware table, B: both).
+func Fig11(runs []*Run) (*Figure, error) {
+	f := &Figure{ID: "11", Title: "Figure 11: violated loads classified by synchronizing scheme"}
+	rows := [][]string{{"benchmark", "mode", "violations", "neither", "comp-only", "hw-only", "both"}}
+	for _, r := range runs {
+		marks := r.CompilerMarks()
+		modes := []struct {
+			label string
+			pol   sim.Policy
+		}{
+			{"U", sim.Policy{Name: "U", CompilerMarks: marks}},
+			{"C", sim.Policy{Name: "C", CompilerMarks: marks}},
+			{"H", sim.Policy{Name: "H", HWSync: true, CompilerMarks: marks}},
+			{"B", sim.Policy{Name: "B", HWSync: true, CompilerMarks: marks}},
+		}
+		for _, md := range modes {
+			// Stall-for-compiler modes run the transformed binary; the
+			// others run the baseline binary but keep the marks.
+			label := "fig11-" + md.label
+			var res *sim.Result
+			var err error
+			switch md.label {
+			case "C", "B":
+				res, err = r.simulateOn("ref", label, md.pol)
+			default:
+				res, err = r.simulateOn("base", label, md.pol)
+			}
+			if err != nil {
+				return nil, err
+			}
+			var total int64
+			for _, n := range res.ViolBuckets {
+				total += n
+			}
+			rows = append(rows, []string{
+				r.W.Label, md.label,
+				fmt.Sprintf("%d", total),
+				fmt.Sprintf("%d", res.ViolBuckets[sim.BucketNeither]),
+				fmt.Sprintf("%d", res.ViolBuckets[sim.BucketCompiler]),
+				fmt.Sprintf("%d", res.ViolBuckets[sim.BucketHardware]),
+				fmt.Sprintf("%d", res.ViolBuckets[sim.BucketBoth]),
+			})
+		}
+	}
+	f.Text = f.Title + "\n\n" + report.Table(rows)
+	return f, nil
+}
+
+// simulateOn forces a specific binary for a policy (used by Fig11).
+func (r *Run) simulateOn(binary, cacheLabel string, pol sim.Policy) (*sim.Result, error) {
+	if res, ok := r.cache[cacheLabel]; ok {
+		return res, nil
+	}
+	tr, err := r.traceFor(binary)
+	if err != nil {
+		return nil, err
+	}
+	res := sim.Simulate(sim.Input{Trace: tr, Policy: pol})
+	r.cache[cacheLabel] = res
+	return res, nil
+}
+
+// Fig12 — whole-program speedups for U, C, H, B.
+func Fig12(runs []*Run) (*Figure, error) {
+	f := &Figure{ID: "12", Title: "Figure 12: whole-program speedup over sequential execution"}
+	rows := [][]string{{"benchmark", "coverage", "U", "C", "H", "B"}}
+	for _, r := range runs {
+		cells := []string{r.W.Label, report.Pct(r.Coverage())}
+		for _, l := range []string{"U", "C", "H", "B"} {
+			res, err := r.Simulate(l)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, report.F2(r.ProgramSpeedup(res)))
+		}
+		rows = append(rows, cells)
+	}
+	f.Text = f.Title + "\n\n" + report.Table(rows)
+	return f, nil
+}
+
+// Table2 — region coverage plus region/sequential/program speedups for
+// the compiler-only and hybrid configurations.
+func Table2(runs []*Run) (*Figure, error) {
+	f := &Figure{ID: "T2", Title: "Table 2: region coverage and speedups (relative to sequential execution)"}
+	rows := [][]string{{
+		"benchmark", "coverage",
+		"region C", "region B", "seq C", "seq B", "program C", "program B",
+	}}
+	for _, r := range runs {
+		resC, err := r.Simulate("C")
+		if err != nil {
+			return nil, err
+		}
+		resB, err := r.Simulate("B")
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			r.W.Label, report.Pct(r.Coverage()),
+			report.F2(r.RegionSpeedup(resC)), report.F2(r.RegionSpeedup(resB)),
+			report.F2(r.SeqRegionSpeedup(resC)), report.F2(r.SeqRegionSpeedup(resB)),
+			report.F2(r.ProgramSpeedup(resC)), report.F2(r.ProgramSpeedup(resB)),
+		})
+	}
+	f.Text = f.Title + "\n\n" + report.Table(rows)
+	return f, nil
+}
+
+// Experiments maps figure/table IDs to their runners.
+var Experiments = map[string]func([]*Run) (*Figure, error){
+	"2": Fig2, "6": Fig6, "7": Fig7, "8": Fig8, "9": Fig9,
+	"10": Fig10, "11": Fig11, "12": Fig12, "T2": Table2,
+}
+
+// ExperimentIDs lists the experiment identifiers in presentation order.
+func ExperimentIDs() []string {
+	return []string{"2", "6", "7", "8", "9", "10", "11", "12", "T2"}
+}

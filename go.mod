@@ -1,0 +1,3 @@
+module tlssync
+
+go 1.22

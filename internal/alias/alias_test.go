@@ -1,0 +1,242 @@
+package alias
+
+import (
+	"testing"
+
+	"tlssync/internal/interp"
+	"tlssync/internal/ir"
+	"tlssync/internal/lang"
+	"tlssync/internal/lower"
+	"tlssync/internal/profile"
+	"tlssync/internal/progen"
+	"tlssync/internal/regions"
+)
+
+func compile(t testing.TB, src string) *ir.Program {
+	t.Helper()
+	c, err := lang.Check(lang.MustParse(src))
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := lower.Lower(c)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+func TestGlobalsDistinct(t *testing.T) {
+	p := compile(t, `
+var a int;
+var b int;
+func main() {
+	a = 1;
+	b = a + 1;
+	print(b);
+}`)
+	an := Analyze(p)
+	// Find the AddrGlobal registers for a and b.
+	var ra, rb ir.Reg = ir.None, ir.None
+	main := p.FuncMap["main"]
+	for _, blk := range main.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.AddrGlobal && in.Sym == "a" && ra == ir.None {
+				ra = in.Dst
+			}
+			if in.Op == ir.AddrGlobal && in.Sym == "b" && rb == ir.None {
+				rb = in.Dst
+			}
+		}
+	}
+	if ra == ir.None || rb == ir.None {
+		t.Fatal("address registers not found")
+	}
+	if an.MayAlias("main", ra, "main", rb) {
+		t.Error("distinct globals reported aliasing")
+	}
+	if !an.MayAlias("main", ra, "main", ra) {
+		t.Error("register does not alias itself")
+	}
+}
+
+func TestPointerFlowThroughGlobal(t *testing.T) {
+	// free_list holds heap pointers; loading it must yield the heap site.
+	p := compile(t, `
+type Elem struct { next *Elem; val int; }
+var head *Elem;
+func main() {
+	var e *Elem = new(Elem);
+	head = e;
+	var q *Elem = head;
+	q->val = 3;
+	print(q->val);
+}`)
+	an := Analyze(p)
+	// The store via q->val must point to the allocation site, not a
+	// global.
+	found := false
+	for _, acc := range an.MemoryAccesses() {
+		if !acc.IsStore {
+			continue
+		}
+		for _, l := range acc.Locs {
+			if an.LocString(l)[:4] == "heap" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no store resolved to a heap site")
+	}
+}
+
+func TestInterproceduralFlow(t *testing.T) {
+	// The pointer passed to bump() must carry its points-to set across
+	// the call, and the return value must flow back.
+	p := compile(t, `
+var g int;
+func pick(which int) *int {
+	return &g;
+}
+func main() {
+	var p *int = pick(1);
+	*p = 42;
+	print(*p);
+}`)
+	an := Analyze(p)
+	gLoc := an.globalLoc("g")
+	// The store *p = 42 must include g.
+	ok := false
+	for _, acc := range an.MemoryAccesses() {
+		if acc.IsStore && acc.Func == "main" {
+			for _, l := range acc.Locs {
+				if l == gLoc {
+					ok = true
+				}
+			}
+		}
+	}
+	if !ok {
+		t.Error("return-value pointer flow lost")
+	}
+}
+
+func TestMayDepsExcludeStackOnly(t *testing.T) {
+	p := compile(t, `
+func bump(p *int) { *p = *p + 1; }
+func main() {
+	var x int = 1;
+	bump(&x);
+	print(x);
+}`)
+	an := Analyze(p)
+	if deps := an.MayDeps(); len(deps) != 0 {
+		t.Errorf("stack-only program has %d static deps", len(deps))
+	}
+}
+
+func TestMayDepsFindGlobalPair(t *testing.T) {
+	p := compile(t, `
+var g int;
+var other int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 10; i = i + 1 {
+		g = g + 1;
+		other = other + 2;
+	}
+	print(g + other);
+}`)
+	an := Analyze(p)
+	deps := an.MayDeps()
+	if len(deps) == 0 {
+		t.Fatal("no static dependences found")
+	}
+	// g's store must pair with g's load but never with other's load.
+	gLoc := an.globalLoc("g")
+	oLoc := an.globalLoc("other")
+	for _, d := range deps {
+		for _, l := range d.Shared {
+			if l != gLoc && l != oLoc {
+				t.Errorf("unexpected shared loc %s", an.LocString(l))
+			}
+		}
+		if len(d.Shared) != 1 {
+			t.Errorf("pair %v shares %d locs, want 1 (field-insensitive globals are distinct)",
+				d, len(d.Shared))
+		}
+	}
+}
+
+// TestProfiledDepsAreStaticallyPossible is the soundness cross-check: on
+// random programs, every dependence the dynamic profiler observes must be
+// within the static may-alias relation.
+func TestProfiledDepsAreStaticallyPossible(t *testing.T) {
+	for seed := uint64(60); seed <= 75; seed++ {
+		src := progen.Generate(seed, progen.DefaultConfig())
+		p := compile(t, src)
+		an := Analyze(p)
+		static := an.MayDepSet()
+
+		regs := regions.Regions(p, nil)
+		tr, err := interp.Run(p, interp.Options{Regions: regs, Seed: seed, Input: []int64{int64(seed)}})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prof := profile.Analyze(tr)
+		for _, rp := range prof.Regions {
+			for k := range rp.Deps {
+				key := [2]int{k.Store.Instr, k.Load.Instr}
+				if !static[key] {
+					t.Errorf("seed %d: profiled dep %v -> %v not statically possible",
+						seed, k.Store, k.Load)
+				}
+			}
+		}
+	}
+}
+
+// TestProfilingIsTighterThanStatic quantifies the paper's motivation:
+// the static may-dependence set is much larger than the dynamically
+// frequent set, so synchronizing all may-aliases would over-synchronize.
+func TestProfilingIsTighterThanStatic(t *testing.T) {
+	src := progen.Generate(99, progen.DefaultConfig())
+	p := compile(t, src)
+	an := Analyze(p)
+	staticN := len(an.MayDeps())
+
+	regs := regions.Regions(p, nil)
+	tr, err := interp.Run(p, interp.Options{Regions: regs, Seed: 99, Input: []int64{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profile.Analyze(tr)
+	frequent := 0
+	for _, rp := range prof.Regions {
+		frequent += len(rp.FrequentDeps(0.05, false))
+	}
+	if staticN == 0 {
+		t.Fatal("no static dependences at all")
+	}
+	if frequent >= staticN {
+		t.Errorf("frequent deps (%d) should be far fewer than static may-deps (%d)",
+			frequent, staticN)
+	}
+}
+
+func TestLocString(t *testing.T) {
+	p := compile(t, `
+var g int;
+func main() {
+	var p *int = new(int);
+	*p = 1;
+	print(g);
+}`)
+	an := Analyze(p)
+	if an.LocString(an.globalLoc("g")) != "g" {
+		t.Error("global name lost")
+	}
+	if an.LocString(an.stackLoc) != "<stack>" {
+		t.Error("stack summary name lost")
+	}
+}

@@ -1,0 +1,199 @@
+// Package cfg provides control-flow analyses over the IR: reverse
+// postorder, dominator trees, and natural-loop detection. Region selection
+// and the TLS passes use loops; the interpreter uses loop membership to
+// delimit epochs.
+package cfg
+
+import "tlssync/internal/ir"
+
+// ReversePostorder returns the blocks of f reachable from the entry in
+// reverse postorder.
+func ReversePostorder(f *ir.Func) []*ir.Block {
+	var order []*ir.Block
+	visited := make(map[*ir.Block]bool, len(f.Blocks))
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		visited[b] = true
+		for _, s := range b.Succs {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(f.Entry)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// DomTree holds immediate-dominator information for a function.
+type DomTree struct {
+	f    *ir.Func
+	idom map[*ir.Block]*ir.Block
+	rpo  []*ir.Block
+	num  map[*ir.Block]int // postorder number
+}
+
+// Dominators computes the dominator tree of f using the Cooper-Harvey-
+// Kennedy iterative algorithm.
+func Dominators(f *ir.Func) *DomTree {
+	rpo := ReversePostorder(f)
+	num := make(map[*ir.Block]int, len(rpo))
+	for i, b := range rpo {
+		num[b] = len(rpo) - 1 - i // postorder number
+	}
+	idom := make(map[*ir.Block]*ir.Block, len(rpo))
+	idom[f.Entry] = f.Entry
+
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for num[a] < num[b] {
+				a = idom[a]
+			}
+			for num[b] < num[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == f.Entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return &DomTree{f: f, idom: idom, rpo: rpo, num: num}
+}
+
+// Idom returns the immediate dominator of b (the entry's idom is itself).
+func (d *DomTree) Idom(b *ir.Block) *ir.Block { return d.idom[b] }
+
+// Func returns the function this tree was computed for.
+func (d *DomTree) Func() *ir.Func { return d.f }
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// Loop is a natural loop: the union of all back edges targeting Header.
+type Loop struct {
+	Header *ir.Block
+	Blocks map[*ir.Block]bool
+	// Latches are the sources of back edges into Header.
+	Latches []*ir.Block
+	// Exits are blocks outside the loop that are successors of loop blocks.
+	Exits []*ir.Block
+	// Parallel mirrors Header.ParallelHeader for convenience.
+	Parallel bool
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// NaturalLoops finds all natural loops of f (one per header; multiple back
+// edges to the same header are merged), in header-RPO order.
+func NaturalLoops(f *ir.Func) []*Loop {
+	dom := Dominators(f)
+	byHeader := make(map[*ir.Block]*Loop)
+	var headers []*ir.Block
+
+	for _, b := range dom.rpo {
+		for _, s := range b.Succs {
+			if dom.Dominates(s, b) {
+				// b -> s is a back edge.
+				l, ok := byHeader[s]
+				if !ok {
+					l = &Loop{
+						Header:   s,
+						Blocks:   map[*ir.Block]bool{s: true},
+						Parallel: s.ParallelHeader,
+					}
+					byHeader[s] = l
+					headers = append(headers, s)
+				}
+				l.Latches = append(l.Latches, b)
+				// Walk predecessors back from the latch to collect the body.
+				stack := []*ir.Block{b}
+				for len(stack) > 0 {
+					n := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if l.Blocks[n] {
+						continue
+					}
+					l.Blocks[n] = true
+					for _, p := range n.Preds {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+
+	loops := make([]*Loop, 0, len(headers))
+	for _, h := range headers {
+		l := byHeader[h]
+		seenExit := make(map[*ir.Block]bool)
+		for b := range l.Blocks {
+			for _, s := range b.Succs {
+				if !l.Blocks[s] && !seenExit[s] {
+					seenExit[s] = true
+					l.Exits = append(l.Exits, s)
+				}
+			}
+		}
+		loops = append(loops, l)
+	}
+	return loops
+}
+
+// LoopOf returns the loop headed by header, or nil.
+func LoopOf(loops []*Loop, header *ir.Block) *Loop {
+	for _, l := range loops {
+		if l.Header == header {
+			return l
+		}
+	}
+	return nil
+}
+
+// ParallelLoops returns the loops whose headers carry the source-level
+// `parallel for` marker.
+func ParallelLoops(f *ir.Func) []*Loop {
+	var out []*Loop
+	for _, l := range NaturalLoops(f) {
+		if l.Parallel {
+			out = append(out, l)
+		}
+	}
+	return out
+}

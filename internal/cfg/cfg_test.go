@@ -1,0 +1,235 @@
+package cfg
+
+import (
+	"testing"
+
+	"tlssync/internal/ir"
+	"tlssync/internal/lang"
+	"tlssync/internal/lower"
+)
+
+func compile(t testing.TB, src string) *ir.Program {
+	t.Helper()
+	c, err := lang.Check(lang.MustParse(src))
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := lower.Lower(c)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	p := compile(t, `
+func main() {
+	var i int;
+	for i = 0; i < 10; i = i + 1 {
+		if i % 2 == 0 { print(i); }
+	}
+}`)
+	f := p.FuncMap["main"]
+	rpo := ReversePostorder(f)
+	if rpo[0] != f.Entry {
+		t.Error("RPO does not start at entry")
+	}
+	seen := make(map[*ir.Block]bool)
+	for _, b := range rpo {
+		if seen[b] {
+			t.Error("duplicate block in RPO")
+		}
+		seen[b] = true
+	}
+	// Every predecessor of a block (except via back edges) appears earlier.
+	pos := make(map[*ir.Block]int)
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	dom := Dominators(f)
+	for _, b := range rpo {
+		for _, p := range b.Preds {
+			if dom.Dominates(b, p) {
+				continue // back edge
+			}
+			if pos[p] >= pos[b] {
+				t.Errorf("pred b%d after b%d in RPO", p.Index, b.Index)
+			}
+		}
+	}
+}
+
+func TestDominators(t *testing.T) {
+	p := compile(t, `
+func main() {
+	var i int;
+	if input(0) {
+		i = 1;
+	} else {
+		i = 2;
+	}
+	print(i);
+}`)
+	f := p.FuncMap["main"]
+	dom := Dominators(f)
+	// Entry dominates everything.
+	for _, b := range ReversePostorder(f) {
+		if !dom.Dominates(f.Entry, b) {
+			t.Errorf("entry does not dominate b%d", b.Index)
+		}
+	}
+	// Then/else do not dominate each other or the join.
+	var then, els *ir.Block
+	for _, b := range f.Blocks {
+		switch b.Name {
+		case "then":
+			then = b
+		case "else":
+			els = b
+		}
+	}
+	if then == nil || els == nil {
+		t.Fatal("missing then/else blocks")
+	}
+	if dom.Dominates(then, els) || dom.Dominates(els, then) {
+		t.Error("branch arms dominate each other")
+	}
+}
+
+func TestNaturalLoopsSimple(t *testing.T) {
+	p := compile(t, `
+func main() {
+	var i int;
+	for i = 0; i < 10; i = i + 1 {
+		print(i);
+	}
+}`)
+	f := p.FuncMap["main"]
+	loops := NaturalLoops(f)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header.Name != "loop.header" {
+		t.Errorf("header = %s", l.Header.Name)
+	}
+	if len(l.Latches) != 1 {
+		t.Errorf("latches = %d, want 1", len(l.Latches))
+	}
+	if len(l.Exits) != 1 {
+		t.Errorf("exits = %d, want 1", len(l.Exits))
+	}
+	if l.Parallel {
+		t.Error("plain for marked parallel")
+	}
+	// Body blocks: header, body, post at least.
+	if len(l.Blocks) < 3 {
+		t.Errorf("loop body has %d blocks", len(l.Blocks))
+	}
+}
+
+func TestNaturalLoopsNested(t *testing.T) {
+	p := compile(t, `
+func main() {
+	var i int;
+	var j int;
+	for i = 0; i < 3; i = i + 1 {
+		for j = 0; j < 3; j = j + 1 {
+			print(i + j);
+		}
+	}
+}`)
+	f := p.FuncMap["main"]
+	loops := NaturalLoops(f)
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	// One loop's blocks must be a strict subset of the other's.
+	a, b := loops[0], loops[1]
+	if len(a.Blocks) < len(b.Blocks) {
+		a, b = b, a
+	}
+	for blk := range b.Blocks {
+		if !a.Blocks[blk] {
+			t.Error("inner loop block not contained in outer loop")
+		}
+	}
+	if len(a.Blocks) == len(b.Blocks) {
+		t.Error("nested loops have identical bodies")
+	}
+}
+
+func TestParallelLoops(t *testing.T) {
+	p := compile(t, `
+func main() {
+	var i int;
+	var j int;
+	for i = 0; i < 3; i = i + 1 { print(i); }
+	parallel for j = 0; j < 3; j = j + 1 { print(j); }
+}`)
+	f := p.FuncMap["main"]
+	par := ParallelLoops(f)
+	if len(par) != 1 {
+		t.Fatalf("found %d parallel loops, want 1", len(par))
+	}
+	if !par[0].Parallel || !par[0].Header.ParallelHeader {
+		t.Error("parallel flags not set")
+	}
+	all := NaturalLoops(f)
+	if len(all) != 2 {
+		t.Fatalf("found %d loops total, want 2", len(all))
+	}
+}
+
+func TestLoopWithBreakHasTwoExitPaths(t *testing.T) {
+	p := compile(t, `
+func main() {
+	var i int;
+	for i = 0; i < 100; i = i + 1 {
+		if i == 5 { break; }
+	}
+	print(i);
+}`)
+	f := p.FuncMap["main"]
+	loops := NaturalLoops(f)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	// break and the header cond both leave the loop; they may share the
+	// exit block or not, but there must be at least one exit.
+	if len(loops[0].Exits) < 1 {
+		t.Error("no exits found")
+	}
+}
+
+func TestWhileLoopDetected(t *testing.T) {
+	p := compile(t, `
+func main() {
+	var i int = 0;
+	while i < 4 {
+		i = i + 1;
+	}
+	print(i);
+}`)
+	f := p.FuncMap["main"]
+	loops := NaturalLoops(f)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+}
+
+func TestLoopOf(t *testing.T) {
+	p := compile(t, `
+func main() {
+	var i int;
+	for i = 0; i < 3; i = i + 1 { }
+}`)
+	f := p.FuncMap["main"]
+	loops := NaturalLoops(f)
+	if LoopOf(loops, loops[0].Header) != loops[0] {
+		t.Error("LoopOf failed to find loop by header")
+	}
+	if LoopOf(loops, f.Entry) != nil {
+		t.Error("LoopOf found loop for non-header")
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tlssync/internal/ir"
+	"tlssync/internal/regions"
+	"tlssync/internal/sim"
+)
+
+func TestMultipleRegionsEndToEnd(t *testing.T) {
+	// Two parallel loops with distinct hot dependences: both must be
+	// selected, synchronized with distinct channels, and show up as
+	// separate regions in the simulation.
+	src := `
+var a int;
+var b int;
+var work [2048]int;
+var out [1024]int;
+func main() {
+	var i int;
+	for i = 0; i < 2048; i = i + 1 { work[i] = i * 7 % 991; }
+	parallel for i = 0; i < 200; i = i + 1 {
+		var j int = 0;
+		var acc int = 0;
+		while j < 6 {
+			acc = acc + work[(i * 17 + j * 41) % 2048];
+			j = j + 1;
+		}
+		a = a + acc % 13;
+		out[i % 1024] = acc;
+	}
+	parallel for i = 0; i < 200; i = i + 1 {
+		var j int = 0;
+		var acc int = 0;
+		while j < 6 {
+			acc = acc + work[(i * 29 + j * 67) % 2048];
+			j = j + 1;
+		}
+		b = b + acc % 11;
+		out[(i + 200) % 1024] = acc;
+	}
+	print(a + b);
+}
+`
+	b, err := Compile(Config{Source: src, RefInput: []int64{1}, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(regions.Accepted(b.Decisions)); got != 2 {
+		t.Fatalf("accepted regions = %d, want 2", got)
+	}
+	// Both regions must be memory-synchronized, with distinct sync ids.
+	seen := make(map[int]bool)
+	syncedRegions := 0
+	for _, info := range b.MemInfoRef {
+		if len(info.SyncIDs) > 0 {
+			syncedRegions++
+		}
+		for _, id := range info.SyncIDs {
+			if seen[id] {
+				t.Errorf("sync id %d reused across regions", id)
+			}
+			seen[id] = true
+		}
+	}
+	if syncedRegions != 2 {
+		t.Errorf("synchronized regions = %d, want 2", syncedRegions)
+	}
+	if err := b.CheckEquivalence([]int64{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both regions appear in the simulation with improvements.
+	tr, err := b.Trace(b.Ref, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Simulate(sim.Input{Trace: tr, Policy: sim.PolicyC("C")})
+	if len(res.Regions) != 2 {
+		t.Fatalf("simulated regions = %d, want 2", len(res.Regions))
+	}
+	trU, err := b.Trace(b.Base, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resU := sim.Simulate(sim.Input{Trace: trU, Policy: sim.PolicyU()})
+	for id := range res.Regions {
+		if res.Regions[id].Cycles >= resU.Regions[id].Cycles {
+			t.Errorf("region %d: C (%d cycles) did not beat U (%d)",
+				id, res.Regions[id].Cycles, resU.Regions[id].Cycles)
+		}
+	}
+}
+
+func TestUnrollingComposesWithMemsync(t *testing.T) {
+	// A tiny loop body (below the unroll target) carrying a hot
+	// dependence: selection unrolls it, and memory synchronization must
+	// still apply correctly to the unrolled copies.
+	src := `
+var g int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 797; i = i + 1 {
+		g = g + i % 3;
+	}
+	print(g);
+}
+`
+	b, err := Compile(Config{Source: src, RefInput: []int64{1}, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unrolled bool
+	for _, d := range b.Decisions {
+		if d.Accepted && d.UnrollFactor > 1 {
+			unrolled = true
+		}
+	}
+	if !unrolled {
+		t.Fatal("tiny loop was not unrolled")
+	}
+	// The unrolled copies multiply the static load sites; each profiled
+	// copy gets its own synchronization.
+	loads := 0
+	for _, f := range b.Ref.Funcs {
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if in.Op == ir.LoadSync {
+					loads++
+				}
+			}
+		}
+	}
+	if loads < 2 {
+		t.Errorf("unrolled loop has %d synchronized loads, want >= 2 (one per copy)", loads)
+	}
+	if err := b.CheckEquivalence([]int64{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Compile(Config{Source: "not a program", RefInput: []int64{1}}); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := Compile(Config{Source: "func main() { x = 1; }", RefInput: []int64{1}}); err == nil {
+		t.Error("expected check error")
+	}
+}
+
+func TestVariantsShareGlobalLayout(t *testing.T) {
+	src := `
+var g int;
+var h int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 100; i = i + 1 { g = g + 1; }
+	print(g + h);
+}
+`
+	b, err := Compile(Config{Source: src, RefInput: []int64{1}, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*ir.Program{b.Plain, b.Base, b.Train, b.Ref} {
+		if p.GlobalMap["g"].Addr != b.Plain.GlobalMap["g"].Addr {
+			t.Error("global addresses differ across variants")
+		}
+	}
+}
+
+func TestBuildSummaryStrings(t *testing.T) {
+	// The IR printer must render the transformed program without panics
+	// and include the TLS ops.
+	src := `
+var g int;
+var work [512]int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 100; i = i + 1 {
+		var j int = 0;
+		var acc int = 0;
+		while j < 5 {
+			acc = acc + work[(i * 13 + j * 29) % 512];
+			j = j + 1;
+		}
+		g = g + acc % 7 + 1;
+	}
+	print(g);
+}
+`
+	b, err := Compile(Config{Source: src, RefInput: []int64{1}, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := b.Ref.String()
+	for _, want := range []string{"wait.ma", "wait.mv", "checkfwd", "load.sync", "select", "signal.m"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("transformed IR missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tlssync/internal/cfg"
+	"tlssync/internal/ir"
+	"tlssync/internal/lang"
+	"tlssync/internal/lower"
+)
+
+func compile(t testing.TB, src string) *ir.Program {
+	t.Helper()
+	c, err := lang.Check(lang.MustParse(src))
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := lower.Lower(c)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Has(0) || !b.Has(64) || !b.Has(129) || b.Has(1) {
+		t.Fatal("set/has broken")
+	}
+	if b.Count() != 3 {
+		t.Errorf("count = %d, want 3", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) || b.Count() != 2 {
+		t.Error("clear broken")
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != 2 || got[0] != 0 || got[1] != 129 {
+		t.Errorf("ForEach = %v", got)
+	}
+}
+
+func TestBitsetOrAndNot(t *testing.T) {
+	a := NewBitset(64)
+	b := NewBitset(64)
+	a.Set(1)
+	b.Set(2)
+	if !a.OrInto(b) {
+		t.Error("OrInto should report change")
+	}
+	if a.OrInto(b) {
+		t.Error("second OrInto should not change")
+	}
+	if !a.Has(1) || !a.Has(2) {
+		t.Error("or broken")
+	}
+	mask := NewBitset(64)
+	mask.Set(1)
+	a.AndNot(mask)
+	if a.Has(1) || !a.Has(2) {
+		t.Error("andnot broken")
+	}
+	c := a.Copy()
+	c.Set(50)
+	if a.Has(50) {
+		t.Error("copy aliases original")
+	}
+}
+
+func TestBitsetProperties(t *testing.T) {
+	f := func(xs []uint8) bool {
+		b := NewBitset(256)
+		uniq := make(map[int]bool)
+		for _, x := range xs {
+			b.Set(int(x))
+			uniq[int(x)] = true
+		}
+		if b.Count() != len(uniq) {
+			return false
+		}
+		for i := range uniq {
+			if !b.Has(i) {
+				return false
+			}
+		}
+		n := 0
+		b.ForEach(func(int) { n++ })
+		return n == len(uniq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLivenessLoopCarried(t *testing.T) {
+	p := compile(t, `
+var g int;
+func main() {
+	var i int;
+	var s int;
+	for i = 0; i < 10; i = i + 1 {
+		s = s + i;
+	}
+	g = s;
+}`)
+	f := p.FuncMap["main"]
+	lv := ComputeLiveness(f)
+	loops := cfg.NaturalLoops(f)
+	if len(loops) != 1 {
+		t.Fatal("expected one loop")
+	}
+	header := loops[0].Header
+	liveIn := lv.In[header]
+	defs := DefinedIn(f, loops[0].Blocks)
+	// Loop-carried registers: live into the header AND defined in the
+	// loop. Both i and s qualify.
+	carried := 0
+	liveIn.ForEach(func(r int) {
+		if defs.Has(r) {
+			carried++
+		}
+	})
+	if carried < 2 {
+		t.Errorf("loop-carried regs = %d, want >= 2 (i and s)", carried)
+	}
+}
+
+func TestLivenessDeadAfterLastUse(t *testing.T) {
+	p := compile(t, `
+func main() {
+	var a int = 1;
+	var b int = 2;
+	print(a);
+	print(b);
+}`)
+	f := p.FuncMap["main"]
+	lv := ComputeLiveness(f)
+	// At function exit nothing is live.
+	last := f.Blocks[len(f.Blocks)-1]
+	if lv.Out[last].Count() != 0 {
+		t.Errorf("live-out at exit = %d regs", lv.Out[last].Count())
+	}
+}
+
+func TestLiveAt(t *testing.T) {
+	p := compile(t, `
+func main() {
+	var a int = 5;
+	var b int = 7;
+	print(a + b);
+}`)
+	f := p.FuncMap["main"]
+	lv := ComputeLiveness(f)
+	entry := f.Entry
+	// Find the Bin (a+b) instruction; both operands must be live there.
+	for i, in := range entry.Instrs {
+		if in.Op == ir.Bin {
+			live := lv.LiveAt(entry, i)
+			if !live.Has(int(in.A)) || !live.Has(int(in.B)) {
+				t.Error("operands not live at their use")
+			}
+		}
+		if in.Op == ir.Print {
+			live := lv.LiveAt(entry, i+1)
+			if live.Has(int(in.A)) {
+				t.Error("print operand live after last use")
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package depgraph builds the paper's dependence graph and groups
+// (§2.3): each load or store reference (instruction × call stack) is a
+// vertex, each frequently-occurring inter-epoch dependence an edge, and
+// every connected component becomes a *group* that the memsync pass
+// synchronizes as a single entity. Infrequent dependences are deliberately
+// excluded — including them would merge groups and over-synchronize
+// (the paper's Figure 5).
+package depgraph
+
+import (
+	"sort"
+
+	"tlssync/internal/profile"
+)
+
+// Group is a connected component of the frequent-dependence graph.
+type Group struct {
+	// ID is the group's index (and later its memory-sync channel id).
+	ID int
+	// Loads and Stores are the member references by role, in
+	// deterministic order.
+	Loads  []profile.Ref
+	Stores []profile.Ref
+	// Freq is the maximum dependence frequency within the group (used for
+	// reporting and for ordering).
+	Freq float64
+}
+
+// Graph is the dependence graph at a given threshold.
+type Graph struct {
+	Thresh float64
+	// Edges are the retained dependences.
+	Edges []profile.DepKey
+	// Groups are the connected components.
+	Groups []*Group
+}
+
+// Build constructs the dependence graph for a region profile, keeping
+// only dependences whose frequency exceeds thresh (distance-blind, as in
+// the paper), and returns the connected components as groups.
+func Build(rp *profile.RegionProfile, thresh float64) *Graph {
+	return BuildD(rp, thresh, false)
+}
+
+// BuildD is Build with control over distance-1-only thresholding (the
+// ablation documented in DESIGN.md §5).
+func BuildD(rp *profile.RegionProfile, thresh float64, d1Only bool) *Graph {
+	g := &Graph{Thresh: thresh}
+	g.Edges = rp.FrequentDeps(thresh, d1Only)
+
+	// Union-find over vertices.
+	parent := make(map[profile.Ref]profile.Ref)
+	var find func(profile.Ref) profile.Ref
+	find = func(x profile.Ref) profile.Ref {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b profile.Ref) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	isLoad := make(map[profile.Ref]bool)
+	isStore := make(map[profile.Ref]bool)
+	for _, e := range g.Edges {
+		union(e.Store, e.Load)
+		isStore[e.Store] = true
+		isLoad[e.Load] = true
+	}
+
+	comp := make(map[profile.Ref][]profile.Ref)
+	var roots []profile.Ref
+	var verts []profile.Ref
+	for v := range parent {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return refLess(verts[i], verts[j]) })
+	for _, v := range verts {
+		r := find(v)
+		if _, seen := comp[r]; !seen {
+			roots = append(roots, r)
+		}
+		comp[r] = append(comp[r], v)
+	}
+
+	for i, r := range roots {
+		grp := &Group{ID: i}
+		for _, v := range comp[r] {
+			if isLoad[v] {
+				grp.Loads = append(grp.Loads, v)
+			}
+			if isStore[v] {
+				grp.Stores = append(grp.Stores, v)
+			}
+		}
+		for _, e := range g.Edges {
+			if find(e.Load) == find(r) {
+				if f := rp.FrequencyWin(e); f > grp.Freq {
+					grp.Freq = f
+				}
+			}
+		}
+		g.Groups = append(g.Groups, grp)
+	}
+	return g
+}
+
+func refLess(a, b profile.Ref) bool {
+	if a.Instr != b.Instr {
+		return a.Instr < b.Instr
+	}
+	return a.Path < b.Path
+}
+
+// VertexCount returns the number of distinct references in the graph.
+func (g *Graph) VertexCount() int {
+	n := 0
+	for _, grp := range g.Groups {
+		seen := make(map[profile.Ref]bool)
+		for _, v := range grp.Loads {
+			seen[v] = true
+		}
+		for _, v := range grp.Stores {
+			seen[v] = true
+		}
+		n += len(seen)
+	}
+	return n
+}

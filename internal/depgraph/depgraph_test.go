@@ -1,0 +1,164 @@
+package depgraph
+
+import (
+	"testing"
+
+	"tlssync/internal/profile"
+)
+
+func ref(i int, path string) profile.Ref { return profile.Ref{Instr: i, Path: path} }
+
+// mkProfile builds a synthetic region profile with the given dependences
+// (store, load, epochs-with-dep triples) over 100 epochs.
+func mkProfile(deps []struct {
+	s, l profile.Ref
+	n    int
+}) *profile.RegionProfile {
+	rp := &profile.RegionProfile{
+		RegionID:             0,
+		Epochs:               100,
+		Deps:                 make(map[profile.DepKey]*profile.DepStat),
+		LoadDepEpochs:        make(map[profile.Ref]int),
+		LoadDepEpochsByInstr: make(map[int]int),
+	}
+	for _, d := range deps {
+		rp.Deps[profile.DepKey{Store: d.s, Load: d.l}] = &profile.DepStat{
+			EpochCount: d.n,
+			D1Epochs:   d.n,
+			WinEpochs:  d.n,
+			Dynamic:    d.n,
+			DistHist:   map[int]int{1: d.n},
+		}
+		rp.LoadDepEpochs[d.l] += d.n
+		rp.LoadDepEpochsByInstr[d.l.Instr] += d.n
+	}
+	return rp
+}
+
+func TestSingleGroup(t *testing.T) {
+	rp := mkProfile([]struct {
+		s, l profile.Ref
+		n    int
+	}{
+		{ref(2, "10"), ref(1, "10"), 90}, // the paper's Fig. 5: st_2 -> ld_1 under call_3
+	})
+	g := Build(rp, 0.05)
+	if len(g.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(g.Groups))
+	}
+	grp := g.Groups[0]
+	if len(grp.Loads) != 1 || len(grp.Stores) != 1 {
+		t.Fatalf("group = %+v", grp)
+	}
+	if grp.Freq < 0.89 {
+		t.Errorf("freq = %.2f", grp.Freq)
+	}
+}
+
+func TestInfrequentDepsExcluded(t *testing.T) {
+	// Frequent: st2->ld1. Infrequent: st4->ld1 (would merge st4's
+	// component in if included — the paper's over-grouping hazard).
+	rp := mkProfile([]struct {
+		s, l profile.Ref
+		n    int
+	}{
+		{ref(2, "10"), ref(1, "10"), 90},
+		{ref(4, "11"), ref(1, "10"), 2},  // 2% < 5%: dropped
+		{ref(4, "11"), ref(3, "11"), 80}, // separate frequent component
+	})
+	g := Build(rp, 0.05)
+	if len(g.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (infrequent edge must not merge them)", len(g.Groups))
+	}
+	if len(g.Edges) != 2 {
+		t.Errorf("edges = %d, want 2", len(g.Edges))
+	}
+}
+
+func TestLowerThresholdMergesGroups(t *testing.T) {
+	rp := mkProfile([]struct {
+		s, l profile.Ref
+		n    int
+	}{
+		{ref(2, ""), ref(1, ""), 90},
+		{ref(4, ""), ref(1, ""), 2},
+		{ref(4, ""), ref(3, ""), 80},
+	})
+	high := Build(rp, 0.05)
+	low := Build(rp, 0.01)
+	if len(high.Groups) != 2 {
+		t.Fatalf("high-threshold groups = %d, want 2", len(high.Groups))
+	}
+	if len(low.Groups) != 1 {
+		t.Fatalf("low-threshold groups = %d, want 1 (merged)", len(low.Groups))
+	}
+}
+
+func TestSameInstrDifferentPathSeparateVertices(t *testing.T) {
+	// The same static instruction under two call stacks is two vertices
+	// (the paper treats them separately).
+	rp := mkProfile([]struct {
+		s, l profile.Ref
+		n    int
+	}{
+		{ref(2, "10"), ref(1, "10"), 90},
+		{ref(2, "11"), ref(1, "11"), 90},
+	})
+	g := Build(rp, 0.05)
+	if len(g.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(g.Groups))
+	}
+	if g.VertexCount() != 4 {
+		t.Errorf("vertices = %d, want 4", g.VertexCount())
+	}
+}
+
+func TestChainForma1Group(t *testing.T) {
+	// st_a -> ld_b, st_b -> ld_c: all four refs in one component.
+	rp := mkProfile([]struct {
+		s, l profile.Ref
+		n    int
+	}{
+		{ref(1, ""), ref(2, ""), 50},
+		{ref(3, ""), ref(4, ""), 50},
+		{ref(1, ""), ref(4, ""), 50}, // bridges the two
+	})
+	g := Build(rp, 0.05)
+	if len(g.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(g.Groups))
+	}
+	grp := g.Groups[0]
+	if len(grp.Loads) != 2 || len(grp.Stores) != 2 {
+		t.Errorf("group loads=%d stores=%d, want 2/2", len(grp.Loads), len(grp.Stores))
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	rp := mkProfile(nil)
+	g := Build(rp, 0.05)
+	if len(g.Groups) != 0 || len(g.Edges) != 0 {
+		t.Errorf("empty profile produced groups=%d edges=%d", len(g.Groups), len(g.Edges))
+	}
+}
+
+func TestDeterministicGroupOrder(t *testing.T) {
+	deps := []struct {
+		s, l profile.Ref
+		n    int
+	}{
+		{ref(9, ""), ref(8, ""), 50},
+		{ref(2, ""), ref(1, ""), 90},
+		{ref(5, ""), ref(6, ""), 70},
+	}
+	a := Build(mkProfile(deps), 0.05)
+	b := Build(mkProfile(deps), 0.05)
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatal("nondeterministic group count")
+	}
+	for i := range a.Groups {
+		if len(a.Groups[i].Loads) != len(b.Groups[i].Loads) ||
+			a.Groups[i].Loads[0] != b.Groups[i].Loads[0] {
+			t.Errorf("group %d differs across runs", i)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package interp
+
+// memory is the interpreter's simulated address space: a two-level page
+// table over 64-bit byte addresses, replacing a flat map (the single
+// hottest structure in the pipeline — every dynamic load and store walks
+// it). Pages are allocated lazily and zero-filled, which also gives heap
+// and frame memory their zero-initialized semantics for free; explicit
+// frame zeroing clears words individually (frames are small).
+type memory struct {
+	pages map[int64]*page
+	// Single-entry lookup cache: consecutive accesses cluster heavily
+	// (array sweeps, frame slots).
+	lastIdx  int64
+	lastPage *page
+}
+
+// pageBits chooses 4 KiB pages (512 words).
+const (
+	pageBits  = 12
+	pageWords = 1 << (pageBits - 3)
+)
+
+type page [pageWords]int64
+
+func newMemory() *memory {
+	return &memory{pages: make(map[int64]*page), lastIdx: -1}
+}
+
+func (m *memory) load(addr int64) int64 {
+	idx := addr >> pageBits
+	if idx == m.lastIdx {
+		return m.lastPage[(addr>>3)&(pageWords-1)]
+	}
+	p, ok := m.pages[idx]
+	if !ok {
+		return 0
+	}
+	m.lastIdx, m.lastPage = idx, p
+	return p[(addr>>3)&(pageWords-1)]
+}
+
+func (m *memory) store(addr, v int64) {
+	idx := addr >> pageBits
+	if idx != m.lastIdx {
+		p, ok := m.pages[idx]
+		if !ok {
+			p = new(page)
+			m.pages[idx] = p
+		}
+		m.lastIdx, m.lastPage = idx, p
+	}
+	m.lastPage[(addr>>3)&(pageWords-1)] = v
+}
+
+// zero clears the word at addr (used for frame re-initialization).
+func (m *memory) zero(addr int64) {
+	idx := addr >> pageBits
+	if idx == m.lastIdx {
+		m.lastPage[(addr>>3)&(pageWords-1)] = 0
+		return
+	}
+	if p, ok := m.pages[idx]; ok {
+		p[(addr>>3)&(pageWords-1)] = 0
+		m.lastIdx, m.lastPage = idx, p
+	}
+}

@@ -1,0 +1,55 @@
+package ir
+
+// DeepCopy duplicates the whole program, preserving instruction IDs,
+// Origins, global addresses and block structure exactly. The compiler
+// pipeline copies the scalar-synchronized base program before applying
+// memory-synchronization variants (train-profile, ref-profile, hybrid) so
+// each variant transforms an identical starting point and profiling
+// references (which name instructions by ID) remain valid in every copy.
+func (p *Program) DeepCopy() *Program {
+	np := &Program{
+		FuncMap:        make(map[string]*Func, len(p.Funcs)),
+		GlobalMap:      make(map[string]*Global, len(p.Globals)),
+		NumScalarChans: p.NumScalarChans,
+		NumMemSyncs:    p.NumMemSyncs,
+		nextID:         p.nextID,
+	}
+	for _, g := range p.Globals {
+		ng := *g
+		np.Globals = append(np.Globals, &ng)
+		np.GlobalMap[ng.Name] = &ng
+	}
+	for _, f := range p.Funcs {
+		nf := &Func{
+			Name:      f.Name,
+			NParams:   f.NParams,
+			NumRegs:   f.NumRegs,
+			FrameSize: f.FrameSize,
+			HasRet:    f.HasRet,
+		}
+		blockMap := make(map[*Block]*Block, len(f.Blocks))
+		for _, b := range f.Blocks {
+			nb := &Block{Index: b.Index, Name: b.Name, ParallelHeader: b.ParallelHeader}
+			nf.Blocks = append(nf.Blocks, nb)
+			blockMap[b] = nb
+		}
+		for _, b := range f.Blocks {
+			nb := blockMap[b]
+			nb.Instrs = make([]*Instr, len(b.Instrs))
+			for i, in := range b.Instrs {
+				c := *in
+				if in.Args != nil {
+					c.Args = append([]Reg(nil), in.Args...)
+				}
+				nb.Instrs[i] = &c
+			}
+			for _, s := range b.Succs {
+				nb.Succs = append(nb.Succs, blockMap[s])
+			}
+		}
+		nf.Entry = blockMap[f.Entry]
+		nf.Renumber()
+		np.AddFunc(nf)
+	}
+	return np
+}

@@ -1,0 +1,122 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in a readable assembly-like syntax.
+func (in *Instr) String() string {
+	r := func(x Reg) string {
+		if x == None {
+			return "_"
+		}
+		return fmt.Sprintf("r%d", int(x))
+	}
+	switch in.Op {
+	case Const:
+		return fmt.Sprintf("%s = const %d", r(in.Dst), in.Imm)
+	case Bin:
+		return fmt.Sprintf("%s = %s %s, %s", r(in.Dst), in.Alu, r(in.A), r(in.B))
+	case Neg:
+		return fmt.Sprintf("%s = neg %s", r(in.Dst), r(in.A))
+	case Not:
+		return fmt.Sprintf("%s = not %s", r(in.Dst), r(in.A))
+	case Mov:
+		return fmt.Sprintf("%s = mov %s", r(in.Dst), r(in.A))
+	case Load:
+		return fmt.Sprintf("%s = load [%s]", r(in.Dst), r(in.A))
+	case Store:
+		return fmt.Sprintf("store [%s], %s", r(in.A), r(in.B))
+	case AddrGlobal:
+		if in.Imm != 0 {
+			return fmt.Sprintf("%s = addrg %s+%d", r(in.Dst), in.Sym, in.Imm)
+		}
+		return fmt.Sprintf("%s = addrg %s", r(in.Dst), in.Sym)
+	case AddrLocal:
+		return fmt.Sprintf("%s = addrl fp+%d", r(in.Dst), in.Imm)
+	case NewObj:
+		return fmt.Sprintf("%s = new %d", r(in.Dst), in.Imm)
+	case Rnd:
+		return fmt.Sprintf("%s = rnd %s", r(in.Dst), r(in.A))
+	case Input:
+		return fmt.Sprintf("%s = input %s", r(in.Dst), r(in.A))
+	case Print:
+		return fmt.Sprintf("print %s", r(in.A))
+	case Call:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = r(a)
+		}
+		call := fmt.Sprintf("call %s(%s)", in.Sym, strings.Join(args, ", "))
+		if in.Dst != None {
+			return fmt.Sprintf("%s = %s", r(in.Dst), call)
+		}
+		return call
+	case Ret:
+		if in.A != None {
+			return fmt.Sprintf("ret %s", r(in.A))
+		}
+		return "ret"
+	case Br:
+		return "br"
+	case CondBr:
+		return fmt.Sprintf("condbr %s", r(in.A))
+	case WaitScalar:
+		return fmt.Sprintf("%s = wait.s ch%d", r(in.Dst), in.Imm)
+	case SignalScalar:
+		return fmt.Sprintf("signal.s ch%d, %s", in.Imm, r(in.A))
+	case WaitMemAddr:
+		return fmt.Sprintf("%s = wait.ma sync%d", r(in.Dst), in.Imm)
+	case WaitMemVal:
+		return fmt.Sprintf("%s = wait.mv sync%d", r(in.Dst), in.Imm)
+	case CheckFwd:
+		return fmt.Sprintf("checkfwd sync%d, %s, %s", in.Imm, r(in.A), r(in.B))
+	case LoadSync:
+		return fmt.Sprintf("%s = load.sync sync%d [%s]", r(in.Dst), in.Imm, r(in.A))
+	case SelectFwd:
+		return fmt.Sprintf("%s = select sync%d, %s, %s", r(in.Dst), in.Imm, r(in.A), r(in.B))
+	case SignalMem:
+		return fmt.Sprintf("signal.m sync%d, addr=%s, val=%s", in.Imm, r(in.A), r(in.B))
+	case SignalMemNull:
+		return fmt.Sprintf("signal.mnull sync%d", in.Imm)
+	}
+	return in.Op.String()
+}
+
+// String renders the function as readable IR text.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (params=%d regs=%d frame=%d)\n",
+		f.Name, f.NParams, f.NumRegs, f.FrameSize)
+	for _, b := range f.Blocks {
+		mark := ""
+		if b.ParallelHeader {
+			mark = " [parallel header]"
+		}
+		fmt.Fprintf(&sb, "b%d %s:%s\n", b.Index, b.Name, mark)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", in)
+		}
+		if t := b.Terminator(); t != nil && t.Op != Ret {
+			targets := make([]string, len(b.Succs))
+			for i, s := range b.Succs {
+				targets[i] = fmt.Sprintf("b%d", s.Index)
+			}
+			fmt.Fprintf(&sb, "\t-> %s\n", strings.Join(targets, ", "))
+		}
+	}
+	return sb.String()
+}
+
+// String renders the whole program.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&sb, "global %s size=%d addr=%#x init=%d\n", g.Name, g.Size, g.Addr, g.Init)
+	}
+	for _, f := range p.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,440 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WordSize is the size in bytes of every scalar slot (ints and pointers).
+// All struct fields are word-aligned, so field offsets are multiples of 8;
+// with a 32-byte cache line this yields 4 words per line, which the TLS
+// simulator exploits to model false sharing.
+const WordSize = 8
+
+// ---------------------------------------------------------------------------
+// Types
+
+// Type is a resolved MiniC type.
+type Type interface {
+	String() string
+	// Size returns the size of a value of this type in bytes.
+	Size() int64
+}
+
+// IntType is the 64-bit integer type.
+type IntType struct{}
+
+func (IntType) String() string { return "int" }
+
+// Size returns the byte size of an int.
+func (IntType) Size() int64 { return WordSize }
+
+// PtrType is a pointer to Elem.
+type PtrType struct{ Elem Type }
+
+func (p *PtrType) String() string { return "*" + p.Elem.String() }
+
+// Size returns the byte size of a pointer.
+func (p *PtrType) Size() int64 { return WordSize }
+
+// ArrayType is a fixed-size array of N elements of Elem.
+type ArrayType struct {
+	N    int64
+	Elem Type
+}
+
+func (a *ArrayType) String() string { return fmt.Sprintf("[%d]%s", a.N, a.Elem) }
+
+// Size returns the byte size of the whole array.
+func (a *ArrayType) Size() int64 { return a.N * a.Elem.Size() }
+
+// Field is a resolved struct field with its byte offset.
+type Field struct {
+	Name   string
+	Type   Type
+	Offset int64
+}
+
+// StructType is a named struct type.
+type StructType struct {
+	Name   string
+	Fields []Field
+	size   int64
+}
+
+func (s *StructType) String() string { return s.Name }
+
+// Size returns the byte size of the struct.
+func (s *StructType) Size() int64 { return s.size }
+
+// FieldByName returns the field with the given name, or nil.
+func (s *StructType) FieldByName(name string) *Field {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// Int is the canonical int type instance.
+var Int = IntType{}
+
+// SameType reports structural type equality (struct types compare by name).
+func SameType(a, b Type) bool {
+	switch at := a.(type) {
+	case IntType:
+		_, ok := b.(IntType)
+		return ok
+	case *PtrType:
+		bt, ok := b.(*PtrType)
+		return ok && SameType(at.Elem, bt.Elem)
+	case *ArrayType:
+		bt, ok := b.(*ArrayType)
+		return ok && at.N == bt.N && SameType(at.Elem, bt.Elem)
+	case *StructType:
+		bt, ok := b.(*StructType)
+		return ok && at.Name == bt.Name
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Type expressions (pre-resolution syntax)
+
+// TypeExpr is an unresolved type as written in the source.
+type TypeExpr interface {
+	teString() string
+}
+
+// IntTE denotes the `int` type expression.
+type IntTE struct{}
+
+func (IntTE) teString() string { return "int" }
+
+// PtrTE denotes a pointer type expression.
+type PtrTE struct{ Elem TypeExpr }
+
+func (p *PtrTE) teString() string { return "*" + p.Elem.teString() }
+
+// ArrayTE denotes a fixed-size array type expression.
+type ArrayTE struct {
+	N    int64
+	Elem TypeExpr
+}
+
+func (a *ArrayTE) teString() string { return fmt.Sprintf("[%d]%s", a.N, a.Elem.teString()) }
+
+// NamedTE denotes a reference to a named (struct) type.
+type NamedTE struct {
+	Name string
+	Pos  Pos
+}
+
+func (n *NamedTE) teString() string { return n.Name }
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// File is a parsed MiniC source file.
+type File struct {
+	Types   []*TypeDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// TypeDecl declares a named struct type.
+type TypeDecl struct {
+	Name   string
+	Fields []FieldDecl
+	Pos    Pos
+}
+
+// FieldDecl is one field in a struct declaration.
+type FieldDecl struct {
+	Name string
+	T    TypeExpr
+	Pos  Pos
+}
+
+// VarDecl declares a global or local variable, optionally initialized.
+type VarDecl struct {
+	Name string
+	T    TypeExpr
+	Init Expr // may be nil
+	Pos  Pos
+
+	Type Type // resolved by the checker
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	T    TypeExpr
+	Pos  Pos
+
+	Type Type // resolved by the checker
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    TypeExpr // nil for void
+	Body   *BlockStmt
+	Pos    Pos
+
+	RetType Type // resolved; nil for void
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is a MiniC statement.
+type Stmt interface{ stmt() }
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// VarStmt is a local variable declaration statement.
+type VarStmt struct{ Decl *VarDecl }
+
+// AssignStmt assigns RHS to the lvalue LHS.
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+	Pos Pos
+}
+
+// IfStmt is an if/else statement (Else may be nil, a BlockStmt, or an IfStmt).
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt
+	Pos  Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// ForStmt is a C-style for loop. Parallel marks `parallel for`, a candidate
+// speculative region whose iterations become TLS epochs.
+type ForStmt struct {
+	Init     Stmt // may be nil (AssignStmt or VarStmt)
+	Cond     Expr // may be nil
+	Post     Stmt // may be nil
+	Body     *BlockStmt
+	Parallel bool
+	Pos      Pos
+}
+
+// ReturnStmt returns from the current function.
+type ReturnStmt struct {
+	Value Expr // may be nil
+	Pos   Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the next iteration of the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*BlockStmt) stmt()    {}
+func (*VarStmt) stmt()      {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ExprStmt) stmt()     {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is a MiniC expression. After checking, Type() reports its type.
+type Expr interface {
+	expr()
+	Position() Pos
+	Type() Type
+}
+
+type exprBase struct {
+	Pos Pos
+	Typ Type
+}
+
+func (e *exprBase) expr()         {}
+func (e *exprBase) Position() Pos { return e.Pos }
+
+// Type returns the checked type of the expression (nil before checking).
+func (e *exprBase) Type() Type { return e.Typ }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// NilLit is the nil pointer literal.
+type NilLit struct{ exprBase }
+
+// Ident references a variable (local, parameter, or global).
+type Ident struct {
+	exprBase
+	Name string
+
+	// Resolution results, filled in by the checker:
+	Global bool // references a global variable
+	Decl   any  // *VarDecl (local or global) or *Param
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	UNeg   UnOp = iota // -x
+	UNot               // !x
+	UDeref             // *p
+	UAddr              // &lvalue
+)
+
+// Unary is a unary operation.
+type Unary struct {
+	exprBase
+	Op UnOp
+	X  Expr
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	BAdd BinOp = iota
+	BSub
+	BMul
+	BDiv
+	BRem
+	BShl
+	BShr
+	BAnd // bitwise &
+	BOr  // bitwise |
+	BXor
+	BLt
+	BLe
+	BGt
+	BGe
+	BEq
+	BNe
+	BLand // &&
+	BLor  // ||
+)
+
+var binNames = map[BinOp]string{
+	BAdd: "+", BSub: "-", BMul: "*", BDiv: "/", BRem: "%",
+	BShl: "<<", BShr: ">>", BAnd: "&", BOr: "|", BXor: "^",
+	BLt: "<", BLe: "<=", BGt: ">", BGe: ">=", BEq: "==", BNe: "!=",
+	BLand: "&&", BLor: "||",
+}
+
+// String returns the operator's source spelling.
+func (b BinOp) String() string { return binNames[b] }
+
+// Binary is a binary operation.
+type Binary struct {
+	exprBase
+	Op   BinOp
+	X, Y Expr
+}
+
+// Call invokes a named function or builtin (rnd, input, print).
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+
+	Builtin string    // "", "rnd", "input", "print"
+	Decl    *FuncDecl // resolved callee for non-builtins
+}
+
+// New allocates a zeroed value of type T from the arena and yields *T.
+type New struct {
+	exprBase
+	T TypeExpr
+}
+
+// FieldExpr selects a struct field; `p->f` and `p.f` on pointers auto-deref.
+type FieldExpr struct {
+	exprBase
+	X    Expr
+	Name string
+
+	Field *Field // resolved by the checker
+}
+
+// IndexExpr indexes an array or a pointer (scaled by element size).
+type IndexExpr struct {
+	exprBase
+	X Expr
+	I Expr
+}
+
+func (*IntLit) expr()    {}
+func (*NilLit) expr()    {}
+func (*Ident) expr()     {}
+func (*Unary) expr()     {}
+func (*Binary) expr()    {}
+func (*Call) expr()      {}
+func (*New) expr()       {}
+func (*FieldExpr) expr() {}
+func (*IndexExpr) expr() {}
+
+// ---------------------------------------------------------------------------
+// Pretty-printing (used by diagnostics, tests, and the freelist example)
+
+// ExprString renders an expression roughly as source text.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", x.Value)
+	case *NilLit:
+		return "nil"
+	case *Ident:
+		return x.Name
+	case *Unary:
+		op := map[UnOp]string{UNeg: "-", UNot: "!", UDeref: "*", UAddr: "&"}[x.Op]
+		return op + ExprString(x.X)
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.X), x.Op, ExprString(x.Y))
+	case *Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	case *New:
+		return fmt.Sprintf("new(%s)", x.T.teString())
+	case *FieldExpr:
+		return fmt.Sprintf("%s.%s", ExprString(x.X), x.Name)
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", ExprString(x.X), ExprString(x.I))
+	}
+	return "?"
+}

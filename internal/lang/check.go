@@ -1,0 +1,552 @@
+package lang
+
+import "fmt"
+
+// Checked is the result of type-checking a File: resolved struct types,
+// function signatures, and fully annotated expression types.
+type Checked struct {
+	File    *File
+	Structs map[string]*StructType
+	Funcs   map[string]*FuncDecl
+	Globals map[string]*VarDecl
+
+	// AddrTaken records locals and params whose address is taken anywhere;
+	// lowering places these in memory (frame slots) instead of registers.
+	// Keys are *VarDecl or *Param pointers.
+	AddrTaken map[any]bool
+}
+
+type checker struct {
+	c      *Checked
+	errs   []error
+	scopes []map[string]any // *VarDecl or *Param
+	fn     *FuncDecl
+}
+
+// Check resolves and type-checks a parsed file.
+func Check(f *File) (*Checked, error) {
+	ck := &checker{c: &Checked{
+		File:      f,
+		Structs:   make(map[string]*StructType),
+		Funcs:     make(map[string]*FuncDecl),
+		Globals:   make(map[string]*VarDecl),
+		AddrTaken: make(map[any]bool),
+	}}
+	ck.collect()
+	ck.checkAll()
+	if len(ck.errs) > 0 {
+		return nil, ck.errs[0]
+	}
+	return ck.c, nil
+}
+
+// MustCheck parses and checks src, panicking on error. For tests and
+// embedded workloads.
+func MustCheck(src string) *Checked {
+	f := MustParse(src)
+	c, err := Check(f)
+	if err != nil {
+		panic(fmt.Sprintf("MustCheck: %v", err))
+	}
+	return c
+}
+
+func (ck *checker) errorf(pos Pos, format string, args ...any) {
+	ck.errs = append(ck.errs, Errf(pos, format, args...))
+}
+
+// collect registers type, global and function names, then resolves struct
+// layouts (struct fields may reference other structs by name, including
+// self-referentially through pointers).
+func (ck *checker) collect() {
+	for _, td := range ck.c.File.Types {
+		if _, dup := ck.c.Structs[td.Name]; dup {
+			ck.errorf(td.Pos, "duplicate type %s", td.Name)
+			continue
+		}
+		ck.c.Structs[td.Name] = &StructType{Name: td.Name}
+	}
+	// Resolve field types and compute layouts. Because structs may only
+	// embed other structs by value non-cyclically, iterate until sizes
+	// stabilize; direct cycles are rejected.
+	for _, td := range ck.c.File.Types {
+		st := ck.c.Structs[td.Name]
+		var off int64
+		for _, fd := range td.Fields {
+			ft := ck.resolveType(fd.T, fd.Pos)
+			if inner, ok := ft.(*StructType); ok && inner.Name == td.Name {
+				ck.errorf(fd.Pos, "struct %s embeds itself", td.Name)
+				continue
+			}
+			st.Fields = append(st.Fields, Field{Name: fd.Name, Type: ft, Offset: off})
+			off += ft.Size()
+		}
+		st.size = off
+		if st.size == 0 {
+			st.size = WordSize // empty structs still occupy one word
+		}
+	}
+	// Recompute offsets once more now that all struct sizes are known
+	// (a field of struct type declared before its own decl was sized 0).
+	for _, td := range ck.c.File.Types {
+		st := ck.c.Structs[td.Name]
+		var off int64
+		for i := range st.Fields {
+			st.Fields[i].Offset = off
+			off += st.Fields[i].Type.Size()
+		}
+		st.size = off
+		if st.size == 0 {
+			st.size = WordSize
+		}
+	}
+	for _, g := range ck.c.File.Globals {
+		if _, dup := ck.c.Globals[g.Name]; dup {
+			ck.errorf(g.Pos, "duplicate global %s", g.Name)
+			continue
+		}
+		g.Type = ck.resolveType(g.T, g.Pos)
+		ck.c.Globals[g.Name] = g
+	}
+	for _, fn := range ck.c.File.Funcs {
+		if _, dup := ck.c.Funcs[fn.Name]; dup {
+			ck.errorf(fn.Pos, "duplicate function %s", fn.Name)
+			continue
+		}
+		if isBuiltin(fn.Name) {
+			ck.errorf(fn.Pos, "cannot redefine builtin %s", fn.Name)
+		}
+		for i := range fn.Params {
+			fn.Params[i].Type = ck.resolveType(fn.Params[i].T, fn.Params[i].Pos)
+			if !isScalar(fn.Params[i].Type) {
+				ck.errorf(fn.Params[i].Pos, "parameter %s must be int or pointer, got %s (pass aggregates by pointer)",
+					fn.Params[i].Name, fn.Params[i].Type)
+			}
+		}
+		if fn.Ret != nil {
+			fn.RetType = ck.resolveType(fn.Ret, fn.Pos)
+			if !isScalar(fn.RetType) {
+				ck.errorf(fn.Pos, "function %s must return int or pointer, got %s", fn.Name, fn.RetType)
+			}
+		}
+		ck.c.Funcs[fn.Name] = fn
+	}
+}
+
+// isScalar reports whether t fits in one word (int or pointer).
+func isScalar(t Type) bool {
+	switch t.(type) {
+	case IntType, *PtrType:
+		return true
+	}
+	return false
+}
+
+func isBuiltin(name string) bool {
+	switch name {
+	case "rnd", "input", "print":
+		return true
+	}
+	return false
+}
+
+func (ck *checker) resolveType(te TypeExpr, pos Pos) Type {
+	switch t := te.(type) {
+	case IntTE:
+		return Int
+	case *PtrTE:
+		return &PtrType{Elem: ck.resolveType(t.Elem, pos)}
+	case *ArrayTE:
+		if t.N <= 0 {
+			ck.errorf(pos, "array size must be positive, got %d", t.N)
+		}
+		return &ArrayType{N: t.N, Elem: ck.resolveType(t.Elem, pos)}
+	case *NamedTE:
+		if st, ok := ck.c.Structs[t.Name]; ok {
+			return st
+		}
+		ck.errorf(t.Pos, "undefined type %s", t.Name)
+		return Int
+	}
+	ck.errorf(pos, "bad type expression")
+	return Int
+}
+
+func (ck *checker) checkAll() {
+	for _, g := range ck.c.File.Globals {
+		if g.Init != nil {
+			t := ck.checkExpr(g.Init)
+			if !assignable(g.Type, t, g.Init) {
+				ck.errorf(g.Pos, "cannot initialize %s (%s) with %s", g.Name, g.Type, t)
+			}
+			if _, ok := g.Init.(*IntLit); !ok {
+				if _, ok := g.Init.(*NilLit); !ok {
+					ck.errorf(g.Pos, "global initializer must be a literal")
+				}
+			}
+		}
+	}
+	for _, fn := range ck.c.File.Funcs {
+		ck.checkFunc(fn)
+	}
+	if _, ok := ck.c.Funcs["main"]; !ok {
+		ck.errs = append(ck.errs, fmt.Errorf("program has no main function"))
+	}
+}
+
+func (ck *checker) push() { ck.scopes = append(ck.scopes, make(map[string]any)) }
+func (ck *checker) pop()  { ck.scopes = ck.scopes[:len(ck.scopes)-1] }
+
+func (ck *checker) declare(name string, d any, pos Pos) {
+	top := ck.scopes[len(ck.scopes)-1]
+	if _, dup := top[name]; dup {
+		ck.errorf(pos, "redeclared in this block: %s", name)
+	}
+	top[name] = d
+}
+
+func (ck *checker) lookup(name string) any {
+	for i := len(ck.scopes) - 1; i >= 0; i-- {
+		if d, ok := ck.scopes[i][name]; ok {
+			return d
+		}
+	}
+	return nil
+}
+
+func (ck *checker) checkFunc(fn *FuncDecl) {
+	ck.fn = fn
+	ck.push()
+	for i := range fn.Params {
+		ck.declare(fn.Params[i].Name, &fn.Params[i], fn.Params[i].Pos)
+	}
+	ck.checkBlock(fn.Body)
+	ck.pop()
+	ck.fn = nil
+}
+
+func (ck *checker) checkBlock(b *BlockStmt) {
+	ck.push()
+	for _, s := range b.Stmts {
+		ck.checkStmt(s)
+	}
+	ck.pop()
+}
+
+func (ck *checker) checkStmt(s Stmt) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		ck.checkBlock(st)
+	case *VarStmt:
+		d := st.Decl
+		d.Type = ck.resolveType(d.T, d.Pos)
+		if d.Init != nil {
+			t := ck.checkExpr(d.Init)
+			if !assignable(d.Type, t, d.Init) {
+				ck.errorf(d.Pos, "cannot initialize %s (%s) with %s", d.Name, d.Type, t)
+			}
+		}
+		ck.declare(d.Name, d, d.Pos)
+	case *AssignStmt:
+		lt := ck.checkExpr(st.LHS)
+		if !isLvalue(st.LHS) {
+			ck.errorf(st.Pos, "left side of = is not assignable")
+		}
+		rt := ck.checkExpr(st.RHS)
+		if lt != nil && rt != nil && !assignable(lt, rt, st.RHS) {
+			ck.errorf(st.Pos, "cannot assign %s to %s", rt, lt)
+		}
+		if _, isArr := lt.(*ArrayType); isArr {
+			ck.errorf(st.Pos, "cannot assign whole arrays")
+		}
+		if _, isStruct := lt.(*StructType); isStruct {
+			ck.errorf(st.Pos, "cannot assign whole structs; assign fields")
+		}
+	case *IfStmt:
+		ck.wantInt(st.Cond)
+		ck.checkBlock(st.Then)
+		if st.Else != nil {
+			ck.checkStmt(st.Else)
+		}
+	case *WhileStmt:
+		ck.wantInt(st.Cond)
+		ck.checkBlock(st.Body)
+	case *ForStmt:
+		ck.push()
+		if st.Init != nil {
+			ck.checkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			ck.wantInt(st.Cond)
+		}
+		if st.Post != nil {
+			ck.checkStmt(st.Post)
+		}
+		ck.checkBlock(st.Body)
+		ck.pop()
+	case *ReturnStmt:
+		if st.Value != nil {
+			t := ck.checkExpr(st.Value)
+			if ck.fn.RetType == nil {
+				ck.errorf(st.Pos, "function %s has no return type", ck.fn.Name)
+			} else if !assignable(ck.fn.RetType, t, st.Value) {
+				ck.errorf(st.Pos, "cannot return %s from function returning %s", t, ck.fn.RetType)
+			}
+		} else if ck.fn.RetType != nil {
+			ck.errorf(st.Pos, "missing return value in %s", ck.fn.Name)
+		}
+	case *BreakStmt, *ContinueStmt:
+		// Loop nesting is validated structurally during lowering.
+	case *ExprStmt:
+		ck.checkExpr(st.X)
+	}
+}
+
+func (ck *checker) wantInt(e Expr) {
+	t := ck.checkExpr(e)
+	if t == nil {
+		return
+	}
+	if _, ok := t.(IntType); ok {
+		return
+	}
+	if _, ok := t.(*PtrType); ok {
+		return // pointers are truthy (non-nil test), as in C
+	}
+	ck.errorf(e.Position(), "condition must be int or pointer, got %s", t)
+}
+
+// assignable reports whether a value of type 'from' may be assigned to a
+// location of type 'to'. nil literals are assignable to any pointer.
+func assignable(to, from Type, fromExpr Expr) bool {
+	if to == nil || from == nil {
+		return true // earlier error; avoid cascades
+	}
+	if _, isNil := fromExpr.(*NilLit); isNil {
+		_, toPtr := to.(*PtrType)
+		return toPtr
+	}
+	return SameType(to, from)
+}
+
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return true
+	case *Unary:
+		return x.Op == UDeref
+	case *FieldExpr:
+		return true
+	case *IndexExpr:
+		return true
+	}
+	return false
+}
+
+func (ck *checker) checkExpr(e Expr) Type {
+	switch x := e.(type) {
+	case *IntLit:
+		x.Typ = Int
+	case *NilLit:
+		x.Typ = &PtrType{Elem: Int} // refined by assignability checks
+	case *Ident:
+		if g, ok := ck.c.Globals[x.Name]; ok && ck.lookup(x.Name) == nil {
+			x.Global = true
+			x.Decl = g
+			x.Typ = g.Type
+			break
+		}
+		d := ck.lookup(x.Name)
+		switch dd := d.(type) {
+		case *VarDecl:
+			x.Decl = dd
+			x.Typ = dd.Type
+		case *Param:
+			x.Decl = dd
+			x.Typ = dd.Type
+		default:
+			ck.errorf(x.Pos, "undefined: %s", x.Name)
+			x.Typ = Int
+		}
+	case *Unary:
+		t := ck.checkExpr(x.X)
+		switch x.Op {
+		case UNeg, UNot:
+			if _, ok := t.(IntType); !ok {
+				ck.errorf(x.Pos, "operand of %v must be int, got %s",
+					map[UnOp]string{UNeg: "-", UNot: "!"}[x.Op], t)
+			}
+			x.Typ = Int
+		case UDeref:
+			if pt, ok := t.(*PtrType); ok {
+				x.Typ = pt.Elem
+			} else {
+				ck.errorf(x.Pos, "cannot dereference %s", t)
+				x.Typ = Int
+			}
+		case UAddr:
+			if !isLvalue(x.X) {
+				ck.errorf(x.Pos, "cannot take address of expression")
+			}
+			ck.markAddrTaken(x.X)
+			x.Typ = &PtrType{Elem: t}
+		}
+	case *Binary:
+		xt := ck.checkExpr(x.X)
+		yt := ck.checkExpr(x.Y)
+		switch x.Op {
+		case BEq, BNe, BLt, BLe, BGt, BGe:
+			// ints with ints, pointers with pointers (or nil).
+			if !comparable2(xt, yt, x.X, x.Y) {
+				ck.errorf(x.Pos, "invalid comparison: %s %s %s", xt, x.Op, yt)
+			}
+			x.Typ = Int
+		case BLand, BLor:
+			x.Typ = Int
+		default:
+			_, xi := xt.(IntType)
+			_, yi := yt.(IntType)
+			if !xi || !yi {
+				ck.errorf(x.Pos, "arithmetic requires ints: %s %s %s (use indexing for pointer math)", xt, x.Op, yt)
+			}
+			x.Typ = Int
+		}
+	case *Call:
+		switch x.Name {
+		case "rnd":
+			x.Builtin = "rnd"
+			ck.checkArgs(x, 1)
+			x.Typ = Int
+		case "input":
+			x.Builtin = "input"
+			ck.checkArgs(x, 1)
+			x.Typ = Int
+		case "print":
+			x.Builtin = "print"
+			ck.checkArgs(x, 1)
+			x.Typ = nil // void
+		default:
+			fn, ok := ck.c.Funcs[x.Name]
+			if !ok {
+				ck.errorf(x.Pos, "undefined function %s", x.Name)
+				x.Typ = Int
+				break
+			}
+			x.Decl = fn
+			if len(x.Args) != len(fn.Params) {
+				ck.errorf(x.Pos, "%s expects %d args, got %d", x.Name, len(fn.Params), len(x.Args))
+			}
+			for i, a := range x.Args {
+				at := ck.checkExpr(a)
+				if i < len(fn.Params) && !assignable(fn.Params[i].Type, at, a) {
+					ck.errorf(a.Position(), "arg %d of %s: cannot use %s as %s",
+						i+1, x.Name, at, fn.Params[i].Type)
+				}
+			}
+			x.Typ = fn.RetType
+		}
+	case *New:
+		t := ck.resolveType(x.T, x.Pos)
+		x.Typ = &PtrType{Elem: t}
+	case *FieldExpr:
+		t := ck.checkExpr(x.X)
+		if pt, ok := t.(*PtrType); ok {
+			t = pt.Elem // auto-deref, both for '.' and '->'
+		}
+		st, ok := t.(*StructType)
+		if !ok {
+			ck.errorf(x.Pos, "field access on non-struct %s", t)
+			x.Typ = Int
+			break
+		}
+		f := st.FieldByName(x.Name)
+		if f == nil {
+			ck.errorf(x.Pos, "%s has no field %s", st.Name, x.Name)
+			x.Typ = Int
+			break
+		}
+		x.Field = f
+		x.Typ = f.Type
+	case *IndexExpr:
+		t := ck.checkExpr(x.X)
+		ck.wantIntIdx(x.I)
+		switch tt := t.(type) {
+		case *ArrayType:
+			x.Typ = tt.Elem
+		case *PtrType:
+			x.Typ = tt.Elem // p[i] == *(p + i*sizeof(elem))
+		default:
+			ck.errorf(x.Pos, "cannot index %s", t)
+			x.Typ = Int
+		}
+	}
+	return e.Type()
+}
+
+func (ck *checker) wantIntIdx(e Expr) {
+	t := ck.checkExpr(e)
+	if t == nil {
+		ck.errorf(e.Position(), "index must be int")
+		return
+	}
+	if _, ok := t.(IntType); !ok {
+		ck.errorf(e.Position(), "index must be int, got %s", t)
+	}
+}
+
+func (ck *checker) checkArgs(c *Call, n int) {
+	if len(c.Args) != n {
+		ck.errorf(c.Pos, "%s expects %d arg(s), got %d", c.Name, n, len(c.Args))
+	}
+	for _, a := range c.Args {
+		ck.checkExpr(a)
+	}
+}
+
+func comparable2(xt, yt Type, xe, ye Expr) bool {
+	_, xNil := xe.(*NilLit)
+	_, yNil := ye.(*NilLit)
+	_, xi := xt.(IntType)
+	_, yi := yt.(IntType)
+	if xi && yi {
+		return true
+	}
+	_, xp := xt.(*PtrType)
+	_, yp := yt.(*PtrType)
+	if (xp || xNil) && (yp || yNil) {
+		return true
+	}
+	return false
+}
+
+// markAddrTaken records that the base variable of an lvalue has its address
+// exposed, forcing it into memory during lowering.
+func (ck *checker) markAddrTaken(e Expr) {
+	for {
+		switch x := e.(type) {
+		case *Ident:
+			if !x.Global && x.Decl != nil {
+				ck.c.AddrTaken[x.Decl] = true
+			}
+			return
+		case *FieldExpr:
+			// &s.f where s is a local struct: the local needs memory.
+			// &p->f does not expose the pointer variable itself.
+			if pt := x.X.Type(); pt != nil {
+				if _, isPtr := pt.(*PtrType); isPtr {
+					return
+				}
+			}
+			e = x.X
+		case *IndexExpr:
+			if pt := x.X.Type(); pt != nil {
+				if _, isPtr := pt.(*PtrType); isPtr {
+					return
+				}
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}

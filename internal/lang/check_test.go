@@ -1,0 +1,173 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckFreelist(t *testing.T) {
+	f, err := Parse(freelistSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elem := c.Structs["Elem"]
+	if elem == nil {
+		t.Fatal("missing Elem struct")
+	}
+	if elem.Size() != 16 {
+		t.Errorf("Elem size = %d, want 16", elem.Size())
+	}
+	next := elem.FieldByName("next")
+	val := elem.FieldByName("val")
+	if next == nil || val == nil {
+		t.Fatal("missing fields")
+	}
+	if next.Offset != 0 || val.Offset != 8 {
+		t.Errorf("offsets next=%d val=%d, want 0, 8", next.Offset, val.Offset)
+	}
+	if _, ok := next.Type.(*PtrType); !ok {
+		t.Errorf("next type = %s, want *Elem", next.Type)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct{ name, src, wantErr string }{
+		{"undefined var", "func main() { x = 1; }", "undefined: x"},
+		{"undefined func", "func main() { foo(); }", "undefined function foo"},
+		{"undefined type", "var x Nope; func main() {}", "undefined type Nope"},
+		{"no main", "func f() {}", "no main function"},
+		{"dup global", "var x int; var x int; func main() {}", "duplicate global x"},
+		{"dup func", "func f() {} func f() {} func main() {}", "duplicate function f"},
+		{"dup type", "type T struct{} type T struct{} func main() {}", "duplicate type T"},
+		{"redefine builtin", "func rnd(x int) int { return 0; } func main() {}", "builtin"},
+		{"assign ptr to int", "var p *int; func main() { var x int; x = p; }", "cannot assign"},
+		{"deref int", "func main() { var x int; x = *x; }", "cannot dereference"},
+		{"bad field", "type T struct { a int; } func main() { var t T; t.b = 1; }", "no field b"},
+		{"field on int", "func main() { var x int; x.f = 1; }", "non-struct"},
+		{"index int", "func main() { var x int; x = x[0]; }", "cannot index"},
+		{"arg count", "func f(a int) {} func main() { f(); }", "expects 1 args"},
+		{"arg type", "func f(a *int) {} func main() { f(3); }", "cannot use int"},
+		{"return type", "func f() *int { return 3; } func main() {}", "cannot return int"},
+		{"missing return value", "func f() int { return; } func main() {}", "missing return value"},
+		{"return in void", "func f() { return 3; } func main() {}", "no return type"},
+		{"struct self-embed", "type T struct { t T; } func main() {}", "embeds itself"},
+		{"neg array", "var a [0]int; func main() {}", "must be positive"},
+		{"redeclare", "func main() { var x int; var x int; }", "redeclared"},
+		{"whole struct assign", "type T struct { a int; } func main() { var a T; var b T; a = b; }", "whole structs"},
+		{"non-lvalue assign", "func main() { 3 = 4; }", "not assignable"},
+		{"addr of rvalue", "var p *int; func main() { p = &3; }", "cannot take address"},
+		{"cmp ptr int", "var p *int; func main() { if p == 3 { } }", "invalid comparison"},
+		{"ptr arithmetic", "var p *int; func main() { var x int; x = p + 1; }", "arithmetic requires ints"},
+		{"rnd arity", "func main() { rnd(1, 2); }", "expects 1 arg"},
+		{"global init expr", "var g int = 1 + 2; func main() {}", "must be a literal"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f, err := Parse(c.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			_, err = Check(f)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestCheckOK(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"nil compare", "var p *int; func main() { if p == nil { } }"},
+		{"nil assign", "var p *int; func main() { p = nil; }"},
+		{"ptr condition", "var p *int; func main() { if p { } while p { } }"},
+		{"ptr index", "var p *int; func main() { var x int; x = p[3]; p[4] = x; }"},
+		{"array of struct", "type T struct { a int; b int; } var arr [5]T; func main() { arr[2].b = 7; }"},
+		{"nested struct", "type A struct { x int; } type B struct { a A; y int; } var b B; func main() { b.a.x = 1; }"},
+		{"addr of elem", "var arr [5]int; var p *int; func main() { p = &arr[2]; }"},
+		{"addr of global", "var g int; var p *int; func main() { p = &g; }"},
+		{"shadow", "var x int; func main() { var x *int; x = nil; }"},
+		{"builtin calls", "func main() { var x int; x = rnd(10) + input(0); print(x); }"},
+		{"void call stmt", "func f() {} func main() { f(); }"},
+		{"arrow and dot", "type T struct { v int; } func main() { var p *T; p = new(T); p.v = 1; p->v = 2; }"},
+		{"deep ptr", "func main() { var pp **int; var p *int; pp = &p; *pp = nil; }"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f, err := Parse(c.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if _, err := Check(f); err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+func TestAddrTaken(t *testing.T) {
+	src := `
+func main() {
+	var a int;
+	var b int;
+	var p *int;
+	p = &a;
+	b = *p;
+	print(b);
+}
+`
+	c := MustCheck(src)
+	// Exactly one local (a) should be address-taken.
+	if len(c.AddrTaken) != 1 {
+		t.Fatalf("AddrTaken has %d entries, want 1", len(c.AddrTaken))
+	}
+	for d := range c.AddrTaken {
+		vd, ok := d.(*VarDecl)
+		if !ok || vd.Name != "a" {
+			t.Errorf("address-taken decl = %+v, want local a", d)
+		}
+	}
+}
+
+func TestAddrTakenViaPointerFieldIsNot(t *testing.T) {
+	// &p->f does not expose p itself.
+	src := `
+type T struct { f int; }
+func main() {
+	var p *T;
+	var q *int;
+	p = new(T);
+	q = &p->f;
+	print(*q);
+}
+`
+	c := MustCheck(src)
+	if len(c.AddrTaken) != 0 {
+		t.Fatalf("AddrTaken has %d entries, want 0", len(c.AddrTaken))
+	}
+}
+
+func TestStructLayoutForwardRef(t *testing.T) {
+	// B is declared after A references it by value; offsets must still be
+	// computed with B's real size.
+	src := `
+type A struct { b B; tail int; }
+type B struct { x int; y int; z int; }
+func main() {}
+`
+	c := MustCheck(src)
+	a := c.Structs["A"]
+	if a.Size() != 32 {
+		t.Errorf("A size = %d, want 32", a.Size())
+	}
+	tail := a.FieldByName("tail")
+	if tail.Offset != 24 {
+		t.Errorf("tail offset = %d, want 24", tail.Offset)
+	}
+}

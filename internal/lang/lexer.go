@@ -1,0 +1,193 @@
+package lang
+
+// Lexer turns MiniC source text into a stream of tokens. It supports
+// line comments (// ...) and block comments (/* ... */).
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	err  error
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Err returns the first lexical error encountered, if any.
+func (lx *Lexer) Err() error { return lx.err }
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			pos := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed && lx.err == nil {
+				lx.err = Errf(pos, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// Next lexes and returns the next token. After an error or end of input it
+// returns EOF tokens forever; check Err for the error.
+func (lx *Lexer) Next() Token {
+	lx.skipSpaceAndComments()
+	pos := lx.pos()
+	if lx.off >= len(lx.src) || lx.err != nil {
+		return Token{Kind: EOF, Pos: pos}
+	}
+	c := lx.peek()
+	switch {
+	case isDigit(c):
+		var v int64
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			v = v*10 + int64(lx.advance()-'0')
+		}
+		return Token{Kind: INT, Pos: pos, Int: v}
+	case isAlpha(c):
+		start := lx.off
+		for lx.off < len(lx.src) && (isAlpha(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Pos: pos, Text: text}
+		}
+		return Token{Kind: IDENT, Pos: pos, Text: text}
+	}
+	lx.advance()
+	two := func(next byte, yes, no Tok) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: yes, Pos: pos}
+		}
+		return Token{Kind: no, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LPAREN, Pos: pos}
+	case ')':
+		return Token{Kind: RPAREN, Pos: pos}
+	case '{':
+		return Token{Kind: LBRACE, Pos: pos}
+	case '}':
+		return Token{Kind: RBRACE, Pos: pos}
+	case '[':
+		return Token{Kind: LBRACKET, Pos: pos}
+	case ']':
+		return Token{Kind: RBRACKET, Pos: pos}
+	case ',':
+		return Token{Kind: COMMA, Pos: pos}
+	case ';':
+		return Token{Kind: SEMI, Pos: pos}
+	case '.':
+		return Token{Kind: DOT, Pos: pos}
+	case '+':
+		return Token{Kind: PLUS, Pos: pos}
+	case '*':
+		return Token{Kind: STAR, Pos: pos}
+	case '/':
+		return Token{Kind: SLASH, Pos: pos}
+	case '%':
+		return Token{Kind: PCT, Pos: pos}
+	case '^':
+		return Token{Kind: XOR, Pos: pos}
+	case '-':
+		return two('>', ARROW, MINUS)
+	case '=':
+		return two('=', EQ, ASSIGN)
+	case '!':
+		return two('=', NE, BANG)
+	case '<':
+		if lx.peek() == '<' {
+			lx.advance()
+			return Token{Kind: SHL, Pos: pos}
+		}
+		return two('=', LE, LT)
+	case '>':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: SHR, Pos: pos}
+		}
+		return two('=', GE, GT)
+	case '&':
+		return two('&', ANDAND, AMP)
+	case '|':
+		return two('|', OROR, OR)
+	}
+	if lx.err == nil {
+		lx.err = Errf(pos, "unexpected character %q", string(c))
+	}
+	return Token{Kind: EOF, Pos: pos}
+}
+
+// LexAll lexes the entire input, returning all tokens up to and including
+// the terminating EOF token.
+func LexAll(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			break
+		}
+	}
+	return toks, lx.Err()
+}

@@ -1,0 +1,108 @@
+package lang
+
+import "testing"
+
+func kinds(toks []Token) []Tok {
+	out := make([]Tok, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("x = a + 42; // comment\n y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Tok{IDENT, ASSIGN, IDENT, PLUS, INT, SEMI, IDENT, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+	if toks[4].Int != 42 {
+		t.Errorf("int literal: got %d, want 42", toks[4].Int)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Tok
+	}{
+		{"==", EQ}, {"!=", NE}, {"<=", LE}, {">=", GE},
+		{"<<", SHL}, {">>", SHR}, {"&&", ANDAND}, {"||", OROR},
+		{"->", ARROW}, {"<", LT}, {">", GT}, {"=", ASSIGN},
+		{"!", BANG}, {"&", AMP}, {"|", OR}, {"^", XOR},
+		{"-", MINUS}, {"%", PCT},
+	}
+	for _, c := range cases {
+		toks, err := LexAll(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if toks[0].Kind != c.want {
+			t.Errorf("%q: got %s, want %s", c.src, toks[0].Kind, c.want)
+		}
+	}
+}
+
+func TestLexKeywords(t *testing.T) {
+	toks, err := LexAll("func var type struct int if else while for parallel return break continue new nil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Tok{KwFunc, KwVar, KwType, KwStruct, KwInt, KwIf, KwElse,
+		KwWhile, KwFor, KwParallel, KwReturn, KwBreak, KwContinue, KwNew, KwNil, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := LexAll("a /* multi\nline */ b // trailing\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("got %d tokens, want 4: %v", len(toks), kinds(toks))
+	}
+	if toks[2].Pos.Line != 3 {
+		t.Errorf("token c on line %d, want 3", toks[2].Pos.Line)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	_, err := LexAll("a /* never closed")
+	if err == nil {
+		t.Fatal("expected error for unterminated comment")
+	}
+}
+
+func TestLexBadChar(t *testing.T) {
+	_, err := LexAll("a @ b")
+	if err == nil {
+		t.Fatal("expected error for bad character")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("ab\n  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("ab at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("cd at %v, want 2:3", toks[1].Pos)
+	}
+}

@@ -1,0 +1,430 @@
+package lang
+
+import "fmt"
+
+// Parser is a recursive-descent / Pratt parser for MiniC.
+type Parser struct {
+	toks []Token
+	pos  int
+	errs []error
+}
+
+// Parse lexes and parses src into a File. It returns the first error
+// encountered (lexical, syntactic), if any.
+func Parse(src string) (*File, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	f := p.parseFile()
+	if len(p.errs) > 0 {
+		return nil, p.errs[0]
+	}
+	return f, nil
+}
+
+// MustParse parses src and panics on error. Intended for tests and for the
+// embedded workload sources, which are fixed at build time.
+func MustParse(src string) *File {
+	f, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("MustParse: %v", err))
+	}
+	return f
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.advance(); return t }
+
+func (p *Parser) advance() {
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+}
+
+func (p *Parser) at(k Tok) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Tok) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...any) {
+	p.errs = append(p.errs, Errf(pos, format, args...))
+}
+
+func (p *Parser) expect(k Tok) Token {
+	t := p.cur()
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t.Kind)
+		// Do not advance past EOF; skip one token to make progress.
+		if t.Kind != EOF {
+			p.advance()
+		}
+		return Token{Kind: k, Pos: t.Pos}
+	}
+	p.advance()
+	return t
+}
+
+func (p *Parser) parseFile() *File {
+	f := &File{}
+	for !p.at(EOF) && len(p.errs) < 10 {
+		switch p.cur().Kind {
+		case KwType:
+			f.Types = append(f.Types, p.parseTypeDecl())
+		case KwVar:
+			f.Globals = append(f.Globals, p.parseVarDecl())
+		case KwFunc:
+			f.Funcs = append(f.Funcs, p.parseFuncDecl())
+		default:
+			p.errorf(p.cur().Pos, "expected declaration, found %s", p.cur().Kind)
+			p.advance()
+		}
+	}
+	return f
+}
+
+// type Name struct { field T; ... }
+func (p *Parser) parseTypeDecl() *TypeDecl {
+	pos := p.expect(KwType).Pos
+	name := p.expect(IDENT)
+	p.expect(KwStruct)
+	p.expect(LBRACE)
+	td := &TypeDecl{Name: name.Text, Pos: pos}
+	for !p.at(RBRACE) && !p.at(EOF) {
+		fname := p.expect(IDENT)
+		ft := p.parseTypeExpr()
+		p.expect(SEMI)
+		td.Fields = append(td.Fields, FieldDecl{Name: fname.Text, T: ft, Pos: fname.Pos})
+	}
+	p.expect(RBRACE)
+	return td
+}
+
+// var name T [= expr] ;
+func (p *Parser) parseVarDecl() *VarDecl {
+	pos := p.expect(KwVar).Pos
+	name := p.expect(IDENT)
+	t := p.parseTypeExpr()
+	vd := &VarDecl{Name: name.Text, T: t, Pos: pos}
+	if p.accept(ASSIGN) {
+		vd.Init = p.parseExpr()
+	}
+	p.expect(SEMI)
+	return vd
+}
+
+func (p *Parser) parseTypeExpr() TypeExpr {
+	switch p.cur().Kind {
+	case KwInt:
+		p.advance()
+		return IntTE{}
+	case STAR:
+		p.advance()
+		return &PtrTE{Elem: p.parseTypeExpr()}
+	case LBRACKET:
+		p.advance()
+		n := p.expect(INT)
+		p.expect(RBRACKET)
+		return &ArrayTE{N: n.Int, Elem: p.parseTypeExpr()}
+	case IDENT:
+		t := p.next()
+		return &NamedTE{Name: t.Text, Pos: t.Pos}
+	default:
+		p.errorf(p.cur().Pos, "expected type, found %s", p.cur().Kind)
+		p.advance()
+		return IntTE{}
+	}
+}
+
+// func name(a T, b T) [T] { ... }
+func (p *Parser) parseFuncDecl() *FuncDecl {
+	pos := p.expect(KwFunc).Pos
+	name := p.expect(IDENT)
+	p.expect(LPAREN)
+	fd := &FuncDecl{Name: name.Text, Pos: pos}
+	for !p.at(RPAREN) && !p.at(EOF) {
+		if len(fd.Params) > 0 {
+			p.expect(COMMA)
+		}
+		pname := p.expect(IDENT)
+		pt := p.parseTypeExpr()
+		fd.Params = append(fd.Params, Param{Name: pname.Text, T: pt, Pos: pname.Pos})
+	}
+	p.expect(RPAREN)
+	if !p.at(LBRACE) {
+		fd.Ret = p.parseTypeExpr()
+	}
+	fd.Body = p.parseBlock()
+	return fd
+}
+
+func (p *Parser) parseBlock() *BlockStmt {
+	pos := p.expect(LBRACE).Pos
+	b := &BlockStmt{Pos: pos}
+	for !p.at(RBRACE) && !p.at(EOF) {
+		b.Stmts = append(b.Stmts, p.parseStmt())
+	}
+	p.expect(RBRACE)
+	return b
+}
+
+func (p *Parser) parseStmt() Stmt {
+	switch p.cur().Kind {
+	case LBRACE:
+		return p.parseBlock()
+	case KwVar:
+		return &VarStmt{Decl: p.parseVarDecl()}
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		pos := p.next().Pos
+		cond := p.parseExpr()
+		body := p.parseBlock()
+		return &WhileStmt{Cond: cond, Body: body, Pos: pos}
+	case KwFor:
+		return p.parseFor(false)
+	case KwParallel:
+		pos := p.next().Pos
+		if !p.at(KwFor) {
+			p.errorf(pos, "expected 'for' after 'parallel'")
+		}
+		return p.parseFor(true)
+	case KwReturn:
+		pos := p.next().Pos
+		var v Expr
+		if !p.at(SEMI) {
+			v = p.parseExpr()
+		}
+		p.expect(SEMI)
+		return &ReturnStmt{Value: v, Pos: pos}
+	case KwBreak:
+		pos := p.next().Pos
+		p.expect(SEMI)
+		return &BreakStmt{Pos: pos}
+	case KwContinue:
+		pos := p.next().Pos
+		p.expect(SEMI)
+		return &ContinueStmt{Pos: pos}
+	default:
+		s := p.parseSimpleStmt()
+		p.expect(SEMI)
+		return s
+	}
+}
+
+// parseSimpleStmt parses an assignment or expression statement without the
+// trailing semicolon (shared by statement and for-clause positions).
+func (p *Parser) parseSimpleStmt() Stmt {
+	pos := p.cur().Pos
+	e := p.parseExpr()
+	if p.accept(ASSIGN) {
+		rhs := p.parseExpr()
+		return &AssignStmt{LHS: e, RHS: rhs, Pos: pos}
+	}
+	return &ExprStmt{X: e, Pos: pos}
+}
+
+func (p *Parser) parseIf() Stmt {
+	pos := p.expect(KwIf).Pos
+	cond := p.parseExpr()
+	then := p.parseBlock()
+	st := &IfStmt{Cond: cond, Then: then, Pos: pos}
+	if p.accept(KwElse) {
+		if p.at(KwIf) {
+			st.Else = p.parseIf()
+		} else {
+			st.Else = p.parseBlock()
+		}
+	}
+	return st
+}
+
+// for [init]; [cond]; [post] { body }
+func (p *Parser) parseFor(parallel bool) Stmt {
+	pos := p.expect(KwFor).Pos
+	st := &ForStmt{Parallel: parallel, Pos: pos}
+	if !p.at(SEMI) {
+		if p.at(KwVar) {
+			st.Init = &VarStmt{Decl: p.parseVarDecl()} // consumes its own ';'
+		} else {
+			st.Init = p.parseSimpleStmt()
+			p.expect(SEMI)
+		}
+	} else {
+		p.expect(SEMI)
+	}
+	if !p.at(SEMI) {
+		st.Cond = p.parseExpr()
+	}
+	p.expect(SEMI)
+	if !p.at(LBRACE) {
+		st.Post = p.parseSimpleStmt()
+	}
+	st.Body = p.parseBlock()
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (Pratt)
+
+// Binding powers; higher binds tighter.
+const (
+	precLor    = 1
+	precLand   = 2
+	precCmp    = 3
+	precBitOr  = 4
+	precBitXor = 5
+	precBitAnd = 6
+	precShift  = 7
+	precAdd    = 8
+	precMul    = 9
+)
+
+func binPrec(k Tok) (BinOp, int, bool) {
+	switch k {
+	case OROR:
+		return BLor, precLor, true
+	case ANDAND:
+		return BLand, precLand, true
+	case LT:
+		return BLt, precCmp, true
+	case LE:
+		return BLe, precCmp, true
+	case GT:
+		return BGt, precCmp, true
+	case GE:
+		return BGe, precCmp, true
+	case EQ:
+		return BEq, precCmp, true
+	case NE:
+		return BNe, precCmp, true
+	case OR:
+		return BOr, precBitOr, true
+	case XOR:
+		return BXor, precBitXor, true
+	case AMP:
+		return BAnd, precBitAnd, true
+	case SHL:
+		return BShl, precShift, true
+	case SHR:
+		return BShr, precShift, true
+	case PLUS:
+		return BAdd, precAdd, true
+	case MINUS:
+		return BSub, precAdd, true
+	case STAR:
+		return BMul, precMul, true
+	case SLASH:
+		return BDiv, precMul, true
+	case PCT:
+		return BRem, precMul, true
+	}
+	return 0, 0, false
+}
+
+func (p *Parser) parseExpr() Expr { return p.parseBin(0) }
+
+func (p *Parser) parseBin(minPrec int) Expr {
+	lhs := p.parseUnary()
+	for {
+		op, prec, ok := binPrec(p.cur().Kind)
+		if !ok || prec < minPrec {
+			return lhs
+		}
+		pos := p.next().Pos
+		rhs := p.parseBin(prec + 1)
+		lhs = &Binary{exprBase: exprBase{Pos: pos}, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case MINUS:
+		p.advance()
+		return &Unary{exprBase: exprBase{Pos: t.Pos}, Op: UNeg, X: p.parseUnary()}
+	case BANG:
+		p.advance()
+		return &Unary{exprBase: exprBase{Pos: t.Pos}, Op: UNot, X: p.parseUnary()}
+	case STAR:
+		p.advance()
+		return &Unary{exprBase: exprBase{Pos: t.Pos}, Op: UDeref, X: p.parseUnary()}
+	case AMP:
+		p.advance()
+		return &Unary{exprBase: exprBase{Pos: t.Pos}, Op: UAddr, X: p.parseUnary()}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() Expr {
+	e := p.parsePrimary()
+	for {
+		switch p.cur().Kind {
+		case DOT:
+			p.advance()
+			name := p.expect(IDENT)
+			e = &FieldExpr{exprBase: exprBase{Pos: name.Pos}, X: e, Name: name.Text}
+		case ARROW:
+			p.advance()
+			name := p.expect(IDENT)
+			// p->f is sugar for (*p).f; the checker auto-derefs pointers
+			// for DOT as well, so both forms resolve identically.
+			e = &FieldExpr{exprBase: exprBase{Pos: name.Pos}, X: e, Name: name.Text}
+		case LBRACKET:
+			pos := p.next().Pos
+			idx := p.parseExpr()
+			p.expect(RBRACKET)
+			e = &IndexExpr{exprBase: exprBase{Pos: pos}, X: e, I: idx}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case INT:
+		p.advance()
+		return &IntLit{exprBase: exprBase{Pos: t.Pos}, Value: t.Int}
+	case KwNil:
+		p.advance()
+		return &NilLit{exprBase: exprBase{Pos: t.Pos}}
+	case LPAREN:
+		p.advance()
+		e := p.parseExpr()
+		p.expect(RPAREN)
+		return e
+	case KwNew:
+		p.advance()
+		p.expect(LPAREN)
+		te := p.parseTypeExpr()
+		p.expect(RPAREN)
+		return &New{exprBase: exprBase{Pos: t.Pos}, T: te}
+	case IDENT:
+		p.advance()
+		if p.at(LPAREN) {
+			p.advance()
+			c := &Call{exprBase: exprBase{Pos: t.Pos}, Name: t.Text}
+			for !p.at(RPAREN) && !p.at(EOF) {
+				if len(c.Args) > 0 {
+					p.expect(COMMA)
+				}
+				c.Args = append(c.Args, p.parseExpr())
+			}
+			p.expect(RPAREN)
+			return c
+		}
+		return &Ident{exprBase: exprBase{Pos: t.Pos}, Name: t.Text}
+	default:
+		p.errorf(t.Pos, "expected expression, found %s", t.Kind)
+		p.advance()
+		return &IntLit{exprBase: exprBase{Pos: t.Pos}}
+	}
+}

@@ -1,0 +1,201 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const freelistSrc = `
+type Elem struct {
+	next *Elem;
+	val  int;
+}
+
+var free_list *Elem;
+
+func free_element(e *Elem) {
+	e->next = free_list;
+	free_list = e;
+}
+
+func use_element() *Elem {
+	var e *Elem = free_list;
+	free_list = e->next;
+	return e;
+}
+
+func work() {
+	if rnd(2) == 0 {
+		use_element();
+	}
+}
+
+func main() {
+	var i int;
+	parallel for i = 0; i < 100; i = i + 1 {
+		free_element(new(Elem));
+		work();
+	}
+}
+`
+
+func TestParseFreelist(t *testing.T) {
+	f, err := Parse(freelistSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Types) != 1 || f.Types[0].Name != "Elem" {
+		t.Fatalf("types: %+v", f.Types)
+	}
+	if len(f.Types[0].Fields) != 2 {
+		t.Fatalf("Elem fields: %d, want 2", len(f.Types[0].Fields))
+	}
+	if len(f.Globals) != 1 || f.Globals[0].Name != "free_list" {
+		t.Fatalf("globals: %+v", f.Globals)
+	}
+	if len(f.Funcs) != 4 {
+		t.Fatalf("funcs: %d, want 4", len(f.Funcs))
+	}
+	// main's loop must be parallel.
+	main := f.Funcs[3]
+	if main.Name != "main" {
+		t.Fatalf("last func is %s, want main", main.Name)
+	}
+	var forStmt *ForStmt
+	for _, s := range main.Body.Stmts {
+		if fs, ok := s.(*ForStmt); ok {
+			forStmt = fs
+		}
+	}
+	if forStmt == nil || !forStmt.Parallel {
+		t.Fatal("main should contain a parallel for")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"1 + 2 * 3", "(1 + (2 * 3))"},
+		{"1 * 2 + 3", "((1 * 2) + 3)"},
+		{"1 < 2 && 3 < 4", "((1 < 2) && (3 < 4))"},
+		{"a || b && c", "(a || (b && c))"},
+		{"1 + 2 < 3 + 4", "((1 + 2) < (3 + 4))"},
+		{"1 << 2 + 0", "(1 << (2 + 0))"}, // as in C, + binds tighter than <<
+		{"-a + b", "(-a + b)"},
+		{"a & b | c", "((a & b) | c)"},
+		{"a ^ b & c", "(a ^ (b & c))"},
+		{"(1 + 2) * 3", "((1 + 2) * 3)"},
+	}
+	for _, c := range cases {
+		f, err := Parse("func main() { x = " + c.src + "; }")
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		as := f.Funcs[0].Body.Stmts[0].(*AssignStmt)
+		got := ExprString(as.RHS)
+		if got != c.want {
+			t.Errorf("%q: got %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParsePostfix(t *testing.T) {
+	f, err := Parse("func main() { x = a->b.c[3]; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := f.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	if got := ExprString(as.RHS); got != "a.b.c[3]" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	f, err := Parse("func main() { x = *p + &q - !r; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := f.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	if got := ExprString(as.RHS); got != "((*p + &q) - !r)" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	srcs := []string{
+		"func main() { for ;; { break; } }",
+		"func main() { var i int; for i = 0; i < 3; i = i + 1 { continue; } }",
+		"func main() { for var i int = 0; i < 3; i = i + 1 { } }",
+		"func main() { while 1 { break; } }",
+	}
+	for _, src := range srcs {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	src := `func main() { if a { } else if b { } else { } }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := f.Funcs[0].Body.Stmts[0].(*IfStmt)
+	elif, ok := ifs.Else.(*IfStmt)
+	if !ok {
+		t.Fatalf("else branch is %T, want *IfStmt", ifs.Else)
+	}
+	if _, ok := elif.Else.(*BlockStmt); !ok {
+		t.Fatalf("final else is %T, want *BlockStmt", elif.Else)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"func main( {}",
+		"func main() { x = ; }",
+		"func main() { if { } }",
+		"type T struct { x; }",
+		"var x;",
+		"func main() { return 1 }", // missing semicolon
+		"garbage",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestParseTypeExprs(t *testing.T) {
+	src := `
+type T struct { a int; }
+var a int;
+var b *int;
+var c [10]int;
+var d *T;
+var e [4]*T;
+var f **int;
+func main() { }
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{"int", "*int", "[10]int", "*T", "[4]*T", "**int"}
+	for i, g := range f.Globals {
+		if got := g.T.teString(); got != wants[i] {
+			t.Errorf("global %s: got %s, want %s", g.Name, got, wants[i])
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("func main() {\n  x = ;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error should mention line 2: %v", err)
+	}
+}

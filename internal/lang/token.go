@@ -1,0 +1,134 @@
+// Package lang implements the MiniC frontend: a small C-like language used
+// as the source language for the TLS compiler. MiniC has 64-bit integers,
+// pointers, fixed-size arrays, named struct types, functions, and a
+// `parallel for` loop marking candidate speculative regions.
+//
+// MiniC stands in for the C subset the original paper compiled with SUIF:
+// it is rich enough to express pointer aliasing, linked data structures,
+// and procedure call trees (everything the memory-synchronization pass
+// cares about) while remaining small enough to interpret deterministically.
+package lang
+
+import "fmt"
+
+// Tok identifies a lexical token kind.
+type Tok int
+
+// Token kinds.
+const (
+	EOF Tok = iota
+	IDENT
+	INT // integer literal
+
+	// Punctuation.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+	SEMI     // ;
+	DOT      // .
+	ARROW    // ->
+
+	// Operators.
+	ASSIGN // =
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	PCT    // %
+	AMP    // &
+	BANG   // !
+	LT     // <
+	GT     // >
+	LE     // <=
+	GE     // >=
+	EQ     // ==
+	NE     // !=
+	ANDAND // &&
+	OROR   // ||
+	SHL    // <<
+	SHR    // >>
+	XOR    // ^
+	OR     // |
+
+	// Keywords.
+	KwFunc
+	KwVar
+	KwType
+	KwStruct
+	KwInt
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwParallel
+	KwReturn
+	KwBreak
+	KwContinue
+	KwNew
+	KwNil
+)
+
+var tokNames = map[Tok]string{
+	EOF: "EOF", IDENT: "identifier", INT: "integer",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", COMMA: ",", SEMI: ";", DOT: ".", ARROW: "->",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PCT: "%",
+	AMP: "&", BANG: "!", LT: "<", GT: ">", LE: "<=", GE: ">=",
+	EQ: "==", NE: "!=", ANDAND: "&&", OROR: "||", SHL: "<<", SHR: ">>",
+	XOR: "^", OR: "|",
+	KwFunc: "func", KwVar: "var", KwType: "type", KwStruct: "struct",
+	KwInt: "int", KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for",
+	KwParallel: "parallel", KwReturn: "return", KwBreak: "break",
+	KwContinue: "continue", KwNew: "new", KwNil: "nil",
+}
+
+// String returns a human-readable name for the token kind.
+func (t Tok) String() string {
+	if s, ok := tokNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Tok(%d)", int(t))
+}
+
+var keywords = map[string]Tok{
+	"func": KwFunc, "var": KwVar, "type": KwType, "struct": KwStruct,
+	"int": KwInt, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"for": KwFor, "parallel": KwParallel, "return": KwReturn,
+	"break": KwBreak, "continue": KwContinue, "new": KwNew, "nil": KwNil,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token with its position and, where relevant, its text
+// or integer value.
+type Token struct {
+	Kind Tok
+	Pos  Pos
+	Text string // for IDENT
+	Int  int64  // for INT
+}
+
+// Error is a frontend diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Errf constructs a positioned frontend error.
+func Errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

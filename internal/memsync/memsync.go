@@ -1,0 +1,342 @@
+// Package memsync implements the paper's contribution: compiler-inserted
+// synchronization for memory-resident value communication between
+// speculative threads (§2.2–§2.3).
+//
+// Pipeline per region:
+//
+//  1. Take the profiled inter-epoch dependences and build the dependence
+//     graph at the frequency threshold (default 5% of epochs); connected
+//     components become groups (package depgraph).
+//
+//  2. Clone the procedures along each synchronized reference's call stack
+//     so synchronization executes only on the profiled path (§2.3
+//     "Cloning"). Clones are shared across references with a common path
+//     prefix; call sites are retargeted to the clones.
+//
+//  3. Replace each synchronized load `r = load [a]` with the consumer
+//     protocol:
+//
+//     fa = wait.ma s          ; forwarded address (stalls)
+//     checkfwd s, fa, a       ; uff := (fa == a) and no stale forwarding
+//     fv = wait.mv s          ; forwarded value
+//     mv = load.sync s [a]    ; violation-immune when uff is set;
+//     ; clears uff if locally overwritten
+//     r  = select s, fv, mv   ; picks forwarded or memory value, resets uff
+//
+//  4. Insert `signal.m s, addr, val` immediately after each synchronized
+//     store — as close to where the value is produced as possible, the
+//     placement the paper's data-flow analysis targets. The producer-side
+//     signal address buffer (modeled in the interpreter and the timing
+//     simulator) restarts the consumer if a later store in the producer
+//     epoch overwrites a forwarded address.
+//
+//  5. Place conditional NULL signals on storeless paths at the earliest
+//     block from which no group store can execute (a backward
+//     may-store-later analysis, interprocedural via call summaries; see
+//     nullsig.go), so consumers of epochs that produce no value are
+//     released as soon as control flow decides — the paper's "send a
+//     NULL value in the address field" rule. A channel that was never
+//     signaled at all falls back to an implicit NULL when the producer
+//     finishes (a simulator rule; DESIGN.md §5).
+package memsync
+
+import (
+	"fmt"
+	"sort"
+
+	"tlssync/internal/depgraph"
+	"tlssync/internal/interp"
+	"tlssync/internal/ir"
+	"tlssync/internal/profile"
+)
+
+// Options configure the pass.
+type Options struct {
+	// Threshold is the minimum dependence frequency (fraction of epochs)
+	// for synchronization; the paper determines 5% experimentally (Fig 6).
+	Threshold float64
+
+	// Clone enables call-path cloning. When disabled, synchronization is
+	// inserted into the original procedures and therefore executes on
+	// every call path — the over-synchronization the paper's cloning
+	// avoids (ablation knob).
+	Clone bool
+
+	// D1Threshold thresholds group formation on distance-1 frequency
+	// instead of the paper's distance-blind frequency (ablation knob,
+	// DESIGN.md §5).
+	D1Threshold bool
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options { return Options{Threshold: 0.05, Clone: true} }
+
+// GroupInfo describes one synchronized group after transformation.
+type GroupInfo struct {
+	SyncID int
+	Freq   float64
+	Loads  []profile.Ref
+	Stores []profile.Ref
+}
+
+// Result reports what the pass did to one region.
+type Result struct {
+	RegionID    int
+	Groups      []GroupInfo
+	ClonesMade  int
+	LoadsSync   int // load sites rewritten to the consumer protocol
+	StoresSync  int // store sites given producer signals
+	SyncIDs     []int
+	SkippedRefs int // references that could not be located (should be 0)
+}
+
+// Apply transforms prog in place, synchronizing the frequent
+// memory-resident dependences of each region according to its profile.
+// profiles maps region ID to its dependence profile.
+func Apply(prog *ir.Program, regions []*interp.Region, profiles map[int]*profile.RegionProfile, opts Options) ([]Result, error) {
+	var results []Result
+	for _, r := range regions {
+		rp := profiles[r.ID]
+		if rp == nil {
+			results = append(results, Result{RegionID: r.ID})
+			continue
+		}
+		res, err := applyRegion(prog, r, rp, opts)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	if err := prog.Verify(); err != nil {
+		return nil, fmt.Errorf("memsync: invalid IR after transformation: %w", err)
+	}
+	return results, nil
+}
+
+type transformer struct {
+	prog   *ir.Program
+	region *interp.Region
+	opts   Options
+	// clones maps a call-path prefix (within this region) to the name of
+	// the specialized function that path now targets.
+	clones     map[string]string
+	clonesMade int
+}
+
+func applyRegion(prog *ir.Program, region *interp.Region, rp *profile.RegionProfile, opts Options) (Result, error) {
+	res := Result{RegionID: region.ID}
+	g := depgraph.BuildD(rp, opts.Threshold, opts.D1Threshold)
+	if len(g.Groups) == 0 {
+		return res, nil
+	}
+	tx := &transformer{prog: prog, region: region, opts: opts, clones: make(map[string]string)}
+
+	for _, grp := range g.Groups {
+		syncID := prog.NumMemSyncs
+		prog.NumMemSyncs++
+		info := GroupInfo{SyncID: syncID, Freq: grp.Freq, Loads: grp.Loads, Stores: grp.Stores}
+		res.SyncIDs = append(res.SyncIDs, syncID)
+
+		// When cloning is disabled, multiple refs may collapse onto the
+		// same static instruction; transform each instruction once.
+		doneLoads := make(map[*ir.Instr]bool)
+		doneStores := make(map[*ir.Instr]bool)
+
+		for _, ref := range grp.Loads {
+			f, ins, err := tx.locate(ref)
+			if err != nil {
+				res.SkippedRefs++
+				continue
+			}
+			for _, in := range ins {
+				if !opts.Clone && doneLoads[in] {
+					continue
+				}
+				doneLoads[in] = true
+				if err := tx.rewriteLoad(f, in, syncID); err != nil {
+					return res, err
+				}
+				res.LoadsSync++
+			}
+		}
+		for _, ref := range grp.Stores {
+			f, ins, err := tx.locate(ref)
+			if err != nil {
+				res.SkippedRefs++
+				continue
+			}
+			for _, in := range ins {
+				if !opts.Clone && doneStores[in] {
+					continue
+				}
+				doneStores[in] = true
+				if err := tx.insertSignal(f, in, syncID); err != nil {
+					return res, err
+				}
+				res.StoresSync++
+			}
+		}
+		// Storeless paths signal NULL as early as control flow allows.
+		tx.insertNullSignals(region, syncID)
+		res.Groups = append(res.Groups, info)
+	}
+	res.ClonesMade = tx.clonesMade
+	return res, nil
+}
+
+// locate resolves a profiled reference to the function and the
+// instructions that should be transformed, cloning procedures along the
+// call path when enabled. Loop unrolling can duplicate both call sites
+// and memory references within the region function (clones share the
+// original's Origin), so every matching copy is retargeted/returned.
+func (tx *transformer) locate(ref profile.Ref) (*ir.Func, []*ir.Instr, error) {
+	f := tx.region.Func
+	if tx.opts.Clone {
+		prefix := fmt.Sprintf("r%d", tx.region.ID)
+		for _, siteID := range ref.PathIDs() {
+			sites := findInstrs(f, siteID)
+			if len(sites) == 0 || sites[0].Op != ir.Call {
+				return nil, nil, fmt.Errorf("memsync: call site %d not found in %s", siteID, f.Name)
+			}
+			prefix += fmt.Sprintf("-%d", siteID)
+			cloneName, ok := tx.clones[prefix]
+			if !ok {
+				orig := tx.prog.FuncMap[sites[0].Sym]
+				// Clone from the original (or an existing clone the site
+				// already targets — sharing via the prefix map means the
+				// site targets the right function already if seen).
+				cloneName = fmt.Sprintf("%s$m%d", orig.Name, tx.clonesMade)
+				tx.prog.CloneFunc(orig, cloneName)
+				tx.clones[prefix] = cloneName
+				tx.clonesMade++
+			}
+			for _, site := range sites {
+				site.Sym = cloneName
+			}
+			f = tx.prog.FuncMap[cloneName]
+		}
+	} else {
+		// Without cloning, walk the original callee chain.
+		for _, siteID := range ref.PathIDs() {
+			sites := findInstrs(f, siteID)
+			if len(sites) == 0 || sites[0].Op != ir.Call {
+				return nil, nil, fmt.Errorf("memsync: call site %d not found in %s", siteID, f.Name)
+			}
+			f = tx.prog.FuncMap[sites[0].Sym]
+		}
+	}
+	ins := findInstrs(f, ref.Instr)
+	if len(ins) == 0 {
+		return nil, nil, fmt.Errorf("memsync: instruction %d not found in %s", ref.Instr, f.Name)
+	}
+	return f, ins, nil
+}
+
+// findInstrs locates every instruction with the given Origin ID in f
+// (unrolling produces multiple copies sharing an Origin).
+func findInstrs(f *ir.Func, origin int) []*ir.Instr {
+	var out []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Origin == origin {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+// rewriteLoad replaces a Load with the five-instruction consumer protocol.
+func (tx *transformer) rewriteLoad(f *ir.Func, load *ir.Instr, syncID int) error {
+	if load.Op != ir.Load {
+		if load.Op == ir.LoadSync {
+			return fmt.Errorf("memsync: load %d already synchronized", load.Origin)
+		}
+		return fmt.Errorf("memsync: instruction %d is %v, not a load", load.Origin, load.Op)
+	}
+	b, idx := findPos(f, load)
+	if b == nil {
+		return fmt.Errorf("memsync: load %d not found in %s", load.Origin, f.Name)
+	}
+	fa, fv, mv := f.NewReg(), f.NewReg(), f.NewReg()
+	s := int64(syncID)
+
+	waitA := tx.prog.NewInstr(ir.WaitMemAddr)
+	waitA.Dst, waitA.Imm, waitA.Pos = fa, s, load.Pos
+
+	check := tx.prog.NewInstr(ir.CheckFwd)
+	check.A, check.B, check.Imm, check.Pos = fa, load.A, s, load.Pos
+
+	waitV := tx.prog.NewInstr(ir.WaitMemVal)
+	waitV.Dst, waitV.Imm, waitV.Pos = fv, s, load.Pos
+
+	ldSync := tx.prog.NewInstr(ir.LoadSync)
+	ldSync.Dst, ldSync.A, ldSync.Imm, ldSync.Pos = mv, load.A, s, load.Pos
+	// Keep lineage: the synchronized load stands for the original load in
+	// later profiling and in the Figure 11 classification.
+	ldSync.Origin = load.Origin
+
+	sel := tx.prog.NewInstr(ir.SelectFwd)
+	sel.Dst, sel.A, sel.B, sel.Imm, sel.Pos = load.Dst, fv, mv, s, load.Pos
+
+	seq := []*ir.Instr{waitA, check, waitV, ldSync, sel}
+	b.Instrs = append(b.Instrs[:idx], append(seq, b.Instrs[idx+1:]...)...)
+	return nil
+}
+
+// insertSignal places `signal.m s, addr, val` immediately after the store.
+func (tx *transformer) insertSignal(f *ir.Func, store *ir.Instr, syncID int) error {
+	if store.Op != ir.Store {
+		return fmt.Errorf("memsync: instruction %d is %v, not a store", store.Origin, store.Op)
+	}
+	b, idx := findPos(f, store)
+	if b == nil {
+		return fmt.Errorf("memsync: store %d not found in %s", store.Origin, f.Name)
+	}
+	sig := tx.prog.NewInstr(ir.SignalMem)
+	sig.A, sig.B, sig.Imm, sig.Pos = store.A, store.B, int64(syncID), store.Pos
+	b.Instrs = append(b.Instrs[:idx+1], append([]*ir.Instr{sig}, b.Instrs[idx+1:]...)...)
+	return nil
+}
+
+func findPos(f *ir.Func, target *ir.Instr) (*ir.Block, int) {
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in == target {
+				return b, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// SyncedLoadOrigins returns the Origin IDs of all loads synchronized in
+// the program (used by the Figure 11 classification and the hybrid
+// policies).
+func SyncedLoadOrigins(prog *ir.Program) map[int]bool {
+	out := make(map[int]bool)
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.LoadSync {
+					out[in.Origin] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Summary renders a compact description of the transformation for one
+// region (used by cmd/tlsprof and the freelist example).
+func Summary(res Result) string {
+	s := fmt.Sprintf("region %d: %d group(s), %d load(s) synchronized, %d signal(s), %d clone(s)\n",
+		res.RegionID, len(res.Groups), res.LoadsSync, res.StoresSync, res.ClonesMade)
+	groups := append([]GroupInfo(nil), res.Groups...)
+	sort.Slice(groups, func(i, j int) bool { return groups[i].SyncID < groups[j].SyncID })
+	for _, g := range groups {
+		s += fmt.Sprintf("  sync%d (freq %.1f%%): loads=%v stores=%v\n",
+			g.SyncID, g.Freq*100, g.Loads, g.Stores)
+	}
+	return s
+}

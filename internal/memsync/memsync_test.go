@@ -1,0 +1,497 @@
+package memsync
+
+import (
+	"strings"
+	"testing"
+
+	"tlssync/internal/interp"
+	"tlssync/internal/ir"
+	"tlssync/internal/lang"
+	"tlssync/internal/lower"
+	"tlssync/internal/profile"
+	"tlssync/internal/regions"
+)
+
+func compile(t testing.TB, src string) *ir.Program {
+	t.Helper()
+	c, err := lang.Check(lang.MustParse(src))
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := lower.Lower(c)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+// pipeline profiles src, applies memsync, verifies the result and checks
+// functional equivalence with the untransformed program. Returns the
+// transformed program and results.
+func pipeline(t *testing.T, src string, opts Options) (*ir.Program, []Result) {
+	t.Helper()
+	base := compile(t, src)
+	baseTr, err := interp.Run(base, interp.Options{Seed: 11})
+	if err != nil {
+		t.Fatalf("base run: %v", err)
+	}
+
+	p := compile(t, src)
+	regs := regions.Regions(p, nil)
+	tr, err := interp.Run(p, interp.Options{Seed: 11, Regions: regs})
+	if err != nil {
+		t.Fatalf("profiling run: %v", err)
+	}
+	prof := profile.Analyze(tr)
+
+	results, err := Apply(p, regs, prof.Regions, opts)
+	if err != nil {
+		t.Fatalf("memsync: %v", err)
+	}
+
+	// Functional equivalence after transformation, executed with regions
+	// active so the full synchronization protocol is exercised.
+	regs2 := regions.Regions(p, nil)
+	tr2, err := interp.Run(p, interp.Options{Seed: 11, Regions: regs2})
+	if err != nil {
+		t.Fatalf("transformed run: %v", err)
+	}
+	if len(tr2.Output) != len(baseTr.Output) {
+		t.Fatalf("output length %d, want %d", len(tr2.Output), len(baseTr.Output))
+	}
+	for i := range tr2.Output {
+		if tr2.Output[i] != baseTr.Output[i] {
+			t.Fatalf("output[%d] = %d, want %d", i, tr2.Output[i], baseTr.Output[i])
+		}
+	}
+	// And without regions (plain sequential semantics).
+	tr3, err := interp.Run(p, interp.Options{Seed: 11})
+	if err != nil {
+		t.Fatalf("transformed sequential run: %v", err)
+	}
+	for i := range tr3.Output {
+		if tr3.Output[i] != baseTr.Output[i] {
+			t.Fatalf("sequential output[%d] = %d, want %d", i, tr3.Output[i], baseTr.Output[i])
+		}
+	}
+	return p, results
+}
+
+func countOps(p *ir.Program, op ir.Op) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == op {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+const counterSrc = `
+var g int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 300; i = i + 1 {
+		g = g + 1;
+	}
+	print(g);
+}
+`
+
+func TestSimpleCounterSynchronized(t *testing.T) {
+	p, res := pipeline(t, counterSrc, DefaultOptions())
+	if len(res) != 1 || len(res[0].Groups) != 1 {
+		t.Fatalf("results: %+v", res)
+	}
+	if res[0].LoadsSync != 1 || res[0].StoresSync != 1 {
+		t.Errorf("loads=%d stores=%d, want 1/1", res[0].LoadsSync, res[0].StoresSync)
+	}
+	if res[0].SkippedRefs != 0 {
+		t.Errorf("skipped refs = %d", res[0].SkippedRefs)
+	}
+	for _, op := range []ir.Op{ir.WaitMemAddr, ir.CheckFwd, ir.WaitMemVal, ir.LoadSync, ir.SelectFwd, ir.SignalMem} {
+		if countOps(p, op) != 1 {
+			t.Errorf("%v count = %d, want 1", op, countOps(p, op))
+		}
+	}
+	if p.NumMemSyncs != 1 {
+		t.Errorf("NumMemSyncs = %d", p.NumMemSyncs)
+	}
+	// No cloning needed: refs are directly in the loop body.
+	if res[0].ClonesMade != 0 {
+		t.Errorf("clones = %d, want 0", res[0].ClonesMade)
+	}
+}
+
+// The paper's Figure 4: a free list manipulated through procedures called
+// from the parallelized loop. free_list is read and written every
+// iteration through aliasing pointers.
+const freelistSrc = `
+type Elem struct {
+	next *Elem;
+	val  int;
+}
+var free_list *Elem;
+var sum int;
+
+func free_element(e *Elem) {
+	e->next = free_list;
+	free_list = e;
+}
+
+func use_element() *Elem {
+	var e *Elem = free_list;
+	if e != nil {
+		free_list = e->next;
+	}
+	return e;
+}
+
+func work() {
+	var e *Elem = use_element();
+	if e != nil {
+		sum = sum + e->val;
+		free_element(e);
+	}
+}
+
+func main() {
+	var i int;
+	free_element(new(Elem));
+	parallel for i = 0; i < 400; i = i + 1 {
+		var e *Elem = new(Elem);
+		e->val = i;
+		free_element(e);
+		work();
+	}
+	print(sum);
+}
+`
+
+func TestFreelistExample(t *testing.T) {
+	p, res := pipeline(t, freelistSrc, DefaultOptions())
+	r := res[0]
+	if len(r.Groups) == 0 {
+		t.Fatal("no groups synchronized")
+	}
+	if r.ClonesMade == 0 {
+		t.Error("expected procedure cloning for call-path-specific sync")
+	}
+	if r.SkippedRefs != 0 {
+		t.Errorf("skipped refs = %d", r.SkippedRefs)
+	}
+	// Cloned functions exist and originals survive.
+	var cloneNames []string
+	for _, f := range p.Funcs {
+		if strings.Contains(f.Name, "$m") {
+			cloneNames = append(cloneNames, f.Name)
+		}
+	}
+	if len(cloneNames) != r.ClonesMade {
+		t.Errorf("clone funcs = %d, result says %d", len(cloneNames), r.ClonesMade)
+	}
+	if p.FuncMap["free_element"] == nil || p.FuncMap["use_element"] == nil {
+		t.Error("originals must survive cloning")
+	}
+	// Originals must contain no sync code (specialization).
+	for _, name := range []string{"free_element", "use_element", "work"} {
+		f := p.FuncMap[name]
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.LoadSync, ir.SignalMem, ir.WaitMemAddr:
+					t.Errorf("sync op %v leaked into original %s", in.Op, name)
+				}
+			}
+		}
+	}
+}
+
+func TestCloningDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Clone = false
+	p, res := pipeline(t, freelistSrc, opts)
+	if res[0].ClonesMade != 0 {
+		t.Errorf("clones = %d, want 0", res[0].ClonesMade)
+	}
+	for _, f := range p.Funcs {
+		if strings.Contains(f.Name, "$m") {
+			t.Errorf("unexpected clone %s", f.Name)
+		}
+	}
+	// Sync code now lives in the original procedures.
+	if countOps(p, ir.LoadSync) == 0 {
+		t.Error("no synchronized loads without cloning")
+	}
+}
+
+func TestThresholdExcludesRareDeps(t *testing.T) {
+	// cold is accessed in short bursts (two consecutive epochs out of
+	// every 64), so its within-window dependence occurs in ~1.6% of
+	// epochs: below the 5% threshold, above 0.5%.
+	src := `
+var hot int;
+var cold int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 600; i = i + 1 {
+		hot = hot + 1;
+		if i % 64 < 2 {
+			cold = cold + 1;
+		}
+	}
+	print(hot + cold);
+}
+`
+	p, res := pipeline(t, src, DefaultOptions())
+	if len(res[0].Groups) != 1 {
+		t.Fatalf("groups = %d, want 1 (hot only)", len(res[0].Groups))
+	}
+	if countOps(p, ir.LoadSync) != 1 {
+		t.Errorf("synchronized loads = %d, want 1", countOps(p, ir.LoadSync))
+	}
+
+	// Lowering the threshold brings cold in.
+	opts := DefaultOptions()
+	opts.Threshold = 0.005
+	_, res2 := pipeline(t, src, opts)
+	if len(res2[0].Groups) != 2 {
+		t.Errorf("low-threshold groups = %d, want 2", len(res2[0].Groups))
+	}
+}
+
+func TestStaleForwardingCorrectness(t *testing.T) {
+	// The producer usually stores g once (signaled); on rare epochs a
+	// second, unsignaled store overwrites it after the signal — the
+	// signal-address-buffer (stale) path. The consumer must then take the
+	// memory value, not the forwarded one. Functional equivalence in
+	// pipeline() verifies this.
+	src := `
+var g int;
+var acc int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 300; i = i + 1 {
+		acc = acc + g;
+		g = i * 7;
+		if i % 10 == 0 {
+			g = i * 1000;
+		}
+	}
+	print(acc);
+}
+`
+	p, _ := pipeline(t, src, DefaultOptions())
+	_ = p
+}
+
+func TestLocalOverwriteClearsUFF(t *testing.T) {
+	// The consumer sometimes overwrites g before its synchronized load;
+	// the load must then use the local (memory) value.
+	src := `
+var g int;
+var acc int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 300; i = i + 1 {
+		if i % 7 == 0 {
+			g = 1000000 + i;
+		}
+		acc = acc + g;
+		g = i;
+	}
+	print(acc);
+}
+`
+	pipeline(t, src, DefaultOptions())
+}
+
+func TestPointerAliasedDependence(t *testing.T) {
+	// The dependence flows through *p/*q where the pointers only
+	// sometimes alias — the paper's Figure 1/3 scenario.
+	src := `
+var cells [16]int;
+var acc int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 400; i = i + 1 {
+		var q *int = &cells[0];
+		var p *int = &cells[0];
+		if i % 8 == 0 {
+			p = &cells[3];
+		}
+		*q = i;
+		acc = acc + *p;
+	}
+	print(acc);
+}
+`
+	p, res := pipeline(t, src, DefaultOptions())
+	if len(res[0].Groups) == 0 {
+		t.Fatal("aliased dependence not synchronized")
+	}
+	// The consumer protocol must appear.
+	if countOps(p, ir.CheckFwd) == 0 {
+		t.Error("no checkfwd emitted")
+	}
+}
+
+func TestSharedCloneAcrossRefs(t *testing.T) {
+	// Two synchronized references inside the same callee must share one
+	// clone (path-prefix sharing).
+	src := `
+var a int;
+var b int;
+func touch() {
+	a = a + 1;
+	b = b + 1;
+}
+func main() {
+	var i int;
+	parallel for i = 0; i < 300; i = i + 1 {
+		touch();
+	}
+	print(a + b);
+}
+`
+	p, res := pipeline(t, src, DefaultOptions())
+	if res[0].ClonesMade != 1 {
+		t.Errorf("clones = %d, want 1 (shared)", res[0].ClonesMade)
+	}
+	if len(res[0].Groups) != 2 {
+		t.Errorf("groups = %d, want 2 (a and b separate)", len(res[0].Groups))
+	}
+	_ = p
+}
+
+func TestSyncedLoadOrigins(t *testing.T) {
+	p, _ := pipeline(t, counterSrc, DefaultOptions())
+	origins := SyncedLoadOrigins(p)
+	if len(origins) != 1 {
+		t.Fatalf("origins = %v, want 1 entry", origins)
+	}
+	// The origin must be a load in the pre-transform numbering: its ID
+	// exists and the LoadSync inherits it.
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.LoadSync && !origins[in.Origin] {
+					t.Error("LoadSync origin missing from set")
+				}
+			}
+		}
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	_, res := pipeline(t, counterSrc, DefaultOptions())
+	s := Summary(res[0])
+	if !strings.Contains(s, "1 group(s)") || !strings.Contains(s, "sync0") {
+		t.Errorf("summary: %s", s)
+	}
+}
+
+func TestNoProfileNoChange(t *testing.T) {
+	p := compile(t, counterSrc)
+	regs := regions.Regions(p, nil)
+	res, err := Apply(p, regs, map[int]*profile.RegionProfile{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Groups) != 0 {
+		t.Errorf("unexpected transformation without profile: %+v", res)
+	}
+	if countOps(p, ir.LoadSync) != 0 {
+		t.Error("loads synchronized without profile")
+	}
+}
+
+func TestNullSignalsOnStorelessPaths(t *testing.T) {
+	// The producer stores the group only on ~30% of epochs; the other
+	// paths must carry an early NULL signal so the consumer never waits
+	// for the whole producer epoch.
+	src := `
+var g int;
+var acc int;
+var work [256]int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 400; i = i + 1 {
+		acc = acc + g;
+		if i % 3 == 0 {
+			g = g + i;
+		}
+		work[i % 256] = acc;
+	}
+	print(acc);
+}
+`
+	p, res := pipeline(t, src, DefaultOptions())
+	if len(res[0].Groups) == 0 {
+		t.Fatal("no groups")
+	}
+	nulls := countOps(p, ir.SignalMemNull)
+	if nulls == 0 {
+		t.Fatal("no NULL signals placed for guarded store")
+	}
+	// NULL signals must live in the region function's loop (the storeless
+	// branch), not at arbitrary places.
+	main := p.FuncMap["main"]
+	found := false
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.SignalMemNull {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("NULL signal not in region function")
+	}
+}
+
+func TestNullSignalsInCallees(t *testing.T) {
+	// The store hides behind a conditional inside a callee: the callee's
+	// clone must get a NULL signal on its storeless path.
+	src := `
+var g int;
+var acc int;
+func maybe(i int) {
+	if i % 4 == 0 {
+		g = g + i;
+	}
+}
+func main() {
+	var i int;
+	parallel for i = 0; i < 400; i = i + 1 {
+		acc = acc + g;
+		maybe(i);
+	}
+	print(acc);
+}
+`
+	p, res := pipeline(t, src, DefaultOptions())
+	if res[0].ClonesMade == 0 {
+		t.Fatal("expected cloning")
+	}
+	foundInClone := false
+	for _, f := range p.Funcs {
+		if !strings.Contains(f.Name, "$m") {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.SignalMemNull {
+					foundInClone = true
+				}
+			}
+		}
+	}
+	if !foundInClone {
+		t.Error("no NULL signal inside the cloned callee")
+	}
+}

@@ -1,0 +1,156 @@
+package memsync
+
+import (
+	"tlssync/internal/interp"
+	"tlssync/internal/ir"
+)
+
+// NULL-signal placement (paper §2.2: "the producer epoch should still
+// signal the consumer epoch by sending a NULL value in the address field,
+// so that the consumer does not wait indefinitely").
+//
+// The placement is driven by a backward may-store-later analysis: within
+// the epoch (and interprocedurally, via call-graph summaries of which
+// functions may execute a group store), a NULL signal is inserted at the
+// top of every *frontier* block — a block from which no store of the
+// group can execute before the epoch ends, reachable from a block where
+// one still could. This sends the NULL as soon as control flow has
+// decided that no value will be produced, instead of at epoch end.
+// NULL signals are conditional at runtime (the first signal of an epoch
+// wins), so a path that already produced a real signal is unaffected.
+
+// insertNullSignals places NULL signals for one group (syncID) in the
+// region function's loop body and inside every may-store function.
+func (tx *transformer) insertNullSignals(region *interp.Region, syncID int) {
+	mayStoreFn := tx.mayStoreFuncs(syncID)
+
+	// Region-function level, restricted to the loop body. The epoch ends
+	// at the back edge into the header (or at a region exit), so the
+	// analysis does not follow edges into the header.
+	loop := region.Loop
+	blockMay := func(b *ir.Block) bool {
+		return blockStoresGroup(b, syncID, mayStoreFn, tx.prog)
+	}
+	inLoop := func(b *ir.Block) bool { return loop.Blocks[b] && b != loop.Header }
+	mayFrom := backwardMayStore(region.Func, blockMay, inLoop)
+	tx.placeFrontierNulls(region.Func, syncID, mayFrom, func(b *ir.Block) bool {
+		return loop.Blocks[b] && b != loop.Header
+	})
+
+	// Callee level: every function that may store the group gets the same
+	// treatment over its whole CFG (it is only called from inside epochs).
+	for fn := range mayStoreFn {
+		if fn == region.Func {
+			continue
+		}
+		all := func(b *ir.Block) bool { return true }
+		fnMay := backwardMayStore(fn, func(b *ir.Block) bool {
+			return blockStoresGroup(b, syncID, mayStoreFn, tx.prog)
+		}, all)
+		tx.placeFrontierNulls(fn, syncID, fnMay, all)
+	}
+}
+
+// mayStoreFuncs computes the set of functions that may (transitively)
+// execute a signal for the group: functions containing a SignalMem with
+// this sync id, closed under "calls a may-store function".
+func (tx *transformer) mayStoreFuncs(syncID int) map[*ir.Func]bool {
+	out := make(map[*ir.Func]bool)
+	for _, f := range tx.prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.SignalMem && in.Imm == int64(syncID) {
+					out[f] = true
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range tx.prog.Funcs {
+			if out[f] {
+				continue
+			}
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == ir.Call && out[tx.prog.FuncMap[in.Sym]] {
+						out[f] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// blockStoresGroup reports whether executing block b may produce a signal
+// for the group, directly or through a call.
+func blockStoresGroup(b *ir.Block, syncID int, mayStoreFn map[*ir.Func]bool, prog *ir.Program) bool {
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case ir.SignalMem:
+			if in.Imm == int64(syncID) {
+				return true
+			}
+		case ir.Call:
+			if mayStoreFn[prog.FuncMap[in.Sym]] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// backwardMayStore computes, for each block satisfying scope, whether a
+// group store may still execute from that block onward (following only
+// in-scope successors).
+func backwardMayStore(f *ir.Func, blockMay func(*ir.Block) bool, scope func(*ir.Block) bool) map[*ir.Block]bool {
+	may := make(map[*ir.Block]bool)
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			if !scope(b) || may[b] {
+				continue
+			}
+			v := blockMay(b)
+			if !v {
+				for _, s := range b.Succs {
+					if scope(s) && may[s] {
+						v = true
+						break
+					}
+				}
+			}
+			if v {
+				may[b] = true
+				changed = true
+			}
+		}
+	}
+	return may
+}
+
+// placeFrontierNulls inserts a conditional NULL signal at the top of each
+// in-scope block where may-store-later just became false.
+func (tx *transformer) placeFrontierNulls(f *ir.Func, syncID int, mayFrom map[*ir.Block]bool, scope func(*ir.Block) bool) {
+	for _, b := range f.Blocks {
+		if !scope(b) || mayFrom[b] {
+			continue
+		}
+		frontier := false
+		for _, p := range b.Preds {
+			if scope(p) && mayFrom[p] {
+				frontier = true
+				break
+			}
+		}
+		if !frontier {
+			continue
+		}
+		sig := tx.prog.NewInstr(ir.SignalMemNull)
+		sig.Imm = int64(syncID)
+		b.Instrs = append([]*ir.Instr{sig}, b.Instrs...)
+	}
+}

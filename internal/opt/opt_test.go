@@ -1,0 +1,191 @@
+package opt
+
+import (
+	"testing"
+
+	"tlssync/internal/interp"
+	"tlssync/internal/ir"
+	"tlssync/internal/lang"
+	"tlssync/internal/lower"
+	"tlssync/internal/progen"
+	"tlssync/internal/regions"
+)
+
+func compile(t testing.TB, src string) *ir.Program {
+	t.Helper()
+	c, err := lang.Check(lang.MustParse(src))
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := lower.Lower(c)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+func countInstrs(p *ir.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+// equivalent checks that optimized and unoptimized programs print the
+// same output.
+func equivalent(t *testing.T, src string, input []int64, seed uint64) Stats {
+	t.Helper()
+	base := compile(t, src)
+	baseTr, err := interp.Run(base, interp.Options{Input: input, Seed: seed})
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+
+	p := compile(t, src)
+	before := countInstrs(p)
+	stats := Optimize(p)
+	after := countInstrs(p)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify after optimize: %v", err)
+	}
+	if after > before {
+		t.Errorf("instruction count grew: %d -> %d", before, after)
+	}
+
+	tr, err := interp.Run(p, interp.Options{Input: input, Seed: seed})
+	if err != nil {
+		t.Fatalf("optimized run: %v", err)
+	}
+	if len(tr.Output) != len(baseTr.Output) {
+		t.Fatalf("output length %d, want %d", len(tr.Output), len(baseTr.Output))
+	}
+	for i := range tr.Output {
+		if tr.Output[i] != baseTr.Output[i] {
+			t.Fatalf("output[%d] = %d, want %d", i, tr.Output[i], baseTr.Output[i])
+		}
+	}
+	return stats
+}
+
+func TestConstantFolding(t *testing.T) {
+	stats := equivalent(t, `
+func main() {
+	var x int = 2 + 3 * 4;
+	print(x);
+	print(10 / 2 - 1);
+}`, nil, 1)
+	if stats.Folded == 0 {
+		t.Error("nothing folded")
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	stats := equivalent(t, `
+func main() {
+	var unused int = 5 * 7;
+	var alsounused int = unused + 1;
+	print(3);
+}`, nil, 1)
+	if stats.Removed == 0 {
+		t.Error("dead code survived")
+	}
+}
+
+func TestCopyPropagation(t *testing.T) {
+	// Runtime values (input) cannot be constant-folded, so the copy
+	// chain must be handled by copy propagation.
+	stats := equivalent(t, `
+func main() {
+	var a int = input(0);
+	var b int = a;
+	var c int = b;
+	print(c + b);
+}`, []int64{41}, 1)
+	if stats.CopiesProp == 0 {
+		t.Error("no copies propagated")
+	}
+}
+
+func TestLoopsPreserved(t *testing.T) {
+	src := `
+var g int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 50; i = i + 1 {
+		g = g + i * 2;
+	}
+	print(g);
+}`
+	equivalent(t, src, nil, 1)
+	// Region keys must survive (no CFG changes).
+	p := compile(t, src)
+	keysBefore := regions.Candidates(p)
+	Optimize(p)
+	keysAfter := regions.Candidates(p)
+	if len(keysBefore) != len(keysAfter) || keysBefore[0] != keysAfter[0] {
+		t.Errorf("region keys changed: %v -> %v", keysBefore, keysAfter)
+	}
+}
+
+func TestSideEffectsKept(t *testing.T) {
+	// Stores, calls and prints must never be eliminated even if their
+	// results look unused.
+	src := `
+var g int;
+func touch() int { g = g + 1; return g; }
+func main() {
+	var unused int = touch();
+	print(g);
+}`
+	equivalent(t, src, nil, 1)
+}
+
+func TestNonSSACopySafety(t *testing.T) {
+	// Copy propagation must stop at redefinitions of either side.
+	equivalent(t, `
+func main() {
+	var a int = 1;
+	var b int = a;
+	a = 100;
+	print(b);
+	b = 7;
+	print(a + b);
+}`, nil, 1)
+}
+
+func TestOptimizeRandomPrograms(t *testing.T) {
+	// Property: optimization preserves semantics on random programs.
+	for seed := uint64(1); seed <= 12; seed++ {
+		src := progen.Generate(seed, progen.DefaultConfig())
+		stats := equivalent(t, src, []int64{int64(seed)}, seed)
+		if stats.Removed == 0 && stats.Folded == 0 && stats.CopiesProp == 0 {
+			t.Logf("seed %d: optimizer found nothing (acceptable but unusual)", seed)
+		}
+	}
+}
+
+func TestOptimizeReducesWorkloadSize(t *testing.T) {
+	src := `
+var g int;
+var out [64]int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 40; i = i + 1 {
+		var k int = 8 * 4;
+		var m int = k;
+		g = g + m + i;
+		out[i % 64] = g;
+	}
+	print(g);
+}`
+	p := compile(t, src)
+	before := countInstrs(p)
+	Optimize(p)
+	after := countInstrs(p)
+	if after >= before {
+		t.Errorf("no reduction: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,158 @@
+package profile
+
+// JSON serialization of dependence profiles, so a profiling run can be
+// performed once and its result stored alongside the source (the usual
+// train-input workflow: profile on train, compile against the stored
+// profile, measure on ref).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// depJSON is the serialized form of one dependence.
+type depJSON struct {
+	StoreInstr int    `json:"store_instr"`
+	StorePath  string `json:"store_path,omitempty"`
+	LoadInstr  int    `json:"load_instr"`
+	LoadPath   string `json:"load_path,omitempty"`
+
+	EpochCount int         `json:"epoch_count"`
+	D1Epochs   int         `json:"d1_epochs"`
+	WinEpochs  int         `json:"win_epochs"`
+	Dynamic    int         `json:"dynamic"`
+	DistHist   map[int]int `json:"dist_hist"`
+}
+
+// regionJSON is the serialized form of one region profile.
+type regionJSON struct {
+	RegionID  int       `json:"region_id"`
+	Epochs    int       `json:"epochs"`
+	Instances int       `json:"instances"`
+	Events    int64     `json:"events"`
+	Deps      []depJSON `json:"deps"`
+}
+
+// profileJSON is the on-disk form.
+type profileJSON struct {
+	Version     int          `json:"version"`
+	TotalEvents int64        `json:"total_events"`
+	SeqEvents   int64        `json:"seq_events"`
+	Regions     []regionJSON `json:"regions"`
+}
+
+// serializationVersion guards format evolution.
+const serializationVersion = 1
+
+// Save writes the profile as JSON.
+func (p *Profile) Save(w io.Writer) error {
+	out := profileJSON{
+		Version:     serializationVersion,
+		TotalEvents: p.TotalEvents,
+		SeqEvents:   p.SeqEvents,
+	}
+	var ids []int
+	for id := range p.Regions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		rp := p.Regions[id]
+		rj := regionJSON{
+			RegionID:  rp.RegionID,
+			Epochs:    rp.Epochs,
+			Instances: rp.Instances,
+			Events:    rp.Events,
+		}
+		keys := make([]DepKey, 0, len(rp.Deps))
+		for k := range rp.Deps {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Load != keys[j].Load {
+				return refLess(keys[i].Load, keys[j].Load)
+			}
+			return refLess(keys[i].Store, keys[j].Store)
+		})
+		for _, k := range keys {
+			st := rp.Deps[k]
+			rj.Deps = append(rj.Deps, depJSON{
+				StoreInstr: k.Store.Instr,
+				StorePath:  k.Store.Path,
+				LoadInstr:  k.Load.Instr,
+				LoadPath:   k.Load.Path,
+				EpochCount: st.EpochCount,
+				D1Epochs:   st.D1Epochs,
+				WinEpochs:  st.WinEpochs,
+				Dynamic:    st.Dynamic,
+				DistHist:   st.DistHist,
+			})
+		}
+		out.Regions = append(out.Regions, rj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Load reads a profile previously written by Save. The load-side
+// aggregates (LoadDepEpochs and friends) are reconstructed approximately:
+// a load's per-epoch dependence count is bounded below by its largest
+// single dependence and above by the epoch count; Load uses the sum
+// clamped to the region's epoch count, which preserves every threshold
+// decision the compiler makes (grouping uses per-dependence counts, which
+// round-trip exactly).
+func Load(r io.Reader) (*Profile, error) {
+	var in profileJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	if in.Version != serializationVersion {
+		return nil, fmt.Errorf("profile: unsupported version %d", in.Version)
+	}
+	p := &Profile{
+		Regions:     make(map[int]*RegionProfile),
+		TotalEvents: in.TotalEvents,
+		SeqEvents:   in.SeqEvents,
+	}
+	for _, rj := range in.Regions {
+		rp := &RegionProfile{
+			RegionID:             rj.RegionID,
+			Epochs:               rj.Epochs,
+			Instances:            rj.Instances,
+			Events:               rj.Events,
+			Deps:                 make(map[DepKey]*DepStat),
+			LoadDepEpochs:        make(map[Ref]int),
+			LoadDepEpochsByInstr: make(map[int]int),
+		}
+		for _, d := range rj.Deps {
+			k := DepKey{
+				Store: Ref{Instr: d.StoreInstr, Path: d.StorePath},
+				Load:  Ref{Instr: d.LoadInstr, Path: d.LoadPath},
+			}
+			rp.Deps[k] = &DepStat{
+				EpochCount: d.EpochCount,
+				D1Epochs:   d.D1Epochs,
+				WinEpochs:  d.WinEpochs,
+				Dynamic:    d.Dynamic,
+				DistHist:   d.DistHist,
+			}
+			rp.LoadDepEpochs[k.Load] += d.EpochCount
+			rp.LoadDepEpochsByInstr[k.Load.Instr] += d.EpochCount
+		}
+		for ref, n := range rp.LoadDepEpochs {
+			if n > rp.Epochs {
+				rp.LoadDepEpochs[ref] = rp.Epochs
+			}
+		}
+		for id, n := range rp.LoadDepEpochsByInstr {
+			if n > rp.Epochs {
+				rp.LoadDepEpochsByInstr[id] = rp.Epochs
+			}
+		}
+		p.Regions[rp.RegionID] = rp
+	}
+	return p, nil
+}

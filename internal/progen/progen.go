@@ -1,0 +1,280 @@
+// Package progen generates random — but always valid — MiniC programs
+// for property-based testing of the whole compiler pipeline: every
+// generated program must parse, check, lower, profile, transform and
+// simulate, and every transformed variant must print exactly the same
+// output as the original (the pipeline's semantic-preservation
+// invariant).
+//
+// The generator is deliberately biased toward the features the TLS
+// passes care about: global scalars and arrays touched from inside
+// `parallel for` loops (producing inter-epoch dependences at assorted
+// frequencies and distances), helper procedures (producing call paths
+// that require cloning), pointers into the heap, and guarded accesses
+// (producing storeless paths that need NULL signals).
+package progen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rand is a small deterministic PRNG (split from math/rand to keep
+// generation stable across Go versions).
+type Rand struct{ s uint64 }
+
+// NewRand seeds a generator.
+func NewRand(seed uint64) *Rand { return &Rand{s: seed*6364136223846793005 + 1442695040888963407} }
+
+// Next returns a pseudo-random uint64.
+func (r *Rand) Next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 2685821657736338717
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Config bounds the generated program.
+type Config struct {
+	Globals    int // number of global scalar variables
+	Arrays     int // number of global arrays
+	Helpers    int // number of helper functions
+	Iterations int // parallel loop trip count
+	BodyStmts  int // statements in the loop body
+	MaxDepth   int // expression nesting depth
+}
+
+// DefaultConfig returns moderate bounds.
+func DefaultConfig() Config {
+	return Config{
+		Globals:    4,
+		Arrays:     2,
+		Helpers:    3,
+		Iterations: 120,
+		BodyStmts:  6,
+		MaxDepth:   3,
+	}
+}
+
+type gen struct {
+	r   *Rand
+	cfg Config
+	sb  strings.Builder
+
+	globals []string
+	arrays  []string
+	helpers []string // helper function names; each takes (x int) and returns int
+	locals  []string // locals in scope while emitting statements
+	acc     string   // the accumulator variable of the current scope
+	inLoop  bool     // emitting inside the parallel loop (helpers callable)
+	indent  int
+	counter int // unique suffix for generated loop variables
+}
+
+// Generate produces a random MiniC program.
+func Generate(seed uint64, cfg Config) string {
+	g := &gen{r: NewRand(seed), cfg: cfg}
+	return g.program()
+}
+
+func (g *gen) w(format string, args ...any) {
+	g.sb.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+func (g *gen) program() string {
+	// Globals.
+	for i := 0; i < g.cfg.Globals; i++ {
+		name := fmt.Sprintf("g%d", i)
+		g.globals = append(g.globals, name)
+		g.w("var %s int;", name)
+	}
+	for i := 0; i < g.cfg.Arrays; i++ {
+		name := fmt.Sprintf("arr%d", i)
+		g.arrays = append(g.arrays, name)
+		g.w("var %s [%d]int;", name, 64+g.r.Intn(4)*64)
+	}
+	g.w("var sink [1024]int;")
+
+	// A linked free list manipulated through helpers: pointer aliasing,
+	// heap allocation sites, and multi-level call paths for the cloning
+	// transformation (the paper's Figure 4 shape, randomized).
+	g.w("type Node struct { next *Node; val int; }")
+	g.w("var list_head *Node;")
+	g.w("func list_push(v int) {")
+	g.indent++
+	g.w("var n *Node = new(Node);")
+	g.w("n->val = v;")
+	g.w("n->next = list_head;")
+	g.w("list_head = n;")
+	g.indent--
+	g.w("}")
+	g.w("func list_pop() int {")
+	g.indent++
+	g.w("var n *Node = list_head;")
+	g.w("if n == nil { return 0; }")
+	g.w("list_head = n->next;")
+	g.w("return n->val;")
+	g.indent--
+	g.w("}")
+
+	// Helpers: each reads/writes some globals and does a little local
+	// work, giving the profiler call paths to name and the memsync pass
+	// procedures to clone.
+	for i := 0; i < g.cfg.Helpers; i++ {
+		name := fmt.Sprintf("h%d", i)
+		g.helpers = append(g.helpers, name)
+		g.w("func %s(x int) int {", name)
+		g.indent++
+		g.locals = []string{"x"}
+		g.acc = "t"
+		g.inLoop = false
+		g.w("var t int = x * %d + %d;", 1+g.r.Intn(9), g.r.Intn(100))
+		g.locals = append(g.locals, "t")
+		n := 1 + g.r.Intn(3)
+		for s := 0; s < n; s++ {
+			g.stmt(1)
+		}
+		g.w("return t %% %d;", 2+g.r.Intn(1000))
+		g.indent--
+		g.w("}")
+	}
+
+	// main: sequential warmup, the parallel loop, output.
+	g.w("func main() {")
+	g.indent++
+	g.w("var i int;")
+	g.w("for i = 0; i < %d; i = i + 1 {", 200+g.r.Intn(400))
+	g.indent++
+	arr := g.arrays[g.r.Intn(len(g.arrays))]
+	g.w("%s[i %% 64] = %s[i %% 64] + i * %d;", arr, arr, 1+g.r.Intn(7))
+	g.indent--
+	g.w("}")
+
+	g.w("parallel for i = 0; i < %d; i = i + 1 {", g.cfg.Iterations)
+	g.indent++
+	g.locals = []string{"i"}
+	g.acc = "acc"
+	g.inLoop = true
+	g.w("var acc int = 0;")
+	g.locals = append(g.locals, "acc")
+	for s := 0; s < g.cfg.BodyStmts; s++ {
+		g.stmt(g.cfg.MaxDepth)
+	}
+	g.w("sink[i %% 1024] = acc;")
+	g.indent--
+	g.w("}")
+
+	// Print everything observable.
+	for _, name := range g.globals {
+		g.w("print(%s);", name)
+	}
+	g.w("var s int = 0;")
+	g.w("for i = 0; i < 1024; i = i + 1 { s = s + sink[i]; }")
+	g.w("print(s);")
+	for _, arr := range g.arrays {
+		g.w("print(%s[%d]);", arr, g.r.Intn(64))
+	}
+	g.indent--
+	g.w("}")
+	return g.sb.String()
+}
+
+// stmt emits one random statement at the current indent, using only
+// in-scope names (g.locals / g.acc) plus globals.
+func (g *gen) stmt(depth int) {
+	acc := g.acc
+	switch g.r.Intn(10) {
+	case 0, 1: // global read-modify-write (the hot-dependence generator)
+		v := g.globals[g.r.Intn(len(g.globals))]
+		g.w("%s = %s + %s;", v, v, g.expr(depth))
+	case 2: // guarded global update (storeless paths / rare deps)
+		v := g.globals[g.r.Intn(len(g.globals))]
+		g.w("if %s %% %d == %d {", g.scopeVar(), 2+g.r.Intn(12), g.r.Intn(2))
+		g.indent++
+		g.w("%s = %s ^ %s;", v, v, g.expr(depth))
+		g.indent--
+		g.w("}")
+	case 3: // array store
+		a := g.arrays[g.r.Intn(len(g.arrays))]
+		g.w("%s[((%s) %% 64 + 64) %% 64] = %s;", a, g.expr(depth), g.expr(depth))
+	case 4, 5: // accumulate via array read
+		a := g.arrays[g.r.Intn(len(g.arrays))]
+		g.w("%s = %s + %s[((%s) %% 64 + 64) %% 64];", acc, acc, a, g.expr(depth))
+	case 6: // helper or list call (only from the loop body)
+		if g.inLoop {
+			switch g.r.Intn(3) {
+			case 0:
+				g.w("list_push(%s);", g.expr(depth))
+				return
+			case 1:
+				g.w("%s = %s + list_pop();", acc, acc)
+				return
+			default:
+				if len(g.helpers) > 0 {
+					h := g.helpers[g.r.Intn(len(g.helpers))]
+					g.w("%s = %s + %s(%s);", acc, acc, h, g.expr(depth))
+					return
+				}
+			}
+		}
+		g.w("%s = %s + %s;", acc, acc, g.expr(depth))
+	case 7: // local while loop
+		g.counter++
+		v := fmt.Sprintf("w%d", g.counter)
+		g.w("var %s int = 0;", v)
+		g.w("while %s < %d {", v, 2+g.r.Intn(5))
+		g.indent++
+		g.w("%s = %s + %s * %d;", acc, acc, v, 1+g.r.Intn(5))
+		g.w("%s = %s + 1;", v, v)
+		g.indent--
+		g.w("}")
+	case 8: // if/else on an expression
+		g.w("if %s > %d {", g.expr(depth), g.r.Intn(50))
+		g.indent++
+		g.w("%s = %s + %d;", acc, acc, 1+g.r.Intn(20))
+		g.indent--
+		g.w("} else {")
+		g.indent++
+		g.w("%s = %s - %d;", acc, acc, 1+g.r.Intn(20))
+		g.indent--
+		g.w("}")
+	default: // pure local arithmetic
+		g.w("%s = %s %s %s;", acc, acc, []string{"+", "-", "^"}[g.r.Intn(3)], g.expr(depth))
+	}
+}
+
+// scopeVar returns a random in-scope local variable name.
+func (g *gen) scopeVar() string {
+	return g.locals[g.r.Intn(len(g.locals))]
+}
+
+// expr emits a random int expression over in-scope names.
+func (g *gen) expr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(200))
+		case 1, 2:
+			return g.scopeVar()
+		default:
+			return g.globals[g.r.Intn(len(g.globals))]
+		}
+	}
+	op := []string{"+", "-", "*", "%"}[g.r.Intn(4)]
+	lhs, rhs := g.expr(depth-1), g.expr(depth-1)
+	if op == "%" {
+		// Keep modulus nonzero (division by zero is defined as 0 in
+		// MiniC, but a constant modulus keeps values bounded).
+		return fmt.Sprintf("(%s %s %d)", lhs, op, 2+g.r.Intn(97))
+	}
+	return fmt.Sprintf("(%s %s %s)", lhs, op, rhs)
+}

@@ -1,0 +1,228 @@
+package progen
+
+import (
+	"testing"
+
+	"tlssync/internal/core"
+	"tlssync/internal/interp"
+	"tlssync/internal/lang"
+	"tlssync/internal/lower"
+	"tlssync/internal/profile"
+	"tlssync/internal/regions"
+	"tlssync/internal/sim"
+)
+
+func TestGeneratedProgramsCompile(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		seed := seed
+		src := Generate(seed, DefaultConfig())
+		f, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\nsource:\n%s", seed, err, src)
+		}
+		c, err := lang.Check(f)
+		if err != nil {
+			t.Fatalf("seed %d: check: %v\nsource:\n%s", seed, err, src)
+		}
+		if _, err := lower.Lower(c); err != nil {
+			t.Fatalf("seed %d: lower: %v\nsource:\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestPipelineEquivalenceProperty is the central property test: for many
+// random programs, every compiled variant (plain, scalar-synced base,
+// train- and ref-profiled memory-synced) must print exactly the same
+// values, with and without epoch tracking.
+func TestPipelineEquivalenceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	for seed := uint64(1); seed <= 25; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			src := Generate(seed, DefaultConfig())
+			input := []int64{int64(seed), int64(seed * 7), int64(seed * 13)}
+			b, err := core.Compile(core.Config{
+				Source: src, RefInput: input, Seed: seed,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: compile: %v\nsource:\n%s", seed, err, src)
+			}
+			if err := b.CheckEquivalence(input); err != nil {
+				t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, src)
+			}
+			// Also against the plain (untransformed) program.
+			plainTr, err := interp.Run(b.Plain, interp.Options{Input: input, Seed: seed})
+			if err != nil {
+				t.Fatalf("seed %d: plain run: %v", seed, err)
+			}
+			refTr, err := b.Trace(b.Ref, input)
+			if err != nil {
+				t.Fatalf("seed %d: ref run: %v", seed, err)
+			}
+			if len(plainTr.Output) != len(refTr.Output) {
+				t.Fatalf("seed %d: output length %d vs %d", seed, len(plainTr.Output), len(refTr.Output))
+			}
+			for i := range plainTr.Output {
+				if plainTr.Output[i] != refTr.Output[i] {
+					t.Fatalf("seed %d: output[%d] = %d, plain %d\nsource:\n%s",
+						seed, i, refTr.Output[i], plainTr.Output[i], src)
+				}
+			}
+		})
+	}
+}
+
+// TestSimulationInvariantsProperty checks structural simulator invariants
+// on random programs: slot conservation, committed-epoch counts, oracle
+// supremacy, and determinism.
+func TestSimulationInvariantsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	for seed := uint64(30); seed <= 42; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			src := Generate(seed, DefaultConfig())
+			input := []int64{int64(seed)}
+			b, err := core.Compile(core.Config{Source: src, RefInput: input, Seed: seed})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if len(regions.Accepted(b.Decisions)) == 0 {
+				t.Skipf("seed %d: no accepted region", seed)
+			}
+			tr, err := b.Trace(b.Base, input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := sim.Simulate(sim.Input{Trace: tr, Policy: sim.PolicyU()})
+			u2 := sim.Simulate(sim.Input{Trace: tr, Policy: sim.PolicyU()})
+			if u.TotalCycles != u2.TotalCycles || u.Violations != u2.Violations {
+				t.Errorf("seed %d: nondeterministic simulation", seed)
+			}
+			o := sim.Simulate(sim.Input{Trace: tr, Policy: sim.PolicyO()})
+			if o.Violations != 0 {
+				t.Errorf("seed %d: oracle had %d violations", seed, o.Violations)
+			}
+			if o.RegionCycles() > u.RegionCycles() {
+				t.Errorf("seed %d: oracle (%d) slower than U (%d)", seed, o.RegionCycles(), u.RegionCycles())
+			}
+			// Slot conservation.
+			slots := u.RegionSlots()
+			want := u.RegionCycles() * int64(u.Machine.CPUs) * int64(u.Machine.IssueWidth)
+			if slots.Total() != want {
+				t.Errorf("seed %d: slots %d != %d", seed, slots.Total(), want)
+			}
+			// Committed epochs match the trace.
+			var epochs int64
+			for _, rs := range u.Regions {
+				epochs += rs.Epochs
+			}
+			if int(epochs) != tr.EpochCount() {
+				t.Errorf("seed %d: committed %d epochs, trace has %d", seed, epochs, tr.EpochCount())
+			}
+		})
+	}
+}
+
+// TestProfileDistanceInvariant: dependence distances are positive and
+// within the epoch count; frequencies within [0,1]; window counts never
+// exceed total counts.
+func TestProfileDistanceInvariant(t *testing.T) {
+	for seed := uint64(50); seed <= 58; seed++ {
+		src := Generate(seed, DefaultConfig())
+		c, err := lang.Check(lang.MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := lower.Lower(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs := regions.Regions(p, nil)
+		tr, err := interp.Run(p, interp.Options{Regions: regs, Seed: seed, Input: []int64{3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := profile.Analyze(tr)
+		for _, rp := range prof.Regions {
+			for k, st := range rp.Deps {
+				if st.WinEpochs > st.EpochCount || st.D1Epochs > st.WinEpochs {
+					t.Errorf("seed %d: count ordering violated for %v: %d/%d/%d",
+						seed, k, st.D1Epochs, st.WinEpochs, st.EpochCount)
+				}
+				f := rp.Frequency(k)
+				if f < 0 || f > 1 {
+					t.Errorf("seed %d: frequency %f out of range", seed, f)
+				}
+				for d := range st.DistHist {
+					if d < 1 || d >= rp.Epochs {
+						t.Errorf("seed %d: distance %d out of range", seed, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, DefaultConfig())
+	b := Generate(7, DefaultConfig())
+	if a != b {
+		t.Error("generation is not deterministic")
+	}
+	c := Generate(8, DefaultConfig())
+	if a == c {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+// TestOptimizedPipelineEquivalenceProperty re-runs the equivalence
+// property with the classical optimizer enabled, ensuring it composes
+// with profiling, unrolling, scalar sync and memory sync on random
+// programs.
+func TestOptimizedPipelineEquivalenceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	for seed := uint64(80); seed <= 92; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			src := Generate(seed, DefaultConfig())
+			input := []int64{int64(seed * 3)}
+			plain, err := core.Compile(core.Config{Source: src, RefInput: input, Seed: seed})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			optimized, err := core.Compile(core.Config{Source: src, RefInput: input, Seed: seed, Optimize: true})
+			if err != nil {
+				t.Fatalf("seed %d (optimized): %v", seed, err)
+			}
+			if err := optimized.CheckEquivalence(input); err != nil {
+				t.Fatalf("seed %d: optimized variants diverge: %v", seed, err)
+			}
+			// And the optimized build agrees with the unoptimized one.
+			a, err := plain.Trace(plain.Ref, input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := optimized.Trace(optimized.Ref, input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Output) != len(b.Output) {
+				t.Fatalf("seed %d: output lengths differ", seed)
+			}
+			for i := range a.Output {
+				if a.Output[i] != b.Output[i] {
+					t.Fatalf("seed %d: output[%d] = %d vs %d", seed, i, a.Output[i], b.Output[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,265 @@
+// Package regions implements speculative-region selection and loop
+// unrolling (paper §3.1 "Deciding Where to Parallelize").
+//
+// Candidate regions are the source-marked `parallel for` loops. A
+// profiling run measures each candidate's coverage, epochs per instance
+// and instructions per epoch; the paper's heuristics then accept or
+// reject it: coverage ≥ 0.1% of execution, ≥ 1.5 epochs per instance,
+// ≥ 15 instructions per epoch. Small accepted loops are unrolled to
+// amortize speculative-parallelization overheads.
+package regions
+
+import (
+	"fmt"
+	"sort"
+
+	"tlssync/internal/cfg"
+	"tlssync/internal/interp"
+	"tlssync/internal/ir"
+	"tlssync/internal/profile"
+)
+
+// Heuristics are the loop-selection thresholds (paper defaults).
+type Heuristics struct {
+	MinCoverage       float64 // fraction of total dynamic instructions
+	MinEpochsPerInst  float64 // average epochs per region instance
+	MinInstrsPerEpoch float64 // average dynamic instructions per epoch
+	// UnrollTarget is the desired minimum epoch size; loops below it are
+	// unrolled by the smallest factor reaching it (capped at MaxUnroll).
+	UnrollTarget float64
+	MaxUnroll    int
+}
+
+// Defaults returns the paper's selection heuristics.
+func Defaults() Heuristics {
+	return Heuristics{
+		MinCoverage:       0.001,
+		MinEpochsPerInst:  1.5,
+		MinInstrsPerEpoch: 15,
+		UnrollTarget:      30,
+		MaxUnroll:         8,
+	}
+}
+
+// Key identifies a region stably across program deep-copies: the function
+// name plus the header's block index.
+type Key struct {
+	Func  string
+	Block int
+}
+
+// Candidates returns the keys of all `parallel for` loops in the program,
+// in deterministic order.
+func Candidates(p *ir.Program) []Key {
+	var keys []Key
+	for _, f := range p.Funcs {
+		for _, l := range cfg.ParallelLoops(f) {
+			keys = append(keys, Key{Func: f.Name, Block: l.Header.Index})
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Func != keys[j].Func {
+			return keys[i].Func < keys[j].Func
+		}
+		return keys[i].Block < keys[j].Block
+	})
+	return keys
+}
+
+// Regions materializes interp.Region values for the accepted keys, with
+// deterministic IDs (ID = index in Candidates order restricted to the
+// accepted set). If accepted is nil, all candidates are used.
+func Regions(p *ir.Program, accepted map[Key]bool) []*interp.Region {
+	var out []*interp.Region
+	id := 0
+	for _, k := range Candidates(p) {
+		if accepted != nil && !accepted[k] {
+			continue
+		}
+		f := p.FuncMap[k.Func]
+		loops := cfg.NaturalLoops(f)
+		var loop *cfg.Loop
+		for _, l := range loops {
+			if l.Header.Index == k.Block {
+				loop = l
+			}
+		}
+		if loop == nil {
+			continue
+		}
+		out = append(out, &interp.Region{ID: id, Func: f, Loop: loop})
+		id++
+	}
+	return out
+}
+
+// Decision records the outcome of selection for one candidate.
+type Decision struct {
+	Key      Key
+	Accepted bool
+	Reason   string // rejection reason, "" if accepted
+
+	Coverage       float64
+	EpochsPerInst  float64
+	InstrsPerEpoch float64
+	UnrollFactor   int // 1 = no unrolling
+}
+
+// Select applies the heuristics to profiled candidates. The profile must
+// come from a run with ALL candidates as regions (so each has coverage and
+// epoch statistics). Region IDs in prof correspond to Candidates order.
+func Select(p *ir.Program, prof *profile.Profile, h Heuristics) []Decision {
+	cands := Candidates(p)
+	decisions := make([]Decision, 0, len(cands))
+	for i, k := range cands {
+		d := Decision{Key: k, UnrollFactor: 1}
+		rp := prof.Regions[i]
+		if rp == nil || rp.Epochs == 0 {
+			d.Reason = "never executed"
+			decisions = append(decisions, d)
+			continue
+		}
+		d.Coverage = prof.Coverage(i)
+		d.EpochsPerInst = float64(rp.Epochs) / float64(rp.Instances)
+		d.InstrsPerEpoch = float64(rp.Events) / float64(rp.Epochs)
+		switch {
+		case d.Coverage < h.MinCoverage:
+			d.Reason = fmt.Sprintf("coverage %.4f below %.4f", d.Coverage, h.MinCoverage)
+		case d.EpochsPerInst < h.MinEpochsPerInst:
+			d.Reason = fmt.Sprintf("%.1f epochs/instance below %.1f", d.EpochsPerInst, h.MinEpochsPerInst)
+		case d.InstrsPerEpoch < h.MinInstrsPerEpoch:
+			d.Reason = fmt.Sprintf("%.1f instrs/epoch below %.1f", d.InstrsPerEpoch, h.MinInstrsPerEpoch)
+		default:
+			d.Accepted = true
+			if h.UnrollTarget > 0 && d.InstrsPerEpoch < h.UnrollTarget {
+				f := int(h.UnrollTarget/d.InstrsPerEpoch) + 1
+				if f > h.MaxUnroll {
+					f = h.MaxUnroll
+				}
+				if f > 1 {
+					d.UnrollFactor = f
+				}
+			}
+		}
+		decisions = append(decisions, d)
+	}
+	return decisions
+}
+
+// Accepted extracts the accepted keys from decisions.
+func Accepted(decisions []Decision) map[Key]bool {
+	out := make(map[Key]bool)
+	for _, d := range decisions {
+		if d.Accepted {
+			out[d.Key] = true
+		}
+	}
+	return out
+}
+
+// Unroll replicates the loop body k-1 extra times so each arrival at the
+// original header spans k source iterations (one TLS epoch amortizes k
+// iterations). The loop must be in the canonical lowered form: a header
+// whose terminator is CondBr(body, exit). Cloned headers lose the
+// ParallelHeader mark so epoch boundaries stay on the original header.
+//
+// Shape after unrolling by k:
+//
+//	header(orig) -> body_1 ... latch_1 -> header_2 -> body_2 ... -> header_1
+//
+// Each cloned header re-checks the loop condition and can exit early, so
+// trip counts not divisible by k remain correct.
+func Unroll(p *ir.Program, f *ir.Func, loop *cfg.Loop, k int) error {
+	if k <= 1 {
+		return nil
+	}
+	header := loop.Header
+	term := header.Terminator()
+	if term == nil || term.Op != ir.CondBr {
+		return fmt.Errorf("unroll: loop header b%d not in canonical CondBr form", header.Index)
+	}
+	if len(loop.Latches) != 1 {
+		return fmt.Errorf("unroll: loop has %d latches, want 1", len(loop.Latches))
+	}
+
+	// Collect the loop blocks in a deterministic order, and snapshot their
+	// successor lists: the original latch's edge is redirected while
+	// cloning, and later copies must clone the original shape, not the
+	// mutated one.
+	var body []*ir.Block
+	origSuccs := make(map[*ir.Block][]*ir.Block)
+	for _, b := range f.Blocks {
+		if loop.Blocks[b] {
+			body = append(body, b)
+			origSuccs[b] = append([]*ir.Block(nil), b.Succs...)
+		}
+	}
+
+	prevLatch := loop.Latches[0]
+	for copyIdx := 2; copyIdx <= k; copyIdx++ {
+		blockMap := make(map[*ir.Block]*ir.Block, len(body))
+		for _, b := range body {
+			nb := f.NewBlock(fmt.Sprintf("%s.u%d", b.Name, copyIdx))
+			nb.ParallelHeader = false
+			blockMap[b] = nb
+		}
+		for _, b := range body {
+			nb := blockMap[b]
+			for _, in := range b.Instrs {
+				nb.Instrs = append(nb.Instrs, p.CloneInstr(in))
+			}
+			for _, s := range origSuccs[b] {
+				switch {
+				case s == header:
+					// Back edge: aim at the original header; the redirect
+					// step below rewires it into the next copy (or leaves
+					// the final copy's edge closing the loop).
+					nb.Succs = append(nb.Succs, header)
+				default:
+					if ns, inLoop := blockMap[s]; inLoop {
+						nb.Succs = append(nb.Succs, ns)
+					} else {
+						nb.Succs = append(nb.Succs, s) // exits stay shared
+					}
+				}
+			}
+		}
+		// Redirect the previous copy's latch edge (to the original header)
+		// into this copy's header.
+		newHeader := blockMap[header]
+		for i, s := range prevLatch.Succs {
+			if s == header {
+				prevLatch.Succs[i] = newHeader
+			}
+		}
+		prevLatch = blockMap[loop.Latches[0]]
+	}
+	f.Renumber()
+	return f.Verify()
+}
+
+// ApplyUnrolling performs the unrolling called for by the decisions,
+// re-resolving loops after each transformation (indices shift as blocks
+// are added, but header indices of previously processed loops are stable
+// because Unroll only appends blocks).
+func ApplyUnrolling(p *ir.Program, decisions []Decision) error {
+	for _, d := range decisions {
+		if !d.Accepted || d.UnrollFactor <= 1 {
+			continue
+		}
+		f := p.FuncMap[d.Key.Func]
+		var loop *cfg.Loop
+		for _, l := range cfg.NaturalLoops(f) {
+			if l.Header.Index == d.Key.Block {
+				loop = l
+			}
+		}
+		if loop == nil {
+			return fmt.Errorf("unroll: loop %v not found", d.Key)
+		}
+		if err := Unroll(p, f, loop, d.UnrollFactor); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+package regions
+
+import (
+	"testing"
+
+	"tlssync/internal/interp"
+	"tlssync/internal/ir"
+	"tlssync/internal/lang"
+	"tlssync/internal/lower"
+	"tlssync/internal/profile"
+)
+
+func compile(t testing.TB, src string) *ir.Program {
+	t.Helper()
+	c, err := lang.Check(lang.MustParse(src))
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := lower.Lower(c)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+func profileAll(t testing.TB, p *ir.Program, input []int64) *profile.Profile {
+	t.Helper()
+	tr, err := interp.Run(p, interp.Options{Regions: Regions(p, nil), Input: input, Seed: 1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return profile.Analyze(tr)
+}
+
+func TestCandidatesDeterministic(t *testing.T) {
+	p := compile(t, `
+var g int;
+func a() {
+	var i int;
+	parallel for i = 0; i < 5; i = i + 1 { g = g + 1; }
+}
+func main() {
+	var j int;
+	a();
+	parallel for j = 0; j < 5; j = j + 1 { g = g + 1; }
+}`)
+	c1 := Candidates(p)
+	c2 := Candidates(p)
+	if len(c1) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(c1))
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Error("nondeterministic candidate order")
+		}
+	}
+	// Deep copies produce identical keys.
+	c3 := Candidates(p.DeepCopy())
+	for i := range c1 {
+		if c1[i] != c3[i] {
+			t.Error("keys differ across deep copy")
+		}
+	}
+}
+
+func TestSelectAcceptsGoodLoop(t *testing.T) {
+	p := compile(t, `
+var g int;
+var arr [64]int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 500; i = i + 1 {
+		arr[i % 64] = arr[i % 64] + i;
+		g = g + arr[(i + 7) % 64];
+	}
+	print(g);
+}`)
+	prof := profileAll(t, p, nil)
+	ds := Select(p, prof, Defaults())
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %d, want 1", len(ds))
+	}
+	if !ds[0].Accepted {
+		t.Fatalf("rejected: %s (cov=%.4f epochs=%.1f size=%.1f)",
+			ds[0].Reason, ds[0].Coverage, ds[0].EpochsPerInst, ds[0].InstrsPerEpoch)
+	}
+}
+
+func TestSelectRejectsTinyCoverage(t *testing.T) {
+	p := compile(t, `
+var g int;
+func main() {
+	var i int;
+	// Huge sequential part.
+	for i = 0; i < 100000; i = i + 1 { g = g + i; }
+	// Tiny parallel loop: 2 iterations.
+	parallel for i = 0; i < 2; i = i + 1 { g = g + 1; }
+	print(g);
+}`)
+	prof := profileAll(t, p, nil)
+	ds := Select(p, prof, Defaults())
+	if ds[0].Accepted {
+		t.Fatalf("tiny loop accepted (coverage %.5f)", ds[0].Coverage)
+	}
+}
+
+func TestSelectRejectsFewEpochs(t *testing.T) {
+	p := compile(t, `
+var g int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 1; i = i + 1 {
+		var j int;
+		for j = 0; j < 1000; j = j + 1 { g = g + j; }
+	}
+	print(g);
+}`)
+	prof := profileAll(t, p, nil)
+	ds := Select(p, prof, Defaults())
+	if ds[0].Accepted {
+		t.Fatal("single-trip loop accepted")
+	}
+}
+
+func TestSelectNeverExecuted(t *testing.T) {
+	p := compile(t, `
+var g int;
+func cold() {
+	var i int;
+	parallel for i = 0; i < 10; i = i + 1 { g = g + 1; }
+}
+func main() {
+	if 0 { cold(); }
+	print(g);
+}`)
+	prof := profileAll(t, p, nil)
+	ds := Select(p, prof, Defaults())
+	if len(ds) != 1 || ds[0].Accepted {
+		t.Fatalf("never-executed loop should be rejected: %+v", ds)
+	}
+	if ds[0].Reason != "never executed" {
+		t.Errorf("reason = %q", ds[0].Reason)
+	}
+}
+
+func TestUnrollPreservesSemantics(t *testing.T) {
+	src := `
+var g int;
+var arr [32]int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 103; i = i + 1 {
+		arr[i % 32] = arr[i % 32] + i;
+		g = g + 1;
+	}
+	print(g);
+	print(arr[5]);
+	print(arr[31]);
+}`
+	base := compile(t, src)
+	baseTr, err := interp.Run(base, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{2, 3, 4, 8} {
+		p := compile(t, src)
+		f := p.FuncMap["main"]
+		regs := Regions(p, nil)
+		if err := Unroll(p, f, regs[0].Loop, k); err != nil {
+			t.Fatalf("unroll by %d: %v", k, err)
+		}
+		if err := p.Verify(); err != nil {
+			t.Fatalf("verify after unroll %d: %v", k, err)
+		}
+		tr, err := interp.Run(p, interp.Options{})
+		if err != nil {
+			t.Fatalf("run unrolled %d: %v", k, err)
+		}
+		if len(tr.Output) != len(baseTr.Output) {
+			t.Fatalf("unroll %d changed output length", k)
+		}
+		for i := range tr.Output {
+			if tr.Output[i] != baseTr.Output[i] {
+				t.Fatalf("unroll %d: output[%d] = %d, want %d",
+					k, i, tr.Output[i], baseTr.Output[i])
+			}
+		}
+	}
+}
+
+func TestUnrollReducesEpochCount(t *testing.T) {
+	src := `
+var g int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 100; i = i + 1 {
+		g = g + i;
+	}
+	print(g);
+}`
+	p := compile(t, src)
+	f := p.FuncMap["main"]
+	regs := Regions(p, nil)
+	if err := Unroll(p, f, regs[0].Loop, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Re-derive the (now larger) region and trace it.
+	regs = Regions(p, nil)
+	tr, err := interp.Run(p, interp.Options{Regions: regs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 iterations / 4 per epoch = 25 full epochs (+ exit evaluation).
+	got := tr.EpochCount()
+	if got < 25 || got > 27 {
+		t.Errorf("epochs after unroll-4 = %d, want ~26", got)
+	}
+}
+
+func TestApplyUnrollingFromDecisions(t *testing.T) {
+	p := compile(t, `
+var g int;
+var h int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 2000; i = i + 1 {
+		g = g + 1;
+		h = h + i;
+	}
+	print(g);
+}`)
+	prof := profileAll(t, p, nil)
+	h := Defaults()
+	ds := Select(p, prof, h)
+	if !ds[0].Accepted {
+		t.Fatalf("rejected: %s", ds[0].Reason)
+	}
+	if ds[0].InstrsPerEpoch >= h.UnrollTarget && ds[0].UnrollFactor != 1 {
+		t.Error("large loop should not unroll")
+	}
+	if ds[0].InstrsPerEpoch < h.UnrollTarget && ds[0].UnrollFactor <= 1 {
+		t.Errorf("small loop (%.1f instrs/epoch) not unrolled", ds[0].InstrsPerEpoch)
+	}
+	if err := ApplyUnrolling(p, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Output[0] != 2000 {
+		t.Errorf("output = %d, want 2000", tr.Output[0])
+	}
+}
+
+func TestRegionsStableAcrossDeepCopy(t *testing.T) {
+	p := compile(t, `
+var g int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 10; i = i + 1 { g = g + 1; }
+}`)
+	r1 := Regions(p, nil)
+	cp := p.DeepCopy()
+	r2 := Regions(cp, nil)
+	if len(r1) != len(r2) {
+		t.Fatal("region count differs")
+	}
+	for i := range r1 {
+		if r1[i].ID != r2[i].ID {
+			t.Error("region IDs differ across copy")
+		}
+		if r1[i].Func.Name != r2[i].Func.Name {
+			t.Error("region funcs differ across copy")
+		}
+		if r1[i].Loop.Header.Index != r2[i].Loop.Header.Index {
+			t.Error("region headers differ across copy")
+		}
+	}
+}
+
+func TestUnrollErrorPaths(t *testing.T) {
+	p := compile(t, `
+var g int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 10; i = i + 1 { g = g + 1; }
+}`)
+	f := p.FuncMap["main"]
+	regs := Regions(p, nil)
+	loop := regs[0].Loop
+
+	// Non-positive factors are no-ops.
+	if err := Unroll(p, f, loop, 1); err != nil {
+		t.Errorf("k=1 should be a no-op: %v", err)
+	}
+	if err := Unroll(p, f, loop, 0); err != nil {
+		t.Errorf("k=0 should be a no-op: %v", err)
+	}
+
+	// A corrupted latch list must be rejected.
+	broken := *loop
+	broken.Latches = append([]*ir.Block(nil), loop.Latches...)
+	broken.Latches = append(broken.Latches, loop.Latches[0])
+	if err := Unroll(p, f, &broken, 2); err == nil {
+		t.Error("expected multi-latch error")
+	}
+}
+
+func TestApplyUnrollingMissingLoop(t *testing.T) {
+	p := compile(t, `
+var g int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 10; i = i + 1 { g = g + 1; }
+}`)
+	ds := []Decision{{
+		Key:          Key{Func: "main", Block: 99},
+		Accepted:     true,
+		UnrollFactor: 2,
+	}}
+	if err := ApplyUnrolling(p, ds); err == nil {
+		t.Error("expected loop-not-found error")
+	}
+}

@@ -1,0 +1,188 @@
+// Package report renders the paper's figures and tables as text: stacked
+// execution-time-breakdown bars (busy/fail/sync/other, normalized to
+// sequential execution = 100) and aligned tables.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bar is one normalized execution-time bar: segment heights are percent
+// of the sequential execution time of the same code, so a total below 100
+// is a speedup.
+type Bar struct {
+	Label string
+	Busy  float64
+	Fail  float64
+	Sync  float64
+	Other float64
+}
+
+// Total returns the bar's height (normalized execution time).
+func (b Bar) Total() float64 { return b.Busy + b.Fail + b.Sync + b.Other }
+
+// Row is one benchmark's set of bars in a figure.
+type Row struct {
+	Bench string
+	Bars  []Bar
+}
+
+// segment glyphs: busy, fail, sync, other.
+const (
+	glyphBusy  = '#'
+	glyphFail  = 'X'
+	glyphSync  = '~'
+	glyphOther = '.'
+)
+
+// RenderBars renders a figure: for every benchmark, one line per bar,
+// scaled so that 100 (sequential time) occupies `width` characters.
+func RenderBars(title string, rows []Row, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "(bars: %c busy  %c fail  %c sync  %c other; 100 = sequential execution, | marks 100)\n\n",
+		glyphBusy, glyphFail, glyphSync, glyphOther)
+
+	maxTotal := 100.0
+	for _, r := range rows {
+		for _, b := range r.Bars {
+			if t := b.Total(); t > maxTotal {
+				maxTotal = t
+			}
+		}
+	}
+	scale := float64(width) / 100.0
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s\n", r.Bench)
+		for _, b := range r.Bars {
+			sb.WriteString("  ")
+			fmt.Fprintf(&sb, "%-4s", b.Label)
+			bar := renderOne(b, scale, width)
+			fmt.Fprintf(&sb, "%s %6.1f  (busy %.1f, fail %.1f, sync %.1f, other %.1f)\n",
+				bar, b.Total(), b.Busy, b.Fail, b.Sync, b.Other)
+		}
+	}
+	return sb.String()
+}
+
+func renderOne(b Bar, scale float64, width int) string {
+	glyphs := []struct {
+		v float64
+		g rune
+	}{
+		{b.Busy, glyphBusy}, {b.Fail, glyphFail}, {b.Sync, glyphSync}, {b.Other, glyphOther},
+	}
+	var cells []rune
+	for _, s := range glyphs {
+		n := int(s.v*scale + 0.5)
+		for i := 0; i < n; i++ {
+			cells = append(cells, s.g)
+		}
+	}
+	// Mark the 100% line.
+	out := make([]rune, 0, len(cells)+2)
+	for i, c := range cells {
+		if i == width {
+			out = append(out, '|')
+		}
+		out = append(out, c)
+	}
+	if len(cells) <= width {
+		for i := len(cells); i < width; i++ {
+			out = append(out, ' ')
+		}
+		out = append(out, '|')
+	}
+	return string(out)
+}
+
+// Table renders rows of columns with the first row as a header.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	for ri, r := range rows {
+		for i, c := range r {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(strings.Repeat("-", w))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// Histogram renders an integer-keyed histogram sorted by key, with
+// percentage shares.
+func Histogram(title string, h map[int]int, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var keys []int
+	total := 0
+	maxV := 0
+	for k, v := range h {
+		keys = append(keys, k)
+		total += v
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sort.Ints(keys)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (total %d)\n", title, total)
+	for _, k := range keys {
+		v := h[k]
+		n := 0
+		if maxV > 0 {
+			n = v * width / maxV
+		}
+		fmt.Fprintf(&sb, "  %4d  %-*s %6.1f%% (%d)\n", k, width,
+			strings.Repeat("*", n), 100*float64(v)/float64(total), v)
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// F2 formats a float with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// CSV renders figure rows as comma-separated values with a header,
+// one line per (benchmark, bar): benchmark,label,busy,fail,sync,other,total.
+func CSV(rows []Row) string {
+	var sb strings.Builder
+	sb.WriteString("benchmark,label,busy,fail,sync,other,total\n")
+	for _, r := range rows {
+		for _, b := range r.Bars {
+			fmt.Fprintf(&sb, "%s,%s,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+				r.Bench, b.Label, b.Busy, b.Fail, b.Sync, b.Other, b.Total())
+		}
+	}
+	return sb.String()
+}

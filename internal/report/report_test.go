@@ -1,0 +1,140 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBarsBasics(t *testing.T) {
+	rows := []Row{
+		{Bench: "ALPHA", Bars: []Bar{
+			{Label: "U", Busy: 10, Fail: 60, Sync: 5, Other: 25},
+			{Label: "C", Busy: 10, Fail: 0, Sync: 10, Other: 10},
+		}},
+	}
+	s := RenderBars("Test figure", rows, 50)
+	if !strings.Contains(s, "Test figure") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(s, "ALPHA") {
+		t.Error("benchmark label missing")
+	}
+	if !strings.Contains(s, "100.0") {
+		t.Error("U bar total missing")
+	}
+	if !strings.Contains(s, "30.0") {
+		t.Error("C bar total missing")
+	}
+	// The U bar fills the full width; the C bar stops before the 100 mark.
+	lines := strings.Split(s, "\n")
+	var uLine, cLine string
+	for _, l := range lines {
+		if strings.Contains(l, "U ") && strings.Contains(l, "#") {
+			uLine = l
+		}
+		if strings.Contains(l, "C ") && strings.Contains(l, "#") {
+			cLine = l
+		}
+	}
+	if uLine == "" || cLine == "" {
+		t.Fatalf("bars missing:\n%s", s)
+	}
+	if !strings.Contains(cLine, "|") {
+		t.Error("C bar lacks the 100% marker")
+	}
+	if strings.Count(uLine, "X") == 0 {
+		t.Error("fail segment not rendered")
+	}
+}
+
+func TestRenderBarsSegmentsProportional(t *testing.T) {
+	rows := []Row{{Bench: "B", Bars: []Bar{{Label: "x", Busy: 50, Fail: 50}}}}
+	s := RenderBars("t", rows, 100)
+	line := ""
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, "x ") && strings.Contains(l, "#") {
+			line = l
+		}
+	}
+	busy := strings.Count(line, "#")
+	fail := strings.Count(line, "X")
+	if busy < 45 || busy > 55 || fail < 45 || fail > 55 {
+		t.Errorf("segments not proportional: busy=%d fail=%d", busy, fail)
+	}
+}
+
+func TestBarTotal(t *testing.T) {
+	b := Bar{Busy: 1, Fail: 2, Sync: 3, Other: 4}
+	if b.Total() != 10 {
+		t.Errorf("total = %f", b.Total())
+	}
+}
+
+func TestTable(t *testing.T) {
+	s := Table([][]string{
+		{"name", "value"},
+		{"alpha", "1"},
+		{"betagamma", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Error("missing header rule")
+	}
+	// Columns aligned: "value" starts at the same offset in each line.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1") {
+		t.Errorf("misaligned columns:\n%s", s)
+	}
+	if Table(nil) != "" {
+		t.Error("empty table should render empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	s := Histogram("dist", map[int]int{1: 90, 3: 10}, 30)
+	if !strings.Contains(s, "dist (total 100)") {
+		t.Errorf("header wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "90.0%") || !strings.Contains(s, "10.0%") {
+		t.Errorf("percentages wrong:\n%s", s)
+	}
+	// Keys sorted ascending.
+	if strings.Index(s, "   1 ") > strings.Index(s, "   3 ") {
+		t.Error("keys not sorted")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.125) != "12.5%" {
+		t.Errorf("Pct = %s", Pct(0.125))
+	}
+	if F2(1.005) != "1.00" && F2(1.005) != "1.01" {
+		t.Errorf("F2 = %s", F2(1.005))
+	}
+}
+
+func TestRenderBarsZeroWidthDefaults(t *testing.T) {
+	s := RenderBars("t", []Row{{Bench: "B", Bars: []Bar{{Label: "x", Busy: 1}}}}, 0)
+	if s == "" {
+		t.Error("zero width should default, not crash")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := CSV([]Row{
+		{Bench: "A", Bars: []Bar{{Label: "U", Busy: 1, Fail: 2, Sync: 3, Other: 4}}},
+	})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if lines[0] != "benchmark,label,busy,fail,sync,other,total" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "A,U,1.00,2.00,3.00,4.00,10.00" {
+		t.Errorf("row = %q", lines[1])
+	}
+}

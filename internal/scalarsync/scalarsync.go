@@ -1,0 +1,325 @@
+// Package scalarsync implements compiler-inserted synchronization for
+// register-resident (scalar) values between epochs — the prior work the
+// paper builds on ([32] Zhai et al., "Compiler optimization of scalar
+// value communication between speculative threads").
+//
+// A scalar is loop-carried (and therefore must be communicated between
+// consecutive epochs) when it is live into the region loop's header and
+// defined inside the loop. For each such register the pass allocates a
+// synchronization channel and inserts:
+//
+//   - `r = wait(ch)` at the top of the loop header (epoch entry), and
+//   - `signal(ch, r)` on every latch (epoch end), plus in every preheader
+//     so epoch 0 receives the live-in value.
+//
+// The signal placed at the latch creates the worst-case critical
+// forwarding path (the value travels at the very end of the epoch). The
+// scheduling optimization — the key result of [32] — hoists each signal to
+// just after the scalar's last definition when all of its definitions
+// dominate the latch, shrinking the path.
+package scalarsync
+
+import (
+	"sort"
+
+	"tlssync/internal/cfg"
+	"tlssync/internal/dataflow"
+	"tlssync/internal/interp"
+	"tlssync/internal/ir"
+)
+
+// Options configure the pass.
+type Options struct {
+	// Schedule enables the critical-forwarding-path scheduling
+	// optimization. Disabling it leaves all signals on the loop latch
+	// (used by the ablation benchmark).
+	Schedule bool
+}
+
+// Result reports what the pass did to one region.
+type Result struct {
+	RegionID int
+	// Channels maps each synchronized register to its channel id.
+	Channels map[ir.Reg]int64
+	// Hoisted counts signals moved off the latch by scheduling.
+	Hoisted int
+}
+
+// Apply synchronizes the loop-carried scalars of every region, in order.
+// It mutates prog and returns per-region results.
+func Apply(prog *ir.Program, regions []*interp.Region, opts Options) []Result {
+	var results []Result
+	for _, r := range regions {
+		results = append(results, applyRegion(prog, r, opts))
+	}
+	return results
+}
+
+func applyRegion(prog *ir.Program, region *interp.Region, opts Options) Result {
+	f := region.Func
+	loop := region.Loop
+	res := Result{RegionID: region.ID, Channels: make(map[ir.Reg]int64)}
+
+	lv := dataflow.ComputeLiveness(f)
+	defs := dataflow.DefinedIn(f, loop.Blocks)
+	liveIn := lv.In[loop.Header]
+
+	var carried []ir.Reg
+	liveIn.ForEach(func(i int) {
+		if defs.Has(i) {
+			carried = append(carried, ir.Reg(i))
+		}
+	})
+	sort.Slice(carried, func(i, j int) bool { return carried[i] < carried[j] })
+
+	if len(carried) == 0 {
+		return res
+	}
+
+	dom := cfg.Dominators(f)
+
+	// Detect induction registers (single in-loop definition of the form
+	// r = r + const) before inserting any code; their next value can be
+	// computed and signaled at the very top of the epoch, removing them
+	// from the critical forwarding path entirely — the most important
+	// instance of the scheduling optimization in [32].
+	induction := make(map[ir.Reg]int64)
+	if opts.Schedule {
+		for _, reg := range carried {
+			if c, ok := inductionStep(loop, dom, reg); ok {
+				induction[reg] = c
+			}
+		}
+	}
+
+	// Allocate channels and insert waits at the top of the header,
+	// followed by early next-value signals for induction registers.
+	var prologue []*ir.Instr
+	for _, reg := range carried {
+		ch := int64(prog.NumScalarChans)
+		prog.NumScalarChans++
+		res.Channels[reg] = ch
+		w := prog.NewInstr(ir.WaitScalar)
+		w.Dst = reg
+		w.Imm = ch
+		prologue = append(prologue, w)
+	}
+	for _, reg := range carried {
+		step, ok := induction[reg]
+		if !ok {
+			continue
+		}
+		ch := res.Channels[reg]
+		cst := prog.NewInstr(ir.Const)
+		cst.Dst = f.NewReg()
+		cst.Imm = step
+		add := prog.NewInstr(ir.Bin)
+		add.Alu, add.Dst, add.A, add.B = ir.Add, f.NewReg(), reg, cst.Dst
+		sig := newSignal(prog, ch, add.Dst)
+		prologue = append(prologue, cst, add, sig)
+		res.Hoisted++
+	}
+	loop.Header.Instrs = append(prologue, loop.Header.Instrs...)
+
+	// Preheader signals: initial values for epoch 0.
+	for _, p := range loop.Header.Preds {
+		if loop.Blocks[p] {
+			continue // latch, handled below
+		}
+		insertBeforeTerminator(p, signalInstrs(prog, res.Channels))
+	}
+
+	// Latch signals, optionally scheduled to the last definition.
+	// Induction registers were already signaled in the prologue.
+	for _, reg := range carried {
+		if _, isInd := induction[reg]; isInd {
+			continue
+		}
+		ch := res.Channels[reg]
+		placed := false
+		if opts.Schedule {
+			if b, idx := lastDominatingDef(f, loop, dom, reg); b != nil {
+				sig := newSignal(prog, ch, reg)
+				b.Instrs = append(b.Instrs[:idx+1],
+					append([]*ir.Instr{sig}, b.Instrs[idx+1:]...)...)
+				res.Hoisted++
+				placed = true
+			}
+		}
+		if !placed {
+			for _, latch := range loop.Latches {
+				insertBeforeTerminator(latch, []*ir.Instr{newSignal(prog, ch, reg)})
+			}
+		}
+	}
+	f.Renumber()
+	return res
+}
+
+func newSignal(prog *ir.Program, ch int64, reg ir.Reg) *ir.Instr {
+	s := prog.NewInstr(ir.SignalScalar)
+	s.Imm = ch
+	s.A = reg
+	return s
+}
+
+func signalInstrs(prog *ir.Program, channels map[ir.Reg]int64) []*ir.Instr {
+	regs := make([]ir.Reg, 0, len(channels))
+	for r := range channels {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	out := make([]*ir.Instr, len(regs))
+	for i, r := range regs {
+		out[i] = newSignal(prog, channels[r], r)
+	}
+	return out
+}
+
+func insertBeforeTerminator(b *ir.Block, ins []*ir.Instr) {
+	n := len(b.Instrs)
+	if n == 0 {
+		b.Instrs = append(b.Instrs, ins...)
+		return
+	}
+	term := b.Instrs[n-1]
+	b.Instrs = append(b.Instrs[:n-1], append(ins, term)...)
+}
+
+// inductionStep recognizes the canonical induction pattern for reg within
+// the loop: exactly one definition, of the form
+//
+//	rC = const c
+//	rT = add reg, rC      (or add rC, reg)
+//	reg = mov rT
+//
+// in a single block with one latch edge, so each epoch computes
+// reg_next = reg + c exactly once. It returns the step constant.
+func inductionStep(loop *cfg.Loop, dom *cfg.DomTree, reg ir.Reg) (int64, bool) {
+	if len(loop.Latches) != 1 {
+		return 0, false
+	}
+	var def *ir.Instr
+	var defBlock *ir.Block
+	for b := range loop.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasDst() && in.Dst == reg {
+				if def != nil {
+					return 0, false // multiple defs
+				}
+				def, defBlock = in, b
+			}
+		}
+	}
+	if def == nil || def.Op != ir.Mov {
+		return 0, false
+	}
+	// The increment must execute exactly once per epoch: its block
+	// dominates the latch and is not part of any inner loop.
+	if !dom.Dominates(defBlock, loop.Latches[0]) {
+		return 0, false
+	}
+	for _, l := range cfg.NaturalLoops(dom.Func()) {
+		if l.Header != loop.Header && l.Blocks[defBlock] && loop.Blocks[l.Header] {
+			return 0, false
+		}
+	}
+	// Resolve the mov source within the same block.
+	var add *ir.Instr
+	for _, in := range defBlock.Instrs {
+		if in.HasDst() && in.Dst == def.A {
+			add = in
+		}
+		if in == def {
+			break
+		}
+	}
+	if add == nil || add.Op != ir.Bin || add.Alu != ir.Add {
+		return 0, false
+	}
+	var constReg ir.Reg
+	switch {
+	case add.A == reg:
+		constReg = add.B
+	case add.B == reg:
+		constReg = add.A
+	default:
+		return 0, false
+	}
+	for _, in := range defBlock.Instrs {
+		if in.HasDst() && in.Dst == constReg {
+			if in.Op == ir.Const {
+				return in.Imm, true
+			}
+			return 0, false
+		}
+		if in == add {
+			break
+		}
+	}
+	return 0, false
+}
+
+// lastDominatingDef finds the unique safe hoist point for reg's signal:
+// the last definition of reg along the dominance chain to the latch,
+// provided every in-loop definition of reg lies on that chain (otherwise a
+// non-dominating definition could execute after the hoisted signal and the
+// forwarded value would be stale). Returns (nil, 0) when no safe point
+// exists. Only single-latch loops are scheduled.
+func lastDominatingDef(f *ir.Func, loop *cfg.Loop, dom *cfg.DomTree, reg ir.Reg) (*ir.Block, int) {
+	if len(loop.Latches) != 1 {
+		return nil, 0
+	}
+	latch := loop.Latches[0]
+	// Blocks inside inner loops would signal more than once per epoch;
+	// exclude them as hoist targets (and as definition sites).
+	inInner := make(map[*ir.Block]bool)
+	for _, l := range cfg.NaturalLoops(f) {
+		if l.Header == loop.Header {
+			continue
+		}
+		for b := range l.Blocks {
+			if loop.Blocks[b] {
+				inInner[b] = true
+			}
+		}
+	}
+	var defBlocks []*ir.Block
+	for b := range loop.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasDst() && in.Dst == reg {
+				defBlocks = append(defBlocks, b)
+				break
+			}
+		}
+	}
+	if len(defBlocks) == 0 {
+		return nil, 0
+	}
+	for _, b := range defBlocks {
+		if !dom.Dominates(b, latch) || inInner[b] {
+			return nil, 0
+		}
+	}
+	// Chain blocks dominating the latch are totally ordered by dominance;
+	// pick the one closest to the latch (dominated by all others).
+	best := defBlocks[0]
+	for _, b := range defBlocks[1:] {
+		if dom.Dominates(best, b) {
+			best = b
+		}
+	}
+	// Last def within the chosen block.
+	idx := -1
+	for i, in := range best.Instrs {
+		if in.HasDst() && in.Dst == reg {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, 0
+	}
+	// Never hoist past the terminator slot; idx is guaranteed before it
+	// since terminators don't define registers.
+	return best, idx
+}

@@ -1,0 +1,74 @@
+package sim
+
+// cache is a set-associative LRU cache used for access latencies only;
+// dependence tracking is handled separately by the epoch runs, so this
+// model intentionally ignores coherence state and speculative bits.
+type cache struct {
+	sets int64
+	ways int
+	line int64
+	// tags[set*ways+way] holds the line number (or -1); lru holds a
+	// per-entry logical timestamp.
+	tags []int64
+	lru  []int64
+	tick int64
+}
+
+func newCache(sets, ways int, lineSize int64) *cache {
+	c := &cache{sets: int64(sets), ways: ways, line: lineSize}
+	c.tags = make([]int64, sets*ways)
+	c.lru = make([]int64, sets*ways)
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// access looks up addr, fills on miss, and reports whether it hit.
+func (c *cache) access(addr int64) bool {
+	line := addr / c.line
+	set := line % c.sets
+	base := int(set) * c.ways
+	c.tick++
+	victim, oldest := base, c.lru[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == line {
+			c.lru[i] = c.tick
+			return true
+		}
+		if c.lru[i] < oldest {
+			victim, oldest = i, c.lru[i]
+		}
+	}
+	c.tags[victim] = line
+	c.lru[victim] = c.tick
+	return false
+}
+
+// hierarchy bundles per-CPU L1s with a shared L2 and returns access
+// latencies.
+type hierarchy struct {
+	l1  []*cache
+	l2  *cache
+	cfg MachineConfig
+}
+
+func newHierarchy(cfg MachineConfig) *hierarchy {
+	h := &hierarchy{cfg: cfg, l2: newCache(cfg.L2Sets, cfg.L2Ways, cfg.LineSize)}
+	for i := 0; i < cfg.CPUs; i++ {
+		h.l1 = append(h.l1, newCache(cfg.L1Sets, cfg.L1Ways, cfg.LineSize))
+	}
+	return h
+}
+
+// latency performs a memory access by cpu and returns its latency.
+func (h *hierarchy) latency(cpu int, addr int64) int {
+	if h.l1[cpu].access(addr) {
+		return h.cfg.L1Lat
+	}
+	if h.l2.access(addr) {
+		return h.cfg.L2Lat
+	}
+	return h.cfg.MemLat
+}

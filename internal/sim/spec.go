@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"tlssync/internal/ir"
+	"tlssync/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Dependence tracking (line granularity, word-granular private hits)
+
+// trackLoad records an exposed load for violation detection.
+func (m *machine) trackLoad(run *epochRun, ev *trace.Event) {
+	if m.runs == nil {
+		return // sequential segment: no speculation
+	}
+	if ir.IsStackAddr(ev.Addr) {
+		return // per-CPU stacks are private to an epoch
+	}
+	if ev.In.Op == ir.LoadSync && ev.Flags&trace.FlagUFF != 0 {
+		// Forwarding-usefulness bookkeeping for the FilterSync extension
+		// (counted per issue, matching the wait counting).
+		m.filter.noteUseful(ev.In.Imm)
+	}
+	if m.immuneLoad(run, ev) {
+		return
+	}
+	if run.storeWords[ev.Addr] {
+		return // private hit: forwarded from this epoch's own store
+	}
+	// Value prediction: a predicted load consumes the predicted value
+	// instead of the (possibly stale) memory value, so it is never
+	// exposed to coherence; verification happens at commit, where a
+	// misprediction forces one squash-and-replay (without prediction).
+	if (m.pol.Predict || m.pol.StridePredict) && m.table.contains(ev.In.Origin) {
+		// Trainings are collected even during a post-misprediction replay
+		// (predictBan) so the predictor learns the committed value and
+		// loses confidence in changed ones; only prediction USE is banned.
+		run.trainings = append(run.trainings, pcVal{pc: ev.In.Origin, v: ev.Val})
+		if !run.predictBan {
+			if v, ok := m.pred.predict(ev.In.Origin, m.epochIdxOf(run)); ok {
+				if v != ev.Val {
+					run.mispredicted = true
+					run.mispredictPCs = append(run.mispredictPCs, ev.In.Origin)
+				}
+				return // value comes from the predictor, not memory
+			}
+		}
+	}
+	line := m.cfg.Line(ev.Addr)
+	if _, seen := run.loadLines[line]; !seen {
+		run.loadLines[line] = loadMark{cycle: m.cycle, pc: ev.In.Origin}
+	}
+}
+
+// trackStore records the store and applies the eager violation rule: any
+// active later epoch that already exposed-loaded this line is squashed
+// (the invalidation arrives while the line's speculatively-loaded bit is
+// set).
+func (m *machine) trackStore(run *epochRun, ev *trace.Event) {
+	if m.runs == nil {
+		return // sequential segment: no speculation
+	}
+	if ir.IsStackAddr(ev.Addr) {
+		return
+	}
+	e := m.epochIdxOf(run)
+	line := m.cfg.Line(ev.Addr)
+	run.storeWords[ev.Addr] = true
+	if _, ok := run.storeLines[line]; !ok {
+		run.storeLines[line] = m.cycle
+	}
+	// Signal address buffer: a later store in the producer epoch to an
+	// already-forwarded address means the wrong value was forwarded; the
+	// producer notices and restarts the consumer (§2.2).
+	if _, hit := run.sigBuf[ev.Addr]; hit {
+		delete(run.sigBuf, ev.Addr)
+		if cons := m.runs[e+1]; cons != nil {
+			m.res.Violations++
+			m.res.ViolByKind["sigbuf"]++
+			m.restart(cons)
+		}
+	}
+	if m.pol.PerfectMemory {
+		return
+	}
+	for j := e + 1; j < m.nextStart; j++ {
+		other := m.runs[j]
+		if other == nil {
+			continue
+		}
+		if mark, loaded := other.loadLines[line]; loaded && mark.cycle <= m.cycle {
+			m.violate(other, "eager", mark.pc)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Signaling
+
+func (m *machine) signal(run *epochRun, ev *trace.Event, scalar bool) {
+	if m.mail == nil {
+		// Sequential segment (a region preheader signaling initial
+		// values): epoch 0 is the oldest at region start, so its waits
+		// complete immediately — nothing to deliver.
+		return
+	}
+	e := m.epochIdxOf(run)
+	key := mailKey{consumer: e + 1, ch: ev.In.Imm, scalar: scalar}
+	m.mail[key] = mailEntry{ready: m.cycle + int64(m.cfg.CommLat), gen: run.gen}
+	if !scalar {
+		run.signaled[ev.In.Imm] = true
+		if !ir.IsStackAddr(ev.Addr) && ev.Addr != 0 {
+			run.sigBuf[ev.Addr] = ev.In.Imm
+			if len(run.sigBuf) > run.sigBufPeak {
+				run.sigBufPeak = len(run.sigBuf)
+			}
+		}
+	}
+}
+
+func (m *machine) signalNull(run *epochRun, ev *trace.Event) {
+	if m.mail == nil {
+		return
+	}
+	if run.signaled[ev.In.Imm] {
+		return // conditional NULL: a signal was already sent this epoch
+	}
+	e := m.epochIdxOf(run)
+	key := mailKey{consumer: e + 1, ch: ev.In.Imm, scalar: false}
+	m.mail[key] = mailEntry{ready: m.cycle + int64(m.cfg.CommLat), gen: run.gen, null: true}
+	run.signaled[ev.In.Imm] = true
+}
+
+// ---------------------------------------------------------------------------
+// Violations, restarts, cascades
+
+// violate squashes and restarts a run after a load-triggered dependence
+// violation, classifying the violating load for the Figure 11 buckets and
+// training the hardware violation table.
+func (m *machine) violate(victim *epochRun, kind string, loadPC int) {
+	m.res.Violations++
+	m.res.ViolByKind[kind]++
+	// Classification uses the table state BEFORE this violation trains it.
+	hw := m.table.contains(loadPC)
+	comp := m.pol.CompilerMarks != nil && m.pol.CompilerMarks[loadPC]
+	switch {
+	case comp && hw:
+		m.res.ViolBuckets[BucketBoth]++
+	case comp:
+		m.res.ViolBuckets[BucketCompiler]++
+	case hw:
+		m.res.ViolBuckets[BucketHardware]++
+	default:
+		m.res.ViolBuckets[BucketNeither]++
+	}
+	m.table.record(loadPC)
+	m.restart(victim)
+}
+
+// restart squashes a run (all its slots become fail) and begins replay
+// after the restart penalty, cascading into any consumer that used the
+// squashed run's forwarded values.
+func (m *machine) restart(victim *epochRun) {
+	m.res.Restarts++
+	e := m.epochIdxOf(victim)
+	oldGen := victim.gen
+
+	if m.curRegion != nil {
+		m.curRegion.Slots.Fail += victim.slots.Total()
+	}
+	victim.slots = Slots{}
+	victim.idx = 0
+	victim.gen++
+	victim.finished = false
+	victim.finishCycle = 0
+	victim.lastComplete = 0
+	victim.frames = []*frameSB{{ready: make(map[ir.Reg]int64), base: m.cycle, callDst: ir.None}}
+	victim.loadLines = make(map[int64]loadMark)
+	victim.storeLines = make(map[int64]int64)
+	victim.storeWords = make(map[int64]bool)
+	victim.consumedGen = -1
+	victim.signaled = make(map[int64]bool)
+	victim.sigBuf = make(map[int64]int64)
+	victim.mispredicted = false
+	victim.mispredictPCs = victim.mispredictPCs[:0]
+	victim.trainings = victim.trainings[:0]
+	// The squash-to-restart gap is failed work too (stallFail classifies
+	// the stall slots as fail rather than other).
+	victim.stallUntil = m.cycle + int64(m.cfg.RestartCost)
+	victim.stallSync = false
+	victim.stallFail = true
+	if victim.span != nil {
+		victim.span.Squashes = append(victim.span.Squashes, m.cycle)
+	}
+
+	// Cascade: a consumer that consumed this run's (now squashed) signals
+	// used values that the hardware can no longer vouch for.
+	if cons := m.runs[e+1]; cons != nil && cons.consumedGen == oldGen {
+		m.restart(cons)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Commit
+
+// tryCommit commits the oldest epoch when it has finished (and survived
+// prediction verification), applying commit-time stale-read violations.
+func (m *machine) tryCommit() {
+	for m.oldest < len(m.epochs) {
+		run := m.runs[m.oldest]
+		if run == nil || !run.finished {
+			return
+		}
+		if m.cycle < run.finishCycle+int64(m.cfg.CommitCost) {
+			return
+		}
+		// Value-prediction verification happens at commit: a mispredicted
+		// value forces one more pass (without prediction).
+		if run.mispredicted {
+			run.predictBan = true
+			for _, pc := range run.mispredictPCs {
+				m.pred.blame(pc)
+			}
+			m.res.Violations++
+			m.res.ViolByKind["mispredict"]++
+			m.restart(run)
+			return
+		}
+
+		// Commit-time rule: active later epochs that loaded one of our
+		// stored lines AFTER we stored it read stale data; the commit's
+		// invalidations squash them now.
+		if !m.pol.PerfectMemory {
+			for j := m.oldest + 1; j < m.nextStart; j++ {
+				other := m.runs[j]
+				if other == nil {
+					continue
+				}
+				if pc, stale := staleRead(run, other); stale {
+					m.violate(other, "stale", pc)
+				}
+			}
+		}
+
+		// Train the predictor with committed values.
+		for _, t := range run.trainings {
+			m.pred.update(t.pc, t.v, run.epoch.Index)
+		}
+		if run.sigBufPeak > m.res.SigBufPeak {
+			m.res.SigBufPeak = run.sigBufPeak
+		}
+
+		if m.curRegion != nil {
+			m.curRegion.Slots.Add(run.slots)
+			m.curRegion.Epochs++
+		}
+		m.res.ScalarWaitCycles += run.scalarWait
+		m.res.MemWaitCycles += run.memWait
+		m.res.HWSyncCycles += run.hwWait
+
+		if run.span != nil {
+			run.span.Commit = m.cycle
+			m.res.Spans = append(m.res.Spans, *run.span)
+		}
+		m.committedGen[m.oldest] = run.gen
+		delete(m.runs, m.oldest)
+		m.cpuFree[run.cpu] = m.cycle // commit overhead already elapsed
+		m.table.epochCommitted()
+		m.oldest++
+	}
+}
+
+// staleRead reports whether `later` loaded any line after `committing`
+// stored it (while the store was still speculative), returning the
+// violating load's PC.
+func staleRead(committing, later *epochRun) (int, bool) {
+	// Iterate over the smaller map.
+	if len(committing.storeLines) <= len(later.loadLines) {
+		for line, storeCycle := range committing.storeLines {
+			if mark, ok := later.loadLines[line]; ok && mark.cycle > storeCycle {
+				return mark.pc, true
+			}
+		}
+		return 0, false
+	}
+	for line, mark := range later.loadLines {
+		if storeCycle, ok := committing.storeLines[line]; ok && mark.cycle > storeCycle {
+			return mark.pc, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EpochSpan records the lifetime of one epoch in the timing simulation:
+// when it started, every squash, and its commit. Collected only when
+// Input.CollectTimeline is set (the log grows with epoch count).
+type EpochSpan struct {
+	RegionID int
+	Epoch    int
+	CPU      int
+	Start    int64
+	Squashes []int64 // cycles at which the epoch's runs were squashed
+	Commit   int64
+}
+
+// Timeline renders the first maxEpochs epoch spans of a region as an
+// ASCII Gantt chart, one row per epoch:
+//
+//	e  12 cpu0 |   ······xxxx····■
+//
+// where '·' is speculative execution, 'x' marks a squashed stretch
+// (re-executed work), and '■' the commit. The chart is scaled to fit
+// width columns.
+func Timeline(spans []EpochSpan, regionID, maxEpochs, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	var sel []EpochSpan
+	for _, s := range spans {
+		if s.RegionID == regionID {
+			sel = append(sel, s)
+		}
+	}
+	if len(sel) == 0 {
+		return "(no epochs recorded)\n"
+	}
+	sort.Slice(sel, func(i, j int) bool { return sel[i].Epoch < sel[j].Epoch })
+	if maxEpochs > 0 && len(sel) > maxEpochs {
+		sel = sel[:maxEpochs]
+	}
+	minC, maxC := sel[0].Start, sel[0].Commit
+	for _, s := range sel {
+		if s.Start < minC {
+			minC = s.Start
+		}
+		if s.Commit > maxC {
+			maxC = s.Commit
+		}
+	}
+	span := maxC - minC
+	if span <= 0 {
+		span = 1
+	}
+	scale := func(c int64) int {
+		p := int(int64(width) * (c - minC) / span)
+		if p >= width {
+			p = width - 1
+		}
+		if p < 0 {
+			p = 0
+		}
+		return p
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "region %d epochs %d..%d, cycles %d..%d ('·' run, 'x' squashed work, '■' commit)\n",
+		regionID, sel[0].Epoch, sel[len(sel)-1].Epoch, minC, maxC)
+	for _, s := range sel {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		// Whole lifetime as speculative execution...
+		for i := scale(s.Start); i <= scale(s.Commit); i++ {
+			row[i] = '·'
+		}
+		// ...with squashed stretches marked from the start (or previous
+		// squash) to each squash point.
+		prev := s.Start
+		for _, sq := range s.Squashes {
+			for i := scale(prev); i <= scale(sq); i++ {
+				row[i] = 'x'
+			}
+			prev = sq
+		}
+		row[scale(s.Commit)] = '■'
+		fmt.Fprintf(&sb, "e %4d cpu%d |%s\n", s.Epoch, s.CPU, string(row))
+	}
+	return sb.String()
+}

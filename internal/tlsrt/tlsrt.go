@@ -1,0 +1,416 @@
+// Package tlsrt is a software thread-level-speculation runtime built on
+// goroutines: an executable, actually-parallel counterpart to the timing
+// simulator. Loop iterations run as speculative epochs on a bounded pool
+// of workers; each epoch buffers its stores, logs the values it loads,
+// and commits strictly in order after validating that everything it read
+// still matches committed memory (value-based validation). A failed
+// validation squashes the epoch, which then re-executes holding the
+// commit token (and therefore cannot fail again) — the software analogue
+// of TLS squash-and-replay.
+//
+// The paper's synchronization primitives are provided as epoch methods:
+// Signal forwards an (address, value) pair to the next epoch; Wait blocks
+// for it (or for the producer's completion, the implicit NULL). Forwarded
+// values are validated at commit like ordinary reads, and a consumer that
+// used a signal from a run that was later squashed fails validation
+// through the producer-generation check — the signal address buffer and
+// cascade semantics of the hardware model, realized in software.
+//
+// The runtime exists to demonstrate the protocol end to end under the Go
+// race detector; the evaluation's numbers come from the deterministic
+// trace-driven simulator in internal/sim.
+package tlsrt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Memory is the committed shared store (word addressed).
+type Memory struct {
+	mu sync.RWMutex
+	m  map[int64]int64
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{m: make(map[int64]int64)} }
+
+// Read returns the committed value at addr.
+func (mem *Memory) Read(addr int64) int64 {
+	mem.mu.RLock()
+	v := mem.m[addr]
+	mem.mu.RUnlock()
+	return v
+}
+
+// Write sets the committed value at addr (non-speculative use only).
+func (mem *Memory) Write(addr, v int64) {
+	mem.mu.Lock()
+	mem.m[addr] = v
+	mem.mu.Unlock()
+}
+
+func (mem *Memory) apply(writes map[int64]int64) {
+	mem.mu.Lock()
+	for a, v := range writes {
+		mem.m[a] = v
+	}
+	mem.mu.Unlock()
+}
+
+// Snapshot copies the committed memory (for tests and inspection).
+func (mem *Memory) Snapshot() map[int64]int64 {
+	mem.mu.RLock()
+	out := make(map[int64]int64, len(mem.m))
+	for a, v := range mem.m {
+		out[a] = v
+	}
+	mem.mu.RUnlock()
+	return out
+}
+
+// message is one forwarded (address, value) pair with the producer's run
+// generation.
+type message struct {
+	addr, val int64
+	gen       int
+	null      bool
+	valid     bool
+}
+
+// mailbox is a per-(consumer, channel) slot with blocking receive.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msg  message
+	// producerDone is set when the producing epoch finished its run
+	// (implicit NULL for consumers still waiting).
+	producerDone bool
+	doneGen      int
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) send(m message) {
+	mb.mu.Lock()
+	mb.msg = m
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+func (mb *mailbox) markDone(gen int) {
+	mb.mu.Lock()
+	mb.producerDone = true
+	mb.doneGen = gen
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+func (mb *mailbox) reset() {
+	mb.mu.Lock()
+	mb.msg = message{}
+	mb.producerDone = false
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// recv blocks until a message arrives or the producer finishes; the
+// second result is the producer generation the consumer observed.
+func (mb *mailbox) recv() (message, int) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if mb.msg.valid {
+			return mb.msg, mb.msg.gen
+		}
+		if mb.producerDone {
+			return message{null: true, valid: true, gen: mb.doneGen}, mb.doneGen
+		}
+		mb.cond.Wait()
+	}
+}
+
+// Stats reports what a speculative loop execution did.
+type Stats struct {
+	Epochs   int
+	Squashes int // epochs that failed validation and replayed
+	Forwards int // signals consumed with matching addresses
+}
+
+// Runtime executes speculative loops over a shared memory.
+type Runtime struct {
+	Mem     *Memory
+	Workers int // concurrent epochs (like the simulator's CPUs); min 1
+}
+
+// New creates a runtime with the given parallelism.
+func New(workers int) *Runtime {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Runtime{Mem: NewMemory(), Workers: workers}
+}
+
+// Epoch is the speculative execution context passed to loop bodies.
+type Epoch struct {
+	Index int
+
+	run    *loopRun
+	gen    int
+	writes map[int64]int64
+	// reads logs the first value observed per address (for value-based
+	// validation); addresses written before being read are excluded
+	// (private hits).
+	reads map[int64]int64
+	// consumedGen records the producer generation of any consumed signal
+	// (-1 if none) for cascade validation.
+	consumedGen int
+	forwards    int
+	// sigAddrs is the signal address buffer: addresses this epoch has
+	// forwarded. A later store to one of them invalidates the forward
+	// (the consumer will fail validation and replay).
+	sigAddrs map[int64]bool
+	stale    bool // this epoch overwrote a forwarded address
+}
+
+// Load reads addr speculatively.
+func (e *Epoch) Load(addr int64) int64 {
+	if v, own := e.writes[addr]; own {
+		return v
+	}
+	v := e.run.rt.Mem.Read(addr)
+	if _, logged := e.reads[addr]; !logged {
+		e.reads[addr] = v
+	}
+	return v
+}
+
+// Store writes addr speculatively (buffered until commit).
+func (e *Epoch) Store(addr, v int64) {
+	e.writes[addr] = v
+	if e.sigAddrs[addr] {
+		// Signal address buffer hit: the forwarded value was premature.
+		e.stale = true
+	}
+}
+
+// Signal forwards (addr, val) on channel ch to the next epoch.
+func (e *Epoch) Signal(ch int, addr, val int64) {
+	e.sigAddrs[addr] = true
+	e.run.box(e.Index+1, ch).send(message{addr: addr, val: val, gen: e.gen, valid: true})
+}
+
+// SignalNull tells the next epoch that no value will be produced on ch.
+func (e *Epoch) SignalNull(ch int) {
+	e.run.box(e.Index+1, ch).send(message{null: true, gen: e.gen, valid: true})
+}
+
+// Wait blocks for the previous epoch's signal on ch. It returns
+// (addr, val, ok); ok is false for a NULL (no value produced). Epoch 0
+// never blocks.
+func (e *Epoch) Wait(ch int) (int64, int64, bool) {
+	if e.Index == 0 {
+		return 0, 0, false
+	}
+	msg, gen := e.run.box(e.Index, ch).recv()
+	e.consumedGen = gen
+	if msg.null {
+		return 0, 0, false
+	}
+	if e.run.isStale(e.Index-1, gen) {
+		// The producer overwrote the forwarded address after signaling;
+		// treat the forward as NULL (the replay path after a
+		// staleness-triggered squash lands here).
+		return 0, 0, false
+	}
+	e.forwards++
+	return msg.addr, msg.val, true
+}
+
+// loopRun is the state of one SpeculativeFor execution.
+type loopRun struct {
+	rt *Runtime
+	mu sync.Mutex
+	// boxes maps (consumer epoch, channel) to its mailbox.
+	boxes map[[2]int]*mailbox
+	// doneGens records producers that finished their current run (and the
+	// generation), so mailboxes created AFTER the producer's broadcast
+	// still observe the implicit NULL.
+	doneGens map[int]int
+	// staleGens records producer runs that overwrote an already-forwarded
+	// address (signal-address-buffer hit): consumers of those runs'
+	// signals must squash, and their replays treat the signals as NULL.
+	staleGens map[[2]int]bool
+	// gens tracks each epoch's final run generation (set at commit).
+	gens  map[int]int
+	stats Stats
+}
+
+func (lr *loopRun) box(consumer, ch int) *mailbox {
+	key := [2]int{consumer, ch}
+	lr.mu.Lock()
+	mb, ok := lr.boxes[key]
+	if !ok {
+		mb = newMailbox()
+		if gen, done := lr.doneGens[consumer-1]; done {
+			mb.producerDone = true
+			mb.doneGen = gen
+		}
+		lr.boxes[key] = mb
+	}
+	lr.mu.Unlock()
+	return mb
+}
+
+// producerFinished marks epoch idx's current run as finished: existing
+// mailboxes broadcast, future mailboxes initialize from the registry.
+func (lr *loopRun) producerFinished(idx, gen int, stale bool) {
+	lr.mu.Lock()
+	lr.doneGens[idx] = gen
+	if stale {
+		lr.staleGens[[2]int{idx, gen}] = true
+	}
+	for key, mb := range lr.boxes {
+		if key[0] == idx+1 {
+			mb.markDone(gen)
+		}
+	}
+	lr.mu.Unlock()
+}
+
+// isStale reports whether the producer's run overwrote a forwarded
+// address after signaling.
+func (lr *loopRun) isStale(producer, gen int) bool {
+	lr.mu.Lock()
+	v := lr.staleGens[[2]int{producer, gen}]
+	lr.mu.Unlock()
+	return v
+}
+
+// producerSquashed withdraws epoch idx's signals and done mark before a
+// replay.
+func (lr *loopRun) producerSquashed(idx int) {
+	lr.mu.Lock()
+	delete(lr.doneGens, idx)
+	for key, mb := range lr.boxes {
+		if key[0] == idx+1 {
+			mb.reset()
+		}
+	}
+	lr.mu.Unlock()
+}
+
+// SpeculativeFor executes body(e) for e.Index in [0, n) as speculative
+// epochs with at most rt.Workers in flight, committing in order. The body
+// must perform all shared accesses through the Epoch; it may be executed
+// more than once (squash and replay), so any local state must be
+// re-derivable from its inputs.
+func (rt *Runtime) SpeculativeFor(n int, body func(e *Epoch)) Stats {
+	if n <= 0 {
+		return Stats{}
+	}
+	lr := &loopRun{
+		rt:        rt,
+		boxes:     make(map[[2]int]*mailbox),
+		doneGens:  make(map[int]int),
+		staleGens: make(map[[2]int]bool),
+		gens:      make(map[int]int),
+	}
+
+	// commitDone[i] closes when epoch i has committed.
+	commitDone := make([]chan struct{}, n+1)
+	for i := range commitDone {
+		commitDone[i] = make(chan struct{})
+	}
+	close(commitDone[0]) // virtual predecessor of epoch 0
+
+	sem := make(chan struct{}, rt.Workers)
+	var wg sync.WaitGroup
+	var statsMu sync.Mutex
+
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(idx int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			gen := 0
+			squashes := 0
+			forwards := 0
+			for {
+				e := &Epoch{
+					Index:       idx,
+					run:         lr,
+					gen:         gen,
+					writes:      make(map[int64]int64),
+					reads:       make(map[int64]int64),
+					consumedGen: -1,
+					sigAddrs:    make(map[int64]bool),
+				}
+				body(e)
+				// Tell waiting consumers we are done (implicit NULL),
+				// flagging the run if it invalidated its own forwards.
+				lr.producerFinished(idx, gen, e.stale)
+
+				// Wait for the commit token.
+				<-commitDone[idx]
+
+				if lr.validate(e) {
+					rt.Mem.apply(e.writes)
+					lr.mu.Lock()
+					lr.gens[idx] = gen
+					lr.mu.Unlock()
+					forwards += e.forwards
+					close(commitDone[idx+1])
+					break
+				}
+				// Squash: withdraw the (possibly wrong) signals and done
+				// mark, bump the generation, and replay. Holding the
+				// token, the replay reads only committed state and must
+				// validate.
+				squashes++
+				gen++
+				lr.producerSquashed(idx)
+			}
+			statsMu.Lock()
+			lr.stats.Epochs++
+			lr.stats.Squashes += squashes
+			lr.stats.Forwards += forwards
+			statsMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return lr.stats
+}
+
+// validate checks an epoch's read log against committed memory, its
+// consumed forwards against the producers' final generations, and (the
+// signal-address-buffer rule) that no consumed forward went stale.
+func (lr *loopRun) validate(e *Epoch) bool {
+	if e.consumedGen >= 0 {
+		lr.mu.Lock()
+		finalGen, committed := lr.gens[e.Index-1]
+		lr.mu.Unlock()
+		if !committed || finalGen != e.consumedGen {
+			return false // consumed a squashed producer's signal
+		}
+		if e.forwards > 0 && lr.isStale(e.Index-1, e.consumedGen) {
+			return false // the forwarded value was overwritten after signaling
+		}
+	}
+	for addr, seen := range e.reads {
+		if lr.rt.Mem.Read(addr) != seen {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("epochs=%d squashes=%d forwards=%d", s.Epochs, s.Squashes, s.Forwards)
+}

@@ -1,0 +1,317 @@
+package tlsrt
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndependentEpochs(t *testing.T) {
+	rt := New(4)
+	stats := rt.SpeculativeFor(200, func(e *Epoch) {
+		addr := int64(e.Index) * 8
+		e.Store(addr, int64(e.Index*e.Index))
+	})
+	if stats.Epochs != 200 {
+		t.Errorf("epochs = %d", stats.Epochs)
+	}
+	if stats.Squashes != 0 {
+		t.Errorf("independent epochs squashed %d times", stats.Squashes)
+	}
+	for i := int64(0); i < 200; i++ {
+		if got := rt.Mem.Read(i * 8); got != i*i {
+			t.Fatalf("mem[%d] = %d, want %d", i*8, got, i*i)
+		}
+	}
+}
+
+func TestSerialCounterCorrect(t *testing.T) {
+	// Every epoch increments a shared counter: maximal contention; the
+	// result must still be exactly N.
+	rt := New(4)
+	const addr = int64(0x100)
+	const n = 300
+	stats := rt.SpeculativeFor(n, func(e *Epoch) {
+		e.Store(addr, e.Load(addr)+1)
+	})
+	if got := rt.Mem.Read(addr); got != n {
+		t.Fatalf("counter = %d, want %d", got, n)
+	}
+	if stats.Squashes == 0 {
+		t.Error("expected squashes under contention (speculation must fail sometimes)")
+	}
+}
+
+func TestEquivalenceWithSequential(t *testing.T) {
+	// A mixed workload: guarded updates, array writes, accumulation.
+	body := func(load func(int64) int64, store func(int64, int64), i int) {
+		v := load(8 * int64(i%16))
+		if i%3 == 0 {
+			store(0x1000, load(0x1000)+v+int64(i))
+		}
+		store(8*int64((i*7)%16), v+int64(i))
+	}
+
+	// Sequential reference.
+	seq := NewMemory()
+	for i := 0; i < 400; i++ {
+		body(seq.Read, seq.Write, i)
+	}
+
+	// Speculative execution.
+	rt := New(4)
+	rt.SpeculativeFor(400, func(e *Epoch) {
+		body(e.Load, e.Store, e.Index)
+	})
+
+	want := seq.Snapshot()
+	got := rt.Mem.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("memory footprint %d, want %d", len(got), len(want))
+	}
+	for a, v := range want {
+		if got[a] != v {
+			t.Errorf("mem[%#x] = %d, want %d", a, got[a], v)
+		}
+	}
+}
+
+func TestForwardingReducesSquashes(t *testing.T) {
+	const addr = int64(0x40)
+	const n = 300
+	run := func(useSync bool) Stats {
+		rt := New(4)
+		return rt.SpeculativeFor(n, func(e *Epoch) {
+			var v int64
+			used := false
+			if useSync {
+				if fa, fv, ok := e.Wait(0); ok && fa == addr {
+					v = fv
+					used = true
+				}
+			}
+			if !used {
+				v = e.Load(addr)
+			}
+			nv := v + 1
+			e.Store(addr, nv)
+			if useSync {
+				e.Signal(0, addr, nv)
+			}
+		})
+	}
+	plain := run(false)
+	synced := run(true)
+	if got := plain.Squashes; got == 0 {
+		t.Fatal("unsynchronized run had no squashes")
+	}
+	if synced.Squashes*2 > plain.Squashes {
+		t.Errorf("forwarding should cut squashes: %d vs %d", synced.Squashes, plain.Squashes)
+	}
+	if synced.Forwards == 0 {
+		t.Error("no forwards consumed")
+	}
+}
+
+func TestForwardingCorrectValue(t *testing.T) {
+	// The forwarded counter must end exactly at n even when every epoch
+	// consumes the forwarded value.
+	const addr = int64(0x40)
+	const n = 250
+	rt := New(4)
+	rt.SpeculativeFor(n, func(e *Epoch) {
+		var v int64
+		if fa, fv, ok := e.Wait(0); ok && fa == addr {
+			v = fv
+		} else {
+			v = e.Load(addr)
+		}
+		nv := v + 1
+		e.Store(addr, nv)
+		e.Signal(0, addr, nv)
+	})
+	if got := rt.Mem.Read(addr); got != n {
+		t.Fatalf("counter = %d, want %d", got, n)
+	}
+}
+
+func TestStaleForwardSquashesConsumer(t *testing.T) {
+	// The producer signals and then overwrites the forwarded address
+	// (signal-address-buffer hit): consumers must still compute the
+	// correct result.
+	const addr = int64(0x80)
+	const n = 200
+	rt := New(4)
+	rt.SpeculativeFor(n, func(e *Epoch) {
+		var v int64
+		if fa, fv, ok := e.Wait(0); ok && fa == addr {
+			v = fv
+		} else {
+			v = e.Load(addr)
+		}
+		nv := v + 1
+		e.Store(addr, nv)
+		e.Signal(0, addr, nv)
+		if e.Index%5 == 0 {
+			// Post-signal overwrite: the forwarded value is now wrong.
+			e.Store(addr, nv+100)
+		}
+	})
+	// Sequential expectation.
+	var want int64
+	for i := 0; i < n; i++ {
+		want++
+		if i%5 == 0 {
+			want += 100
+		}
+	}
+	if got := rt.Mem.Read(addr); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+}
+
+func TestNullSignalPath(t *testing.T) {
+	// Producers signal only on some epochs; consumers must not deadlock
+	// on the storeless paths (implicit NULL via producer completion).
+	const addr = int64(0x20)
+	const n = 200
+	rt := New(4)
+	stats := rt.SpeculativeFor(n, func(e *Epoch) {
+		if fa, fv, ok := e.Wait(0); ok && fa == addr {
+			_ = fv
+		}
+		if e.Index%4 == 0 {
+			v := e.Load(addr) + 1
+			e.Store(addr, v)
+			e.Signal(0, addr, v)
+		}
+	})
+	if stats.Epochs != n {
+		t.Fatalf("epochs = %d", stats.Epochs)
+	}
+	if got := rt.Mem.Read(addr); got != n/4 {
+		t.Fatalf("counter = %d, want %d", got, n/4)
+	}
+}
+
+func TestExplicitNullSignal(t *testing.T) {
+	const addr = int64(0x60)
+	rt := New(2)
+	rt.SpeculativeFor(50, func(e *Epoch) {
+		if _, _, ok := e.Wait(0); ok {
+			t.Error("consumed a value despite NULL signals")
+		}
+		e.Store(addr+int64(e.Index)*8, int64(e.Index))
+		e.SignalNull(0)
+	})
+}
+
+func TestWorkerCounts(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		rt := New(workers)
+		const addr = int64(0x10)
+		rt.SpeculativeFor(100, func(e *Epoch) {
+			e.Store(addr, e.Load(addr)+2)
+		})
+		if got := rt.Mem.Read(addr); got != 200 {
+			t.Errorf("workers=%d: counter = %d, want 200", workers, got)
+		}
+	}
+}
+
+func TestBodyMayRunMultipleTimes(t *testing.T) {
+	// The body contract allows re-execution; total successful epochs is
+	// exactly n while invocations may exceed it.
+	var invocations int64
+	rt := New(4)
+	const addr = int64(0x8)
+	stats := rt.SpeculativeFor(150, func(e *Epoch) {
+		atomic.AddInt64(&invocations, 1)
+		e.Store(addr, e.Load(addr)+1)
+	})
+	if stats.Epochs != 150 {
+		t.Fatalf("epochs = %d", stats.Epochs)
+	}
+	if invocations < 150 {
+		t.Fatalf("invocations = %d < 150", invocations)
+	}
+	if int64(stats.Epochs+stats.Squashes) != invocations {
+		t.Errorf("epochs+squashes = %d, invocations = %d", stats.Epochs+stats.Squashes, invocations)
+	}
+}
+
+func TestPropertySpeculativeSumMatchesSequential(t *testing.T) {
+	// Property: for random strides/guards, the speculative execution of a
+	// read-modify-write loop equals the sequential result.
+	f := func(strideSeed, guardSeed uint8) bool {
+		stride := int64(strideSeed%7) + 1
+		guard := int(guardSeed%5) + 2
+		const addr = int64(0x200)
+		rt := New(4)
+		rt.SpeculativeFor(120, func(e *Epoch) {
+			if e.Index%guard == 0 {
+				e.Store(addr, e.Load(addr)+stride)
+			}
+		})
+		var want int64
+		for i := 0; i < 120; i++ {
+			if i%guard == 0 {
+				want += stride
+			}
+		}
+		return rt.Mem.Read(addr) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroAndNegativeN(t *testing.T) {
+	rt := New(4)
+	if s := rt.SpeculativeFor(0, func(e *Epoch) {}); s.Epochs != 0 {
+		t.Error("n=0 ran epochs")
+	}
+	if s := rt.SpeculativeFor(-3, func(e *Epoch) {}); s.Epochs != 0 {
+		t.Error("n<0 ran epochs")
+	}
+}
+
+// TestAgreementWithTimingSimulator ties the two execution substrates
+// together: the trace-driven timing simulator and the goroutine runtime
+// must agree qualitatively — a hot dependence causes heavy squashing in
+// both models, and wait/signal forwarding removes it in both.
+func TestAgreementWithTimingSimulator(t *testing.T) {
+	// Goroutine-runtime side: the hot counter from the quickstart.
+	const addr = int64(0x500)
+	const n = 300
+	rtPlain := New(4)
+	plain := rtPlain.SpeculativeFor(n, func(e *Epoch) {
+		e.Store(addr, e.Load(addr)+1)
+	})
+	rtSync := New(4)
+	synced := rtSync.SpeculativeFor(n, func(e *Epoch) {
+		var v int64
+		if fa, fv, ok := e.Wait(0); ok && fa == addr {
+			v = fv
+		} else {
+			v = e.Load(addr)
+		}
+		e.Store(addr, v+1)
+		e.Signal(0, addr, v+1)
+	})
+
+	// Both substrates must show: plain speculation squashes a large
+	// fraction of epochs; synchronization removes nearly all of it.
+	// (The timing-simulator side of this statement is asserted by
+	// TestCompilerSyncBeatsUOnDependentLoop in internal/sim on the same
+	// dependence shape; here we pin the runtime side and the ratios.)
+	if plain.Squashes*3 < n {
+		t.Errorf("plain speculation squashed only %d of %d epochs", plain.Squashes, n)
+	}
+	if synced.Squashes*10 > plain.Squashes {
+		t.Errorf("forwarding left %d squashes (plain had %d)", synced.Squashes, plain.Squashes)
+	}
+	if rtPlain.Mem.Read(addr) != rtSync.Mem.Read(addr) {
+		t.Error("the two executions disagree on the result")
+	}
+}

@@ -1,0 +1,117 @@
+// Package trace defines the execution-trace records shared by the
+// functional interpreter (which produces them) and the TLS timing
+// simulator (which replays them under different value-communication
+// policies).
+//
+// The reproduction uses a functional-first/timing-after split: the
+// interpreter executes the program sequentially, so every load observes
+// the sequentially-correct value, and emits one Event per dynamic
+// instruction. The timing simulator then replays per-epoch event streams
+// on a simulated 4-CPU TLS chip multiprocessor; data-dependence violations
+// are decided purely by address-overlap timing, which the events carry
+// exactly. A squashed epoch replays its own trace (the standard
+// trace-driven approximation; see DESIGN.md §2).
+package trace
+
+import "tlssync/internal/ir"
+
+// Event is one dynamic instruction execution.
+type Event struct {
+	In *ir.Instr // static instruction: op, registers, sync ids, profiling ID
+
+	// Addr is the effective address for Load/Store/LoadSync, and the
+	// forwarded address for SignalMem / WaitMemAddr events.
+	Addr int64
+
+	// Val is the value loaded, stored, or forwarded.
+	Val int64
+
+	// Flags carries protocol outcomes computed by the functional
+	// interpreter (see the Flag* constants).
+	Flags uint8
+}
+
+// Event flags.
+const (
+	// FlagUFF marks a LoadSync executed with the use-forwarded-value flag
+	// set (address matched, no stale forwarding, no local overwrite): the
+	// load is violation-immune in the timing model.
+	FlagUFF uint8 = 1 << iota
+
+	// FlagStale marks a WaitMemAddr whose producer later overwrote the
+	// forwarded address (signal-address-buffer hit): the timing model
+	// restarts the consumer when the producer's conflicting store executes.
+	FlagStale
+
+	// FlagNullSignal marks a WaitMemAddr that received a NULL-address
+	// signal (the producer path never stored the group).
+	FlagNullSignal
+)
+
+// Epoch is the event stream of one loop iteration of a speculative region.
+type Epoch struct {
+	Index  int // iteration number within the region instance
+	Events []Event
+}
+
+// RegionInstance is one dynamic execution of a speculatively-parallelized
+// loop: the sequence of epochs it spawned.
+type RegionInstance struct {
+	RegionID int
+	Epochs   []*Epoch
+}
+
+// Segment is either a sequential stretch of execution or a region instance.
+// Exactly one field is non-nil.
+type Segment struct {
+	Seq    []Event
+	Region *RegionInstance
+}
+
+// ProgramTrace is the full execution: alternating sequential segments and
+// parallelized region instances, in program order.
+type ProgramTrace struct {
+	Segments []Segment
+
+	// Output collects values printed by the program, for functional
+	// correctness checks across compiled variants.
+	Output []int64
+}
+
+// Events returns the total number of events in the trace.
+func (t *ProgramTrace) Events() int {
+	n := 0
+	for _, s := range t.Segments {
+		n += len(s.Seq)
+		if s.Region != nil {
+			for _, e := range s.Region.Epochs {
+				n += len(e.Events)
+			}
+		}
+	}
+	return n
+}
+
+// EpochCount returns the total number of epochs across region instances.
+func (t *ProgramTrace) EpochCount() int {
+	n := 0
+	for _, s := range t.Segments {
+		if s.Region != nil {
+			n += len(s.Region.Epochs)
+		}
+	}
+	return n
+}
+
+// RegionEvents returns the total number of events inside regions.
+func (t *ProgramTrace) RegionEvents() int {
+	n := 0
+	for _, s := range t.Segments {
+		if s.Region != nil {
+			for _, e := range s.Region.Epochs {
+				n += len(e.Events)
+			}
+		}
+	}
+	return n
+}

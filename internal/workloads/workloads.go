@@ -1,0 +1,100 @@
+// Package workloads provides the 15 benchmark programs of the paper's
+// evaluation (SPEC 95/2000-derived applications), re-created as synthetic
+// MiniC programs. Each program is engineered to exhibit the dependence
+// character the paper reports for the corresponding application —
+// frequency and distance of inter-epoch dependences, call-path depth,
+// value predictability, false sharing, input sensitivity, and region
+// coverage — so that the relative behaviour of the value-communication
+// policies (who wins, and why) reproduces the paper's results. See
+// DESIGN.md §2 for the substitution argument.
+package workloads
+
+import "fmt"
+
+// Workload is one benchmark program plus its inputs and metadata.
+type Workload struct {
+	// Name is the paper's benchmark name (e.g. "gzip_comp").
+	Name string
+	// Label is the display label used in figures (e.g. "GZIP_COMP").
+	Label string
+	// Source is the MiniC program.
+	Source string
+	// Train and Ref are the two input sets. Ref drives the measured runs;
+	// Train drives the T-profile (paper §4.1).
+	Train []int64
+	Ref   []int64
+	// Character summarizes the engineered dependence behaviour.
+	Character string
+	// PaperCoverage is the region coverage the paper reports (Table 2),
+	// which the sequential phase of the program approximates.
+	PaperCoverage float64
+	// Expect describes the qualitative outcome the paper reports, used in
+	// EXPERIMENTS.md and the regression tests:
+	//   "C"    — compiler-inserted sync is the clear winner
+	//   "H"    — hardware-inserted sync is the clear winner
+	//   "even" — both help comparably
+	//   "none" — failed speculation is not a problem to begin with
+	//   "hurt" — compiler sync slightly degrades (over-synchronization)
+	Expect string
+}
+
+// registry holds all workloads in paper order.
+var registry []*Workload
+
+func register(w *Workload) *Workload {
+	registry = append(registry, w)
+	return w
+}
+
+// paperOrder lists benchmark names in the paper's Table 2 order.
+var paperOrder = []string{
+	"go", "m88ksim", "ijpeg", "gzip_comp", "gzip_decomp", "vpr_place",
+	"gcc", "mcf", "crafty", "parser", "perlbmk", "gap",
+	"bzip2_comp", "bzip2_decomp", "twolf",
+}
+
+// All returns the workloads in the paper's benchmark order.
+func All() []*Workload {
+	out := make([]*Workload, 0, len(paperOrder))
+	for _, name := range paperOrder {
+		for _, w := range registry {
+			if w.Name == name {
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// ByName returns the named workload.
+func ByName(name string) (*Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// Names lists all benchmark names in order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, w := range registry {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// seq builds a deterministic pseudo-input vector of length n from a seed,
+// used to construct train/ref input sets with controlled differences.
+func seq(seed, n int) []int64 {
+	out := make([]int64, n)
+	x := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for i := range out {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		out[i] = int64((x * 2685821657736338717) >> 33)
+	}
+	return out
+}

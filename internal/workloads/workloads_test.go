@@ -1,0 +1,125 @@
+package workloads
+
+import (
+	"testing"
+
+	"tlssync/internal/core"
+)
+
+func TestAllCompile(t *testing.T) {
+	ws := All()
+	if len(ws) != 15 {
+		t.Fatalf("workloads = %d, want 15", len(ws))
+	}
+	for _, w := range ws {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			b, err := core.Compile(core.Config{
+				Source:     w.Source,
+				TrainInput: w.Train,
+				RefInput:   w.Ref,
+				Seed:       42,
+			})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			// At least one region must be accepted.
+			if len(b.AcceptedKeys()) == 0 {
+				for _, d := range b.Decisions {
+					t.Logf("decision: %+v", d)
+				}
+				t.Fatal("no accepted regions")
+			}
+			// All variants must be semantically equivalent on both inputs.
+			if err := b.CheckEquivalence(w.Ref); err != nil {
+				t.Errorf("ref equivalence: %v", err)
+			}
+			if err := b.CheckEquivalence(w.Train); err != nil {
+				t.Errorf("train equivalence: %v", err)
+			}
+		})
+	}
+}
+
+func TestPaperOrder(t *testing.T) {
+	names := Names()
+	if len(names) != 15 {
+		t.Fatalf("names = %d", len(names))
+	}
+	all := All()
+	if all[0].Name != "go" || all[14].Name != "twolf" {
+		t.Errorf("order: first=%s last=%s", all[0].Name, all[14].Name)
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("parser")
+	if err != nil || w.Label != "PARSER" {
+		t.Errorf("ByName(parser) = %v, %v", w, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestTrainRefDiffer(t *testing.T) {
+	// gzip_comp's whole point is profile-input sensitivity.
+	w, _ := ByName("gzip_comp")
+	same := 0
+	n := len(w.Train)
+	if len(w.Ref) < n {
+		n = len(w.Ref)
+	}
+	for i := 0; i < n; i++ {
+		if w.Train[i] == w.Ref[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("train and ref inputs identical for gzip_comp")
+	}
+}
+
+func TestCharactersDocumented(t *testing.T) {
+	for _, w := range All() {
+		if w.Character == "" || w.Expect == "" || w.Label == "" {
+			t.Errorf("%s: missing metadata", w.Name)
+		}
+		if w.PaperCoverage <= 0 || w.PaperCoverage > 1 {
+			t.Errorf("%s: coverage %f out of range", w.Name, w.PaperCoverage)
+		}
+	}
+}
+
+func TestWorkloadEpochCounts(t *testing.T) {
+	// Every workload's region must produce a healthy number of epochs of
+	// reasonable size (region selection heuristics must hold).
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			b, err := core.Compile(core.Config{
+				Source: w.Source, TrainInput: w.Train, RefInput: w.Ref, Seed: 42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, err := b.DepProfile(w.Ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp := prof.Regions[0]
+			if rp == nil {
+				t.Fatal("no region profile")
+			}
+			if rp.Epochs < 100 {
+				t.Errorf("only %d epochs", rp.Epochs)
+			}
+			size := float64(rp.Events) / float64(rp.Epochs)
+			if size < 15 || size > 2000 {
+				t.Errorf("epoch size %.0f out of range", size)
+			}
+		})
+	}
+}
