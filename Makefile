@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench figs csv clean
+.PHONY: all build vet test test-short race bench figs csv serve clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,12 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# The software TLS runtime under the race detector.
+# Concurrency-sensitive packages under the race detector: the software
+# TLS runtime, the job engine, the artifact store, and the concurrent
+# (benchmark × policy) fan-out over a shared Run.
 race:
-	$(GO) test -race ./internal/tlsrt/
+	$(GO) test -race ./internal/tlsrt/ ./internal/jobs/ ./internal/store/
+	$(GO) test -race -run 'TestConcurrentSimulate|TestPrewarmMatchesSequential' .
 
 # One benchmark per paper figure/table plus the ablations.
 bench:
@@ -38,6 +41,11 @@ figs:
 FIG ?= 10
 csv:
 	$(GO) run ./cmd/tlsbench -fig $(FIG) -format csv
+
+# The HTTP simulation service (content-addressed store + job engine).
+ADDR ?= :8149
+serve:
+	$(GO) run ./cmd/tlsd -addr $(ADDR)
 
 clean:
 	$(GO) clean ./...

@@ -1,5 +1,6 @@
 // Command tlsbench regenerates the paper's figures and tables over the 15
-// re-created benchmarks.
+// re-created benchmarks. Compilation and simulation fan out through the
+// job engine at (benchmark × policy) granularity, bounded by -j.
 //
 // Usage:
 //
@@ -8,14 +9,20 @@
 //	tlsbench -table 1           # Table 1 (simulation parameters)
 //	tlsbench -table 2           # Table 2 (coverage and speedups)
 //	tlsbench -bench gzip_comp   # restrict to one benchmark
+//	tlsbench -j 4               # bound simulation parallelism
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
 
 	"tlssync"
+	"tlssync/internal/jobs"
 	"tlssync/internal/report"
 )
 
@@ -24,11 +31,22 @@ func main() {
 	table := flag.String("table", "", "table to regenerate (1 or 2)")
 	bench := flag.String("bench", "", "restrict to one benchmark by name")
 	format := flag.String("format", "text", "output format for bar figures: text or csv")
+	workers := flag.Int("j", runtime.NumCPU(), "max concurrent compilations/simulations")
+	quiet := flag.Bool("q", false, "suppress per-(benchmark, policy) progress on stderr")
 	flag.Parse()
 
 	if *table == "1" {
 		fmt.Print(tlssync.MachineTable1())
 		return
+	}
+
+	ctx := context.Background()
+	eng := jobs.New(*workers)
+
+	progress := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
 	}
 
 	var runs []*tlssync.Run
@@ -44,8 +62,12 @@ func main() {
 		runs = []*tlssync.Run{r}
 	} else {
 		var err error
-		fmt.Fprintln(os.Stderr, "compiling and baselining 15 benchmarks...")
-		runs, err = tlssync.PrepareAll()
+		progress("compiling and baselining 15 benchmarks (-j %d)...\n", eng.Workers())
+		runs, err = tlssync.PrepareAllWith(ctx, eng, func(bench string, d time.Duration, err error) {
+			if err == nil {
+				progress("prepared %-12s %8s\n", bench, d.Round(time.Millisecond))
+			}
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -59,11 +81,27 @@ func main() {
 		ids = []string{"T2"}
 	}
 	for _, id := range ids {
-		exp, ok := tlssync.Experiments[id]
-		if !ok {
+		if _, ok := tlssync.Experiments[id]; !ok {
 			fatal(fmt.Errorf("unknown experiment %q", id))
 		}
-		f, err := exp(runs)
+	}
+
+	// Fan every needed (benchmark × policy) simulation out through the
+	// engine; the figures below then assemble from cached results.
+	total := countSpecs(ids, runs)
+	var done atomic.Int64
+	err := tlssync.Prewarm(ctx, eng, runs, ids, func(bench, label string, d time.Duration, err error) {
+		if err == nil {
+			progress("simulated %-12s %-10s %8s  [%d/%d]\n",
+				bench, label, d.Round(time.Millisecond), done.Add(1), total)
+		}
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, id := range ids {
+		f, err := tlssync.Experiments[id](runs)
 		if err != nil {
 			fatal(err)
 		}
@@ -73,6 +111,17 @@ func main() {
 		}
 		fmt.Println(f.Text)
 	}
+}
+
+// countSpecs mirrors Prewarm's dedup to size the progress counter.
+func countSpecs(ids []string, runs []*tlssync.Run) int {
+	seen := make(map[string]bool)
+	for _, id := range ids {
+		for _, sp := range tlssync.SpecsFor(id, runs) {
+			seen[sp.Key()] = true
+		}
+	}
+	return len(seen)
 }
 
 func fatal(err error) {

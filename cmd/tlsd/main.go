@@ -1,0 +1,92 @@
+// Command tlsd serves the reproduction pipeline over HTTP: a
+// simulation-as-a-service daemon in front of the compile→profile→
+// simulate pipeline, backed by a content-addressed artifact store
+// (internal/store) and a coalescing job engine (internal/jobs).
+//
+// Endpoints (all GET, all JSON):
+//
+//	/healthz                          liveness probe
+//	/stats                            store + worker-pool counters
+//	/simulate?bench=NAME&policy=L     one (benchmark × policy) simulation
+//	/figures/{id}                     a paper figure (2 6 7 8 9 10 11 12 T2)
+//	/tables/{id}                      Table 1 or 2
+//
+// Warm requests are served straight from the store: repeated requests
+// for an artifact do not run new simulation jobs, and with -cachedir
+// artifacts survive restarts. See docs/tlsd.md for examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8149", "listen address")
+	workers := flag.Int("j", runtime.NumCPU(), "simulation worker-pool size")
+	storeCap := flag.Int("cache", 512, "in-memory artifact-store capacity (entries)")
+	cacheDir := flag.String("cachedir", "", "on-disk artifact-store directory (empty: memory only)")
+	benches := flag.String("benchmarks", "", "comma-separated serving set (empty: all 15)")
+	warm := flag.Bool("warm", false, "prepare every benchmark at startup instead of on demand")
+	flag.Parse()
+
+	var names []string
+	if *benches != "" {
+		for _, n := range strings.Split(*benches, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	s, err := newServer(config{
+		workers:    *workers,
+		storeCap:   *storeCap,
+		cacheDir:   *cacheDir,
+		benchmarks: names,
+	})
+	if err != nil {
+		log.Fatalf("tlsd: %v", err)
+	}
+
+	if *warm {
+		go func() {
+			start := time.Now()
+			if _, err := s.prepareAll(context.Background()); err != nil {
+				log.Printf("tlsd: warmup: %v", err)
+				return
+			}
+			log.Printf("tlsd: warmed %d benchmarks in %v", len(s.workloads), time.Since(start).Round(time.Millisecond))
+		}()
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("tlsd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	disk := "memory-only"
+	if *cacheDir != "" {
+		disk = fmt.Sprintf("disk cache at %s", *cacheDir)
+	}
+	log.Printf("tlsd: serving %d benchmarks on %s (%d workers, %s)",
+		len(s.workloads), *addr, s.eng.Workers(), disk)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("tlsd: %v", err)
+	}
+}

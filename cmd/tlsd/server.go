@@ -1,0 +1,391 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tlssync"
+	"tlssync/internal/jobs"
+	"tlssync/internal/report"
+	"tlssync/internal/store"
+)
+
+// config wires the daemon's knobs.
+type config struct {
+	workers    int      // job-engine worker pool size (<=0: NumCPU)
+	storeCap   int      // in-memory store capacity (<=0: default)
+	cacheDir   string   // on-disk store layer ("" = memory only)
+	benchmarks []string // serving set (empty = all 15)
+	logf       func(format string, args ...any)
+}
+
+// server is the simulation service: a content-addressed store in front
+// of a coalescing job engine in front of the compile→trace→simulate
+// pipeline.
+type server struct {
+	cfg   config
+	store *store.Store
+	eng   *jobs.Engine
+	mux   *http.ServeMux
+	start time.Time
+
+	workloads []*tlssync.Workload // serving set, paper order
+
+	mu   sync.Mutex
+	runs map[string]*tlssync.Run // prepared benchmarks
+}
+
+// policyLabels are the named policies /simulate accepts.
+var policyLabels = []string{"U", "O", "T", "C", "E", "L", "H", "P", "B"}
+
+func isPolicy(label string) bool {
+	for _, l := range policyLabels {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// newServer builds the service. It does no compilation up front:
+// benchmarks are prepared on demand (coalesced per benchmark) and every
+// derived artifact is served from the store once computed.
+func newServer(cfg config) (*server, error) {
+	if cfg.logf == nil {
+		cfg.logf = log.Printf
+	}
+	st, err := store.New(cfg.storeCap, cfg.cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	all := tlssync.Benchmarks()
+	ws := all
+	if len(cfg.benchmarks) > 0 {
+		byName := make(map[string]*tlssync.Workload, len(all))
+		for _, w := range all {
+			byName[w.Name] = w
+		}
+		ws = ws[:0:0]
+		for _, name := range cfg.benchmarks {
+			w, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown benchmark %q", name)
+			}
+			ws = append(ws, w)
+		}
+	}
+	s := &server{
+		cfg:       cfg,
+		store:     st,
+		eng:       jobs.New(cfg.workers),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		workloads: ws,
+		runs:      make(map[string]*tlssync.Run),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /figures/{id}", s.handleFigure)
+	s.mux.HandleFunc("GET /tables/{id}", s.handleTable)
+	return s, nil
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// workload returns the named workload if it is in the serving set.
+func (s *server) workload(name string) (*tlssync.Workload, bool) {
+	for _, w := range s.workloads {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// run returns the prepared Run for a benchmark, compiling it at most
+// once; concurrent requests for the same benchmark coalesce on the job
+// engine.
+func (s *server) run(ctx context.Context, name string) (*tlssync.Run, error) {
+	s.mu.Lock()
+	r := s.runs[name]
+	s.mu.Unlock()
+	if r != nil {
+		return r, nil
+	}
+	v, err := s.eng.Do(ctx, "prepare/"+name, func(context.Context) (any, error) {
+		w, ok := s.workload(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", name)
+		}
+		return tlssync.NewRun(w)
+	})
+	if err != nil {
+		return nil, err
+	}
+	r = v.(*tlssync.Run)
+	s.mu.Lock()
+	s.runs[name] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// prepareAll prepares the whole serving set. The fan-out itself uses
+// plain goroutines — only the inner compile jobs go through the engine
+// (s.run), so the worker pool is never held by a job that waits on
+// another job (that nesting deadlocks a 1-worker pool).
+func (s *server) prepareAll(ctx context.Context) ([]*tlssync.Run, error) {
+	runs := make([]*tlssync.Run, len(s.workloads))
+	errs := make([]error, len(s.workloads))
+	var wg sync.WaitGroup
+	for i, w := range s.workloads {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			runs[i], errs[i] = s.run(ctx, name)
+		}(i, w.Name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}
+
+// --- responses ---
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...any) error {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+func errNotFound(format string, args ...any) error {
+	return &httpError{http.StatusNotFound, fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if he, ok := err.(*httpError); ok {
+		status = he.status
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// setCache marks whether the response body came from the store.
+func setCache(w http.ResponseWriter, hit bool) string {
+	state := "miss"
+	if hit {
+		state = "hit"
+	}
+	w.Header().Set("X-Tlsd-Cache", state)
+	return state
+}
+
+// --- handlers ---
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	prepared := make([]string, 0, len(s.runs))
+	for name := range s.runs {
+		prepared = append(prepared, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(prepared)
+	serving := make([]string, 0, len(s.workloads))
+	for _, w := range s.workloads {
+		serving = append(serving, w.Name)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"store":          s.store.Stats(),
+		"jobs":           s.eng.Stats(),
+		"benchmarks": map[string]any{
+			"serving":  serving,
+			"prepared": prepared,
+		},
+		"policies": policyLabels,
+	})
+}
+
+// simPayload is the stored (and served) artifact of one simulation.
+type simPayload struct {
+	Bench          string         `json:"bench"`
+	Policy         string         `json:"policy"`
+	Bar            report.BarJSON `json:"bar"`
+	RegionSpeedup  float64        `json:"region_speedup"`
+	ProgramSpeedup float64        `json:"program_speedup"`
+	Coverage       float64        `json:"coverage"`
+	Violations     int64          `json:"violations"`
+	Restarts       int64          `json:"restarts"`
+	RegionCycles   int64          `json:"region_cycles"`
+	SeqCycles      int64          `json:"seq_cycles"`
+}
+
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	bench := r.URL.Query().Get("bench")
+	policy := r.URL.Query().Get("policy")
+	if bench == "" || policy == "" {
+		writeError(w, errBadRequest("need bench and policy query parameters (e.g. /simulate?bench=gzip_comp&policy=C)"))
+		return
+	}
+	wl, ok := s.workload(bench)
+	if !ok {
+		writeError(w, errNotFound("benchmark %q not in serving set", bench))
+		return
+	}
+	if !isPolicy(policy) {
+		writeError(w, errBadRequest("unknown policy %q (have %s)", policy, strings.Join(policyLabels, " ")))
+		return
+	}
+
+	// Warm path: the artifact key is computable without compiling.
+	key := tlssync.WorkloadArtifactKey("simulate", wl, policy)
+	if data, ok := s.store.Get(key); ok {
+		state := setCache(w, true)
+		writeJSON(w, http.StatusOK, map[string]any{"cache": state, "result": json.RawMessage(data)})
+		return
+	}
+
+	run, err := s.run(r.Context(), bench)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	v, err := s.eng.Do(r.Context(), "simulate/"+bench+"/"+policy, func(context.Context) (any, error) {
+		res, err := run.Simulate(policy)
+		if err != nil {
+			return nil, err
+		}
+		bar := report.RowsJSON([]report.Row{{Bars: []report.Bar{run.Bar(policy, res)}}})[0].Bars[0]
+		return store.Marshal(simPayload{
+			Bench:          bench,
+			Policy:         policy,
+			Bar:            bar,
+			RegionSpeedup:  run.RegionSpeedup(res),
+			ProgramSpeedup: run.ProgramSpeedup(res),
+			Coverage:       run.Coverage(),
+			Violations:     res.Violations,
+			Restarts:       res.Restarts,
+			RegionCycles:   res.RegionCycles(),
+			SeqCycles:      res.SeqCycles,
+		})
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	data := v.([]byte)
+	s.store.Put(key, data)
+	s.cfg.logf("tlsd: simulated %s/%s", bench, policy)
+	state := setCache(w, false)
+	writeJSON(w, http.StatusOK, map[string]any{"cache": state, "result": json.RawMessage(data)})
+}
+
+// figurePayload is the stored (and served) artifact of one figure.
+type figurePayload struct {
+	ID    string           `json:"id"`
+	Title string           `json:"title"`
+	Rows  []report.RowJSON `json:"rows,omitempty"`
+	Text  string           `json:"text"`
+}
+
+// figure serves one experiment by ID, from the store when warm.
+func (s *server) figure(w http.ResponseWriter, r *http.Request, id string) {
+	exp, ok := tlssync.Experiments[id]
+	if !ok {
+		writeError(w, errNotFound("unknown figure %q (have %s)", id, strings.Join(tlssync.ExperimentIDs(), " ")))
+		return
+	}
+	key := tlssync.FigureKey(id, s.workloads)
+	if data, ok := s.store.Get(key); ok {
+		state := setCache(w, true)
+		writeJSON(w, http.StatusOK, map[string]any{"cache": state, "figure": json.RawMessage(data)})
+		return
+	}
+
+	runs, err := s.prepareAll(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Fan the figure's simulations out at (benchmark × policy)
+	// granularity; concurrent requests for the same figure coalesce
+	// per pair on the engine.
+	if err := tlssync.Prewarm(r.Context(), s.eng, runs, []string{id}, nil); err != nil {
+		writeError(w, err)
+		return
+	}
+	f, err := exp(runs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	data, err := store.Marshal(figurePayload{
+		ID:    f.ID,
+		Title: f.Title,
+		Rows:  report.RowsJSON(f.Rows),
+		Text:  f.Text,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.store.Put(key, data)
+	s.cfg.logf("tlsd: computed figure %s over %d benchmarks", id, len(s.workloads))
+	state := setCache(w, false)
+	writeJSON(w, http.StatusOK, map[string]any{"cache": state, "figure": json.RawMessage(data)})
+}
+
+func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	s.figure(w, r, r.PathValue("id"))
+}
+
+func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
+	switch id := r.PathValue("id"); id {
+	case "1":
+		// Table 1 is the static machine description; nothing to cache.
+		setCache(w, true)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"cache": "hit",
+			"figure": figurePayload{
+				ID:    "1",
+				Title: "Table 1: simulation parameters",
+				Text:  tlssync.MachineTable1(),
+			},
+		})
+	case "2", "T2":
+		s.figure(w, r, "T2")
+	default:
+		writeError(w, errNotFound("unknown table %q (have 1, 2)", id))
+	}
+}

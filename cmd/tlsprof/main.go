@@ -3,9 +3,15 @@
 // frequency and distance of every observed dependence, the dependence
 // graph groups at the synchronization threshold, and the region coverage
 // statistics that drive loop selection.
+//
+// With -cachedir, the computed profile is stored in the
+// content-addressed artifact store; a repeated invocation over the same
+// source, inputs and seed is served from the cache without recompiling.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,7 +20,9 @@ import (
 	"tlssync"
 	"tlssync/internal/alias"
 	"tlssync/internal/depgraph"
+	"tlssync/internal/profile"
 	"tlssync/internal/report"
+	"tlssync/internal/store"
 )
 
 func main() {
@@ -22,6 +30,7 @@ func main() {
 	thresh := flag.Float64("threshold", 0.05, "group-formation frequency threshold")
 	useTrain := flag.Bool("train", false, "profile the train input instead of ref")
 	jsonOut := flag.String("json", "", "also write the profile as JSON to this file")
+	cacheDir := flag.String("cachedir", "", "content-addressed profile cache directory (skips recompilation on hit)")
 	flag.Parse()
 
 	var src string
@@ -46,17 +55,59 @@ func main() {
 		os.Exit(2)
 	}
 
-	b, err := tlssync.Compile(tlssync.Config{
+	cfg := tlssync.Config{
 		Source: src, TrainInput: train, RefInput: ref, Seed: 42,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	prof := b.RefProfile
+	}.Canonical()
 	which := "ref"
 	if *useTrain {
-		prof = b.TrainProfile
 		which = "train"
+	}
+
+	// The profile's content address: compiler configuration (source,
+	// inputs, seed, heuristics) plus which input was profiled.
+	var st *store.Store
+	var key string
+	if *cacheDir != "" {
+		var err error
+		if st, err = store.New(0, *cacheDir); err != nil {
+			fatal(err)
+		}
+		cfgJSON, err := json.Marshal(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		key = store.Key("profile", string(cfgJSON), which)
+	}
+
+	var prof *profile.Profile
+	var b *tlssync.Build
+	if st != nil {
+		if data, ok := st.Get(key); ok {
+			p, err := profile.Load(bytes.NewReader(data))
+			if err != nil {
+				fatal(err)
+			}
+			prof = p
+			fmt.Fprintf(os.Stderr, "profile served from cache (%s)\n", key[:12])
+		}
+	}
+	if prof == nil {
+		var err error
+		b, err = tlssync.Compile(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		prof = b.RefProfile
+		if *useTrain {
+			prof = b.TrainProfile
+		}
+		if st != nil {
+			var buf bytes.Buffer
+			if err := prof.Save(&buf); err != nil {
+				fatal(err)
+			}
+			st.Put(key, buf.Bytes())
+		}
 	}
 
 	if *jsonOut != "" {
@@ -111,7 +162,13 @@ func main() {
 	}
 
 	// Contrast with static may-alias analysis (the paper's §2.2 argument
-	// for profiling: may-alias sets are too coarse to synchronize).
+	// for profiling: may-alias sets are too coarse to synchronize). Needs
+	// the compiled program, so it is skipped when the profile came from
+	// the cache.
+	if b == nil {
+		fmt.Println("(static may-alias contrast skipped: profile served from cache)")
+		return
+	}
 	an := alias.Analyze(b.Plain)
 	static := an.MayDeps()
 	dynamic := make(map[[2]int]bool)

@@ -1,10 +1,12 @@
 package tlssync
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
+	"time"
 
+	"tlssync/internal/jobs"
 	"tlssync/internal/report"
 	"tlssync/internal/sim"
 )
@@ -25,22 +27,33 @@ type Figure struct {
 // (compilation and baselining are independent per benchmark; the
 // per-benchmark pipeline itself stays deterministic).
 func PrepareAll() ([]*Run, error) {
+	return PrepareAllWith(context.Background(), jobs.New(0), nil)
+}
+
+// PrepareAllWith compiles and baselines every benchmark through the job
+// engine, so compilation parallelism is bounded by the engine's worker
+// pool and concurrent callers preparing the same benchmark coalesce.
+// progress (optional) is invoked once per completed benchmark.
+func PrepareAllWith(ctx context.Context, eng *jobs.Engine, progress func(bench string, d time.Duration, err error)) ([]*Run, error) {
 	ws := Benchmarks()
 	runs := make([]*Run, len(ws))
-	errs := make([]error, len(ws))
-	var wg sync.WaitGroup
+	g := eng.NewGroup(ctx)
 	for i, w := range ws {
-		wg.Add(1)
-		go func(i int, w *Workload) {
-			defer wg.Done()
-			runs[i], errs[i] = NewRun(w)
-		}(i, w)
+		i, w := i, w
+		start := time.Now()
+		g.Go("prepare/"+w.Name, func(context.Context) (any, error) {
+			return NewRun(w)
+		}, func(val any, err error) {
+			if err == nil {
+				runs[i] = val.(*Run)
+			}
+			if progress != nil {
+				progress(w.Name, time.Since(start), err)
+			}
+		})
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return runs, nil
 }
@@ -83,18 +96,8 @@ func Fig6(runs []*Run) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, th := range []struct {
-			label string
-			frac  float64
-		}{{"F25", 0.25}, {"F15", 0.15}, {"F5", 0.05}} {
-			set := make(map[int]bool)
-			for _, rp := range r.Build.RefProfile.Regions {
-				for id := range rp.LoadsAboveThreshold(th.frac) {
-					set[id] = true
-				}
-			}
-			res, err := r.SimulatePolicy("fig6-"+th.label,
-				sim.Policy{Name: th.label, OracleLoads: set})
+		for _, th := range fig6Thresholds {
+			res, err := r.SimulatePolicy("fig6-"+th.label, r.fig6Policy(th.label, th.frac))
 			if err != nil {
 				return nil, err
 			}
@@ -104,6 +107,24 @@ func Fig6(runs []*Run) (*Figure, error) {
 	}
 	f.Text = report.RenderBars(f.Title, f.Rows, 50)
 	return f, nil
+}
+
+// fig6Thresholds are the threshold study's oracle configurations.
+var fig6Thresholds = []struct {
+	label string
+	frac  float64
+}{{"F25", 0.25}, {"F15", 0.15}, {"F5", 0.05}}
+
+// fig6Policy builds the oracle policy that perfectly predicts every load
+// violating in more than frac of epochs.
+func (r *Run) fig6Policy(label string, frac float64) sim.Policy {
+	set := make(map[int]bool)
+	for _, rp := range r.Build.RefProfile.Regions {
+		for id := range rp.LoadsAboveThreshold(frac) {
+			set[id] = true
+		}
+	}
+	return sim.Policy{Name: label, OracleLoads: set}
 }
 
 // Fig7 — dependence distance distribution (paper §2.4: most frequent
@@ -189,28 +210,8 @@ func Fig11(runs []*Run) (*Figure, error) {
 	f := &Figure{ID: "11", Title: "Figure 11: violated loads classified by synchronizing scheme"}
 	rows := [][]string{{"benchmark", "mode", "violations", "neither", "comp-only", "hw-only", "both"}}
 	for _, r := range runs {
-		marks := r.CompilerMarks()
-		modes := []struct {
-			label string
-			pol   sim.Policy
-		}{
-			{"U", sim.Policy{Name: "U", CompilerMarks: marks}},
-			{"C", sim.Policy{Name: "C", CompilerMarks: marks}},
-			{"H", sim.Policy{Name: "H", HWSync: true, CompilerMarks: marks}},
-			{"B", sim.Policy{Name: "B", HWSync: true, CompilerMarks: marks}},
-		}
-		for _, md := range modes {
-			// Stall-for-compiler modes run the transformed binary; the
-			// others run the baseline binary but keep the marks.
-			label := "fig11-" + md.label
-			var res *sim.Result
-			var err error
-			switch md.label {
-			case "C", "B":
-				res, err = r.simulateOn("ref", label, md.pol)
-			default:
-				res, err = r.simulateOn("base", label, md.pol)
-			}
+		for _, md := range fig11Specs(r) {
+			res, err := r.SimulateSpec(md)
 			if err != nil {
 				return nil, err
 			}
@@ -219,7 +220,7 @@ func Fig11(runs []*Run) (*Figure, error) {
 				total += n
 			}
 			rows = append(rows, []string{
-				r.W.Label, md.label,
+				r.W.Label, md.Policy.Name,
 				fmt.Sprintf("%d", total),
 				fmt.Sprintf("%d", res.ViolBuckets[sim.BucketNeither]),
 				fmt.Sprintf("%d", res.ViolBuckets[sim.BucketCompiler]),
@@ -234,7 +235,7 @@ func Fig11(runs []*Run) (*Figure, error) {
 
 // simulateOn forces a specific binary for a policy (used by Fig11).
 func (r *Run) simulateOn(binary, cacheLabel string, pol sim.Policy) (*sim.Result, error) {
-	if res, ok := r.cache[cacheLabel]; ok {
+	if res, ok := r.cachedResult(cacheLabel); ok {
 		return res, nil
 	}
 	tr, err := r.traceFor(binary)
@@ -242,8 +243,7 @@ func (r *Run) simulateOn(binary, cacheLabel string, pol sim.Policy) (*sim.Result
 		return nil, err
 	}
 	res := sim.Simulate(sim.Input{Trace: tr, Policy: pol})
-	r.cache[cacheLabel] = res
-	return res, nil
+	return r.storeResult(cacheLabel, res), nil
 }
 
 // Fig12 — whole-program speedups for U, C, H, B.
@@ -291,6 +291,119 @@ func Table2(runs []*Run) (*Figure, error) {
 	}
 	f.Text = f.Title + "\n\n" + report.Table(rows)
 	return f, nil
+}
+
+// fig11Specs returns Figure 11's four stall-mode simulations for one
+// benchmark. Stall-for-compiler modes run the transformed binary; the
+// others run the baseline binary but keep the compiler marks.
+func fig11Specs(r *Run) []SimSpec {
+	marks := r.CompilerMarks()
+	out := make([]SimSpec, 0, 4)
+	for _, md := range []struct {
+		label  string
+		binary string
+		pol    sim.Policy
+	}{
+		{"U", "base", sim.Policy{Name: "U", CompilerMarks: marks}},
+		{"C", "ref", sim.Policy{Name: "C", CompilerMarks: marks}},
+		{"H", "base", sim.Policy{Name: "H", HWSync: true, CompilerMarks: marks}},
+		{"B", "ref", sim.Policy{Name: "B", HWSync: true, CompilerMarks: marks}},
+	} {
+		out = append(out, SimSpec{Run: r, Label: "fig11-" + md.label, Policy: md.pol, Binary: md.binary})
+	}
+	return out
+}
+
+// SimSpec is one (benchmark × policy) simulation unit: the granularity
+// at which figure regeneration fans out across the job engine.
+type SimSpec struct {
+	Run    *Run
+	Label  string     // result-cache label (unique per distinct policy)
+	Policy sim.Policy // the policy to simulate
+	Binary string     // "" = the binary the label selects; else base/train/ref
+}
+
+// Key returns the job-engine coalescing key for the spec.
+func (sp SimSpec) Key() string { return "simulate/" + sp.Run.W.Name + "/" + sp.Label }
+
+// SimulateSpec runs (and caches) one spec on its Run.
+func (r *Run) SimulateSpec(sp SimSpec) (*sim.Result, error) {
+	if sp.Binary != "" {
+		return r.simulateOn(sp.Binary, sp.Label, sp.Policy)
+	}
+	return r.SimulatePolicy(sp.Label, sp.Policy)
+}
+
+// labeledSpecs builds plain label-driven specs (policy and binary both
+// derived from the label).
+func labeledSpecs(r *Run, labels ...string) []SimSpec {
+	out := make([]SimSpec, 0, len(labels))
+	for _, l := range labels {
+		out = append(out, SimSpec{Run: r, Label: l, Policy: r.policyFor(l)})
+	}
+	return out
+}
+
+// SpecsFor returns every simulation the experiment needs over the given
+// runs, one SimSpec per (benchmark × policy) pair. Fig7 (a pure profile
+// analysis) needs none.
+func SpecsFor(id string, runs []*Run) []SimSpec {
+	var specs []SimSpec
+	for _, r := range runs {
+		switch id {
+		case "2":
+			specs = append(specs, labeledSpecs(r, "U", "O")...)
+		case "6":
+			specs = append(specs, labeledSpecs(r, "U")...)
+			for _, th := range fig6Thresholds {
+				specs = append(specs, SimSpec{Run: r, Label: "fig6-" + th.label,
+					Policy: r.fig6Policy(th.label, th.frac)})
+			}
+		case "8":
+			specs = append(specs, labeledSpecs(r, "U", "T", "C")...)
+		case "9":
+			specs = append(specs, labeledSpecs(r, "C", "E", "L")...)
+		case "10":
+			specs = append(specs, labeledSpecs(r, "U", "P", "H", "C", "B")...)
+		case "11":
+			specs = append(specs, fig11Specs(r)...)
+		case "12":
+			specs = append(specs, labeledSpecs(r, "U", "C", "H", "B")...)
+		case "T2":
+			specs = append(specs, labeledSpecs(r, "C", "B")...)
+		}
+	}
+	return specs
+}
+
+// Prewarm fans every simulation the listed experiments need out through
+// the job engine at (benchmark × policy) granularity, deduplicating
+// specs shared between experiments. After Prewarm, the experiment
+// functions assemble their figures entirely from cached results.
+// progress (optional) is invoked once per completed pair.
+func Prewarm(ctx context.Context, eng *jobs.Engine, runs []*Run, ids []string,
+	progress func(bench, label string, d time.Duration, err error)) error {
+	seen := make(map[string]bool)
+	g := eng.NewGroup(ctx)
+	for _, id := range ids {
+		for _, sp := range SpecsFor(id, runs) {
+			key := sp.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			sp := sp
+			start := time.Now()
+			g.Go(key, func(context.Context) (any, error) {
+				return sp.Run.SimulateSpec(sp)
+			}, func(_ any, err error) {
+				if progress != nil {
+					progress(sp.Run.W.Name, sp.Label, time.Since(start), err)
+				}
+			})
+		}
+	}
+	return g.Wait()
 }
 
 // Experiments maps figure/table IDs to their runners.

@@ -119,6 +119,15 @@ type Build struct {
 }
 
 // Compile runs the whole pipeline.
+// Canonical returns the configuration with every default filled in —
+// the exact form Compile stores into Build.Config. Content-addressed
+// cache keys hash this form, so a key can be computed for a workload
+// without compiling it.
+func (c Config) Canonical() Config {
+	c.fill()
+	return c
+}
+
 func Compile(cfg Config) (*Build, error) {
 	cfg.fill()
 	file, err := lang.Parse(cfg.Source)

@@ -1,0 +1,259 @@
+// Package jobs is the simulation job engine: a bounded worker pool with
+// in-flight request coalescing (singleflight semantics). The service
+// layer (cmd/tlsd) and the batch CLIs submit every expensive unit of
+// work — compiling a benchmark, tracing a binary, simulating a
+// (benchmark × policy) pair — through an Engine, so that
+//
+//   - parallelism is bounded by a configurable worker count instead of
+//     spawning one goroutine per unit of work;
+//   - identical concurrent requests (same key) execute once and share
+//     the result, which keeps a thundering herd of clients asking for
+//     the same figure from simulating it N times; and
+//   - callers can abandon work via context cancellation without
+//     poisoning the shared execution (the job itself is cancelled only
+//     when every subscribed caller has gone away).
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Engine is a bounded worker pool with request coalescing. The zero
+// value is not usable; construct with New.
+type Engine struct {
+	workers int
+	sem     chan struct{}
+
+	mu       sync.Mutex
+	inflight map[string]*call
+
+	// counters (guarded by mu)
+	submitted  int64 // Do calls that started a new execution
+	coalesced  int64 // Do calls that joined an in-flight execution
+	completed  int64 // executions that finished without error
+	failed     int64 // executions that returned an error (or panicked)
+	abandoned  int64 // waiters that gave up on a cancelled context
+	totalDur   time.Duration
+	maxDur     time.Duration
+	lastDur    time.Duration
+	lastKey    string
+	running    int // executions currently holding (or waiting for) a slot
+}
+
+// call is one coalesced execution.
+type call struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int                // callers still interested in the result
+	cancel  context.CancelFunc // cancels the execution when waiters == 0
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Workers   int           `json:"workers"`
+	InFlight  int           `json:"in_flight"`  // executions running or queued
+	Submitted int64         `json:"submitted"`  // executions started
+	Coalesced int64         `json:"coalesced"`  // calls that shared an execution
+	Completed int64         `json:"completed"`  // executions finished ok
+	Failed    int64         `json:"failed"`     // executions finished with error
+	Abandoned int64         `json:"abandoned"`  // waiters lost to cancellation
+	TotalTime time.Duration `json:"total_time"` // summed execution wall time
+	MaxTime   time.Duration `json:"max_time"`   // slowest single execution
+	LastTime  time.Duration `json:"last_time"`  // most recent execution
+	LastKey   string        `json:"last_key"`   // key of the most recent execution
+}
+
+// AvgTime returns the mean execution wall time.
+func (s Stats) AvgTime() time.Duration {
+	n := s.Completed + s.Failed
+	if n == 0 {
+		return 0
+	}
+	return s.TotalTime / time.Duration(n)
+}
+
+// New returns an engine with the given worker-pool size; workers <= 0
+// selects runtime.NumCPU().
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{
+		workers:  workers,
+		sem:      make(chan struct{}, workers),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Do submits fn under key and waits for its result. If an execution for
+// the same key is already in flight, Do joins it instead of running fn
+// again (the coalesced caller gets the same value and error). fn runs on
+// the worker pool, bounded by the pool size; Do blocks until the result
+// is available or ctx is cancelled. When every caller interested in a
+// key has cancelled, the execution's own context is cancelled too.
+//
+// fn must not call Do (directly or transitively): a job that waits for
+// another job holds its worker slot while waiting, which deadlocks once
+// the nesting depth reaches the pool size. Fan out with goroutines
+// first and submit only the leaf work.
+func (e *Engine) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
+	e.mu.Lock()
+	if c, ok := e.inflight[key]; ok {
+		c.waiters++
+		e.coalesced++
+		e.mu.Unlock()
+		return e.wait(ctx, c)
+	}
+	// The execution context is detached from the first caller's ctx so a
+	// single cancelled client cannot poison the shared result; it is
+	// cancelled explicitly when the last waiter abandons the call.
+	jctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	c := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	e.inflight[key] = c
+	e.submitted++
+	e.running++
+	e.mu.Unlock()
+
+	go e.run(jctx, key, c, fn)
+	return e.wait(ctx, c)
+}
+
+// wait blocks until c completes or ctx is cancelled.
+func (e *Engine) wait(ctx context.Context, c *call) (any, error) {
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		e.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			c.cancel()
+		}
+		e.abandoned++
+		e.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// run executes one coalesced call on the worker pool.
+func (e *Engine) run(ctx context.Context, key string, c *call, fn func(context.Context) (any, error)) {
+	// Acquire a worker slot; give up if every waiter cancelled first.
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.finish(key, c, 0, ctx.Err())
+		return
+	}
+	start := time.Now()
+	val, err := safeCall(ctx, fn)
+	<-e.sem
+	c.val = val
+	e.finish(key, c, time.Since(start), err)
+}
+
+// safeCall runs fn, converting a panic into an error so one bad job
+// cannot take down the daemon's worker pool.
+func safeCall(ctx context.Context, fn func(context.Context) (any, error)) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: panic: %v", r)
+		}
+	}()
+	return fn(ctx)
+}
+
+// finish publishes the result and updates counters.
+func (e *Engine) finish(key string, c *call, d time.Duration, err error) {
+	c.err = err
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.running--
+	if err != nil {
+		e.failed++
+	} else {
+		e.completed++
+	}
+	if d > 0 {
+		e.totalDur += d
+		if d > e.maxDur {
+			e.maxDur = d
+		}
+		e.lastDur = d
+		e.lastKey = key
+	}
+	e.mu.Unlock()
+	close(c.done)
+	c.cancel() // release the detached context's resources
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Workers:   e.workers,
+		InFlight:  e.running,
+		Submitted: e.submitted,
+		Coalesced: e.coalesced,
+		Completed: e.completed,
+		Failed:    e.failed,
+		Abandoned: e.abandoned,
+		TotalTime: e.totalDur,
+		MaxTime:   e.maxDur,
+		LastTime:  e.lastDur,
+		LastKey:   e.lastKey,
+	}
+}
+
+// Group waits for a set of jobs submitted together (a convenience over
+// sync.WaitGroup + first-error collection used by the fan-out paths).
+type Group struct {
+	eng *Engine
+	ctx context.Context
+
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	err  error
+}
+
+// NewGroup returns a group that submits through eng under ctx.
+func (e *Engine) NewGroup(ctx context.Context) *Group {
+	return &Group{eng: e, ctx: ctx}
+}
+
+// Go submits fn under key and records its result via done (which may be
+// nil). The first error is retained for Wait.
+func (g *Group) Go(key string, fn func(context.Context) (any, error), done func(val any, err error)) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		val, err := g.eng.Do(g.ctx, key, fn)
+		if done != nil {
+			done(val, err)
+		}
+		if err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every submitted job finished and returns the first
+// error.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}

@@ -1,0 +1,47 @@
+package report
+
+import "encoding/json"
+
+// JSON rendering of figures, for the HTTP service layer (cmd/tlsd) and
+// any tooling that post-processes figures programmatically. The schema
+// mirrors the text rendering: one object per (benchmark, bar) with the
+// normalized busy/fail/sync/other breakdown.
+
+// BarJSON is the wire form of one normalized execution-time bar.
+type BarJSON struct {
+	Label string  `json:"label"`
+	Busy  float64 `json:"busy"`
+	Fail  float64 `json:"fail"`
+	Sync  float64 `json:"sync"`
+	Other float64 `json:"other"`
+	Total float64 `json:"total"`
+}
+
+// RowJSON is the wire form of one benchmark's bars in a figure.
+type RowJSON struct {
+	Bench string    `json:"bench"`
+	Bars  []BarJSON `json:"bars"`
+}
+
+// RowsJSON converts figure rows to their wire form.
+func RowsJSON(rows []Row) []RowJSON {
+	out := make([]RowJSON, 0, len(rows))
+	for _, r := range rows {
+		jr := RowJSON{Bench: r.Bench, Bars: make([]BarJSON, 0, len(r.Bars))}
+		for _, b := range r.Bars {
+			jr.Bars = append(jr.Bars, BarJSON{
+				Label: b.Label,
+				Busy:  b.Busy, Fail: b.Fail, Sync: b.Sync, Other: b.Other,
+				Total: b.Total(),
+			})
+		}
+		out = append(out, jr)
+	}
+	return out
+}
+
+// JSON renders figure rows as a JSON array (deterministic: field order
+// is fixed by the struct definitions).
+func JSON(rows []Row) ([]byte, error) {
+	return json.Marshal(RowsJSON(rows))
+}

@@ -1,0 +1,42 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRowsJSONRoundTrip(t *testing.T) {
+	rows := []Row{
+		{Bench: "GZIP_COMP", Bars: []Bar{
+			{Label: "U", Busy: 30, Fail: 40, Sync: 0, Other: 20},
+			{Label: "C", Busy: 30, Fail: 5, Sync: 10, Other: 15},
+		}},
+		{Bench: "MCF", Bars: []Bar{{Label: "U", Busy: 25}}},
+	}
+	data, err := JSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []RowJSON
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 2 || decoded[0].Bench != "GZIP_COMP" || len(decoded[0].Bars) != 2 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if got := decoded[0].Bars[0]; got.Label != "U" || got.Total != 90 {
+		t.Fatalf("bar = %+v, want label U total 90", got)
+	}
+	if decoded[1].Bars[0].Total != 25 {
+		t.Fatalf("bar total = %v, want 25", decoded[1].Bars[0].Total)
+	}
+}
+
+func TestJSONDeterministic(t *testing.T) {
+	rows := []Row{{Bench: "X", Bars: []Bar{{Label: "U", Busy: 1.5}}}}
+	a, _ := JSON(rows)
+	b, _ := JSON(rows)
+	if string(a) != string(b) {
+		t.Fatalf("non-deterministic JSON: %s vs %s", a, b)
+	}
+}

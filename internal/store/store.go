@@ -1,0 +1,300 @@
+// Package store is a content-addressed artifact cache for the
+// compile→profile→simulate pipeline. Artifacts — serialized sim.Results,
+// dependence profiles, rendered figures — are keyed by the SHA-256 of
+// everything that determines their content: the MiniC source, the
+// compiler options, the policy label, and the machine configuration.
+// Because the whole pipeline is deterministic (fixed seed, trace-driven
+// timing), a key hit is guaranteed to be byte-identical to a fresh
+// recomputation, so cached artifacts can be served to clients directly.
+//
+// The store is a two-level cache: a bounded in-memory LRU layer in front
+// of an optional on-disk layer under a cache directory. Disk entries are
+// written with a payload checksum and atomically (write-to-temp +
+// rename); a corrupt or truncated entry is detected on read, counted,
+// deleted, and treated as a miss so the caller falls back to
+// recomputing. All methods are safe for concurrent use.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Marshal renders an artifact payload as deterministic JSON: Go's
+// encoding/json sorts map keys and the pipeline is seeded, so equal
+// artifacts always serialize to equal bytes — the property that makes
+// content-addressed caching sound.
+func Marshal(v any) ([]byte, error) { return json.Marshal(v) }
+
+// Key returns the content address for an artifact: a hex SHA-256 over
+// the kind tag and every identifying part. Parts are length-prefixed so
+// distinct part lists can never collide by concatenation.
+func Key(kind string, parts ...string) string {
+	h := sha256.New()
+	writePart(h, kind)
+	for _, p := range parts {
+		writePart(h, p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writePart(h io.Writer, p string) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+	h.Write(n[:])
+	io.WriteString(h, p)
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	Entries    int   `json:"entries"`     // in-memory entries
+	Capacity   int   `json:"capacity"`    // in-memory LRU capacity
+	Hits       int64 `json:"hits"`        // Get served (memory or disk)
+	MemHits    int64 `json:"mem_hits"`    // ... of which from memory
+	DiskHits   int64 `json:"disk_hits"`   // ... of which from disk
+	Misses     int64 `json:"misses"`      // Get found nothing usable
+	Evictions  int64 `json:"evictions"`   // memory entries evicted by LRU
+	Puts       int64 `json:"puts"`        // artifacts stored
+	DiskErrors int64 `json:"disk_errors"` // corrupt/unreadable/unwritable disk entries
+	DiskBytes  int64 `json:"disk_bytes"`  // payload bytes written to disk
+}
+
+// Store is the two-level content-addressed cache.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	dir   string // "" = memory only
+	stats Stats
+}
+
+// entry is one in-memory artifact.
+type entry struct {
+	key string
+	val []byte
+}
+
+// DefaultCapacity bounds the in-memory layer when the caller passes a
+// non-positive capacity.
+const DefaultCapacity = 256
+
+// New returns a store holding at most capacity artifacts in memory
+// (<= 0 selects DefaultCapacity). If dir is non-empty, artifacts are
+// also persisted under it (created if missing) and survive restarts.
+func New(capacity int, dir string) (*Store, error) {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: cache dir: %w", err)
+		}
+	}
+	s := &Store{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		dir:   dir,
+	}
+	s.stats.Capacity = capacity
+	return s, nil
+}
+
+// Dir returns the on-disk cache directory ("" when memory-only).
+func (s *Store) Dir() string { return s.dir }
+
+// Get returns the artifact stored under key. It consults the in-memory
+// LRU first and falls back to the disk layer; a disk hit is promoted
+// into memory. The returned slice must not be modified by the caller.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		s.stats.Hits++
+		s.stats.MemHits++
+		val := el.Value.(*entry).val
+		s.mu.Unlock()
+		return val, true
+	}
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		s.miss()
+		return nil, false
+	}
+	val, err := s.readDisk(key)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			// Corrupt or unreadable: count, remove, recompute.
+			s.mu.Lock()
+			s.stats.DiskErrors++
+			s.mu.Unlock()
+			os.Remove(s.path(key))
+		}
+		s.miss()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.stats.Hits++
+	s.stats.DiskHits++
+	s.insertLocked(key, val)
+	s.mu.Unlock()
+	return val, true
+}
+
+func (s *Store) miss() {
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+}
+
+// Put stores the artifact under key in memory and, when a cache dir is
+// configured, on disk. Disk failures are counted but do not fail the
+// put: the in-memory layer still serves the artifact.
+func (s *Store) Put(key string, val []byte) {
+	s.mu.Lock()
+	s.stats.Puts++
+	s.insertLocked(key, val)
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		return
+	}
+	if err := s.writeDisk(key, val); err != nil {
+		s.mu.Lock()
+		s.stats.DiskErrors++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.stats.DiskBytes += int64(len(val))
+	s.mu.Unlock()
+}
+
+// insertLocked adds or refreshes a memory entry and evicts past cap.
+func (s *Store) insertLocked(key string, val []byte) {
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&entry{key: key, val: val})
+	for s.ll.Len() > s.cap {
+		last := s.ll.Back()
+		s.ll.Remove(last)
+		delete(s.items, last.Value.(*entry).key)
+		s.stats.Evictions++
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Keys returns the in-memory keys from most to least recently used
+// (diagnostics and tests).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, s.ll.Len())
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).key)
+	}
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.ll.Len()
+	return st
+}
+
+// --- disk layer ---
+
+// diskMagic heads every on-disk entry; bump on format change.
+const diskMagic = "tlsstore1"
+
+// path maps a key to its cache file, sharded by the first key byte to
+// keep directories small.
+func (s *Store) path(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.dir, shard, key)
+}
+
+// writeDisk persists one entry atomically with a payload checksum:
+//
+//	tlsstore1 <hex sha256 of payload>\n<payload>
+func (s *Store) writeDisk(key string, val []byte) error {
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	sum := sha256.Sum256(val)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %s\n", diskMagic, hex.EncodeToString(sum[:]))
+	buf.Write(val)
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}
+
+// readDisk loads and verifies one entry. A missing file returns an
+// os.IsNotExist error; any format or checksum problem returns a non-nil
+// error describing the corruption.
+func (s *Store) readDisk(key string) ([]byte, error) {
+	f, err := os.Open(s.path(key))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	header, err := r.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: truncated header", key)
+	}
+	fields := strings.Fields(strings.TrimSpace(header))
+	if len(fields) != 2 || fields[0] != diskMagic {
+		return nil, fmt.Errorf("store: %s: bad header", key)
+	}
+	val, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", key, err)
+	}
+	sum := sha256.Sum256(val)
+	if hex.EncodeToString(sum[:]) != fields[1] {
+		return nil, fmt.Errorf("store: %s: checksum mismatch", key)
+	}
+	return val, nil
+}

@@ -1,0 +1,267 @@
+package store_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"tlssync/internal/core"
+	"tlssync/internal/sim"
+	"tlssync/internal/store"
+)
+
+func TestKeyDistinctAndStable(t *testing.T) {
+	k1 := store.Key("result", "src", "opts", "C", "machine")
+	if k2 := store.Key("result", "src", "opts", "C", "machine"); k2 != k1 {
+		t.Fatalf("same parts hashed differently: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key length = %d, want 64 hex chars", len(k1))
+	}
+	distinct := map[string]bool{k1: true}
+	for _, k := range []string{
+		store.Key("figure", "src", "opts", "C", "machine"), // kind matters
+		store.Key("result", "src", "opts", "U", "machine"), // policy matters
+		store.Key("result", "srco", "pts", "C", "machine"), // no concat ambiguity
+	} {
+		if distinct[k] {
+			t.Fatalf("key collision: %s", k)
+		}
+		distinct[k] = true
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	s, err := store.New(3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"k1", "k2", "k3"} {
+		s.Put(k, []byte(k))
+	}
+	// Refresh k1, then push two more: eviction order must be k2, k3.
+	if _, ok := s.Get("k1"); !ok {
+		t.Fatal("k1 missing")
+	}
+	s.Put("k4", []byte("k4"))
+	if _, ok := s.Get("k2"); ok {
+		t.Fatal("k2 should be the first eviction (least recently used)")
+	}
+	s.Put("k5", []byte("k5"))
+	if _, ok := s.Get("k3"); ok {
+		t.Fatal("k3 should be the second eviction")
+	}
+	for _, k := range []string{"k1", "k4", "k5"} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	if got, want := s.Keys(), []string{"k5", "k4", "k1"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("LRU order = %v, want %v", got, want)
+	}
+	st := s.Stats()
+	if st.Evictions != 2 || st.Entries != 3 || st.Puts != 5 {
+		t.Fatalf("stats = %+v, want evictions=2 entries=3 puts=5", st)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s, _ := store.New(4, "")
+	s.Put("a", []byte("1"))
+	s.Get("a")
+	s.Get("b")
+	st := s.Stats()
+	if st.Hits != 1 || st.MemHits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want hits=1 mem_hits=1 misses=1", st)
+	}
+}
+
+func TestDiskPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := store.New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Put("deadbeef", []byte("artifact-bytes"))
+
+	// A fresh store over the same dir (a daemon restart) must serve the
+	// artifact from disk and promote it into memory.
+	s2, err := store.New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, ok := s2.Get("deadbeef")
+	if !ok || string(val) != "artifact-bytes" {
+		t.Fatalf("disk get = %q, %v", val, ok)
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want disk_hits=1", st)
+	}
+	// Second read is a memory hit.
+	if _, ok := s2.Get("deadbeef"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats = %+v, want mem_hits=1 after promotion", st)
+	}
+}
+
+func TestCorruptDiskEntryFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := store.New(4, dir)
+	s1.Put("cafebabe", []byte("good-bytes"))
+
+	// Corrupt the payload on disk.
+	path := filepath.Join(dir, "ca", "cafebabe")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := store.New(4, dir)
+	if _, ok := s2.Get("cafebabe"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	st := s2.Stats()
+	if st.DiskErrors != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want disk_errors=1 misses=1", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed")
+	}
+	// The key is recomputable and storable again.
+	s2.Put("cafebabe", []byte("recomputed"))
+	if val, ok := s2.Get("cafebabe"); !ok || string(val) != "recomputed" {
+		t.Fatalf("after recompute: %q, %v", val, ok)
+	}
+}
+
+func TestTruncatedDiskEntryFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := store.New(4, dir)
+	s1.Put("feedface", []byte("payload"))
+	path := filepath.Join(dir, "fe", "feedface")
+	if err := os.WriteFile(path, []byte("tlsstore1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := store.New(4, dir)
+	if _, ok := s2.Get("feedface"); ok {
+		t.Fatal("truncated entry served")
+	}
+	if st := s2.Stats(); st.DiskErrors != 1 {
+		t.Fatalf("stats = %+v, want disk_errors=1", st)
+	}
+}
+
+func TestMissingDiskEntryIsMiss(t *testing.T) {
+	s, _ := store.New(4, t.TempDir())
+	if _, ok := s.Get("0000000000000000"); ok {
+		t.Fatal("phantom hit")
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.DiskErrors != 0 {
+		t.Fatalf("stats = %+v, want misses=1 disk_errors=0", st)
+	}
+}
+
+// detSource carries one hot inter-epoch dependence; small enough that a
+// full compile+simulate runs in well under a second.
+const detSource = `
+var total int;
+var out [256]int;
+
+func main() {
+	var i int;
+	parallel for i = 0; i < 100; i = i + 1 {
+		total = total + (i * 7) % 13;
+		out[i % 256] = total;
+	}
+	print(total);
+}
+`
+
+// simulateOnce compiles detSource and runs policy U, returning the
+// canonical serialized artifact.
+func simulateOnce(t *testing.T) []byte {
+	t.Helper()
+	b, err := core.Compile(core.Config{Source: detSource, RefInput: []int64{1, 2, 3}, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := b.Trace(b.Base, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Simulate(sim.Input{Trace: tr, Policy: sim.PolicyU()})
+	data, err := store.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDeterminism: an artifact served under a key is byte-identical to a
+// fresh simulation of the same inputs — through memory and through disk.
+func TestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and simulates")
+	}
+	dir := t.TempDir()
+	s, _ := store.New(4, dir)
+	key := store.Key("result", detSource, "seed=42", "U", "default-machine")
+
+	first := simulateOnce(t)
+	s.Put(key, first)
+
+	cached, ok := s.Get(key)
+	if !ok {
+		t.Fatal("stored artifact missing")
+	}
+	fresh := simulateOnce(t)
+	if !bytes.Equal(cached, fresh) {
+		t.Fatalf("cached artifact differs from fresh simulation:\n%s\nvs\n%s", cached, fresh)
+	}
+
+	// And through the disk layer alone (fresh store, same dir).
+	s2, _ := store.New(4, dir)
+	fromDisk, ok := s2.Get(key)
+	if !ok {
+		t.Fatal("disk artifact missing")
+	}
+	if !bytes.Equal(fromDisk, fresh) {
+		t.Fatal("disk artifact differs from fresh simulation")
+	}
+}
+
+// TestConcurrentAccess exercises the store under the race detector.
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := store.New(8, t.TempDir())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%12)
+				if i%2 == 0 {
+					s.Put(key, []byte(key))
+				} else {
+					s.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() > 8 {
+		t.Fatalf("len = %d exceeds capacity", s.Len())
+	}
+}

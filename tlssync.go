@@ -18,13 +18,16 @@
 package tlssync
 
 import (
+	"encoding/json"
 	"fmt"
+	"sync"
 
 	"tlssync/internal/core"
 	"tlssync/internal/memsync"
 	"tlssync/internal/regions"
 	"tlssync/internal/report"
 	"tlssync/internal/sim"
+	"tlssync/internal/store"
 	"tlssync/internal/trace"
 	"tlssync/internal/workloads"
 )
@@ -55,7 +58,10 @@ func MachineTable1() string { return sim.DefaultMachine().Table1() }
 
 // Run is a compiled-and-baselined benchmark ready for policy simulations.
 // It caches traces per binary and the sequential baseline used to
-// normalize every bar.
+// normalize every bar. Simulate, SimulatePolicy and SimulateTimeline are
+// safe for concurrent callers: traces are computed once per binary and
+// results are cached per label under an internal mutex, so figure
+// regeneration can fan out at (benchmark × policy) granularity.
 type Run struct {
 	W     *Workload
 	Build *Build
@@ -66,23 +72,39 @@ type Run struct {
 	SeqProgram int64
 	SeqOutside int64 // sequential cycles outside regions
 
-	traces map[string]*trace.ProgramTrace
+	mu     sync.Mutex            // guards traces and cache
+	traces map[string]*traceCell // per-binary trace, computed once
 	cache  map[string]*sim.Result
 }
 
-// NewRun compiles w and computes its sequential baseline.
-func NewRun(w *Workload) (*Run, error) {
-	b, err := core.Compile(core.Config{
+// traceCell computes one binary's trace exactly once even when several
+// policies race to request it.
+type traceCell struct {
+	once sync.Once
+	tr   *trace.ProgramTrace
+	err  error
+}
+
+// runConfig is the compiler configuration NewRun uses for a workload,
+// in canonical (defaults-filled) form so cache keys computed before and
+// after compilation agree.
+func runConfig(w *Workload) core.Config {
+	return core.Config{
 		Source:     w.Source,
 		TrainInput: w.Train,
 		RefInput:   w.Ref,
 		Seed:       42,
-	})
+	}.Canonical()
+}
+
+// NewRun compiles w and computes its sequential baseline.
+func NewRun(w *Workload) (*Run, error) {
+	b, err := core.Compile(runConfig(w))
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	r := &Run{W: w, Build: b,
-		traces: make(map[string]*trace.ProgramTrace),
+		traces: make(map[string]*traceCell),
 		cache:  make(map[string]*sim.Result),
 	}
 	plainTr, err := b.Trace(b.Plain, w.Ref)
@@ -112,22 +134,44 @@ func (r *Run) binaryFor(label string) string {
 }
 
 func (r *Run) traceFor(binary string) (*trace.ProgramTrace, error) {
-	if tr, ok := r.traces[binary]; ok {
-		return tr, nil
+	r.mu.Lock()
+	c, ok := r.traces[binary]
+	if !ok {
+		c = &traceCell{}
+		r.traces[binary] = c
 	}
-	var p = r.Build.Base
-	switch binary {
-	case "train":
-		p = r.Build.Train
-	case "ref":
-		p = r.Build.Ref
+	r.mu.Unlock()
+	c.once.Do(func() {
+		var p = r.Build.Base
+		switch binary {
+		case "train":
+			p = r.Build.Train
+		case "ref":
+			p = r.Build.Ref
+		}
+		c.tr, c.err = r.Build.Trace(p, r.W.Ref)
+	})
+	return c.tr, c.err
+}
+
+// cachedResult returns the memoized result for a label, if any.
+func (r *Run) cachedResult(label string) (*sim.Result, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, ok := r.cache[label]
+	return res, ok
+}
+
+// storeResult memoizes a result; the first writer wins so concurrent
+// duplicate simulations (deterministic anyway) converge on one value.
+func (r *Run) storeResult(label string, res *sim.Result) *sim.Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.cache[label]; ok {
+		return prev
 	}
-	tr, err := r.Build.Trace(p, r.W.Ref)
-	if err != nil {
-		return nil, err
-	}
-	r.traces[binary] = tr
-	return tr, nil
+	r.cache[label] = res
+	return res
 }
 
 // policyFor builds the simulator policy for a label.
@@ -163,7 +207,7 @@ func (r *Run) Simulate(label string) (*sim.Result, error) {
 
 // SimulatePolicy runs an explicit policy on the binary the label selects.
 func (r *Run) SimulatePolicy(label string, pol sim.Policy) (*sim.Result, error) {
-	if res, ok := r.cache[label]; ok {
+	if res, ok := r.cachedResult(label); ok {
 		return res, nil
 	}
 	tr, err := r.traceFor(r.binaryFor(label))
@@ -171,8 +215,48 @@ func (r *Run) SimulatePolicy(label string, pol sim.Policy) (*sim.Result, error) 
 		return nil, err
 	}
 	res := sim.Simulate(sim.Input{Trace: tr, Policy: pol})
-	r.cache[label] = res
-	return res, nil
+	return r.storeResult(label, res), nil
+}
+
+// artifactKey hashes an artifact's full identity: kind tag, compiler
+// configuration (MiniC source, inputs, seed, heuristics, pass options),
+// policy label, and machine configuration.
+func artifactKey(kind string, cfg core.Config, label string) string {
+	cj, err := json.Marshal(cfg)
+	if err != nil {
+		// Config is a plain struct of scalars and slices; Marshal cannot
+		// fail on it, but never let a key silently alias another.
+		cj = []byte(fmt.Sprintf("%+v", cfg))
+	}
+	mj, err := json.Marshal(sim.DefaultMachine())
+	if err != nil {
+		mj = []byte(sim.DefaultMachine().Table1())
+	}
+	return store.Key(kind, string(cj), label, string(mj))
+}
+
+// ArtifactKey returns the content address identifying a simulation
+// artifact of this run for the content-addressed store.
+func (r *Run) ArtifactKey(kind, label string) string {
+	return artifactKey(kind, r.Build.Config, label)
+}
+
+// WorkloadArtifactKey returns the content address a Run over w would
+// use for (kind, label) — computable without compiling w, which lets
+// the service layer probe the store before doing any work.
+func WorkloadArtifactKey(kind string, w *Workload, label string) string {
+	return artifactKey(kind, runConfig(w), label)
+}
+
+// FigureKey returns the content address of a rendered figure artifact
+// over the given workloads (order-sensitive: a different benchmark set
+// or order is a different artifact).
+func FigureKey(id string, ws []*Workload) string {
+	parts := make([]string, 0, len(ws))
+	for _, w := range ws {
+		parts = append(parts, WorkloadArtifactKey("figure-input", w, id))
+	}
+	return store.Key("figure/"+id, parts...)
 }
 
 // Bar converts a simulation result into the normalized region bar
