@@ -14,6 +14,7 @@ import (
 	"tlssync"
 	"tlssync/internal/jobs"
 	"tlssync/internal/report"
+	"tlssync/internal/sim"
 	"tlssync/internal/store"
 )
 
@@ -281,30 +282,36 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	v, err := s.eng.Do(r.Context(), "simulate/"+bench+"/"+policy, func(context.Context) (any, error) {
-		res, err := run.Simulate(policy)
-		if err != nil {
-			return nil, err
-		}
-		bar := report.RowsJSON([]report.Row{{Bars: []report.Bar{run.Bar(policy, res)}}})[0].Bars[0]
-		return store.Marshal(simPayload{
-			Bench:          bench,
-			Policy:         policy,
-			Bar:            bar,
-			RegionSpeedup:  run.RegionSpeedup(res),
-			ProgramSpeedup: run.ProgramSpeedup(res),
-			Coverage:       run.Coverage(),
-			Violations:     res.Violations,
-			Restarts:       res.Restarts,
-			RegionCycles:   res.RegionCycles(),
-			SeqCycles:      res.SeqCycles,
-		})
+	// Submit exactly the spec Prewarm would submit for this pair — same
+	// engine key, same *sim.Result return — so a /simulate that joins an
+	// in-flight figure prewarm (or vice versa) shares one type-safe
+	// execution. The payload is marshaled outside the engine job.
+	sp := run.LabelSpec(policy)
+	v, err := s.eng.Do(r.Context(), sp.Key(), func(context.Context) (any, error) {
+		return run.SimulateSpec(sp)
 	})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	data := v.([]byte)
+	res := v.(*sim.Result)
+	bar := report.RowsJSON([]report.Row{{Bars: []report.Bar{run.Bar(policy, res)}}})[0].Bars[0]
+	data, err := store.Marshal(simPayload{
+		Bench:          bench,
+		Policy:         policy,
+		Bar:            bar,
+		RegionSpeedup:  run.RegionSpeedup(res),
+		ProgramSpeedup: run.ProgramSpeedup(res),
+		Coverage:       run.Coverage(),
+		Violations:     res.Violations,
+		Restarts:       res.Restarts,
+		RegionCycles:   res.RegionCycles(),
+		SeqCycles:      res.SeqCycles,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	s.store.Put(key, data)
 	s.cfg.logf("tlsd: simulated %s/%s", bench, policy)
 	state := setCache(w, false)

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"tlssync"
 	"tlssync/internal/report"
@@ -55,12 +57,12 @@ func TestHealthz(t *testing.T) {
 func TestBadRequests(t *testing.T) {
 	s := testServer(t, "gzip_comp")
 	for path, want := range map[string]int{
-		"/simulate":                             http.StatusBadRequest,
-		"/simulate?bench=gzip_comp&policy=ZZ":   http.StatusBadRequest,
-		"/simulate?bench=nonesuch&policy=C":     http.StatusNotFound,
-		"/simulate?bench=mcf&policy=C":          http.StatusNotFound, // not in serving set
-		"/figures/99":                           http.StatusNotFound,
-		"/tables/7":                             http.StatusNotFound,
+		"/simulate":                           http.StatusBadRequest,
+		"/simulate?bench=gzip_comp&policy=ZZ": http.StatusBadRequest,
+		"/simulate?bench=nonesuch&policy=C":   http.StatusNotFound,
+		"/simulate?bench=mcf&policy=C":        http.StatusNotFound, // not in serving set
+		"/figures/99":                         http.StatusNotFound,
+		"/tables/7":                           http.StatusNotFound,
 	} {
 		rec, _ := get(t, s, path)
 		if rec.Code != want {
@@ -105,6 +107,69 @@ func TestSimulateEndToEnd(t *testing.T) {
 	}
 	if got := s.store.Stats().Hits; got != hitsBefore+1 {
 		t.Fatalf("hit counter did not increment: %d -> %d", hitsBefore, got)
+	}
+}
+
+// TestSimulateCoalescesWithPrewarm: a /simulate request that joins an
+// in-flight prewarm job for the same (benchmark × policy) pair must get
+// the shared *sim.Result — regression check for the key collision where
+// the two paths submitted the same key with different result types (the
+// handler then panicked on its type assertion).
+func TestSimulateCoalescesWithPrewarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and simulates")
+	}
+	s := testServer(t, "gzip_comp")
+	run, err := s.run(context.Background(), "gzip_comp")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the engine with exactly the job Prewarm submits for this
+	// pair, held open until the handler has joined it.
+	sp := run.LabelSpec("C")
+	release := make(chan struct{})
+	prewarmed := make(chan error, 1)
+	go func() {
+		_, err := s.eng.Do(context.Background(), sp.Key(), func(context.Context) (any, error) {
+			<-release
+			return run.SimulateSpec(sp)
+		})
+		prewarmed <- err
+	}()
+
+	type resp struct {
+		rec  *httptest.ResponseRecorder
+		body map[string]json.RawMessage
+	}
+	got := make(chan resp, 1)
+	go func() {
+		rec, body := get(t, s, "/simulate?bench=gzip_comp&policy=C")
+		got <- resp{rec, body}
+	}()
+	deadline := time.After(5 * time.Second)
+	for s.eng.Stats().Coalesced == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("handler never joined the in-flight prewarm job")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+
+	if err := <-prewarmed; err != nil {
+		t.Fatalf("prewarm job: %v", err)
+	}
+	r := <-got
+	if r.rec.Code != http.StatusOK {
+		t.Fatalf("coalesced /simulate status = %d: %s", r.rec.Code, r.rec.Body.String())
+	}
+	var res simPayload
+	if err := json.Unmarshal(r.body["result"], &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Bench != "gzip_comp" || res.Policy != "C" {
+		t.Fatalf("payload = %+v", res)
 	}
 }
 

@@ -334,12 +334,21 @@ func (r *Run) SimulateSpec(sp SimSpec) (*sim.Result, error) {
 	return r.SimulatePolicy(sp.Label, sp.Policy)
 }
 
-// labeledSpecs builds plain label-driven specs (policy and binary both
-// derived from the label).
+// LabelSpec returns the spec for a plain label-driven simulation
+// (policy and binary both derived from the label). Every submitter of a
+// named-policy job — Prewarm and the tlsd /simulate handler alike —
+// must go through a SimSpec so identical work shares one engine key AND
+// one result shape (*sim.Result); ad-hoc keys with a different return
+// type would make coalesced joins type-unsafe.
+func (r *Run) LabelSpec(label string) SimSpec {
+	return SimSpec{Run: r, Label: label, Policy: r.policyFor(label)}
+}
+
+// labeledSpecs builds plain label-driven specs for a set of labels.
 func labeledSpecs(r *Run, labels ...string) []SimSpec {
 	out := make([]SimSpec, 0, len(labels))
 	for _, l := range labels {
-		out = append(out, SimSpec{Run: r, Label: l, Policy: r.policyFor(l)})
+		out = append(out, r.LabelSpec(l))
 	}
 	return out
 }

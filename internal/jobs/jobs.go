@@ -32,20 +32,21 @@ type Engine struct {
 	inflight map[string]*call
 
 	// counters (guarded by mu)
-	submitted  int64 // Do calls that started a new execution
-	coalesced  int64 // Do calls that joined an in-flight execution
-	completed  int64 // executions that finished without error
-	failed     int64 // executions that returned an error (or panicked)
-	abandoned  int64 // waiters that gave up on a cancelled context
-	totalDur   time.Duration
-	maxDur     time.Duration
-	lastDur    time.Duration
-	lastKey    string
-	running    int // executions currently holding (or waiting for) a slot
+	submitted int64 // Do calls that started a new execution
+	coalesced int64 // Do calls that joined an in-flight execution
+	completed int64 // executions that finished without error
+	failed    int64 // executions that returned an error (or panicked)
+	abandoned int64 // waiters that gave up on a cancelled context
+	totalDur  time.Duration
+	maxDur    time.Duration
+	lastDur   time.Duration
+	lastKey   string
+	running   int // executions currently holding (or waiting for) a slot
 }
 
 // call is one coalesced execution.
 type call struct {
+	ctx     context.Context // execution context; done ⇒ every waiter abandoned
 	done    chan struct{}
 	val     any
 	err     error
@@ -106,7 +107,11 @@ func (e *Engine) Workers() int { return e.workers }
 // first and submit only the leaf work.
 func (e *Engine) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
 	e.mu.Lock()
-	if c, ok := e.inflight[key]; ok {
+	// Join an in-flight call only while its execution is still live: once
+	// the last previous waiter cancelled it (c.cancel fired but finish has
+	// not yet removed it from the map), joining would inherit a spurious
+	// context.Canceled, so start a fresh execution instead.
+	if c, ok := e.inflight[key]; ok && c.ctx.Err() == nil {
 		c.waiters++
 		e.coalesced++
 		e.mu.Unlock()
@@ -116,7 +121,7 @@ func (e *Engine) Do(ctx context.Context, key string, fn func(context.Context) (a
 	// single cancelled client cannot poison the shared result; it is
 	// cancelled explicitly when the last waiter abandons the call.
 	jctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
-	c := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	c := &call{ctx: jctx, done: make(chan struct{}), waiters: 1, cancel: cancel}
 	e.inflight[key] = c
 	e.submitted++
 	e.running++
@@ -132,6 +137,13 @@ func (e *Engine) wait(ctx context.Context, c *call) (any, error) {
 	case <-c.done:
 		return c.val, c.err
 	case <-ctx.Done():
+		// When both channels are ready the select may land here even
+		// though the result is available; prefer the result.
+		select {
+		case <-c.done:
+			return c.val, c.err
+		default:
+		}
 		e.mu.Lock()
 		c.waiters--
 		if c.waiters == 0 {
@@ -174,7 +186,11 @@ func safeCall(ctx context.Context, fn func(context.Context) (any, error)) (val a
 func (e *Engine) finish(key string, c *call, d time.Duration, err error) {
 	c.err = err
 	e.mu.Lock()
-	delete(e.inflight, key)
+	// A fresh execution may have replaced a dying call under this key
+	// (see Do); only remove the entry this call still owns.
+	if e.inflight[key] == c {
+		delete(e.inflight, key)
+	}
 	e.running--
 	if err != nil {
 		e.failed++
@@ -219,9 +235,9 @@ type Group struct {
 	eng *Engine
 	ctx context.Context
 
-	wg   sync.WaitGroup
-	mu   sync.Mutex
-	err  error
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	err error
 }
 
 // NewGroup returns a group that submits through eng under ctx.

@@ -160,9 +160,9 @@ func TestCallerCancellation(t *testing.T) {
 	started := make(chan struct{})
 	var wg sync.WaitGroup
 	var err1 error
-	wg.Add(1)
+	done1 := make(chan struct{})
 	go func() {
-		defer wg.Done()
+		defer close(done1)
 		_, err1 = e.Do(ctx1, "k", func(context.Context) (any, error) {
 			close(started)
 			<-release
@@ -186,6 +186,10 @@ func TestCallerCancellation(t *testing.T) {
 	}
 
 	cancel1()
+	// Release the job only after the cancelled caller returned, so its
+	// wait cannot observe an already-completed result (in that race it
+	// would — by design — get the result instead of ctx.Err()).
+	<-done1
 	close(release)
 	wg.Wait()
 
@@ -223,6 +227,62 @@ func TestAllWaitersCancelled(t *testing.T) {
 	case <-jobCancelled:
 	case <-time.After(2 * time.Second):
 		t.Fatal("job context was not cancelled after all waiters left")
+	}
+}
+
+// TestJoinAfterAbandonStartsFresh: a Do call that arrives after the last
+// waiter cancelled an in-flight call — but before the dying execution
+// cleaned itself out of the inflight map — must start a fresh execution
+// instead of inheriting a spurious context.Canceled.
+func TestJoinAfterAbandonStartsFresh(t *testing.T) {
+	e := New(2)
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	hold := make(chan struct{})
+	done1 := make(chan error, 1)
+	go func() {
+		_, err := e.Do(ctx1, "k", func(jctx context.Context) (any, error) {
+			close(started)
+			<-jctx.Done()
+			<-hold // keep the dying call in the inflight map
+			return nil, jctx.Err()
+		})
+		done1 <- err
+	}()
+	<-started
+	cancel1()
+	// Once the waiter returned, c.cancel() has fired, but the execution is
+	// still blocked on hold, so the call is still in the inflight map.
+	if err := <-done1; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning caller: err = %v, want context.Canceled", err)
+	}
+
+	v, err := e.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return "fresh", nil
+	})
+	close(hold)
+	if err != nil || v != "fresh" {
+		t.Fatalf("joiner after abandon: v=%v err=%v, want fresh execution", v, err)
+	}
+}
+
+// TestWaitPrefersCompletedResult: when the caller's context is cancelled
+// but the call has already completed, wait must return the result, not
+// ctx.Err().
+func TestWaitPrefersCompletedResult(t *testing.T) {
+	e := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 200; i++ {
+		c := &call{ctx: context.Background(), done: make(chan struct{}),
+			waiters: 1, cancel: func() {}}
+		c.val = "v"
+		close(c.done)
+		// Both select branches are ready; the result must win every time.
+		v, err := e.wait(ctx, c)
+		if err != nil || v != "v" {
+			t.Fatalf("iteration %d: v=%v err=%v, want completed result", i, v, err)
+		}
 	}
 }
 

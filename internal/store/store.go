@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -137,11 +138,15 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	val, err := s.readDisk(key)
 	if err != nil {
 		if !os.IsNotExist(err) {
-			// Corrupt or unreadable: count, remove, recompute.
 			s.mu.Lock()
 			s.stats.DiskErrors++
 			s.mu.Unlock()
-			os.Remove(s.path(key))
+			// Delete only on verified corruption (bad format/checksum).
+			// A transient error — EACCES, EMFILE under fd pressure — must
+			// keep the entry: it may read fine next time.
+			if errors.Is(err, errCorrupt) {
+				os.Remove(s.path(key))
+			}
 		}
 		s.miss()
 		return nil, false
@@ -270,9 +275,15 @@ func (s *Store) writeDisk(key string, val []byte) error {
 	return os.Rename(tmp.Name(), p)
 }
 
+// errCorrupt marks an entry whose on-disk format or checksum is
+// verifiably wrong, so deleting it is safe. Transient I/O errors are
+// returned without this mark and must leave the entry in place.
+var errCorrupt = errors.New("corrupt entry")
+
 // readDisk loads and verifies one entry. A missing file returns an
-// os.IsNotExist error; any format or checksum problem returns a non-nil
-// error describing the corruption.
+// os.IsNotExist error; verified corruption (bad format or checksum)
+// returns an error wrapping errCorrupt; anything else is a transient
+// read failure.
 func (s *Store) readDisk(key string) ([]byte, error) {
 	f, err := os.Open(s.path(key))
 	if err != nil {
@@ -282,11 +293,14 @@ func (s *Store) readDisk(key string) ([]byte, error) {
 	r := bufio.NewReader(f)
 	header, err := r.ReadString('\n')
 	if err != nil {
-		return nil, fmt.Errorf("store: %s: truncated header", key)
+		if err == io.EOF {
+			return nil, fmt.Errorf("store: %s: truncated header: %w", key, errCorrupt)
+		}
+		return nil, fmt.Errorf("store: %s: %w", key, err)
 	}
 	fields := strings.Fields(strings.TrimSpace(header))
 	if len(fields) != 2 || fields[0] != diskMagic {
-		return nil, fmt.Errorf("store: %s: bad header", key)
+		return nil, fmt.Errorf("store: %s: bad header: %w", key, errCorrupt)
 	}
 	val, err := io.ReadAll(r)
 	if err != nil {
@@ -294,7 +308,7 @@ func (s *Store) readDisk(key string) ([]byte, error) {
 	}
 	sum := sha256.Sum256(val)
 	if hex.EncodeToString(sum[:]) != fields[1] {
-		return nil, fmt.Errorf("store: %s: checksum mismatch", key)
+		return nil, fmt.Errorf("store: %s: checksum mismatch: %w", key, errCorrupt)
 	}
 	return val, nil
 }

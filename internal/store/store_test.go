@@ -162,6 +162,30 @@ func TestTruncatedDiskEntryFallsBack(t *testing.T) {
 	}
 }
 
+// TestTransientDiskErrorKeepsEntry: a read failure that is not verified
+// corruption (here: the entry path is unreadable as a flat file because
+// it is a directory) is counted as a miss but must NOT delete the entry.
+func TestTransientDiskErrorKeepsEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := store.New(4, dir)
+	// Plant a directory where the cache file would live: os.Open succeeds
+	// but reading fails with EISDIR — an I/O error, not corruption.
+	path := filepath.Join(dir, "ab", "abad1dea")
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("abad1dea"); ok {
+		t.Fatal("unreadable entry served")
+	}
+	st := s.Stats()
+	if st.DiskErrors != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want disk_errors=1 misses=1", st)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("transient read error deleted the entry: %v", err)
+	}
+}
+
 func TestMissingDiskEntryIsMiss(t *testing.T) {
 	s, _ := store.New(4, t.TempDir())
 	if _, ok := s.Get("0000000000000000"); ok {
