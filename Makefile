@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench figs csv serve clean
+.PHONY: all build vet test test-short race chaos bench figs csv serve clean
 
 all: build vet test race
 
@@ -26,8 +26,14 @@ test-short:
 # TLS runtime, the job engine, the artifact store, and the concurrent
 # (benchmark × policy) fan-out over a shared Run.
 race:
-	$(GO) test -race ./internal/tlsrt/ ./internal/jobs/ ./internal/store/
+	$(GO) test -race ./internal/tlsrt/ ./internal/jobs/ ./internal/store/ ./internal/fault/ ./internal/resilience/
 	$(GO) test -race -run 'TestConcurrentSimulate|TestPrewarmMatchesSequential' .
+
+# Fault-injection suite for the daemon: disk faults, panicking/slow
+# jobs, breaker trip/recovery, admission shed, graceful drain — all
+# under the race detector (see docs/tlsd.md, "Operations").
+chaos:
+	$(GO) test -race -run 'Chaos|GracefulDrain|WriteErrors' ./cmd/tlsd/
 
 # One benchmark per paper figure/table plus the ablations.
 bench:

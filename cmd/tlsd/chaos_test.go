@@ -1,0 +1,508 @@
+package main
+
+// The chaos suite: every failure mode the resilience layer defends
+// against, reproduced in-process through the fault seams — the store's
+// filesystem interface and the job engine's wrap point — and asserted
+// against the daemon's externally visible behavior. Run it alone with
+// `make chaos` (go test -race -run 'Chaos|GracefulDrain' ./cmd/tlsd/).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tlssync/internal/fault"
+	"tlssync/internal/jobs"
+)
+
+// doReq performs one request against the server without touching
+// testing.T, so it is safe from any goroutine.
+func doReq(s *server, path string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// waitFor polls cond until it holds or the test deadline (5s) passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for !cond() {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s", what)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// wireFaults routes every engine execution through the registry's
+// jobs.exec point.
+func wireFaults(s *server, reg *fault.Registry) {
+	s.eng.SetWrap(func(key string, fn jobs.JobFunc) jobs.JobFunc {
+		return func(ctx context.Context) (any, error) {
+			if err := reg.Fire("jobs.exec"); err != nil {
+				return nil, err
+			}
+			return fn(ctx)
+		}
+	})
+}
+
+// TestChaosDiskFaultsWarmHitsKeepServing: with the disk tier throwing
+// errors on every operation, previously computed artifacts still serve
+// from memory with X-Tlsd-Cache: hit, new computations still succeed
+// (disk failures are counted, not fatal), and the daemon never
+// crashes.
+func TestChaosDiskFaultsWarmHitsKeepServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and simulates")
+	}
+	reg := fault.NewRegistry()
+	s, err := newServer(config{
+		workers:    2,
+		cacheDir:   t.TempDir(),
+		fsys:       &fault.FS{R: reg},
+		benchmarks: []string{"gzip_comp"},
+		logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy first computation populates memory and disk.
+	if rec := doReq(s, "/simulate?bench=gzip_comp&policy=C"); rec.Code != http.StatusOK {
+		t.Fatalf("healthy request = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Break the whole disk tier.
+	diskDown := errors.New("injected I/O error")
+	for _, p := range []string{"fs.open", "fs.create", "fs.read", "fs.write", "fs.sync", "fs.rename", "fs.mkdir"} {
+		reg.Arm(p, fault.Fault{Err: diskDown})
+	}
+
+	// Warm hit: served from memory, untouched by the disk chaos.
+	rec := doReq(s, "/simulate?bench=gzip_comp&policy=C")
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Tlsd-Cache") != "hit" {
+		t.Fatalf("warm request under disk faults = %d cache=%q: %s",
+			rec.Code, rec.Header().Get("X-Tlsd-Cache"), rec.Body.String())
+	}
+
+	// Cold computation: disk Put fails, memory still serves the result.
+	rec = doReq(s, "/simulate?bench=gzip_comp&policy=U")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cold request under disk faults = %d: %s", rec.Code, rec.Body.String())
+	}
+	if st := s.store.Stats(); st.DiskErrors == 0 {
+		t.Fatalf("injected disk faults not counted: %+v", st)
+	}
+	// And the freshly computed artifact is warm despite the dead disk.
+	rec = doReq(s, "/simulate?bench=gzip_comp&policy=U")
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Tlsd-Cache") != "hit" {
+		t.Fatalf("repeat under disk faults = %d cache=%q", rec.Code, rec.Header().Get("X-Tlsd-Cache"))
+	}
+
+	// /readyz reports the degradation without going unready.
+	rec = doReq(s, "/readyz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "degraded") {
+		t.Fatalf("/readyz under disk faults = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestChaosPanickingJobTripsBreakerAndRecovers: a benchmark whose
+// pipeline panics on every execution burns workers for exactly
+// breakThreshold requests, then the breaker answers 502 (with its
+// state in the body) without submitting jobs; once the fault clears
+// and the cooldown elapses, a half-open probe recovers the key.
+func TestChaosPanickingJobTripsBreakerAndRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and simulates after recovery")
+	}
+	reg := fault.NewRegistry()
+	s, err := newServer(config{
+		workers:        2,
+		benchmarks:     []string{"gzip_comp"},
+		breakThreshold: 3,
+		breakCooldown:  100 * time.Millisecond,
+		logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireFaults(s, reg)
+	reg.Arm("jobs.exec", fault.Fault{Panic: "chaos: compile exploded"})
+
+	// The first threshold requests execute (and panic → 500).
+	for i := 0; i < 3; i++ {
+		rec := doReq(s, "/simulate?bench=gzip_comp&policy=C")
+		if rec.Code != http.StatusInternalServerError || !strings.Contains(rec.Body.String(), "panic") {
+			t.Fatalf("request %d = %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	submittedAtTrip := s.eng.Stats().Submitted
+
+	// Breaker open: 502 with state, and no new executions burned.
+	for i := 0; i < 4; i++ {
+		rec := doReq(s, "/simulate?bench=gzip_comp&policy=C")
+		if rec.Code != http.StatusBadGateway {
+			t.Fatalf("open-breaker request %d = %d: %s", i, rec.Code, rec.Body.String())
+		}
+		var body struct {
+			Breaker struct {
+				Key   string `json:"key"`
+				State string `json:"state"`
+			} `json:"breaker"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Breaker.Key != "prepare/gzip_comp" || body.Breaker.State == "" {
+			t.Fatalf("breaker body = %s", rec.Body.String())
+		}
+	}
+	if got := s.eng.Stats().Submitted; got != submittedAtTrip {
+		t.Fatalf("open breaker still burned workers: %d executions after trip", got-submittedAtTrip)
+	}
+	if rec := doReq(s, "/readyz"); !strings.Contains(rec.Body.String(), "degraded") {
+		t.Fatalf("/readyz with open breaker: %s", rec.Body.String())
+	}
+
+	// Fault clears; after the (jittered, ≤100ms) cooldown the half-open
+	// probe runs the real pipeline and closes the breaker.
+	reg.Disarm("jobs.exec")
+	time.Sleep(300 * time.Millisecond)
+	rec := doReq(s, "/simulate?bench=gzip_comp&policy=C")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-recovery request = %d: %s", rec.Code, rec.Body.String())
+	}
+	if st := s.breakers.Stats(); st.Open != 0 || st.Tripped == 0 {
+		t.Fatalf("breaker stats after recovery = %+v", st)
+	}
+	// And the artifact is warm now.
+	if rec := doReq(s, "/simulate?bench=gzip_comp&policy=C"); rec.Header().Get("X-Tlsd-Cache") != "hit" {
+		t.Fatalf("post-recovery repeat not warm: %d %s", rec.Code, rec.Header().Get("X-Tlsd-Cache"))
+	}
+}
+
+// TestChaosSlowJobsDeadline: with every execution 10× slower than the
+// request deadline allows, cold requests fail fast with 504 instead of
+// holding their handlers, warm requests keep answering 200 hit, and
+// slowness alone never trips a breaker.
+func TestChaosSlowJobsDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and simulates")
+	}
+	dir := t.TempDir()
+	// A healthy daemon computes one artifact into the shared disk tier.
+	warm, err := newServer(config{workers: 2, cacheDir: dir, benchmarks: []string{"gzip_comp"}, logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := doReq(warm, "/simulate?bench=gzip_comp&policy=C"); rec.Code != http.StatusOK {
+		t.Fatalf("warmup = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// The daemon under test: 150ms deadline, 1.5s of injected latency.
+	reg := fault.NewRegistry()
+	s, err := newServer(config{
+		workers:    2,
+		cacheDir:   dir,
+		benchmarks: []string{"gzip_comp"},
+		reqTimeout: 150 * time.Millisecond,
+		logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireFaults(s, reg)
+	reg.Arm("jobs.exec", fault.Fault{Latency: 1500 * time.Millisecond})
+
+	// Cold request: deadline fires long before the job would finish.
+	start := time.Now()
+	rec := doReq(s, "/simulate?bench=gzip_comp&policy=U")
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("slow cold request = %d: %s", rec.Code, rec.Body.String())
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("deadline did not bound the request: took %v", d)
+	}
+
+	// Warm request: disk hit, instant, unaffected by the slow pool.
+	rec = doReq(s, "/simulate?bench=gzip_comp&policy=C")
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Tlsd-Cache") != "hit" {
+		t.Fatalf("warm request beside slow jobs = %d cache=%q", rec.Code, rec.Header().Get("X-Tlsd-Cache"))
+	}
+
+	// A caller giving up is not evidence the key is broken.
+	if st := s.breakers.Stats(); st.Open != 0 || st.Tripped != 0 {
+		t.Fatalf("slowness tripped a breaker: %+v", st)
+	}
+}
+
+// TestChaosAdmissionShed: with the gate at capacity 1 / queue 1 and the
+// pool wedged, the third concurrent cold request is shed immediately
+// with 429 + Retry-After; once the pool unwedges, the admitted and
+// queued requests both complete.
+func TestChaosAdmissionShed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and simulates after release")
+	}
+	s, err := newServer(config{
+		workers:      1,
+		gateCapacity: 1,
+		queueDepth:   1,
+		benchmarks:   []string{"gzip_comp"},
+		logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	s.eng.SetWrap(func(key string, fn jobs.JobFunc) jobs.JobFunc {
+		return func(ctx context.Context) (any, error) {
+			<-block
+			return fn(ctx)
+		}
+	})
+
+	results := make(chan *httptest.ResponseRecorder, 2)
+	var wg sync.WaitGroup
+	for _, policy := range []string{"C", "U"} {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			results <- doReq(s, "/simulate?bench=gzip_comp&policy="+p)
+		}(policy)
+		if policy == "C" {
+			waitFor(t, "first request admitted", func() bool { return s.gate.Stats().Active == 1 })
+		}
+	}
+	waitFor(t, "second request queued", func() bool { return s.gate.Stats().Waiting == 1 })
+
+	// Queue full: the third request is shed, not queued.
+	rec := doReq(s, "/simulate?bench=gzip_comp&policy=T")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("third request = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if st := s.gate.Stats(); st.Shed != 1 {
+		t.Fatalf("gate stats = %+v", st)
+	}
+
+	// Unwedge: admitted and queued requests run to completion.
+	close(block)
+	wg.Wait()
+	close(results)
+	for rec := range results {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("released request = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// TestGracefulDrain drives the real shutdown path: a slow /figures
+// request is in flight when the signal arrives; during the drain
+// window new compute requests get 503 and /readyz goes unready, yet
+// the parked request completes successfully before the server exits.
+func TestGracefulDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and simulates")
+	}
+	s, err := newServer(config{workers: 1, benchmarks: []string{"gzip_comp"}, logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	s.eng.SetWrap(func(key string, fn jobs.JobFunc) jobs.JobFunc {
+		return func(ctx context.Context) (any, error) {
+			<-block
+			return fn(ctx)
+		}
+	})
+
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	sig := make(chan os.Signal, 1)
+	shutdownDone := make(chan struct{})
+	go func() {
+		drainThenShutdown(ts.Config, s, sig, 2*time.Second, 30*time.Second)
+		close(shutdownDone)
+	}()
+
+	// Park a figure request on the wedged pool.
+	type httpRes struct {
+		code int
+		body string
+		err  error
+	}
+	parked := make(chan httpRes, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/figures/10")
+		if err != nil {
+			parked <- httpRes{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		parked <- httpRes{code: resp.StatusCode, body: string(b)}
+	}()
+	waitFor(t, "figure request admitted", func() bool { return s.gate.Stats().Active == 1 })
+
+	// The shutdown signal path.
+	sig <- os.Interrupt
+	waitFor(t, "drain to begin", func() bool { return s.gate.Draining() })
+
+	// New compute work is rejected while the daemon drains.
+	resp, err := http.Get(ts.URL + "/simulate?bench=gzip_comp&policy=C")
+	if err != nil {
+		t.Fatalf("request during drain: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cold request during drain = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("/readyz during drain: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("/readyz during drain = %d: %s", resp.StatusCode, body)
+	}
+
+	// Unwedge: the in-flight figure completes despite the shutdown.
+	close(block)
+	r := <-parked
+	if r.err != nil {
+		t.Fatalf("parked figure request: %v", r.err)
+	}
+	if r.code != http.StatusOK || !strings.Contains(r.body, `"figure"`) {
+		t.Fatalf("parked figure request = %d: %.200s", r.code, r.body)
+	}
+	select {
+	case <-shutdownDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("shutdown never completed")
+	}
+	if st := s.gate.Stats(); st.Drained == 0 {
+		t.Fatalf("gate stats = %+v", st)
+	}
+}
+
+// brokenWriter fails every body write, simulating a client that
+// disconnected after the response headers went out.
+type brokenWriter struct{ h http.Header }
+
+func (b *brokenWriter) Header() http.Header {
+	if b.h == nil {
+		b.h = http.Header{}
+	}
+	return b.h
+}
+func (b *brokenWriter) WriteHeader(int)           {}
+func (b *brokenWriter) Write([]byte) (int, error) { return 0, errors.New("client went away") }
+
+// TestWriteErrorsCountedAndLogRateLimited: failed response writes are
+// counted in /stats as write_errors, and a burst of them produces at
+// most one log line (per second), not one per failure.
+func TestWriteErrorsCountedAndLogRateLimited(t *testing.T) {
+	var logLines int
+	s, err := newServer(config{
+		workers:    1,
+		benchmarks: []string{"gzip_comp"},
+		logf:       func(string, ...any) { logLines++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 50; i++ {
+		s.writeJSON(&brokenWriter{}, http.StatusOK, map[string]string{"hello": "world"})
+	}
+	if got := s.writeErrs.Load(); got != 50 {
+		t.Fatalf("writeErrs = %d, want 50", got)
+	}
+	if logLines != 1 {
+		t.Fatalf("a 50-failure burst produced %d log lines, want 1", logLines)
+	}
+
+	rec := doReq(s, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/stats = %d", rec.Code)
+	}
+	var stats struct {
+		WriteErrors int64 `json:"write_errors"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.WriteErrors != 50 {
+		t.Fatalf("/stats write_errors = %d, want 50", stats.WriteErrors)
+	}
+}
+
+// TestChaosAbandonedJobStoresArtifactForRetry: when every waiter gives
+// up on a simulate job (request deadline), the detached execution must
+// still persist its artifact — otherwise a client whose deadline is
+// shorter than the compute time recomputes and times out on every
+// retry, forever. Retries must converge to a warm hit.
+func TestChaosAbandonedJobStoresArtifactForRetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and simulates")
+	}
+	s, err := newServer(config{
+		workers:    1,
+		benchmarks: []string{"gzip_comp"},
+		reqTimeout: 100 * time.Millisecond,
+		logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.eng.SetWrap(func(key string, fn jobs.JobFunc) jobs.JobFunc {
+		return func(ctx context.Context) (any, error) {
+			time.Sleep(250 * time.Millisecond) // every job outlives the request deadline
+			return fn(ctx)
+		}
+	})
+
+	rec := doReq(s, "/simulate?bench=gzip_comp&policy=C")
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("first cold request = %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		rec = doReq(s, "/simulate?bench=gzip_comp&policy=C")
+		if rec.Code == http.StatusOK {
+			break
+		}
+		if rec.Code != http.StatusGatewayTimeout {
+			t.Fatalf("retry = %d: %s", rec.Code, rec.Body.String())
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("retries never converged to a warm hit: the abandoned execution's artifact was not stored")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if rec.Header().Get("X-Tlsd-Cache") != "hit" {
+		t.Fatalf("converged response was not a store hit: %s", rec.Header().Get("X-Tlsd-Cache"))
+	}
+	// Giving up repeatedly is impatience, not breakage.
+	if st := s.breakers.Stats(); st.Open != 0 || st.Tripped != 0 {
+		t.Fatalf("deadline churn tripped a breaker: %+v", st)
+	}
+}

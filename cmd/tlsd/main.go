@@ -6,14 +6,22 @@
 // Endpoints (all GET, all JSON):
 //
 //	/healthz                          liveness probe
-//	/stats                            store + worker-pool counters
+//	/readyz                           readiness: ok / degraded / draining
+//	/stats                            store, worker-pool, admission, breaker counters
 //	/simulate?bench=NAME&policy=L     one (benchmark × policy) simulation
 //	/figures/{id}                     a paper figure (2 6 7 8 9 10 11 12 T2)
 //	/tables/{id}                      Table 1 or 2
 //
 // Warm requests are served straight from the store: repeated requests
 // for an artifact do not run new simulation jobs, and with -cachedir
-// artifacts survive restarts. See docs/tlsd.md for examples.
+// artifacts survive restarts.
+//
+// A resilience layer guards the compute path: every request carries a
+// -reqtimeout deadline, an admission gate sheds load with 429 +
+// Retry-After once -queue requests are waiting, per-key circuit
+// breakers answer 502 for benchmarks whose pipeline keeps failing, and
+// shutdown drains gracefully (in-flight work completes, new compute
+// gets 503). See docs/tlsd.md for examples and operations notes.
 package main
 
 import (
@@ -38,6 +46,8 @@ func main() {
 	cacheDir := flag.String("cachedir", "", "on-disk artifact-store directory (empty: memory only)")
 	benches := flag.String("benchmarks", "", "comma-separated serving set (empty: all 15)")
 	warm := flag.Bool("warm", false, "prepare every benchmark at startup instead of on demand")
+	reqTimeout := flag.Duration("reqtimeout", 60*time.Second, "per-request deadline (0: none)")
+	queue := flag.Int("queue", 64, "admission wait-queue depth before shedding with 429")
 	flag.Parse()
 
 	var names []string
@@ -53,6 +63,8 @@ func main() {
 		storeCap:   *storeCap,
 		cacheDir:   *cacheDir,
 		benchmarks: names,
+		reqTimeout: *reqTimeout,
+		queueDepth: *queue,
 	})
 	if err != nil {
 		log.Fatalf("tlsd: %v", err)
@@ -69,16 +81,13 @@ func main() {
 		}()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: s}
-	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		log.Print("tlsd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(ctx)
-	}()
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// request headers — without it, slowloris clients pin connections
+	// (and eventually file descriptors) forever.
+	srv := &http.Server{Addr: *addr, Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go drainThenShutdown(srv, s, sig, 2*time.Second, 30*time.Second)
 
 	disk := "memory-only"
 	if *cacheDir != "" {
@@ -89,4 +98,23 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("tlsd: %v", err)
 	}
+}
+
+// drainThenShutdown is the graceful-shutdown path: on the first signal
+// the server drains (in-flight work continues, new compute work gets
+// 503, /readyz reports draining so load balancers stop routing here),
+// then after a grace period the HTTP server shuts down, waiting up to
+// timeout for in-flight responses to complete. The grace period exists
+// because readiness changes take a moment to propagate — closing the
+// listener immediately would turn would-be 503s into connection
+// refusals.
+func drainThenShutdown(srv *http.Server, s *server, sig <-chan os.Signal, grace, timeout time.Duration) {
+	<-sig
+	log.Print("tlsd: draining (in-flight work continues; new compute gets 503)")
+	s.BeginDrain()
+	time.Sleep(grace)
+	log.Print("tlsd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
 }

@@ -3,17 +3,21 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tlssync"
 	"tlssync/internal/jobs"
 	"tlssync/internal/report"
+	"tlssync/internal/resilience"
 	"tlssync/internal/sim"
 	"tlssync/internal/store"
 )
@@ -25,19 +29,35 @@ type config struct {
 	cacheDir   string   // on-disk store layer ("" = memory only)
 	benchmarks []string // serving set (empty = all 15)
 	logf       func(format string, args ...any)
+
+	// resilience knobs (zero values select the defaults)
+	reqTimeout     time.Duration // per-request deadline (<=0: none)
+	gateCapacity   int           // concurrent cold requests (<=0: 2×workers)
+	queueDepth     int           // admission wait-queue bound (<0: 0; 0: default 64)
+	breakThreshold int           // consecutive failures that open a breaker (<=0: 3)
+	breakCooldown  time.Duration // base breaker open period (<=0: 5s)
+	fsys           store.FS      // disk-layer filesystem (nil: real; chaos tests inject faults)
 }
 
 // server is the simulation service: a content-addressed store in front
 // of a coalescing job engine in front of the compile→trace→simulate
-// pipeline.
+// pipeline, with a resilience layer — per-request deadlines, an
+// admission gate, and per-key circuit breakers — between the handlers
+// and the engine.
 type server struct {
-	cfg   config
-	store *store.Store
-	eng   *jobs.Engine
-	mux   *http.ServeMux
-	start time.Time
+	cfg      config
+	store    *store.Store
+	eng      *jobs.Engine
+	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped with the request deadline
+	gate     *resilience.Gate
+	breakers *resilience.BreakerSet
+	start    time.Time
 
 	workloads []*tlssync.Workload // serving set, paper order
+
+	writeErrs       atomic.Int64 // response bodies that failed mid-write
+	lastWriteErrLog atomic.Int64 // unix nanos of the last write-error log line
 
 	mu   sync.Mutex
 	runs map[string]*tlssync.Run // prepared benchmarks
@@ -62,7 +82,7 @@ func newServer(cfg config) (*server, error) {
 	if cfg.logf == nil {
 		cfg.logf = log.Printf
 	}
-	st, err := store.New(cfg.storeCap, cfg.cacheDir)
+	st, err := store.NewWithFS(cfg.storeCap, cfg.cacheDir, cfg.fsys)
 	if err != nil {
 		return nil, err
 	}
@@ -82,24 +102,45 @@ func newServer(cfg config) (*server, error) {
 			ws = append(ws, w)
 		}
 	}
+	eng := jobs.New(cfg.workers)
+	gateCap := cfg.gateCapacity
+	if gateCap <= 0 {
+		gateCap = 2 * eng.Workers()
+	}
+	queue := cfg.queueDepth
+	if queue == 0 {
+		queue = 64
+	} else if queue < 0 {
+		queue = 0
+	}
 	s := &server{
 		cfg:       cfg,
 		store:     st,
-		eng:       jobs.New(cfg.workers),
+		eng:       eng,
 		mux:       http.NewServeMux(),
+		gate:      resilience.NewGate(gateCap, queue),
+		breakers:  resilience.NewBreakerSet(cfg.breakThreshold, cfg.breakCooldown, 0),
 		start:     time.Now(),
 		workloads: ws,
 		runs:      make(map[string]*tlssync.Run),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /figures/{id}", s.handleFigure)
 	s.mux.HandleFunc("GET /tables/{id}", s.handleTable)
+	s.handler = resilience.WithTimeout(cfg.reqTimeout, s.mux)
 	return s, nil
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// BeginDrain puts the server into draining mode: requests already
+// admitted (and warm cache hits) keep being served, but new compute
+// work is rejected with 503 and /readyz reports draining so load
+// balancers stop routing here. Idempotent.
+func (s *server) BeginDrain() { s.gate.Drain() }
 
 // workload returns the named workload if it is in the serving set.
 func (s *server) workload(name string) (*tlssync.Workload, bool) {
@@ -113,7 +154,10 @@ func (s *server) workload(name string) (*tlssync.Workload, bool) {
 
 // run returns the prepared Run for a benchmark, compiling it at most
 // once; concurrent requests for the same benchmark coalesce on the job
-// engine.
+// engine. A per-benchmark circuit breaker guards the compile: a
+// benchmark whose preparation keeps failing (or panicking) stops
+// burning worker slots after a few attempts and is retried via
+// half-open probes instead of on every request.
 func (s *server) run(ctx context.Context, name string) (*tlssync.Run, error) {
 	s.mu.Lock()
 	r := s.runs[name]
@@ -121,21 +165,33 @@ func (s *server) run(ctx context.Context, name string) (*tlssync.Run, error) {
 	if r != nil {
 		return r, nil
 	}
+	done, err := s.breakers.Allow("prepare/" + name)
+	if err != nil {
+		return nil, err
+	}
 	v, err := s.eng.Do(ctx, "prepare/"+name, func(context.Context) (any, error) {
 		w, ok := s.workload(name)
 		if !ok {
 			return nil, fmt.Errorf("unknown benchmark %q", name)
 		}
-		return tlssync.NewRun(w)
+		r, err := tlssync.NewRun(w)
+		if err != nil {
+			return nil, err
+		}
+		// Cache inside the job, not in the caller: when every waiter
+		// has timed out, the compile finishes detached and must still
+		// land in s.runs — otherwise retries resubmit the compile
+		// forever and never reach the simulate stage.
+		s.mu.Lock()
+		s.runs[name] = r
+		s.mu.Unlock()
+		return r, nil
 	})
+	done(err)
 	if err != nil {
 		return nil, err
 	}
-	r = v.(*tlssync.Run)
-	s.mu.Lock()
-	s.runs[name] = r
-	s.mu.Unlock()
-	return r, nil
+	return v.(*tlssync.Run), nil
 }
 
 // prepareAll prepares the whole serving set. The fan-out itself uses
@@ -179,20 +235,90 @@ func errNotFound(format string, args ...any) error {
 	return &httpError{http.StatusNotFound, fmt.Sprintf(format, args...)}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before the response": not a server failure, but worth counting
+// apart from 500s.
+const statusClientClosedRequest = 499
+
+// writeJSON renders v. Encode errors — almost always a client that
+// disconnected mid-body — are counted (write_errors in /stats) and
+// logged at most once per second so a disconnect storm cannot flood
+// the log.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		n := s.writeErrs.Add(1)
+		now := time.Now().UnixNano()
+		last := s.lastWriteErrLog.Load()
+		if now-last >= int64(time.Second) && s.lastWriteErrLog.CompareAndSwap(last, now) {
+			s.cfg.logf("tlsd: response write failed (%d total): %v", n, err)
+		}
+	}
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	if he, ok := err.(*httpError); ok {
-		status = he.status
+func (s *server) writeError(w http.ResponseWriter, err error) {
+	var he *httpError
+	var oe *resilience.OpenError
+	switch {
+	case errors.As(err, &he):
+		s.writeJSON(w, he.status, map[string]string{"error": err.Error()})
+	case errors.As(err, &oe):
+		// An open breaker answers 502: the upstream (this key's compile/
+		// simulate pipeline) is the thing that is broken, and the body
+		// carries the breaker state so clients can tell a tripped key
+		// from a transient failure.
+		retry := int(oe.RetryAfter.Seconds() + 1)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		s.writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error": err.Error(),
+			"breaker": map[string]any{
+				"key":                 oe.Key,
+				"state":               oe.State.String(),
+				"retry_after_seconds": retry,
+			},
+		})
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
+	case errors.Is(err, context.Canceled):
+		s.writeJSON(w, statusClientClosedRequest, map[string]string{"error": err.Error()})
+	default:
+		s.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// admit passes the request through the admission gate. It returns a
+// non-nil release func when admitted; otherwise it has already written
+// the rejection (429 + Retry-After on a full queue, 503 while
+// draining) and the handler must return. Warm cache hits are served
+// BEFORE admission, so an overloaded or draining daemon keeps
+// answering everything it already knows.
+func (s *server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	release, err := s.gate.Acquire(r.Context())
+	if err == nil {
+		return release, true
+	}
+	switch {
+	case errors.Is(err, resilience.ErrShed):
+		retry := int(s.gate.RetryAfter().Seconds())
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		s.writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":               "admission queue full, try again later",
+			"retry_after_seconds": retry,
+		})
+	case errors.Is(err, resilience.ErrDraining):
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"error": "server is draining for shutdown",
+		})
+	default: // the request's own context ended while queued
+		s.writeError(w, err)
+	}
+	return nil, false
 }
 
 // setCache marks whether the response body came from the store.
@@ -207,10 +333,50 @@ func setCache(w http.ResponseWriter, hit bool) string {
 
 // --- handlers ---
 
+// handleHealthz is pure liveness: it answers ok as long as the process
+// can serve HTTP at all, even while draining or degraded — restarting
+// the daemon would not help, so the liveness probe must not fail.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleReadyz is readiness: 503 while draining (stop routing here);
+// otherwise 200 with status "ok" or "degraded" plus the evidence —
+// open breakers, a saturated admission queue, disk-tier errors. A
+// degraded daemon still serves (warm hits always work), so degraded
+// stays 200 and the detail is for operators and dashboards.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	gs := s.gate.Stats()
+	bs := s.breakers.Stats()
+	ss := s.store.Stats()
+
+	status, code := "ok", http.StatusOK
+	var reasons []string
+	if bs.Open > 0 {
+		status = "degraded"
+		reasons = append(reasons, fmt.Sprintf("%d breaker(s) open", bs.Open))
+	}
+	if gs.Queue > 0 && gs.Waiting >= gs.Queue {
+		status = "degraded"
+		reasons = append(reasons, "admission queue saturated")
+	}
+	if ss.DiskErrors > 0 {
+		status = "degraded"
+		reasons = append(reasons, fmt.Sprintf("%d disk-tier error(s)", ss.DiskErrors))
+	}
+	if gs.Draining {
+		status, code = "draining", http.StatusServiceUnavailable
+		reasons = append(reasons, "shutdown in progress")
+	}
+	s.writeJSON(w, code, map[string]any{
+		"status":      status,
+		"reasons":     reasons,
+		"admission":   gs,
+		"breakers":    bs,
+		"disk_errors": ss.DiskErrors,
 	})
 }
 
@@ -226,10 +392,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, w := range s.workloads {
 		serving = append(serving, w.Name)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"store":          s.store.Stats(),
 		"jobs":           s.eng.Stats(),
+		"admission":      s.gate.Stats(),
+		"breakers":       s.breakers.Stats(),
+		"write_errors":   s.writeErrs.Load(),
 		"benchmarks": map[string]any{
 			"serving":  serving,
 			"prepared": prepared,
@@ -252,51 +421,13 @@ type simPayload struct {
 	SeqCycles      int64          `json:"seq_cycles"`
 }
 
-func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	bench := r.URL.Query().Get("bench")
-	policy := r.URL.Query().Get("policy")
-	if bench == "" || policy == "" {
-		writeError(w, errBadRequest("need bench and policy query parameters (e.g. /simulate?bench=gzip_comp&policy=C)"))
-		return
-	}
-	wl, ok := s.workload(bench)
-	if !ok {
-		writeError(w, errNotFound("benchmark %q not in serving set", bench))
-		return
-	}
-	if !isPolicy(policy) {
-		writeError(w, errBadRequest("unknown policy %q (have %s)", policy, strings.Join(policyLabels, " ")))
-		return
-	}
-
-	// Warm path: the artifact key is computable without compiling.
-	key := tlssync.WorkloadArtifactKey("simulate", wl, policy)
-	if data, ok := s.store.Get(key); ok {
-		state := setCache(w, true)
-		writeJSON(w, http.StatusOK, map[string]any{"cache": state, "result": json.RawMessage(data)})
-		return
-	}
-
-	run, err := s.run(r.Context(), bench)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	// Submit exactly the spec Prewarm would submit for this pair — same
-	// engine key, same *sim.Result return — so a /simulate that joins an
-	// in-flight figure prewarm (or vice versa) shares one type-safe
-	// execution. The payload is marshaled outside the engine job.
-	sp := run.LabelSpec(policy)
-	v, err := s.eng.Do(r.Context(), sp.Key(), func(context.Context) (any, error) {
-		return run.SimulateSpec(sp)
-	})
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	res := v.(*sim.Result)
+// simPayloadBytes renders one simulation result to its stored (and
+// served) artifact bytes. Deterministic: the same result always
+// marshals to the same bytes, so job-side and handler-side Puts of the
+// same pair are idempotent.
+func simPayloadBytes(run *tlssync.Run, bench, policy string, res *sim.Result) ([]byte, error) {
 	bar := report.RowsJSON([]report.Row{{Bars: []report.Bar{run.Bar(policy, res)}}})[0].Bars[0]
-	data, err := store.Marshal(simPayload{
+	return store.Marshal(simPayload{
 		Bench:          bench,
 		Policy:         policy,
 		Bar:            bar,
@@ -308,14 +439,87 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		RegionCycles:   res.RegionCycles(),
 		SeqCycles:      res.SeqCycles,
 	})
+}
+
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	bench := r.URL.Query().Get("bench")
+	policy := r.URL.Query().Get("policy")
+	if bench == "" || policy == "" {
+		s.writeError(w, errBadRequest("need bench and policy query parameters (e.g. /simulate?bench=gzip_comp&policy=C)"))
+		return
+	}
+	wl, ok := s.workload(bench)
+	if !ok {
+		s.writeError(w, errNotFound("benchmark %q not in serving set", bench))
+		return
+	}
+	if !isPolicy(policy) {
+		s.writeError(w, errBadRequest("unknown policy %q (have %s)", policy, strings.Join(policyLabels, " ")))
+		return
+	}
+
+	// Warm path: the artifact key is computable without compiling, so
+	// cache hits are served before admission — they cost no worker and
+	// must keep flowing even when the gate sheds or the daemon drains.
+	key := tlssync.WorkloadArtifactKey("simulate", wl, policy)
+	if data, ok := s.store.Get(key); ok {
+		state := setCache(w, true)
+		s.writeJSON(w, http.StatusOK, map[string]any{"cache": state, "result": json.RawMessage(data)})
+		return
+	}
+
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	run, err := s.run(r.Context(), bench)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
+		return
+	}
+	// Submit exactly the spec Prewarm would submit for this pair — same
+	// engine key, same *sim.Result return — so a /simulate that joins an
+	// in-flight figure prewarm (or vice versa) shares one type-safe
+	// execution. The payload is marshaled outside the engine job. A
+	// per-pair breaker guards the simulation like run's guards the
+	// compile.
+	sp := run.LabelSpec(policy)
+	bdone, err := s.breakers.Allow(sp.Key())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	v, err := s.eng.Do(r.Context(), sp.Key(), func(context.Context) (any, error) {
+		res, err := run.SimulateSpec(sp)
+		if err != nil {
+			return nil, err
+		}
+		// Persist inside the job, not just in the handler below: when
+		// every waiter has given up (request deadline), the execution
+		// continues detached, and without this Put its result would be
+		// discarded — the client's retry would recompute and time out
+		// the same way forever. With it, the retry is a warm hit.
+		if data, merr := simPayloadBytes(run, bench, policy, res); merr == nil {
+			s.store.Put(key, data)
+		}
+		return res, nil
+	})
+	bdone(err)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	data, err := simPayloadBytes(run, bench, policy, v.(*sim.Result))
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
 	s.store.Put(key, data)
 	s.cfg.logf("tlsd: simulated %s/%s", bench, policy)
 	state := setCache(w, false)
-	writeJSON(w, http.StatusOK, map[string]any{"cache": state, "result": json.RawMessage(data)})
+	s.writeJSON(w, http.StatusOK, map[string]any{"cache": state, "result": json.RawMessage(data)})
 }
 
 // figurePayload is the stored (and served) artifact of one figure.
@@ -326,35 +530,42 @@ type figurePayload struct {
 	Text  string           `json:"text"`
 }
 
-// figure serves one experiment by ID, from the store when warm.
+// figure serves one experiment by ID, from the store when warm; a cold
+// figure goes through the admission gate before compiling anything.
 func (s *server) figure(w http.ResponseWriter, r *http.Request, id string) {
 	exp, ok := tlssync.Experiments[id]
 	if !ok {
-		writeError(w, errNotFound("unknown figure %q (have %s)", id, strings.Join(tlssync.ExperimentIDs(), " ")))
+		s.writeError(w, errNotFound("unknown figure %q (have %s)", id, strings.Join(tlssync.ExperimentIDs(), " ")))
 		return
 	}
 	key := tlssync.FigureKey(id, s.workloads)
 	if data, ok := s.store.Get(key); ok {
 		state := setCache(w, true)
-		writeJSON(w, http.StatusOK, map[string]any{"cache": state, "figure": json.RawMessage(data)})
+		s.writeJSON(w, http.StatusOK, map[string]any{"cache": state, "figure": json.RawMessage(data)})
 		return
 	}
 
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
 	runs, err := s.prepareAll(r.Context())
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	// Fan the figure's simulations out at (benchmark × policy)
 	// granularity; concurrent requests for the same figure coalesce
 	// per pair on the engine.
 	if err := tlssync.Prewarm(r.Context(), s.eng, runs, []string{id}, nil); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	f, err := exp(runs)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	data, err := store.Marshal(figurePayload{
@@ -364,13 +575,13 @@ func (s *server) figure(w http.ResponseWriter, r *http.Request, id string) {
 		Text:  f.Text,
 	})
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.store.Put(key, data)
 	s.cfg.logf("tlsd: computed figure %s over %d benchmarks", id, len(s.workloads))
 	state := setCache(w, false)
-	writeJSON(w, http.StatusOK, map[string]any{"cache": state, "figure": json.RawMessage(data)})
+	s.writeJSON(w, http.StatusOK, map[string]any{"cache": state, "figure": json.RawMessage(data)})
 }
 
 func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
@@ -382,7 +593,7 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 	case "1":
 		// Table 1 is the static machine description; nothing to cache.
 		setCache(w, true)
-		writeJSON(w, http.StatusOK, map[string]any{
+		s.writeJSON(w, http.StatusOK, map[string]any{
 			"cache": "hit",
 			"figure": figurePayload{
 				ID:    "1",
@@ -393,6 +604,6 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 	case "2", "T2":
 		s.figure(w, r, "T2")
 	default:
-		writeError(w, errNotFound("unknown table %q (have 1, 2)", id))
+		s.writeError(w, errNotFound("unknown table %q (have 1, 2)", id))
 	}
 }

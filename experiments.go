@@ -396,6 +396,12 @@ func Prewarm(ctx context.Context, eng *jobs.Engine, runs []*Run, ids []string,
 	g := eng.NewGroup(ctx)
 	for _, id := range ids {
 		for _, sp := range SpecsFor(id, runs) {
+			// A dead caller (deadline, disconnect) stops the fan-out
+			// here instead of submitting the rest of the specs only for
+			// each to fail the same way.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			key := sp.Key()
 			if seen[key] {
 				continue
@@ -403,7 +409,10 @@ func Prewarm(ctx context.Context, eng *jobs.Engine, runs []*Run, ids []string,
 			seen[key] = true
 			sp := sp
 			start := time.Now()
-			g.Go(key, func(context.Context) (any, error) {
+			g.Go(key, func(jctx context.Context) (any, error) {
+				if err := jctx.Err(); err != nil {
+					return nil, err
+				}
 				return sp.Run.SimulateSpec(sp)
 			}, func(_ any, err error) {
 				if progress != nil {

@@ -1,0 +1,262 @@
+// Package fault is an injectable fault-point registry for chaos
+// testing the service layer. Production code paths expose small seams
+// — the filesystem interface in internal/store, the job-wrap point in
+// internal/jobs — and the chaos tests arm named points in a Registry
+// with faults (an error, a panic, added latency, or a simulated crash)
+// that fire when the seam is exercised. Every failure mode the
+// resilience layer defends against is thereby reproducible in-process,
+// deterministically, without root privileges or real disk corruption.
+//
+// The package mirrors the paper's methodology at the systems level: the
+// compiler's inserted synchronization is *optimistically* trusted and a
+// cheap runtime check catches the cases where speculation was wrong
+// (PAPER.md §5); here the service optimistically trusts its disk and
+// its jobs, and the fault registry is how tests prove the safety net
+// (breakers, deadlines, admission control) actually catches betrayals.
+package fault
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"tlssync/internal/store"
+)
+
+// A Fault is what happens when an armed point fires.
+type Fault struct {
+	Latency time.Duration // sleep this long first
+	Err     error         // then return this error (nil = proceed)
+	Panic   any           // ... or panic with this value (takes precedence over Err)
+	Crash   bool          // simulate a machine crash around the operation (FS rename only)
+	Times   int           // fire at most this many times; 0 = until disarmed
+}
+
+// Apply executes the fault's effect in order: latency, panic, error.
+func (f Fault) Apply() error {
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	if f.Panic != nil {
+		panic(f.Panic)
+	}
+	return f.Err
+}
+
+// Registry holds the armed fault points. The zero value is not usable;
+// construct with NewRegistry. All methods are safe for concurrent use,
+// so faults can be armed and disarmed while the daemon under test is
+// serving.
+type Registry struct {
+	mu    sync.Mutex
+	armed map[string]*armed
+	fired map[string]int64
+}
+
+type armed struct {
+	f    Fault
+	left int // firings remaining; <0 = unlimited
+}
+
+// NewRegistry returns an empty registry: every point is a no-op until
+// armed.
+func NewRegistry() *Registry {
+	return &Registry{armed: make(map[string]*armed), fired: make(map[string]int64)}
+}
+
+// Arm installs f at point, replacing any previous fault there.
+func (r *Registry) Arm(point string, f Fault) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	left := -1
+	if f.Times > 0 {
+		left = f.Times
+	}
+	r.armed[point] = &armed{f: f, left: left}
+}
+
+// Disarm removes the fault at point, if any.
+func (r *Registry) Disarm(point string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.armed, point)
+}
+
+// Reset disarms every point and zeroes the fired counters.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.armed = make(map[string]*armed)
+	r.fired = make(map[string]int64)
+}
+
+// Fired returns how many times the point has fired.
+func (r *Registry) Fired(point string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fired[point]
+}
+
+// Take consumes one firing of the fault armed at point without
+// executing its effect — for seams that must interpret the fault
+// themselves (the FS wrapper's crash-before-rename simulation).
+func (r *Registry) Take(point string) (Fault, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.armed[point]
+	if !ok {
+		return Fault{}, false
+	}
+	r.fired[point]++
+	if a.left > 0 {
+		a.left--
+		if a.left == 0 {
+			delete(r.armed, point)
+		}
+	}
+	return a.f, true
+}
+
+// Fire executes the fault armed at point, if any: sleeps its latency,
+// panics with its panic value, or returns its error. An unarmed point
+// returns nil. Seams call Fire at the top of the guarded operation.
+func (r *Registry) Fire(point string) error {
+	f, ok := r.Take(point)
+	if !ok {
+		return nil
+	}
+	return f.Apply()
+}
+
+// --- filesystem wrapper ---
+//
+// FS fault points, fired by the corresponding operation:
+//
+//	fs.mkdir fs.open fs.create fs.rename fs.remove   (per call)
+//	fs.read fs.write fs.sync                          (per file op)
+//
+// A Fault{Crash: true} armed at fs.rename simulates a machine crash
+// around the rename: the rename's metadata persists but file data that
+// was never Synced does not — the destination materializes zero-length,
+// exactly the state a real crash leaves when the writer skipped fsync.
+// Data that WAS synced survives the crash intact, so the store's
+// fsync-before-rename protocol is observable as a behavior difference.
+
+// FS wraps a store.FS, firing registry points around each operation.
+// Inner == nil wraps the real filesystem.
+type FS struct {
+	R     *Registry
+	Inner store.FS
+
+	mu     sync.Mutex
+	synced map[string]bool // temp files synced since their last write
+}
+
+func (f *FS) inner() store.FS {
+	if f.Inner != nil {
+		return f.Inner
+	}
+	return store.OS
+}
+
+func (f *FS) setSynced(name string, v bool) {
+	f.mu.Lock()
+	if f.synced == nil {
+		f.synced = make(map[string]bool)
+	}
+	f.synced[name] = v
+	f.mu.Unlock()
+}
+
+func (f *FS) wasSynced(name string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.synced[name]
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.R.Fire("fs.mkdir"); err != nil {
+		return err
+	}
+	return f.inner().MkdirAll(path, perm)
+}
+
+func (f *FS) Open(name string) (store.File, error) {
+	if err := f.R.Fire("fs.open"); err != nil {
+		return nil, err
+	}
+	fl, err := f.inner().Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, File: fl}, nil
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (store.File, error) {
+	if err := f.R.Fire("fs.create"); err != nil {
+		return nil, err
+	}
+	fl, err := f.inner().CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, File: fl}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if fa, ok := f.R.Take("fs.rename"); ok {
+		if err := fa.Apply(); err != nil {
+			return err
+		}
+		if fa.Crash && !f.wasSynced(oldpath) {
+			// Crash with unsynced data: the directory entry for newpath
+			// survives, its contents do not.
+			if err := os.WriteFile(newpath, nil, 0o644); err != nil {
+				return err
+			}
+			f.inner().Remove(oldpath)
+			return nil
+		}
+	}
+	return f.inner().Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	if err := f.R.Fire("fs.remove"); err != nil {
+		return err
+	}
+	return f.inner().Remove(name)
+}
+
+// file wraps a store.File with read/write/sync fault points and sync
+// tracking for the crash simulation.
+type file struct {
+	fs *FS
+	store.File
+}
+
+func (fl *file) Read(p []byte) (int, error) {
+	if err := fl.fs.R.Fire("fs.read"); err != nil {
+		return 0, err
+	}
+	return fl.File.Read(p)
+}
+
+func (fl *file) Write(p []byte) (int, error) {
+	if err := fl.fs.R.Fire("fs.write"); err != nil {
+		return 0, err
+	}
+	fl.fs.setSynced(fl.Name(), false)
+	return fl.File.Write(p)
+}
+
+func (fl *file) Sync() error {
+	if err := fl.fs.R.Fire("fs.sync"); err != nil {
+		return err
+	}
+	if err := fl.File.Sync(); err != nil {
+		return err
+	}
+	fl.fs.setSynced(fl.Name(), true)
+	return nil
+}

@@ -22,6 +22,9 @@ import (
 	"time"
 )
 
+// JobFunc is the unit of work submitted to the engine.
+type JobFunc = func(context.Context) (any, error)
+
 // Engine is a bounded worker pool with request coalescing. The zero
 // value is not usable; construct with New.
 type Engine struct {
@@ -30,6 +33,7 @@ type Engine struct {
 
 	mu       sync.Mutex
 	inflight map[string]*call
+	wrap     func(key string, fn JobFunc) JobFunc // test-only execution seam
 
 	// counters (guarded by mu)
 	submitted int64 // Do calls that started a new execution
@@ -37,6 +41,7 @@ type Engine struct {
 	completed int64 // executions that finished without error
 	failed    int64 // executions that returned an error (or panicked)
 	abandoned int64 // waiters that gave up on a cancelled context
+	timedRuns int64 // executions that actually ran (recorded a duration)
 	totalDur  time.Duration
 	maxDur    time.Duration
 	lastDur   time.Duration
@@ -63,19 +68,22 @@ type Stats struct {
 	Completed int64         `json:"completed"`  // executions finished ok
 	Failed    int64         `json:"failed"`     // executions finished with error
 	Abandoned int64         `json:"abandoned"`  // waiters lost to cancellation
+	TimedRuns int64         `json:"timed_runs"` // executions that ran and recorded a duration
 	TotalTime time.Duration `json:"total_time"` // summed execution wall time
 	MaxTime   time.Duration `json:"max_time"`   // slowest single execution
 	LastTime  time.Duration `json:"last_time"`  // most recent execution
 	LastKey   string        `json:"last_key"`   // key of the most recent execution
 }
 
-// AvgTime returns the mean execution wall time.
+// AvgTime returns the mean execution wall time over the executions
+// that actually ran. Executions that fail before acquiring a worker
+// slot record no duration and are excluded — dividing by
+// Completed+Failed would skew the mean low under cancellation churn.
 func (s Stats) AvgTime() time.Duration {
-	n := s.Completed + s.Failed
-	if n == 0 {
+	if s.TimedRuns == 0 {
 		return 0
 	}
-	return s.TotalTime / time.Duration(n)
+	return s.TotalTime / time.Duration(s.TimedRuns)
 }
 
 // New returns an engine with the given worker-pool size; workers <= 0
@@ -93,6 +101,18 @@ func New(workers int) *Engine {
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetWrap installs a hook that wraps every job function just before it
+// executes on the pool (after coalescing and slot acquisition). It is
+// the fault-injection seam for the chaos tests — inject latency,
+// errors, or panics per key — and must not be used to change result
+// types, or coalesced joins become type-unsafe. w == nil removes the
+// hook.
+func (e *Engine) SetWrap(w func(key string, fn JobFunc) JobFunc) {
+	e.mu.Lock()
+	e.wrap = w
+	e.mu.Unlock()
+}
 
 // Do submits fn under key and waits for its result. If an execution for
 // the same key is already in flight, Do joins it instead of running fn
@@ -164,6 +184,11 @@ func (e *Engine) run(ctx context.Context, key string, c *call, fn func(context.C
 		e.finish(key, c, 0, ctx.Err())
 		return
 	}
+	e.mu.Lock()
+	if w := e.wrap; w != nil {
+		fn = w(key, fn)
+	}
+	e.mu.Unlock()
 	start := time.Now()
 	val, err := safeCall(ctx, fn)
 	<-e.sem
@@ -198,6 +223,7 @@ func (e *Engine) finish(key string, c *call, d time.Duration, err error) {
 		e.completed++
 	}
 	if d > 0 {
+		e.timedRuns++
 		e.totalDur += d
 		if d > e.maxDur {
 			e.maxDur = d
@@ -222,6 +248,7 @@ func (e *Engine) Stats() Stats {
 		Completed: e.completed,
 		Failed:    e.failed,
 		Abandoned: e.abandoned,
+		TimedRuns: e.timedRuns,
 		TotalTime: e.totalDur,
 		MaxTime:   e.maxDur,
 		LastTime:  e.lastDur,

@@ -1,0 +1,232 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+const (
+	// Closed: calls flow; consecutive failures are counted.
+	Closed State = iota
+	// Open: calls are rejected until the cooldown elapses.
+	Open
+	// HalfOpen: one probe call is allowed through; its outcome decides
+	// between Closed and another (longer) Open period.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// OpenError reports a call rejected by an open (or probing half-open)
+// breaker. The service layer maps it to 502 with the breaker state in
+// the body.
+type OpenError struct {
+	Key        string
+	State      State
+	RetryAfter time.Duration
+}
+
+func (e *OpenError) Error() string {
+	return fmt.Sprintf("resilience: breaker %s is %s (retry in %s)",
+		e.Key, e.State, e.RetryAfter.Round(time.Millisecond))
+}
+
+// BreakerSet is a family of circuit breakers, one per key, sharing one
+// configuration. A key's breaker opens after threshold consecutive
+// failures; while open it rejects calls until a jittered cooldown
+// elapses, then admits exactly one half-open probe. A successful probe
+// closes the breaker; a failed one re-opens it with exponentially
+// longer cooldown (capped at maxCooldown). Context cancellation and
+// deadline expiry are neutral: they say the caller gave up, not that
+// the key is broken.
+type BreakerSet struct {
+	threshold   int
+	cooldown    time.Duration
+	maxCooldown time.Duration
+
+	now    func() time.Time // test seam
+	jitter func() float64   // in [0,1); test seam
+
+	mu       sync.Mutex
+	m        map[string]*breaker
+	tripped  int64
+	rejected int64
+}
+
+type breaker struct {
+	state    State
+	fails    int       // consecutive failures while closed
+	opens    int       // consecutive open cycles (backoff exponent)
+	until    time.Time // open → when the half-open probe is allowed
+	probing  bool      // a half-open probe is in flight
+	rejected int64
+}
+
+// BreakerInfo describes one key's breaker for /stats and /readyz.
+type BreakerInfo struct {
+	Key               string  `json:"key"`
+	State             string  `json:"state"`
+	ConsecutiveFails  int     `json:"consecutive_fails"`
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
+	Rejected          int64   `json:"rejected"`
+}
+
+// BreakerStats is a snapshot of the set. Breakers lists only keys that
+// are currently interesting — not closed, or closed with recent
+// failures — so the snapshot stays bounded under many healthy keys.
+type BreakerStats struct {
+	Threshold int           `json:"threshold"`
+	Tripped   int64         `json:"tripped"`  // total closed→open transitions
+	Rejected  int64         `json:"rejected"` // total calls rejected
+	Open      int           `json:"open"`     // keys currently open or probing
+	Breakers  []BreakerInfo `json:"breakers,omitempty"`
+}
+
+// NewBreakerSet returns a set that opens a key after threshold
+// consecutive failures (<= 0 selects 3) and keeps it open for a
+// jittered cooldown starting at cooldown (<= 0 selects 5s), doubling
+// per consecutive open up to maxCooldown (< cooldown selects
+// 10×cooldown).
+func NewBreakerSet(threshold int, cooldown, maxCooldown time.Duration) *BreakerSet {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if maxCooldown < cooldown {
+		maxCooldown = 10 * cooldown
+	}
+	return &BreakerSet{
+		threshold:   threshold,
+		cooldown:    cooldown,
+		maxCooldown: maxCooldown,
+		now:         time.Now,
+		jitter:      rand.Float64,
+		m:           make(map[string]*breaker),
+	}
+}
+
+// Allow asks whether a call under key may proceed. On success the
+// returned done func MUST be called exactly once with the call's error
+// (nil on success); on rejection it returns a *OpenError and done is
+// nil.
+func (b *BreakerSet) Allow(key string) (done func(err error), err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[key]
+	if br == nil {
+		br = &breaker{}
+		b.m[key] = br
+	}
+	switch br.state {
+	case Open:
+		if wait := br.until.Sub(b.now()); wait > 0 {
+			br.rejected++
+			b.rejected++
+			return nil, &OpenError{Key: key, State: Open, RetryAfter: wait}
+		}
+		br.state = HalfOpen
+		br.probing = false
+		fallthrough
+	case HalfOpen:
+		if br.probing {
+			br.rejected++
+			b.rejected++
+			return nil, &OpenError{Key: key, State: HalfOpen, RetryAfter: b.cooldown}
+		}
+		br.probing = true
+		return b.doneFunc(key, br, true), nil
+	default: // Closed
+		return b.doneFunc(key, br, false), nil
+	}
+}
+
+func (b *BreakerSet) doneFunc(key string, br *breaker, probe bool) func(error) {
+	return func(err error) {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if probe {
+			br.probing = false
+		}
+		switch {
+		case err == nil:
+			br.state = Closed
+			br.fails = 0
+			br.opens = 0
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			// The caller gave up; that is no evidence against the key.
+			// A half-open breaker stays half-open and the next Allow
+			// probes again.
+		default:
+			br.fails++
+			if probe || br.fails >= b.threshold {
+				b.trip(br)
+			}
+		}
+	}
+}
+
+// trip moves br to Open with an exponentially backed-off, jittered
+// cooldown: base<<opens scaled by a factor in [0.5, 1.0) so a fleet of
+// breakers opened by one incident does not probe in lockstep.
+func (b *BreakerSet) trip(br *breaker) {
+	br.state = Open
+	br.fails = 0
+	d := b.cooldown << uint(br.opens)
+	if d > b.maxCooldown || d <= 0 { // <= 0: shift overflow
+		d = b.maxCooldown
+	}
+	d = d/2 + time.Duration(b.jitter()*float64(d/2))
+	br.until = b.now().Add(d)
+	br.opens++
+	b.tripped++
+}
+
+// Stats returns a snapshot. Only non-closed or recently-failing keys
+// are listed individually.
+func (b *BreakerSet) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStats{Threshold: b.threshold, Tripped: b.tripped, Rejected: b.rejected}
+	for key, br := range b.m {
+		if br.state != Closed {
+			st.Open++
+		}
+		if br.state == Closed && br.fails == 0 {
+			continue
+		}
+		info := BreakerInfo{
+			Key:              key,
+			State:            br.state.String(),
+			ConsecutiveFails: br.fails,
+			Rejected:         br.rejected,
+		}
+		if br.state == Open {
+			if wait := br.until.Sub(b.now()); wait > 0 {
+				info.RetryAfterSeconds = wait.Seconds()
+			}
+		}
+		st.Breakers = append(st.Breakers, info)
+	}
+	sort.Slice(st.Breakers, func(i, j int) bool { return st.Breakers[i].Key < st.Breakers[j].Key })
+	return st
+}

@@ -1,0 +1,167 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// testClock is a hand-advanced clock so breaker timing is deterministic.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestSet(threshold int, cooldown time.Duration) (*BreakerSet, *testClock) {
+	b := NewBreakerSet(threshold, cooldown, 8*cooldown)
+	c := &testClock{t: time.Unix(1000, 0)}
+	b.now = c.now
+	b.jitter = func() float64 { return 1 } // deterministic: full cooldown
+	return b, c
+}
+
+var errBoom = errors.New("boom")
+
+func fail(t *testing.T, b *BreakerSet, key string) error {
+	t.Helper()
+	done, err := b.Allow(key)
+	if err != nil {
+		return err
+	}
+	done(errBoom)
+	return nil
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b, _ := newTestSet(3, time.Second)
+
+	for i := 0; i < 3; i++ {
+		if err := fail(t, b, "k"); err != nil {
+			t.Fatalf("call %d rejected early: %v", i, err)
+		}
+	}
+	// Open now: rejected with state and retry hint.
+	_, err := b.Allow("k")
+	var oe *OpenError
+	if !errors.As(err, &oe) {
+		t.Fatalf("after %d failures Allow = %v, want OpenError", 3, err)
+	}
+	if oe.Key != "k" || oe.State != Open || oe.RetryAfter <= 0 {
+		t.Fatalf("OpenError = %+v", oe)
+	}
+	if st := b.Stats(); st.Tripped != 1 || st.Open != 1 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Other keys are unaffected.
+	if done, err := b.Allow("other"); err != nil {
+		t.Fatalf("unrelated key rejected: %v", err)
+	} else {
+		done(nil)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	b, clk := newTestSet(2, time.Second)
+	fail(t, b, "k")
+	fail(t, b, "k")
+	if _, err := b.Allow("k"); err == nil {
+		t.Fatal("breaker did not open")
+	}
+
+	clk.advance(1100 * time.Millisecond)
+	// One probe is admitted; a concurrent second caller is rejected.
+	done, err := b.Allow("k")
+	if err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if _, err := b.Allow("k"); err == nil {
+		t.Fatal("second caller admitted during probe")
+	} else {
+		var oe *OpenError
+		if !errors.As(err, &oe) || oe.State != HalfOpen {
+			t.Fatalf("concurrent probe rejection = %v", err)
+		}
+	}
+	done(nil) // probe succeeds → closed
+	if d2, err := b.Allow("k"); err != nil {
+		t.Fatalf("closed breaker rejecting: %v", err)
+	} else {
+		d2(nil)
+	}
+	if st := b.Stats(); st.Open != 0 {
+		t.Fatalf("stats after recovery = %+v", st)
+	}
+}
+
+func TestBreakerFailedProbeBacksOff(t *testing.T) {
+	b, clk := newTestSet(2, time.Second)
+	fail(t, b, "k")
+	fail(t, b, "k")
+
+	// First open period: 1s (jitter pinned to the full cooldown).
+	clk.advance(1100 * time.Millisecond)
+	done, err := b.Allow("k")
+	if err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	done(errBoom) // failed probe → open again, doubled cooldown
+
+	clk.advance(1100 * time.Millisecond) // not enough for the 2s period
+	_, err = b.Allow("k")
+	var oe *OpenError
+	if !errors.As(err, &oe) || oe.State != Open {
+		t.Fatalf("after failed probe Allow = %v, want still open", err)
+	}
+	clk.advance(1000 * time.Millisecond) // 2.1s total > 2s
+	done, err = b.Allow("k")
+	if err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	done(nil)
+	if st := b.Stats(); st.Tripped != 2 || st.Open != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBreakerContextErrorsAreNeutral(t *testing.T) {
+	b, clk := newTestSet(2, time.Second)
+	for i := 0; i < 5; i++ {
+		done, err := b.Allow("k")
+		if err != nil {
+			t.Fatalf("cancelled callers tripped the breaker at %d: %v", i, err)
+		}
+		done(context.DeadlineExceeded)
+	}
+	// A cancelled half-open probe leaves the breaker probing-ready.
+	fail(t, b, "k")
+	fail(t, b, "k")
+	clk.advance(1100 * time.Millisecond)
+	done, err := b.Allow("k")
+	if err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	done(context.Canceled) // inconclusive
+	done2, err := b.Allow("k")
+	if err != nil {
+		t.Fatalf("re-probe after neutral outcome rejected: %v", err)
+	}
+	done2(nil)
+	if st := b.Stats(); st.Open != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _ := newTestSet(3, time.Second)
+	fail(t, b, "k")
+	fail(t, b, "k")
+	done, _ := b.Allow("k")
+	done(nil) // streak broken
+	fail(t, b, "k")
+	fail(t, b, "k")
+	if done, err := b.Allow("k"); err != nil {
+		t.Fatalf("breaker tripped on a broken streak: %v", err)
+	} else {
+		done(nil)
+	}
+}

@@ -1,0 +1,202 @@
+// Package resilience is the service layer's runtime safety net:
+// admission control (Gate), per-key circuit breaking (BreakerSet), and
+// per-request deadlines (WithTimeout).
+//
+// The design translates the paper's core bet to the systems level. The
+// compiler inserts synchronization on *probable* dependences and a
+// cheap runtime check recovers when speculation was wrong, instead of
+// squashing the whole epoch (PAPER.md §5). The service likewise
+// optimistically admits work — no reservation, no global lock — and
+// cheap local checks recover from the failure modes: a deadline bounds
+// a hung job, the gate sheds a traffic burst before it queues
+// unboundedly, and a breaker stops a benchmark whose compile always
+// fails from burning workers on every request, restarting (half-open
+// probe) instead of giving up on the key forever.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrShed is returned by Gate.Acquire when the wait queue is full: the
+// caller should be answered with 429 Too Many Requests + Retry-After.
+var ErrShed = errors.New("resilience: admission queue full")
+
+// ErrDraining is returned by Gate.Acquire once Drain was called: the
+// caller should be answered with 503 Service Unavailable.
+var ErrDraining = errors.New("resilience: draining")
+
+// Gate is the admission controller in front of the job path: at most
+// capacity requests compute concurrently, at most queue more wait, and
+// everything beyond that is shed immediately instead of queuing
+// unboundedly. Drain flips the gate into shutdown mode: new arrivals
+// and queued waiters are rejected while admitted work finishes.
+type Gate struct {
+	capacity int
+	queue    int
+	slots    chan struct{}
+
+	mu       sync.Mutex
+	active   int
+	waiting  int
+	draining bool
+	drainCh  chan struct{}
+	admitted int64
+	shed     int64
+	drained  int64
+}
+
+// GateStats is a snapshot of the gate's counters.
+type GateStats struct {
+	Capacity int   `json:"capacity"` // concurrent admissions
+	Queue    int   `json:"queue"`    // wait-queue bound
+	Active   int   `json:"active"`   // currently admitted
+	Waiting  int   `json:"waiting"`  // currently queued
+	Admitted int64 `json:"admitted"` // total admissions
+	Shed     int64 `json:"shed"`     // rejected: queue full (429)
+	Drained  int64 `json:"drained"`  // rejected: draining (503)
+	Draining bool  `json:"draining"`
+}
+
+// NewGate returns a gate admitting capacity concurrent requests with a
+// wait queue of queue more (capacity <= 0 selects 1; queue < 0 selects
+// 0: shed as soon as all slots are busy).
+func NewGate(capacity, queue int) *Gate {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Gate{
+		capacity: capacity,
+		queue:    queue,
+		slots:    make(chan struct{}, capacity),
+		drainCh:  make(chan struct{}),
+	}
+}
+
+// Acquire admits the caller or rejects it: ErrShed when the wait queue
+// is full, ErrDraining during shutdown, or ctx's error if the caller's
+// context ends while queued. On success the returned release func MUST
+// be called exactly once when the work is done.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	g.mu.Lock()
+	if g.draining {
+		g.drained++
+		g.mu.Unlock()
+		return nil, ErrDraining
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.active++
+		g.admitted++
+		g.mu.Unlock()
+		return g.release, nil
+	default:
+	}
+	if g.waiting >= g.queue {
+		g.shed++
+		g.mu.Unlock()
+		return nil, ErrShed
+	}
+	g.waiting++
+	drainCh := g.drainCh
+	g.mu.Unlock()
+
+	select {
+	case g.slots <- struct{}{}:
+		g.mu.Lock()
+		g.waiting--
+		g.active++
+		g.admitted++
+		g.mu.Unlock()
+		return g.release, nil
+	case <-drainCh:
+		g.mu.Lock()
+		g.waiting--
+		g.drained++
+		g.mu.Unlock()
+		return nil, ErrDraining
+	case <-ctx.Done():
+		g.mu.Lock()
+		g.waiting--
+		g.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) release() {
+	<-g.slots
+	g.mu.Lock()
+	g.active--
+	g.mu.Unlock()
+}
+
+// Drain rejects all future (and currently queued) acquisitions with
+// ErrDraining while already-admitted work runs to completion. It is
+// idempotent and never blocks.
+func (g *Gate) Drain() {
+	g.mu.Lock()
+	if !g.draining {
+		g.draining = true
+		close(g.drainCh)
+	}
+	g.mu.Unlock()
+}
+
+// Draining reports whether Drain was called.
+func (g *Gate) Draining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// RetryAfter suggests how long a shed caller should back off: one
+// second per queued request, clamped to [1s, 30s] — rough, but
+// monotone in load, which is what Retry-After needs to be useful.
+func (g *Gate) RetryAfter() time.Duration {
+	g.mu.Lock()
+	waiting := g.waiting
+	g.mu.Unlock()
+	d := time.Duration(1+waiting) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// Stats returns a snapshot of the counters.
+func (g *Gate) Stats() GateStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GateStats{
+		Capacity: g.capacity,
+		Queue:    g.queue,
+		Active:   g.active,
+		Waiting:  g.waiting,
+		Admitted: g.admitted,
+		Shed:     g.shed,
+		Drained:  g.drained,
+		Draining: g.draining,
+	}
+}
+
+// WithTimeout wraps h so every request carries a deadline: the
+// per-request safety net that keeps one hung job from holding its
+// handler (and the client's connection) forever. d <= 0 returns h
+// unchanged.
+func WithTimeout(d time.Duration, h http.Handler) http.Handler {
+	if d <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

@@ -1,0 +1,172 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestGateAdmitQueueShed(t *testing.T) {
+	g := NewGate(1, 1)
+
+	rel1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second caller queues.
+	type res struct {
+		rel func()
+		err error
+	}
+	queued := make(chan res, 1)
+	go func() {
+		rel, err := g.Acquire(context.Background())
+		queued <- res{rel, err}
+	}()
+	deadline := time.After(5 * time.Second)
+	for g.Stats().Waiting != 1 {
+		select {
+		case <-deadline:
+			t.Fatal("second caller never queued")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// Third caller is shed immediately.
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("third Acquire = %v, want ErrShed", err)
+	}
+	if st := g.Stats(); st.Shed != 1 || st.Active != 1 || st.Waiting != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Releasing the first admits the queued one.
+	rel1()
+	r := <-queued
+	if r.err != nil {
+		t.Fatalf("queued Acquire = %v", r.err)
+	}
+	r.rel()
+	if st := g.Stats(); st.Active != 0 || st.Waiting != 0 || st.Admitted != 2 {
+		t.Fatalf("stats after release = %+v", st)
+	}
+}
+
+func TestGateContextCancelWhileQueued(t *testing.T) {
+	g := NewGate(1, 4)
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx)
+		errc <- err
+	}()
+	deadline := time.After(5 * time.Second)
+	for g.Stats().Waiting != 1 {
+		select {
+		case <-deadline:
+			t.Fatal("caller never queued")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued Acquire after cancel = %v", err)
+	}
+	if st := g.Stats(); st.Waiting != 0 {
+		t.Fatalf("waiting leaked: %+v", st)
+	}
+}
+
+func TestGateDrain(t *testing.T) {
+	g := NewGate(1, 4)
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A queued waiter is kicked out by Drain.
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(context.Background())
+		errc <- err
+	}()
+	deadline := time.After(5 * time.Second)
+	for g.Stats().Waiting != 1 {
+		select {
+		case <-deadline:
+			t.Fatal("caller never queued")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	g.Drain()
+	g.Drain() // idempotent
+	if err := <-errc; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued Acquire after Drain = %v", err)
+	}
+	// New arrivals are rejected; admitted work still releases cleanly.
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Acquire while draining = %v", err)
+	}
+	rel()
+	st := g.Stats()
+	if !st.Draining || st.Active != 0 || st.Drained != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGateRetryAfterMonotone(t *testing.T) {
+	g := NewGate(1, 10)
+	base := g.RetryAfter()
+	if base < time.Second {
+		t.Fatalf("RetryAfter floor = %v, want >= 1s", base)
+	}
+	rel, _ := g.Acquire(context.Background())
+	defer rel()
+	done := make(chan struct{})
+	defer close(done)
+	for i := 0; i < 3; i++ {
+		go func() {
+			if rel, err := g.Acquire(context.Background()); err == nil {
+				<-done
+				rel()
+			}
+		}()
+	}
+	deadline := time.After(5 * time.Second)
+	for g.Stats().Waiting != 3 {
+		select {
+		case <-deadline:
+			t.Fatal("callers never queued")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if got := g.RetryAfter(); got <= base {
+		t.Fatalf("RetryAfter under load = %v, want > %v", got, base)
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	var sawDeadline bool
+	h := WithTimeout(20*time.Millisecond, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, sawDeadline = r.Context().Deadline()
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if !sawDeadline {
+		t.Fatal("request context carried no deadline")
+	}
+	// d <= 0 is the identity.
+	inner := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {})
+	if got := WithTimeout(0, inner); got == nil {
+		t.Fatal("WithTimeout(0) = nil")
+	}
+}

@@ -1,0 +1,56 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// FS abstracts the filesystem operations the disk layer performs. It
+// exists as a seam: production code uses OS, while chaos tests inject a
+// wrapper (internal/fault.FS) that fires fault hooks — errors, panics,
+// latency, simulated crashes — around each operation.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// File is the subset of *os.File the disk layer uses. Open on a
+// directory must return a File whose Sync flushes the directory entry
+// metadata (the durable-rename protocol in writeDisk relies on it).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+	Sync() error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }

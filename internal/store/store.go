@@ -78,6 +78,7 @@ type Store struct {
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 	dir   string // "" = memory only
+	fs    FS     // filesystem seam for the disk layer
 	stats Stats
 }
 
@@ -95,11 +96,21 @@ const DefaultCapacity = 256
 // (<= 0 selects DefaultCapacity). If dir is non-empty, artifacts are
 // also persisted under it (created if missing) and survive restarts.
 func New(capacity int, dir string) (*Store, error) {
+	return NewWithFS(capacity, dir, OS)
+}
+
+// NewWithFS is New with an explicit filesystem for the disk layer —
+// the fault-injection seam used by the chaos tests (fsys == nil
+// selects the real filesystem).
+func NewWithFS(capacity int, dir string, fsys FS) (*Store, error) {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
+	if fsys == nil {
+		fsys = OS
+	}
 	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: cache dir: %w", err)
 		}
 	}
@@ -108,6 +119,7 @@ func New(capacity int, dir string) (*Store, error) {
 		ll:    list.New(),
 		items: make(map[string]*list.Element),
 		dir:   dir,
+		fs:    fsys,
 	}
 	s.stats.Capacity = capacity
 	return s, nil
@@ -145,7 +157,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 			// A transient error — EACCES, EMFILE under fd pressure — must
 			// keep the entry: it may read fine next time.
 			if errors.Is(err, errCorrupt) {
-				os.Remove(s.path(key))
+				s.fs.Remove(s.path(key))
 			}
 		}
 		s.miss()
@@ -250,29 +262,51 @@ func (s *Store) path(key string) string {
 // writeDisk persists one entry atomically with a payload checksum:
 //
 //	tlsstore1 <hex sha256 of payload>\n<payload>
+//
+// Durability protocol: fsync the temp file before the rename, then
+// fsync the parent directory after it. Renaming an unsynced file can
+// persist the rename's metadata without the data — a crash then leaves
+// a zero-length entry that costs a DiskErrors+delete on every restart
+// until rewritten; the directory sync makes the rename itself durable.
 func (s *Store) writeDisk(key string, val []byte) error {
 	p := s.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	dir := filepath.Dir(p)
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	sum := sha256.Sum256(val)
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "%s %s\n", diskMagic, hex.EncodeToString(sum[:]))
 	buf.Write(val)
-	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp*")
+	tmp, err := s.fs.CreateTemp(dir, ".tmp*")
 	if err != nil {
 		return err
 	}
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		s.fs.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), p)
+	if err := s.fs.Rename(tmp.Name(), p); err != nil {
+		s.fs.Remove(tmp.Name())
+		return err
+	}
+	d, err := s.fs.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	d.Close()
+	return err
 }
 
 // errCorrupt marks an entry whose on-disk format or checksum is
@@ -285,7 +319,7 @@ var errCorrupt = errors.New("corrupt entry")
 // returns an error wrapping errCorrupt; anything else is a transient
 // read failure.
 func (s *Store) readDisk(key string) ([]byte, error) {
-	f, err := os.Open(s.path(key))
+	f, err := s.fs.Open(s.path(key))
 	if err != nil {
 		return nil, err
 	}
