@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race chaos bench figs csv serve clean
+.PHONY: all build vet test test-short race chaos crash bench figs csv serve clean
 
 all: build vet test race
 
@@ -34,6 +34,14 @@ race:
 # under the race detector (see docs/tlsd.md, "Operations").
 chaos:
 	$(GO) test -race -run 'Chaos|GracefulDrain|WriteErrors' ./cmd/tlsd/
+
+# Kill-9 harness for the daemon: re-execs tlsd as a child process,
+# SIGKILLs it at every durability-sensitive point (mid-journal-append,
+# between temp write and rename, mid-job), restarts it over the same
+# cache dir, and asserts convergence and crash-loop poisoning (see
+# docs/tlsd.md, "Crash recovery").
+crash:
+	$(GO) test -race -run 'TestCrash' ./cmd/tlsd/
 
 # One benchmark per paper figure/table plus the ablations.
 bench:

@@ -1,0 +1,493 @@
+// Crash harness: the proof that tlsd is crash-only. The tests here
+// re-exec the test binary as a real tlsd child process, install a
+// SIGKILL-self killer at the fault registry's crash seams, and murder
+// the daemon at every durability-sensitive point — mid-journal-append,
+// between an artifact's temp write and its rename, and mid-job. Then
+// they restart the daemon over the same cache directory and assert the
+// crash-only contract: journal replay is idempotent, a client retry
+// converges to a correct artifact (recovered or recomputed, never
+// corrupt), and a job that crashes the process on every recovery
+// attempt is poisoned rather than crash-looping the daemon forever.
+//
+// Run with `make crash` (kept under -race in CI). The tests are skipped
+// under -short: each scenario boots real processes and compiles a
+// benchmark per boot.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"tlssync/internal/fault"
+	"tlssync/internal/jobs"
+	"tlssync/internal/journal"
+)
+
+// TestMain diverts the re-exec'd test binary into child-daemon mode.
+// The parent tests set TLSD_CRASH_CHILD=1 in the child's environment;
+// a plain `go test` run never sees it and proceeds to m.Run.
+func TestMain(m *testing.M) {
+	if os.Getenv("TLSD_CRASH_CHILD") == "1" {
+		crashChildMain()
+		return // unreachable; crashChildMain exits or is killed
+	}
+	os.Exit(m.Run())
+}
+
+// crashWrap is the job-engine crash seam: every job fires a generic
+// jobs.exec point plus a key-family point (jobs.simulate, jobs.prepare)
+// so a scenario can target "the simulate job" without also killing the
+// compile that precedes it.
+func crashWrap(reg *fault.Registry) func(string, jobs.JobFunc) jobs.JobFunc {
+	return func(key string, fn jobs.JobFunc) jobs.JobFunc {
+		return func(ctx context.Context) (any, error) {
+			points := []string{"jobs.exec"}
+			switch {
+			case strings.HasPrefix(key, "simulate/"):
+				points = append(points, "jobs.simulate")
+			case strings.HasPrefix(key, "prepare/"):
+				points = append(points, "jobs.prepare")
+			}
+			for _, pt := range points {
+				if fa, ok := reg.Take(pt); ok {
+					if err := fa.Apply(); err != nil {
+						return nil, err
+					}
+					if fa.Crash {
+						reg.Kill()
+						return nil, fmt.Errorf("crash point %s fired with no killer", pt)
+					}
+				}
+			}
+			return fn(ctx)
+		}
+	}
+}
+
+// crashChildMain is the child daemon: a real tlsd server over the
+// parent-supplied cache dir, with a SIGKILL-self killer behind every
+// Crash fault, an /_arm endpoint for runtime arming, and an optional
+// startup arm from TLSD_ARM (for faults that must fire inside startup
+// recovery, before any HTTP round-trip could arm them).
+func crashChildMain() {
+	dir := os.Getenv("TLSD_CACHEDIR")
+	portfile := os.Getenv("TLSD_PORTFILE")
+	if dir == "" || portfile == "" {
+		log.Fatal("crash child: TLSD_CACHEDIR and TLSD_PORTFILE are required")
+	}
+	reg := fault.NewRegistry()
+	reg.SetKiller(func() {
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // SIGKILL delivery is asynchronous; never proceed past the crash point
+	})
+	if arm := os.Getenv("TLSD_ARM"); arm != "" {
+		reg.Arm(arm, fault.Fault{Crash: true, Times: 1})
+	}
+	s, err := newServer(config{
+		workers:    2,
+		storeCap:   64,
+		cacheDir:   dir,
+		benchmarks: []string{"gzip_comp"},
+		fsys:       &fault.FS{R: reg},
+		jobWrap:    crashWrap(reg),
+	})
+	if err != nil {
+		log.Fatalf("crash child: %v", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /_arm", func(w http.ResponseWriter, r *http.Request) {
+		point := r.URL.Query().Get("point")
+		if point == "" {
+			http.Error(w, "need point", http.StatusBadRequest)
+			return
+		}
+		times, _ := strconv.Atoi(r.URL.Query().Get("times"))
+		if times <= 0 {
+			times = 1
+		}
+		reg.Arm(point, fault.Fault{Crash: true, Times: times})
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.Handle("/", s)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("crash child: %v", err)
+	}
+	// Publish the address atomically so the parent never reads a torn
+	// portfile — the harness practices what it tests.
+	tmp := portfile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		log.Fatalf("crash child: %v", err)
+	}
+	if err := os.Rename(tmp, portfile); err != nil {
+		log.Fatalf("crash child: %v", err)
+	}
+	// Self-destruct: an orphaned child (parent test crashed or timed
+	// out) must not outlive the test run.
+	time.AfterFunc(5*time.Minute, func() { os.Exit(3) })
+	log.Fatal(http.Serve(ln, mux))
+}
+
+// child is a running crash-child daemon under parent control.
+type child struct {
+	t        *testing.T
+	cmd      *exec.Cmd
+	portfile string
+	addr     string
+}
+
+// spawnChild boots a child daemon over dir WITHOUT waiting for it to
+// serve — the caller may expect it to die during startup recovery,
+// possibly before it ever opens its listener. arm, when non-empty, is a
+// crash point armed from the child's very first instruction (it fires
+// even inside startup recovery).
+func spawnChild(t *testing.T, dir, arm string) *child {
+	t.Helper()
+	portfile := filepath.Join(t.TempDir(), "port")
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		"TLSD_CRASH_CHILD=1",
+		"TLSD_CACHEDIR="+dir,
+		"TLSD_PORTFILE="+portfile,
+		"TLSD_ARM="+arm,
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	c := &child{t: t, cmd: cmd, portfile: portfile}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return c
+}
+
+// startChild boots a child daemon and waits until it serves.
+func startChild(t *testing.T, dir, arm string) *child {
+	t.Helper()
+	c := spawnChild(t, dir, arm)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if data, err := os.ReadFile(c.portfile); err == nil {
+			c.addr = string(data)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child never published its address")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, _, err := c.get("/healthz", 10*time.Second); err != nil {
+		t.Fatalf("child not serving: %v", err)
+	}
+	return c
+}
+
+// get performs one request against the child. A connection error is
+// returned, not fatal: dying mid-request is this harness's job.
+func (c *child) get(path string, timeout time.Duration) (int, []byte, error) {
+	cl := &http.Client{Timeout: timeout}
+	resp, err := cl.Get("http://" + c.addr + path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, buf, err
+}
+
+// arm arms a crash point in the running child.
+func (c *child) arm(point string) {
+	c.t.Helper()
+	code, _, err := c.get("/_arm?point="+point, 10*time.Second)
+	if err != nil || code != http.StatusNoContent {
+		c.t.Fatalf("arm %s: code=%d err=%v", point, code, err)
+	}
+}
+
+// waitKilled blocks until the child exits and asserts it died from
+// SIGKILL — the crash seam fired, nothing exited cleanly around it.
+func (c *child) waitKilled(within time.Duration) {
+	c.t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- c.cmd.Wait() }()
+	select {
+	case err := <-done:
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			c.t.Fatalf("child exit = %v, want SIGKILL", err)
+		}
+		ws, ok := ee.Sys().(syscall.WaitStatus)
+		if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+			c.t.Fatalf("child wait status = %+v, want killed by SIGKILL", ee.Sys())
+		}
+	case <-time.After(within):
+		c.cmd.Process.Kill()
+		c.t.Fatalf("child did not die within %v", within)
+	}
+}
+
+// kill ends a child the crash-only way: SIGKILL, no shutdown protocol.
+func (c *child) kill() {
+	c.cmd.Process.Kill()
+	c.cmd.Wait()
+}
+
+// statsJSON is the slice of /stats and /readyz the harness reads.
+type statsJSON struct {
+	Status string `json:"status"`
+	Jobs   struct {
+		Recovered int64 `json:"recovered"`
+		Poisoned  int64 `json:"poisoned"`
+	} `json:"jobs"`
+	Journal struct {
+		Pending   int   `json:"pending"`
+		Poisoned  int   `json:"poisoned"`
+		TornTails int64 `json:"torn_tails"`
+	} `json:"journal"`
+	Poisoned []string `json:"poisoned"`
+}
+
+func (c *child) stats(path string) (statsJSON, error) {
+	var st statsJSON
+	_, body, err := c.get(path, 10*time.Second)
+	if err != nil {
+		return st, err
+	}
+	err = json.Unmarshal(body, &st)
+	return st, err
+}
+
+// waitStats polls /stats until pred holds.
+func (c *child) waitStats(pred func(statsJSON) bool, within time.Duration, what string) statsJSON {
+	c.t.Helper()
+	deadline := time.Now().Add(within)
+	var last statsJSON
+	for time.Now().Before(deadline) {
+		st, err := c.stats("/stats")
+		if err == nil {
+			last = st
+			if pred(st) {
+				return st
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	c.t.Fatalf("timed out waiting for %s; last stats %+v", what, last)
+	return last
+}
+
+// assertReplayIdempotent replays the journal twice and asserts the
+// states are deep-equal: recovery decisions are a pure function of the
+// bytes on disk, however torn they are.
+func assertReplayIdempotent(t *testing.T, dir string) {
+	t.Helper()
+	path := filepath.Join(dir, "journal", "wal")
+	s1, i1, err := journal.ReplayFile(nil, path)
+	if err != nil {
+		t.Fatalf("replay after crash: %v", err)
+	}
+	s2, i2, err := journal.ReplayFile(nil, path)
+	if err != nil {
+		t.Fatalf("second replay after crash: %v", err)
+	}
+	if !reflect.DeepEqual(s1, s2) || i1 != i2 {
+		t.Fatalf("replay not idempotent after crash:\n  %+v %+v\n  %+v %+v", s1, i1, s2, i2)
+	}
+}
+
+const simPath = "/simulate?bench=gzip_comp&policy=C"
+
+// simResponse is the /simulate body shape the harness verifies.
+type simResponse struct {
+	Cache  string `json:"cache"`
+	Result struct {
+		Bench  string `json:"bench"`
+		Policy string `json:"policy"`
+	} `json:"result"`
+}
+
+// retryUntilServed retries path until it answers 200 with a decodable,
+// correctly-keyed artifact — the convergence half of the crash-only
+// contract. Returns the decoded response.
+func (c *child) retryUntilServed(path, bench, policy string, within time.Duration) simResponse {
+	c.t.Helper()
+	deadline := time.Now().Add(within)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		code, body, err := c.get(path, 2*time.Minute)
+		if err != nil {
+			lastErr = err
+		} else if code != http.StatusOK {
+			lastErr = fmt.Errorf("status %d: %s", code, body)
+		} else {
+			var sr simResponse
+			if err := json.Unmarshal(body, &sr); err != nil {
+				// A corrupt artifact served would surface exactly here.
+				c.t.Fatalf("200 with undecodable artifact (corruption served): %v\n%s", err, body)
+			}
+			if sr.Result.Bench != bench || sr.Result.Policy != policy {
+				c.t.Fatalf("artifact keyed wrong: got %s/%s, want %s/%s",
+					sr.Result.Bench, sr.Result.Policy, bench, policy)
+			}
+			return sr
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	c.t.Fatalf("request never converged: %v", lastErr)
+	return simResponse{}
+}
+
+// TestCrashRestartConverges kills the daemon at each durability-
+// sensitive point of a cold /simulate, restarts it over the same cache
+// dir, and asserts convergence: replay is idempotent, the retried
+// request produces a correct artifact, and the journal drains.
+func TestCrashRestartConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness boots real processes; skipped under -short")
+	}
+	scenarios := []struct {
+		name  string
+		point string
+		// tornTail: the begin record itself is torn away, so the restart
+		// sees no pending work and convergence happens via plain retry.
+		tornTail bool
+	}{
+		{name: "mid-journal-append", point: "fs.write", tornTail: true},
+		{name: "between-temp-write-and-rename", point: "fs.rename"},
+		{name: "mid-job", point: "jobs.simulate"},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			c := startChild(t, dir, "")
+			c.arm(sc.point)
+
+			// The request rides into the crash; its connection just dies.
+			if code, body, err := c.get(simPath, 2*time.Minute); err == nil {
+				t.Fatalf("request survived the crash point: %d %s", code, body)
+			}
+			c.waitKilled(30 * time.Second)
+			assertReplayIdempotent(t, dir)
+
+			// Restart unarmed over the same cache dir and retry.
+			c2 := startChild(t, dir, "")
+			sr := c2.retryUntilServed(simPath, "gzip_comp", "C", 3*time.Minute)
+			if sr.Cache == "" {
+				t.Fatal("no cache state on converged response")
+			}
+			// The artifact is durable now: the next request is a warm hit.
+			code, body, err := c2.get(simPath, time.Minute)
+			if err != nil || code != http.StatusOK {
+				t.Fatalf("follow-up: code=%d err=%v", code, err)
+			}
+			var sr2 simResponse
+			if err := json.Unmarshal(body, &sr2); err != nil || sr2.Cache != "hit" {
+				t.Fatalf("follow-up not a cache hit: cache=%q err=%v", sr2.Cache, err)
+			}
+			// The journal drains: every begin met its commit.
+			st := c2.waitStats(func(st statsJSON) bool { return st.Journal.Pending == 0 },
+				time.Minute, "journal to drain")
+			if sc.tornTail {
+				if st.Journal.TornTails < 1 {
+					t.Fatalf("mid-append crash left no torn tail: %+v", st.Journal)
+				}
+			} else {
+				// The pending job survived the crash and was recovered (by
+				// the background recovery or by coalescing the retry onto it).
+				c2.waitStats(func(st statsJSON) bool { return st.Jobs.Recovered >= 1 },
+					time.Minute, "recovery counter")
+			}
+			c2.kill()
+		})
+	}
+}
+
+// TestCrashPoisonedJobQuarantined crash-loops one job's recovery until
+// the poison budget (3) is spent, then asserts the daemon boots anyway,
+// reports the poisoned key, answers 502 for it, and serves other keys.
+func TestCrashPoisonedJobQuarantined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness boots real processes; skipped under -short")
+	}
+	dir := t.TempDir()
+
+	// Boot 1: a live request journals the begin, then the job kills the
+	// process. Attempt 1 is on the books.
+	c := startChild(t, dir, "jobs.simulate")
+	if code, body, err := c.get(simPath, 2*time.Minute); err == nil {
+		t.Fatalf("request survived the crash point: %d %s", code, body)
+	}
+	c.waitKilled(30 * time.Second)
+
+	// Boots 2 and 3: startup recovery re-runs the job and the armed
+	// crash point kills the process again — no HTTP needed (the child
+	// may die before its listener opens, so don't wait for one). Each
+	// boot durably journals its recovery begin BEFORE the job runs, so
+	// the crash is charged to the job.
+	for boot := 2; boot <= 3; boot++ {
+		c := spawnChild(t, dir, "jobs.simulate")
+		c.waitKilled(3 * time.Minute)
+		assertReplayIdempotent(t, dir)
+	}
+
+	// Boot 4, unarmed: attempts exhausted the budget. The daemon must
+	// boot serving — with the job poisoned, its key pre-opened in the
+	// breaker set, and everything else alive.
+	c4 := startChild(t, dir, "")
+	ready, err := c4.stats("/readyz")
+	if err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	if ready.Status != "degraded" {
+		t.Fatalf("readyz status = %q, want degraded (poisoned job present)", ready.Status)
+	}
+	wantKey := "simulate/gzip_comp/C"
+	found := false
+	for _, k := range ready.Poisoned {
+		if k == wantKey {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("readyz poisoned = %v, want %q listed", ready.Poisoned, wantKey)
+	}
+
+	// The poisoned key answers 502 from its pre-opened breaker.
+	code, body, err := c4.get(simPath, time.Minute)
+	if err != nil || code != http.StatusBadGateway {
+		t.Fatalf("poisoned key: code=%d err=%v body=%s", code, err, body)
+	}
+
+	// Other keys serve normally — the poison is a quarantine, not an
+	// outage.
+	c4.retryUntilServed("/simulate?bench=gzip_comp&policy=U", "gzip_comp", "U", 3*time.Minute)
+
+	st := c4.waitStats(func(st statsJSON) bool { return st.Jobs.Poisoned >= 1 },
+		time.Minute, "poisoned counter")
+	if st.Journal.Poisoned != 1 {
+		t.Fatalf("journal stats = %+v, want poisoned=1", st.Journal)
+	}
+	c4.kill()
+}

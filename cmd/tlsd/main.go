@@ -22,6 +22,16 @@
 // breakers answer 502 for benchmarks whose pipeline keeps failing, and
 // shutdown drains gracefully (in-flight work completes, new compute
 // gets 503). See docs/tlsd.md for examples and operations notes.
+//
+// The daemon is also crash-only: with -cachedir, a write-ahead journal
+// records every simulation intent before it runs, and a process killed
+// mid-job (SIGKILL, OOM, power loss) recovers on the next boot —
+// incomplete jobs are replayed and re-enqueued, jobs that crash the
+// process repeatedly are poisoned and quarantined behind a pre-opened
+// breaker, torn journal tails are truncated, corrupt artifacts are
+// quarantined (never served, never silently deleted), and a periodic
+// -scrub pass verifies every on-disk checksum. See docs/tlsd.md,
+// "Crash recovery".
 package main
 
 import (
@@ -48,6 +58,7 @@ func main() {
 	warm := flag.Bool("warm", false, "prepare every benchmark at startup instead of on demand")
 	reqTimeout := flag.Duration("reqtimeout", 60*time.Second, "per-request deadline (0: none)")
 	queue := flag.Int("queue", 64, "admission wait-queue depth before shedding with 429")
+	scrub := flag.Duration("scrub", time.Minute, "disk-tier checksum scrub interval (0: off; needs -cachedir)")
 	flag.Parse()
 
 	var names []string
@@ -65,9 +76,14 @@ func main() {
 		benchmarks: names,
 		reqTimeout: *reqTimeout,
 		queueDepth: *queue,
+		scrubEvery: *scrub,
 	})
 	if err != nil {
 		log.Fatalf("tlsd: %v", err)
+	}
+	if st := s.store.Stats(); st.DiskEntries > 0 || st.ScanTempsRemoved > 0 {
+		log.Printf("tlsd: disk scan: %d artifact(s) warm from previous runs (%d crashed temp(s) reaped, %d malformed name(s) skipped)",
+			st.DiskEntries, st.ScanTempsRemoved, st.ScanSkipped)
 	}
 
 	if *warm {

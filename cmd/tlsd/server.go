@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -16,6 +17,7 @@ import (
 
 	"tlssync"
 	"tlssync/internal/jobs"
+	"tlssync/internal/journal"
 	"tlssync/internal/report"
 	"tlssync/internal/resilience"
 	"tlssync/internal/sim"
@@ -37,6 +39,16 @@ type config struct {
 	breakThreshold int           // consecutive failures that open a breaker (<=0: 3)
 	breakCooldown  time.Duration // base breaker open period (<=0: 5s)
 	fsys           store.FS      // disk-layer filesystem (nil: real; chaos tests inject faults)
+
+	// jobWrap, when non-nil, is installed on the engine before startup
+	// recovery runs, so the crash harness can arm faults that fire inside
+	// recovery's own jobs (SetWrap after newServer would race them).
+	jobWrap func(key string, fn jobs.JobFunc) jobs.JobFunc
+
+	// crash-recovery knobs (active only with a cache dir)
+	poisonBudget  int           // begin-without-commit count that poisons a job (<=0: 3)
+	poisonOpenFor time.Duration // breaker pre-open period for poisoned keys (<=0: 1h)
+	scrubEvery    time.Duration // disk-tier scrub interval (<=0: off)
 }
 
 // server is the simulation service: a content-addressed store in front
@@ -48,11 +60,14 @@ type server struct {
 	cfg      config
 	store    *store.Store
 	eng      *jobs.Engine
+	journal  *journal.Journal // nil when memory-only
 	mux      *http.ServeMux
 	handler  http.Handler // mux wrapped with the request deadline
 	gate     *resilience.Gate
 	breakers *resilience.BreakerSet
 	start    time.Time
+	stop     chan struct{} // closed by Close; ends background loops
+	stopOnce sync.Once
 
 	workloads []*tlssync.Workload // serving set, paper order
 
@@ -103,6 +118,9 @@ func newServer(cfg config) (*server, error) {
 		}
 	}
 	eng := jobs.New(cfg.workers)
+	if cfg.jobWrap != nil {
+		eng.SetWrap(cfg.jobWrap)
+	}
 	gateCap := cfg.gateCapacity
 	if gateCap <= 0 {
 		gateCap = 2 * eng.Workers()
@@ -121,8 +139,20 @@ func newServer(cfg config) (*server, error) {
 		gate:      resilience.NewGate(gateCap, queue),
 		breakers:  resilience.NewBreakerSet(cfg.breakThreshold, cfg.breakCooldown, 0),
 		start:     time.Now(),
+		stop:      make(chan struct{}),
 		workloads: ws,
 		runs:      make(map[string]*tlssync.Run),
+	}
+	if cfg.cacheDir != "" {
+		jnl, err := journal.Open(filepath.Join(cfg.cacheDir, "journal"), cfg.fsys)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jnl
+		s.recoverFromJournal()
+	}
+	if cfg.scrubEvery > 0 && cfg.cacheDir != "" {
+		go s.scrubLoop(cfg.scrubEvery)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -141,6 +171,126 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.S
 // work is rejected with 503 and /readyz reports draining so load
 // balancers stop routing here. Idempotent.
 func (s *server) BeginDrain() { s.gate.Drain() }
+
+// Close stops the background loops and releases the journal handle.
+// It exists for tests and orderly embedding; the daemon itself is
+// crash-only and converges from any exit via journal replay.
+func (s *server) Close() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		if s.journal != nil {
+			s.journal.Close()
+		}
+	})
+}
+
+// --- crash recovery ---
+
+// journalBegin and journalCommit are nil-safe journal accessors: with
+// no cache dir there is no journal and intents are simply not durable.
+func (s *server) journalBegin(rec journal.Record) {
+	if s.journal != nil {
+		s.journal.Begin(rec)
+	}
+}
+
+func (s *server) journalCommit(key string) {
+	if s.journal != nil {
+		s.journal.Commit(key)
+	}
+}
+
+// recoverFromJournal turns the replayed journal into work. Every
+// pending job — begun by a previous process, never committed — is
+// either re-enqueued as background recovery (with its recovery attempt
+// journaled durably BEFORE any work runs, so a recovery that crashes
+// the process is counted against it on the next boot) or, once its
+// attempts exhaust the poison budget, quarantined: journaled as
+// poisoned, reported in /readyz, and its key pre-opened in the breaker
+// set so requests for it answer 502 instead of crash-looping the
+// daemon. Runs synchronously in newServer; only the job execution
+// itself is backgrounded.
+func (s *server) recoverFromJournal() {
+	budget := s.cfg.poisonBudget
+	if budget <= 0 {
+		budget = 3
+	}
+	openFor := s.cfg.poisonOpenFor
+	if openFor <= 0 {
+		openFor = time.Hour
+	}
+	for _, p := range s.journal.Pending() {
+		rec := p.Record
+		w, inSet := s.workload(rec.Bench)
+		if rec.Kind != "simulate" || !inSet || !isPolicy(rec.Label) {
+			// A journal from an older serving set or record shape is not
+			// recoverable work; commit it away rather than carrying it
+			// (and eventually poisoning a key nobody can ask for).
+			s.cfg.logf("tlsd: journal: dropping unrecoverable pending job %q", rec.Key)
+			s.journal.Commit(rec.Key)
+			continue
+		}
+		if p.Attempts >= budget {
+			s.journal.Poison(rec.Key)
+			s.breakers.ForceOpen(rec.Key, openFor)
+			s.eng.NotePoisoned()
+			s.cfg.logf("tlsd: journal: job %s crashed the process %d time(s); poisoned (breaker pre-opened for %v)",
+				rec.Key, p.Attempts, openFor)
+			continue
+		}
+		attempt := s.journal.Begin(rec)
+		s.cfg.logf("tlsd: journal: recovering %s (attempt %d of %d)", rec.Key, attempt, budget)
+		go s.recoverJob(rec, w)
+	}
+}
+
+// recoverJob completes one pending job in the background. If the
+// artifact already landed (the crash hit between the store Put and the
+// journal commit), recovery is just the missing commit; otherwise the
+// job re-runs through the exact path a live request would take, so a
+// client retry arriving mid-recovery coalesces with it.
+func (s *server) recoverJob(rec journal.Record, w *tlssync.Workload) {
+	ctx := context.Background()
+	if _, ok := s.store.Get(tlssync.WorkloadArtifactKey("simulate", w, rec.Label)); ok {
+		s.journalCommit(rec.Key)
+		s.eng.NoteRecovered()
+		s.cfg.logf("tlsd: journal: %s already durable; recovered warm", rec.Key)
+		return
+	}
+	run, err := s.run(ctx, rec.Bench)
+	if err != nil {
+		// A clean in-process failure is not crash-recovery work: commit it
+		// away and let the breakers own the failing key. Only a crash —
+		// which never reaches this line — leaves the job pending.
+		s.cfg.logf("tlsd: journal: recovery of %s failed to prepare: %v", rec.Key, err)
+		s.journalCommit(rec.Key)
+		return
+	}
+	if _, err := s.simulateSpec(ctx, run, rec.Bench, rec.Label); err != nil {
+		s.cfg.logf("tlsd: journal: recovery of %s failed: %v", rec.Key, err)
+		return
+	}
+	s.eng.NoteRecovered()
+	s.cfg.logf("tlsd: journal: recovered %s", rec.Key)
+}
+
+// scrubLoop periodically verifies every disk-tier artifact's checksum,
+// quarantining corrupt entries (see store.Scrub). Ends at Close.
+func (s *server) scrubLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			checked, quarantined := s.store.Scrub(context.Background())
+			if quarantined > 0 {
+				s.cfg.logf("tlsd: scrub: quarantined %d corrupt artifact(s) of %d checked", quarantined, checked)
+			}
+		}
+	}
+}
 
 // workload returns the named workload if it is in the serving set.
 func (s *server) workload(name string) (*tlssync.Workload, bool) {
@@ -345,9 +495,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleReadyz is readiness: 503 while draining (stop routing here);
 // otherwise 200 with status "ok" or "degraded" plus the evidence —
-// open breakers, a saturated admission queue, disk-tier errors. A
-// degraded daemon still serves (warm hits always work), so degraded
-// stays 200 and the detail is for operators and dashboards.
+// open breakers, a saturated admission queue, disk-tier errors,
+// quarantined artifacts, poisoned jobs, a degraded journal. A degraded
+// daemon still serves (warm hits always work), so degraded stays 200
+// and the detail is for operators and dashboards.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	gs := s.gate.Stats()
 	bs := s.breakers.Stats()
@@ -367,16 +518,41 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		status = "degraded"
 		reasons = append(reasons, fmt.Sprintf("%d disk-tier error(s)", ss.DiskErrors))
 	}
+	if ss.CorruptQuarantined > 0 {
+		status = "degraded"
+		reasons = append(reasons, fmt.Sprintf("%d corrupt artifact(s) quarantined", ss.CorruptQuarantined))
+	}
+	var js any
+	var poisoned []string
+	if s.journal != nil {
+		jst := s.journal.Stats()
+		js = jst
+		for _, rec := range s.journal.Poisoned() {
+			poisoned = append(poisoned, rec.Key)
+		}
+		if len(poisoned) > 0 {
+			status = "degraded"
+			reasons = append(reasons, fmt.Sprintf("%d poisoned job(s) quarantined", len(poisoned)))
+		}
+		if jst.AppendErrors > 0 {
+			status = "degraded"
+			reasons = append(reasons, fmt.Sprintf("journal degraded (%d append error(s))", jst.AppendErrors))
+		}
+	}
 	if gs.Draining {
 		status, code = "draining", http.StatusServiceUnavailable
 		reasons = append(reasons, "shutdown in progress")
 	}
 	s.writeJSON(w, code, map[string]any{
-		"status":      status,
-		"reasons":     reasons,
-		"admission":   gs,
-		"breakers":    bs,
-		"disk_errors": ss.DiskErrors,
+		"status":       status,
+		"reasons":      reasons,
+		"admission":    gs,
+		"breakers":     bs,
+		"disk_errors":  ss.DiskErrors,
+		"disk_entries": ss.DiskEntries,
+		"quarantined":  ss.CorruptQuarantined,
+		"journal":      js,
+		"poisoned":     poisoned,
 	})
 }
 
@@ -392,10 +568,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, w := range s.workloads {
 		serving = append(serving, w.Name)
 	}
+	var js any
+	if s.journal != nil {
+		js = s.journal.Stats()
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"store":          s.store.Stats(),
 		"jobs":           s.eng.Stats(),
+		"journal":        js,
 		"admission":      s.gate.Stats(),
 		"breakers":       s.breakers.Stats(),
 		"write_errors":   s.writeErrs.Load(),
@@ -441,6 +622,57 @@ func simPayloadBytes(run *tlssync.Run, bench, policy string, res *sim.Result) ([
 	})
 }
 
+// simulateSpec runs one (benchmark × policy) simulation through the
+// full durability stack: a per-pair circuit breaker, a journaled begin
+// (the write-ahead intent that makes the job recoverable after a
+// SIGKILL), and the coalescing engine. It submits exactly the spec
+// Prewarm would submit for the pair — same engine key, same
+// *sim.Result return — so a /simulate that joins an in-flight figure
+// prewarm (or vice versa, or a startup recovery) shares one type-safe
+// execution. The artifact Put and the journal commit both happen
+// INSIDE the job: when every waiter has given up (request deadline),
+// the execution continues detached and must still land its artifact
+// and retire its intent — otherwise a retry recomputes forever and a
+// restart re-recovers work that already finished.
+func (s *server) simulateSpec(ctx context.Context, run *tlssync.Run, bench, policy string) (*sim.Result, error) {
+	sp := run.LabelSpec(policy)
+	jkey := sp.Key()
+	bdone, err := s.breakers.Allow(jkey)
+	if err != nil {
+		return nil, err
+	}
+	akey := tlssync.WorkloadArtifactKey("simulate", run.W, policy)
+	s.journalBegin(journal.Record{Key: jkey, Kind: "simulate", Bench: bench, Label: policy})
+	v, err := s.eng.Do(ctx, jkey, func(context.Context) (any, error) {
+		res, serr := run.SimulateSpec(sp)
+		if serr != nil {
+			// A clean failure is not crash-recovery work: retire the
+			// intent and let the breaker own the failing key.
+			s.journalCommit(jkey)
+			return nil, serr
+		}
+		if data, merr := simPayloadBytes(run, bench, policy, res); merr == nil {
+			s.store.Put(akey, data)
+		}
+		s.journalCommit(jkey)
+		return res, nil
+	})
+	bdone(err)
+	if err != nil {
+		// The commit above only runs when OUR job executes. A caller that
+		// coalesced onto a non-journaled execution (a figure prewarm) gets
+		// its result or clean error here instead, so retire the intent on
+		// any outcome that is not the caller abandoning ship — an
+		// abandoned execution is still running and commits itself.
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			s.journalCommit(jkey)
+		}
+		return nil, err
+	}
+	s.journalCommit(jkey)
+	return v.(*sim.Result), nil
+}
+
 func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	bench := r.URL.Query().Get("bench")
 	policy := r.URL.Query().Get("policy")
@@ -479,39 +711,12 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	// Submit exactly the spec Prewarm would submit for this pair — same
-	// engine key, same *sim.Result return — so a /simulate that joins an
-	// in-flight figure prewarm (or vice versa) shares one type-safe
-	// execution. The payload is marshaled outside the engine job. A
-	// per-pair breaker guards the simulation like run's guards the
-	// compile.
-	sp := run.LabelSpec(policy)
-	bdone, err := s.breakers.Allow(sp.Key())
+	res, err := s.simulateSpec(r.Context(), run, bench, policy)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	v, err := s.eng.Do(r.Context(), sp.Key(), func(context.Context) (any, error) {
-		res, err := run.SimulateSpec(sp)
-		if err != nil {
-			return nil, err
-		}
-		// Persist inside the job, not just in the handler below: when
-		// every waiter has given up (request deadline), the execution
-		// continues detached, and without this Put its result would be
-		// discarded — the client's retry would recompute and time out
-		// the same way forever. With it, the retry is a warm hit.
-		if data, merr := simPayloadBytes(run, bench, policy, res); merr == nil {
-			s.store.Put(key, data)
-		}
-		return res, nil
-	})
-	bdone(err)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	data, err := simPayloadBytes(run, bench, policy, v.(*sim.Result))
+	data, err := simPayloadBytes(run, bench, policy, res)
 	if err != nil {
 		s.writeError(w, err)
 		return

@@ -16,12 +16,17 @@
 package fault
 
 import (
+	"errors"
 	"os"
 	"sync"
 	"time"
 
 	"tlssync/internal/store"
 )
+
+// errCrashed is what a Crash fault's in-process simulation returns when
+// no killer is installed: the operation "died" partway through.
+var errCrashed = errors.New("fault: simulated crash")
 
 // A Fault is what happens when an armed point fires.
 type Fault struct {
@@ -48,9 +53,10 @@ func (f Fault) Apply() error {
 // so faults can be armed and disarmed while the daemon under test is
 // serving.
 type Registry struct {
-	mu    sync.Mutex
-	armed map[string]*armed
-	fired map[string]int64
+	mu     sync.Mutex
+	armed  map[string]*armed
+	fired  map[string]int64
+	killer func() // hard-crash effect; see SetKiller
 }
 
 type armed struct {
@@ -128,12 +134,39 @@ func (r *Registry) Fire(point string) error {
 	return f.Apply()
 }
 
+// SetKiller installs the hard-crash effect for Fault{Crash: true}.
+// The kill-9 harness installs a SIGKILL-self here, so a Crash fault
+// firing at a seam murders the process exactly at that point — after
+// any partial on-disk effect (a torn journal append, a temp file with
+// no rename) and before any cleanup. With no killer installed, Crash
+// faults keep their in-process simulation semantics (see the seam
+// docs), so the chaos suite and the crash harness share one corruption
+// model. fn == nil removes the killer.
+func (r *Registry) SetKiller(fn func()) {
+	r.mu.Lock()
+	r.killer = fn
+	r.mu.Unlock()
+}
+
+// Kill invokes the installed killer, if any, and reports whether one
+// was installed. Under the kill-9 harness the call never returns.
+func (r *Registry) Kill() bool {
+	r.mu.Lock()
+	k := r.killer
+	r.mu.Unlock()
+	if k == nil {
+		return false
+	}
+	k()
+	return true
+}
+
 // --- filesystem wrapper ---
 //
 // FS fault points, fired by the corresponding operation:
 //
-//	fs.mkdir fs.open fs.create fs.rename fs.remove   (per call)
-//	fs.read fs.write fs.sync                          (per file op)
+//	fs.mkdir fs.open fs.append fs.create fs.readdir fs.rename fs.remove  (per call)
+//	fs.read fs.write fs.sync                                             (per file op)
 //
 // A Fault{Crash: true} armed at fs.rename simulates a machine crash
 // around the rename: the rename's metadata persists but file data that
@@ -141,6 +174,16 @@ func (r *Registry) Fire(point string) error {
 // exactly the state a real crash leaves when the writer skipped fsync.
 // Data that WAS synced survives the crash intact, so the store's
 // fsync-before-rename protocol is observable as a behavior difference.
+//
+// A Fault{Crash: true} armed at fs.write models a crash mid-append:
+// only a prefix of the write lands (the torn tail a crashed journal
+// append leaves behind) before the process dies. With a killer
+// installed (SetKiller) the process is really killed at that point;
+// without one the seam returns a write error after the partial write,
+// so in-process chaos tests exercise the same corruption shape the
+// kill-9 harness produces. Likewise fs.rename with a killer dies
+// between the temp write and the rename — the classic
+// durable-rename-protocol crash window.
 
 // FS wraps a store.FS, firing registry points around each operation.
 // Inner == nil wraps the real filesystem.
@@ -192,6 +235,24 @@ func (f *FS) Open(name string) (store.File, error) {
 	return &file{fs: f, File: fl}, nil
 }
 
+func (f *FS) OpenAppend(name string) (store.File, error) {
+	if err := f.R.Fire("fs.append"); err != nil {
+		return nil, err
+	}
+	fl, err := f.inner().OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, File: fl}, nil
+}
+
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.R.Fire("fs.readdir"); err != nil {
+		return nil, err
+	}
+	return f.inner().ReadDir(name)
+}
+
 func (f *FS) CreateTemp(dir, pattern string) (store.File, error) {
 	if err := f.R.Fire("fs.create"); err != nil {
 		return nil, err
@@ -208,14 +269,21 @@ func (f *FS) Rename(oldpath, newpath string) error {
 		if err := fa.Apply(); err != nil {
 			return err
 		}
-		if fa.Crash && !f.wasSynced(oldpath) {
-			// Crash with unsynced data: the directory entry for newpath
-			// survives, its contents do not.
-			if err := os.WriteFile(newpath, nil, 0o644); err != nil {
-				return err
+		if fa.Crash {
+			// With a killer installed the process dies between the temp
+			// write and the rename: the destination never appears.
+			if f.R.Kill() {
+				return errCrashed
 			}
-			f.inner().Remove(oldpath)
-			return nil
+			if !f.wasSynced(oldpath) {
+				// Simulated machine crash with unsynced data: the directory
+				// entry for newpath survives, its contents do not.
+				if err := os.WriteFile(newpath, nil, 0o644); err != nil {
+					return err
+				}
+				f.inner().Remove(oldpath)
+				return nil
+			}
 		}
 	}
 	return f.inner().Rename(oldpath, newpath)
@@ -243,8 +311,20 @@ func (fl *file) Read(p []byte) (int, error) {
 }
 
 func (fl *file) Write(p []byte) (int, error) {
-	if err := fl.fs.R.Fire("fs.write"); err != nil {
-		return 0, err
+	if fa, ok := fl.fs.R.Take("fs.write"); ok {
+		if err := fa.Apply(); err != nil {
+			return 0, err
+		}
+		if fa.Crash {
+			// Crash mid-append: a prefix of the write lands (the page
+			// cache survives process death), the suffix never does. Under
+			// the kill-9 harness the process dies right here; otherwise
+			// the caller sees a torn-write error over the same bytes.
+			n, _ := fl.File.Write(p[:len(p)/2])
+			fl.fs.setSynced(fl.Name(), false)
+			fl.fs.R.Kill() // no return under the kill-9 harness
+			return n, errCrashed
+		}
 	}
 	fl.fs.setSynced(fl.Name(), false)
 	return fl.File.Write(p)

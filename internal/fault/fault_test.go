@@ -2,6 +2,7 @@ package fault
 
 import (
 	"errors"
+	"os"
 	"testing"
 	"time"
 
@@ -141,5 +142,62 @@ func TestFSErrorInjection(t *testing.T) {
 	}
 	if _, ok := s2.Get(key); !ok {
 		t.Fatal("entry not on disk after fault cleared")
+	}
+}
+
+// TestCrashTornWrite: a Crash fault at fs.write lands only a prefix of
+// the bytes and reports a crash — the torn-append shape a real SIGKILL
+// leaves in a journal. Without a killer installed the caller survives
+// to observe the error.
+func TestCrashTornWrite(t *testing.T) {
+	r := NewRegistry()
+	ffs := &FS{R: r}
+	dir := t.TempDir()
+	fl, err := ffs.CreateTemp(dir, ".w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	payload := []byte("0123456789abcdef")
+	r.Arm("fs.write", Fault{Crash: true, Times: 1})
+	n, err := fl.Write(payload)
+	if !errors.Is(err, errCrashed) {
+		t.Fatalf("torn write err = %v, want errCrashed", err)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("torn write landed %d bytes, want %d", n, len(payload)/2)
+	}
+	if err := fl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(fl.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "01234567" {
+		t.Fatalf("on-disk bytes = %q, want the prefix only", data)
+	}
+	// The fault was Times:1 — the next write is whole.
+	if _, err := fl.Write(payload); err != nil {
+		t.Fatalf("write after torn write: %v", err)
+	}
+}
+
+// TestKillerInvokedOnCrash: with a killer installed, Crash faults call
+// it (the harness installs SIGKILL-self; here we just observe the call).
+func TestKillerInvokedOnCrash(t *testing.T) {
+	r := NewRegistry()
+	called := 0
+	r.SetKiller(func() { called++ })
+	if !r.Kill() {
+		t.Fatal("Kill with killer installed returned false")
+	}
+	r.SetKiller(nil)
+	if r.Kill() {
+		t.Fatal("Kill with killer removed returned true")
+	}
+	if called != 1 {
+		t.Fatalf("killer called %d times, want 1", called)
 	}
 }

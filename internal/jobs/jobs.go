@@ -41,6 +41,8 @@ type Engine struct {
 	completed int64 // executions that finished without error
 	failed    int64 // executions that returned an error (or panicked)
 	abandoned int64 // waiters that gave up on a cancelled context
+	recovered int64 // journaled jobs completed by startup recovery
+	poisoned  int64 // journaled jobs quarantined as crash-loopers
 	timedRuns int64 // executions that actually ran (recorded a duration)
 	totalDur  time.Duration
 	maxDur    time.Duration
@@ -68,6 +70,8 @@ type Stats struct {
 	Completed int64         `json:"completed"`  // executions finished ok
 	Failed    int64         `json:"failed"`     // executions finished with error
 	Abandoned int64         `json:"abandoned"`  // waiters lost to cancellation
+	Recovered int64         `json:"recovered"`  // journaled jobs completed by startup recovery
+	Poisoned  int64         `json:"poisoned"`   // journaled jobs quarantined as crash-loopers
 	TimedRuns int64         `json:"timed_runs"` // executions that ran and recorded a duration
 	TotalTime time.Duration `json:"total_time"` // summed execution wall time
 	MaxTime   time.Duration `json:"max_time"`   // slowest single execution
@@ -236,6 +240,24 @@ func (e *Engine) finish(key string, c *call, d time.Duration, err error) {
 	c.cancel() // release the detached context's resources
 }
 
+// NoteRecovered counts a journaled job that startup recovery carried to
+// completion after a crash. The engine does not run recovery itself —
+// the service layer does, through ordinary Do calls — but the counter
+// lives here so /stats reports it beside the other execution counters.
+func (e *Engine) NoteRecovered() {
+	e.mu.Lock()
+	e.recovered++
+	e.mu.Unlock()
+}
+
+// NotePoisoned counts a journaled job quarantined as a crash-looper
+// instead of being recovered.
+func (e *Engine) NotePoisoned() {
+	e.mu.Lock()
+	e.poisoned++
+	e.mu.Unlock()
+}
+
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
@@ -248,6 +270,8 @@ func (e *Engine) Stats() Stats {
 		Completed: e.completed,
 		Failed:    e.failed,
 		Abandoned: e.abandoned,
+		Recovered: e.recovered,
+		Poisoned:  e.poisoned,
 		TimedRuns: e.timedRuns,
 		TotalTime: e.totalDur,
 		MaxTime:   e.maxDur,

@@ -1,0 +1,300 @@
+package journal_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tlssync/internal/fault"
+	"tlssync/internal/journal"
+	"tlssync/internal/store"
+)
+
+func rec(key, bench, label string) journal.Record {
+	return journal.Record{Key: key, Kind: "simulate", Bench: bench, Label: label}
+}
+
+// openT opens a journal under dir, failing the test on error.
+func openT(t *testing.T, dir string, fsys store.FS) *journal.Journal {
+	t.Helper()
+	j, err := journal.Open(dir, fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func walPath(dir string) string { return filepath.Join(dir, "wal") }
+
+func TestBeginCommitLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, nil)
+
+	if got := j.Begin(rec("simulate/a/C", "a", "C")); got != 1 {
+		t.Fatalf("first begin attempt = %d, want 1", got)
+	}
+	// A coalesced second begin from the same process does not re-append.
+	if got := j.Begin(rec("simulate/a/C", "a", "C")); got != 1 {
+		t.Fatalf("coalesced begin attempt = %d, want 1", got)
+	}
+	j.Begin(rec("simulate/b/U", "b", "U"))
+	j.Commit("simulate/a/C")
+	j.Commit("simulate/never-begun") // no-op
+
+	st := j.Stats()
+	if st.Pending != 1 || st.Appends != 3 {
+		t.Fatalf("stats = %+v, want pending=1 appends=3", st)
+	}
+
+	// A fresh process over the same file sees exactly the uncommitted job.
+	j.Close()
+	j2 := openT(t, dir, nil)
+	pend := j2.Pending()
+	if len(pend) != 1 || pend[0].Key != "simulate/b/U" || pend[0].Attempts != 1 {
+		t.Fatalf("replayed pending = %+v", pend)
+	}
+	if pend[0].Bench != "b" || pend[0].Label != "U" || pend[0].Kind != "simulate" {
+		t.Fatalf("replayed record lost its SimSpec coordinates: %+v", pend[0].Record)
+	}
+}
+
+// TestRecoveryBeginAdvancesAttempts: a pending job inherited from a
+// previous process IS re-appended by Begin — that is the crash-loop
+// counter — and the count survives compaction (every Open compacts).
+func TestRecoveryBeginAdvancesAttempts(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, nil)
+	j.Begin(rec("simulate/a/C", "a", "C"))
+	j.Close()
+
+	for want := 2; want <= 4; want++ {
+		j, err := journal.Open(dir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := j.Begin(rec("simulate/a/C", "a", "C")); got != want {
+			t.Fatalf("restart %d: attempt = %d, want %d", want-1, got, want)
+		}
+		j.Close()
+	}
+}
+
+func TestPoisonQuarantinesAndBeginSupersedes(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, nil)
+	j.Begin(rec("simulate/a/C", "a", "C"))
+	j.Poison("simulate/a/C")
+	if st := j.Stats(); st.Pending != 0 || st.Poisoned != 1 {
+		t.Fatalf("stats after poison = %+v", st)
+	}
+	j.Close()
+
+	// Poison survives restart.
+	j2 := openT(t, dir, nil)
+	poisoned := j2.Poisoned()
+	if len(poisoned) != 1 || poisoned[0].Key != "simulate/a/C" {
+		t.Fatalf("replayed poisoned = %+v", poisoned)
+	}
+	// A fresh begin supersedes the quarantine and restarts the cycle.
+	if got := j2.Begin(rec("simulate/a/C", "a", "C")); got != 1 {
+		t.Fatalf("begin after poison attempt = %d, want 1 (fresh cycle)", got)
+	}
+	if st := j2.Stats(); st.Poisoned != 0 || st.Pending != 1 {
+		t.Fatalf("stats after superseding begin = %+v", st)
+	}
+}
+
+// TestTornTailEveryOffset is the torn-tail table test: a valid journal
+// truncated at EVERY byte offset must replay to exactly the records
+// wholly contained in the prefix, drop the tail, and never error.
+func TestTornTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, nil)
+	keys := []string{"simulate/a/C", "simulate/b/U", "simulate/c/T"}
+	j.Begin(rec(keys[0], "a", "C"))
+	j.Begin(rec(keys[1], "b", "U"))
+	j.Commit(keys[0])
+	j.Begin(rec(keys[2], "c", "T"))
+	j.Close()
+
+	data, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record boundaries = indexes just past each newline.
+	boundaries := map[int]int{0: 0} // offset -> whole records before it
+	n := 0
+	for i, b := range data {
+		if b == '\n' {
+			n++
+			boundaries[i+1] = n
+		}
+	}
+	full, _, err := journal.ReplayFile(nil, walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tdir := t.TempDir()
+	tpath := filepath.Join(tdir, "wal")
+	for off := 0; off <= len(data); off++ {
+		if err := os.WriteFile(tpath, data[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, info, err := journal.ReplayFile(nil, tpath)
+		if err != nil {
+			t.Fatalf("offset %d: replay error: %v", off, err)
+		}
+		wantRecs, atBoundary := boundaries[off]
+		if !atBoundary {
+			// Mid-record: the torn tail must be detected and dropped.
+			if !info.TornTail {
+				t.Fatalf("offset %d: torn tail not detected", off)
+			}
+			// Records fully before the cut are preserved.
+			prev := 0
+			for b, cnt := range boundaries {
+				if b <= off && cnt > prev {
+					prev = cnt
+				}
+			}
+			wantRecs = prev
+		} else if info.TornTail {
+			t.Fatalf("offset %d: clean boundary reported torn", off)
+		}
+		if info.Records != wantRecs {
+			t.Fatalf("offset %d: replayed %d records, want %d", off, info.Records, wantRecs)
+		}
+		if off == len(data) && !reflect.DeepEqual(st, full) {
+			t.Fatalf("full replay mismatch: %+v vs %+v", st, full)
+		}
+	}
+}
+
+// TestReplayIdempotent: replaying the same bytes twice yields
+// deep-equal state — the property the crash harness relies on before
+// trusting recovery (double replay == single replay).
+func TestReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, nil)
+	j.Begin(rec("simulate/a/C", "a", "C"))
+	j.Begin(rec("simulate/b/U", "b", "U"))
+	j.Commit("simulate/b/U")
+	j.Begin(rec("simulate/p/T", "p", "T"))
+	j.Poison("simulate/p/T")
+	j.Close()
+
+	s1, i1, err := journal.ReplayFile(nil, walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, i2, err := journal.ReplayFile(nil, walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) || i1 != i2 {
+		t.Fatalf("replay not idempotent:\n  %+v %+v\n  %+v %+v", s1, i1, s2, i2)
+	}
+}
+
+// TestTornAppendViaFaultCrash wires the torn-tail model to the shared
+// fault.Crash hook: a crash fault firing mid-append leaves a half-
+// written record on disk (the same shape the kill-9 harness produces
+// with a real SIGKILL), and the next open truncates it back to the
+// last whole record without error.
+func TestTornAppendViaFaultCrash(t *testing.T) {
+	dir := t.TempDir()
+	reg := fault.NewRegistry()
+	ffs := &fault.FS{R: reg}
+	j := openT(t, dir, ffs)
+	j.Begin(rec("simulate/ok/C", "ok", "C"))
+
+	before, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Arm("fs.write", fault.Fault{Crash: true, Times: 1})
+	j.Begin(rec("simulate/torn/U", "torn", "U")) // append tears mid-write
+	if st := j.Stats(); st.AppendErrors != 1 {
+		t.Fatalf("torn append not counted: %+v", st)
+	}
+	after, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) <= len(before) {
+		t.Fatalf("crash fault left no partial bytes: before=%d after=%d", len(before), len(after))
+	}
+
+	// The "next process": replay keeps the whole record, drops the tear.
+	st, info, err := journal.ReplayFile(nil, walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.TornTail || info.Records != 1 {
+		t.Fatalf("replay of torn file: info=%+v", info)
+	}
+	if _, ok := st.Pending["simulate/ok/C"]; !ok || len(st.Pending) != 1 {
+		t.Fatalf("pending after torn replay = %+v", st.Pending)
+	}
+
+	// And Open erases the tear from disk (compaction), counting it.
+	j2 := openT(t, dir, nil)
+	if st := j2.Stats(); st.TornTails != 1 || st.Pending != 1 {
+		t.Fatalf("open over torn file: %+v", st)
+	}
+	clean, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(clean, after[len(before):]) && len(after[len(before):]) > 0 {
+		t.Fatal("compaction kept the torn bytes")
+	}
+}
+
+// TestCompactionPrunesAndPreservesAttempts: rotation rewrites the log
+// to live records only, and the crash-loop attempt counts ride along.
+func TestCompactionPrunesAndPreservesAttempts(t *testing.T) {
+	dir := t.TempDir()
+
+	// Three crash cycles for one key, plus churn that should vanish.
+	for i := 0; i < 3; i++ {
+		j := openT(t, dir, nil)
+		j.Begin(rec("simulate/loop/C", "loop", "C"))
+		j.Begin(rec("simulate/churn/U", "churn", "U"))
+		j.Commit("simulate/churn/U")
+		j.Close()
+	}
+
+	j := openT(t, dir, nil)
+	pend := j.Pending()
+	if len(pend) != 1 || pend[0].Attempts != 3 {
+		t.Fatalf("pending after 3 cycles = %+v, want loop/C with attempts=3", pend)
+	}
+	// The compacted file holds exactly one record.
+	_, info, err := journal.ReplayFile(nil, walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 1 {
+		t.Fatalf("compacted journal holds %d records, want 1", info.Records)
+	}
+}
+
+// TestAppendFailureDegradesNotFails: a dead disk under the journal
+// costs durability, not service — appends are counted as errors and
+// the in-memory state keeps answering.
+func TestAppendFailureDegradesNotFails(t *testing.T) {
+	dir := t.TempDir()
+	reg := fault.NewRegistry()
+	j := openT(t, dir, &fault.FS{R: reg})
+	reg.Arm("fs.write", fault.Fault{Err: os.ErrPermission})
+	j.Begin(rec("simulate/a/C", "a", "C"))
+	st := j.Stats()
+	if st.AppendErrors != 1 || st.Pending != 1 {
+		t.Fatalf("stats = %+v, want append_errors=1 pending=1 (state stays authoritative)", st)
+	}
+}

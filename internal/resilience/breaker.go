@@ -201,6 +201,29 @@ func (b *BreakerSet) trip(br *breaker) {
 	b.tripped++
 }
 
+// ForceOpen trips the breaker for key immediately and keeps it open
+// for at least d, regardless of failure history. The startup-recovery
+// path uses it to pre-open poisoned keys — jobs that crashed the
+// process repeatedly — so the daemon boots serving 502 for exactly
+// those keys instead of crash-looping. After d the normal half-open
+// probe path applies: one probe is let through, and its outcome
+// decides whether the key rejoins service.
+func (b *BreakerSet) ForceOpen(key string, d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[key]
+	if br == nil {
+		br = &breaker{}
+		b.m[key] = br
+	}
+	br.state = Open
+	br.fails = 0
+	br.probing = false
+	br.until = b.now().Add(d)
+	br.opens++
+	b.tripped++
+}
+
 // Stats returns a snapshot. Only non-closed or recently-failing keys
 // are listed individually.
 func (b *BreakerSet) Stats() BreakerStats {

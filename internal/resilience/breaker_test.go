@@ -165,3 +165,43 @@ func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
 		done(nil)
 	}
 }
+
+// TestForceOpenPreOpensKey: the startup-recovery path pre-opens a
+// poisoned key's breaker with no failure history, it stays open for at
+// least the requested duration, and afterwards the ordinary half-open
+// probe decides readmission.
+func TestForceOpenPreOpensKey(t *testing.T) {
+	b, c := newTestSet(3, time.Second)
+
+	b.ForceOpen("poisoned", time.Hour)
+	_, err := b.Allow("poisoned")
+	var oe *OpenError
+	if !errors.As(err, &oe) || oe.State != Open {
+		t.Fatalf("Allow after ForceOpen = %v, want open rejection", err)
+	}
+	if oe.RetryAfter <= 59*time.Minute {
+		t.Fatalf("retry_after = %v, want ~1h (the requested hold, not the default cooldown)", oe.RetryAfter)
+	}
+	if st := b.Stats(); st.Tripped != 1 || st.Open != 1 {
+		t.Fatalf("stats = %+v, want tripped=1 open=1", st)
+	}
+	// Other keys serve normally.
+	if done, err := b.Allow("healthy"); err != nil {
+		t.Fatalf("unrelated key rejected: %v", err)
+	} else {
+		done(nil)
+	}
+
+	// After the hold: exactly one probe, and success closes the breaker.
+	c.advance(time.Hour + time.Second)
+	done, err := b.Allow("poisoned")
+	if err != nil {
+		t.Fatalf("probe after hold rejected: %v", err)
+	}
+	done(nil)
+	if done, err := b.Allow("poisoned"); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	} else {
+		done(nil)
+	}
+}

@@ -8,11 +8,15 @@ import (
 // FS abstracts the filesystem operations the disk layer performs. It
 // exists as a seam: production code uses OS, while chaos tests inject a
 // wrapper (internal/fault.FS) that fires fault hooks — errors, panics,
-// latency, simulated crashes — around each operation.
+// latency, simulated crashes — around each operation. The journal
+// (internal/journal) shares the seam: OpenAppend backs its write-ahead
+// log and ReadDir backs the store's startup scan and scrubber.
 type FS interface {
 	MkdirAll(path string, perm os.FileMode) error
 	Open(name string) (File, error)
+	OpenAppend(name string) (File, error)
 	CreateTemp(dir, pattern string) (File, error)
+	ReadDir(name string) ([]os.DirEntry, error)
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
 }
@@ -42,6 +46,16 @@ func (osFS) Open(name string) (File, error) {
 	}
 	return f, nil
 }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
 
 func (osFS) CreateTemp(dir, pattern string) (File, error) {
 	f, err := os.CreateTemp(dir, pattern)

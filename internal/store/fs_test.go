@@ -46,6 +46,20 @@ func (r *recordFS) Open(name string) (File, error) {
 	return &recordFile{fs: r, File: f, kind: strings.TrimPrefix(kind, "open-")}, nil
 }
 
+func (r *recordFS) OpenAppend(name string) (File, error) {
+	r.log("open-append")
+	f, err := OS.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &recordFile{fs: r, File: f, kind: "append"}, nil
+}
+
+func (r *recordFS) ReadDir(name string) ([]os.DirEntry, error) {
+	r.log("readdir")
+	return OS.ReadDir(name)
+}
+
 func (r *recordFS) CreateTemp(dir, pattern string) (File, error) {
 	r.log("create-temp")
 	f, err := OS.CreateTemp(dir, pattern)

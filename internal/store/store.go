@@ -11,14 +11,20 @@
 // of an optional on-disk layer under a cache directory. Disk entries are
 // written with a payload checksum and atomically (write-to-temp +
 // rename); a corrupt or truncated entry is detected on read, counted,
-// deleted, and treated as a miss so the caller falls back to
-// recomputing. All methods are safe for concurrent use.
+// quarantined (moved into a quarantine/ subdirectory, preserving the
+// forensic evidence), and treated as a miss so the caller falls back to
+// recomputing. Opening a store scans the disk tier, so artifacts
+// written by previous processes are counted and visible through Stats
+// and Keys immediately, and a periodic Scrub verifies every disk
+// entry's checksum in the background. All methods are safe for
+// concurrent use.
 package store
 
 import (
 	"bufio"
 	"bytes"
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -28,6 +34,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -69,6 +76,13 @@ type Stats struct {
 	Puts       int64 `json:"puts"`        // artifacts stored
 	DiskErrors int64 `json:"disk_errors"` // corrupt/unreadable/unwritable disk entries
 	DiskBytes  int64 `json:"disk_bytes"`  // payload bytes written to disk
+
+	// Crash-recovery visibility (populated when a cache dir is set).
+	DiskEntries        int   `json:"disk_entries"`        // known disk-tier entries (scan + puts)
+	CorruptQuarantined int64 `json:"corrupt_quarantined"` // corrupt entries moved to quarantine/
+	ScanSkipped        int64 `json:"scan_skipped"`        // malformed names skipped by the open scan
+	ScanTempsRemoved   int64 `json:"scan_temps_removed"`  // crashed writers' temp files reaped at open
+	ScrubChecked       int64 `json:"scrub_checked"`       // entries verified by Scrub
 }
 
 // Store is the two-level content-addressed cache.
@@ -77,8 +91,9 @@ type Store struct {
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
-	dir   string // "" = memory only
-	fs    FS     // filesystem seam for the disk layer
+	dir   string              // "" = memory only
+	fs    FS                  // filesystem seam for the disk layer
+	known map[string]struct{} // keys believed present in the disk tier
 	stats Stats
 }
 
@@ -100,8 +115,13 @@ func New(capacity int, dir string) (*Store, error) {
 }
 
 // NewWithFS is New with an explicit filesystem for the disk layer —
-// the fault-injection seam used by the chaos tests (fsys == nil
-// selects the real filesystem).
+// the fault-injection seam used by the chaos and crash tests (fsys ==
+// nil selects the real filesystem). When dir is non-empty the disk
+// tier is scanned at open: artifacts written by previous processes are
+// counted and reported through Stats and Keys before they are ever
+// touched, malformed filenames are skipped with a counted warning
+// (never a failed open), and temp files abandoned by a crashed writer
+// are reaped.
 func NewWithFS(capacity int, dir string, fsys FS) (*Store, error) {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
@@ -120,9 +140,62 @@ func NewWithFS(capacity int, dir string, fsys FS) (*Store, error) {
 		items: make(map[string]*list.Element),
 		dir:   dir,
 		fs:    fsys,
+		known: make(map[string]struct{}),
 	}
 	s.stats.Capacity = capacity
+	if dir != "" {
+		s.scanDisk()
+	}
 	return s, nil
+}
+
+// reservedDirs are cache-dir subdirectories that are not shards.
+func reservedDir(name string) bool { return name == "quarantine" || name == "journal" }
+
+// scanDisk walks the disk tier once at open, registering every
+// well-formed entry so Stats and Keys reflect prior processes' work.
+// It is deliberately lenient: a directory it cannot read or a filename
+// it does not recognize degrades a counter, never the open.
+func (s *Store) scanDisk() {
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		s.stats.DiskErrors++
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || reservedDir(name) {
+			if !e.IsDir() {
+				s.stats.ScanSkipped++
+			}
+			continue
+		}
+		if len(name) != 2 {
+			s.stats.ScanSkipped++
+			continue
+		}
+		files, err := s.fs.ReadDir(filepath.Join(s.dir, name))
+		if err != nil {
+			s.stats.DiskErrors++
+			continue
+		}
+		for _, f := range files {
+			fn := f.Name()
+			switch {
+			case f.IsDir():
+				s.stats.ScanSkipped++
+			case strings.HasPrefix(fn, "."):
+				// A temp file here means a writer died between CreateTemp
+				// and rename; its entry was never linked, so reap it.
+				s.fs.Remove(filepath.Join(s.dir, name, fn))
+				s.stats.ScanTempsRemoved++
+			case len(fn) < 2 || fn[:2] != name:
+				s.stats.ScanSkipped++
+			default:
+				s.known[fn] = struct{}{}
+			}
+		}
+	}
 }
 
 // Dir returns the on-disk cache directory ("" when memory-only).
@@ -149,15 +222,19 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	}
 	val, err := s.readDisk(key)
 	if err != nil {
-		if !os.IsNotExist(err) {
+		if os.IsNotExist(err) {
+			s.mu.Lock()
+			delete(s.known, key)
+			s.mu.Unlock()
+		} else {
 			s.mu.Lock()
 			s.stats.DiskErrors++
 			s.mu.Unlock()
-			// Delete only on verified corruption (bad format/checksum).
+			// Quarantine only on verified corruption (bad format/checksum).
 			// A transient error — EACCES, EMFILE under fd pressure — must
 			// keep the entry: it may read fine next time.
 			if errors.Is(err, errCorrupt) {
-				s.fs.Remove(s.path(key))
+				s.quarantine(key)
 			}
 		}
 		s.miss()
@@ -197,7 +274,84 @@ func (s *Store) Put(key string, val []byte) {
 	}
 	s.mu.Lock()
 	s.stats.DiskBytes += int64(len(val))
+	s.known[key] = struct{}{}
 	s.mu.Unlock()
+}
+
+// quarantine moves a verifiably corrupt disk entry into the
+// quarantine/ subdirectory instead of deleting it: the bytes are the
+// forensic evidence (what got torn, how far the write progressed) that
+// the scrubber's counters point operators at. A quarantine that itself
+// fails falls back to counting only; the entry stays and will be
+// re-detected.
+func (s *Store) quarantine(key string) {
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := s.fs.MkdirAll(qdir, 0o755); err != nil {
+		s.mu.Lock()
+		s.stats.DiskErrors++
+		s.mu.Unlock()
+		return
+	}
+	if err := s.fs.Rename(s.path(key), filepath.Join(qdir, key)); err != nil {
+		s.mu.Lock()
+		s.stats.DiskErrors++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.stats.CorruptQuarantined++
+	delete(s.known, key)
+	s.mu.Unlock()
+}
+
+// Scrub verifies the checksum of every known disk entry, quarantining
+// the corrupt ones. It is the proactive half of the corruption story:
+// Get catches bad entries on demand; Scrub catches the ones nobody has
+// asked for yet, so /readyz can report bit rot before a client finds
+// it. Returns how many entries were checked and how many quarantined.
+// ctx bounds the walk (the daemon runs Scrub on a ticker).
+func (s *Store) Scrub(ctx context.Context) (checked int, quarantined int) {
+	if s.dir == "" {
+		return 0, 0
+	}
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.known))
+	for k := range s.known {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	for _, key := range keys {
+		if ctx.Err() != nil {
+			return checked, quarantined
+		}
+		_, err := s.readDisk(key)
+		switch {
+		case err == nil:
+			checked++
+		case os.IsNotExist(err):
+			s.mu.Lock()
+			delete(s.known, key)
+			s.mu.Unlock()
+		case errors.Is(err, errCorrupt):
+			checked++
+			s.mu.Lock()
+			s.stats.DiskErrors++
+			s.mu.Unlock()
+			s.quarantine(key)
+			quarantined++
+		default:
+			// Transient read failure: count it, keep the entry.
+			checked++
+			s.mu.Lock()
+			s.stats.DiskErrors++
+			s.mu.Unlock()
+		}
+	}
+	s.mu.Lock()
+	s.stats.ScrubChecked += int64(checked)
+	s.mu.Unlock()
+	return checked, quarantined
 }
 
 // insertLocked adds or refreshes a memory entry and evicts past cap.
@@ -223,16 +377,28 @@ func (s *Store) Len() int {
 	return s.ll.Len()
 }
 
-// Keys returns the in-memory keys from most to least recently used
-// (diagnostics and tests).
+// Keys returns every key the store can serve: the in-memory keys from
+// most to least recently used, followed by disk-only keys (including
+// entries inherited from previous processes via the open scan) in
+// sorted order.
 func (s *Store) Keys() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]string, 0, s.ll.Len())
+	out := make([]string, 0, s.ll.Len()+len(s.known))
+	inMem := make(map[string]bool, s.ll.Len())
 	for el := s.ll.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*entry).key)
+		k := el.Value.(*entry).key
+		inMem[k] = true
+		out = append(out, k)
 	}
-	return out
+	var disk []string
+	for k := range s.known {
+		if !inMem[k] {
+			disk = append(disk, k)
+		}
+	}
+	sort.Strings(disk)
+	return append(out, disk...)
 }
 
 // Stats returns a snapshot of the counters.
@@ -241,6 +407,7 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	st := s.stats
 	st.Entries = s.ll.Len()
+	st.DiskEntries = len(s.known)
 	return st
 }
 

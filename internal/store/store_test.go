@@ -2,6 +2,7 @@ package store_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -287,5 +288,143 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if s.Len() > 8 {
 		t.Fatalf("len = %d exceeds capacity", s.Len())
+	}
+}
+
+// TestCorruptEntryQuarantinedNotDeleted: verified corruption moves the
+// bytes into quarantine/ (forensic evidence) rather than unlinking
+// them, and the move is counted for /readyz.
+func TestCorruptEntryQuarantinedNotDeleted(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := store.New(4, dir)
+	s1.Put("cafebabe", []byte("good-bytes"))
+
+	path := filepath.Join(dir, "ca", "cafebabe")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := store.New(4, dir)
+	if _, ok := s2.Get("cafebabe"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if st := s2.Stats(); st.CorruptQuarantined != 1 {
+		t.Fatalf("stats = %+v, want corrupt_quarantined=1", st)
+	}
+	// The corrupt bytes moved, byte-for-byte, into quarantine/.
+	moved, err := os.ReadFile(filepath.Join(dir, "quarantine", "cafebabe"))
+	if err != nil {
+		t.Fatalf("quarantined bytes missing: %v", err)
+	}
+	if !bytes.Equal(moved, data) {
+		t.Fatal("quarantine altered the evidence")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry still at its shard path")
+	}
+}
+
+// TestScanAtOpen: a fresh store over an existing cache dir knows the
+// prior process's entries without reading them, skips malformed names,
+// and reaps temp files left by crashed writers.
+func TestScanAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := store.New(4, dir)
+	s1.Put("cafebabe", []byte("one"))
+	s1.Put("deadbeef", []byte("two"))
+
+	// Debris: a crashed writer's temp, a foreign file, a misfiled entry.
+	if err := os.WriteFile(filepath.Join(dir, "ca", ".tmp123"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ca", "notinshard"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stray"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := store.New(4, dir)
+	st := s2.Stats()
+	if st.DiskEntries != 2 {
+		t.Fatalf("disk_entries = %d, want 2 (stats must reflect prior process)", st.DiskEntries)
+	}
+	if st.ScanTempsRemoved != 1 {
+		t.Fatalf("scan_temps_removed = %d, want 1", st.ScanTempsRemoved)
+	}
+	if st.ScanSkipped != 2 {
+		t.Fatalf("scan_skipped = %d, want 2 (misfiled + stray)", st.ScanSkipped)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ca", ".tmp123")); !os.IsNotExist(err) {
+		t.Fatal("crashed writer's temp not reaped")
+	}
+	keys := s2.Keys()
+	if !reflect.DeepEqual(keys, []string{"cafebabe", "deadbeef"}) {
+		t.Fatalf("keys = %v, want scanned disk keys", keys)
+	}
+}
+
+// TestScanIgnoresReservedDirs: quarantine/ and journal/ live inside the
+// cache dir but are not shards; their contents must not surface as
+// entries.
+func TestScanIgnoresReservedDirs(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := store.New(4, dir)
+	s1.Put("cafebabe", []byte("one"))
+	for _, sub := range []string{"quarantine", "journal"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, sub, "cadecade"), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, _ := store.New(4, dir)
+	if st := s2.Stats(); st.DiskEntries != 1 {
+		t.Fatalf("disk_entries = %d, want 1 (reserved dirs leaked into scan)", st.DiskEntries)
+	}
+}
+
+// TestScrubQuarantinesBitRot: the proactive pass finds corruption
+// nobody has asked for yet and moves it aside.
+func TestScrubQuarantinesBitRot(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := store.New(1, dir) // capacity 1: "cafebabe" falls out of memory
+	s.Put("cafebabe", []byte("rotting"))
+	s.Put("deadbeef", []byte("healthy"))
+
+	path := filepath.Join(dir, "ca", "cafebabe")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	checked, quarantined := s.Scrub(context.Background())
+	if checked != 2 || quarantined != 1 {
+		t.Fatalf("scrub = (%d checked, %d quarantined), want (2, 1)", checked, quarantined)
+	}
+	st := s.Stats()
+	if st.CorruptQuarantined != 1 || st.ScrubChecked != 2 {
+		t.Fatalf("stats = %+v, want corrupt_quarantined=1 scrub_checked=2", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", "cafebabe")); err != nil {
+		t.Fatalf("scrub did not quarantine: %v", err)
+	}
+	// The healthy entry is untouched and still served.
+	if val, ok := s.Get("deadbeef"); !ok || string(val) != "healthy" {
+		t.Fatalf("healthy entry after scrub: %q, %v", val, ok)
+	}
+	// A second pass over the now-clean tier finds nothing.
+	if checked, quarantined := s.Scrub(context.Background()); checked != 1 || quarantined != 0 {
+		t.Fatalf("second scrub = (%d, %d), want (1, 0)", checked, quarantined)
 	}
 }
