@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race chaos crash bench figs csv serve clean
+.PHONY: all build vet test test-short race verify-fuzz chaos crash bench figs csv serve clean
 
 all: build vet test race
 
@@ -28,6 +28,12 @@ test-short:
 race:
 	$(GO) test -race ./internal/tlsrt/ ./internal/jobs/ ./internal/store/ ./internal/fault/ ./internal/resilience/
 	$(GO) test -race -run 'TestConcurrentSimulate|TestPrewarmMatchesSequential' .
+
+# Long fuzz-verify run: compile 200 generated programs and statically
+# verify the synchronization of every binary (see docs/verify.md).
+VERIFY_FUZZ_N ?= 200
+verify-fuzz:
+	VERIFY_FUZZ_N=$(VERIFY_FUZZ_N) $(GO) test -run TestProgenVerifyFuzz ./internal/verify/
 
 # Fault-injection suite for the daemon: disk faults, panicking/slow
 # jobs, breaker trip/recovery, admission shed, graceful drain — all

@@ -20,6 +20,7 @@ import (
 	"tlssync"
 	"tlssync/internal/memsync"
 	"tlssync/internal/sim"
+	"tlssync/internal/verify"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	inputStr := flag.String("input", "", "comma-separated input vector for input(i)")
 	seed := flag.Uint64("seed", 42, "PRNG seed for rnd(n)")
 	dump := flag.Bool("dump", false, "print the transformed IR instead of simulating")
+	verifyFlag := flag.Bool("verify", false, "statically verify synchronization soundness of every binary and exit (non-zero on findings); with -dump, annotate the IR with the diagnostics")
 	timeline := flag.Int("timeline", 0, "render an epoch-lifetime timeline for the first N epochs of each policy")
 	benchName := flag.String("bench", "", "run a built-in benchmark instead of a source file")
 	flag.Parse()
@@ -57,9 +59,15 @@ func main() {
 		train = ref
 	}
 
-	b, err := tlssync.Compile(tlssync.Config{
+	cfg := tlssync.Config{
 		Source: src, TrainInput: train, RefInput: ref, Seed: *seed,
-	})
+	}
+	if *verifyFlag {
+		// Report findings instead of failing the compile, so the user
+		// sees the full diagnostic list (and the annotated IR).
+		cfg.Verify = verify.ModeWarn
+	}
+	b, err := tlssync.Compile(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -77,8 +85,27 @@ func main() {
 		fmt.Print(memsync.Summary(info))
 	}
 
-	if *dump {
-		fmt.Println(b.Ref.String())
+	if *dump || *verifyFlag {
+		if *dump {
+			if *verifyFlag {
+				fmt.Println(verify.Annotate(b.Ref, b.VerifyReports["ref"]))
+			} else {
+				fmt.Println(b.Ref.String())
+			}
+		}
+		if *verifyFlag {
+			failed := false
+			for _, name := range []string{"plain", "base", "train", "ref"} {
+				rep := b.VerifyReports[name]
+				fmt.Println(rep)
+				if !rep.Clean() {
+					failed = true
+				}
+			}
+			if failed {
+				os.Exit(1)
+			}
+		}
 		return
 	}
 

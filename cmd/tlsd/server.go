@@ -559,8 +559,14 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	prepared := make([]string, 0, len(s.runs))
-	for name := range s.runs {
+	binaries, verrs, vwarns := 0, 0, 0
+	for name, run := range s.runs {
 		prepared = append(prepared, name)
+		for _, rep := range run.Build.VerifyReports {
+			binaries++
+			verrs += len(rep.Errors())
+			vwarns += len(rep.Warnings())
+		}
 	}
 	s.mu.Unlock()
 	sort.Strings(prepared)
@@ -585,6 +591,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"prepared": prepared,
 		},
 		"policies": policyLabels,
+		"verify": map[string]any{
+			"binaries": binaries,
+			"errors":   verrs,
+			"warnings": vwarns,
+		},
 	})
 }
 
@@ -600,6 +611,29 @@ type simPayload struct {
 	Restarts       int64          `json:"restarts"`
 	RegionCycles   int64          `json:"region_cycles"`
 	SeqCycles      int64          `json:"seq_cycles"`
+	// Verify records the static synchronization verification of each
+	// compiled binary ("plain", "base", "train", "ref") behind this
+	// result. Absent when the build ran with verification off.
+	Verify map[string]verifySummary `json:"verify,omitempty"`
+}
+
+// verifySummary condenses one binary's verifier report for artifact
+// metadata and /stats.
+type verifySummary struct {
+	Errors   int `json:"errors"`
+	Warnings int `json:"warnings"`
+}
+
+// verifySummaries condenses a build's per-binary verification reports.
+func verifySummaries(b *tlssync.Build) map[string]verifySummary {
+	if b.VerifyReports == nil {
+		return nil
+	}
+	out := make(map[string]verifySummary, len(b.VerifyReports))
+	for name, rep := range b.VerifyReports {
+		out[name] = verifySummary{Errors: len(rep.Errors()), Warnings: len(rep.Warnings())}
+	}
+	return out
 }
 
 // simPayloadBytes renders one simulation result to its stored (and
@@ -619,6 +653,7 @@ func simPayloadBytes(run *tlssync.Run, bench, policy string, res *sim.Result) ([
 		Restarts:       res.Restarts,
 		RegionCycles:   res.RegionCycles(),
 		SeqCycles:      res.SeqCycles,
+		Verify:         verifySummaries(run.Build),
 	})
 }
 

@@ -27,6 +27,7 @@ import (
 	"tlssync/internal/regions"
 	"tlssync/internal/scalarsync"
 	"tlssync/internal/trace"
+	"tlssync/internal/verify"
 )
 
 // Config configures a compilation.
@@ -70,6 +71,13 @@ type Config struct {
 
 	// MaxSteps bounds each functional run (0: interpreter default).
 	MaxSteps int64
+
+	// Verify selects how the static synchronization verifier treats
+	// each produced binary. The zero value is verify.ModeEnforce:
+	// every compile fails closed if a binary carries a synchronization
+	// soundness error. ModeWarn records findings without failing;
+	// ModeOff skips verification.
+	Verify verify.Mode
 }
 
 func (c *Config) fill() {
@@ -116,6 +124,11 @@ type Build struct {
 	RefProfile   *profile.Profile
 	MemInfoTrain []memsync.Result
 	MemInfoRef   []memsync.Result
+
+	// VerifyReports holds the static synchronization-soundness report
+	// of each produced binary, keyed "plain"/"base"/"train"/"ref"
+	// (nil when Config.Verify is ModeOff).
+	VerifyReports map[string]*verify.Report
 }
 
 // Compile runs the whole pipeline.
@@ -203,7 +216,35 @@ func compileChecked(checked *lang.Checked, cfg Config) (*Build, error) {
 	if err != nil {
 		return nil, fmt.Errorf("memsync (ref): %w", err)
 	}
+	if err := b.verifyBinaries(); err != nil {
+		return nil, err
+	}
 	return b, nil
+}
+
+// verifyBinaries runs the static synchronization verifier over every
+// binary the build produced, recording the reports and — under
+// ModeEnforce — failing the compile on the first binary with errors.
+func (b *Build) verifyBinaries() error {
+	if b.Config.Verify == verify.ModeOff {
+		return nil
+	}
+	b.VerifyReports = make(map[string]*verify.Report, 4)
+	for _, bin := range []struct {
+		name string
+		p    *ir.Program
+	}{
+		{"plain", b.Plain}, {"base", b.Base}, {"train", b.Train}, {"ref", b.Ref},
+	} {
+		rep := verify.Binary(bin.p, b.RegionsFor(bin.p), verify.Options{
+			CloneEnabled: !b.Config.NoClone, Binary: bin.name,
+		})
+		b.VerifyReports[bin.name] = rep
+		if b.Config.Verify == verify.ModeEnforce && !rep.Clean() {
+			return fmt.Errorf("synchronization verification failed on the %s binary:\n%s", bin.name, rep)
+		}
+	}
+	return nil
 }
 
 // AcceptedKeys returns the accepted region keys.

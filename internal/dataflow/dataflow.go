@@ -38,6 +38,19 @@ func (b Bitset) OrInto(src Bitset) bool {
 	return changed
 }
 
+// AndInto intersects src into b, reporting whether b changed.
+func (b Bitset) AndInto(src Bitset) bool {
+	changed := false
+	for i := range b {
+		nv := b[i] & src[i]
+		if nv != b[i] {
+			b[i] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
 // AndNot clears in b every bit set in mask.
 func (b Bitset) AndNot(mask Bitset) {
 	for i := range b {

@@ -96,6 +96,29 @@ func TestVerifyCatchesInconsistentPreds(t *testing.T) {
 	}
 }
 
+func TestVerifyCatchesForeignPred(t *testing.T) {
+	p := NewProgram()
+	f := buildDiamond(p)
+	g := buildDiamond(p)
+	g.Name = "g"
+	// A pred pointing into a different function must be rejected before
+	// the edge-consistency pass (which would also fire, but with a less
+	// precise message).
+	f.Blocks[3].Preds = append(f.Blocks[3].Preds, g.Entry)
+	if err := f.Verify(); err == nil || !strings.Contains(err.Error(), "predecessor") || !strings.Contains(err.Error(), "not in function") {
+		t.Fatalf("expected foreign-pred error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesDuplicateBlock(t *testing.T) {
+	p := NewProgram()
+	f := buildDiamond(p)
+	f.Blocks = append(f.Blocks, f.Blocks[1])
+	if err := f.Verify(); err == nil || !strings.Contains(err.Error(), "appears twice") {
+		t.Fatalf("expected duplicate-block error, got %v", err)
+	}
+}
+
 func TestVerifyCatchesUndefinedCall(t *testing.T) {
 	p := NewProgram()
 	f := buildDiamond(p)

@@ -6,7 +6,9 @@ import "fmt"
 //
 //   - every block ends in exactly one terminator, with no terminator mid-block
 //   - successor counts match the terminator kind (Br:1, CondBr:2, Ret:0)
+//   - every successor and predecessor belongs to the function
 //   - predecessor lists are consistent with successor lists
+//   - no block appears twice in the function's block list
 //   - register operands are within [0, NumRegs)
 //   - an entry block exists and belongs to the function
 //
@@ -17,6 +19,9 @@ func (f *Func) Verify() error {
 	}
 	inFunc := make(map[*Block]bool, len(f.Blocks))
 	for _, b := range f.Blocks {
+		if inFunc[b] {
+			return fmt.Errorf("%s: block b%d appears twice in the block list", f.Name, b.Index)
+		}
 		inFunc[b] = true
 	}
 	if !inFunc[f.Entry] {
@@ -81,6 +86,9 @@ func (f *Func) Verify() error {
 	}
 	for _, b := range f.Blocks {
 		for _, p := range b.Preds {
+			if !inFunc[p] {
+				return fmt.Errorf("%s b%d: predecessor b%d not in function", f.Name, b.Index, p.Index)
+			}
 			key := [2]*Block{p, b}
 			if predCount[key] == 0 {
 				return fmt.Errorf("%s: b%d lists pred b%d but no matching succ edge",

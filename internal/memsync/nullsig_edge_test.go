@@ -1,0 +1,203 @@
+package memsync
+
+import (
+	"strings"
+	"testing"
+
+	"tlssync/internal/ir"
+	"tlssync/internal/regions"
+	"tlssync/internal/verify"
+)
+
+// These tests pin down the storeless-path edge cases of nullsig.go —
+// the backward may-store-later placement of conditional NULL signals —
+// using the static verifier as the oracle: a transformed program whose
+// NULL placement misses a storeless path would fail signal-release,
+// and one whose placement is complete verifies clean. Each case also
+// re-checks sensitivity by stripping the NULLs and asserting the
+// oracle objects, so a silently NULL-free transformation cannot pass.
+
+// oracle verifies the transformed program exactly as core.Compile does.
+func oracle(t *testing.T, p *ir.Program) *verify.Report {
+	t.Helper()
+	return verify.Binary(p, regions.Regions(p, nil), verify.Options{CloneEnabled: true, Binary: "memsync-test"})
+}
+
+// stripNulls removes every conditional NULL signal, reporting how many
+// were dropped.
+func stripNulls(p *ir.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if in.Op == ir.SignalMemNull {
+					n++
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+	}
+	return n
+}
+
+func checkOracle(t *testing.T, p *ir.Program, wantSensitive bool) {
+	t.Helper()
+	if rep := oracle(t, p); !rep.Clean() {
+		t.Errorf("transformed program fails verification:\n%s", rep)
+	}
+	n := stripNulls(p)
+	if !wantSensitive {
+		if rep := oracle(t, p); !rep.Clean() {
+			t.Errorf("every path stores, yet removing the %d NULL signals breaks verification:\n%s", n, rep)
+		}
+		return
+	}
+	if n == 0 {
+		t.Fatal("no NULL signals to strip — placement silently skipped the storeless paths")
+	}
+	if rep := oracle(t, p); rep.Clean() {
+		t.Errorf("oracle insensitive: program still verifies with all %d NULL signals removed", n)
+	}
+}
+
+// TestNullSigNestedGuards stores the group only behind two nested
+// conditions: every partially-taken path (outer taken, inner not; outer
+// not taken) is storeless and needs a NULL.
+func TestNullSigNestedGuards(t *testing.T) {
+	src := `
+var g int;
+var acc int;
+var work [256]int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 400; i = i + 1 {
+		acc = acc + g;
+		if i % 3 == 0 {
+			if i % 5 == 0 {
+				g = g + i;
+			}
+		}
+		work[i % 256] = acc;
+	}
+	print(acc);
+}
+`
+	p, res := pipeline(t, src, DefaultOptions())
+	if len(res[0].Groups) == 0 {
+		t.Fatal("no groups synchronized")
+	}
+	checkOracle(t, p, true)
+}
+
+// TestNullSigEmulatedContinue guards the store with an early-skip flag
+// (MiniC has no continue statement; the flag plays its role): on
+// "skipped" epochs the body falls straight through to the backedge.
+func TestNullSigEmulatedContinue(t *testing.T) {
+	src := `
+var g int;
+var acc int;
+var work [256]int;
+func main() {
+	var i int;
+	var skip int;
+	parallel for i = 0; i < 400; i = i + 1 {
+		skip = i % 2;
+		acc = acc + g;
+		if skip == 0 {
+			work[i % 256] = acc;
+			g = g + i;
+		}
+	}
+	print(acc);
+}
+`
+	p, res := pipeline(t, src, DefaultOptions())
+	if len(res[0].Groups) == 0 {
+		t.Fatal("no groups synchronized")
+	}
+	checkOracle(t, p, true)
+}
+
+// TestNullSigGuardedCalleeChain hides the store two calls deep, each
+// level behind its own guard: the NULL must land on the storeless
+// paths of the cloned callees, not just the region body.
+func TestNullSigGuardedCalleeChain(t *testing.T) {
+	src := `
+var g int;
+var acc int;
+func inner(i int) {
+	if i % 4 == 0 {
+		g = g + i;
+	}
+}
+func outer(i int) {
+	if i % 2 == 0 {
+		inner(i);
+	}
+}
+func main() {
+	var i int;
+	parallel for i = 0; i < 400; i = i + 1 {
+		acc = acc + g;
+		outer(i);
+	}
+	print(acc);
+}
+`
+	p, res := pipeline(t, src, DefaultOptions())
+	if len(res[0].Groups) == 0 {
+		t.Fatal("no groups synchronized")
+	}
+	if res[0].ClonesMade == 0 {
+		t.Fatal("expected cloned callees")
+	}
+	// At least one NULL signal must sit inside a clone: the storeless
+	// paths of inner/outer are only reachable through them.
+	inClone := false
+	for _, f := range p.Funcs {
+		if !strings.Contains(f.Name, "$m") {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.SignalMemNull {
+					inClone = true
+				}
+			}
+		}
+	}
+	if !inClone {
+		t.Error("no NULL signal inside any cloned callee")
+	}
+	checkOracle(t, p, true)
+}
+
+// TestNullSigBothBranchesStore stores the group on both sides of the
+// branch: no path is storeless, so stripping whatever (redundant)
+// NULLs exist must keep the program verifiable.
+func TestNullSigBothBranchesStore(t *testing.T) {
+	src := `
+var g int;
+var acc int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 400; i = i + 1 {
+		acc = acc + g;
+		if i % 2 == 0 {
+			g = g + i;
+		} else {
+			g = g + 1;
+		}
+	}
+	print(acc);
+}
+`
+	p, res := pipeline(t, src, DefaultOptions())
+	if len(res[0].Groups) == 0 {
+		t.Fatal("no groups synchronized")
+	}
+	checkOracle(t, p, false)
+}

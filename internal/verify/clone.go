@@ -1,0 +1,126 @@
+package verify
+
+import (
+	"fmt"
+
+	"tlssync/internal/ir"
+)
+
+// checkClonePaths proves clone-path soundness (rule clone-path): when
+// call-path cloning is enabled, memory synchronization must live only
+// in code reachable through the retargeted call sites inside
+// speculative region bodies — in the region functions' own epoch
+// bodies, or in (clones of) callees reached from them — and never in
+// code reachable from outside the regions through the unclone
+// originals. A synchronized function that is unreachable from every
+// region body is the signature of a call site retargeted back to its
+// original: the clone carrying the synchronization silently stops
+// executing and the epoch runs unsynchronized code.
+func (v *verifier) checkClonePaths() {
+	if !v.opts.CloneEnabled || len(v.regs) == 0 {
+		return
+	}
+	regionFuncs := make(map[*ir.Func]bool, len(v.regs))
+	regionBody := make(map[*ir.Block]bool)
+	for _, r := range v.regs {
+		regionFuncs[r.Func] = true
+		for b := range r.Loop.Blocks {
+			regionBody[b] = true
+		}
+	}
+
+	// insideReach: functions reachable through calls made from any
+	// region's loop blocks (transitively, through any block of a
+	// reached function).
+	inside := make(map[*ir.Func]bool)
+	for _, r := range v.regs {
+		for f := range v.calleeReach(r.Loop.Blocks) {
+			inside[f] = true
+		}
+	}
+
+	// outsideReach: functions reachable from the program entry through
+	// call chains that never pass through a region body block.
+	outside := make(map[*ir.Func]bool)
+	var work []*ir.Func
+	addOutside := func(f *ir.Func) {
+		if f != nil && !outside[f] {
+			outside[f] = true
+			work = append(work, f)
+		}
+	}
+	if entry := v.prog.FuncMap["main"]; entry != nil {
+		addOutside(entry)
+	} else if len(v.prog.Funcs) > 0 {
+		addOutside(v.prog.Funcs[0])
+	}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, b := range f.Blocks {
+			if regionBody[b] {
+				continue
+			}
+			for _, in := range b.Instrs {
+				if in.Op == ir.Call {
+					addOutside(v.prog.FuncMap[in.Sym])
+				}
+			}
+		}
+	}
+
+	firstSync := func(f *ir.Func) (*ir.Block, *ir.Instr) {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if isMemSyncOp(in.Op) {
+					return b, in
+				}
+			}
+		}
+		return nil, nil
+	}
+
+	for _, f := range v.prog.Funcs {
+		if regionFuncs[f] {
+			// Region functions host their synchronization inside their
+			// own region bodies; anything outside leaks into the
+			// sequential part of the program.
+			for _, b := range f.Blocks {
+				if regionBody[b] {
+					continue
+				}
+				for _, in := range b.Instrs {
+					if isMemSyncOp(in.Op) {
+						v.diag(Diagnostic{
+							Rule: RuleClonePath, Severity: SevError,
+							Func: f.Name, Block: b.Index, SyncID: int(in.Imm),
+							InstrID: in.ID, Pos: in.Pos,
+							Message: fmt.Sprintf("%v sits outside every speculative region body: synchronization would execute in sequential code", in),
+						})
+					}
+				}
+			}
+			continue
+		}
+		b, in := firstSync(f)
+		if in == nil {
+			continue
+		}
+		if !inside[f] {
+			v.diag(Diagnostic{
+				Rule: RuleClonePath, Severity: SevError,
+				Func: f.Name, Block: b.Index, SyncID: int(in.Imm),
+				InstrID: in.ID, Pos: in.Pos,
+				Message: fmt.Sprintf("synchronized function %s is unreachable from every speculative region body — was a call site retargeted back to the unclone original?", f.Name),
+			})
+		}
+		if outside[f] {
+			v.diag(Diagnostic{
+				Rule: RuleClonePath, Severity: SevError,
+				Func: f.Name, Block: b.Index, SyncID: int(in.Imm),
+				InstrID: in.ID, Pos: in.Pos,
+				Message: fmt.Sprintf("synchronized function %s is reachable from outside the speculative regions: cloning should have kept the original unsynchronized", f.Name),
+			})
+		}
+	}
+}

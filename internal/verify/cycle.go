@@ -1,0 +1,201 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tlssync/internal/dataflow"
+	"tlssync/internal/ir"
+)
+
+// checkSyncCycles runs the conservative cross-group ordering check
+// (rule sync-cycle, warning severity). For each region it builds a
+// graph over the region's channels with an edge u→v when every
+// possibly-first release site of v is preceded, on all incoming epoch
+// paths, by a completed consumer wait on u. An edge means an epoch
+// cannot produce v's value before consuming u's; a cycle among two or
+// more channels therefore forces every epoch to fully consume its
+// predecessor's values before producing its own on all the involved
+// channels — the groups execute serialized, defeating the overlap the
+// synchronization was meant to preserve. With the forward-only
+// prev→next channels and the first epoch bootstrapped from memory a
+// true deadlock cannot occur, so this is a performance warning, not a
+// soundness error.
+func (v *verifier) checkSyncCycles() {
+	for _, sc := range v.scopes {
+		if len(sc.chans) < 2 {
+			continue
+		}
+		v.checkRegionCycles(sc)
+	}
+}
+
+func (v *verifier) checkRegionCycles(sc *regionScope) {
+	cs := sc.chans
+	idx := make(map[int]int, len(cs))
+	for i, s := range cs {
+		idx[s] = i
+	}
+	n := len(cs)
+
+	// Forward must-analysis of the set of channels whose consumer
+	// protocol has completed (select executed). Out-of-scope
+	// predecessors are the epoch start: nothing waited yet. The meet is
+	// set intersection, so the analysis starts from the optimistic full
+	// set. Waits inside callees are ignored (conservative toward
+	// silence: fewer recorded waits mean fewer edges).
+	waitedIn := make(map[*ir.Block]dataflow.Bitset, len(sc.body))
+	full := dataflow.NewBitset(n)
+	for i := 0; i < n; i++ {
+		full.Set(i)
+	}
+	blocks := v.bodyOrder(sc)
+	for _, b := range blocks {
+		waitedIn[b] = full.Copy()
+	}
+	transfer := func(b *ir.Block, w dataflow.Bitset) {
+		for _, in := range b.Instrs {
+			if in.Op == ir.SelectFwd {
+				if i, ok := idx[int(in.Imm)]; ok {
+					w.Set(i)
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range blocks {
+			in := full.Copy()
+			for _, p := range b.Preds {
+				if !sc.body[p] {
+					in = dataflow.NewBitset(n) // epoch start: nothing waited
+					break
+				}
+				po := waitedIn[p].Copy()
+				transfer(p, po)
+				in.AndInto(po)
+			}
+			cur := waitedIn[b]
+			if !bitsetEqual(cur, in) {
+				waitedIn[b] = in
+				changed = true
+			}
+		}
+	}
+
+	// Per-channel must-released facts locate the possibly-first release
+	// sites; accumulate the intersection of waited sets over them.
+	rel := make([]*relAnalysis, n)
+	for i, s := range cs {
+		rel[i] = v.analyzeRelease(sc, s)
+	}
+	siteWaited := make([]dataflow.Bitset, n)
+	sawSite := make([]bool, n)
+	for i := range siteWaited {
+		siteWaited[i] = full.Copy()
+	}
+	for _, b := range blocks {
+		w := waitedIn[b].Copy()
+		mustRel := make([]bool, n)
+		for i := range cs {
+			mustRel[i] = rel[i].mustIn[b]
+		}
+		for _, in := range b.Instrs {
+			for i, s := range cs {
+				if eff := v.releaseEffect(in, s); eff != relNone && !mustRel[i] {
+					sawSite[i] = true
+					siteWaited[i].AndInto(w)
+				}
+				if v.releaseEffect(in, s) == relMust {
+					mustRel[i] = true
+				}
+			}
+			if in.Op == ir.SelectFwd {
+				if i, ok := idx[int(in.Imm)]; ok {
+					w.Set(i)
+				}
+			}
+		}
+	}
+
+	// Edge u→v: v's every possibly-first release waits on u first.
+	edges := make([][]bool, n)
+	for vi := range edges {
+		edges[vi] = make([]bool, n)
+	}
+	for vi := 0; vi < n; vi++ {
+		if !sawSite[vi] {
+			continue
+		}
+		for ui := 0; ui < n; ui++ {
+			if ui != vi && siteWaited[vi].Has(ui) {
+				edges[ui][vi] = true
+			}
+		}
+	}
+
+	// Strongly connected components via pairwise reachability (the
+	// channel count per region is tiny).
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = append([]bool(nil), edges[i]...)
+		reach[i][i] = true
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				reach[i][j] = reach[i][j] || reach[k][j]
+			}
+		}
+	}
+	inComp := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if inComp[i] {
+			continue
+		}
+		var comp []int
+		for j := i; j < n; j++ {
+			if reach[i][j] && reach[j][i] {
+				comp = append(comp, j)
+			}
+		}
+		if len(comp) < 2 {
+			continue
+		}
+		for _, j := range comp {
+			inComp[j] = true
+		}
+		names := make([]string, len(comp))
+		var edgeList []string
+		for k, j := range comp {
+			names[k] = fmt.Sprintf("sync%d", cs[j])
+			for _, l := range comp {
+				if edges[j][l] {
+					edgeList = append(edgeList, fmt.Sprintf("wait sync%d before signal sync%d", cs[j], cs[l]))
+				}
+			}
+		}
+		sort.Strings(edgeList)
+		v.diag(Diagnostic{
+			Rule: RuleSyncCycle, Severity: SevWarn,
+			Func:  sc.region.Func.Name,
+			Block: sc.region.Loop.Header.Index, SyncID: cs[comp[0]],
+			Message: fmt.Sprintf("channels %s form an intra-epoch wait→signal ordering cycle in region %d: every epoch must consume its predecessor's values before producing its own, serializing the groups",
+				strings.Join(names, ", "), sc.region.ID),
+			Path: edgeList,
+		})
+	}
+}
+
+func bitsetEqual(a, b dataflow.Bitset) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

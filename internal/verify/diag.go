@@ -1,0 +1,153 @@
+// Package verify is a translation-validation-style static checker for
+// the synchronization the TLS passes insert. It runs over each
+// transformed binary and independently re-proves, from the IR alone,
+// the soundness properties the scalarsync/memsync pipeline is supposed
+// to establish:
+//
+//   - wait-order: every load.sync/select consumer sequence is dominated
+//     by its wait.ma/wait.mv pair, in protocol order (rule RuleWaitOrder);
+//   - signal-adjacent: every signal.m sits immediately after the store
+//     it forwards, so no later store can clobber the forwarded value
+//     unnoticed (rule RuleSignalAdjacent);
+//   - signal-release: on every path through an epoch body each group
+//     channel is released — by an explicit signal.m, a conditional NULL
+//     signal, or a callee that provably signals on all its paths —
+//     before the path runs out of release opportunities, i.e. no
+//     consumer is starved until the implicit end-of-epoch NULL
+//     (rule RuleSignalRelease);
+//   - sync-cycle: a conservative cross-group cycle check over the
+//     intra-epoch wait→signal ordering graph; a cycle means every epoch
+//     must consume its predecessor's value before producing its own on
+//     every involved channel, serializing the groups (warning rule
+//     RuleSyncCycle — the forward-only prev→next channels plus the
+//     first-epoch bootstrap make a true deadlock structurally
+//     impossible, so this is a performance smell, not an error);
+//   - clone-path: synchronized instructions are reachable only through
+//     call sites retargeted into clones, never through the unclone
+//     originals or from outside speculative regions
+//     (rule RuleClonePath);
+//   - channel-range: every sync operand names an allocated channel
+//     (rule RuleChannelRange).
+//
+// Diagnostics are structured (rule ID, function/block position, and a
+// concrete counterexample path where one exists) and render vet-style.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"tlssync/internal/lang"
+)
+
+// Rule identifiers, one per checked property.
+const (
+	RuleWaitOrder      = "wait-order"
+	RuleSignalAdjacent = "signal-adjacent"
+	RuleSignalRelease  = "signal-release"
+	RuleSyncCycle      = "sync-cycle"
+	RuleClonePath      = "clone-path"
+	RuleChannelRange   = "channel-range"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severities. Errors are soundness violations; warnings are provable
+// performance hazards that cannot corrupt results.
+const (
+	SevError Severity = iota
+	SevWarn
+)
+
+// String returns "error" or "warning".
+func (s Severity) String() string {
+	if s == SevWarn {
+		return "warning"
+	}
+	return "error"
+}
+
+// Mode selects how core.Compile treats verifier findings.
+type Mode int
+
+// Modes. The zero value is ModeEnforce: a binary with errors fails the
+// compilation (fail-closed).
+const (
+	ModeEnforce Mode = iota // errors fail the compile
+	ModeWarn                // findings are recorded, compile proceeds
+	ModeOff                 // verifier does not run
+)
+
+// Diagnostic is one verifier finding.
+type Diagnostic struct {
+	Rule     string
+	Severity Severity
+	Func     string
+	Block    int // block index, or -1 for function-level findings
+	SyncID   int // memory sync channel, or -1 when not channel-specific
+	InstrID  int // offending instruction ID, or 0 when positionless
+	Pos      lang.Pos
+	Message  string
+	// Path is a concrete counterexample: the block labels of one
+	// control-flow path exhibiting the violation, or (for sync-cycle)
+	// the wait→signal edges of the cycle.
+	Path []string
+}
+
+// String renders the diagnostic vet-style:
+// "line:col: error: [rule] func.b3: message [path: ...]".
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	if d.Pos != (lang.Pos{}) {
+		fmt.Fprintf(&sb, "%s: ", d.Pos)
+	}
+	fmt.Fprintf(&sb, "%s: [%s] %s", d.Severity, d.Rule, d.Func)
+	if d.Block >= 0 {
+		fmt.Fprintf(&sb, ".b%d", d.Block)
+	}
+	fmt.Fprintf(&sb, ": %s", d.Message)
+	if len(d.Path) > 0 {
+		fmt.Fprintf(&sb, " [path: %s]", strings.Join(d.Path, " -> "))
+	}
+	return sb.String()
+}
+
+// Report is the verifier's result for one binary.
+type Report struct {
+	Binary string // which build variant ("plain", "base", "train", "ref")
+	Diags  []Diagnostic
+}
+
+// Errors returns the error-severity findings.
+func (r *Report) Errors() []Diagnostic { return r.bySeverity(SevError) }
+
+// Warnings returns the warning-severity findings.
+func (r *Report) Warnings() []Diagnostic { return r.bySeverity(SevWarn) }
+
+func (r *Report) bySeverity(s Severity) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Severity == s {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Clean reports whether the binary verified without errors.
+func (r *Report) Clean() bool { return len(r.Errors()) == 0 }
+
+// String renders the report, one diagnostic per line.
+func (r *Report) String() string {
+	if len(r.Diags) == 0 {
+		return fmt.Sprintf("%s: ok", r.Binary)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d error(s), %d warning(s)\n",
+		r.Binary, len(r.Errors()), len(r.Warnings()))
+	for _, d := range r.Diags {
+		fmt.Fprintf(&sb, "  %s\n", d)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

@@ -1,0 +1,374 @@
+package verify_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tlssync/internal/core"
+	"tlssync/internal/ir"
+	"tlssync/internal/progen"
+	"tlssync/internal/verify"
+	"tlssync/internal/workloads"
+)
+
+// TestBenchmarksVerifyClean proves the verifier has zero false
+// positives on every binary of every built-in benchmark: the default
+// config already enforces (ModeEnforce fails the compile on errors),
+// so this asserts the stronger "zero diagnostics, warnings included".
+func TestBenchmarksVerifyClean(t *testing.T) {
+	ws := workloads.All()
+	if testing.Short() {
+		ws = ws[:4]
+	}
+	for _, w := range ws {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			b, err := core.Compile(core.Config{Source: w.Source, TrainInput: w.Train, RefInput: w.Ref, Seed: 42})
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			for _, name := range []string{"plain", "base", "train", "ref"} {
+				rep := b.VerifyReports[name]
+				if len(rep.Diags) != 0 {
+					t.Errorf("%s/%s not diagnostic-free:\n%s", w.Name, name, rep)
+				}
+			}
+		})
+	}
+}
+
+// TestNoCloneVerifyClean re-proves the benchmarks under the no-clone
+// ablation, where signals stack behind shared stores and the
+// clone-path rule is disabled.
+func TestNoCloneVerifyClean(t *testing.T) {
+	ws := workloads.All()
+	if testing.Short() {
+		ws = ws[:4]
+	}
+	for _, w := range ws {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := core.Compile(core.Config{Source: w.Source, TrainInput: w.Train, RefInput: w.Ref, Seed: 42, NoClone: true}); err != nil {
+				t.Errorf("%s (NoClone): %v", w.Name, err)
+			}
+		})
+	}
+}
+
+// TestProgenVerifyFuzz is the fuzz-verify property test: every binary
+// compiled from a generated program verifies with zero errors.
+// (Warnings are permitted: progen freely generates interleaved
+// read-modify-writes whose epochs genuinely serialize, and the
+// sync-cycle rule is supposed to flag those — see TestCycleWarning.)
+// N defaults to 60 (20 under -short); `make verify-fuzz` sets
+// VERIFY_FUZZ_N=200 for the long acceptance run.
+func TestProgenVerifyFuzz(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 20
+	}
+	if s := os.Getenv("VERIFY_FUZZ_N"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad VERIFY_FUZZ_N %q: %v", s, err)
+		}
+		n = v
+	}
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			t.Parallel()
+			src := progen.Generate(seed, progen.DefaultConfig())
+			in := []int64{int64(seed), int64(seed * 3)}
+			b, err := core.Compile(core.Config{Source: src, RefInput: in, Seed: seed})
+			if err != nil {
+				t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, src)
+			}
+			for _, name := range []string{"plain", "base", "train", "ref"} {
+				rep := b.VerifyReports[name]
+				if !rep.Clean() {
+					t.Errorf("seed %d %s has errors:\n%s\nsource:\n%s", seed, name, rep, src)
+				}
+				for _, d := range rep.Warnings() {
+					t.Logf("seed %d %s: %s", seed, name, d)
+				}
+			}
+		})
+	}
+}
+
+// TestCycleWarning: interleaved read-modify-writes on two globals give
+// every epoch a consume-before-produce ordering on both channels — a
+// legitimate (if slow) program the verifier must flag as a warning,
+// not an error, and the default enforce mode must still compile.
+func TestCycleWarning(t *testing.T) {
+	src := `
+var a int;
+var b int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 300; i = i + 1 {
+		a = a + b;
+		b = b + a;
+	}
+	print(a + b);
+}
+`
+	bld, err := core.Compile(core.Config{Source: src, RefInput: []int64{1}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := bld.VerifyReports["ref"]
+	if len(rep.Errors()) != 0 {
+		t.Errorf("unexpected errors:\n%s", rep)
+	}
+	found := false
+	for _, d := range rep.Warnings() {
+		if d.Rule == verify.RuleSyncCycle {
+			found = true
+			if len(d.Path) == 0 {
+				t.Error("sync-cycle warning has no counterexample path")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expected a sync-cycle warning:\n%s", rep)
+	}
+}
+
+// --- Mutation tests -------------------------------------------------
+//
+// Each test compiles a clean program, corrupts the ref binary the way a
+// buggy pass would, and asserts the matching rule — and only an
+// appropriate rule — catches it.
+
+// guardedCalleeSrc hides the store behind a conditional inside a
+// callee, so the compiled ref binary carries clones, conditional NULL
+// signals, and the full consumer protocol.
+const guardedCalleeSrc = `
+var g int;
+var acc int;
+func maybe(i int) {
+	if i % 4 == 0 {
+		g = g + i;
+	}
+}
+func main() {
+	var i int;
+	parallel for i = 0; i < 400; i = i + 1 {
+		acc = acc + g;
+		maybe(i);
+	}
+	print(acc);
+}
+`
+
+// guardedStoreSrc keeps the conditional store inline in the epoch
+// body, so the NULL signal sits on a frontier block of the loop.
+const guardedStoreSrc = `
+var g int;
+var acc int;
+var work [256]int;
+func main() {
+	var i int;
+	parallel for i = 0; i < 400; i = i + 1 {
+		acc = acc + g;
+		if i % 3 == 0 {
+			g = g + i;
+		}
+		work[i % 256] = acc;
+	}
+	print(acc);
+}
+`
+
+func mutationBuild(t *testing.T, src string) *core.Build {
+	t.Helper()
+	b, err := core.Compile(core.Config{Source: src, RefInput: []int64{1, 2, 3}, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// reverify re-runs the verifier over the (mutated) ref binary.
+func reverify(b *core.Build) *verify.Report {
+	return verify.Binary(b.Ref, b.RegionsFor(b.Ref), verify.Options{CloneEnabled: true, Binary: "mutated"})
+}
+
+func wantMutationCaught(t *testing.T, rep *verify.Report, rule string) {
+	t.Helper()
+	if rep.Clean() {
+		t.Fatalf("mutation not caught: report clean\n%s", rep)
+	}
+	for _, d := range rep.Errors() {
+		if d.Rule == rule {
+			t.Logf("caught: %s", d)
+			return
+		}
+	}
+	t.Errorf("mutation caught by the wrong rule, want %s:\n%s", rule, rep)
+}
+
+// removeFirst deletes the first instruction with the given op,
+// reporting whether one was found.
+func removeFirst(p *ir.Program, op ir.Op) bool {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i, in := range b.Instrs {
+				if in.Op == op {
+					b.Instrs = append(b.Instrs[:i:i], b.Instrs[i+1:]...)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// TestMutationDroppedNullSignal deletes the conditional NULL signals
+// of the conditionally-stored group: its storeless path now starves
+// the consumer, which signal-release must report with a
+// counterexample path. (Dropping a single NULL is not enough: the
+// pass places runtime-redundant NULLs behind unconditional signals,
+// and the verifier correctly treats removing one of those as a no-op.)
+func TestMutationDroppedNullSignal(t *testing.T) {
+	b := mutationBuild(t, guardedStoreSrc)
+	// The conditionally-stored group is the one whose signal.m sits in a
+	// block that does not post-dominate the body — identify it as a
+	// channel that has both a signal.m and a NULL somewhere.
+	hasSig := map[int64]bool{}
+	for _, f := range b.Ref.Funcs {
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if in.Op == ir.SignalMem {
+					hasSig[in.Imm] = true
+				}
+			}
+		}
+	}
+	dropped := false
+	for _, f := range b.Ref.Funcs {
+		for _, blk := range f.Blocks {
+			kept := blk.Instrs[:0]
+			for _, in := range blk.Instrs {
+				if in.Op == ir.SignalMemNull && hasSig[in.Imm] {
+					dropped = true
+					continue
+				}
+				kept = append(kept, in)
+			}
+			blk.Instrs = kept
+		}
+	}
+	if !dropped {
+		t.Fatal("ref binary has no NULL signal to drop")
+	}
+	rep := reverify(b)
+	wantMutationCaught(t, rep, verify.RuleSignalRelease)
+	for _, d := range rep.Errors() {
+		if d.Rule == verify.RuleSignalRelease && len(d.Path) == 0 {
+			t.Errorf("signal-release diagnostic has no counterexample path: %s", d)
+		}
+	}
+}
+
+// TestMutationDroppedCalleeNullSignal drops the NULL signal inside a
+// cloned callee instead: the callee-level sub-rule of signal-release
+// must flag the storeless entry→ret path.
+func TestMutationDroppedCalleeNullSignal(t *testing.T) {
+	b := mutationBuild(t, guardedCalleeSrc)
+	removed := false
+	for _, f := range b.Ref.Funcs {
+		if !strings.Contains(f.Name, "$m") {
+			continue
+		}
+		for _, blk := range f.Blocks {
+			for i, in := range blk.Instrs {
+				if in.Op == ir.SignalMemNull {
+					blk.Instrs = append(blk.Instrs[:i:i], blk.Instrs[i+1:]...)
+					removed = true
+					break
+				}
+			}
+			if removed {
+				break
+			}
+		}
+		if removed {
+			break
+		}
+	}
+	if !removed {
+		t.Fatal("no NULL signal inside a clone to drop")
+	}
+	wantMutationCaught(t, reverify(b), verify.RuleSignalRelease)
+}
+
+// TestMutationSignalReordered swaps a signal.m with the store it
+// forwards, the way a buggy scheduling pass would: signal-adjacent
+// must object to the separation.
+func TestMutationSignalReordered(t *testing.T) {
+	b := mutationBuild(t, guardedCalleeSrc)
+	swapped := false
+	for _, f := range b.Ref.Funcs {
+		for _, blk := range f.Blocks {
+			for i := 1; i < len(blk.Instrs); i++ {
+				if blk.Instrs[i].Op == ir.SignalMem && blk.Instrs[i-1].Op == ir.Store {
+					blk.Instrs[i-1], blk.Instrs[i] = blk.Instrs[i], blk.Instrs[i-1]
+					swapped = true
+					break
+				}
+			}
+			if swapped {
+				break
+			}
+		}
+		if swapped {
+			break
+		}
+	}
+	if !swapped {
+		t.Fatal("no store+signal.m pair to reorder")
+	}
+	wantMutationCaught(t, reverify(b), verify.RuleSignalAdjacent)
+}
+
+// TestMutationRetargetedClone redirects a region call site from the
+// synchronized clone back to the unclone original — the synchronized
+// clone becomes unreachable from the region, which clone-path reports.
+func TestMutationRetargetedClone(t *testing.T) {
+	b := mutationBuild(t, guardedCalleeSrc)
+	retargeted := false
+	for _, f := range b.Ref.Funcs {
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if in.Op == ir.Call {
+					if at := strings.Index(in.Sym, "$m"); at >= 0 {
+						in.Sym = in.Sym[:at]
+						retargeted = true
+					}
+				}
+			}
+		}
+	}
+	if !retargeted {
+		t.Fatal("no clone call site to retarget")
+	}
+	wantMutationCaught(t, reverify(b), verify.RuleClonePath)
+}
+
+// TestMutationDroppedWait deletes a wait.mv: the consumer sequence
+// runs its load.sync without the value wait, which wait-order reports.
+func TestMutationDroppedWait(t *testing.T) {
+	b := mutationBuild(t, guardedCalleeSrc)
+	if !removeFirst(b.Ref, ir.WaitMemVal) {
+		t.Fatal("ref binary has no wait.mv to drop")
+	}
+	wantMutationCaught(t, reverify(b), verify.RuleWaitOrder)
+}

@@ -1,0 +1,77 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"tlssync/internal/ir"
+)
+
+// Annotate renders the program's IR with the report's diagnostics
+// inlined next to the instructions they refer to, so a counterexample
+// is readable beside the code it indicts (cmd/tlsc -dump -verify).
+func Annotate(p *ir.Program, rep *Report) string {
+	byInstr := make(map[int][]Diagnostic)
+	type blockKey struct {
+		fn    string
+		block int
+	}
+	byBlock := make(map[blockKey][]Diagnostic)
+	byFunc := make(map[string][]Diagnostic)
+	for _, d := range rep.Diags {
+		switch {
+		case d.InstrID != 0:
+			byInstr[d.InstrID] = append(byInstr[d.InstrID], d)
+		case d.Block >= 0:
+			k := blockKey{d.Func, d.Block}
+			byBlock[k] = append(byBlock[k], d)
+		default:
+			byFunc[d.Func] = append(byFunc[d.Func], d)
+		}
+	}
+	note := func(sb *strings.Builder, indent string, d Diagnostic) {
+		fmt.Fprintf(sb, "%s^^ %s: [%s] %s\n", indent, d.Severity, d.Rule, d.Message)
+		if len(d.Path) > 0 {
+			fmt.Fprintf(sb, "%s   path: %s\n", indent, strings.Join(d.Path, " -> "))
+		}
+	}
+
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&sb, "global %s size=%d addr=%#x init=%d\n", g.Name, g.Size, g.Addr, g.Init)
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&sb, "func %s (params=%d regs=%d frame=%d)\n",
+			f.Name, f.NParams, f.NumRegs, f.FrameSize)
+		for _, d := range byFunc[f.Name] {
+			note(&sb, "  ", d)
+		}
+		for _, b := range f.Blocks {
+			mark := ""
+			if b.ParallelHeader {
+				mark = " [parallel header]"
+			}
+			fmt.Fprintf(&sb, "b%d %s:%s\n", b.Index, b.Name, mark)
+			for _, d := range byBlock[blockKey{f.Name, b.Index}] {
+				note(&sb, "\t", d)
+			}
+			for _, in := range b.Instrs {
+				fmt.Fprintf(&sb, "\t%s\n", in)
+				for _, d := range byInstr[in.ID] {
+					if d.Func != f.Name {
+						continue
+					}
+					note(&sb, "\t  ", d)
+				}
+			}
+			if t := b.Terminator(); t != nil && t.Op != ir.Ret {
+				targets := make([]string, len(b.Succs))
+				for i, s := range b.Succs {
+					targets[i] = fmt.Sprintf("b%d", s.Index)
+				}
+				fmt.Fprintf(&sb, "\t-> %s\n", strings.Join(targets, ", "))
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,518 @@
+package verify
+
+import (
+	"fmt"
+
+	"tlssync/internal/interp"
+	"tlssync/internal/ir"
+)
+
+// regionScope is the analysis context of one speculative region: the
+// epoch-body blocks and the functions reachable by calls from the
+// region, plus the channels this region is responsible for releasing.
+type regionScope struct {
+	region *interp.Region
+	// body is the epoch body: the loop blocks minus the header. The
+	// epoch ends at the back edge into the header (or at a region
+	// exit), matching the scope of the memsync NULL-placement analysis.
+	body map[*ir.Block]bool
+	// reach is the set of functions reachable through calls from the
+	// loop blocks (the code an epoch can execute outside the region
+	// function itself).
+	reach map[*ir.Func]bool
+	// chans are the memory-sync channels attributed to this region:
+	// channels signaled in its body or its call closure, except those
+	// directly owned by a different region's body (nested regions).
+	chans []int
+}
+
+// releaseKind classifies an instruction's effect on a channel.
+type releaseKind int
+
+const (
+	relNone releaseKind = iota
+	relMay              // may release on some executions (call into a may-release callee)
+	relMust             // releases on every execution (signal.m, signal.mnull, must-release callee)
+)
+
+// releaseEffect returns how executing in affects channel s, given the
+// current call summaries.
+func (v *verifier) releaseEffect(in *ir.Instr, s int) releaseKind {
+	switch in.Op {
+	case ir.SignalMem, ir.SignalMemNull:
+		if in.Imm == int64(s) {
+			return relMust
+		}
+	case ir.Call:
+		callee := v.prog.FuncMap[in.Sym]
+		if callee == nil {
+			return relNone
+		}
+		if v.mustRel[callee][s] {
+			return relMust
+		}
+		if v.mayRel[callee][s] {
+			return relMay
+		}
+	}
+	return relNone
+}
+
+// buildRegionScopes computes the per-region scopes, the channel
+// attribution, and the may/must-release call summaries shared by the
+// signal-release and sync-cycle rules.
+func (v *verifier) buildRegionScopes() {
+	v.buildReleaseSummaries()
+
+	// directOwner[s] is the region whose loop blocks directly contain a
+	// sync operation for s: nested or callee-hosted regions must not
+	// have their channels attributed to an enclosing region.
+	directOwner := make(map[int]*interp.Region)
+	for _, r := range v.regs {
+		for b := range r.Loop.Blocks {
+			for _, in := range b.Instrs {
+				if isMemSyncOp(in.Op) && directOwner[int(in.Imm)] == nil {
+					directOwner[int(in.Imm)] = r
+				}
+			}
+		}
+	}
+
+	for _, r := range v.regs {
+		sc := &regionScope{
+			region: r,
+			body:   make(map[*ir.Block]bool, len(r.Loop.Blocks)),
+			reach:  v.calleeReach(r.Loop.Blocks),
+		}
+		for b := range r.Loop.Blocks {
+			if b != r.Loop.Header {
+				sc.body[b] = true
+			}
+		}
+		signaled := make(map[int]bool)
+		for b := range r.Loop.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.SignalMem || in.Op == ir.SignalMemNull {
+					signaled[int(in.Imm)] = true
+				}
+			}
+		}
+		for f := range sc.reach {
+			for s, may := range v.mayRel[f] {
+				if may {
+					signaled[s] = true
+				}
+			}
+		}
+		for s := 0; s < v.prog.NumMemSyncs; s++ {
+			if !signaled[s] {
+				continue
+			}
+			if o := directOwner[s]; o != nil && o != r {
+				continue
+			}
+			sc.chans = append(sc.chans, s)
+		}
+		v.scopes = append(v.scopes, sc)
+	}
+}
+
+// calleeReach returns the closure of functions reachable via calls
+// starting from the given blocks.
+func (v *verifier) calleeReach(blocks map[*ir.Block]bool) map[*ir.Func]bool {
+	out := make(map[*ir.Func]bool)
+	var work []*ir.Func
+	add := func(f *ir.Func) {
+		if f != nil && !out[f] {
+			out[f] = true
+			work = append(work, f)
+		}
+	}
+	for b := range blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.Call {
+				add(v.prog.FuncMap[in.Sym])
+			}
+		}
+	}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.Call {
+					add(v.prog.FuncMap[in.Sym])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// buildReleaseSummaries computes, for every (function, channel) pair,
+// whether calling the function may release the channel and whether it
+// must (releases on every entry→ret path). The must summary is an
+// increasing fixpoint over the call graph, so mutual recursion among
+// may-release functions conservatively stays "may".
+func (v *verifier) buildReleaseSummaries() {
+	v.mayRel = make(map[*ir.Func]map[int]bool, len(v.prog.Funcs))
+	v.mustRel = make(map[*ir.Func]map[int]bool, len(v.prog.Funcs))
+	for _, f := range v.prog.Funcs {
+		v.mayRel[f] = make(map[int]bool)
+		v.mustRel[f] = make(map[int]bool)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.SignalMem || in.Op == ir.SignalMemNull {
+					v.mayRel[f][int(in.Imm)] = true
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range v.prog.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op != ir.Call {
+						continue
+					}
+					callee := v.prog.FuncMap[in.Sym]
+					if callee == nil {
+						continue
+					}
+					for s, may := range v.mayRel[callee] {
+						if may && !v.mayRel[f][s] {
+							v.mayRel[f][s] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range v.prog.Funcs {
+			for s, may := range v.mayRel[f] {
+				if !may || v.mustRel[f][s] {
+					continue
+				}
+				if v.allPathsRelease(f, s) {
+					v.mustRel[f][s] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// allPathsRelease reports whether every entry→ret path of f releases
+// channel s under the current must summaries (forward must-analysis).
+func (v *verifier) allPathsRelease(f *ir.Func, s int) bool {
+	out := make(map[*ir.Block]bool, len(f.Blocks))
+	reachable := make(map[*ir.Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		out[b] = true // optimistic top for the must meet
+	}
+	var order []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		reachable[b] = true
+		order = append(order, b)
+		for _, sb := range b.Succs {
+			if !reachable[sb] {
+				dfs(sb)
+			}
+		}
+	}
+	dfs(f.Entry)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			rel := false
+			if b != f.Entry {
+				rel = true
+				for _, p := range b.Preds {
+					if reachable[p] {
+						rel = rel && out[p]
+					}
+				}
+			}
+			for _, in := range b.Instrs {
+				if v.releaseEffect(in, s) == relMust {
+					rel = true
+				}
+			}
+			if rel != out[b] {
+				out[b] = rel
+				changed = true
+			}
+		}
+	}
+	for _, b := range order {
+		if t := b.Terminator(); t != nil && t.Op == ir.Ret && !out[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// relAnalysis holds the per-(region, channel) release dataflow facts.
+type relAnalysis struct {
+	sc *regionScope
+	s  int
+	// mustIn/mustOut: on every path from the epoch start to this block
+	// boundary, the channel has been released.
+	mustIn, mustOut map[*ir.Block]bool
+	// mayFromStart: a release may still execute from the start of this
+	// block before the epoch ends (following in-scope edges only).
+	mayFromStart map[*ir.Block]bool
+}
+
+// analyzeRelease runs the forward must-released and backward
+// may-release-later analyses for one (region, channel) pair over the
+// epoch body.
+func (v *verifier) analyzeRelease(sc *regionScope, s int) *relAnalysis {
+	a := &relAnalysis{
+		sc: sc, s: s,
+		mustIn:       make(map[*ir.Block]bool, len(sc.body)),
+		mustOut:      make(map[*ir.Block]bool, len(sc.body)),
+		mayFromStart: make(map[*ir.Block]bool, len(sc.body)),
+	}
+	for b := range sc.body {
+		a.mustOut[b] = true // optimistic top
+	}
+	blocks := v.bodyOrder(sc)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range blocks {
+			in := true
+			for _, p := range b.Preds {
+				if !sc.body[p] {
+					// Edge from the header (epoch start) or from outside
+					// the region: nothing released yet.
+					in = false
+					break
+				}
+				in = in && a.mustOut[p]
+			}
+			rel := in
+			for _, instr := range b.Instrs {
+				if v.releaseEffect(instr, s) == relMust {
+					rel = true
+				}
+			}
+			if in != a.mustIn[b] || rel != a.mustOut[b] {
+				a.mustIn[b], a.mustOut[b] = in, rel
+				changed = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(blocks) - 1; i >= 0; i-- {
+			b := blocks[i]
+			if a.mayFromStart[b] {
+				continue
+			}
+			may := false
+			for _, instr := range b.Instrs {
+				if v.releaseEffect(instr, s) != relNone {
+					may = true
+					break
+				}
+			}
+			if !may {
+				for _, sb := range b.Succs {
+					if sc.body[sb] && a.mayFromStart[sb] {
+						may = true
+						break
+					}
+				}
+			}
+			if may {
+				a.mayFromStart[b] = true
+				changed = true
+			}
+		}
+	}
+	return a
+}
+
+// bodyOrder returns the epoch-body blocks in reverse postorder of the
+// region function (a stable, roughly topological iteration order).
+func (v *verifier) bodyOrder(sc *regionScope) []*ir.Block {
+	var out []*ir.Block
+	for _, b := range sc.region.Func.Blocks {
+		if sc.body[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// checkSignalRelease proves the signal-completeness property (rule
+// signal-release): at every point of the epoch body, each group channel
+// has either already been released on all incoming paths or can still
+// be released before the epoch ends. A point failing both means some
+// path starves the channel's consumer until the implicit end-of-epoch
+// NULL — exactly the situation the NULL-placement analysis exists to
+// prevent. Callees that signal on some paths but not all (a dropped
+// NULL inside a clone) are reported with an entry→ret counterexample.
+func (v *verifier) checkSignalRelease() {
+	reportedFn := make(map[*ir.Func]map[int]bool)
+	for _, sc := range v.scopes {
+		for _, s := range sc.chans {
+			a := v.analyzeRelease(sc, s)
+			v.fireStarvedPoint(sc, s, a)
+			for f := range sc.reach {
+				if f == sc.region.Func || !v.mayRel[f][s] || v.mustRel[f][s] {
+					continue
+				}
+				if reportedFn[f] == nil {
+					reportedFn[f] = make(map[int]bool)
+				}
+				if reportedFn[f][s] {
+					continue
+				}
+				reportedFn[f][s] = true
+				path := v.storelessRetPath(f, s)
+				v.diag(Diagnostic{
+					Rule: RuleSignalRelease, Severity: SevError,
+					Func: f.Name, Block: -1, SyncID: s,
+					Message: fmt.Sprintf("called from region %d, %s signals sync%d on some paths but not all: a storeless path is missing its NULL signal",
+						sc.region.ID, f.Name, s),
+					Path: path,
+				})
+			}
+		}
+	}
+}
+
+// fireStarvedPoint reports the first epoch-body point (in block order)
+// where a channel is neither already released nor releasable later.
+func (v *verifier) fireStarvedPoint(sc *regionScope, s int, a *relAnalysis) {
+	for _, b := range v.bodyOrder(sc) {
+		// May-release positions in this block, as a suffix count.
+		suffixMay := make([]bool, len(b.Instrs)+1)
+		later := false
+		for _, sb := range b.Succs {
+			if sc.body[sb] && a.mayFromStart[sb] {
+				later = true
+			}
+		}
+		suffixMay[len(b.Instrs)] = later
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			suffixMay[i] = suffixMay[i+1] || v.releaseEffect(b.Instrs[i], s) != relNone
+		}
+		cur := a.mustIn[b]
+		report := func(in *ir.Instr, where string) {
+			v.diag(Diagnostic{
+				Rule: RuleSignalRelease, Severity: SevError,
+				Func: sc.region.Func.Name, Block: b.Index, SyncID: s,
+				InstrID: in.ID, Pos: in.Pos,
+				Message: fmt.Sprintf("sync%d is not released on every path through the epoch body: %s, no signal has occurred on some incoming path and none can occur before the epoch ends (consumer starves until the implicit end-of-epoch NULL)",
+					s, where),
+				Path: v.starvedPath(sc, a, b),
+			})
+		}
+		if !cur && !suffixMay[0] {
+			report(b.Instrs[0], fmt.Sprintf("at entry of block b%d", b.Index))
+			return
+		}
+		for i, in := range b.Instrs {
+			if v.releaseEffect(in, s) == relMust {
+				cur = true
+			}
+			if !cur && !suffixMay[i+1] {
+				report(in, fmt.Sprintf("after %v", in))
+				return
+			}
+		}
+	}
+}
+
+// starvedPath reconstructs one epoch path from the epoch start to the
+// firing block along which no release occurs, preferring predecessors
+// whose must-released-out fact is false.
+func (v *verifier) starvedPath(sc *regionScope, a *relAnalysis, fire *ir.Block) []string {
+	var rev []*ir.Block
+	visited := map[*ir.Block]bool{fire: true}
+	cur := fire
+	for {
+		rev = append(rev, cur)
+		var next *ir.Block
+		atEntry := false
+		for _, p := range cur.Preds {
+			if !sc.body[p] {
+				atEntry = true // reached the epoch start (header edge)
+				continue
+			}
+			if visited[p] {
+				continue
+			}
+			// Prefer a predecessor along which the channel may still be
+			// unreleased — that is the path the counterexample follows.
+			if next == nil || (!a.mustOut[p] && a.mustOut[next]) {
+				next = p
+			}
+		}
+		if atEntry || next == nil {
+			break
+		}
+		visited[next] = true
+		cur = next
+	}
+	path := make([]string, 0, len(rev)+1)
+	path = append(path, fmt.Sprintf("b%d(header)", sc.region.Loop.Header.Index))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, fmt.Sprintf("b%d", rev[i].Index))
+	}
+	return path
+}
+
+// storelessRetPath finds one entry→ret path of f that provably cannot
+// release channel s (it avoids every block containing an unconditional
+// release), as the counterexample for a callee missing NULL coverage.
+func (v *verifier) storelessRetPath(f *ir.Func, s int) []string {
+	releasing := func(b *ir.Block) bool {
+		for _, in := range b.Instrs {
+			if v.releaseEffect(in, s) == relMust {
+				return true
+			}
+		}
+		return false
+	}
+	type node struct {
+		b    *ir.Block
+		prev *node
+	}
+	seen := map[*ir.Block]bool{}
+	queue := []*node{}
+	if !releasing(f.Entry) {
+		queue = append(queue, &node{b: f.Entry})
+		seen[f.Entry] = true
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if t := n.b.Terminator(); t != nil && t.Op == ir.Ret {
+			var rev []*ir.Block
+			for c := n; c != nil; c = c.prev {
+				rev = append(rev, c.b)
+			}
+			path := make([]string, 0, len(rev))
+			for i := len(rev) - 1; i >= 0; i-- {
+				path = append(path, fmt.Sprintf("b%d", rev[i].Index))
+			}
+			return path
+		}
+		for _, sb := range n.b.Succs {
+			if !seen[sb] && !releasing(sb) {
+				seen[sb] = true
+				queue = append(queue, &node{b: sb, prev: n})
+			}
+		}
+	}
+	return nil
+}

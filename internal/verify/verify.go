@@ -1,0 +1,227 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"tlssync/internal/interp"
+	"tlssync/internal/ir"
+)
+
+// Options configure a verification run.
+type Options struct {
+	// CloneEnabled mirrors the memsync pass's Clone option. When cloning
+	// is disabled (the ablation configuration), synchronization
+	// legitimately lives in shared originals reachable from everywhere,
+	// so the clone-path rule does not apply.
+	CloneEnabled bool
+
+	// Binary labels the report ("base", "train", "ref", ...).
+	Binary string
+}
+
+// Binary verifies one compiled program variant against the speculative
+// regions it was compiled for and returns the structured findings.
+func Binary(prog *ir.Program, regs []*interp.Region, opts Options) *Report {
+	v := &verifier{prog: prog, regs: regs, opts: opts}
+	v.checkChannelRange()
+	v.checkWaitOrder()
+	v.checkSignalAdjacent()
+	v.buildRegionScopes()
+	v.checkSignalRelease()
+	v.checkSyncCycles()
+	v.checkClonePaths()
+	sort.SliceStable(v.diags, func(i, j int) bool {
+		a, b := v.diags[i], v.diags[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.InstrID != b.InstrID {
+			return a.InstrID < b.InstrID
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.SyncID < b.SyncID
+	})
+	return &Report{Binary: opts.Binary, Diags: v.diags}
+}
+
+type verifier struct {
+	prog  *ir.Program
+	regs  []*interp.Region
+	opts  Options
+	diags []Diagnostic
+
+	// scopes holds the per-region analysis context built by
+	// buildRegionScopes and shared by the region-scoped rules.
+	scopes []*regionScope
+	// mayRel[f][s]: calling f may release channel s (a signal.m or
+	// signal.mnull for s can execute, directly or transitively).
+	mayRel map[*ir.Func]map[int]bool
+	// mustRel[f][s]: every entry→ret path of f releases channel s.
+	mustRel map[*ir.Func]map[int]bool
+}
+
+func (v *verifier) diag(d Diagnostic) { v.diags = append(v.diags, d) }
+
+// isMemSyncOp reports whether op is one of the memory-synchronization
+// operations inserted by the memsync pass.
+func isMemSyncOp(op ir.Op) bool {
+	switch op {
+	case ir.WaitMemAddr, ir.WaitMemVal, ir.CheckFwd, ir.LoadSync,
+		ir.SelectFwd, ir.SignalMem, ir.SignalMemNull:
+		return true
+	}
+	return false
+}
+
+// checkChannelRange verifies every sync operand names an allocated
+// channel (rule channel-range).
+func (v *verifier) checkChannelRange() {
+	for _, f := range v.prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				var limit int64
+				var kind string
+				switch {
+				case isMemSyncOp(in.Op):
+					limit, kind = int64(v.prog.NumMemSyncs), "memory sync"
+				case in.Op == ir.WaitScalar || in.Op == ir.SignalScalar:
+					limit, kind = int64(v.prog.NumScalarChans), "scalar channel"
+				default:
+					continue
+				}
+				if in.Imm < 0 || in.Imm >= limit {
+					v.diag(Diagnostic{
+						Rule: RuleChannelRange, Severity: SevError,
+						Func: f.Name, Block: b.Index, SyncID: int(in.Imm),
+						InstrID: in.ID, Pos: in.Pos,
+						Message: fmt.Sprintf("%v names %s %d, but only %d are allocated",
+							in, kind, in.Imm, limit),
+					})
+				}
+			}
+		}
+	}
+}
+
+// Consumer-protocol stages for the wait-order state machine.
+const (
+	stIdle  = iota // no sequence in progress
+	stWaitA        // wait.ma executed
+	stCheck        // checkfwd executed
+	stWaitV        // wait.mv executed
+	stLoad         // load.sync executed; select pending
+)
+
+var stageNames = [...]string{"idle", "wait.ma", "checkfwd", "wait.mv", "load.sync"}
+
+// checkWaitOrder verifies the five-instruction consumer protocol
+// (wait.ma; checkfwd; wait.mv; load.sync; select) executes in order and
+// completes within a single basic block (rule wait-order). The memsync
+// pass always emits the sequence contiguously in the block of the load
+// it replaces, so in-block completion is an invariant of legitimate
+// output — and it implies the dominance property: every load.sync and
+// select is dominated, in protocol order, by its wait pair.
+func (v *verifier) checkWaitOrder() {
+	for _, f := range v.prog.Funcs {
+		for _, b := range f.Blocks {
+			v.checkWaitOrderBlock(f, b)
+		}
+	}
+}
+
+func (v *verifier) checkWaitOrderBlock(f *ir.Func, b *ir.Block) {
+	state := make(map[int64]int)
+	bad := func(in *ir.Instr, msg string) {
+		v.diag(Diagnostic{
+			Rule: RuleWaitOrder, Severity: SevError,
+			Func: f.Name, Block: b.Index, SyncID: int(in.Imm),
+			InstrID: in.ID, Pos: in.Pos, Message: msg,
+		})
+	}
+	step := func(in *ir.Instr, want, next int, op string) {
+		if st := state[in.Imm]; st != want {
+			bad(in, fmt.Sprintf("%s for sync%d out of protocol order: expected after %s, but the sequence is at stage %q",
+				op, in.Imm, stageNames[want], stageNames[st]))
+		}
+		state[in.Imm] = next
+	}
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case ir.WaitMemAddr:
+			if st := state[in.Imm]; st != stIdle {
+				bad(in, fmt.Sprintf("wait.ma restarts the consumer sequence for sync%d while a previous one is incomplete (at stage %q)",
+					in.Imm, stageNames[st]))
+			}
+			state[in.Imm] = stWaitA
+		case ir.CheckFwd:
+			step(in, stWaitA, stCheck, "checkfwd")
+		case ir.WaitMemVal:
+			step(in, stCheck, stWaitV, "wait.mv")
+		case ir.LoadSync:
+			step(in, stWaitV, stLoad, "load.sync")
+		case ir.SelectFwd:
+			step(in, stLoad, stIdle, "select")
+		case ir.Call:
+			for s, st := range state {
+				if st != stIdle {
+					bad(in, fmt.Sprintf("consumer sequence for sync%d interrupted by a call (at stage %q)",
+						s, stageNames[st]))
+					state[s] = stIdle
+				}
+			}
+		}
+	}
+	// Sorted for deterministic diagnostics.
+	var pending []int64
+	for s, st := range state {
+		if st != stIdle {
+			pending = append(pending, s)
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	for _, s := range pending {
+		t := b.Instrs[len(b.Instrs)-1]
+		bad(t, fmt.Sprintf("consumer sequence for sync%d incomplete at end of block (stopped after %s): load.sync/select are not dominated by their waits on every path",
+			s, stageNames[state[s]]))
+	}
+}
+
+// checkSignalAdjacent verifies every signal.m sits immediately after
+// the store whose address/value it forwards (rule signal-adjacent), so
+// no instruction — in particular no later store to the same address —
+// separates production from forwarding. Consecutive signal.m
+// instructions may stack behind one store when the same store belongs
+// to several groups (the no-clone configuration collapses references).
+func (v *verifier) checkSignalAdjacent() {
+	for _, f := range v.prog.Funcs {
+		for _, b := range f.Blocks {
+			for i, in := range b.Instrs {
+				if in.Op != ir.SignalMem {
+					continue
+				}
+				j := i - 1
+				for j >= 0 && b.Instrs[j].Op == ir.SignalMem {
+					j--
+				}
+				if j >= 0 {
+					p := b.Instrs[j]
+					if p.Op == ir.Store && p.A == in.A && p.B == in.B {
+						continue
+					}
+				}
+				v.diag(Diagnostic{
+					Rule: RuleSignalAdjacent, Severity: SevError,
+					Func: f.Name, Block: b.Index, SyncID: int(in.Imm),
+					InstrID: in.ID, Pos: in.Pos,
+					Message: fmt.Sprintf("%v is not immediately after the store it forwards (store [A], B with matching registers); an intervening instruction can clobber or desynchronize the forwarded value", in),
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"tlssync/internal/ir"
+	"tlssync/internal/lang"
+)
+
+// buildFunc wraps a straight-line instruction sequence (terminator
+// excluded) into a single-block function inside a fresh program with
+// two memory sync channels allocated.
+func buildFunc(instrs func(p *ir.Program) []*ir.Instr) *ir.Program {
+	p := ir.NewProgram()
+	p.NumMemSyncs = 2
+	p.NumScalarChans = 2
+	f := &ir.Func{Name: "f", NumRegs: 8}
+	b := f.NewBlock("entry")
+	f.Entry = b
+	b.Instrs = append(instrs(p), p.NewInstr(ir.Ret))
+	f.Renumber()
+	p.AddFunc(f)
+	return p
+}
+
+func syncInstr(p *ir.Program, op ir.Op, ch int64) *ir.Instr {
+	in := p.NewInstr(op)
+	in.Imm = ch
+	return in
+}
+
+// protocol returns the five-instruction consumer sequence for channel ch.
+func protocol(p *ir.Program, ch int64) []*ir.Instr {
+	var out []*ir.Instr
+	for _, op := range []ir.Op{ir.WaitMemAddr, ir.CheckFwd, ir.WaitMemVal, ir.LoadSync, ir.SelectFwd} {
+		out = append(out, syncInstr(p, op, ch))
+	}
+	return out
+}
+
+func rules(rep *Report) []string {
+	var out []string
+	for _, d := range rep.Diags {
+		out = append(out, d.Rule)
+	}
+	return out
+}
+
+func wantRule(t *testing.T, rep *Report, rule string) {
+	t.Helper()
+	for _, d := range rep.Diags {
+		if d.Rule == rule {
+			return
+		}
+	}
+	t.Errorf("expected a %s diagnostic, got %v\n%s", rule, rules(rep), rep)
+}
+
+func wantClean(t *testing.T, rep *Report) {
+	t.Helper()
+	if len(rep.Diags) != 0 {
+		t.Errorf("expected no diagnostics:\n%s", rep)
+	}
+}
+
+func TestWaitOrderCleanSequence(t *testing.T) {
+	p := buildFunc(func(p *ir.Program) []*ir.Instr {
+		// Two interleaved-but-ordered sequences on distinct channels are
+		// legal: the state machine is per-channel.
+		seq := protocol(p, 0)
+		seq = append(seq, protocol(p, 1)...)
+		return seq
+	})
+	wantClean(t, Binary(p, nil, Options{Binary: "t"}))
+}
+
+func TestWaitOrderOutOfOrder(t *testing.T) {
+	p := buildFunc(func(p *ir.Program) []*ir.Instr {
+		// wait.mv before checkfwd.
+		return []*ir.Instr{
+			syncInstr(p, ir.WaitMemAddr, 0),
+			syncInstr(p, ir.WaitMemVal, 0),
+			syncInstr(p, ir.CheckFwd, 0),
+			syncInstr(p, ir.LoadSync, 0),
+			syncInstr(p, ir.SelectFwd, 0),
+		}
+	})
+	rep := Binary(p, nil, Options{Binary: "t"})
+	wantRule(t, rep, RuleWaitOrder)
+	if rep.Clean() {
+		t.Error("out-of-order protocol must be an error")
+	}
+}
+
+func TestWaitOrderIncompleteAtBlockEnd(t *testing.T) {
+	p := buildFunc(func(p *ir.Program) []*ir.Instr {
+		return protocol(p, 0)[:3] // stops after wait.mv
+	})
+	rep := Binary(p, nil, Options{Binary: "t"})
+	wantRule(t, rep, RuleWaitOrder)
+	found := false
+	for _, d := range rep.Diags {
+		if strings.Contains(d.Message, "incomplete at end of block") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected an incomplete-at-block-end message:\n%s", rep)
+	}
+}
+
+func TestWaitOrderCallInterrupts(t *testing.T) {
+	p := buildFunc(func(p *ir.Program) []*ir.Instr {
+		seq := protocol(p, 0)
+		call := p.NewInstr(ir.Call)
+		call.Sym = "g"
+		// Call lands between wait.mv and load.sync.
+		return append(seq[:3:3], append([]*ir.Instr{call}, seq[3:]...)...)
+	})
+	g := &ir.Func{Name: "g"}
+	gb := g.NewBlock("entry")
+	g.Entry = gb
+	gb.Instrs = []*ir.Instr{p.NewInstr(ir.Ret)}
+	g.Renumber()
+	p.AddFunc(g)
+	rep := Binary(p, nil, Options{Binary: "t"})
+	wantRule(t, rep, RuleWaitOrder)
+	found := false
+	for _, d := range rep.Diags {
+		if strings.Contains(d.Message, "interrupted by a call") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a call-interruption message:\n%s", rep)
+	}
+}
+
+func TestWaitOrderRestart(t *testing.T) {
+	p := buildFunc(func(p *ir.Program) []*ir.Instr {
+		seq := protocol(p, 0)[:2] // wait.ma, checkfwd
+		return append(seq, protocol(p, 0)...)
+	})
+	rep := Binary(p, nil, Options{Binary: "t"})
+	wantRule(t, rep, RuleWaitOrder)
+	found := false
+	for _, d := range rep.Diags {
+		if strings.Contains(d.Message, "restarts the consumer sequence") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a restart message:\n%s", rep)
+	}
+}
+
+func TestSignalAdjacentClean(t *testing.T) {
+	p := buildFunc(func(p *ir.Program) []*ir.Instr {
+		st := p.NewInstr(ir.Store)
+		st.A, st.B = 1, 2
+		sig := syncInstr(p, ir.SignalMem, 0)
+		sig.A, sig.B = 1, 2
+		// A second signal stacked behind the same store (the no-clone
+		// configuration collapses groups onto one store) is legal too.
+		sig2 := syncInstr(p, ir.SignalMem, 1)
+		sig2.A, sig2.B = 1, 2
+		return []*ir.Instr{st, sig, sig2}
+	})
+	wantClean(t, Binary(p, nil, Options{Binary: "t"}))
+}
+
+func TestSignalAdjacentSeparated(t *testing.T) {
+	p := buildFunc(func(p *ir.Program) []*ir.Instr {
+		st := p.NewInstr(ir.Store)
+		st.A, st.B = 1, 2
+		clobber := p.NewInstr(ir.Store)
+		clobber.A, clobber.B = 1, 3
+		sig := syncInstr(p, ir.SignalMem, 0)
+		sig.A, sig.B = 1, 2
+		return []*ir.Instr{st, clobber, sig}
+	})
+	wantRule(t, Binary(p, nil, Options{Binary: "t"}), RuleSignalAdjacent)
+}
+
+func TestSignalAdjacentRegisterMismatch(t *testing.T) {
+	p := buildFunc(func(p *ir.Program) []*ir.Instr {
+		st := p.NewInstr(ir.Store)
+		st.A, st.B = 1, 2
+		sig := syncInstr(p, ir.SignalMem, 0)
+		sig.A, sig.B = 1, 3 // forwards a different value register
+		return []*ir.Instr{st, sig}
+	})
+	wantRule(t, Binary(p, nil, Options{Binary: "t"}), RuleSignalAdjacent)
+}
+
+func TestChannelRange(t *testing.T) {
+	p := buildFunc(func(p *ir.Program) []*ir.Instr {
+		sig := syncInstr(p, ir.SignalMemNull, 5) // only 2 allocated
+		ws := syncInstr(p, ir.WaitScalar, -1)
+		return []*ir.Instr{sig, ws}
+	})
+	rep := Binary(p, nil, Options{Binary: "t"})
+	if n := len(rep.Errors()); n != 2 {
+		t.Errorf("expected 2 channel-range errors, got %d:\n%s", n, rep)
+	}
+	wantRule(t, rep, RuleChannelRange)
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Rule: RuleSignalRelease, Severity: SevError,
+		Func: "main", Block: 3, SyncID: 1,
+		Pos:     lang.Pos{Line: 7, Col: 2},
+		Message: "starved",
+		Path:    []string{"b1", "b3"},
+	}
+	got := d.String()
+	want := "7:2: error: [signal-release] main.b3: starved [path: b1 -> b3]"
+	if got != want {
+		t.Errorf("Diagnostic.String() = %q, want %q", got, want)
+	}
+	// Function-level finding without position renders without them.
+	d2 := Diagnostic{Rule: RuleClonePath, Severity: SevError, Func: "f", Block: -1, Message: "m"}
+	if got := d2.String(); got != "error: [clone-path] f: m" {
+		t.Errorf("positionless Diagnostic.String() = %q", got)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{Binary: "ref"}
+	if rep.String() != "ref: ok" || !rep.Clean() {
+		t.Errorf("empty report renders %q", rep.String())
+	}
+	rep.Diags = []Diagnostic{
+		{Rule: RuleWaitOrder, Severity: SevError, Func: "f", Block: 0, Message: "x"},
+		{Rule: RuleSyncCycle, Severity: SevWarn, Func: "f", Block: -1, Message: "y"},
+	}
+	if rep.Clean() {
+		t.Error("report with an error must not be clean")
+	}
+	txt := rep.String()
+	for _, want := range []string{"1 error(s), 1 warning(s)", "[wait-order]", "[sync-cycle]"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("report text missing %q:\n%s", want, txt)
+		}
+	}
+	if len(rep.Warnings()) != 1 {
+		t.Errorf("warnings = %d, want 1", len(rep.Warnings()))
+	}
+}
+
+func TestAnnotateInlinesDiagnostics(t *testing.T) {
+	p := buildFunc(func(p *ir.Program) []*ir.Instr {
+		st := p.NewInstr(ir.Store)
+		st.A, st.B = 1, 2
+		clobber := p.NewInstr(ir.Store)
+		clobber.A, clobber.B = 1, 3
+		sig := syncInstr(p, ir.SignalMem, 0)
+		sig.A, sig.B = 1, 2
+		return []*ir.Instr{st, clobber, sig}
+	})
+	rep := Binary(p, nil, Options{Binary: "t"})
+	txt := Annotate(p, rep)
+	if !strings.Contains(txt, "^^ error: [signal-adjacent]") {
+		t.Errorf("annotated dump missing inline diagnostic:\n%s", txt)
+	}
+	// The note must appear after the offending signal instruction.
+	sigAt := strings.Index(txt, "signal.m sync0")
+	noteAt := strings.Index(txt, "^^ error")
+	if sigAt < 0 || noteAt < sigAt {
+		t.Errorf("diagnostic not anchored to its instruction:\n%s", txt)
+	}
+}
