@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race verify-fuzz chaos crash bench figs csv serve clean
+.PHONY: all build vet test test-short race diff bench bench-json bench-smoke verify-fuzz chaos crash figs csv serve clean
 
 all: build vet test race
 
@@ -26,8 +26,17 @@ test-short:
 # TLS runtime, the job engine, the artifact store, and the concurrent
 # (benchmark × policy) fan-out over a shared Run.
 race:
-	$(GO) test -race ./internal/tlsrt/ ./internal/jobs/ ./internal/store/ ./internal/fault/ ./internal/resilience/
+	$(GO) test -race ./internal/tlsrt/ ./internal/jobs/ ./internal/store/ ./internal/fault/ ./internal/resilience/ ./internal/parallel/
 	$(GO) test -race -run 'TestConcurrentSimulate|TestPrewarmMatchesSequential' .
+
+# Differential determinism suites under the race detector: the parallel
+# pipeline must produce byte-identical artifacts at every -j (compiler
+# internals, sharded sequential baseline, benchmark-level fingerprints,
+# golden files).
+diff:
+	$(GO) test -race -short -run 'TestParallelDiff|TestWorkersExcluded' ./internal/core/
+	$(GO) test -race -run 'TestSeqShard' ./internal/sim/
+	$(GO) test -race -short -run 'TestParallelDiff|TestGolden' .
 
 # Long fuzz-verify run: compile 200 generated programs and statically
 # verify the synchronization of every binary (see docs/verify.md).
@@ -52,6 +61,18 @@ crash:
 # One benchmark per paper figure/table plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Bench-regression harness: time the tlsbench-shaped pipeline at -j1
+# and -j4 and write BENCH_pipeline.json (machine-readable, archived by
+# CI). BENCH_SHORT=-short restricts to 3 benchmarks.
+BENCH_SHORT ?=
+bench-json:
+	BENCH_JSON=1 BENCH_SMOKE=$(BENCH_SMOKE) $(GO) test -run '^TestBenchJSON$$' $(BENCH_SHORT) -v .
+
+# CI canary: short bench-json run that fails if the -j4 pipeline is
+# more than 10% slower than -j1 (a parallelism regression).
+bench-smoke:
+	$(MAKE) bench-json BENCH_SHORT=-short BENCH_SMOKE=1
 
 # Regenerate every figure and table of the paper.
 figs:

@@ -32,6 +32,7 @@ func main() {
 	bench := flag.String("bench", "", "restrict to one benchmark by name")
 	format := flag.String("format", "text", "output format for bar figures: text or csv")
 	workers := flag.Int("j", runtime.NumCPU(), "max concurrent compilations/simulations")
+	buildJ := flag.Int("buildj", 1, "additional CPUs inside each benchmark's compile/baseline (use when preparing few benchmarks on many cores; artifacts are identical at any value)")
 	quiet := flag.Bool("q", false, "suppress per-(benchmark, policy) progress on stderr")
 	flag.Parse()
 
@@ -55,7 +56,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		r, err := tlssync.NewRun(w)
+		r, err := tlssync.NewRunWithWorkers(w, *workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -63,7 +64,7 @@ func main() {
 	} else {
 		var err error
 		progress("compiling and baselining 15 benchmarks (-j %d)...\n", eng.Workers())
-		runs, err = tlssync.PrepareAllWith(ctx, eng, func(bench string, d time.Duration, err error) {
+		runs, err = tlssync.PrepareAllJ(ctx, eng, *buildJ, func(bench string, d time.Duration, err error) {
 			if err == nil {
 				progress("prepared %-12s %8s\n", bench, d.Round(time.Millisecond))
 			}

@@ -11,14 +11,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"tlssync"
 	"tlssync/internal/memsync"
+	"tlssync/internal/parallel"
 	"tlssync/internal/sim"
 	"tlssync/internal/verify"
 )
@@ -31,6 +34,7 @@ func main() {
 	verifyFlag := flag.Bool("verify", false, "statically verify synchronization soundness of every binary and exit (non-zero on findings); with -dump, annotate the IR with the diagnostics")
 	timeline := flag.Int("timeline", 0, "render an epoch-lifetime timeline for the first N epochs of each policy")
 	benchName := flag.String("bench", "", "run a built-in benchmark instead of a source file")
+	jFlag := flag.Int("j", runtime.NumCPU(), "max CPUs for the compile/simulation pipeline (output is identical at any -j)")
 	flag.Parse()
 
 	var src string
@@ -61,6 +65,7 @@ func main() {
 
 	cfg := tlssync.Config{
 		Source: src, TrainInput: train, RefInput: ref, Seed: *seed,
+		Workers: *jFlag,
 	}
 	if *verifyFlag {
 		// Report findings instead of failing the compile, so the user
@@ -111,17 +116,28 @@ func main() {
 
 	w := &tlssync.Workload{Name: "input", Label: "INPUT", Source: src, Train: train, Ref: ref,
 		Character: "user program", PaperCoverage: 1, Expect: "?"}
-	run, err := tlssync.NewRun(w)
+	run, err := tlssync.NewRunWithWorkers(w, *jFlag)
 	if err != nil {
+		fatal(err)
+	}
+	var labels []string
+	for _, p := range strings.Split(*policies, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			labels = append(labels, p)
+		}
+	}
+	// Simulate every requested policy concurrently; the print loop below
+	// then reads memoized results in the order the user listed them.
+	if err := parallel.Map(context.Background(), *jFlag, len(labels),
+		func(_ context.Context, i int) error {
+			_, err := run.Simulate(labels[i])
+			return err
+		}); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("\nsequential: region=%d cycles, program=%d cycles, coverage=%.1f%%\n\n",
 		run.SeqRegion, run.SeqProgram, 100*run.Coverage())
-	for _, p := range strings.Split(*policies, ",") {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
-		}
+	for _, p := range labels {
 		res, err := run.Simulate(p)
 		if err != nil {
 			fatal(err)

@@ -52,6 +52,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8149", "listen address")
 	workers := flag.Int("j", runtime.NumCPU(), "simulation worker-pool size")
+	buildJ := flag.Int("buildj", 1, "CPUs inside each compile/baseline job (artifacts identical at any value)")
 	storeCap := flag.Int("cache", 512, "in-memory artifact-store capacity (entries)")
 	cacheDir := flag.String("cachedir", "", "on-disk artifact-store directory (empty: memory only)")
 	benches := flag.String("benchmarks", "", "comma-separated serving set (empty: all 15)")
@@ -70,7 +71,9 @@ func main() {
 		}
 	}
 	s, err := newServer(config{
-		workers:    *workers,
+		workers:      *workers,
+		buildWorkers: *buildJ,
+
 		storeCap:   *storeCap,
 		cacheDir:   *cacheDir,
 		benchmarks: names,

@@ -26,7 +26,9 @@ import (
 
 // config wires the daemon's knobs.
 type config struct {
-	workers    int      // job-engine worker pool size (<=0: NumCPU)
+	workers      int // job-engine worker pool size (<=0: NumCPU)
+	buildWorkers int // CPUs inside each compile/baseline job (<=1: serial)
+
 	storeCap   int      // in-memory store capacity (<=0: default)
 	cacheDir   string   // on-disk store layer ("" = memory only)
 	benchmarks []string // serving set (empty = all 15)
@@ -324,9 +326,12 @@ func (s *server) run(ctx context.Context, name string) (*tlssync.Run, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown benchmark %q", name)
 		}
-		r, err := tlssync.NewRun(w)
+		r, err := tlssync.NewRunWithWorkers(w, s.cfg.buildWorkers)
 		if err != nil {
 			return nil, err
+		}
+		for stage, d := range r.ConsumeStageTimes() {
+			s.eng.ObserveStage(stage, d)
 		}
 		// Cache inside the job, not in the caller: when every waiter
 		// has timed out, the compile finishes detached and must still
@@ -680,6 +685,11 @@ func (s *server) simulateSpec(ctx context.Context, run *tlssync.Run, bench, poli
 	s.journalBegin(journal.Record{Key: jkey, Kind: "simulate", Bench: bench, Label: policy})
 	v, err := s.eng.Do(ctx, jkey, func(context.Context) (any, error) {
 		res, serr := run.SimulateSpec(sp)
+		if serr == nil {
+			for stage, d := range run.ConsumeStageTimes() {
+				s.eng.ObserveStage(stage, d)
+			}
+		}
 		if serr != nil {
 			// A clean failure is not crash-recovery work: retire the
 			// intent and let the breaker own the failing key.

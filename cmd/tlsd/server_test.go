@@ -289,6 +289,36 @@ func TestStatsShape(t *testing.T) {
 	}
 }
 
+// TestStatsStages: after one simulation, /stats carries per-stage
+// pipeline accounting (compile/profile/trace/sim) under jobs.stages.
+func TestStatsStages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and simulates")
+	}
+	s := testServer(t, "gzip_comp")
+	get(t, s, "/simulate?bench=gzip_comp&policy=U")
+	_, body := get(t, s, "/stats")
+	var jobsStats struct {
+		Stages map[string]struct {
+			Runs  int64 `json:"runs"`
+			Total int64 `json:"total_time"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(body["jobs"], &jobsStats); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"compile", "profile", "trace", "sim"} {
+		st, ok := jobsStats.Stages[stage]
+		if !ok {
+			t.Errorf("stats missing stage %q (stages = %v)", stage, jobsStats.Stages)
+			continue
+		}
+		if st.Runs <= 0 || st.Total <= 0 {
+			t.Errorf("stage %q = %+v, want positive runs and total_time", stage, st)
+		}
+	}
+}
+
 // TestDiskWarmRestart: with a cache dir, a fresh server over the same
 // dir serves a previously computed simulation from disk without
 // compiling anything.

@@ -35,6 +35,15 @@ func PrepareAll() ([]*Run, error) {
 // pool and concurrent callers preparing the same benchmark coalesce.
 // progress (optional) is invoked once per completed benchmark.
 func PrepareAllWith(ctx context.Context, eng *jobs.Engine, progress func(bench string, d time.Duration, err error)) ([]*Run, error) {
+	return PrepareAllJ(ctx, eng, 1, progress)
+}
+
+// PrepareAllJ is PrepareAllWith with intra-build parallelism: each
+// benchmark's compile/baseline additionally uses up to buildWorkers
+// CPUs (NewRunWithWorkers). Cross-benchmark parallelism still comes
+// from the engine's pool; buildWorkers > 1 mainly helps when preparing
+// few benchmarks on many cores.
+func PrepareAllJ(ctx context.Context, eng *jobs.Engine, buildWorkers int, progress func(bench string, d time.Duration, err error)) ([]*Run, error) {
 	ws := Benchmarks()
 	runs := make([]*Run, len(ws))
 	g := eng.NewGroup(ctx)
@@ -42,7 +51,7 @@ func PrepareAllWith(ctx context.Context, eng *jobs.Engine, progress func(bench s
 		i, w := i, w
 		start := time.Now()
 		g.Go("prepare/"+w.Name, func(context.Context) (any, error) {
-			return NewRun(w)
+			return NewRunWithWorkers(w, buildWorkers)
 		}, func(val any, err error) {
 			if err == nil {
 				runs[i] = val.(*Run)

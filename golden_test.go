@@ -1,0 +1,98 @@
+package tlssync
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tlssync/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden from current output")
+
+// goldenBenches is a small representative slice of the suite: one
+// compiler-dominated benchmark (parser), one hardware-friendly one
+// (gzip_comp), and one from the evenly-split group (mcf).
+var goldenBenches = []string{"parser", "gzip_comp", "mcf"}
+
+// golden is the frozen end-to-end output for one benchmark: the
+// sequential baseline plus the figure rows and table text that the
+// paper reproduction emits for it. Any pipeline change that alters
+// these artifacts must be deliberate (rerun with -update and review
+// the diff).
+type golden struct {
+	SeqRegion  int64            `json:"seq_region"`
+	SeqProgram int64            `json:"seq_program"`
+	SeqOutside int64            `json:"seq_outside"`
+	Fig8Rows   []report.RowJSON `json:"fig8_rows"`
+	Fig10Rows  []report.RowJSON `json:"fig10_rows"`
+	Table2Text string           `json:"table2_text"`
+}
+
+func goldenFor(t *testing.T, name string) golden {
+	t.Helper()
+	w, err := Benchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRun(w)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	runs := []*Run{r}
+	f8, err := Fig8(runs)
+	if err != nil {
+		t.Fatalf("%s: fig 8: %v", name, err)
+	}
+	f10, err := Fig10(runs)
+	if err != nil {
+		t.Fatalf("%s: fig 10: %v", name, err)
+	}
+	t2, err := Table2(runs)
+	if err != nil {
+		t.Fatalf("%s: table 2: %v", name, err)
+	}
+	return golden{
+		SeqRegion:  r.SeqRegion,
+		SeqProgram: r.SeqProgram,
+		SeqOutside: r.SeqOutside,
+		Fig8Rows:   report.RowsJSON(f8.Rows),
+		Fig10Rows:  report.RowsJSON(f10.Rows),
+		Table2Text: t2.Text,
+	}
+}
+
+func TestGolden(t *testing.T) {
+	for _, name := range goldenBenches {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			got := goldenFor(t, name)
+			gotJSON, err := json.MarshalIndent(got, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJSON = append(gotJSON, '\n')
+			path := filepath.Join("testdata", "golden", name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, gotJSON, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (generate with `go test -run TestGolden -update .`): %v", err)
+			}
+			if string(want) != string(gotJSON) {
+				t.Errorf("%s output diverged from golden file %s\n(if the change is intentional, rerun with -update and review the diff)\ngot:\n%s\nwant:\n%s",
+					name, path, gotJSON, want)
+			}
+		})
+	}
+}

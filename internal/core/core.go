@@ -15,7 +15,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"tlssync/internal/interp"
 	"tlssync/internal/ir"
@@ -23,6 +25,7 @@ import (
 	"tlssync/internal/lower"
 	"tlssync/internal/memsync"
 	"tlssync/internal/opt"
+	"tlssync/internal/parallel"
 	"tlssync/internal/profile"
 	"tlssync/internal/regions"
 	"tlssync/internal/scalarsync"
@@ -78,6 +81,13 @@ type Config struct {
 	// soundness error. ModeWarn records findings without failing;
 	// ModeOff skips verification.
 	Verify verify.Mode
+
+	// Workers bounds the pipeline's internal parallelism (dependence
+	// profiling, memsync variants, binary verification). 0 or 1 runs
+	// the serial reference path. Workers changes wall-clock time only,
+	// never any produced artifact, so it is excluded from the
+	// JSON-marshaled form that content-addressed cache keys hash.
+	Workers int `json:"-"`
 }
 
 func (c *Config) fill() {
@@ -129,6 +139,10 @@ type Build struct {
 	// of each produced binary, keyed "plain"/"base"/"train"/"ref"
 	// (nil when Config.Verify is ModeOff).
 	VerifyReports map[string]*verify.Report
+
+	// StageTimes records wall-clock time per pipeline stage ("compile",
+	// "profile") for observability; it never feeds back into artifacts.
+	StageTimes map[string]time.Duration
 }
 
 // Compile runs the whole pipeline.
@@ -142,6 +156,7 @@ func (c Config) Canonical() Config {
 }
 
 func Compile(cfg Config) (*Build, error) {
+	start := time.Now()
 	cfg.fill()
 	file, err := lang.Parse(cfg.Source)
 	if err != nil {
@@ -151,7 +166,12 @@ func Compile(cfg Config) (*Build, error) {
 	if err != nil {
 		return nil, err
 	}
-	return compileChecked(checked, cfg)
+	b, err := compileChecked(checked, cfg)
+	if err != nil {
+		return nil, err
+	}
+	b.StageTimes["compile"] = time.Since(start) - b.StageTimes["profile"]
+	return b, nil
 }
 
 func compileChecked(checked *lang.Checked, cfg Config) (*Build, error) {
@@ -159,7 +179,7 @@ func compileChecked(checked *lang.Checked, cfg Config) (*Build, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &Build{Config: cfg}
+	b := &Build{Config: cfg, StageTimes: make(map[string]time.Duration)}
 	if cfg.Optimize {
 		// Optimize before the plain copy so the sequential baseline and
 		// every parallel variant time the same instruction stream.
@@ -173,6 +193,7 @@ func compileChecked(checked *lang.Checked, cfg Config) (*Build, error) {
 	b.Plain = p0.DeepCopy()
 
 	// Selection profiling: run with every candidate as a region.
+	selStart := time.Now()
 	selTrace, err := interp.Run(p0, interp.Options{
 		Input: cfg.TrainInput, Seed: cfg.Seed, Regions: regions.Regions(p0, nil),
 		MaxSteps: cfg.MaxSteps,
@@ -181,6 +202,8 @@ func compileChecked(checked *lang.Checked, cfg Config) (*Build, error) {
 		return nil, fmt.Errorf("selection profiling: %w", err)
 	}
 	selProf := profile.Analyze(selTrace)
+	selTrace.Release() // the profile retains no event references
+	b.StageTimes["profile"] += time.Since(selStart)
 	b.Decisions = regions.Select(p0, selProf, cfg.Heuristics)
 	if err := regions.ApplyUnrolling(p0, b.Decisions); err != nil {
 		return nil, err
@@ -195,27 +218,48 @@ func compileChecked(checked *lang.Checked, cfg Config) (*Build, error) {
 	}
 	b.Base = p0
 
-	// Dependence profiling on the base binary, both inputs.
-	b.TrainProfile, err = b.DepProfile(cfg.TrainInput)
+	// Dependence profiling on the base binary, both inputs. The two
+	// interpreter runs share nothing but read-only access to b.Base, so
+	// they shard cleanly; lowest-index error selection keeps the serial
+	// path's "train profiling" error precedence.
+	profNames := [2]string{"train", "ref"}
+	profInputs := [2][]int64{cfg.TrainInput, cfg.RefInput}
+	depStart := time.Now()
+	profs, err := parallel.MapVals(context.Background(), cfg.Workers, 2,
+		func(_ context.Context, i int) (*profile.Profile, error) {
+			p, err := b.DepProfile(profInputs[i])
+			if err != nil {
+				return nil, fmt.Errorf("%s profiling: %w", profNames[i], err)
+			}
+			return p, nil
+		})
 	if err != nil {
-		return nil, fmt.Errorf("train profiling: %w", err)
+		return nil, err
 	}
-	b.RefProfile, err = b.DepProfile(cfg.RefInput)
-	if err != nil {
-		return nil, fmt.Errorf("ref profiling: %w", err)
-	}
+	b.TrainProfile, b.RefProfile = profs[0], profs[1]
+	b.StageTimes["profile"] += time.Since(depStart)
 
-	// Memory-synchronized variants.
-	b.Train = b.Base.DeepCopy()
-	b.MemInfoTrain, err = memsync.Apply(b.Train, regions.Regions(b.Train, accepted), b.TrainProfile.Regions, cfg.memOpts())
-	if err != nil {
-		return nil, fmt.Errorf("memsync (train): %w", err)
+	// Memory-synchronized variants: each works on its own deep copy of
+	// the base binary, guided by its own profile.
+	type msVariant struct {
+		p    *ir.Program
+		info []memsync.Result
 	}
-	b.Ref = b.Base.DeepCopy()
-	b.MemInfoRef, err = memsync.Apply(b.Ref, regions.Regions(b.Ref, accepted), b.RefProfile.Regions, cfg.memOpts())
+	msProfs := [2]*profile.Profile{b.TrainProfile, b.RefProfile}
+	variants, err := parallel.MapVals(context.Background(), cfg.Workers, 2,
+		func(_ context.Context, i int) (msVariant, error) {
+			p := b.Base.DeepCopy()
+			info, err := memsync.Apply(p, regions.Regions(p, accepted), msProfs[i].Regions, cfg.memOpts())
+			if err != nil {
+				return msVariant{}, fmt.Errorf("memsync (%s): %w", profNames[i], err)
+			}
+			return msVariant{p: p, info: info}, nil
+		})
 	if err != nil {
-		return nil, fmt.Errorf("memsync (ref): %w", err)
+		return nil, err
 	}
+	b.Train, b.MemInfoTrain = variants[0].p, variants[0].info
+	b.Ref, b.MemInfoRef = variants[1].p, variants[1].info
 	if err := b.verifyBinaries(); err != nil {
 		return nil, err
 	}
@@ -229,19 +273,28 @@ func (b *Build) verifyBinaries() error {
 	if b.Config.Verify == verify.ModeOff {
 		return nil
 	}
-	b.VerifyReports = make(map[string]*verify.Report, 4)
-	for _, bin := range []struct {
+	bins := []struct {
 		name string
 		p    *ir.Program
 	}{
 		{"plain", b.Plain}, {"base", b.Base}, {"train", b.Train}, {"ref", b.Ref},
-	} {
-		rep := verify.Binary(bin.p, b.RegionsFor(bin.p), verify.Options{
-			CloneEnabled: !b.Config.NoClone, Binary: bin.name,
+	}
+	// The verifier is a pure analysis over one binary; run the four
+	// binaries concurrently, then scan reports in the serial order so
+	// the recorded reports and the enforce-mode error are identical to
+	// the serial path's (on failure the later binaries' reports stay
+	// unrecorded, exactly as if the loop had stopped there).
+	reps, _ := parallel.MapVals(context.Background(), b.Config.Workers, len(bins),
+		func(_ context.Context, i int) (*verify.Report, error) {
+			return verify.Binary(bins[i].p, b.RegionsFor(bins[i].p), verify.Options{
+				CloneEnabled: !b.Config.NoClone, Binary: bins[i].name,
+			}), nil
 		})
-		b.VerifyReports[bin.name] = rep
-		if b.Config.Verify == verify.ModeEnforce && !rep.Clean() {
-			return fmt.Errorf("synchronization verification failed on the %s binary:\n%s", bin.name, rep)
+	b.VerifyReports = make(map[string]*verify.Report, 4)
+	for i, bin := range bins {
+		b.VerifyReports[bin.name] = reps[i]
+		if b.Config.Verify == verify.ModeEnforce && !reps[i].Clean() {
+			return fmt.Errorf("synchronization verification failed on the %s binary:\n%s", bin.name, reps[i])
 		}
 	}
 	return nil
@@ -266,7 +319,9 @@ func (b *Build) DepProfile(input []int64) (*profile.Profile, error) {
 	if err != nil {
 		return nil, err
 	}
-	return profile.Analyze(tr), nil
+	prof := profile.Analyze(tr)
+	tr.Release() // the profile retains no event references
+	return prof, nil
 }
 
 // Trace produces the functional trace of one variant on the given input,
@@ -288,6 +343,7 @@ func (b *Build) CheckEquivalence(input []int64) error {
 		if err != nil {
 			return fmt.Errorf("variant %d: %w", i, err)
 		}
+		tr.Release() // only Output is read below; Release keeps it
 		if i == 0 {
 			ref = tr.Output
 			continue

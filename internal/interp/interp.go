@@ -277,7 +277,7 @@ func (it *interp) nextEpoch() {
 		it.regionIns.Epochs = append(it.regionIns.Epochs, it.epoch)
 	}
 	it.epochOrd++
-	it.epoch = &trace.Epoch{Index: it.epochOrd}
+	it.epoch = &trace.Epoch{Index: it.epochOrd, Events: trace.GetEvents()}
 	// Mailbox handover: what was signaled during the previous epoch is now
 	// available to this epoch.
 	it.scalarCur, it.scalarNext = it.scalarNext, make(map[int64]int64)
@@ -309,6 +309,7 @@ func (it *interp) exitRegion() {
 		if n := len(it.regionIns.Epochs); pure && n > 0 {
 			last := it.regionIns.Epochs[n-1]
 			last.Events = append(last.Events, it.epoch.Events...)
+			trace.PutEvents(it.epoch.Events) // merged by copy; recycle the source
 		} else {
 			it.regionIns.Epochs = append(it.regionIns.Epochs, it.epoch)
 		}
@@ -330,6 +331,9 @@ func (it *interp) emit(ev trace.Event) {
 	if it.curRegion != nil {
 		it.epoch.Events = append(it.epoch.Events, ev)
 	} else {
+		if it.seq == nil {
+			it.seq = trace.GetEvents()
+		}
 		it.seq = append(it.seq, ev)
 	}
 }

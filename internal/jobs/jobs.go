@@ -49,6 +49,26 @@ type Engine struct {
 	lastDur   time.Duration
 	lastKey   string
 	running   int // executions currently holding (or waiting for) a slot
+
+	// stages accumulates per-pipeline-stage wall time reported by jobs
+	// via ObserveStage ("compile", "profile", "trace", "sim"), so /stats
+	// can break the per-job totals above down by where the time went.
+	stages map[string]StageStat
+}
+
+// StageStat aggregates the wall-clock time of one pipeline stage.
+type StageStat struct {
+	Runs  int64         `json:"runs"`
+	Total time.Duration `json:"total_time"`
+	Max   time.Duration `json:"max_time"`
+}
+
+// Avg returns the mean duration of one stage observation.
+func (s StageStat) Avg() time.Duration {
+	if s.Runs == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Runs)
 }
 
 // call is one coalesced execution.
@@ -77,6 +97,10 @@ type Stats struct {
 	MaxTime   time.Duration `json:"max_time"`   // slowest single execution
 	LastTime  time.Duration `json:"last_time"`  // most recent execution
 	LastKey   string        `json:"last_key"`   // key of the most recent execution
+
+	// Stages breaks execution time down by pipeline stage, keyed
+	// "compile"/"profile"/"trace"/"sim" (empty until jobs report).
+	Stages map[string]StageStat `json:"stages,omitempty"`
 }
 
 // AvgTime returns the mean execution wall time over the executions
@@ -100,6 +124,7 @@ func New(workers int) *Engine {
 		workers:  workers,
 		sem:      make(chan struct{}, workers),
 		inflight: make(map[string]*call),
+		stages:   make(map[string]StageStat),
 	}
 }
 
@@ -258,10 +283,35 @@ func (e *Engine) NotePoisoned() {
 	e.mu.Unlock()
 }
 
+// ObserveStage accumulates d of wall-clock time under a pipeline stage
+// name. Jobs call it after completing work whose internal phases they
+// timed; negative durations are ignored.
+func (e *Engine) ObserveStage(stage string, d time.Duration) {
+	if d < 0 {
+		return
+	}
+	e.mu.Lock()
+	s := e.stages[stage]
+	s.Runs++
+	s.Total += d
+	if d > s.Max {
+		s.Max = d
+	}
+	e.stages[stage] = s
+	e.mu.Unlock()
+}
+
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	var stages map[string]StageStat
+	if len(e.stages) > 0 {
+		stages = make(map[string]StageStat, len(e.stages))
+		for k, v := range e.stages {
+			stages[k] = v
+		}
+	}
 	return Stats{
 		Workers:   e.workers,
 		InFlight:  e.running,
@@ -277,6 +327,7 @@ func (e *Engine) Stats() Stats {
 		MaxTime:   e.maxDur,
 		LastTime:  e.lastDur,
 		LastKey:   e.lastKey,
+		Stages:    stages,
 	}
 }
 

@@ -1,0 +1,58 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+// The engine's per-job totals say how long jobs took; ObserveStage says
+// where inside the pipeline that time went. This pins the accounting:
+// accumulation across observations, max/avg, snapshot isolation, and
+// that unreported stages stay absent rather than appearing as zeros.
+func TestObserveStageAccounting(t *testing.T) {
+	e := New(2)
+
+	if got := e.Stats().Stages; got != nil {
+		t.Fatalf("fresh engine reports stages: %v", got)
+	}
+
+	e.ObserveStage("compile", 40*time.Millisecond)
+	e.ObserveStage("compile", 10*time.Millisecond)
+	e.ObserveStage("sim", 100*time.Millisecond)
+	e.ObserveStage("trace", -time.Second) // ignored: negative
+
+	st := e.Stats().Stages
+	c := st["compile"]
+	if c.Runs != 2 || c.Total != 50*time.Millisecond || c.Max != 40*time.Millisecond {
+		t.Fatalf("compile stage = %+v", c)
+	}
+	if got := c.Avg(); got != 25*time.Millisecond {
+		t.Fatalf("compile Avg = %v", got)
+	}
+	if s := st["sim"]; s.Runs != 1 || s.Total != 100*time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("sim stage = %+v", s)
+	}
+	if _, ok := st["trace"]; ok {
+		t.Fatal("negative observation was recorded")
+	}
+	if _, ok := st["profile"]; ok {
+		t.Fatal("unreported stage present")
+	}
+
+	// Stats must return a copy: mutating the snapshot cannot corrupt the
+	// engine, and later observations cannot mutate old snapshots.
+	st["compile"] = StageStat{Runs: 999}
+	e.ObserveStage("sim", time.Millisecond)
+	if c := e.Stats().Stages["compile"]; c.Runs != 2 {
+		t.Fatalf("snapshot mutation leaked into engine: %+v", c)
+	}
+	if st["sim"].Runs != 1 {
+		t.Fatalf("later observation mutated old snapshot: %+v", st["sim"])
+	}
+}
+
+func TestStageStatAvgZero(t *testing.T) {
+	if got := (StageStat{}).Avg(); got != 0 {
+		t.Fatalf("zero-stage Avg = %v", got)
+	}
+}

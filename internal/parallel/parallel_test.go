@@ -1,0 +1,173 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 17} {
+		n := 101
+		counts := make([]atomic.Int32, n)
+		if err := Map(context.Background(), workers, n, func(_ context.Context, i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestMapValsDeterministicOrder(t *testing.T) {
+	n := 64
+	for _, workers := range []int{1, 3, 8} {
+		out, err := MapVals(context.Background(), workers, n, func(_ context.Context, i int) (string, error) {
+			// Finish in roughly reverse order to prove results are
+			// index-addressed, not completion-ordered.
+			time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+			return fmt.Sprintf("v%d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != fmt.Sprintf("v%d", i) {
+				t.Fatalf("workers=%d: out[%d] = %q", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	err := Map(context.Background(), workers, 50, func(context.Context, int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent calls, want <= %d", p, workers)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	// The high index fails instantly; the low index fails after a
+	// delay. The lowest-index error must win regardless.
+	err := Map(context.Background(), 4, 8, func(_ context.Context, i int) error {
+		switch i {
+		case 2:
+			time.Sleep(5 * time.Millisecond)
+			return errLow
+		case 7:
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("got %v, want %v", err, errLow)
+	}
+}
+
+func TestMapSerialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	err := Map(context.Background(), 1, 5, func(_ context.Context, i int) error {
+		ran = append(ran, i)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if len(ran) != 3 {
+		t.Fatalf("serial path ran %v, want [0 1 2]", ran)
+	}
+}
+
+func TestMapErrorCancelsSiblings(t *testing.T) {
+	// After index 0 fails, remaining indices are skipped rather than
+	// dispatched: the slow sibling calls give the cancellation time to
+	// land, so nowhere near all 100 indices should run.
+	var ran atomic.Int32
+	err := Map(context.Background(), 2, 100, func(_ context.Context, i int) error {
+		if i == 0 {
+			return errors.New("first fails")
+		}
+		ran.Add(1)
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := ran.Load(); n >= 99 {
+		t.Fatalf("failure did not stop dispatch: %d sibling indices ran", n)
+	}
+}
+
+func TestMapHonorsCallerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := Map(ctx, 4, 100, func(context.Context, int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() == 100 {
+		t.Fatal("cancelled Map still dispatched every index")
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+			}()
+			_ = Map(context.Background(), workers, 8, func(_ context.Context, i int) error {
+				if i == 3 {
+					panic("kaboom")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+func TestMapZeroN(t *testing.T) {
+	if err := Map(context.Background(), 4, 0, func(context.Context, int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

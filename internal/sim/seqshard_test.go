@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// callSrc adds function calls, multiplies/divides and a pre/post-loop
+// sequential tail so the sharded path sees mixed units: seq segments,
+// region epochs, call frames, non-unit ALU latencies.
+const callSrc = `
+var data [1024]int;
+var out int;
+func mix(x int, y int) int {
+	var t int = x * 31 + y / 3;
+	return t % 4093;
+}
+func main() {
+	var i int;
+	var warm int;
+	for i = 0; i < 200; i = i + 1 {
+		warm = warm + mix(i, input(i));
+		data[i % 1024] = warm;
+	}
+	parallel for i = 0; i < 400; i = i + 1 {
+		data[(i * 97) % 1024] = mix(data[(i * 97) % 1024], i);
+	}
+	for i = 0; i < 50; i = i + 1 {
+		out = out + data[i * 20 % 1024];
+	}
+	print(out);
+}
+`
+
+// seqBaseline times the plain binary's trace at the given worker count.
+func seqBaseline(t *testing.T, src string, workers int) *Result {
+	t.Helper()
+	b := build(t, src)
+	tr, err := b.Trace(b.Plain, b.Config.RefInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SimulateSequentialRegions(Input{Trace: tr, Workers: workers})
+}
+
+// TestSeqShardMatchesSerial is the sharding correctness proof in test
+// form: for every worker count the sharded sequential baseline must be
+// bit-identical to the serial reference path, both as Go values and as
+// the JSON that reaches reports and the artifact store.
+func TestSeqShardMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+	}{
+		{"independent", independentSrc},
+		{"dependent", dependentSrc},
+		{"calls_and_tails", callSrc},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			want := seqBaseline(t, tc.src, 1)
+			for _, workers := range []int{2, 3, 8} {
+				got := seqBaseline(t, tc.src, workers)
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("workers=%d: sharded result differs from serial", workers)
+				}
+				wj, _ := json.Marshal(want)
+				gj, _ := json.Marshal(got)
+				if string(wj) != string(gj) {
+					t.Errorf("workers=%d: JSON differs:\nserial:  %s\nsharded: %s", workers, wj, gj)
+				}
+			}
+			if want.TotalCycles <= 0 || want.SeqCycles <= 0 {
+				t.Fatalf("degenerate baseline: %+v", want)
+			}
+			if len(want.Regions) == 0 {
+				t.Fatal("no region timed; test program must contain a parallel loop")
+			}
+		})
+	}
+}
+
+// TestSeqShardWorkerCountBeyondUnits: more workers than units must
+// still be exact (parallel.Map clamps).
+func TestSeqShardWorkerCountBeyondUnits(t *testing.T) {
+	want := seqBaseline(t, independentSrc, 1)
+	got := seqBaseline(t, independentSrc, 4096)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("workers > unit count changed the result")
+	}
+}

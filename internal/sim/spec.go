@@ -272,21 +272,35 @@ func (m *machine) tryCommit() {
 
 // staleRead reports whether `later` loaded any line after `committing`
 // stored it (while the store was still speculative), returning the
-// violating load's PC.
+// violating load's PC. When several lines were read stale, the load
+// that happened FIRST is blamed (ties broken by lowest PC): the choice
+// must be a total order, not map iteration order, because the blamed PC
+// trains the violation-history table and therefore feeds Figure 11's
+// classification and the H policy's synchronization decisions —
+// returning an arbitrary match made whole-simulation results flicker
+// between runs.
 func staleRead(committing, later *epochRun) (int, bool) {
-	// Iterate over the smaller map.
+	var best loadMark
+	found := false
+	consider := func(mark loadMark) {
+		if !found || mark.cycle < best.cycle || (mark.cycle == best.cycle && mark.pc < best.pc) {
+			best, found = mark, true
+		}
+	}
+	// Iterate over the smaller map; every match is considered, so the
+	// direction cannot change the outcome.
 	if len(committing.storeLines) <= len(later.loadLines) {
 		for line, storeCycle := range committing.storeLines {
 			if mark, ok := later.loadLines[line]; ok && mark.cycle > storeCycle {
-				return mark.pc, true
+				consider(mark)
 			}
 		}
-		return 0, false
-	}
-	for line, mark := range later.loadLines {
-		if storeCycle, ok := committing.storeLines[line]; ok && mark.cycle > storeCycle {
-			return mark.pc, true
+	} else {
+		for line, mark := range later.loadLines {
+			if storeCycle, ok := committing.storeLines[line]; ok && mark.cycle > storeCycle {
+				consider(mark)
+			}
 		}
 	}
-	return 0, false
+	return best.pc, found
 }

@@ -1,0 +1,68 @@
+package trace
+
+import "sync"
+
+// Event buffers are the interpreter's allocation hot loop: every dynamic
+// instruction appends one Event, and a full figure sweep produces tens
+// of millions of them across traces that are analyzed once and
+// discarded. The pool below recycles the backing arrays of those
+// buffers between runs. Ownership is explicit: a ProgramTrace owns its
+// buffers until Release is called, after which the trace's segments
+// must not be touched again — the classic sync.Pool aliasing bug
+// (releasing a buffer something still reads) is what
+// interp's contamination test guards against.
+
+// minEventCap is the smallest buffer the pool hands out or takes back;
+// tiny buffers are cheaper to reallocate than to recycle.
+const minEventCap = 64
+
+var eventPool = sync.Pool{}
+
+// GetEvents returns an empty event buffer, reusing a pooled backing
+// array when one is available. Append to it as usual; buffers that
+// outgrow their capacity migrate to the pool at their grown size.
+func GetEvents() []Event {
+	if v := eventPool.Get(); v != nil {
+		return (*v.(*[]Event))[:0]
+	}
+	return make([]Event, 0, minEventCap)
+}
+
+// PutEvents returns one event buffer to the pool. The caller must not
+// use the slice afterwards. Entries are zeroed so pooled buffers do not
+// pin instruction objects of dead programs.
+func PutEvents(evs []Event) {
+	if cap(evs) < minEventCap {
+		return
+	}
+	evs = evs[:cap(evs)]
+	for i := range evs {
+		evs[i] = Event{}
+	}
+	evs = evs[:0]
+	eventPool.Put(&evs)
+}
+
+// Release returns every event buffer of the trace to the pool and
+// clears the segment list. Output is kept (functional-equivalence
+// checks read it after timing is done). Call it only when nothing —
+// profiler, simulator, cache — still references the trace's events;
+// traces memoized for reuse (Run's per-binary trace cells) are never
+// released.
+func (t *ProgramTrace) Release() {
+	for i := range t.Segments {
+		s := &t.Segments[i]
+		if s.Seq != nil {
+			PutEvents(s.Seq)
+			s.Seq = nil
+		}
+		if s.Region != nil {
+			for _, e := range s.Region.Epochs {
+				PutEvents(e.Events)
+				e.Events = nil
+			}
+			s.Region = nil
+		}
+	}
+	t.Segments = nil
+}

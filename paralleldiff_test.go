@@ -1,0 +1,112 @@
+package tlssync
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"tlssync/internal/report"
+)
+
+// Worker-count invariance at the benchmark level: NewRunWithWorkers must
+// produce byte-identical baselines, simulation results, bars and store
+// keys at every -j. This is the contract that lets tlsbench/tlsd hand
+// out cached artifacts without knowing which worker count produced them.
+
+// runFingerprint captures everything a Run feeds into figures and the
+// artifact store.
+func runFingerprint(t *testing.T, w *Workload, workers int) string {
+	t.Helper()
+	r, err := NewRunWithWorkers(w, workers)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	out := fmt.Sprintf("seq region=%d program=%d outside=%d\n",
+		r.SeqRegion, r.SeqProgram, r.SeqOutside)
+	for _, label := range []string{"U", "T", "C", "E"} {
+		res, err := r.Simulate(label)
+		if err != nil {
+			t.Fatalf("workers=%d: %s: %v", workers, label, err)
+		}
+		rj, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := json.Marshal(r.Bar(label, res))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out += fmt.Sprintf("%s result %s\n%s bar %s\n", label, rj, label, bj)
+	}
+	for _, label := range []string{"U", "C"} {
+		key := r.ArtifactKey("simulate", label)
+		if want := WorkloadArtifactKey("simulate", w, label); key != want {
+			t.Fatalf("workers=%d: run key %q != workload key %q (Workers leaked into the content address)",
+				workers, key, want)
+		}
+		out += fmt.Sprintf("key %s %s\n", label, key)
+	}
+	return out
+}
+
+func TestParallelDiffBenchmarks(t *testing.T) {
+	ws := Benchmarks()
+	if testing.Short() {
+		ws = ws[:3]
+	}
+	for _, w := range ws {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			want := runFingerprint(t, w, 1)
+			for _, workers := range []int{2, 8} {
+				if got := runFingerprint(t, w, workers); got != want {
+					t.Errorf("workers=%d: fingerprint diverged from -j1:\n-j1:\n%s\n-j%d:\n%s",
+						workers, want, workers, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDiffFigures renders whole figures at -j1 and -j8 over a
+// 3-benchmark subset and compares the rendered text and row JSON — the
+// actual end artifacts tlsbench emits.
+func TestParallelDiffFigures(t *testing.T) {
+	prepare := func(workers int) []*Run {
+		runs := make([]*Run, 3)
+		for i, w := range Benchmarks()[:3] {
+			r, err := NewRunWithWorkers(w, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs[i] = r
+		}
+		return runs
+	}
+	serial, parallel8 := prepare(1), prepare(8)
+	for _, id := range []string{"8", "10", "T2"} {
+		fs, err := Experiments[id](serial)
+		if err != nil {
+			t.Fatalf("fig %s (j1): %v", id, err)
+		}
+		fp, err := Experiments[id](parallel8)
+		if err != nil {
+			t.Fatalf("fig %s (j8): %v", id, err)
+		}
+		if fs.Text != fp.Text {
+			t.Errorf("figure %s text differs between -j1 and -j8", id)
+		}
+		sj, err := report.JSON(fs.Rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pj, err := report.JSON(fp.Rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sj) != string(pj) {
+			t.Errorf("figure %s rows differ between -j1 and -j8:\n%s\n%s", id, sj, pj)
+		}
+	}
+}

@@ -18,12 +18,15 @@
 package tlssync
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"tlssync/internal/core"
 	"tlssync/internal/memsync"
+	"tlssync/internal/parallel"
 	"tlssync/internal/regions"
 	"tlssync/internal/report"
 	"tlssync/internal/sim"
@@ -72,9 +75,12 @@ type Run struct {
 	SeqProgram int64
 	SeqOutside int64 // sequential cycles outside regions
 
-	mu     sync.Mutex            // guards traces and cache
+	workers int // intra-run parallelism (trace fan-out, seq-baseline sharding)
+
+	mu     sync.Mutex            // guards traces, cache and stages
 	traces map[string]*traceCell // per-binary trace, computed once
 	cache  map[string]*sim.Result
+	stages map[string]time.Duration // accumulated wall-clock per pipeline stage
 }
 
 // traceCell computes one binary's trace exactly once even when several
@@ -97,28 +103,78 @@ func runConfig(w *Workload) core.Config {
 	}.Canonical()
 }
 
-// NewRun compiles w and computes its sequential baseline.
-func NewRun(w *Workload) (*Run, error) {
-	b, err := core.Compile(runConfig(w))
+// NewRun compiles w and computes its sequential baseline on the serial
+// reference path (workers = 1).
+func NewRun(w *Workload) (*Run, error) { return NewRunWithWorkers(w, 1) }
+
+// NewRunWithWorkers is NewRun with intra-build parallelism: the compile
+// pipeline, the sequential-baseline sharding and an eager fan-out over
+// the per-binary traces all use up to workers CPUs. Every artifact is
+// byte-identical to the workers=1 path (the parallel_diff suites pin
+// this); only wall-clock time changes.
+func NewRunWithWorkers(w *Workload, workers int) (*Run, error) {
+	cfg := runConfig(w)
+	cfg.Workers = workers
+	b, err := core.Compile(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
-	r := &Run{W: w, Build: b,
+	r := &Run{W: w, Build: b, workers: workers,
 		traces: make(map[string]*traceCell),
 		cache:  make(map[string]*sim.Result),
+		stages: make(map[string]time.Duration),
 	}
+	for k, d := range b.StageTimes {
+		r.stages[k] = d
+	}
+	traceStart := time.Now()
 	plainTr, err := b.Trace(b.Plain, w.Ref)
 	if err != nil {
 		return nil, fmt.Errorf("%s: plain trace: %w", w.Name, err)
 	}
-	seq := sim.SimulateSequentialRegions(sim.Input{Trace: plainTr})
+	r.noteStage("trace", time.Since(traceStart))
+	simStart := time.Now()
+	seq := sim.SimulateSequentialRegions(sim.Input{Trace: plainTr, Workers: workers})
+	r.noteStage("sim", time.Since(simStart))
+	plainTr.Release() // the baseline is the plain trace's only consumer
 	r.SeqRegion = seq.RegionCycles()
 	r.SeqProgram = seq.TotalCycles
 	r.SeqOutside = seq.SeqCycles
 	if r.SeqRegion == 0 {
 		return nil, fmt.Errorf("%s: no region executed", w.Name)
 	}
+	if workers > 1 {
+		// Warm the three per-binary traces concurrently; every later
+		// Simulate call then starts from a memoized trace. Results are
+		// identical to lazy computation — traces are deterministic.
+		binaries := []string{"base", "train", "ref"}
+		if err := parallel.Map(context.Background(), workers, len(binaries),
+			func(_ context.Context, i int) error {
+				_, err := r.traceFor(binaries[i])
+				return err
+			}); err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+	}
 	return r, nil
+}
+
+// noteStage accumulates wall-clock time for a named pipeline stage.
+func (r *Run) noteStage(stage string, d time.Duration) {
+	r.mu.Lock()
+	r.stages[stage] += d
+	r.mu.Unlock()
+}
+
+// ConsumeStageTimes returns the stage times accumulated since the last
+// call and resets them, so a service layer can feed deltas into its own
+// counters after each job.
+func (r *Run) ConsumeStageTimes() map[string]time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.stages
+	r.stages = make(map[string]time.Duration)
+	return out
 }
 
 // binaryFor maps a policy label to the program variant it runs on.
@@ -149,7 +205,11 @@ func (r *Run) traceFor(binary string) (*trace.ProgramTrace, error) {
 		case "ref":
 			p = r.Build.Ref
 		}
+		start := time.Now()
 		c.tr, c.err = r.Build.Trace(p, r.W.Ref)
+		if c.err == nil {
+			r.noteStage("trace", time.Since(start))
+		}
 	})
 	return c.tr, c.err
 }
@@ -214,7 +274,9 @@ func (r *Run) SimulatePolicy(label string, pol sim.Policy) (*sim.Result, error) 
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	res := sim.Simulate(sim.Input{Trace: tr, Policy: pol})
+	r.noteStage("sim", time.Since(start))
 	return r.storeResult(label, res), nil
 }
 
