@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race diff bench bench-json bench-smoke verify-fuzz chaos crash figs csv serve clean
+.PHONY: all build vet test test-short race diff bench bench-json bench-smoke verify-fuzz chaos crash scenario-smoke figs csv serve clean
 
 all: build vet test race
 
@@ -26,7 +26,7 @@ test-short:
 # TLS runtime, the job engine, the artifact store, and the concurrent
 # (benchmark × policy) fan-out over a shared Run.
 race:
-	$(GO) test -race ./internal/tlsrt/ ./internal/jobs/ ./internal/store/ ./internal/fault/ ./internal/resilience/ ./internal/parallel/
+	$(GO) test -race ./internal/tlsrt/ ./internal/jobs/ ./internal/store/ ./internal/fault/ ./internal/resilience/ ./internal/parallel/ ./internal/scenario/
 	$(GO) test -race -run 'TestConcurrentSimulate|TestPrewarmMatchesSequential' .
 
 # Differential determinism suites under the race detector: the parallel
@@ -57,6 +57,21 @@ chaos:
 # docs/tlsd.md, "Crash recovery").
 crash:
 	$(GO) test -race -run 'TestCrash' ./cmd/tlsd/
+
+# Scenario smoke: type-check every scenario, then run the CI chaos
+# scenario twice with the same seed — race-enabled binaries, real tlsd
+# child processes, real SIGKILL + crash recovery — and byte-compare
+# the two reports' deterministic sections (the determinism contract of
+# docs/scenarios.md). scenario-report.json is the archived evidence.
+SCENARIO_SEED ?= 42
+scenario-smoke:
+	mkdir -p bin
+	$(GO) build -race -o bin/tlsd ./cmd/tlsd
+	$(GO) build -race -o bin/tlssim ./cmd/tlssim
+	bin/tlssim validate scenarios/*.yaml
+	bin/tlssim run scenarios/chaos-short.yaml --seed $(SCENARIO_SEED) -tlsd bin/tlsd -o scenario-report.json -det scenario-det-a.json
+	bin/tlssim run scenarios/chaos-short.yaml --seed $(SCENARIO_SEED) -tlsd bin/tlsd -q -det scenario-det-b.json
+	cmp scenario-det-a.json scenario-det-b.json
 
 # One benchmark per paper figure/table plus the ablations.
 bench:

@@ -10,6 +10,12 @@
 //	tlsbench -table 2           # Table 2 (coverage and speedups)
 //	tlsbench -bench gzip_comp   # restrict to one benchmark
 //	tlsbench -j 4               # bound simulation parallelism
+//	tlsbench -synth 4 -seed 7   # run over 4 seeded synthetic workloads
+//
+// With -synth N the benchmark set is replaced by N progen-generated
+// synthetic workloads derived deterministically from -seed: the same
+// (seed, N) always selects the same programs, so synthetic results are
+// as reproducible as the paper set's.
 package main
 
 import (
@@ -34,6 +40,8 @@ func main() {
 	workers := flag.Int("j", runtime.NumCPU(), "max concurrent compilations/simulations")
 	buildJ := flag.Int("buildj", 1, "additional CPUs inside each benchmark's compile/baseline (use when preparing few benchmarks on many cores; artifacts are identical at any value)")
 	quiet := flag.Bool("q", false, "suppress per-(benchmark, policy) progress on stderr")
+	seed := flag.Uint64("seed", 1, "root seed for -synth workload generation")
+	synth := flag.Int("synth", 0, "replace the benchmark set with this many seeded synthetic workloads")
 	flag.Parse()
 
 	if *table == "1" {
@@ -51,7 +59,23 @@ func main() {
 	}
 
 	var runs []*tlssync.Run
-	if *bench != "" {
+	switch {
+	case *synth > 0:
+		if *bench != "" {
+			fatal(fmt.Errorf("-bench and -synth are mutually exclusive"))
+		}
+		ws := tlssync.SynthBenchmarks(*seed, *synth)
+		progress("compiling and baselining %d synthetic workloads (seed %d, -j %d)...\n", len(ws), *seed, eng.Workers())
+		var err error
+		runs, err = tlssync.PrepareWorkloads(ctx, eng, ws, *buildJ, func(bench string, d time.Duration, err error) {
+			if err == nil {
+				progress("prepared %-24s %8s\n", bench, d.Round(time.Millisecond))
+			}
+		})
+		if err != nil {
+			fatal(err)
+		}
+	case *bench != "":
 		w, err := tlssync.Benchmark(*bench)
 		if err != nil {
 			fatal(err)
@@ -61,7 +85,7 @@ func main() {
 			fatal(err)
 		}
 		runs = []*tlssync.Run{r}
-	} else {
+	default:
 		var err error
 		progress("compiling and baselining 15 benchmarks (-j %d)...\n", eng.Workers())
 		runs, err = tlssync.PrepareAllJ(ctx, eng, *buildJ, func(bench string, d time.Duration, err error) {

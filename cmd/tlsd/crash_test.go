@@ -15,7 +15,6 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,13 +27,11 @@ import (
 	"path/filepath"
 	"reflect"
 	"strconv"
-	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	"tlssync/internal/fault"
-	"tlssync/internal/jobs"
 	"tlssync/internal/journal"
 )
 
@@ -47,36 +44,6 @@ func TestMain(m *testing.M) {
 		return // unreachable; crashChildMain exits or is killed
 	}
 	os.Exit(m.Run())
-}
-
-// crashWrap is the job-engine crash seam: every job fires a generic
-// jobs.exec point plus a key-family point (jobs.simulate, jobs.prepare)
-// so a scenario can target "the simulate job" without also killing the
-// compile that precedes it.
-func crashWrap(reg *fault.Registry) func(string, jobs.JobFunc) jobs.JobFunc {
-	return func(key string, fn jobs.JobFunc) jobs.JobFunc {
-		return func(ctx context.Context) (any, error) {
-			points := []string{"jobs.exec"}
-			switch {
-			case strings.HasPrefix(key, "simulate/"):
-				points = append(points, "jobs.simulate")
-			case strings.HasPrefix(key, "prepare/"):
-				points = append(points, "jobs.prepare")
-			}
-			for _, pt := range points {
-				if fa, ok := reg.Take(pt); ok {
-					if err := fa.Apply(); err != nil {
-						return nil, err
-					}
-					if fa.Crash {
-						reg.Kill()
-						return nil, fmt.Errorf("crash point %s fired with no killer", pt)
-					}
-				}
-			}
-			return fn(ctx)
-		}
-	}
 }
 
 // crashChildMain is the child daemon: a real tlsd server over the
@@ -104,7 +71,7 @@ func crashChildMain() {
 		cacheDir:   dir,
 		benchmarks: []string{"gzip_comp"},
 		fsys:       &fault.FS{R: reg},
-		jobWrap:    crashWrap(reg),
+		jobWrap:    fault.WrapJobs(reg),
 	})
 	if err != nil {
 		log.Fatalf("crash child: %v", err)

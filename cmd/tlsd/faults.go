@@ -1,0 +1,66 @@
+package main
+
+import (
+	"net/http"
+
+	"tlssync/internal/fault"
+)
+
+// The /_faults surface exists only when the daemon was started with
+// -enable-fault-injection: the stress harness (tlssim) arms fault
+// points over HTTP instead of recompiling the daemon, and reads back
+// the fired counters as evidence that its chaos schedule actually
+// executed. The underscore prefix marks the endpoints as operational
+// tooling, never part of the simulation API.
+
+// faultsState is the GET /_faults (and arm/reset response) body.
+type faultsState struct {
+	Armed []string         `json:"armed"`
+	Fired map[string]int64 `json:"fired"`
+}
+
+func (s *server) faultsState() faultsState {
+	st := faultsState{
+		Armed: s.cfg.faults.Armed(),
+		Fired: s.cfg.faults.FiredAll(),
+	}
+	if st.Armed == nil {
+		st.Armed = []string{}
+	}
+	if st.Fired == nil {
+		st.Fired = map[string]int64{}
+	}
+	return st
+}
+
+// handleFaults reports what is armed and what has fired.
+func (s *server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.faultsState())
+}
+
+// handleFaultsArm arms the points in the ?spec= fault specification
+// (the same grammar as the -faults flag: point=effect[:arg][:times=N],
+// semicolon-separated). Arming replaces any fault already at a point;
+// fired counters are preserved.
+func (s *server) handleFaultsArm(w http.ResponseWriter, r *http.Request) {
+	spec := r.URL.Query().Get("spec")
+	if spec == "" {
+		s.writeError(w, errBadRequest("need a spec query parameter (e.g. /_faults/arm?spec=fs.read=latency:50ms:times=10)"))
+		return
+	}
+	specs, err := fault.ParseSpec(spec)
+	if err != nil {
+		s.writeError(w, errBadRequest("bad fault spec: %v", err))
+		return
+	}
+	fault.ArmAll(s.cfg.faults, specs)
+	s.cfg.logf("tlsd: faults: armed %q", spec)
+	s.writeJSON(w, http.StatusOK, s.faultsState())
+}
+
+// handleFaultsReset disarms every point and zeroes the fired counters.
+func (s *server) handleFaultsReset(w http.ResponseWriter, r *http.Request) {
+	s.cfg.faults.Reset()
+	s.cfg.logf("tlsd: faults: reset")
+	s.writeJSON(w, http.StatusOK, s.faultsState())
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tlssync/internal/fault"
+)
+
+// faultServer is testServer plus an armed-capable fault surface, the
+// configuration -enable-fault-injection produces.
+func faultServer(t *testing.T, benches ...string) (*server, *fault.Registry) {
+	t.Helper()
+	reg := fault.NewRegistry()
+	s, err := newServer(config{
+		workers:    1,
+		storeCap:   64,
+		benchmarks: benches,
+		logf:       t.Logf,
+		fsys:       &fault.FS{R: reg},
+		jobWrap:    fault.WrapJobs(reg),
+		faults:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, reg
+}
+
+func post(t *testing.T, s *server, path string) (*httptest.ResponseRecorder, map[string]json.RawMessage) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("POST %s: non-JSON body %q: %v", path, rec.Body.String(), err)
+	}
+	return rec, body
+}
+
+// TestFaultsSurfaceAbsentByDefault: without the opt-in registry, the
+// /_faults endpoints must not exist at all.
+func TestFaultsSurfaceAbsentByDefault(t *testing.T) {
+	s := testServer(t, "gzip_comp")
+	req := httptest.NewRequest(http.MethodGet, "/_faults", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /_faults without fault injection = %d, want 404", rec.Code)
+	}
+}
+
+func TestFaultsArmFireReset(t *testing.T) {
+	s, reg := faultServer(t, "gzip_comp")
+	defer s.Close()
+
+	rec, body := get(t, s, "/_faults")
+	if rec.Code != http.StatusOK || string(body["armed"]) != "[]" {
+		t.Fatalf("initial /_faults = %d %s", rec.Code, rec.Body.String())
+	}
+
+	rec, _ = post(t, s, "/_faults/arm?spec=jobs.exec=error:boom:times=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("arm = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := reg.Armed(); len(got) != 1 || got[0] != "jobs.exec" {
+		t.Fatalf("armed = %v", got)
+	}
+
+	// The armed fault fires on the first compute job: simulate fails.
+	rec, _ = get(t, s, "/simulate?bench=gzip_comp&policy=C")
+	if rec.Code == http.StatusOK {
+		t.Fatalf("simulate with jobs.exec=error succeeded: %s", rec.Body.String())
+	}
+	if reg.Fired("jobs.exec") == 0 {
+		t.Fatal("armed fault never fired")
+	}
+	var st faultsState
+	rec, _ = get(t, s, "/_faults")
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Fired["jobs.exec"] == 0 {
+		t.Fatalf("fired counters not reported: %+v", st)
+	}
+
+	// times=1 exhausted: the retry succeeds.
+	rec, _ = get(t, s, "/simulate?bench=gzip_comp&policy=C")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("retry after exhausted fault = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec, _ = post(t, s, "/_faults/reset")
+	if rec.Code != http.StatusOK || len(reg.Armed()) != 0 || reg.Fired("jobs.exec") != 0 {
+		t.Fatalf("reset did not clear the registry: armed=%v fired=%d", reg.Armed(), reg.Fired("jobs.exec"))
+	}
+}
+
+func TestFaultsArmRejectsBadSpec(t *testing.T) {
+	s, _ := faultServer(t, "gzip_comp")
+	defer s.Close()
+	if rec, _ := post(t, s, "/_faults/arm"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("arm without spec = %d", rec.Code)
+	}
+	if rec, _ := post(t, s, "/_faults/arm?spec=fs.read%3Dteleport"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("arm with unknown effect = %d", rec.Code)
+	}
+}
+
+// TestEndpointCounters: /stats surfaces per-endpoint request/error/shed
+// counters from the counting middleware.
+func TestEndpointCounters(t *testing.T) {
+	s := testServer(t, "gzip_comp")
+	defer s.Close()
+	get(t, s, "/healthz")
+	get(t, s, "/healthz")
+	get(t, s, "/simulate?bench=gzip_comp&policy=C") // miss: computes
+	get(t, s, "/simulate?bench=gzip_comp&policy=C") // hit
+	get(t, s, "/simulate")                          // 400: counted as a request, not an error
+
+	_, body := get(t, s, "/stats")
+	var eps map[string]endpointStatsJSON
+	if err := json.Unmarshal(body["http"], &eps); err != nil {
+		t.Fatalf("stats has no http section: %v", err)
+	}
+	if eps["healthz"].Requests != 2 {
+		t.Errorf("healthz requests = %d, want 2", eps["healthz"].Requests)
+	}
+	if eps["simulate"].Requests != 3 || eps["simulate"].Errors != 0 || eps["simulate"].Shed != 0 {
+		t.Errorf("simulate counters = %+v", eps["simulate"])
+	}
+	// stats itself was counted when served.
+	if eps["stats"].Requests != 1 {
+		t.Errorf("stats requests = %d, want 1", eps["stats"].Requests)
+	}
+}
+
+// TestEndpointCountersClassify: 5xx responses count as errors, 429/503
+// as sheds.
+func TestEndpointCountersClassify(t *testing.T) {
+	s, reg := faultServer(t, "gzip_comp")
+	defer s.Close()
+	reg.Arm("jobs.exec", fault.Fault{Err: errors.New("boom"), Times: 1})
+	get(t, s, "/simulate?bench=gzip_comp&policy=C") // 500 from the armed fault
+	s.BeginDrain()
+	get(t, s, "/simulate?bench=gzip_comp&policy=E") // cold while draining: 503
+
+	_, body := get(t, s, "/stats")
+	var eps map[string]endpointStatsJSON
+	if err := json.Unmarshal(body["http"], &eps); err != nil {
+		t.Fatal(err)
+	}
+	if eps["simulate"].Errors != 1 {
+		t.Errorf("simulate errors = %d, want 1", eps["simulate"].Errors)
+	}
+	if eps["simulate"].Shed != 1 {
+		t.Errorf("simulate shed = %d, want 1", eps["simulate"].Shed)
+	}
+}
+
+// TestSynthBenchmarkServing: a synth-<seed> serving set compiles,
+// simulates and caches like a paper benchmark.
+func TestSynthBenchmarkServing(t *testing.T) {
+	s := testServer(t, "synth-5")
+	defer s.Close()
+	rec, _ := get(t, s, "/simulate?bench=synth-5&policy=C")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("simulate synth-5 = %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-Tlsd-Cache") != "miss" {
+		t.Fatalf("first synth request should miss, got %q", rec.Header().Get("X-Tlsd-Cache"))
+	}
+	rec, _ = get(t, s, "/simulate?bench=synth-5&policy=C")
+	if rec.Header().Get("X-Tlsd-Cache") != "hit" {
+		t.Fatal("second synth request should hit the store")
+	}
+	// Unknown names still fail fast.
+	if _, err := newServer(config{workers: 1, benchmarks: []string{"synth-"}, logf: t.Logf}); err == nil {
+		t.Fatal("malformed synth name must be rejected")
+	}
+}

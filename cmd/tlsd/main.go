@@ -40,13 +40,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
 	"time"
+
+	"tlssync/internal/fault"
 )
 
 func main() {
@@ -60,6 +64,11 @@ func main() {
 	reqTimeout := flag.Duration("reqtimeout", 60*time.Second, "per-request deadline (0: none)")
 	queue := flag.Int("queue", 64, "admission wait-queue depth before shedding with 429")
 	scrub := flag.Duration("scrub", time.Minute, "disk-tier checksum scrub interval (0: off; needs -cachedir)")
+	portFile := flag.String("portfile", "", "write the bound listen address to this file (atomically) once listening")
+	enableFaults := flag.Bool("enable-fault-injection", false,
+		"expose the fault-injection surface (-faults, TLSD_FAULTS, /_faults endpoints); for chaos testing only, never production")
+	faultSpec := flag.String("faults", "",
+		"fault spec to arm at startup, e.g. fs.read=latency:20ms:times=50;jobs.exec=error (requires -enable-fault-injection)")
 	flag.Parse()
 
 	var names []string
@@ -70,7 +79,7 @@ func main() {
 			}
 		}
 	}
-	s, err := newServer(config{
+	cfg := config{
 		workers:      *workers,
 		buildWorkers: *buildJ,
 
@@ -80,7 +89,41 @@ func main() {
 		reqTimeout: *reqTimeout,
 		queueDepth: *queue,
 		scrubEvery: *scrub,
-	})
+	}
+
+	// The fault-injection surface is opt-in and loud. A spec without the
+	// enable flag is refused outright (not ignored): silently dropping an
+	// armed chaos schedule would make a "passing" stress run meaningless.
+	spec := *faultSpec
+	if spec == "" {
+		spec = os.Getenv("TLSD_FAULTS")
+	}
+	if !*enableFaults {
+		if spec != "" {
+			log.Fatal("tlsd: -faults/TLSD_FAULTS given without -enable-fault-injection; refusing to start")
+		}
+	} else {
+		reg := fault.NewRegistry()
+		// A Crash fault must kill the process exactly at its seam —
+		// SIGKILL, not graceful shutdown — so crash-recovery scenarios
+		// exercise the real journal-replay path.
+		reg.SetKiller(func() { _ = syscall.Kill(os.Getpid(), syscall.SIGKILL) })
+		cfg.fsys = &fault.FS{R: reg}
+		cfg.jobWrap = fault.WrapJobs(reg)
+		cfg.faults = reg
+		if spec != "" {
+			specs, err := fault.ParseSpec(spec)
+			if err != nil {
+				log.Fatalf("tlsd: -faults: %v", err)
+			}
+			fault.ArmAll(reg, specs)
+			log.Printf("tlsd: FAULT INJECTION ENABLED, armed %q", spec)
+		} else {
+			log.Print("tlsd: FAULT INJECTION ENABLED (no faults armed; arm via POST /_faults/arm)")
+		}
+	}
+
+	s, err := newServer(cfg)
 	if err != nil {
 		log.Fatalf("tlsd: %v", err)
 	}
@@ -103,20 +146,52 @@ func main() {
 	// ReadHeaderTimeout bounds how long a connection may dribble its
 	// request headers — without it, slowloris clients pin connections
 	// (and eventually file descriptors) forever.
-	srv := &http.Server{Addr: *addr, Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go drainThenShutdown(srv, s, sig, 2*time.Second, 30*time.Second)
+
+	// Listen before announcing: with -addr :0 the kernel picks the port,
+	// and the portfile (written atomically, so a watcher never reads a
+	// torn address) is how supervisors like tlssim discover it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("tlsd: %v", err)
+	}
+	if *portFile != "" {
+		if err := writeFileAtomic(*portFile, ln.Addr().String()+"\n"); err != nil {
+			log.Fatalf("tlsd: portfile: %v", err)
+		}
+	}
 
 	disk := "memory-only"
 	if *cacheDir != "" {
 		disk = fmt.Sprintf("disk cache at %s", *cacheDir)
 	}
 	log.Printf("tlsd: serving %d benchmarks on %s (%d workers, %s)",
-		len(s.workloads), *addr, s.eng.Workers(), disk)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		len(s.workloads), ln.Addr(), s.eng.Workers(), disk)
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("tlsd: %v", err)
 	}
+}
+
+// writeFileAtomic writes data to path via a temp file + rename, so a
+// concurrent reader sees either nothing or the complete content.
+func writeFileAtomic(path, data string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".portfile-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.WriteString(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // drainThenShutdown is the graceful-shutdown path: on the first signal

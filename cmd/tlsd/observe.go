@@ -1,0 +1,115 @@
+package main
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// endpointStats counts one endpoint's traffic. Errors are responses
+// the client experienced as failures (5xx and the 499 client-gone
+// code); sheds (429/503) are load management and counted apart, so an
+// operator can tell "the daemon is failing" from "the daemon is
+// protecting itself".
+type endpointStats struct {
+	Requests atomic.Int64
+	Errors   atomic.Int64
+	Shed     atomic.Int64
+}
+
+// endpointStatsJSON is the /stats rendering of one endpoint's counters.
+type endpointStatsJSON struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Shed     int64 `json:"shed"`
+}
+
+// endpointName maps a request path to its counter bucket: the first
+// path segment, so /figures/7 and /figures/10 share one bucket.
+func endpointName(path string) string {
+	path = strings.TrimPrefix(path, "/")
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		path = path[:i]
+	}
+	if path == "" {
+		return "(root)"
+	}
+	return path
+}
+
+// statusWriter captures the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// endpoint returns (creating if needed) the counter bucket for name.
+func (s *server) endpoint(name string) *endpointStats {
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
+	ep := s.eps[name]
+	if ep == nil {
+		ep = &endpointStats{}
+		s.eps[name] = ep
+	}
+	return ep
+}
+
+// countEndpoints wraps the handler chain with per-endpoint
+// request/error/shed counters, surfaced under "http" in /stats.
+func (s *server) countEndpoints(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ep := s.endpoint(endpointName(r.URL.Path))
+		ep.Requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		switch {
+		case sw.status == http.StatusTooManyRequests || sw.status == http.StatusServiceUnavailable:
+			ep.Shed.Add(1)
+		case sw.status >= 500 || sw.status == statusClientClosedRequest:
+			ep.Errors.Add(1)
+		}
+	})
+}
+
+// endpointSnapshot renders the per-endpoint counters for /stats, keyed
+// by endpoint name in sorted order (maps marshal sorted anyway, but the
+// snapshot is also used in logs).
+func (s *server) endpointSnapshot() map[string]endpointStatsJSON {
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
+	out := make(map[string]endpointStatsJSON, len(s.eps))
+	names := make([]string, 0, len(s.eps))
+	for name := range s.eps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ep := s.eps[name]
+		out[name] = endpointStatsJSON{
+			Requests: ep.Requests.Load(),
+			Errors:   ep.Errors.Load(),
+			Shed:     ep.Shed.Load(),
+		}
+	}
+	return out
+}
+
+// uptime reports seconds since the server started.
+func (s *server) uptime() float64 { return time.Since(s.start).Seconds() }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"tlssync"
+	"tlssync/internal/fault"
 	"tlssync/internal/jobs"
 	"tlssync/internal/journal"
 	"tlssync/internal/report"
@@ -51,6 +52,11 @@ type config struct {
 	poisonBudget  int           // begin-without-commit count that poisons a job (<=0: 3)
 	poisonOpenFor time.Duration // breaker pre-open period for poisoned keys (<=0: 1h)
 	scrubEvery    time.Duration // disk-tier scrub interval (<=0: off)
+
+	// faults, when non-nil, exposes the fault-injection surface: the
+	// /_faults endpoints are registered and arm points in this registry.
+	// Production runs leave it nil; only -enable-fault-injection sets it.
+	faults *fault.Registry
 }
 
 // server is the simulation service: a content-addressed store in front
@@ -75,6 +81,9 @@ type server struct {
 
 	writeErrs       atomic.Int64 // response bodies that failed mid-write
 	lastWriteErrLog atomic.Int64 // unix nanos of the last write-error log line
+
+	epMu sync.Mutex
+	eps  map[string]*endpointStats // per-endpoint request/error counters
 
 	mu   sync.Mutex
 	runs map[string]*tlssync.Run // prepared benchmarks
@@ -106,14 +115,14 @@ func newServer(cfg config) (*server, error) {
 	all := tlssync.Benchmarks()
 	ws := all
 	if len(cfg.benchmarks) > 0 {
-		byName := make(map[string]*tlssync.Workload, len(all))
-		for _, w := range all {
-			byName[w.Name] = w
-		}
 		ws = ws[:0:0]
 		for _, name := range cfg.benchmarks {
-			w, ok := byName[name]
-			if !ok {
+			// Benchmark resolves both the paper's 15 names and synthetic
+			// "synth-<seed>" workloads (progen-generated, deterministic per
+			// seed), so a stress fleet can serve workloads that never
+			// collide with the paper artifacts.
+			w, err := tlssync.Benchmark(name)
+			if err != nil {
 				return nil, fmt.Errorf("unknown benchmark %q", name)
 			}
 			ws = append(ws, w)
@@ -144,6 +153,7 @@ func newServer(cfg config) (*server, error) {
 		stop:      make(chan struct{}),
 		workloads: ws,
 		runs:      make(map[string]*tlssync.Run),
+		eps:       make(map[string]*endpointStats),
 	}
 	if cfg.cacheDir != "" {
 		jnl, err := journal.Open(filepath.Join(cfg.cacheDir, "journal"), cfg.fsys)
@@ -162,7 +172,14 @@ func newServer(cfg config) (*server, error) {
 	s.mux.HandleFunc("GET /simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /figures/{id}", s.handleFigure)
 	s.mux.HandleFunc("GET /tables/{id}", s.handleTable)
-	s.handler = resilience.WithTimeout(cfg.reqTimeout, s.mux)
+	if cfg.faults != nil {
+		s.mux.HandleFunc("GET /_faults", s.handleFaults)
+		s.mux.HandleFunc("POST /_faults/arm", s.handleFaultsArm)
+		s.mux.HandleFunc("POST /_faults/reset", s.handleFaultsReset)
+	}
+	// Counters sit outside the timeout wrapper so they observe the
+	// status the client actually received (504s included).
+	s.handler = s.countEndpoints(resilience.WithTimeout(cfg.reqTimeout, s.mux))
 	return s, nil
 }
 
@@ -494,7 +511,7 @@ func setCache(w http.ResponseWriter, hit bool) string {
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
-		"uptime_seconds": time.Since(s.start).Seconds(),
+		"uptime_seconds": s.uptime(),
 	})
 }
 
@@ -584,13 +601,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		js = s.journal.Stats()
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_seconds": time.Since(s.start).Seconds(),
+		"uptime_seconds": s.uptime(),
 		"store":          s.store.Stats(),
 		"jobs":           s.eng.Stats(),
 		"journal":        js,
 		"admission":      s.gate.Stats(),
 		"breakers":       s.breakers.Stats(),
 		"write_errors":   s.writeErrs.Load(),
+		"http":           s.endpointSnapshot(),
 		"benchmarks": map[string]any{
 			"serving":  serving,
 			"prepared": prepared,

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tlssync/internal/scenario"
+)
+
+// procDaemon runs one real tlsd process. It implements
+// scenario.Daemon: Kill delivers SIGKILL (no drain, no cleanup) and
+// Restart re-execs the same argv over the same state directory, so the
+// daemon's crash-recovery path (journal replay, disk rescan,
+// quarantine) runs for real. The port is rediscovered from the
+// portfile after every (re)start — tlsd binds :0, so it may move.
+type procDaemon struct {
+	bin      string
+	args     []string
+	dir      string // state dir: portfile, cache/, tlsd.log
+	portfile string
+	logPath  string
+	client   *http.Client
+	idx      int
+	logf     func(string, ...any)
+
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	done chan struct{} // closed once the current process is reaped
+	url  string
+}
+
+// startDaemon launches tlsd number idx for the scenario under
+// root/d<idx> and returns once the process is running (readiness is
+// the runner's WaitReady call).
+func startDaemon(sc *scenario.Scenario, idx int, bin, root string, logf func(string, ...any)) (*procDaemon, error) {
+	dir := filepath.Join(root, fmt.Sprintf("d%d", idx))
+	cacheDir := filepath.Join(dir, "cache")
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &procDaemon{
+		bin:      bin,
+		dir:      dir,
+		portfile: filepath.Join(dir, "port"),
+		logPath:  filepath.Join(dir, "tlsd.log"),
+		client:   &http.Client{Timeout: 5 * time.Second},
+		idx:      idx,
+		logf:     logf,
+	}
+	d.args = tlsdArgs(sc, d.portfile, cacheDir)
+	if err := d.start(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// tlsdArgs translates the scenario's daemon spec into a tlsd argv.
+func tlsdArgs(sc *scenario.Scenario, portfile, cacheDir string) []string {
+	ds := sc.Daemons
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-portfile", portfile,
+		"-cachedir", cacheDir,
+		"-scrub", "0", // background scrubs add run-to-run noise
+	}
+	if len(ds.Benchmarks) > 0 {
+		args = append(args, "-benchmarks", strings.Join(ds.Benchmarks, ","))
+	}
+	if ds.Workers > 0 {
+		args = append(args, "-j", strconv.Itoa(ds.Workers))
+	}
+	if ds.Cache > 0 {
+		args = append(args, "-cache", strconv.Itoa(ds.Cache))
+	}
+	if ds.Queue > 0 {
+		args = append(args, "-queue", strconv.Itoa(ds.Queue))
+	}
+	if ds.ReqTimeout > 0 {
+		args = append(args, "-reqtimeout", ds.ReqTimeout.String())
+	}
+	if ds.Warm {
+		args = append(args, "-warm")
+	}
+	if ds.FaultSurface {
+		args = append(args, "-enable-fault-injection")
+	}
+	return args
+}
+
+// start launches (or relaunches) the process. The stale portfile is
+// removed first so WaitReady can only observe the new bind; tlsd's
+// output appends to one log across restarts so recovery evidence from
+// every incarnation lands in a single file.
+func (d *procDaemon) start() error {
+	_ = os.Remove(d.portfile)
+	logFile, err := os.OpenFile(d.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(d.bin, d.args...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return fmt.Errorf("daemon %d: %w", d.idx, err)
+	}
+	logFile.Close() // the child holds its own descriptor
+	done := make(chan struct{})
+	go func() {
+		_ = cmd.Wait()
+		close(done)
+	}()
+	d.mu.Lock()
+	d.cmd = cmd
+	d.done = done
+	d.url = ""
+	d.mu.Unlock()
+	d.logf("daemon %d: started pid %d", d.idx, cmd.Process.Pid)
+	return nil
+}
+
+func (d *procDaemon) URL() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.url
+}
+
+// Kill SIGKILLs the process and waits for the kernel to reap it — no
+// drain, no shutdown hooks, exactly the crash the journal exists for.
+func (d *procDaemon) Kill() error {
+	d.mu.Lock()
+	cmd, done := d.cmd, d.done
+	d.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("daemon %d: not running", d.idx)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		return err
+	}
+	<-done
+	d.logf("daemon %d: SIGKILLed pid %d", d.idx, cmd.Process.Pid)
+	return nil
+}
+
+// Restart re-execs the same argv over the same state directory.
+func (d *procDaemon) Restart() error {
+	return d.start()
+}
+
+// WaitReady discovers the freshly bound port from the portfile, then
+// polls /readyz until the daemon answers — 200 (ok/degraded) counts as
+// recovered; 503 means it is still replaying its journal.
+func (d *procDaemon) WaitReady(ctx context.Context) error {
+	var base string
+	for {
+		data, err := os.ReadFile(d.portfile)
+		if err == nil {
+			if addr := strings.TrimSpace(string(data)); addr != "" {
+				base = "http://" + addr
+				break
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("daemon %d: portfile never appeared: %w", d.idx, ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := d.client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("daemon %d: /readyz never answered ok: %w", d.idx, ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	d.mu.Lock()
+	d.url = base
+	d.mu.Unlock()
+	return nil
+}
+
+// Close terminates the daemon if it is still running.
+func (d *procDaemon) Close() {
+	d.mu.Lock()
+	cmd, done := d.cmd, d.done
+	d.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	select {
+	case <-done: // already dead (killed, or crashed)
+	default:
+		_ = cmd.Process.Kill()
+		<-done
+	}
+}
+
+// resolveTlsd locates the tlsd binary to launch: an explicit -tlsd
+// path, then $PATH, then a one-off `go build` into the run directory.
+func resolveTlsd(flagVal, root string, logf func(string, ...any)) (string, error) {
+	if flagVal != "" {
+		abs, err := filepath.Abs(flagVal)
+		if err != nil {
+			return "", err
+		}
+		if _, err := os.Stat(abs); err != nil {
+			return "", fmt.Errorf("-tlsd: %w", err)
+		}
+		return abs, nil
+	}
+	if p, err := exec.LookPath("tlsd"); err == nil {
+		return p, nil
+	}
+	bin := filepath.Join(root, "tlsd")
+	logf("building tlsd (no -tlsd given, none in PATH)...")
+	cmd := exec.Command("go", "build", "-o", bin, "tlssync/cmd/tlsd")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go build tlsd: %v\n%s", err, out)
+	}
+	return bin, nil
+}

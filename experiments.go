@@ -44,7 +44,14 @@ func PrepareAllWith(ctx context.Context, eng *jobs.Engine, progress func(bench s
 // from the engine's pool; buildWorkers > 1 mainly helps when preparing
 // few benchmarks on many cores.
 func PrepareAllJ(ctx context.Context, eng *jobs.Engine, buildWorkers int, progress func(bench string, d time.Duration, err error)) ([]*Run, error) {
-	ws := Benchmarks()
+	return PrepareWorkloads(ctx, eng, Benchmarks(), buildWorkers, progress)
+}
+
+// PrepareWorkloads compiles and baselines an arbitrary workload set —
+// the paper's benchmarks, a subset, or progen-generated synthetic
+// workloads (SynthBenchmarks) — through the job engine, with the same
+// coalescing and parallelism bounds as PrepareAllJ.
+func PrepareWorkloads(ctx context.Context, eng *jobs.Engine, ws []*Workload, buildWorkers int, progress func(bench string, d time.Duration, err error)) ([]*Run, error) {
 	runs := make([]*Run, len(ws))
 	g := eng.NewGroup(ctx)
 	for i, w := range ws {

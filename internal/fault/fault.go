@@ -103,6 +103,29 @@ func (r *Registry) Fired(point string) int64 {
 	return r.fired[point]
 }
 
+// FiredAll returns a snapshot of every point's fired counter. Points
+// that never fired are absent.
+func (r *Registry) FiredAll() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.fired))
+	for p, n := range r.fired {
+		out[p] = n
+	}
+	return out
+}
+
+// Armed lists the points that currently have a fault armed.
+func (r *Registry) Armed() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.armed))
+	for p := range r.armed {
+		out = append(out, p)
+	}
+	return out
+}
+
 // Take consumes one firing of the fault armed at point without
 // executing its effect — for seams that must interpret the fault
 // themselves (the FS wrapper's crash-before-rename simulation).

@@ -1,0 +1,107 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ArmSpec is one parsed entry of a textual fault specification: a
+// registry point plus the fault to arm there. The textual form is how
+// faults cross a process boundary — the tlsd -faults flag, the
+// TLSD_FAULTS environment variable, and tlssim's scheduled injections
+// all speak it.
+type ArmSpec struct {
+	Point string
+	F     Fault
+}
+
+// ParseSpec parses a fault specification string. The grammar is a
+// semicolon-separated list of armings:
+//
+//	point=effect[:arg][:times=N][;point=effect...]
+//
+// where effect is one of:
+//
+//	latency:<duration>   sleep before proceeding (e.g. fs.read=latency:50ms)
+//	error[:<message>]    fail the operation with an injected error
+//	panic[:<message>]    panic inside the operation
+//	crash                die at the seam (SIGKILL under an installed killer,
+//	                     simulated torn write / lost rename otherwise)
+//
+// and times=N bounds how many firings before the point self-disarms
+// (default: until disarmed). Examples:
+//
+//	fs.read=latency:50ms:times=10
+//	jobs.simulate=error:injected;fs.rename=crash:times=1
+func ParseSpec(spec string) ([]ArmSpec, error) {
+	var out []ArmSpec
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		point, rest, ok := strings.Cut(entry, "=")
+		point = strings.TrimSpace(point)
+		if !ok || point == "" || strings.TrimSpace(rest) == "" {
+			return nil, fmt.Errorf("fault: bad spec entry %q (want point=effect[:arg][:times=N])", entry)
+		}
+		parts := strings.Split(rest, ":")
+		effect := strings.TrimSpace(parts[0])
+		args := parts[1:]
+
+		f := Fault{}
+		// times=N may trail any effect; peel it off the end first.
+		if n := len(args); n > 0 && strings.HasPrefix(strings.TrimSpace(args[n-1]), "times=") {
+			v, err := strconv.Atoi(strings.TrimPrefix(strings.TrimSpace(args[n-1]), "times="))
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("fault: bad times in spec entry %q", entry)
+			}
+			f.Times = v
+			args = args[:n-1]
+		}
+		switch effect {
+		case "latency":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("fault: latency effect in %q needs a duration (latency:50ms)", entry)
+			}
+			d, err := time.ParseDuration(strings.TrimSpace(args[0]))
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("fault: bad latency duration in spec entry %q", entry)
+			}
+			f.Latency = d
+		case "error":
+			msg := "injected fault"
+			if len(args) > 0 {
+				msg = strings.Join(args, ":")
+			}
+			f.Err = fmt.Errorf("fault: %s", msg)
+		case "panic":
+			msg := "injected panic"
+			if len(args) > 0 {
+				msg = strings.Join(args, ":")
+			}
+			f.Panic = "fault: " + msg
+		case "crash":
+			if len(args) > 0 {
+				return nil, fmt.Errorf("fault: crash effect in %q takes no argument", entry)
+			}
+			f.Crash = true
+		default:
+			return nil, fmt.Errorf("fault: unknown effect %q in spec entry %q (want latency, error, panic or crash)", effect, entry)
+		}
+		out = append(out, ArmSpec{Point: point, F: f})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fault: empty spec")
+	}
+	return out, nil
+}
+
+// ArmAll arms every entry of a parsed spec in the registry.
+func ArmAll(r *Registry, specs []ArmSpec) {
+	for _, s := range specs {
+		r.Arm(s.Point, s.F)
+	}
+}

@@ -1,0 +1,122 @@
+package fault
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"tlssync/internal/jobs"
+)
+
+func TestParseSpec(t *testing.T) {
+	specs, err := ParseSpec("fs.read=latency:50ms:times=10; jobs.simulate=error:boom ;fs.rename=crash:times=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d entries, want 3", len(specs))
+	}
+	if specs[0].Point != "fs.read" || specs[0].F.Latency != 50*time.Millisecond || specs[0].F.Times != 10 {
+		t.Errorf("latency entry parsed wrong: %+v", specs[0])
+	}
+	if specs[1].Point != "jobs.simulate" || specs[1].F.Err == nil || !strings.Contains(specs[1].F.Err.Error(), "boom") {
+		t.Errorf("error entry parsed wrong: %+v", specs[1])
+	}
+	if specs[2].Point != "fs.rename" || !specs[2].F.Crash || specs[2].F.Times != 1 {
+		t.Errorf("crash entry parsed wrong: %+v", specs[2])
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	specs, err := ParseSpec("jobs.exec=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].F.Err == nil || specs[0].F.Times != 0 {
+		t.Errorf("bare error entry parsed wrong: %+v", specs[0])
+	}
+	if specs, err = ParseSpec("jobs.exec=panic:oh no"); err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].F.Panic == nil {
+		t.Errorf("panic entry parsed wrong: %+v", specs[0])
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",                            // empty
+		";;",                          // empty entries only
+		"fs.read",                     // no effect
+		"=latency:1ms",                // no point
+		"fs.read=",                    // empty effect
+		"fs.read=latency",             // latency without duration
+		"fs.read=latency:zonks",       // bad duration
+		"fs.read=latency:-5ms",        // negative duration
+		"fs.read=warp",                // unknown effect
+		"fs.read=crash:1s",            // crash takes no argument
+		"fs.read=error:times=zero",    // bad times
+		"fs.read=latency:1ms:times=0", // times must be positive
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestArmAllAndFiredAll(t *testing.T) {
+	reg := NewRegistry()
+	specs, err := ParseSpec("a=error:x;b=latency:0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ArmAll(reg, specs)
+	armed := reg.Armed()
+	if len(armed) != 2 {
+		t.Fatalf("armed = %v, want 2 points", armed)
+	}
+	if err := reg.Fire("a"); err == nil {
+		t.Error("armed error point did not fire")
+	}
+	reg.Fire("a")
+	reg.Fire("b")
+	fired := reg.FiredAll()
+	if fired["a"] != 2 || fired["b"] != 1 {
+		t.Errorf("FiredAll = %v, want a:2 b:1", fired)
+	}
+}
+
+func TestWrapJobs(t *testing.T) {
+	reg := NewRegistry()
+	wrap := WrapJobs(reg)
+	ran := 0
+	job := func(context.Context) (any, error) { ran++; return "ok", nil }
+
+	// Unarmed: passes through.
+	if v, err := wrap("simulate/x", job)(context.Background()); err != nil || v != "ok" {
+		t.Fatalf("unarmed wrap: %v %v", v, err)
+	}
+
+	// Family point hits only matching keys.
+	reg.Arm("jobs.simulate", Fault{Err: context.DeadlineExceeded, Times: 1})
+	if _, err := wrap("prepare/x", job)(context.Background()); err != nil {
+		t.Fatalf("prepare job hit a simulate fault: %v", err)
+	}
+	if _, err := wrap("simulate/x", job)(context.Background()); err == nil {
+		t.Fatal("simulate fault did not fire")
+	}
+
+	// Crash with no killer degrades to an error, not a hang or panic.
+	reg.Arm("jobs.exec", Fault{Crash: true, Times: 1})
+	if _, err := wrap("other", job)(context.Background()); err == nil {
+		t.Fatal("crash with no killer should surface as an error")
+	}
+	if ran != 2 {
+		t.Fatalf("job ran %d times, want 2", ran)
+	}
+}
+
+// Compile-time check: WrapJobs satisfies the engine's SetWrap shape.
+var _ func(string, jobs.JobFunc) jobs.JobFunc = WrapJobs(NewRegistry())

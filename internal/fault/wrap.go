@@ -1,0 +1,46 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"tlssync/internal/jobs"
+)
+
+// WrapJobs returns a job-engine wrap (jobs.Engine.SetWrap) that fires
+// registry points around every job execution: the generic "jobs.exec"
+// point always, plus a key-family point ("jobs.simulate",
+// "jobs.prepare") so a fault can target the simulate stage without
+// also hitting the compile that precedes it. A Crash fault at a job
+// point kills the process when a killer is installed (the daemon's
+// fault-injection mode and the kill-9 harness both install a
+// SIGKILL-self); with no killer it degrades to a job error, so the
+// same spec is usable in-process.
+func WrapJobs(reg *Registry) func(key string, fn jobs.JobFunc) jobs.JobFunc {
+	return func(key string, fn jobs.JobFunc) jobs.JobFunc {
+		return func(ctx context.Context) (any, error) {
+			points := []string{"jobs.exec"}
+			switch {
+			case strings.HasPrefix(key, "simulate/"):
+				points = append(points, "jobs.simulate")
+			case strings.HasPrefix(key, "prepare/"):
+				points = append(points, "jobs.prepare")
+			}
+			for _, pt := range points {
+				fa, ok := reg.Take(pt)
+				if !ok {
+					continue
+				}
+				if err := fa.Apply(); err != nil {
+					return nil, err
+				}
+				if fa.Crash {
+					reg.Kill()
+					return nil, fmt.Errorf("fault: crash point %s fired with no killer", pt)
+				}
+			}
+			return fn(ctx)
+		}
+	}
+}

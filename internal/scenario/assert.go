@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+)
+
+// AssertionResult is one evaluated assertion.
+type AssertionResult struct {
+	Name string `json:"name"`
+	OK   bool   `json:"ok"`
+	Got  string `json:"got"`
+	Want string `json:"want"`
+}
+
+// Evaluate applies the scenario's assertions to the measured outcome.
+// Only declared assertions are evaluated; the result list preserves a
+// stable order so reports diff cleanly.
+func Evaluate(a Assertions, o *Outcome) []AssertionResult {
+	var out []AssertionResult
+	add := func(name string, ok bool, got, want string) {
+		out = append(out, AssertionResult{Name: name, OK: ok, Got: got, Want: want})
+	}
+	durCeil := func(name string, got, ceil time.Duration) {
+		add(name, got <= ceil, got.Round(time.Microsecond).String(), "<= "+ceil.String())
+	}
+	if a.MaxP50 > 0 {
+		durCeil("latency.p50", o.P50, a.MaxP50)
+	}
+	if a.MaxP95 > 0 {
+		durCeil("latency.p95", o.P95, a.MaxP95)
+	}
+	if a.MaxP99 > 0 {
+		durCeil("latency.p99", o.P99, a.MaxP99)
+	}
+	if a.MaxErrorRate != nil {
+		got := o.ErrorRate()
+		add("error_rate", got <= *a.MaxErrorRate,
+			fmt.Sprintf("%.4f (%d errors / %d requests)", got, o.Server5xx+o.Transport+o.Client4xx, o.Total),
+			fmt.Sprintf("<= %.4f", *a.MaxErrorRate))
+	}
+	if a.MinHitRate != nil {
+		got := o.HitRate()
+		add("cache_hit_rate", got >= *a.MinHitRate,
+			fmt.Sprintf("%.4f (%d hits / %d misses)", got, o.CacheHits, o.CacheMisses),
+			fmt.Sprintf(">= %.4f", *a.MinHitRate))
+	}
+	if a.MaxShedRate != nil {
+		got := o.ShedRate()
+		add("shed_rate", got <= *a.MaxShedRate,
+			fmt.Sprintf("%.4f (%d shed)", got, o.Shed),
+			fmt.Sprintf("<= %.4f", *a.MaxShedRate))
+	}
+	if a.MinShed != nil {
+		add("shed_floor", o.Shed >= *a.MinShed,
+			fmt.Sprintf("%d shed", o.Shed), fmt.Sprintf(">= %d", *a.MinShed))
+	}
+	if a.MaxRecovery > 0 {
+		got := o.MaxRecovery()
+		ok := got <= a.MaxRecovery && int64(len(o.Recoveries)) == o.Restarts
+		add("recovery", ok,
+			fmt.Sprintf("%v worst of %d recoveries (%d restarts)", got.Round(time.Millisecond), len(o.Recoveries), o.Restarts),
+			fmt.Sprintf("<= %v, every restart recovered", a.MaxRecovery))
+	}
+	if a.MinInjected != nil {
+		add("faults_injected", o.FaultsInjected >= *a.MinInjected,
+			fmt.Sprintf("%d", o.FaultsInjected), fmt.Sprintf(">= %d", *a.MinInjected))
+	}
+	if a.Converged != nil && *a.Converged {
+		ok := len(o.FinalReady) > 0
+		for _, st := range o.FinalReady {
+			if st != "ok" {
+				ok = false
+			}
+		}
+		add("readyz_converged", ok, fmt.Sprintf("%v", o.FinalReady), `every daemon "ok"`)
+	}
+	if a.NoCorrupt != nil && *a.NoCorrupt {
+		add("no_corrupt_artifacts", o.Quarantined == 0,
+			fmt.Sprintf("%d quarantined", o.Quarantined), "0 quarantined")
+	}
+	return out
+}
+
+// Passed reports whether every assertion held.
+func Passed(rs []AssertionResult) bool {
+	for _, r := range rs {
+		if !r.OK {
+			return false
+		}
+	}
+	return true
+}

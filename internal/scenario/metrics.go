@@ -1,0 +1,142 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+)
+
+// sample is one executed request's outcome.
+type sample struct {
+	endpoint string
+	status   int  // 0 = transport error (daemon down, timeout, reset)
+	cacheHit bool // X-Tlsd-Cache: hit (simulate endpoint only)
+	cacheHdr bool // header present at all
+	latency  time.Duration
+}
+
+// Outcome aggregates everything the run measured: client-side traffic
+// and latency, the fault injections that actually fired, recovery
+// times, and the final daemon state scrapes. It is the input to
+// assertion evaluation.
+type Outcome struct {
+	Total     int64 `json:"total"`
+	OK        int64 `json:"ok"`         // 2xx
+	Client4xx int64 `json:"client_4xx"` // 4xx except 429
+	Server5xx int64 `json:"server_5xx"` // 5xx
+	Shed      int64 `json:"shed"`       // 429 + 503 (admission shed, drain)
+	Transport int64 `json:"transport"`  // connection refused/reset, client timeouts
+
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+
+	P50 time.Duration `json:"p50"`
+	P95 time.Duration `json:"p95"`
+	P99 time.Duration `json:"p99"`
+	Max time.Duration `json:"max"`
+
+	FaultsInjected int64            `json:"faults_injected"` // registry firings + kills
+	FaultsByPoint  map[string]int64 `json:"faults_by_point,omitempty"`
+	Kills          int64            `json:"kills"`
+	Restarts       int64            `json:"restarts"`
+	Recoveries     []time.Duration  `json:"recoveries,omitempty"` // restart → /readyz ok, per restart
+
+	FinalReady   []string         `json:"final_readyz"` // per-daemon final /readyz status
+	Quarantined  int64            `json:"quarantined"`  // summed corrupt_quarantined across daemons
+	DiskErrors   int64            `json:"disk_errors"`
+	JournalBad   int64            `json:"journal_append_errors"`
+	EndpointHits map[string]int64 `json:"endpoint_hits,omitempty"` // client-side per-endpoint totals
+}
+
+// ErrorRate is the assertion's error definition: server failures plus
+// transport failures, over everything sent. Sheds (429/503) are load
+// management, not errors, and are rated separately.
+func (o *Outcome) ErrorRate() float64 {
+	if o.Total == 0 {
+		return 0
+	}
+	return float64(o.Server5xx+o.Transport+o.Client4xx) / float64(o.Total)
+}
+
+// ShedRate is (429+503)/total.
+func (o *Outcome) ShedRate() float64 {
+	if o.Total == 0 {
+		return 0
+	}
+	return float64(o.Shed) / float64(o.Total)
+}
+
+// HitRate is store hits over hits+misses on responses that carried the
+// cache header.
+func (o *Outcome) HitRate() float64 {
+	if o.CacheHits+o.CacheMisses == 0 {
+		return 0
+	}
+	return float64(o.CacheHits) / float64(o.CacheHits+o.CacheMisses)
+}
+
+// MaxRecovery is the slowest observed restart→ready time.
+func (o *Outcome) MaxRecovery() time.Duration {
+	var max time.Duration
+	for _, r := range o.Recoveries {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// aggregate folds raw samples into an Outcome (fault/recovery/scrape
+// fields are filled by the runner afterwards).
+func aggregate(samples []sample) *Outcome {
+	o := &Outcome{FaultsByPoint: map[string]int64{}, EndpointHits: map[string]int64{}}
+	lats := make([]time.Duration, 0, len(samples))
+	for _, s := range samples {
+		o.Total++
+		o.EndpointHits[s.endpoint]++
+		switch {
+		case s.status == 0:
+			o.Transport++
+		case s.status >= 200 && s.status < 300:
+			o.OK++
+			lats = append(lats, s.latency)
+		case s.status == 429 || s.status == 503:
+			o.Shed++
+		case s.status >= 500:
+			o.Server5xx++
+		case s.status >= 400:
+			o.Client4xx++
+		default:
+			o.OK++
+			lats = append(lats, s.latency)
+		}
+		if s.cacheHdr {
+			if s.cacheHit {
+				o.CacheHits++
+			} else {
+				o.CacheMisses++
+			}
+		}
+	}
+	o.P50, o.P95, o.P99, o.Max = percentiles(lats)
+	return o
+}
+
+// percentiles computes p50/p95/p99/max over successful-request
+// latencies (nearest-rank on the sorted slice).
+func percentiles(lats []time.Duration) (p50, p95, p99, max time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rank := func(p float64) time.Duration {
+		i := int(p*float64(len(lats))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	return rank(0.50), rank(0.95), rank(0.99), lats[len(lats)-1]
+}

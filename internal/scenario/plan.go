@@ -1,0 +1,224 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"math"
+	"time"
+
+	"tlssync/internal/progen"
+)
+
+// Plan is the fully expanded, deterministic execution plan for one
+// (scenario, seed) pair: every client, every request each client will
+// issue (with its virtual time offset), and the fault timeline. Two
+// runs of the same scenario with the same seed produce byte-identical
+// plans — this is the determinism contract the stress harness inherits
+// from the build pipeline (PR 5), and Fingerprint is its witness.
+type Plan struct {
+	Scenario string        `json:"scenario"`
+	Seed     uint64        `json:"seed"`
+	Duration time.Duration `json:"duration"`
+	Clients  []ClientPlan  `json:"clients"`
+	Faults   []FaultEvent  `json:"faults,omitempty"` // sorted by At
+	// Fingerprint is the SHA-256 of the plan's canonical JSON (with the
+	// fingerprint field itself empty). Reports carry it so `tlssim diff`
+	// can prove two runs replayed the same plan.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// ClientPlan is one synthetic client: which template stamped it, which
+// daemon it talks to, when it starts, and its full request schedule.
+type ClientPlan struct {
+	ID       int           `json:"id"`
+	Template string        `json:"template"`
+	Daemon   int           `json:"daemon"` // target daemon index
+	Start    time.Duration `json:"start"`  // virtual start offset
+	Requests []RequestPlan `json:"requests"`
+}
+
+// RequestPlan is one planned request.
+type RequestPlan struct {
+	At       time.Duration `json:"at"` // virtual offset from run start
+	Endpoint string        `json:"endpoint"`
+	Bench    string        `json:"bench,omitempty"`
+	Policy   string        `json:"policy,omitempty"`
+}
+
+// TotalRequests counts the planned requests across the fleet.
+func (p *Plan) TotalRequests() int {
+	n := 0
+	for i := range p.Clients {
+		n += len(p.Clients[i].Requests)
+	}
+	return n
+}
+
+// PerTemplate returns client counts per template name.
+func (p *Plan) PerTemplate() map[string]int {
+	out := make(map[string]int)
+	for i := range p.Clients {
+		out[p.Clients[i].Template]++
+	}
+	return out
+}
+
+// BuildPlan expands a validated scenario into its deterministic plan.
+// seed overrides the scenario's own seed field.
+//
+// Determinism: one root RNG is derived from the seed, and every client
+// gets an independent sub-RNG derived from (seed, client index) — a
+// fan-out, not a shared stream — so the plan does not depend on
+// iteration order or on how many requests another client generates.
+// The same construction keeps the parallel build pipeline byte-stable
+// at any -j.
+func BuildPlan(sc *Scenario, seed uint64) *Plan {
+	p := &Plan{
+		Scenario: sc.Name,
+		Seed:     seed,
+		Duration: sc.Duration,
+		Faults:   sc.SortedFaults(),
+	}
+	cum := cumulativeWeights(sc.Fleet.Templates)
+	for i := 0; i < sc.Fleet.Clients; i++ {
+		rng := clientRand(seed, i)
+		t := &sc.Fleet.Templates[pickWeighted(cum, rng)]
+		cp := ClientPlan{
+			ID:       i,
+			Template: t.Name,
+			Daemon:   i % sc.Daemons.Count,
+			Start:    startOffset(sc.Fleet.Startup, i, sc.Fleet.Clients),
+		}
+		benchSet := t.Bench
+		if len(benchSet) == 0 {
+			benchSet = sc.Daemons.Benchmarks
+		}
+		policySet := t.Policy
+		if len(policySet) == 0 {
+			policySet = []string{"C"}
+		}
+		at := cp.Start
+		for at <= sc.Duration {
+			if t.Requests > 0 && len(cp.Requests) >= t.Requests {
+				break
+			}
+			rp := RequestPlan{At: at, Endpoint: t.Endpoint}
+			if t.Endpoint == "simulate" {
+				rp.Bench = benchSet[rng.Intn(len(benchSet))]
+				rp.Policy = policySet[rng.Intn(len(policySet))]
+			}
+			cp.Requests = append(cp.Requests, rp)
+			at += thinkTime(t.Think, rng)
+		}
+		p.Clients = append(p.Clients, cp)
+	}
+	p.Fingerprint = p.fingerprint()
+	return p
+}
+
+// fingerprint hashes the plan's canonical JSON with Fingerprint empty.
+func (p *Plan) fingerprint() string {
+	saved := p.Fingerprint
+	p.Fingerprint = ""
+	data, err := json.Marshal(p)
+	p.Fingerprint = saved
+	if err != nil {
+		// Plan is plain data; Marshal cannot fail. Keep the error path
+		// anyway rather than panicking inside report generation.
+		return "unfingerprintable"
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// clientRand derives client i's independent RNG from the run seed.
+// The multiplier decorrelates neighbouring indices (splitmix-style);
+// progen.Rand then scrambles the state further on every draw.
+func clientRand(seed uint64, i int) *progen.Rand {
+	return progen.NewRand(seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+}
+
+// cumulativeWeights precomputes the template CDF.
+func cumulativeWeights(ts []Template) []float64 {
+	cum := make([]float64, len(ts))
+	sum := 0.0
+	for i, t := range ts {
+		sum += t.Weight
+		cum[i] = sum
+	}
+	// Validation pinned sum≈1; normalize the tail anyway so float drift
+	// can never make the last template unreachable.
+	cum[len(cum)-1] = math.Inf(1)
+	return cum
+}
+
+func pickWeighted(cum []float64, rng *progen.Rand) int {
+	u := randFloat(rng)
+	for i, c := range cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// randFloat returns a uniform draw in [0, 1).
+func randFloat(rng *progen.Rand) float64 {
+	return float64(rng.Next()>>11) / float64(1<<53)
+}
+
+// startOffset places client i's arrival inside the startup window.
+func startOffset(st Startup, i, clients int) time.Duration {
+	if st.Pattern == "instant" || st.Duration <= 0 || clients <= 1 {
+		return 0
+	}
+	w := float64(st.Duration)
+	switch st.Pattern {
+	case "linear":
+		return time.Duration(w * float64(i) / float64(clients))
+	case "exponential":
+		// Doubling waves: client i joins in wave floor(log2(i+1)) of
+		// ceil(log2(clients+1)) total — 1 client, then 2, then 4, ...
+		waves := math.Ceil(math.Log2(float64(clients + 1)))
+		if waves < 1 {
+			waves = 1
+		}
+		wave := math.Floor(math.Log2(float64(i + 1)))
+		return time.Duration(w * wave / waves)
+	case "wave":
+		batches := st.Batches
+		if batches <= 0 {
+			batches = 4
+		}
+		batch := i * batches / clients
+		return time.Duration(w * float64(batch) / float64(batches))
+	default:
+		return 0
+	}
+}
+
+// thinkTime samples one think-time gap from the template's
+// distribution. Exponential draws are clamped to 10× the mean so one
+// extreme draw cannot park a client past the scenario end.
+func thinkTime(th Think, rng *progen.Rand) time.Duration {
+	var d time.Duration
+	switch th.Dist {
+	case "uniform":
+		span := th.Max - th.Min
+		d = th.Min + time.Duration(randFloat(rng)*float64(span))
+	case "exp":
+		u := randFloat(rng)
+		x := -math.Log(1-u) * float64(th.Mean)
+		if max := 10 * float64(th.Mean); x > max {
+			x = max
+		}
+		d = time.Duration(x)
+	default: // fixed
+		d = th.Mean
+	}
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}

@@ -1,0 +1,223 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func testScenario(t *testing.T) *Scenario {
+	t.Helper()
+	sc, err := Parse("plan.yaml", []byte(validScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestPlanDeterministic is the harness's core contract: the same
+// (scenario, seed) always expands to a byte-identical plan, and a
+// different seed expands to a different one.
+func TestPlanDeterministic(t *testing.T) {
+	sc := testScenario(t)
+	a := BuildPlan(sc, 42)
+	b := BuildPlan(sc, 42)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatal("same seed produced different plans")
+	}
+	if a.Fingerprint == "" || a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprints differ: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+	c := BuildPlan(sc, 43)
+	if c.Fingerprint == a.Fingerprint {
+		t.Fatal("different seeds produced the same fingerprint")
+	}
+}
+
+func TestPlanShape(t *testing.T) {
+	sc := testScenario(t)
+	p := BuildPlan(sc, 42)
+	if len(p.Clients) != sc.Fleet.Clients {
+		t.Fatalf("%d clients, want %d", len(p.Clients), sc.Fleet.Clients)
+	}
+	per := p.PerTemplate()
+	if per["readers"]+per["pollers"] != sc.Fleet.Clients {
+		t.Errorf("template counts %v do not cover the fleet", per)
+	}
+	if p.TotalRequests() == 0 {
+		t.Fatal("no requests planned")
+	}
+	for _, cp := range p.Clients {
+		if cp.Daemon != 0 {
+			t.Errorf("client %d routed to daemon %d with count 1", cp.ID, cp.Daemon)
+		}
+		if cp.Start > sc.Fleet.Startup.Duration {
+			t.Errorf("client %d starts at %v, after the %v startup window", cp.ID, cp.Start, sc.Fleet.Startup.Duration)
+		}
+		last := time.Duration(-1)
+		for _, rq := range cp.Requests {
+			if rq.At < cp.Start || rq.At > sc.Duration {
+				t.Errorf("client %d request at %v outside [%v, %v]", cp.ID, rq.At, cp.Start, sc.Duration)
+			}
+			if rq.At <= last {
+				t.Errorf("client %d requests not strictly increasing", cp.ID)
+			}
+			last = rq.At
+			switch cp.Template {
+			case "readers":
+				if rq.Endpoint != "simulate" || rq.Bench != "gzip_comp" || (rq.Policy != "C" && rq.Policy != "E") {
+					t.Errorf("reader request outside its template mix: %+v", rq)
+				}
+			case "pollers":
+				if rq.Endpoint != "stats" || rq.Bench != "" {
+					t.Errorf("poller request outside its template: %+v", rq)
+				}
+			}
+		}
+	}
+	// Faults arrive sorted.
+	for i := 1; i < len(p.Faults); i++ {
+		if p.Faults[i].At < p.Faults[i-1].At {
+			t.Error("fault schedule not sorted")
+		}
+	}
+}
+
+// TestPlanWeights checks the weighted template assignment lands near
+// the declared mix on a fleet large enough for the law of large
+// numbers.
+func TestPlanWeights(t *testing.T) {
+	sc := testScenario(t)
+	sc.Fleet.Clients = 2000
+	p := BuildPlan(sc, 1)
+	per := p.PerTemplate()
+	frac := float64(per["readers"]) / 2000
+	if frac < 0.70 || frac > 0.80 {
+		t.Errorf("readers fraction %.3f, want ~0.75", frac)
+	}
+}
+
+func TestStartOffsets(t *testing.T) {
+	const n = 100
+	w := 10 * time.Second
+	cases := []struct {
+		pattern string
+		check   func(t *testing.T, offs []time.Duration)
+	}{
+		{"instant", func(t *testing.T, offs []time.Duration) {
+			for _, o := range offs {
+				if o != 0 {
+					t.Fatal("instant startup must start everyone at 0")
+				}
+			}
+		}},
+		{"linear", func(t *testing.T, offs []time.Duration) {
+			for i := 1; i < n; i++ {
+				if offs[i] < offs[i-1] {
+					t.Fatal("linear offsets must be non-decreasing")
+				}
+			}
+			if offs[0] != 0 || offs[n-1] < 9*time.Second {
+				t.Errorf("linear span wrong: first %v last %v", offs[0], offs[n-1])
+			}
+		}},
+		{"exponential", func(t *testing.T, offs []time.Duration) {
+			// Wave sizes double: the second half of the fleet joins in the
+			// last wave, so the median offset is late.
+			early, late := 0, 0
+			for _, o := range offs {
+				if o < w/2 {
+					early++
+				} else {
+					late++
+				}
+			}
+			if late <= early/2 {
+				t.Errorf("exponential shape wrong: %d early, %d late", early, late)
+			}
+		}},
+		{"wave", func(t *testing.T, offs []time.Duration) {
+			distinct := map[time.Duration]int{}
+			for _, o := range offs {
+				distinct[o]++
+			}
+			if len(distinct) != 5 {
+				t.Errorf("wave with 5 batches produced %d distinct offsets", len(distinct))
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.pattern, func(t *testing.T) {
+			st := Startup{Pattern: tc.pattern, Duration: w, Batches: 5}
+			offs := make([]time.Duration, n)
+			for i := range offs {
+				offs[i] = startOffset(st, i, n)
+			}
+			tc.check(t, offs)
+		})
+	}
+}
+
+func TestThinkDistributions(t *testing.T) {
+	rng := clientRand(9, 0)
+	// fixed: constant.
+	if d := thinkTime(Think{Dist: "fixed", Mean: 50 * time.Millisecond}, rng); d != 50*time.Millisecond {
+		t.Errorf("fixed think = %v", d)
+	}
+	// uniform: inside [min, max].
+	for i := 0; i < 1000; i++ {
+		d := thinkTime(Think{Dist: "uniform", Min: 10 * time.Millisecond, Max: 20 * time.Millisecond}, rng)
+		if d < 10*time.Millisecond || d >= 21*time.Millisecond {
+			t.Fatalf("uniform draw %v outside range", d)
+		}
+	}
+	// exp: positive, clamped at 10× mean, mean roughly right.
+	var sum time.Duration
+	const draws = 5000
+	mean := 20 * time.Millisecond
+	for i := 0; i < draws; i++ {
+		d := thinkTime(Think{Dist: "exp", Mean: mean}, rng)
+		if d <= 0 || d > 10*mean {
+			t.Fatalf("exp draw %v outside (0, 10*mean]", d)
+		}
+		sum += d
+	}
+	avg := sum / draws
+	if avg < mean/2 || avg > 2*mean {
+		t.Errorf("exp mean %v, want ≈%v", avg, mean)
+	}
+}
+
+// TestClientRandIndependence: neighbouring clients must not share a
+// stream (a naive seed+i construction correlates them).
+func TestClientRandIndependence(t *testing.T) {
+	a, b := clientRand(7, 0), clientRand(7, 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Intn(1000) == b.Intn(1000) {
+			same++
+		}
+	}
+	if same > 8 {
+		t.Errorf("neighbouring client streams agree on %d/64 draws", same)
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	sc := testScenario(t)
+	p := BuildPlan(sc, 3)
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Faults, back.Faults) || back.Fingerprint != p.Fingerprint {
+		t.Error("plan does not survive a JSON round trip")
+	}
+}

@@ -1,0 +1,182 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"time"
+)
+
+// Report is the full record of one scenario run.
+//
+// Determinism contract: for a fixed (scenario, seed), the Scenario,
+// Seed, Plan and Assertion-*specification* content is byte-identical
+// across runs — the plan fingerprint is the witness. The Timings
+// section (wall-clock stamps and measured latencies) and the Outcome
+// section (measured traffic, which depends on real scheduling) are the
+// run's evidence and naturally vary. `tlssim diff` compares two
+// reports with those sections stripped.
+type Report struct {
+	Scenario    *Scenario         `json:"scenario"`
+	Seed        uint64            `json:"seed"`
+	Plan        PlanSummary       `json:"plan"`
+	Outcome     *Outcome          `json:"outcome"`
+	Assertions  []AssertionResult `json:"assertions"`
+	Pass        bool              `json:"pass"`
+	Timings     Timings           `json:"timings"`
+	TlssimNotes []string          `json:"notes,omitempty"` // runner warnings (non-fatal)
+}
+
+// PlanSummary condenses the (large) plan into the report; the full
+// plan is reproducible from (scenario, seed) via `tlssim plan`.
+type PlanSummary struct {
+	Clients     int            `json:"clients"`
+	Requests    int            `json:"requests"`
+	PerTemplate map[string]int `json:"per_template"`
+	Faults      int            `json:"faults"`
+	Fingerprint string         `json:"fingerprint"`
+}
+
+// Timings is the report's wall-clock section — everything here varies
+// run to run by nature.
+type Timings struct {
+	StartedAt  string        `json:"started_at"` // RFC3339
+	FinishedAt string        `json:"finished_at"`
+	Wall       time.Duration `json:"wall"`
+	Startup    time.Duration `json:"startup"` // daemons launched → all ready
+}
+
+// NewReport assembles a report.
+func NewReport(sc *Scenario, seed uint64, p *Plan, o *Outcome, t Timings, notes []string) *Report {
+	rs := Evaluate(sc.Assert, o)
+	return &Report{
+		Scenario: sc,
+		Seed:     seed,
+		Plan: PlanSummary{
+			Clients:     len(p.Clients),
+			Requests:    p.TotalRequests(),
+			PerTemplate: p.PerTemplate(),
+			Faults:      len(p.Faults),
+			Fingerprint: p.Fingerprint,
+		},
+		Outcome:     o,
+		Assertions:  rs,
+		Pass:        Passed(rs),
+		Timings:     t,
+		TlssimNotes: notes,
+	}
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Deterministic returns a copy with the run-varying sections zeroed:
+// what remains is the per-seed reproducible content two runs of the
+// same scenario must agree on byte for byte.
+func (r *Report) Deterministic() *Report {
+	cp := *r
+	cp.Timings = Timings{}
+	cp.Outcome = nil
+	// Assertion Got strings carry measured values; keep name/spec only.
+	cp.Assertions = make([]AssertionResult, len(r.Assertions))
+	for i, a := range r.Assertions {
+		cp.Assertions[i] = AssertionResult{Name: a.Name, Want: a.Want}
+	}
+	cp.TlssimNotes = nil
+	return &cp
+}
+
+// --- HTML rendering ---
+
+var htmlTmpl = template.Must(template.New("report").Parse(`<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>tlssim · {{.Scenario.Name}}</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #1a1a1a; padding: 0 1rem; }
+  h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+  .pass { color: #0a7a2f; font-weight: 600; } .fail { color: #b3261e; font-weight: 600; }
+  table { border-collapse: collapse; width: 100%; margin: .5rem 0 1rem; }
+  th, td { text-align: left; padding: .3rem .6rem; border-bottom: 1px solid #e3e3e3; font-variant-numeric: tabular-nums; }
+  th { font-weight: 600; background: #f6f6f6; }
+  code { background: #f2f2f2; padding: .1rem .3rem; border-radius: 3px; font-size: .92em; }
+  .muted { color: #6a6a6a; }
+</style></head><body>
+<h1>tlssim · {{.Scenario.Name}}
+  {{if .Pass}}<span class="pass">PASS</span>{{else}}<span class="fail">FAIL</span>{{end}}</h1>
+<p class="muted">{{.Scenario.Description}}</p>
+<p>seed <code>{{.Seed}}</code> · duration <code>{{.Scenario.Duration}}</code> ·
+   plan fingerprint <code>{{printf "%.16s" .Plan.Fingerprint}}…</code> ·
+   started {{.Timings.StartedAt}} · wall {{.Timings.Wall}}</p>
+
+<h2>Assertions</h2>
+<table><tr><th>assertion</th><th>want</th><th>got</th><th>verdict</th></tr>
+{{range .Assertions}}<tr><td>{{.Name}}</td><td>{{.Want}}</td><td>{{.Got}}</td>
+  <td>{{if .OK}}<span class="pass">ok</span>{{else}}<span class="fail">FAILED</span>{{end}}</td></tr>
+{{end}}</table>
+
+<h2>Fleet</h2>
+<table><tr><th>clients</th><th>requests planned</th><th>templates</th><th>scheduled faults</th></tr>
+<tr><td>{{.Plan.Clients}}</td><td>{{.Plan.Requests}}</td>
+<td>{{range $name, $n := .Plan.PerTemplate}}{{$name}}&nbsp;×{{$n}}&ensp;{{end}}</td>
+<td>{{.Plan.Faults}}</td></tr></table>
+
+{{with .Outcome}}
+<h2>Traffic</h2>
+<table><tr><th>total</th><th>2xx</th><th>4xx</th><th>5xx</th><th>shed (429/503)</th><th>transport errors</th></tr>
+<tr><td>{{.Total}}</td><td>{{.OK}}</td><td>{{.Client4xx}}</td><td>{{.Server5xx}}</td><td>{{.Shed}}</td><td>{{.Transport}}</td></tr></table>
+
+<h2>Latency (successful requests)</h2>
+<table><tr><th>p50</th><th>p95</th><th>p99</th><th>max</th><th>cache hits</th><th>cache misses</th></tr>
+<tr><td>{{.P50}}</td><td>{{.P95}}</td><td>{{.P99}}</td><td>{{.Max}}</td><td>{{.CacheHits}}</td><td>{{.CacheMisses}}</td></tr></table>
+
+<h2>Faults &amp; recovery</h2>
+<table><tr><th>injected</th><th>kills</th><th>restarts</th><th>recoveries</th><th>final /readyz</th><th>quarantined</th></tr>
+<tr><td>{{.FaultsInjected}}</td><td>{{.Kills}}</td><td>{{.Restarts}}</td>
+<td>{{range .Recoveries}}{{.}}&ensp;{{end}}</td>
+<td>{{range .FinalReady}}<code>{{.}}</code>&ensp;{{end}}</td>
+<td>{{.Quarantined}}</td></tr></table>
+{{if .FaultsByPoint}}
+<table><tr><th>fault point</th><th>fired</th></tr>
+{{range $pt, $n := .FaultsByPoint}}<tr><td><code>{{$pt}}</code></td><td>{{$n}}</td></tr>{{end}}</table>
+{{end}}
+{{end}}
+
+{{if .TlssimNotes}}<h2>Notes</h2><ul>{{range .TlssimNotes}}<li class="muted">{{.}}</li>{{end}}</ul>{{end}}
+</body></html>
+`))
+
+// WriteHTML renders the report as a self-contained HTML page.
+func (r *Report) WriteHTML(w io.Writer) error {
+	return htmlTmpl.Execute(w, r)
+}
+
+// Summary is the one-paragraph terminal rendering.
+func (r *Report) Summary() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	o := r.Outcome
+	s := fmt.Sprintf("%s: %s  (seed %d)\n", r.Scenario.Name, verdict, r.Seed)
+	s += fmt.Sprintf("  fleet     %d clients, %d requests planned, %d executed\n", r.Plan.Clients, r.Plan.Requests, o.Total)
+	s += fmt.Sprintf("  traffic   %d ok, %d shed, %d 4xx, %d 5xx, %d transport (error rate %.4f)\n",
+		o.OK, o.Shed, o.Client4xx, o.Server5xx, o.Transport, o.ErrorRate())
+	s += fmt.Sprintf("  latency   p50 %v  p95 %v  p99 %v  max %v\n",
+		o.P50.Round(time.Microsecond), o.P95.Round(time.Microsecond), o.P99.Round(time.Microsecond), o.Max.Round(time.Microsecond))
+	s += fmt.Sprintf("  cache     %.4f hit rate (%d/%d)\n", o.HitRate(), o.CacheHits, o.CacheHits+o.CacheMisses)
+	s += fmt.Sprintf("  faults    %d injected, %d kills, %d restarts, worst recovery %v\n",
+		o.FaultsInjected, o.Kills, o.Restarts, o.MaxRecovery().Round(time.Millisecond))
+	for _, a := range r.Assertions {
+		mark := "ok  "
+		if !a.OK {
+			mark = "FAIL"
+		}
+		s += fmt.Sprintf("  [%s] %-22s got %s, want %s\n", mark, a.Name, a.Got, a.Want)
+	}
+	return s
+}

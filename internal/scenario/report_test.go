@@ -1,0 +1,239 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAggregate(t *testing.T) {
+	samples := []sample{
+		{endpoint: "simulate", status: 200, cacheHit: true, cacheHdr: true, latency: 10 * time.Millisecond},
+		{endpoint: "simulate", status: 200, cacheHit: false, cacheHdr: true, latency: 30 * time.Millisecond},
+		{endpoint: "simulate", status: 500, latency: 5 * time.Millisecond},
+		{endpoint: "simulate", status: 429},
+		{endpoint: "simulate", status: 503},
+		{endpoint: "simulate", status: 404},
+		{endpoint: "stats", status: 200, latency: 2 * time.Millisecond},
+		{endpoint: "simulate", status: 0},
+	}
+	o := aggregate(samples)
+	if o.Total != 8 || o.OK != 3 || o.Server5xx != 1 || o.Shed != 2 || o.Client4xx != 1 || o.Transport != 1 {
+		t.Fatalf("counts wrong: %+v", o)
+	}
+	if o.CacheHits != 1 || o.CacheMisses != 1 {
+		t.Errorf("cache counts wrong: hits %d misses %d", o.CacheHits, o.CacheMisses)
+	}
+	if o.EndpointHits["simulate"] != 7 || o.EndpointHits["stats"] != 1 {
+		t.Errorf("endpoint hits wrong: %v", o.EndpointHits)
+	}
+	if o.Max != 30*time.Millisecond {
+		t.Errorf("max latency %v", o.Max)
+	}
+	if got := o.ErrorRate(); got != 3.0/8.0 {
+		t.Errorf("error rate %v", got)
+	}
+	if got := o.ShedRate(); got != 2.0/8.0 {
+		t.Errorf("shed rate %v", got)
+	}
+	if got := o.HitRate(); got != 0.5 {
+		t.Errorf("hit rate %v", got)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var lats []time.Duration
+	for i := 1; i <= 100; i++ {
+		lats = append(lats, time.Duration(i)*time.Millisecond)
+	}
+	p50, p95, p99, max := percentiles(lats)
+	if p50 != 50*time.Millisecond || p95 != 95*time.Millisecond || p99 != 99*time.Millisecond || max != 100*time.Millisecond {
+		t.Errorf("percentiles: p50=%v p95=%v p99=%v max=%v", p50, p95, p99, max)
+	}
+	if a, b, c, d := percentiles(nil); a != 0 || b != 0 || c != 0 || d != 0 {
+		t.Error("empty percentiles must be zero")
+	}
+	one, _, _, m := percentiles([]time.Duration{7 * time.Millisecond})
+	if one != 7*time.Millisecond || m != 7*time.Millisecond {
+		t.Error("single-sample percentiles wrong")
+	}
+}
+
+func f64(v float64) *float64 { return &v }
+func i64(v int64) *int64     { return &v }
+func boolp(v bool) *bool     { return &v }
+
+func TestEvaluate(t *testing.T) {
+	o := &Outcome{
+		Total: 100, OK: 90, Server5xx: 2, Shed: 8,
+		CacheHits: 60, CacheMisses: 30,
+		P50: 5 * time.Millisecond, P95: 20 * time.Millisecond, P99: 40 * time.Millisecond,
+		FaultsInjected: 12, Kills: 1, Restarts: 1,
+		Recoveries: []time.Duration{900 * time.Millisecond},
+		FinalReady: []string{"ok", "ok"},
+	}
+	a := Assertions{
+		MaxP50:       10 * time.Millisecond,
+		MaxP95:       30 * time.Millisecond,
+		MaxP99:       50 * time.Millisecond,
+		MaxErrorRate: f64(0.05),
+		MinHitRate:   f64(0.5),
+		MaxShedRate:  f64(0.10),
+		MinShed:      i64(1),
+		MaxRecovery:  2 * time.Second,
+		MinInjected:  i64(10),
+		Converged:    boolp(true),
+		NoCorrupt:    boolp(true),
+	}
+	rs := Evaluate(a, o)
+	if len(rs) != 11 {
+		t.Fatalf("got %d results, want 11: %+v", len(rs), rs)
+	}
+	if !Passed(rs) {
+		t.Fatalf("all assertions should hold: %+v", rs)
+	}
+
+	// Flip each dial past its bound and confirm exactly that assertion fails.
+	flip := []struct {
+		name   string
+		mutate func(o *Outcome)
+	}{
+		{"latency.p50", func(o *Outcome) { o.P50 = 11 * time.Millisecond }},
+		{"latency.p95", func(o *Outcome) { o.P95 = 31 * time.Millisecond }},
+		{"latency.p99", func(o *Outcome) { o.P99 = 51 * time.Millisecond }},
+		{"error_rate", func(o *Outcome) { o.Server5xx = 50 }},
+		{"cache_hit_rate", func(o *Outcome) { o.CacheHits = 1 }},
+		{"shed_rate", func(o *Outcome) { o.Shed = 50 }},
+		{"shed_floor", func(o *Outcome) { o.Shed = 0 }},
+		{"recovery", func(o *Outcome) { o.Recoveries = []time.Duration{3 * time.Second} }},
+		{"faults_injected", func(o *Outcome) { o.FaultsInjected = 2 }},
+		{"readyz_converged", func(o *Outcome) { o.FinalReady = []string{"ok", "degraded"} }},
+		{"no_corrupt_artifacts", func(o *Outcome) { o.Quarantined = 3 }},
+	}
+	for _, tc := range flip {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := *o
+			bad.Recoveries = append([]time.Duration(nil), o.Recoveries...)
+			bad.FinalReady = append([]string(nil), o.FinalReady...)
+			tc.mutate(&bad)
+			rs := Evaluate(a, &bad)
+			failed := ""
+			for _, r := range rs {
+				if !r.OK {
+					if failed != "" {
+						t.Fatalf("more than one assertion failed: %s and %s", failed, r.Name)
+					}
+					failed = r.Name
+				}
+			}
+			if failed != tc.name {
+				t.Fatalf("failed assertion %q, want %q", failed, tc.name)
+			}
+		})
+	}
+}
+
+// TestEvaluateRecoveryMissing: a restart with no observed recovery is a
+// failure even when the worst observed recovery is under the bound.
+func TestEvaluateRecoveryMissing(t *testing.T) {
+	o := &Outcome{Restarts: 2, Recoveries: []time.Duration{100 * time.Millisecond}}
+	rs := Evaluate(Assertions{MaxRecovery: time.Second}, o)
+	if len(rs) != 1 || rs[0].OK {
+		t.Fatalf("missing recovery must fail the recovery assertion: %+v", rs)
+	}
+}
+
+// TestEvaluateConvergedEmpty: converged with zero daemons scraped is a
+// failure, not a vacuous pass.
+func TestEvaluateConvergedEmpty(t *testing.T) {
+	rs := Evaluate(Assertions{Converged: boolp(true)}, &Outcome{})
+	if len(rs) != 1 || rs[0].OK {
+		t.Fatalf("empty final_readyz must fail convergence: %+v", rs)
+	}
+}
+
+func testReport(t *testing.T) *Report {
+	t.Helper()
+	sc := testScenario(t)
+	p := BuildPlan(sc, 42)
+	o := &Outcome{
+		Total: 50, OK: 48, Shed: 2,
+		CacheHits: 20, CacheMisses: 10,
+		P50: 2 * time.Millisecond, P95: 8 * time.Millisecond, P99: 9 * time.Millisecond, Max: 9 * time.Millisecond,
+		FaultsInjected: 6, Kills: 1, Restarts: 1,
+		Recoveries:    []time.Duration{500 * time.Millisecond},
+		FinalReady:    []string{"ok"},
+		FaultsByPoint: map[string]int64{"fs.read": 5},
+	}
+	tm := Timings{StartedAt: "2026-08-08T00:00:00Z", FinishedAt: "2026-08-08T00:00:12Z", Wall: 12 * time.Second, Startup: 300 * time.Millisecond}
+	return NewReport(sc, 42, p, o, tm, []string{"one note"})
+}
+
+func TestReportJSON(t *testing.T) {
+	r := testReport(t)
+	if !r.Pass {
+		t.Fatalf("report should pass: %+v", r.Assertions)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Plan.Fingerprint != r.Plan.Fingerprint || back.Seed != 42 || !back.Pass {
+		t.Error("report does not survive a JSON round trip")
+	}
+}
+
+// TestReportDeterministic: the Deterministic() projection of two
+// reports from the same (scenario, seed) must be byte-identical even
+// when the measured sections differ.
+func TestReportDeterministic(t *testing.T) {
+	a := testReport(t)
+	b := testReport(t)
+	b.Outcome.P99 = 99 * time.Millisecond // a different measured run
+	b.Timings.Wall = 99 * time.Second
+	b.TlssimNotes = []string{"different note"}
+	aj, _ := json.Marshal(a.Deterministic())
+	bj, _ := json.Marshal(b.Deterministic())
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("deterministic projections differ:\n%s\n%s", aj, bj)
+	}
+	// And the projection really dropped the measured data.
+	if strings.Contains(string(aj), "99ms") || strings.Contains(string(aj), "one note") {
+		t.Error("deterministic projection leaked measured content")
+	}
+}
+
+func TestReportHTML(t *testing.T) {
+	r := testReport(t)
+	var buf bytes.Buffer
+	if err := r.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{"tlssim · demo", "PASS", "latency.p99", "fs.read", "one note"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("HTML report missing %q", want)
+		}
+	}
+}
+
+func TestReportSummary(t *testing.T) {
+	r := testReport(t)
+	s := r.Summary()
+	for _, want := range []string{"demo: PASS", "seed 42", "latency.p99", "[ok  ]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	r.Assertions[0].OK = false
+	r.Pass = false
+	if s := r.Summary(); !strings.Contains(s, "FAIL") {
+		t.Error("failed report summary lacks FAIL")
+	}
+}

@@ -1,0 +1,363 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// A Daemon is one tlsd under test, as the runner sees it: a base URL
+// that may change across restarts, plus lifecycle controls. The real
+// implementation (procDaemon, cmd/tlssim) launches tlsd processes and
+// discovers their :0-assigned ports via -portfile; runner tests use
+// in-process fakes.
+type Daemon interface {
+	// URL returns the current base URL (no trailing slash).
+	URL() string
+	// Kill SIGKILLs the process mid-flight — no drain, no cleanup.
+	Kill() error
+	// Restart relaunches the daemon over the same state directory, so
+	// crash recovery (journal replay, disk rescan) runs for real.
+	Restart() error
+	// WaitReady blocks until /readyz answers 200 (ok or degraded).
+	WaitReady(ctx context.Context) error
+	// Close terminates the daemon and releases its resources.
+	Close()
+}
+
+// RunOptions configures a scenario run.
+type RunOptions struct {
+	// StartDaemon launches daemon i of the scenario's fleet. cmd/tlssim
+	// installs the real tlsd process launcher; tests install fakes.
+	StartDaemon func(i int) (Daemon, error)
+	// Logf receives progress lines (nil: silent).
+	Logf func(format string, args ...any)
+	// Client issues the fleet's requests (nil: a default with a
+	// per-request timeout derived from the scenario).
+	Client *http.Client
+	// ReadyTimeout bounds each daemon's startup/recovery wait
+	// (<=0: 60s).
+	ReadyTimeout time.Duration
+}
+
+// Run executes a validated scenario against real daemons: expands the
+// deterministic plan, starts the fleet, replays every client's request
+// schedule in wall-clock time, drives the fault timeline, scrapes the
+// survivors, and evaluates the assertions. The returned report's plan
+// section (and fingerprint) is byte-stable per (scenario, seed); the
+// measured sections are the run's evidence.
+func Run(sc *Scenario, seed uint64, opts RunOptions) (*Report, error) {
+	if opts.StartDaemon == nil {
+		return nil, fmt.Errorf("scenario: RunOptions.StartDaemon is required")
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	client := opts.Client
+	if client == nil {
+		to := sc.Daemons.ReqTimeout
+		if to <= 0 {
+			to = 60 * time.Second
+		}
+		client = &http.Client{Timeout: to + 5*time.Second}
+	}
+	readyTO := opts.ReadyTimeout
+	if readyTO <= 0 {
+		readyTO = 60 * time.Second
+	}
+
+	plan := BuildPlan(sc, seed)
+	logf("plan: %d clients, %d requests, %d faults (fingerprint %.16s…)",
+		len(plan.Clients), plan.TotalRequests(), len(plan.Faults), plan.Fingerprint)
+
+	startedAt := time.Now()
+
+	// Start the fleet.
+	daemons := make([]Daemon, sc.Daemons.Count)
+	defer func() {
+		for _, d := range daemons {
+			if d != nil {
+				d.Close()
+			}
+		}
+	}()
+	for i := range daemons {
+		d, err := opts.StartDaemon(i)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: daemon %d: %w", i, err)
+		}
+		daemons[i] = d
+	}
+	readyCtx, cancelReady := context.WithTimeout(context.Background(), readyTO)
+	for i, d := range daemons {
+		if err := d.WaitReady(readyCtx); err != nil {
+			cancelReady()
+			return nil, fmt.Errorf("scenario: daemon %d never became ready: %w", i, err)
+		}
+	}
+	cancelReady()
+	startup := time.Since(startedAt)
+	logf("fleet: %d daemon(s) ready in %v", len(daemons), startup.Round(time.Millisecond))
+
+	// t0 is the run's virtual-time origin: every planned offset is
+	// replayed relative to it. A client that falls behind (a slow
+	// response ate its think time) issues immediately — schedules are
+	// earliest-start times, not exact timestamps.
+	t0 := time.Now()
+	var notes syncNotes
+
+	// Fault timeline.
+	outcome := &Outcome{FaultsByPoint: map[string]int64{}, EndpointHits: map[string]int64{}}
+	var faultWG sync.WaitGroup
+	var om sync.Mutex // guards outcome's fault/recovery fields during the run
+	faultWG.Add(1)
+	go func() {
+		defer faultWG.Done()
+		runFaults(plan.Faults, daemons, t0, readyTO, client, &om, outcome, &notes, logf)
+	}()
+
+	// Client fleet: one goroutine per client, each with its own sample
+	// slice (no shared state on the hot path).
+	perClient := make([][]sample, len(plan.Clients))
+	var clientWG sync.WaitGroup
+	for i := range plan.Clients {
+		clientWG.Add(1)
+		go func(i int) {
+			defer clientWG.Done()
+			perClient[i] = runClient(&plan.Clients[i], daemons, t0, client)
+		}(i)
+	}
+	clientWG.Wait()
+	faultWG.Wait()
+	wall := time.Since(startedAt)
+
+	// Aggregate traffic, then graft the fault/recovery fields collected
+	// during the run and the final scrapes on top.
+	var samples []sample
+	for _, s := range perClient {
+		samples = append(samples, s...)
+	}
+	agg := aggregate(samples)
+	agg.FaultsByPoint = outcome.FaultsByPoint
+	agg.Kills = outcome.Kills
+	agg.Restarts = outcome.Restarts
+	agg.Recoveries = outcome.Recoveries
+	scrapeDaemons(daemons, client, agg, &notes)
+	agg.FaultsInjected = agg.Kills
+	for _, n := range agg.FaultsByPoint {
+		agg.FaultsInjected += n
+	}
+
+	t := Timings{
+		StartedAt:  startedAt.UTC().Format(time.RFC3339),
+		FinishedAt: time.Now().UTC().Format(time.RFC3339),
+		Wall:       wall,
+		Startup:    startup,
+	}
+	rep := NewReport(sc, seed, plan, agg, t, notes.take())
+	logf("run: %d requests in %v — %s", agg.Total, wall.Round(time.Millisecond), verdict(rep))
+	return rep, nil
+}
+
+func verdict(r *Report) string {
+	if r.Pass {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// syncNotes collects non-fatal runner warnings.
+type syncNotes struct {
+	mu    sync.Mutex
+	notes []string
+}
+
+func (n *syncNotes) add(format string, args ...any) {
+	n.mu.Lock()
+	n.notes = append(n.notes, fmt.Sprintf(format, args...))
+	n.mu.Unlock()
+}
+
+func (n *syncNotes) take() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.notes
+}
+
+// runClient replays one client's planned request schedule against its
+// daemon. Offsets are earliest-start times: the client sleeps until
+// each request's planned time, or issues immediately when already past
+// it.
+func runClient(cp *ClientPlan, daemons []Daemon, t0 time.Time, client *http.Client) []sample {
+	d := daemons[cp.Daemon]
+	out := make([]sample, 0, len(cp.Requests))
+	for i := range cp.Requests {
+		rq := &cp.Requests[i]
+		if wait := time.Until(t0.Add(rq.At)); wait > 0 {
+			time.Sleep(wait)
+		}
+		out = append(out, issue(client, d.URL(), rq))
+	}
+	return out
+}
+
+// issue performs one planned request and records its outcome.
+func issue(client *http.Client, base string, rq *RequestPlan) sample {
+	var url string
+	switch rq.Endpoint {
+	case "simulate":
+		url = fmt.Sprintf("%s/simulate?bench=%s&policy=%s", base, rq.Bench, rq.Policy)
+	case "stats":
+		url = base + "/stats"
+	case "readyz":
+		url = base + "/readyz"
+	}
+	s := sample{endpoint: rq.Endpoint}
+	start := time.Now()
+	resp, err := client.Get(url)
+	s.latency = time.Since(start)
+	if err != nil {
+		return s // status 0: transport failure (daemon down, timeout)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	s.status = resp.StatusCode
+	if hdr := resp.Header.Get("X-Tlsd-Cache"); hdr != "" {
+		s.cacheHdr = true
+		s.cacheHit = hdr == "hit"
+	}
+	return s
+}
+
+// runFaults drives the scenario's fault timeline: arming point faults
+// over the /_faults surface and SIGKILLing (and restarting) daemons at
+// their scheduled offsets. Events are sorted by At, so a plain sleep
+// walks the timeline.
+func runFaults(events []FaultEvent, daemons []Daemon, t0 time.Time, readyTO time.Duration,
+	client *http.Client, om *sync.Mutex, o *Outcome, notes *syncNotes, logf func(string, ...any)) {
+	for i := range events {
+		ev := &events[i]
+		if wait := time.Until(t0.Add(ev.At)); wait > 0 {
+			time.Sleep(wait)
+		}
+		d := daemons[ev.Target]
+		switch ev.Kind {
+		case "point":
+			spec := ev.ArmSpecString()
+			if err := armFault(client, d.URL(), spec); err != nil {
+				notes.add("fault at %v: arming %q on daemon %d failed: %v", ev.At, spec, ev.Target, err)
+				continue
+			}
+			logf("fault: armed %q on daemon %d at +%v", spec, ev.Target, ev.At)
+		case "kill":
+			if err := d.Kill(); err != nil {
+				notes.add("fault at %v: kill of daemon %d failed: %v", ev.At, ev.Target, err)
+				continue
+			}
+			om.Lock()
+			o.Kills++
+			om.Unlock()
+			logf("fault: SIGKILLed daemon %d at +%v", ev.Target, ev.At)
+			if !ev.Restart {
+				continue
+			}
+			if ev.Delay > 0 {
+				time.Sleep(ev.Delay)
+			}
+			restartStart := time.Now()
+			if err := d.Restart(); err != nil {
+				notes.add("fault at %v: restart of daemon %d failed: %v", ev.At, ev.Target, err)
+				continue
+			}
+			om.Lock()
+			o.Restarts++
+			om.Unlock()
+			ctx, cancel := context.WithTimeout(context.Background(), readyTO)
+			err := d.WaitReady(ctx)
+			cancel()
+			if err != nil {
+				notes.add("fault at %v: daemon %d never recovered: %v", ev.At, ev.Target, err)
+				continue
+			}
+			rec := time.Since(restartStart)
+			om.Lock()
+			o.Recoveries = append(o.Recoveries, rec)
+			om.Unlock()
+			logf("fault: daemon %d recovered in %v", ev.Target, rec.Round(time.Millisecond))
+		}
+	}
+}
+
+// armFault POSTs one spec to a daemon's /_faults/arm endpoint.
+func armFault(client *http.Client, base, spec string) error {
+	resp, err := client.Post(base+"/_faults/arm?spec="+url.QueryEscape(spec), "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("arm answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// scrapeDaemons collects each surviving daemon's final state: /readyz
+// status (convergence + corruption evidence) and, where the fault
+// surface is up, the /_faults fired counters — the proof the chaos
+// schedule actually executed.
+func scrapeDaemons(daemons []Daemon, client *http.Client, o *Outcome, notes *syncNotes) {
+	for i, d := range daemons {
+		var rz struct {
+			Status      string `json:"status"`
+			Quarantined int64  `json:"quarantined"`
+			DiskErrors  int64  `json:"disk_errors"`
+			Journal     *struct {
+				AppendErrors int64 `json:"append_errors"`
+			} `json:"journal"`
+		}
+		if err := getJSON(client, d.URL()+"/readyz", &rz); err != nil {
+			notes.add("final scrape: daemon %d /readyz unreachable: %v", i, err)
+			o.FinalReady = append(o.FinalReady, "unreachable")
+		} else {
+			o.FinalReady = append(o.FinalReady, rz.Status)
+			o.Quarantined += rz.Quarantined
+			o.DiskErrors += rz.DiskErrors
+			if rz.Journal != nil {
+				o.JournalBad += rz.Journal.AppendErrors
+			}
+		}
+		var fs struct {
+			Fired map[string]int64 `json:"fired"`
+		}
+		if err := getJSON(client, d.URL()+"/_faults", &fs); err == nil {
+			keys := make([]string, 0, len(fs.Fired))
+			for pt := range fs.Fired {
+				keys = append(keys, pt)
+			}
+			sort.Strings(keys)
+			for _, pt := range keys {
+				o.FaultsByPoint[pt] += fs.Fired[pt]
+			}
+		}
+	}
+}
+
+// getJSON fetches and decodes one JSON endpoint. Non-2xx statuses are
+// not errors here: /readyz answers 503 while draining and its body is
+// still the scrape.
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,243 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"tlssync/internal/fault"
+)
+
+// fakeDaemon is an in-process tlsd stand-in for runner tests: it
+// serves the endpoints the runner touches, backs /_faults with a REAL
+// fault registry (so arming and firing semantics match production),
+// and simulates kill/restart by refusing connections while "down".
+type fakeDaemon struct {
+	t   *testing.T
+	srv *httptest.Server
+	reg *fault.Registry
+
+	mu       sync.Mutex
+	down     bool
+	killed   int
+	restarts int
+	simCount int
+}
+
+func newFakeDaemon(t *testing.T) *fakeDaemon {
+	d := &fakeDaemon{t: t, reg: fault.NewRegistry()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", d.withUp(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"status": "ok", "quarantined": 0, "disk_errors": 0})
+	}))
+	mux.HandleFunc("GET /stats", d.withUp(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"uptime_seconds": 1.0})
+	}))
+	mux.HandleFunc("GET /simulate", d.withUp(func(w http.ResponseWriter, r *http.Request) {
+		// The fs.read point guards the "store read", as in tlsd.
+		if err := d.reg.Fire("fs.read"); err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			writeJSON(w, map[string]string{"error": err.Error()})
+			return
+		}
+		d.mu.Lock()
+		d.simCount++
+		hit := d.simCount > 1
+		d.mu.Unlock()
+		state := "miss"
+		if hit {
+			state = "hit"
+		}
+		w.Header().Set("X-Tlsd-Cache", state)
+		writeJSON(w, map[string]string{"cache": state})
+	}))
+	mux.HandleFunc("GET /_faults", d.withUp(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"armed": d.reg.Armed(), "fired": d.reg.FiredAll()})
+	}))
+	mux.HandleFunc("POST /_faults/arm", d.withUp(func(w http.ResponseWriter, r *http.Request) {
+		specs, err := fault.ParseSpec(r.URL.Query().Get("spec"))
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			writeJSON(w, map[string]string{"error": err.Error()})
+			return
+		}
+		fault.ArmAll(d.reg, specs)
+		writeJSON(w, map[string]any{"armed": d.reg.Armed()})
+	}))
+	d.srv = httptest.NewServer(mux)
+	return d
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// withUp aborts the connection while the daemon is "killed", so
+// clients observe transport errors exactly as with a dead process.
+func (d *fakeDaemon) withUp(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		down := d.down
+		d.mu.Unlock()
+		if down {
+			panic(http.ErrAbortHandler)
+		}
+		h(w, r)
+	}
+}
+
+func (d *fakeDaemon) URL() string { return d.srv.URL }
+
+func (d *fakeDaemon) Kill() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.down = true
+	d.killed++
+	return nil
+}
+
+func (d *fakeDaemon) Restart() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.down {
+		return fmt.Errorf("restart of a live daemon")
+	}
+	d.down = false
+	d.restarts++
+	return nil
+}
+
+func (d *fakeDaemon) WaitReady(ctx context.Context) error {
+	for {
+		d.mu.Lock()
+		down := d.down
+		d.mu.Unlock()
+		if !down {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func (d *fakeDaemon) Close() { d.srv.Close() }
+
+const runnerScenario = `name: runner-smoke
+description: runner unit test against in-process fakes
+duration: 1200ms
+seed: 3
+daemons:
+  count: 2
+  benchmarks: [gzip_comp]
+  fault_surface: true
+fleet:
+  clients: 6
+  startup:
+    pattern: instant
+  templates:
+    - name: readers
+      weight: 1.0
+      bench: [gzip_comp]
+      policy: [C]
+      think:
+        dist: fixed
+        mean: 100ms
+faults:
+  - {at: 100ms, kind: point, target: 0, point: fs.read, effect: error, times: 2}
+  - {at: 400ms, kind: kill, target: 1, restart: true, delay: 20ms}
+assertions:
+  max_error_rate: 0.9
+  min_faults_injected: 1
+  max_recovery: 10s
+  readyz_converged: true
+  no_corrupt_artifacts: true
+`
+
+func TestRunnerEndToEnd(t *testing.T) {
+	sc, err := Parse("runner.yaml", []byte(runnerScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fakes := make([]*fakeDaemon, sc.Daemons.Count)
+	rep, err := Run(sc, 3, RunOptions{
+		StartDaemon: func(i int) (Daemon, error) {
+			fakes[i] = newFakeDaemon(t)
+			return fakes[i], nil
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcome
+	if o.Total == 0 {
+		t.Fatal("runner issued no requests")
+	}
+	if o.Kills != 1 || o.Restarts != 1 || len(o.Recoveries) != 1 {
+		t.Errorf("kill lifecycle wrong: kills=%d restarts=%d recoveries=%v", o.Kills, o.Restarts, o.Recoveries)
+	}
+	if fakes[1].killed != 1 || fakes[1].restarts != 1 {
+		t.Errorf("kill targeted the wrong daemon: %+v", fakes[1])
+	}
+	if o.FaultsByPoint["fs.read"] != 2 {
+		t.Errorf("fs.read fired %d times, want 2 (times=2 budget)", o.FaultsByPoint["fs.read"])
+	}
+	if o.FaultsInjected != o.Kills+2 {
+		t.Errorf("faults_injected = %d, want kills+fired = %d", o.FaultsInjected, o.Kills+2)
+	}
+	if o.Server5xx < 2 {
+		t.Errorf("injected errors did not surface as 5xx: %+v", o)
+	}
+	if len(o.FinalReady) != 2 || o.FinalReady[0] != "ok" || o.FinalReady[1] != "ok" {
+		t.Errorf("final readyz = %v", o.FinalReady)
+	}
+	if !rep.Pass {
+		t.Errorf("scenario should pass, assertions: %+v", rep.Assertions)
+	}
+	if rep.Plan.Fingerprint != BuildPlan(sc, 3).Fingerprint {
+		t.Error("report fingerprint does not match the plan's")
+	}
+}
+
+// TestRunnerDeterministicSection: two real runs differ in measurements
+// but agree byte-for-byte on the deterministic projection.
+func TestRunnerDeterministicSection(t *testing.T) {
+	sc, err := Parse("runner.yaml", []byte(runnerScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Report {
+		rep, err := Run(sc, 42, RunOptions{
+			StartDaemon: func(i int) (Daemon, error) { return newFakeDaemon(t), nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	aj, _ := json.Marshal(a.Deterministic())
+	bj, _ := json.Marshal(b.Deterministic())
+	if string(aj) != string(bj) {
+		t.Fatalf("deterministic projections differ:\n%s\n%s", aj, bj)
+	}
+}
+
+func TestRunnerRequiresStartDaemon(t *testing.T) {
+	sc, err := Parse("runner.yaml", []byte(runnerScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sc, 1, RunOptions{}); err == nil {
+		t.Fatal("Run without StartDaemon must fail")
+	}
+}

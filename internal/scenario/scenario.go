@@ -1,0 +1,739 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"tlssync/internal/workloads"
+)
+
+// Policies lists the policy labels tlsd's /simulate accepts, in the
+// daemon's order. Scenario validation rejects anything else up front so
+// a bad policy fails `tlssim validate`, not a 400 mid-run.
+var Policies = []string{"U", "O", "T", "C", "E", "L", "H", "P", "B"}
+
+// Scenario is one parsed and validated scenario file.
+type Scenario struct {
+	Name        string        `json:"name"`
+	Description string        `json:"description,omitempty"`
+	Duration    time.Duration `json:"duration"`
+	Seed        uint64        `json:"seed"` // default seed; `tlssim run --seed` overrides
+	Daemons     DaemonSpec    `json:"daemons"`
+	Fleet       FleetSpec     `json:"fleet"`
+	Faults      []FaultEvent  `json:"faults,omitempty"`
+	Assert      Assertions    `json:"assertions"`
+}
+
+// DaemonSpec declares the tlsd processes under test.
+type DaemonSpec struct {
+	Count        int           `json:"count"`      // number of tlsd processes (default 1)
+	Benchmarks   []string      `json:"benchmarks"` // serving set; `synth-<seed>` entries are progen-generated
+	Workers      int           `json:"workers,omitempty"`
+	Cache        int           `json:"cache,omitempty"`
+	Queue        int           `json:"queue,omitempty"`         // admission queue depth (0: daemon default)
+	ReqTimeout   time.Duration `json:"req_timeout,omitempty"`   // per-request deadline (0: daemon default)
+	Warm         bool          `json:"warm,omitempty"`          // prewarm the serving set before the clock starts
+	FaultSurface bool          `json:"fault_surface,omitempty"` // start with -enable-fault-injection (required by point/crash events)
+}
+
+// FleetSpec declares the synthetic client fleet.
+type FleetSpec struct {
+	Clients   int        `json:"clients"`
+	Startup   Startup    `json:"startup"`
+	Templates []Template `json:"templates"`
+}
+
+// Startup is the fleet's arrival shape.
+type Startup struct {
+	// Pattern: instant (everyone at t=0), linear (constant arrival
+	// rate), exponential (slow start, accelerating waves: 1, 2, 4, ...),
+	// wave (equal batches separated by pauses).
+	Pattern  string        `json:"pattern"`
+	Duration time.Duration `json:"duration,omitempty"` // arrival window (0 with instant)
+	Batches  int           `json:"batches,omitempty"`  // wave only (default 4)
+}
+
+// Template is one weighted client archetype: which benchmarks and
+// policies its clients request (a mix over the SimSpec axes), against
+// which endpoint, at what think-time rhythm.
+type Template struct {
+	Name     string   `json:"name"`
+	Weight   float64  `json:"weight"`             // weights must sum to 1 across templates
+	Bench    []string `json:"bench,omitempty"`    // choice set (default: the daemon serving set)
+	Policy   []string `json:"policy,omitempty"`   // choice set (default: C)
+	Endpoint string   `json:"endpoint,omitempty"` // simulate (default), stats, readyz
+	Requests int      `json:"requests,omitempty"` // per-client cap (0: until duration)
+	Think    Think    `json:"think"`
+}
+
+// Think is a client's think-time distribution between requests.
+type Think struct {
+	Dist string        `json:"dist"`           // fixed, uniform, exp
+	Mean time.Duration `json:"mean,omitempty"` // fixed, exp
+	Min  time.Duration `json:"min,omitempty"`  // uniform
+	Max  time.Duration `json:"max,omitempty"`  // uniform
+}
+
+// FaultEvent is one scheduled injection.
+type FaultEvent struct {
+	At     time.Duration `json:"at"`
+	Kind   string        `json:"kind"`             // point, kill
+	Target int           `json:"target"`           // daemon index
+	Point  string        `json:"point,omitempty"`  // kind=point: fault-registry point (fs.read, jobs.simulate, ...)
+	Effect string        `json:"effect,omitempty"` // kind=point: latency, error, panic, crash
+	Delay  time.Duration `json:"delay,omitempty"`  // kind=point: injected latency; kind=kill: restart delay
+	Times  int           `json:"times,omitempty"`  // kind=point: firing budget (default 1)
+	// Restart re-execs the killed daemon over the same cache dir after
+	// Delay, exercising the crash-recovery path; recovery time (restart
+	// to /readyz ok) feeds the recovery assertion.
+	Restart bool `json:"restart,omitempty"`
+}
+
+// ArmSpecString renders a point fault as the textual arming spec the
+// tlsd /_faults surface (and -faults flag) accepts:
+// point=effect[:delay][:times=N].
+func (e *FaultEvent) ArmSpecString() string {
+	s := e.Point + "=" + e.Effect
+	if e.Effect == "latency" {
+		s += ":" + e.Delay.String()
+	}
+	if e.Times > 0 {
+		s += fmt.Sprintf(":times=%d", e.Times)
+	}
+	return s
+}
+
+// Assertions are the scenario's pass/fail criteria. Pointer fields are
+// absent when the scenario does not assert them.
+type Assertions struct {
+	MaxP50       time.Duration `json:"max_p50,omitempty"`
+	MaxP95       time.Duration `json:"max_p95,omitempty"`
+	MaxP99       time.Duration `json:"max_p99,omitempty"`
+	MaxErrorRate *float64      `json:"max_error_rate,omitempty"`     // (5xx + transport errors) / total
+	MinHitRate   *float64      `json:"min_cache_hit_rate,omitempty"` // simulate-endpoint store hits / (hits+misses)
+	MaxShedRate  *float64      `json:"max_shed_rate,omitempty"`      // (429 + 503) / total
+	MinShed      *int64        `json:"min_shed,omitempty"`           // floor on sheds (burst scenarios must actually shed)
+	MaxRecovery  time.Duration `json:"max_recovery,omitempty"`       // restart → /readyz ok bound
+	MinInjected  *int64        `json:"min_faults_injected,omitempty"`
+	Converged    *bool         `json:"readyz_converged,omitempty"`     // final /readyz must be ok on every daemon
+	NoCorrupt    *bool         `json:"no_corrupt_artifacts,omitempty"` // final quarantined count must be 0
+}
+
+// Load reads, parses and validates a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(path, data)
+}
+
+// Parse parses and validates scenario bytes; file is used in error
+// positions.
+func Parse(file string, data []byte) (*Scenario, error) {
+	root, err := parseYAML(file, data)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{file: file}
+	sc := d.scenario(root)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := sc.validate(file); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// decoder decodes the node tree into the typed schema, accumulating
+// the first positional error. Every mapping decode is strict: unknown
+// keys are errors naming the key and its line.
+type decoder struct {
+	file string
+	err  error
+}
+
+func (d *decoder) fail(line int, format string, args ...any) {
+	if d.err == nil {
+		d.err = errAt(d.file, line, format, args...)
+	}
+}
+
+// strict verifies that a mapping holds only known keys.
+func (d *decoder) strict(n *node, context string, known ...string) {
+	if n.kind != mapNode {
+		d.fail(n.line, "%s: expected a mapping, got a %s", context, n.kindName())
+		return
+	}
+	for i, k := range n.keys {
+		found := false
+		for _, ok := range known {
+			if k == ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			d.fail(n.keyLines[i], "%s: unknown key %q (known keys: %s)", context, k, strings.Join(known, ", "))
+			return
+		}
+	}
+}
+
+func (d *decoder) str(n *node, context string) string {
+	if n.kind != scalarNode {
+		d.fail(n.line, "%s: expected a scalar, got a %s", context, n.kindName())
+		return ""
+	}
+	return n.scalar
+}
+
+func (d *decoder) strs(n *node, context string) []string {
+	switch n.kind {
+	case seqNode:
+		out := make([]string, 0, len(n.items))
+		for _, it := range n.items {
+			out = append(out, d.str(it, context))
+		}
+		return out
+	case scalarNode:
+		// A single scalar is a one-element list; commas split.
+		var out []string
+		for _, s := range strings.Split(n.scalar, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				out = append(out, s)
+			}
+		}
+		return out
+	default:
+		d.fail(n.line, "%s: expected a list of scalars", context)
+		return nil
+	}
+}
+
+func (d *decoder) num(n *node, context string) int {
+	s := d.str(n, context)
+	if d.err != nil {
+		return 0
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		d.fail(n.line, "%s: bad integer %q", context, s)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) float(n *node, context string) float64 {
+	s := d.str(n, context)
+	if d.err != nil {
+		return 0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		d.fail(n.line, "%s: bad number %q", context, s)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) boolean(n *node, context string) bool {
+	switch s := d.str(n, context); s {
+	case "true", "yes", "on":
+		return true
+	case "false", "no", "off":
+		return false
+	default:
+		if d.err == nil {
+			d.fail(n.line, "%s: bad boolean %q (want true or false)", context, s)
+		}
+		return false
+	}
+}
+
+func (d *decoder) dur(n *node, context string) time.Duration {
+	s := d.str(n, context)
+	if d.err != nil {
+		return 0
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		d.fail(n.line, "%s: bad duration %q (want e.g. 500ms, 10s, 2m)", context, s)
+		return 0
+	}
+	if v < 0 {
+		d.fail(n.line, "%s: negative duration %q", context, s)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) seed(n *node, context string) uint64 {
+	s := d.str(n, context)
+	if d.err != nil {
+		return 0
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		d.fail(n.line, "%s: bad seed %q", context, s)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) scenario(root *node) *Scenario {
+	d.strict(root, "scenario",
+		"name", "description", "duration", "seed", "daemons", "fleet", "faults", "assertions")
+	if d.err != nil {
+		return nil
+	}
+	sc := &Scenario{}
+	if n := root.get("name"); n != nil {
+		sc.Name = d.str(n, "name")
+	}
+	if n := root.get("description"); n != nil {
+		sc.Description = d.str(n, "description")
+	}
+	if n := root.get("duration"); n != nil {
+		sc.Duration = d.dur(n, "duration")
+	}
+	if n := root.get("seed"); n != nil {
+		sc.Seed = d.seed(n, "seed")
+	}
+	if n := root.get("daemons"); n != nil {
+		sc.Daemons = d.daemons(n)
+	}
+	if n := root.get("fleet"); n != nil {
+		sc.Fleet = d.fleet(n)
+	}
+	if n := root.get("faults"); n != nil {
+		sc.Faults = d.faults(n)
+	}
+	if n := root.get("assertions"); n != nil {
+		sc.Assert = d.assertions(n)
+	}
+	return sc
+}
+
+func (d *decoder) daemons(n *node) DaemonSpec {
+	d.strict(n, "daemons",
+		"count", "benchmarks", "workers", "cache", "queue", "req_timeout", "warm", "fault_surface")
+	if d.err != nil {
+		return DaemonSpec{}
+	}
+	ds := DaemonSpec{Count: 1}
+	if c := n.get("count"); c != nil {
+		ds.Count = d.num(c, "daemons.count")
+	}
+	if c := n.get("benchmarks"); c != nil {
+		ds.Benchmarks = d.strs(c, "daemons.benchmarks")
+	}
+	if c := n.get("workers"); c != nil {
+		ds.Workers = d.num(c, "daemons.workers")
+	}
+	if c := n.get("cache"); c != nil {
+		ds.Cache = d.num(c, "daemons.cache")
+	}
+	if c := n.get("queue"); c != nil {
+		ds.Queue = d.num(c, "daemons.queue")
+	}
+	if c := n.get("req_timeout"); c != nil {
+		ds.ReqTimeout = d.dur(c, "daemons.req_timeout")
+	}
+	if c := n.get("warm"); c != nil {
+		ds.Warm = d.boolean(c, "daemons.warm")
+	}
+	if c := n.get("fault_surface"); c != nil {
+		ds.FaultSurface = d.boolean(c, "daemons.fault_surface")
+	}
+	return ds
+}
+
+func (d *decoder) fleet(n *node) FleetSpec {
+	d.strict(n, "fleet", "clients", "startup", "templates")
+	if d.err != nil {
+		return FleetSpec{}
+	}
+	fs := FleetSpec{Startup: Startup{Pattern: "instant"}}
+	if c := n.get("clients"); c != nil {
+		fs.Clients = d.num(c, "fleet.clients")
+	}
+	if c := n.get("startup"); c != nil {
+		fs.Startup = d.startup(c)
+	}
+	if c := n.get("templates"); c != nil {
+		if c.kind != seqNode {
+			d.fail(c.line, "fleet.templates: expected a sequence of templates")
+			return fs
+		}
+		for _, it := range c.items {
+			fs.Templates = append(fs.Templates, d.template(it))
+		}
+	}
+	return fs
+}
+
+func (d *decoder) startup(n *node) Startup {
+	d.strict(n, "fleet.startup", "pattern", "duration", "batches")
+	if d.err != nil {
+		return Startup{}
+	}
+	st := Startup{Pattern: "instant"}
+	if c := n.get("pattern"); c != nil {
+		st.Pattern = d.str(c, "fleet.startup.pattern")
+	}
+	if c := n.get("duration"); c != nil {
+		st.Duration = d.dur(c, "fleet.startup.duration")
+	}
+	if c := n.get("batches"); c != nil {
+		st.Batches = d.num(c, "fleet.startup.batches")
+	}
+	return st
+}
+
+func (d *decoder) template(n *node) Template {
+	d.strict(n, "template", "name", "weight", "bench", "policy", "endpoint", "requests", "think")
+	if d.err != nil {
+		return Template{}
+	}
+	t := Template{Endpoint: "simulate", Think: Think{Dist: "fixed", Mean: 100 * time.Millisecond}}
+	if c := n.get("name"); c != nil {
+		t.Name = d.str(c, "template.name")
+	}
+	if c := n.get("weight"); c != nil {
+		t.Weight = d.float(c, "template.weight")
+	}
+	if c := n.get("bench"); c != nil {
+		t.Bench = d.strs(c, "template.bench")
+	}
+	if c := n.get("policy"); c != nil {
+		t.Policy = d.strs(c, "template.policy")
+	}
+	if c := n.get("endpoint"); c != nil {
+		t.Endpoint = d.str(c, "template.endpoint")
+	}
+	if c := n.get("requests"); c != nil {
+		t.Requests = d.num(c, "template.requests")
+	}
+	if c := n.get("think"); c != nil {
+		t.Think = d.think(c)
+	}
+	return t
+}
+
+func (d *decoder) think(n *node) Think {
+	d.strict(n, "think", "dist", "mean", "min", "max")
+	if d.err != nil {
+		return Think{}
+	}
+	th := Think{Dist: "fixed"}
+	if c := n.get("dist"); c != nil {
+		th.Dist = d.str(c, "think.dist")
+	}
+	if c := n.get("mean"); c != nil {
+		th.Mean = d.dur(c, "think.mean")
+	}
+	if c := n.get("min"); c != nil {
+		th.Min = d.dur(c, "think.min")
+	}
+	if c := n.get("max"); c != nil {
+		th.Max = d.dur(c, "think.max")
+	}
+	return th
+}
+
+func (d *decoder) faults(n *node) []FaultEvent {
+	if n.kind != seqNode {
+		d.fail(n.line, "faults: expected a sequence of fault events")
+		return nil
+	}
+	var out []FaultEvent
+	for _, it := range n.items {
+		d.strict(it, "fault event", "at", "kind", "target", "point", "effect", "delay", "times", "restart")
+		if d.err != nil {
+			return nil
+		}
+		ev := FaultEvent{Times: 1}
+		if c := it.get("at"); c != nil {
+			ev.At = d.dur(c, "fault.at")
+		}
+		if c := it.get("kind"); c != nil {
+			ev.Kind = d.str(c, "fault.kind")
+		}
+		if c := it.get("target"); c != nil {
+			ev.Target = d.num(c, "fault.target")
+		}
+		if c := it.get("point"); c != nil {
+			ev.Point = d.str(c, "fault.point")
+		}
+		if c := it.get("effect"); c != nil {
+			ev.Effect = d.str(c, "fault.effect")
+		}
+		if c := it.get("delay"); c != nil {
+			ev.Delay = d.dur(c, "fault.delay")
+		}
+		if c := it.get("times"); c != nil {
+			ev.Times = d.num(c, "fault.times")
+		}
+		if c := it.get("restart"); c != nil {
+			ev.Restart = d.boolean(c, "fault.restart")
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func (d *decoder) assertions(n *node) Assertions {
+	d.strict(n, "assertions",
+		"max_p50", "max_p95", "max_p99", "max_error_rate", "min_cache_hit_rate",
+		"max_shed_rate", "min_shed", "max_recovery", "min_faults_injected",
+		"readyz_converged", "no_corrupt_artifacts")
+	if d.err != nil {
+		return Assertions{}
+	}
+	var a Assertions
+	if c := n.get("max_p50"); c != nil {
+		a.MaxP50 = d.dur(c, "assertions.max_p50")
+	}
+	if c := n.get("max_p95"); c != nil {
+		a.MaxP95 = d.dur(c, "assertions.max_p95")
+	}
+	if c := n.get("max_p99"); c != nil {
+		a.MaxP99 = d.dur(c, "assertions.max_p99")
+	}
+	if c := n.get("max_error_rate"); c != nil {
+		v := d.float(c, "assertions.max_error_rate")
+		a.MaxErrorRate = &v
+	}
+	if c := n.get("min_cache_hit_rate"); c != nil {
+		v := d.float(c, "assertions.min_cache_hit_rate")
+		a.MinHitRate = &v
+	}
+	if c := n.get("max_shed_rate"); c != nil {
+		v := d.float(c, "assertions.max_shed_rate")
+		a.MaxShedRate = &v
+	}
+	if c := n.get("min_shed"); c != nil {
+		v := int64(d.num(c, "assertions.min_shed"))
+		a.MinShed = &v
+	}
+	if c := n.get("max_recovery"); c != nil {
+		a.MaxRecovery = d.dur(c, "assertions.max_recovery")
+	}
+	if c := n.get("min_faults_injected"); c != nil {
+		v := int64(d.num(c, "assertions.min_faults_injected"))
+		a.MinInjected = &v
+	}
+	if c := n.get("readyz_converged"); c != nil {
+		v := d.boolean(c, "assertions.readyz_converged")
+		a.Converged = &v
+	}
+	if c := n.get("no_corrupt_artifacts"); c != nil {
+		v := d.boolean(c, "assertions.no_corrupt_artifacts")
+		a.NoCorrupt = &v
+	}
+	return a
+}
+
+// --- validation ---
+
+// SynthSeed reports whether name is a synthetic progen workload
+// reference ("synth-<seed>") and returns its seed.
+func SynthSeed(name string) (uint64, bool) { return workloads.SynthSeed(name) }
+
+func isPolicy(label string) bool {
+	for _, p := range Policies {
+		if p == label {
+			return true
+		}
+	}
+	return false
+}
+
+func validBench(name string) bool {
+	if _, ok := SynthSeed(name); ok {
+		return true
+	}
+	_, err := workloads.ByName(name)
+	return err == nil
+}
+
+// validate enforces the DSL's semantic rules; file names error positions
+// (validation errors are scenario-level, so they carry no line).
+func (sc *Scenario) validate(file string) error {
+	fail := func(format string, args ...any) error {
+		return errAt(file, 0, format, args...)
+	}
+	if sc.Name == "" {
+		return fail("scenario needs a name")
+	}
+	if sc.Duration <= 0 {
+		return fail("scenario needs a positive duration")
+	}
+	if sc.Daemons.Count <= 0 {
+		return fail("daemons.count must be >= 1")
+	}
+	if len(sc.Daemons.Benchmarks) == 0 {
+		return fail("daemons.benchmarks must name at least one benchmark")
+	}
+	for _, b := range sc.Daemons.Benchmarks {
+		if !validBench(b) {
+			return fail("daemons.benchmarks: unknown benchmark %q (want one of %s, or synth-<seed>)",
+				b, strings.Join(workloads.Names(), ", "))
+		}
+	}
+	if sc.Fleet.Clients <= 0 {
+		return fail("fleet.clients must be >= 1 (empty fleets run nothing)")
+	}
+	if len(sc.Fleet.Templates) == 0 {
+		return fail("fleet.templates must declare at least one template (empty fleets run nothing)")
+	}
+	switch sc.Fleet.Startup.Pattern {
+	case "instant", "linear", "exponential", "wave":
+	default:
+		return fail("fleet.startup.pattern %q unknown (want instant, linear, exponential or wave)", sc.Fleet.Startup.Pattern)
+	}
+	if sc.Fleet.Startup.Pattern != "instant" && sc.Fleet.Startup.Duration <= 0 {
+		return fail("fleet.startup.pattern %q needs a positive fleet.startup.duration", sc.Fleet.Startup.Pattern)
+	}
+	if sc.Fleet.Startup.Duration > sc.Duration {
+		return fail("fleet.startup.duration %v exceeds the scenario duration %v", sc.Fleet.Startup.Duration, sc.Duration)
+	}
+	if sc.Fleet.Startup.Batches < 0 {
+		return fail("fleet.startup.batches must be >= 0")
+	}
+
+	sum := 0.0
+	for i, t := range sc.Fleet.Templates {
+		ctx := fmt.Sprintf("fleet.templates[%d]", i)
+		if t.Name == "" {
+			return fail("%s needs a name", ctx)
+		}
+		if t.Weight <= 0 {
+			return fail("%s (%s): weight must be > 0", ctx, t.Name)
+		}
+		sum += t.Weight
+		for _, b := range t.Bench {
+			if !validBench(b) {
+				return fail("%s (%s): unknown benchmark %q", ctx, t.Name, b)
+			}
+			if !contains(sc.Daemons.Benchmarks, b) {
+				return fail("%s (%s): benchmark %q is not in the daemon serving set", ctx, t.Name, b)
+			}
+		}
+		for _, p := range t.Policy {
+			if !isPolicy(p) {
+				return fail("%s (%s): unknown policy %q (want one of %s)", ctx, t.Name, p, strings.Join(Policies, " "))
+			}
+		}
+		switch t.Endpoint {
+		case "simulate", "stats", "readyz":
+		default:
+			return fail("%s (%s): unknown endpoint %q (want simulate, stats or readyz)", ctx, t.Name, t.Endpoint)
+		}
+		if t.Requests < 0 {
+			return fail("%s (%s): requests must be >= 0", ctx, t.Name)
+		}
+		switch t.Think.Dist {
+		case "fixed", "exp":
+			if t.Think.Mean <= 0 {
+				return fail("%s (%s): think.dist %q needs a positive think.mean", ctx, t.Name, t.Think.Dist)
+			}
+		case "uniform":
+			if t.Think.Max <= 0 || t.Think.Min > t.Think.Max {
+				return fail("%s (%s): think.dist uniform needs 0 <= min <= max with max > 0", ctx, t.Name)
+			}
+		default:
+			return fail("%s (%s): unknown think.dist %q (want fixed, uniform or exp)", ctx, t.Name, t.Think.Dist)
+		}
+	}
+	if math.Abs(sum-1.0) > 1e-6 {
+		return fail("fleet.templates weights sum to %g, want exactly 1", sum)
+	}
+
+	needsSurface := false
+	for i, ev := range sc.Faults {
+		ctx := fmt.Sprintf("faults[%d]", i)
+		if ev.At > sc.Duration {
+			return fail("%s: at %v is after the scenario duration %v", ctx, ev.At, sc.Duration)
+		}
+		if ev.Target < 0 || ev.Target >= sc.Daemons.Count {
+			return fail("%s: target %d out of range (daemons.count is %d)", ctx, ev.Target, sc.Daemons.Count)
+		}
+		switch ev.Kind {
+		case "point":
+			if ev.Point == "" {
+				return fail("%s: kind point needs a fault-registry point (e.g. fs.read, jobs.simulate)", ctx)
+			}
+			switch ev.Effect {
+			case "latency":
+				if ev.Delay <= 0 {
+					return fail("%s: effect latency needs a positive delay", ctx)
+				}
+			case "error", "panic", "crash":
+			default:
+				return fail("%s: unknown effect %q (want latency, error, panic or crash)", ctx, ev.Effect)
+			}
+			if ev.Times <= 0 {
+				return fail("%s: times must be >= 1", ctx)
+			}
+			needsSurface = true
+		case "kill":
+			if ev.Restart && ev.Delay < 0 {
+				return fail("%s: negative restart delay", ctx)
+			}
+		default:
+			return fail("%s: unknown kind %q (want point or kill)", ctx, ev.Kind)
+		}
+	}
+	if needsSurface && !sc.Daemons.FaultSurface {
+		return fail("faults include point injections but daemons.fault_surface is false (tlsd refuses external arming without -enable-fault-injection)")
+	}
+
+	a := sc.Assert
+	for _, r := range []struct {
+		name string
+		v    *float64
+	}{{"max_error_rate", a.MaxErrorRate}, {"min_cache_hit_rate", a.MinHitRate}, {"max_shed_rate", a.MaxShedRate}} {
+		if r.v != nil && (*r.v < 0 || *r.v > 1) {
+			return fail("assertions.%s must be in [0, 1]", r.name)
+		}
+	}
+	if a.MaxRecovery > 0 && !hasRestart(sc.Faults) {
+		return fail("assertions.max_recovery is set but no fault event restarts a daemon")
+	}
+	return nil
+}
+
+func hasRestart(evs []FaultEvent) bool {
+	for _, ev := range evs {
+		if ev.Kind == "kill" && ev.Restart {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// SortedFaults returns the fault schedule ordered by time (stable for
+// equal times, preserving file order).
+func (sc *Scenario) SortedFaults() []FaultEvent {
+	out := make([]FaultEvent, len(sc.Faults))
+	copy(out, sc.Faults)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

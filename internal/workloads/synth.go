@@ -1,0 +1,64 @@
+package workloads
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tlssync/internal/progen"
+)
+
+// Synth builds the deterministic synthetic workload "synth-<seed>":
+// a progen-generated MiniC program with seed-derived train/ref inputs.
+// The same seed always yields the same workload (and therefore the
+// same artifact keys), so synthetic benchmarks cache, journal and
+// recover exactly like the paper's 15 — tlsd, tlsbench and tlssim all
+// resolve these names through this one constructor.
+func Synth(seed uint64) *Workload {
+	name := fmt.Sprintf("synth-%d", seed)
+	return &Workload{
+		Name:      name,
+		Label:     strings.ToUpper(name),
+		Source:    progen.Generate(seed, progen.DefaultConfig()),
+		Train:     seq(int(seed), 6),
+		Ref:       seq(int(seed)+1, 6),
+		Character: "progen-generated synthetic workload",
+		Expect:    "synthetic",
+	}
+}
+
+// SynthSeed reports whether name is a synthetic workload reference
+// ("synth-<seed>") and returns its seed.
+func SynthSeed(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, "synth-")
+	if !ok || rest == "" {
+		return 0, false
+	}
+	seed, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seed, true
+}
+
+// SynthSet derives n independent synthetic workloads from one root
+// seed. Per-index seeds are decorrelated splitmix-style — the same
+// fan-out the scenario planner uses for per-client RNGs — so
+// neighbouring indices get unrelated programs while the whole set
+// stays a pure function of (seed, n).
+func SynthSet(seed uint64, n int) []*Workload {
+	out := make([]*Workload, n)
+	for i := range out {
+		out[i] = Synth(seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+	}
+	return out
+}
+
+// Resolve returns the named workload: a paper benchmark by name, or a
+// synthetic one for "synth-<seed>".
+func Resolve(name string) (*Workload, error) {
+	if seed, ok := SynthSeed(name); ok {
+		return Synth(seed), nil
+	}
+	return ByName(name)
+}

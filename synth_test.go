@@ -1,0 +1,29 @@
+package tlssync
+
+import (
+	"testing"
+
+	"tlssync/internal/workloads"
+)
+
+// TestSynthWorkloadPipeline: a progen-generated synthetic workload must
+// survive the full compile→baseline→simulate pipeline exactly like the
+// paper's 15 benchmarks — tlsd's synth-<seed> serving entries and
+// tlsbench's seeded workload mode depend on it.
+func TestSynthWorkloadPipeline(t *testing.T) {
+	w := workloads.Synth(11)
+	r, err := NewRun(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Simulate("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RegionCycles() <= 0 {
+		t.Fatal("synthetic workload simulated no region cycles")
+	}
+	if key := WorkloadArtifactKey("simulate", w, "C"); key == "" {
+		t.Fatal("synthetic workload has no artifact key")
+	}
+}

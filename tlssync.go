@@ -53,8 +53,15 @@ func Compile(cfg Config) (*Build, error) { return core.Compile(cfg) }
 // Benchmarks returns the paper's 15 re-created benchmarks.
 func Benchmarks() []*Workload { return workloads.All() }
 
-// Benchmark returns one benchmark by name (e.g. "gzip_comp").
-func Benchmark(name string) (*Workload, error) { return workloads.ByName(name) }
+// Benchmark returns one benchmark by name (e.g. "gzip_comp"). Names of
+// the form "synth-<seed>" resolve to deterministic progen-generated
+// synthetic workloads instead of paper benchmarks.
+func Benchmark(name string) (*Workload, error) { return workloads.Resolve(name) }
+
+// SynthBenchmarks derives n deterministic synthetic workloads from one
+// root seed (see workloads.SynthSet): the same (seed, n) always yields
+// the same programs, names and artifact keys.
+func SynthBenchmarks(seed uint64, n int) []*Workload { return workloads.SynthSet(seed, n) }
 
 // MachineTable1 renders the simulated machine as the paper's Table 1.
 func MachineTable1() string { return sim.DefaultMachine().Table1() }
