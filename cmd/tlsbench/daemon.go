@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tlssync/internal/httpretry"
+)
+
+// Daemon mode (`tlsbench -daemon URL`) drives a running tlsd (or tlsd
+// cluster node) over HTTP instead of running the pipeline in-process:
+// every selected (benchmark × policy) pair becomes a /simulate GET,
+// issued through the shared retry discipline (internal/httpretry) so
+// 429 Retry-After sheds and transient 5xx/transport failures back off
+// and re-issue instead of failing the run. The summary surfaces the
+// retry budget actually spent — a loaded daemon that served everything
+// on the second attempt reads as a pass with evidence, not a lie of
+// first-try success.
+
+// daemonResult is one request's outcome in daemon mode.
+type daemonResult struct {
+	bench, policy string
+	status        int // 0: transport failure after the retry budget
+	cacheHit      bool
+	latency       time.Duration
+	retries       int
+	exhausted     bool
+	err           error
+}
+
+// runDaemon executes daemon mode and returns the process exit code.
+func runDaemon(base string, benches, policies []string, workers, retries int, retryBase, retryCap time.Duration, quiet bool) int {
+	base = strings.TrimSuffix(base, "/")
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	if len(benches) == 0 {
+		var err error
+		benches, err = servingSet(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlsbench: -daemon: discovering serving set: %v\n", err)
+			return 1
+		}
+	}
+	type pair struct{ bench, policy string }
+	var work []pair
+	for _, b := range benches {
+		for _, p := range policies {
+			work = append(work, pair{b, p})
+		}
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+
+	results := make([]daemonResult, len(work))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Jitter decorrelates concurrent workers' backoffs; daemon
+			// mode measures a live service, so it is not a deterministic
+			// surface and a wall-clock seed is fine.
+			rnd := rand.New(rand.NewSource(time.Now().UnixNano() + int64(w)))
+			pol := httpretry.Policy{
+				Max:    retries,
+				Base:   retryBase,
+				Cap:    retryCap,
+				Jitter: rnd.Float64,
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(work) {
+					return
+				}
+				results[i] = oneRequest(client, base, work[i].bench, work[i].policy, pol)
+				r := &results[i]
+				if !quiet {
+					state := fmt.Sprintf("%d", r.status)
+					if r.status == 0 {
+						state = "transport-error"
+					} else if r.cacheHit {
+						state += " hit"
+					}
+					extra := ""
+					if r.retries > 0 {
+						extra = fmt.Sprintf("  (%d retries)", r.retries)
+					}
+					fmt.Fprintf(os.Stderr, "simulate %-24s %-2s %-16s %8s%s\n",
+						r.bench, r.policy, state, r.latency.Round(time.Millisecond), extra)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var ok, shed, errs, hits, spent, exhausted int
+	for i := range results {
+		r := &results[i]
+		spent += r.retries
+		if r.exhausted {
+			exhausted++
+		}
+		switch {
+		case r.status >= 200 && r.status < 300:
+			ok++
+			if r.cacheHit {
+				hits++
+			}
+		case r.status == 429 || r.status == 503:
+			shed++
+		default:
+			errs++
+		}
+	}
+	fmt.Printf("daemon %s: %d requests, %d ok (%d cache hits), %d shed, %d failed; retry budget: %d spent, %d exhausted\n",
+		base, len(results), ok, hits, shed, errs, spent, exhausted)
+	if errs > 0 || shed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// oneRequest issues a single /simulate with retries.
+func oneRequest(client *http.Client, base, bench, policy string, pol httpretry.Policy) daemonResult {
+	r := daemonResult{bench: bench, policy: policy}
+	url := fmt.Sprintf("%s/simulate?bench=%s&policy=%s", base, bench, policy)
+	start := time.Now()
+	resp, res, err := httpretry.Get(client, url, pol)
+	r.latency = time.Since(start)
+	r.retries = res.Retries
+	r.exhausted = res.Exhausted
+	if err != nil {
+		r.err = err
+		return r
+	}
+	defer resp.Body.Close()
+	r.status = resp.StatusCode
+	r.cacheHit = resp.Header.Get("X-Tlsd-Cache") == "hit"
+	return r
+}
+
+// servingSet asks the daemon's /stats for its configured benchmarks.
+func servingSet(client *http.Client, base string) ([]string, error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Benchmarks struct {
+			Serving []string `json:"serving"`
+		} `json:"benchmarks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	if len(body.Benchmarks.Serving) == 0 {
+		return nil, fmt.Errorf("daemon reports an empty serving set")
+	}
+	sort.Strings(body.Benchmarks.Serving)
+	return body.Benchmarks.Serving, nil
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -42,7 +43,26 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-(benchmark, policy) progress on stderr")
 	seed := flag.Uint64("seed", 1, "root seed for -synth workload generation")
 	synth := flag.Int("synth", 0, "replace the benchmark set with this many seeded synthetic workloads")
+	daemon := flag.String("daemon", "", "drive a running tlsd over HTTP (base URL) instead of simulating in-process")
+	policies := flag.String("policy", "C", "daemon mode: comma-separated policy labels to request")
+	retries := flag.Int("retries", 4, "daemon mode: retry budget per request (429/503/transient 5xx back off and re-issue)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "daemon mode: first backoff delay")
+	retryCap := flag.Duration("retry-cap", 2*time.Second, "daemon mode: per-delay backoff ceiling")
 	flag.Parse()
+
+	if *daemon != "" {
+		var benches []string
+		if *bench != "" {
+			benches = []string{*bench}
+		}
+		var pols []string
+		for _, p := range strings.Split(*policies, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				pols = append(pols, p)
+			}
+		}
+		os.Exit(runDaemon(*daemon, benches, pols, *workers, *retries, *retryBase, *retryCap, *quiet))
+	}
 
 	if *table == "1" {
 		fmt.Print(tlssync.MachineTable1())

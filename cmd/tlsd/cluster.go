@@ -1,0 +1,576 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tlssync"
+	"tlssync/internal/cluster"
+)
+
+// This file is the daemon side of internal/cluster: epoch
+// persistence, the /cluster/* endpoints, request routing (proxy to
+// the key's acting owner, never recompute), artifact replication,
+// dead-node job adoption, and the epoch fence that keeps a rebooted
+// node from re-running work its successor already adopted. See
+// docs/cluster.md for the protocol.
+
+// peerHeader marks a /simulate request as forwarded by a peer. A
+// forwarded request is never forwarded again: if the receiver does
+// not consider itself responsible for the key, it sheds with 503 and
+// the client's retry converges once ring views agree — a hard loop
+// bound instead of a TTL.
+const peerHeader = "X-Tlsd-Forwarded"
+
+// fenceTimeout bounds how long boot-time journal recovery waits for
+// peers to answer the adoption fence query before proceeding
+// un-fenced (re-running is wasteful but safe: artifacts are
+// immutable and content-addressed).
+const fenceTimeout = 10 * time.Second
+
+// adoptedAwayTTL bounds how long this node defers to an adopter that
+// never finishes (e.g. the adopter itself died). After the TTL the
+// key is computed locally again.
+const adoptedAwayTTL = 30 * time.Second
+
+// clusterConfig is the parsed -node-id/-peers/... flag set.
+type clusterConfig struct {
+	nodeID    string
+	nodes     []string          // full membership, including self
+	urls      map[string]string // static id → base URL from -peers
+	peersFile string
+	replicas  int
+	heartbeat time.Duration
+	deadAfter time.Duration
+}
+
+// parsePeers parses the -peers flag: comma-separated node ids, each
+// optionally with a static address ("n0,n1=http://host:port,n2").
+// Addresses are usually left to -peersfile, which also follows port
+// changes across restarts.
+func parsePeers(spec string) (nodes []string, urls map[string]string, err error) {
+	urls = make(map[string]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, has := strings.Cut(part, "=")
+		if id == "" {
+			return nil, nil, fmt.Errorf("empty node id in -peers %q", spec)
+		}
+		nodes = append(nodes, id)
+		if has {
+			if !strings.Contains(addr, "://") {
+				addr = "http://" + addr
+			}
+			urls[id] = strings.TrimSuffix(addr, "/")
+		}
+	}
+	return nodes, urls, nil
+}
+
+// bumpEpoch persists and returns this node's boot incarnation: a
+// counter under the cache dir, incremented on every start. The epoch
+// is what distinguishes "the n1 that died and whose jobs were
+// adopted" from "the n1 serving now": adoptions are recorded against
+// the epoch that died, and a rebooted node only fences journal
+// entries adopted at an epoch strictly below its current one.
+func bumpEpoch(cacheDir string) (uint64, error) {
+	dir := filepath.Join(cacheDir, "cluster")
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return 0, err
+	}
+	path := filepath.Join(dir, "epoch")
+	var epoch uint64
+	if data, err := os.ReadFile(path); err == nil {
+		if v, perr := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64); perr == nil {
+			epoch = v
+		}
+	}
+	epoch++
+	if err := writeFileAtomic(path, strconv.FormatUint(epoch, 10)+"\n"); err != nil {
+		return 0, err
+	}
+	return epoch, nil
+}
+
+// adoptedAwayEntry marks an artifact key whose pending job a peer
+// adopted while this node was down: requests for it defer to the
+// adopter until the artifact lands (or the TTL expires).
+type adoptedAwayEntry struct {
+	node    string
+	expires time.Time
+}
+
+// clusterState is the server's cluster-mode bookkeeping beyond the
+// cluster.Cluster itself.
+type clusterState struct {
+	mu          sync.Mutex
+	executions  map[string]int64 // akey → completed simulate executions on THIS node
+	adopting    map[string]bool  // akeys with an adoption in flight here
+	adoptedAway map[string]adoptedAwayEntry
+}
+
+// noteExecution counts one completed simulate execution for an
+// artifact key. The counter increments inside the engine job, after
+// the simulation succeeded — coalesced waiters share one execution,
+// and a job killed mid-run counts nothing (its recovery completes
+// the work and counts once). Summed across the fleet, a key executed
+// more than once is exactly the double-compute the routing and
+// fencing layers exist to prevent, which is what the chaos
+// scenarios' max_key_executions assertion checks.
+func (s *server) noteExecution(akey string) {
+	if s.cluster == nil {
+		return
+	}
+	s.cstate.mu.Lock()
+	s.cstate.executions[akey]++
+	s.cstate.mu.Unlock()
+}
+
+func (s *server) executionsSnapshot() map[string]int64 {
+	s.cstate.mu.Lock()
+	defer s.cstate.mu.Unlock()
+	out := make(map[string]int64, len(s.cstate.executions))
+	for k, v := range s.cstate.executions {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *server) markAdopting(akey string, active bool) {
+	s.cstate.mu.Lock()
+	if active {
+		s.cstate.adopting[akey] = true
+	} else {
+		delete(s.cstate.adopting, akey)
+	}
+	s.cstate.mu.Unlock()
+}
+
+func (s *server) isAdopting(akey string) bool {
+	s.cstate.mu.Lock()
+	defer s.cstate.mu.Unlock()
+	return s.cstate.adopting[akey]
+}
+
+func (s *server) noteAdoptedAway(akey, node string) {
+	s.cstate.mu.Lock()
+	s.cstate.adoptedAway[akey] = adoptedAwayEntry{node: node, expires: time.Now().Add(adoptedAwayTTL)}
+	s.cstate.mu.Unlock()
+}
+
+func (s *server) adoptedAwayTo(akey string) (string, bool) {
+	s.cstate.mu.Lock()
+	defer s.cstate.mu.Unlock()
+	e, ok := s.cstate.adoptedAway[akey]
+	if !ok {
+		return "", false
+	}
+	if time.Now().After(e.expires) {
+		delete(s.cstate.adoptedAway, akey)
+		return "", false
+	}
+	return e.node, true
+}
+
+func (s *server) clearAdoptedAway(akey string) {
+	s.cstate.mu.Lock()
+	delete(s.cstate.adoptedAway, akey)
+	s.cstate.mu.Unlock()
+}
+
+// fireCluster triggers a cluster fault point ("cluster.in" for
+// inbound peer traffic, "cluster.out" for outbound); nil without the
+// fault surface.
+func (s *server) fireCluster(point string) error {
+	if s.cfg.faults == nil {
+		return nil
+	}
+	return s.cfg.faults.Fire(point)
+}
+
+// clusterPending maps the journal's live pending set to gossip jobs:
+// what a successor needs to finish this node's work if it dies now.
+// The artifact key is computable from the workload alone — no
+// compile needed — which is what makes adoption cheap to route.
+func (s *server) clusterPending() []cluster.Job {
+	if s.journal == nil {
+		return nil
+	}
+	var out []cluster.Job
+	for _, p := range s.journal.Pending() {
+		rec := p.Record
+		w, ok := s.workload(rec.Bench)
+		if rec.Kind != "simulate" || !ok || !isPolicy(rec.Label) {
+			continue
+		}
+		out = append(out, cluster.Job{
+			Key:   rec.Key,
+			AKey:  tlssync.WorkloadArtifactKey("simulate", w, rec.Label),
+			Bench: rec.Bench,
+			Label: rec.Label,
+		})
+		if len(out) >= 512 { // bound the heartbeat payload
+			break
+		}
+	}
+	return out
+}
+
+// clusterLocalStatus is the readiness string gossiped in heartbeats.
+func (s *server) clusterLocalStatus() string {
+	if s.gate.Stats().Draining {
+		return "draining"
+	}
+	return "ok"
+}
+
+// --- adoption (successor side) ---
+
+// adoptJob is the cluster's Adopt callback: a peer died and this
+// node is the acting owner of one of its journaled-pending jobs.
+// Runs the job through the exact path a live request would take
+// (prepare → simulateSpec), so a client retry arriving mid-adoption
+// coalesces with it on the engine; warm and replica copies are
+// preferred over recomputing.
+func (s *server) adoptJob(job cluster.Job, from string, epoch uint64) {
+	go func() {
+		s.markAdopting(job.AKey, true)
+		defer s.markAdopting(job.AKey, false)
+		ctx := context.Background()
+		if _, ok := s.workload(job.Bench); !ok || !isPolicy(job.Label) {
+			s.cfg.logf("tlsd: cluster: cannot adopt %s from %s: bench %q / policy %q not servable here",
+				job.Key, from, job.Bench, job.Label)
+			return
+		}
+		if _, ok := s.store.Get(job.AKey); ok {
+			s.cluster.MarkAdoptionDone(job.Key)
+			s.cfg.logf("tlsd: cluster: adopted %s from %s@%d warm (artifact already here)", job.Key, from, epoch)
+			return
+		}
+		if data, ok := s.cluster.Pull(ctx, job.AKey); ok && json.Valid(data) {
+			s.store.Put(job.AKey, data)
+			s.cluster.MarkAdoptionDone(job.Key)
+			s.cfg.logf("tlsd: cluster: adopted %s from %s@%d via replica pull", job.Key, from, epoch)
+			return
+		}
+		run, err := s.run(ctx, job.Bench)
+		if err != nil {
+			s.cfg.logf("tlsd: cluster: adoption of %s failed to prepare: %v", job.Key, err)
+			return
+		}
+		if _, err := s.simulateSpec(ctx, run, job.Bench, job.Label); err != nil {
+			s.cfg.logf("tlsd: cluster: adoption of %s failed: %v", job.Key, err)
+			return
+		}
+		s.cluster.MarkAdoptionDone(job.Key)
+		s.cfg.logf("tlsd: cluster: adopted %s (bench %s, policy %s) from dead %s@%d", job.Key, job.Bench, job.Label, from, epoch)
+	}()
+}
+
+// recoverFenced is cluster-mode journal recovery: before re-running
+// anything, ask the peers which pending keys were adopted from a
+// previous incarnation of this node and commit those away — the
+// adopter owns them now. Everything else recovers exactly as in the
+// single-node path.
+func (s *server) recoverFenced(jobs []recoverable) {
+	ctx, cancel := context.WithTimeout(context.Background(), fenceTimeout)
+	fenced := s.cluster.FencedKeys(ctx)
+	cancel()
+	for _, j := range jobs {
+		if ad, ok := fenced[j.rec.Key]; ok {
+			s.journalCommit(j.rec.Key)
+			s.eng.NoteRecovered()
+			akey := tlssync.WorkloadArtifactKey("simulate", j.w, j.rec.Label)
+			if _, have := s.store.Get(akey); !have {
+				s.noteAdoptedAway(akey, ad.Adopter)
+			}
+			s.cfg.logf("tlsd: cluster: journal entry %s fenced (adopted by %s at epoch %d < %d); not re-running",
+				j.rec.Key, ad.Adopter, ad.Epoch, s.cluster.Epoch())
+			continue
+		}
+		go s.recoverJob(j.rec, j.w)
+	}
+}
+
+// --- routing (request path) ---
+
+// shedCluster answers 503 + Retry-After 1: "a retry will land
+// somewhere that can serve this" — cluster topology is converging
+// (no quorum, views disagree, owner unreachable), not failing.
+func (s *server) shedCluster(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": msg})
+}
+
+// routeSimulate decides where a cold /simulate for akey runs.
+// Returns true when it wrote the response (proxied or shed); false
+// means "compute locally" and the caller proceeds down the normal
+// admission → prepare → simulate path.
+func (s *server) routeSimulate(w http.ResponseWriter, r *http.Request, akey string) bool {
+	if r.Header.Get(peerHeader) != "" {
+		// Forwarded by a peer. Serve locally iff this node considers
+		// itself responsible (acting owner, or mid-adoption of exactly
+		// this key); otherwise shed — forwarded requests are never
+		// re-forwarded, so disagreeing ring views cannot loop.
+		if err := s.fireCluster("cluster.in"); err != nil {
+			s.shedCluster(w, "cluster fault injected")
+			return true
+		}
+		if s.isAdopting(akey) {
+			return false
+		}
+		owner, ok := s.cluster.Route(akey)
+		if ok && owner == s.cluster.Self() {
+			return false
+		}
+		s.shedCluster(w, "not the acting owner of this key (ring views converging)")
+		return true
+	}
+
+	owner, ok := s.cluster.Route(akey)
+	if !ok {
+		// Fail closed on a minority side: the majority is still serving
+		// this key; running it here too would double-compute.
+		s.shedCluster(w, "no cluster quorum")
+		return true
+	}
+	if owner != s.cluster.Self() {
+		if s.proxySimulate(w, r, owner, akey) {
+			return true
+		}
+		s.shedCluster(w, "key owner "+owner+" unreachable")
+		return true
+	}
+
+	// This node is the acting owner. If a peer adopted this key while
+	// we were down and is still working on it, defer to the adopter
+	// (proxy joins its in-flight execution) rather than starting a
+	// second one.
+	if adopter, away := s.adoptedAwayTo(akey); away {
+		if alive := s.cluster.PeerURL(adopter) != ""; alive && s.proxySimulate(w, r, adopter, akey) {
+			return true
+		}
+		// Adopter unreachable: reclaim the key.
+		s.clearAdoptedAway(akey)
+	}
+	// Pull-on-miss: a replica may already hold the artifact (computed
+	// while this node was down, or pushed by a successor). Cheap when
+	// cold everywhere — peers answer 404 from their stores.
+	if data, ok := s.cluster.Pull(r.Context(), akey); ok && json.Valid(data) {
+		s.store.Put(akey, data)
+		w.Header().Set("X-Tlsd-Cache", "peer")
+		s.writeJSON(w, http.StatusOK, map[string]any{"cache": "peer", "result": json.RawMessage(data)})
+		return true
+	}
+	return false
+}
+
+// proxySimulate forwards the request to target and relays the
+// answer. Returns false only when no response was obtained (caller
+// sheds); relayed non-200s (429 backpressure, 503 drain/shed, 502
+// breaker) return true — the owner's answer IS the answer, and the
+// client's retry policy reads the relayed Retry-After.
+func (s *server) proxySimulate(w http.ResponseWriter, r *http.Request, target, akey string) bool {
+	base := s.cluster.PeerURL(target)
+	if base == "" {
+		return false
+	}
+	if err := s.fireCluster("cluster.out"); err != nil {
+		return false
+	}
+	req, err := http.NewRequestWithContext(r.Context(), "GET", base+"/simulate?"+r.URL.RawQuery, nil)
+	if err != nil {
+		return false
+	}
+	req.Header.Set(peerHeader, s.cluster.Self())
+	resp, err := s.proxyClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return false
+	}
+	if resp.StatusCode != http.StatusOK {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			w.Header().Set("Retry-After", ra)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+		return true
+	}
+	// Cache the artifact locally so the next request for this key is a
+	// warm hit here. The served body is indented JSON; the store holds
+	// canonical compact bytes, so compact before Put (content
+	// addressing makes any byte-identical copy interchangeable).
+	var payload struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if json.Unmarshal(body, &payload) == nil && len(payload.Result) > 0 {
+		var buf bytes.Buffer
+		if json.Compact(&buf, payload.Result) == nil {
+			s.store.Put(akey, buf.Bytes())
+			s.clearAdoptedAway(akey)
+		}
+	}
+	w.Header().Set("X-Tlsd-Cache", "peer")
+	s.writeJSON(w, http.StatusOK, map[string]any{"cache": "peer", "result": payload.Result})
+	return true
+}
+
+// --- /cluster endpoints ---
+
+// handleCluster is the operator view: membership, ring parameters,
+// quorum, per-peer liveness, adoptions, and this node's per-key
+// execution counters (the evidence the chaos scenarios aggregate to
+// prove zero lost and zero double-executed jobs).
+func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	var pending int
+	if s.journal != nil {
+		pending = len(s.journal.Pending())
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"cluster":         s.cluster.StatusNow(),
+		"executions":      s.executionsSnapshot(),
+		"journal_pending": pending,
+	})
+}
+
+// handleClusterHeartbeat answers the failure detector's probe.
+func (s *server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if err := s.fireCluster("cluster.in"); err != nil {
+		s.shedCluster(w, "cluster fault injected")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.cluster.HeartbeatPayload())
+}
+
+// handleClusterArtifact serves (GET) and accepts (POST) raw artifact
+// bytes for replication. Artifacts are immutable and content-
+// addressed, so a POST of a key that already exists is a no-op and
+// there is nothing to version or reconcile.
+func (s *server) handleClusterArtifact(w http.ResponseWriter, r *http.Request) {
+	if err := s.fireCluster("cluster.in"); err != nil {
+		s.shedCluster(w, "cluster fault injected")
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		s.writeError(w, errBadRequest("need a key query parameter"))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		data, ok := s.store.Get(key)
+		if !ok {
+			s.writeError(w, errNotFound("artifact %q not on this node", key))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case http.MethodPost:
+		data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil || !json.Valid(data) {
+			s.writeError(w, errBadRequest("replica push body is not valid JSON"))
+			return
+		}
+		s.store.Put(key, data)
+		s.clearAdoptedAway(key)
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "stored"})
+	default:
+		s.writeError(w, &httpError{http.StatusMethodNotAllowed, "GET or POST only"})
+	}
+}
+
+// handleClusterAdoptions answers the reboot fence query: which jobs
+// did THIS node adopt, optionally filtered to ?from=<dead-node-id>.
+// Each record names this node as the adopter so the rebooted node
+// knows where its keys went.
+func (s *server) handleClusterAdoptions(w http.ResponseWriter, r *http.Request) {
+	if err := s.fireCluster("cluster.in"); err != nil {
+		s.shedCluster(w, "cluster fault injected")
+		return
+	}
+	ads := s.cluster.Adoptions(r.URL.Query().Get("from"))
+	for i := range ads {
+		ads[i].Adopter = s.cluster.Self()
+	}
+	if ads == nil {
+		ads = []cluster.Adoption{}
+	}
+	s.writeJSON(w, http.StatusOK, ads)
+}
+
+// registerClusterHandlers mounts the /cluster surface on the mux.
+func (s *server) registerClusterHandlers() {
+	s.mux.HandleFunc("GET /cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /cluster/heartbeat", s.handleClusterHeartbeat)
+	s.mux.HandleFunc("GET /cluster/artifact", s.handleClusterArtifact)
+	s.mux.HandleFunc("POST /cluster/artifact", s.handleClusterArtifact)
+	s.mux.HandleFunc("GET /cluster/adoptions", s.handleClusterAdoptions)
+}
+
+// newCluster builds the cluster layer for a server from the parsed
+// flags. Called from newServer before journal recovery (recovery
+// needs the fence query) and before the mux is finalized.
+func (s *server) newCluster(cc *clusterConfig) error {
+	epoch := uint64(1)
+	if s.cfg.cacheDir != "" {
+		var err error
+		if epoch, err = bumpEpoch(s.cfg.cacheDir); err != nil {
+			return fmt.Errorf("cluster epoch: %w", err)
+		}
+	} else {
+		s.cfg.logf("tlsd: cluster: memory-only (no -cachedir): epoch fencing and job adoption need a journal")
+	}
+	var fire func(string) error
+	if s.cfg.faults != nil {
+		reg := s.cfg.faults
+		fire = func(point string) error { return reg.Fire(point) }
+	}
+	cl, err := cluster.New(cluster.Config{
+		Self:           cc.nodeID,
+		Nodes:          cc.nodes,
+		URLs:           cc.urls,
+		PeersFile:      cc.peersFile,
+		Replicas:       cc.replicas,
+		Epoch:          epoch,
+		HeartbeatEvery: cc.heartbeat,
+		DeadAfter:      cc.deadAfter,
+		Logf:           s.cfg.logf,
+		Fire:           fire,
+		LocalPending:   s.clusterPending,
+		LocalStatus:    s.clusterLocalStatus,
+		Adopt:          s.adoptJob,
+	})
+	if err != nil {
+		return err
+	}
+	s.cluster = cl
+	s.cstate = &clusterState{
+		executions:  make(map[string]int64),
+		adopting:    make(map[string]bool),
+		adoptedAway: make(map[string]adoptedAwayEntry),
+	}
+	// The proxy client carries whole simulations; the request context
+	// (per-request deadline) bounds it, not a transport timeout.
+	s.proxyClient = &http.Client{}
+	return nil
+}

@@ -58,9 +58,20 @@ func (s *server) handleFaultsArm(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.faultsState())
 }
 
-// handleFaultsReset disarms every point and zeroes the fired counters.
+// handleFaultsReset disarms fault points. With ?point= parameters
+// (repeatable) only those points are disarmed and fired counters are
+// KEPT — this is how a scenario heals a partition mid-run without
+// erasing the evidence that the fault fired. Without parameters it
+// resets everything, counters included.
 func (s *server) handleFaultsReset(w http.ResponseWriter, r *http.Request) {
-	s.cfg.faults.Reset()
-	s.cfg.logf("tlsd: faults: reset")
+	if points := r.URL.Query()["point"]; len(points) > 0 {
+		for _, p := range points {
+			s.cfg.faults.Disarm(p)
+		}
+		s.cfg.logf("tlsd: faults: disarmed %v", points)
+	} else {
+		s.cfg.faults.Reset()
+		s.cfg.logf("tlsd: faults: reset")
+	}
 	s.writeJSON(w, http.StatusOK, s.faultsState())
 }

@@ -65,6 +65,12 @@ func main() {
 	queue := flag.Int("queue", 64, "admission wait-queue depth before shedding with 429")
 	scrub := flag.Duration("scrub", time.Minute, "disk-tier checksum scrub interval (0: off; needs -cachedir)")
 	portFile := flag.String("portfile", "", "write the bound listen address to this file (atomically) once listening")
+	nodeID := flag.String("node-id", "", "cluster node id (empty: single-node mode; see docs/cluster.md)")
+	peers := flag.String("peers", "", "cluster membership: comma-separated node ids, optionally id=http://host:port")
+	peersFile := flag.String("peersfile", "", "file with 'id address' lines, re-read on change (how dynamic ports are discovered)")
+	ringReplicas := flag.Int("ring-replicas", 1, "artifact copies on ring successors beyond the owner")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "cluster heartbeat probe period")
+	deadAfter := flag.Duration("dead-after", 0, "silence before a peer is declared dead (0: 4x heartbeat)")
 	enableFaults := flag.Bool("enable-fault-injection", false,
 		"expose the fault-injection surface (-faults, TLSD_FAULTS, /_faults endpoints); for chaos testing only, never production")
 	faultSpec := flag.String("faults", "",
@@ -89,6 +95,33 @@ func main() {
 		reqTimeout: *reqTimeout,
 		queueDepth: *queue,
 		scrubEvery: *scrub,
+	}
+
+	if *nodeID != "" {
+		nodes, urls, err := parsePeers(*peers)
+		if err != nil {
+			log.Fatalf("tlsd: %v", err)
+		}
+		// Membership always includes self; listing it in -peers is
+		// allowed but not required.
+		hasSelf := false
+		for _, n := range nodes {
+			hasSelf = hasSelf || n == *nodeID
+		}
+		if !hasSelf {
+			nodes = append(nodes, *nodeID)
+		}
+		cfg.cluster = &clusterConfig{
+			nodeID:    *nodeID,
+			nodes:     nodes,
+			urls:      urls,
+			peersFile: *peersFile,
+			replicas:  *ringReplicas,
+			heartbeat: *heartbeat,
+			deadAfter: *deadAfter,
+		}
+	} else if *peers != "" || *peersFile != "" {
+		log.Fatal("tlsd: -peers/-peersfile require -node-id")
 	}
 
 	// The fault-injection surface is opt-in and loud. A spec without the
@@ -170,6 +203,10 @@ func main() {
 	}
 	log.Printf("tlsd: serving %d benchmarks on %s (%d workers, %s)",
 		len(s.workloads), ln.Addr(), s.eng.Workers(), disk)
+	if s.cluster != nil {
+		log.Printf("tlsd: cluster node %s (epoch %d) of %v, %d ring replica(s)",
+			s.cluster.Self(), s.cluster.Epoch(), s.cluster.Ring().Nodes(), s.cluster.Replicas())
+	}
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("tlsd: %v", err)
 	}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,32 +16,87 @@ import (
 	"tlssync/internal/scenario"
 )
 
+// fleetPeers maintains the shared peers file a cluster scenario hands
+// every tlsd via -peersfile: one "id address" line per node, rewritten
+// atomically (temp + rename, which also bumps the mtime the daemons'
+// detectors watch) every time a node binds a fresh port. tlsd binds :0,
+// so addresses are only known after each (re)start — this file is how
+// the rest of the fleet learns them.
+type fleetPeers struct {
+	path string
+	mu   sync.Mutex
+	addr map[string]string // node id -> host:port
+}
+
+func newFleetPeers(path string) *fleetPeers {
+	return &fleetPeers{path: path, addr: map[string]string{}}
+}
+
+// set records one node's freshly discovered address and rewrites the
+// file. Unknown addresses are simply absent — tlsd treats a missing
+// entry as "not yet resolvable" and keeps probing.
+func (fp *fleetPeers) set(id, addr string) error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.addr[id] = addr
+	ids := make([]string, 0, len(fp.addr))
+	for id := range fp.addr {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%s %s\n", id, fp.addr[id])
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(fp.path), ".peers-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.WriteString(b.String()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), fp.path)
+}
+
 // procDaemon runs one real tlsd process. It implements
 // scenario.Daemon: Kill delivers SIGKILL (no drain, no cleanup) and
-// Restart re-execs the same argv over the same state directory, so the
-// daemon's crash-recovery path (journal replay, disk rescan,
-// quarantine) runs for real. The port is rediscovered from the
-// portfile after every (re)start — tlsd binds :0, so it may move.
+// Restart re-execs over the same state directory, so the daemon's
+// crash-recovery path (journal replay, disk rescan, quarantine) runs
+// for real. The port is rediscovered after every (re)start — tlsd
+// binds :0, so it may move. Every incarnation gets its OWN portfile
+// (port.1, port.2, ...): a restarted daemon's watcher can then never
+// read the previous incarnation's stale portfile and dial a port
+// nobody listens on — the race is removed by construction, not by
+// deleting a file the dying process might still rewrite.
 type procDaemon struct {
 	bin      string
-	args     []string
-	dir      string // state dir: portfile, cache/, tlsd.log
-	portfile string
+	sc       *scenario.Scenario
+	dir      string // state dir: portfiles, cache/, tlsd.log
+	cacheDir string
 	logPath  string
 	client   *http.Client
 	idx      int
+	nodeID   string      // cluster node id ("" outside cluster mode)
+	peers    *fleetPeers // shared peers file (nil outside cluster mode)
 	logf     func(string, ...any)
 
-	mu   sync.Mutex
-	cmd  *exec.Cmd
-	done chan struct{} // closed once the current process is reaped
-	url  string
+	mu          sync.Mutex
+	incarnation int // bumped on every start; names the portfile
+	cmd         *exec.Cmd
+	done        chan struct{} // closed once the current process is reaped
+	url         string
 }
 
 // startDaemon launches tlsd number idx for the scenario under
 // root/d<idx> and returns once the process is running (readiness is
-// the runner's WaitReady call).
-func startDaemon(sc *scenario.Scenario, idx int, bin, root string, logf func(string, ...any)) (*procDaemon, error) {
+// the runner's WaitReady call). peers is non-nil in cluster mode.
+func startDaemon(sc *scenario.Scenario, idx int, bin, root string, peers *fleetPeers, logf func(string, ...any)) (*procDaemon, error) {
 	dir := filepath.Join(root, fmt.Sprintf("d%d", idx))
 	cacheDir := filepath.Join(dir, "cache")
 	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
@@ -48,21 +104,31 @@ func startDaemon(sc *scenario.Scenario, idx int, bin, root string, logf func(str
 	}
 	d := &procDaemon{
 		bin:      bin,
+		sc:       sc,
 		dir:      dir,
-		portfile: filepath.Join(dir, "port"),
+		cacheDir: cacheDir,
 		logPath:  filepath.Join(dir, "tlsd.log"),
 		client:   &http.Client{Timeout: 5 * time.Second},
 		idx:      idx,
 		logf:     logf,
 	}
-	d.args = tlsdArgs(sc, d.portfile, cacheDir)
+	if sc.Daemons.Cluster() {
+		d.nodeID = fmt.Sprintf("n%d", idx)
+		d.peers = peers
+	}
 	if err := d.start(); err != nil {
 		return nil, err
 	}
 	return d, nil
 }
 
-// tlsdArgs translates the scenario's daemon spec into a tlsd argv.
+// portfilePath names incarnation n's portfile.
+func (d *procDaemon) portfilePath(n int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("port.%d", n))
+}
+
+// tlsdArgs translates the scenario's daemon spec into a tlsd argv for
+// one incarnation (each gets a fresh portfile).
 func tlsdArgs(sc *scenario.Scenario, portfile, cacheDir string) []string {
 	ds := sc.Daemons
 	args := []string{
@@ -95,17 +161,53 @@ func tlsdArgs(sc *scenario.Scenario, portfile, cacheDir string) []string {
 	return args
 }
 
-// start launches (or relaunches) the process. The stale portfile is
-// removed first so WaitReady can only observe the new bind; tlsd's
-// output appends to one log across restarts so recovery evidence from
-// every incarnation lands in a single file.
+// clusterArgs appends daemon idx's cluster identity: node id, the full
+// fixed membership, and the shared peers file that resolves everyone's
+// :0-assigned addresses.
+func clusterArgs(sc *scenario.Scenario, idx int, peersPath string) []string {
+	ds := sc.Daemons
+	ids := make([]string, ds.Nodes)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%d", i)
+	}
+	args := []string{
+		"-node-id", fmt.Sprintf("n%d", idx),
+		"-peers", strings.Join(ids, ","),
+		"-peersfile", peersPath,
+	}
+	if ds.RingReplicas > 0 {
+		args = append(args, "-ring-replicas", strconv.Itoa(ds.RingReplicas))
+	}
+	if ds.Heartbeat > 0 {
+		args = append(args, "-heartbeat", ds.Heartbeat.String())
+	}
+	if ds.DeadAfter > 0 {
+		args = append(args, "-dead-after", ds.DeadAfter.String())
+	}
+	return args
+}
+
+// start launches (or relaunches) the process under a fresh incarnation
+// number, so its portfile name is new and a watcher can only observe
+// THIS incarnation's bind. tlsd's output appends to one log across
+// restarts so recovery evidence from every incarnation lands in a
+// single file.
 func (d *procDaemon) start() error {
-	_ = os.Remove(d.portfile)
+	d.mu.Lock()
+	d.incarnation++
+	inc := d.incarnation
+	portfile := d.portfilePath(inc)
+	d.mu.Unlock()
+
+	args := tlsdArgs(d.sc, portfile, d.cacheDir)
+	if d.peers != nil {
+		args = append(args, clusterArgs(d.sc, d.idx, d.peers.path)...)
+	}
 	logFile, err := os.OpenFile(d.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
-	cmd := exec.Command(d.bin, d.args...)
+	cmd := exec.Command(d.bin, args...)
 	cmd.Stdout = logFile
 	cmd.Stderr = logFile
 	if err := cmd.Start(); err != nil {
@@ -123,7 +225,7 @@ func (d *procDaemon) start() error {
 	d.done = done
 	d.url = ""
 	d.mu.Unlock()
-	d.logf("daemon %d: started pid %d", d.idx, cmd.Process.Pid)
+	d.logf("daemon %d: started pid %d (incarnation %d)", d.idx, cmd.Process.Pid, inc)
 	return nil
 }
 
@@ -155,23 +257,40 @@ func (d *procDaemon) Restart() error {
 	return d.start()
 }
 
-// WaitReady discovers the freshly bound port from the portfile, then
-// polls /readyz until the daemon answers — 200 (ok/degraded) counts as
-// recovered; 503 means it is still replaying its journal.
+// WaitReady discovers the freshly bound port from the CURRENT
+// incarnation's portfile (a name no previous incarnation ever wrote, so
+// a stale file from before a crash cannot be mistaken for the new
+// bind), then polls /readyz until the daemon answers — 200
+// (ok/degraded) counts as recovered; 503 means it is still replaying
+// its journal. In cluster mode, the discovered address is published to
+// the shared peers file so the rest of the fleet can dial this
+// incarnation.
 func (d *procDaemon) WaitReady(ctx context.Context) error {
-	var base string
+	d.mu.Lock()
+	portfile := d.portfilePath(d.incarnation)
+	d.mu.Unlock()
+	var base, addr string
 	for {
-		data, err := os.ReadFile(d.portfile)
+		data, err := os.ReadFile(portfile)
 		if err == nil {
-			if addr := strings.TrimSpace(string(data)); addr != "" {
-				base = "http://" + addr
+			if a := strings.TrimSpace(string(data)); a != "" {
+				addr = a
+				base = "http://" + a
 				break
 			}
 		}
 		select {
 		case <-ctx.Done():
-			return fmt.Errorf("daemon %d: portfile never appeared: %w", d.idx, ctx.Err())
+			return fmt.Errorf("daemon %d: portfile %s never appeared: %w", d.idx, filepath.Base(portfile), ctx.Err())
 		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	// Publish before the readiness poll: in a cluster, /readyz degrades
+	// on lost quorum, and peers cannot find this node until the peers
+	// file names its new address.
+	if d.peers != nil {
+		if err := d.peers.set(d.nodeID, addr); err != nil {
+			return fmt.Errorf("daemon %d: publishing %s to peers file: %w", d.idx, addr, err)
 		}
 	}
 	for {

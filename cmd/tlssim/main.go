@@ -28,6 +28,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"tlssync/internal/scenario"
@@ -148,9 +149,17 @@ func cmdRun(argv []string) error {
 	}
 	logf("scenario %s, seed %d, state in %s", sc.Name, runSeed, root)
 
+	// In cluster mode every daemon shares one peers file: each node
+	// publishes its :0-assigned address there as it becomes ready, and
+	// every tlsd watches it (-peersfile) to resolve the others.
+	var peers *fleetPeers
+	if sc.Daemons.Cluster() {
+		peers = newFleetPeers(filepath.Join(root, "peers"))
+	}
+
 	rep, err := scenario.Run(sc, runSeed, scenario.RunOptions{
 		StartDaemon: func(i int) (scenario.Daemon, error) {
-			return startDaemon(sc, i, bin, root, logf)
+			return startDaemon(sc, i, bin, root, peers, logf)
 		},
 		Logf:         logf,
 		ReadyTimeout: *ready,
@@ -268,6 +277,12 @@ func cmdPlan(argv []string) error {
 				restart = fmt.Sprintf("  restart after %v", ev.Delay)
 			}
 			fmt.Printf("  fault +%-8v daemon %d  SIGKILL%s\n", ev.At, ev.Target, restart)
+		case "partition", "slow_peer":
+			heal := "no heal"
+			if ev.Heal > 0 {
+				heal = fmt.Sprintf("heal after %v", ev.Heal)
+			}
+			fmt.Printf("  fault +%-8v daemon %d  %s (%s, %s)\n", ev.At, ev.Target, ev.Kind, ev.ArmSpecString(), heal)
 		}
 	}
 	return nil

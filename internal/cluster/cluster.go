@@ -1,0 +1,356 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Job is one journaled-pending unit of work as gossiped in
+// heartbeats: enough for a successor to re-run it from scratch (the
+// journal key for fencing, the artifact key for ring placement and
+// replica pulls, and the bench/label pair that regenerates the
+// artifact deterministically).
+type Job struct {
+	Key   string `json:"key"`   // journal/engine key
+	AKey  string `json:"akey"`  // artifact key: ring placement + store lookup
+	Bench string `json:"bench"` // benchmark name
+	Label string `json:"label"` // policy label
+}
+
+// Heartbeat is one node's gossip payload: identity, boot epoch,
+// readiness, and its journaled-pending jobs. The pending list is the
+// cluster's safety net — it is what a successor adopts if this node
+// dies before committing.
+type Heartbeat struct {
+	Node    string `json:"node"`
+	Epoch   uint64 `json:"epoch"`
+	Status  string `json:"status"`
+	Pending []Job  `json:"pending,omitempty"`
+}
+
+// Adoption records one job taken over from a dead peer. Epoch is the
+// dead node's boot epoch as of its last heartbeat: when that node
+// reboots (with a higher epoch) and replays its journal, it queries
+// peers for adoptions recorded against any earlier epoch and commits
+// those entries away instead of re-running them — the fence that
+// makes kill→adopt→reboot execute each job exactly once.
+type Adoption struct {
+	Job
+	From  string `json:"from"`
+	Epoch uint64 `json:"epoch"`
+	Done  bool   `json:"done"`
+	// Adopter is filled in by the HTTP layer when answering a fence
+	// query (the answering node is the adopter), so a rebooted node
+	// knows where each of its keys went.
+	Adopter string `json:"adopter,omitempty"`
+}
+
+// Config wires a Cluster to its daemon. Only Self and Nodes are
+// mandatory; every callback is optional (a nil callback disables the
+// corresponding feature, which keeps unit tests small).
+type Config struct {
+	Self  string   // this node's id, must appear in Nodes
+	Nodes []string // full membership, including Self
+
+	// URLs maps node id → base URL (http://host:port). Entries may be
+	// missing at boot (peers not yet started); PeersFile supplements
+	// them as the fleet comes up.
+	URLs map[string]string
+	// PeersFile, when set, is re-read whenever its mtime changes:
+	// "id url" per line, # comments. This is how tlssim publishes the
+	// dynamically-chosen ports of a fleet (including new ports after a
+	// restart) without restarting peers.
+	PeersFile string
+
+	// Replicas is the number of ring successors (beyond the owner)
+	// that receive a copy of each committed artifact (<=0: 1).
+	Replicas int
+	// VNodes per member on the ring (<=0: DefaultVNodes).
+	VNodes int
+
+	// Epoch is this node's boot incarnation counter (persisted and
+	// incremented by the daemon at every start; 0 is treated as 1).
+	Epoch uint64
+
+	HeartbeatEvery time.Duration // probe period (<=0: 500ms)
+	DeadAfter      time.Duration // silence before a peer is dead (<=0: 4×heartbeat)
+
+	// Client issues all peer HTTP calls (nil: 2s-timeout client).
+	Client *http.Client
+	Logf   func(format string, args ...any)
+
+	// Fire, when non-nil, is consulted before every outbound peer call
+	// with the point "cluster.out" — the fault-injection seam that
+	// partition and slow_peer scenarios arm. An error fails the call.
+	Fire func(point string) error
+
+	// LocalPending returns this node's journaled-pending jobs for the
+	// heartbeat payload.
+	LocalPending func() []Job
+	// LocalStatus returns this node's readiness string ("ok",
+	// "draining", ...) for the heartbeat payload.
+	LocalStatus func() string
+	// Adopt is called (from the detector goroutine) once per job this
+	// node adopts from a dead peer; implementations must not block.
+	Adopt func(job Job, from string, epoch uint64)
+}
+
+// peer is the detector's view of one remote member.
+type peer struct {
+	id       string
+	url      string
+	everSeen bool      // at least one heartbeat ever succeeded
+	alive    bool      // last declared state (transitions are logged/acted on)
+	lastOK   time.Time // last successful heartbeat
+	epoch    uint64
+	status   string
+	pending  []Job
+}
+
+// Cluster is one node's membership, routing, and failure-detection
+// state. All exported methods are safe for concurrent use.
+type Cluster struct {
+	cfg  Config
+	ring *Ring
+
+	mu        sync.Mutex
+	peers     map[string]*peer
+	adoptions []Adoption
+	adopted   map[string]bool // journal keys already adopted (dedupe across ticks)
+	fileMtime time.Time
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	now func() time.Time // test hook
+}
+
+// New validates the config and builds the cluster state. Call Start
+// to launch the failure detector.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: empty self id")
+	}
+	found := false
+	seen := map[string]bool{}
+	for _, n := range cfg.Nodes {
+		if n == "" || strings.ContainsAny(n, " \t\n,=") {
+			return nil, fmt.Errorf("cluster: bad node id %q", n)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", n)
+		}
+		seen[n] = true
+		found = found || n == cfg.Self
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q not in membership %v", cfg.Self, cfg.Nodes)
+	}
+	if len(cfg.Nodes) < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 nodes, have %d", len(cfg.Nodes))
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 4 * cfg.HeartbeatEvery
+	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Nodes, cfg.VNodes),
+		peers:   make(map[string]*peer),
+		adopted: make(map[string]bool),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		now:     time.Now,
+	}
+	for _, n := range cfg.Nodes {
+		if n == cfg.Self {
+			continue
+		}
+		c.peers[n] = &peer{id: n, url: cfg.URLs[n], status: "unknown"}
+	}
+	return c, nil
+}
+
+// Start launches the failure detector. Close stops it.
+func (c *Cluster) Start() {
+	go c.detectorLoop()
+}
+
+// Close stops the detector and waits for it to exit.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// Self returns this node's id.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// Epoch returns this node's boot epoch.
+func (c *Cluster) Epoch() uint64 { return c.cfg.Epoch }
+
+// Ring exposes the placement ring (for tests and status reporting).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Replicas returns the configured successor-copy count.
+func (c *Cluster) Replicas() int { return c.cfg.Replicas }
+
+// PeerURL returns the current base URL for a member id ("" if
+// unknown or self).
+func (c *Cluster) PeerURL(id string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.peers[id]; ok {
+		return p.url
+	}
+	return ""
+}
+
+// SetPeerURL records a peer's base URL (normally fed by PeersFile;
+// exported for tests and static -peers configs).
+func (c *Cluster) SetPeerURL(id, url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.peers[id]; ok {
+		p.url = strings.TrimSuffix(url, "/")
+	}
+}
+
+// aliveLocked returns whether id currently counts as alive. Self is
+// always alive from its own point of view.
+func (c *Cluster) aliveLocked(id string) bool {
+	if id == c.cfg.Self {
+		return true
+	}
+	p, ok := c.peers[id]
+	return ok && p.alive
+}
+
+// AliveIDs returns the ids currently considered alive (self
+// included), sorted.
+func (c *Cluster) AliveIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := []string{c.cfg.Self}
+	for id, p := range c.peers {
+		if p.alive {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Quorum reports whether this node can see a strict majority of the
+// membership (itself included). Routing fails closed without quorum:
+// a minority partition sheds cold work with 503 rather than running
+// simulations that the majority side is also running — wasted compute
+// and double-execution counters, even though the immutable store
+// would make the results identical.
+func (c *Cluster) Quorum() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quorumLocked()
+}
+
+func (c *Cluster) quorumLocked() bool {
+	alive := 1 // self
+	for _, p := range c.peers {
+		if p.alive {
+			alive++
+		}
+	}
+	return 2*alive > len(c.cfg.Nodes)
+}
+
+// ActingOwner returns the first *alive* node on the key's successor
+// chain — the node that should execute the key right now. With every
+// member alive this is the ring owner; when the owner is dead its
+// successor acts, and ownership snaps back the moment the owner
+// returns (the ring itself never changes on failure).
+func (c *Cluster) ActingOwner(akey string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.ring.Successors(akey, len(c.cfg.Nodes)) {
+		if c.aliveLocked(id) {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// Route decides where a cold /simulate for akey must run. ok=false
+// means this node must shed the request (no quorum — fail closed).
+func (c *Cluster) Route(akey string) (node string, ok bool) {
+	if !c.Quorum() {
+		return "", false
+	}
+	return c.ActingOwner(akey)
+}
+
+// HeartbeatPayload assembles this node's gossip answer.
+func (c *Cluster) HeartbeatPayload() Heartbeat {
+	hb := Heartbeat{Node: c.cfg.Self, Epoch: c.cfg.Epoch, Status: "ok"}
+	if c.cfg.LocalStatus != nil {
+		hb.Status = c.cfg.LocalStatus()
+	}
+	if c.cfg.LocalPending != nil {
+		hb.Pending = c.cfg.LocalPending()
+	}
+	return hb
+}
+
+// Adoptions returns recorded adoptions, filtered to jobs taken from
+// the given node id ("" returns all), most recent last.
+func (c *Cluster) Adoptions(from string) []Adoption {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Adoption, 0, len(c.adoptions))
+	for _, a := range c.adoptions {
+		if from == "" || a.From == from {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// MarkAdoptionDone flips the Done flag of the adoption holding the
+// given journal key (called by the daemon when the adopted job's
+// artifact is committed).
+func (c *Cluster) MarkAdoptionDone(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.adoptions {
+		if c.adoptions[i].Key == key {
+			c.adoptions[i].Done = true
+		}
+	}
+}
+
+// fire triggers the outbound fault seam; a non-nil error means the
+// scenario wants this peer call to fail (partition) and may have
+// already delayed it (slow_peer).
+func (c *Cluster) fire() error {
+	if c.cfg.Fire == nil {
+		return nil
+	}
+	return c.cfg.Fire("cluster.out")
+}

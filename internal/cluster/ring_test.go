@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys returns a deterministic corpus of n keys shaped like the
+// store's content-addressed artifact keys (hex digests would be
+// uniform too, but any string works — the ring hashes them).
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("artifact/%04d/simulate", i)
+	}
+	return keys
+}
+
+func nodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i)
+	}
+	return names
+}
+
+// TestRingBalance is the placement-balance invariant: at 1000 keys
+// and 3–9 nodes, every node's share stays within 15% of the ideal
+// 1/N. This is what the virtual-node count buys; if it fails after a
+// vnode change, raise DefaultVNodes.
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(1000)
+	for n := 3; n <= 9; n++ {
+		r := NewRing(nodeNames(n), 0)
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		ideal := float64(len(keys)) / float64(n)
+		for _, node := range r.Nodes() {
+			got := float64(counts[node])
+			dev := (got - ideal) / ideal
+			if dev < -0.15 || dev > 0.15 {
+				t.Errorf("%d nodes: %s owns %.0f keys, ideal %.1f (%.1f%% off, bound ±15%%)",
+					n, node, got, ideal, 100*dev)
+			}
+		}
+	}
+}
+
+// TestRingArcBalance checks the structural property underneath key
+// balance: each node's owned fraction of the 2^64 hash circle stays
+// within 10% of 1/N. Unlike the key-count test this has no sampling
+// noise — it is exactly what stratified vnode placement buys.
+func TestRingArcBalance(t *testing.T) {
+	for n := 3; n <= 9; n++ {
+		r := NewRing(nodeNames(n), 0)
+		arc := make(map[string]uint64)
+		for i, p := range r.points {
+			var gap uint64
+			if i == 0 {
+				gap = r.points[0].hash - r.points[len(r.points)-1].hash // wraps mod 2^64
+			} else {
+				gap = p.hash - r.points[i-1].hash
+			}
+			arc[p.node] += gap
+		}
+		ideal := float64(^uint64(0)) / float64(n)
+		for _, node := range r.Nodes() {
+			dev := (float64(arc[node]) - ideal) / ideal
+			if dev < -0.10 || dev > 0.10 {
+				t.Errorf("%d nodes: %s owns %.1f%% of the circle, ideal %.1f%% (bound ±10%%)",
+					n, node, 100*float64(arc[node])/float64(^uint64(0)), 100/float64(n))
+			}
+		}
+	}
+}
+
+// TestRingJoinMovesOnlyToNewNode is the minimal-movement invariant on
+// join: adding a node may only move keys TO the new node (never
+// between surviving nodes), and the moved fraction stays near the
+// ideal 1/(N+1).
+func TestRingJoinMovesOnlyToNewNode(t *testing.T) {
+	keys := testKeys(1000)
+	for n := 3; n <= 8; n++ {
+		before := NewRing(nodeNames(n), 0)
+		after := NewRing(nodeNames(n+1), 0) // adds node n
+		newNode := fmt.Sprintf("n%d", n)
+		moved := 0
+		for _, k := range keys {
+			was, is := before.Owner(k), after.Owner(k)
+			if was == is {
+				continue
+			}
+			moved++
+			if is != newNode {
+				t.Fatalf("%d→%d nodes: key %q moved %s→%s, not to the new node %s",
+					n, n+1, k, was, is, newNode)
+			}
+		}
+		ideal := float64(len(keys)) / float64(n+1)
+		if f := float64(moved); f > 2*ideal {
+			t.Errorf("%d→%d nodes: %d keys moved, ideal %.0f (bound 2×)", n, n+1, moved, ideal)
+		}
+		if moved == 0 {
+			t.Errorf("%d→%d nodes: no keys moved to the new node", n, n+1)
+		}
+	}
+}
+
+// TestRingLeaveMovesOnlyOrphans is the minimal-movement invariant on
+// leave: removing a node reassigns only the keys it owned; every
+// other key keeps its owner.
+func TestRingLeaveMovesOnlyOrphans(t *testing.T) {
+	keys := testKeys(1000)
+	for n := 4; n <= 9; n++ {
+		before := NewRing(nodeNames(n), 0)
+		gone := fmt.Sprintf("n%d", n-1)
+		after := NewRing(nodeNames(n-1), 0) // drops the last node
+		for _, k := range keys {
+			was, is := before.Owner(k), after.Owner(k)
+			if was == gone {
+				if is == gone {
+					t.Fatalf("%d nodes: key %q still owned by removed node %s", n, k, gone)
+				}
+				continue
+			}
+			if was != is {
+				t.Fatalf("%d→%d nodes: key %q moved %s→%s though %s left",
+					n, n-1, k, was, is, gone)
+			}
+		}
+	}
+}
+
+// TestRingDeterministicPlacement: the ring is a pure function of the
+// member set — order of the input slice must not matter, and repeated
+// construction must agree point for point.
+func TestRingDeterministicPlacement(t *testing.T) {
+	keys := testKeys(200)
+	a := NewRing([]string{"n0", "n1", "n2"}, 0)
+	b := NewRing([]string{"n2", "n0", "n1"}, 0)
+	for _, k := range keys {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %q depends on member order: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingSuccessors: the successor list starts at the owner, holds
+// distinct nodes, and truncates at the member count.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(nodeNames(3), 0)
+	for _, k := range testKeys(50) {
+		succ := r.Successors(k, 5)
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%q, 5) over 3 nodes: got %d entries", k, len(succ))
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("Successors(%q)[0] = %s, Owner = %s", k, succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("Successors(%q) repeats %s", k, s)
+			}
+			seen[s] = true
+		}
+	}
+	if got := r.Successors("k", 0); got != nil {
+		t.Fatalf("Successors(_, 0) = %v, want nil", got)
+	}
+}

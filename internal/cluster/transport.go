@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"time"
+)
+
+// ReplicaSet returns the peers (never self) that should hold a copy
+// of akey: the first Replicas ring successors after the owner chain
+// position of this node's copy. The owner itself is included when it
+// is not self — replication is called by whichever node computed the
+// artifact, which during failover may be a successor pushing back
+// toward the (future, rebooted) owner's replicas.
+func (c *Cluster) ReplicaSet(akey string) []string {
+	chain := c.ring.Successors(akey, c.cfg.Replicas+1)
+	out := make([]string, 0, len(chain))
+	for _, id := range chain {
+		if id != c.cfg.Self {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ReplicateAsync pushes a committed artifact to the key's replica
+// set in the background. Push failures are logged and dropped: the
+// artifact is already durable on this node, every copy is immutable
+// and self-verifying, and pull-on-miss repairs any hole the next
+// time the key is touched. Fire-and-forget is the right contract for
+// a store where a missing replica costs a re-fetch, never
+// correctness.
+func (c *Cluster) ReplicateAsync(akey string, data []byte) {
+	targets := c.ReplicaSet(akey)
+	if len(targets) == 0 {
+		return
+	}
+	body := append([]byte(nil), data...) // detach from the caller's buffer
+	go func() {
+		for _, id := range targets {
+			u := c.PeerURL(id)
+			if u == "" {
+				continue
+			}
+			if err := c.pushArtifact(u, akey, body); err != nil {
+				c.cfg.Logf("cluster: replicate %s → %s: %v", akey, id, err)
+			}
+		}
+	}()
+}
+
+func (c *Cluster) pushArtifact(base, akey string, data []byte) error {
+	if err := c.fire(); err != nil {
+		return err
+	}
+	resp, err := c.cfg.Client.Post(base+"/cluster/artifact?key="+url.QueryEscape(akey),
+		"application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Pull fetches akey from the first replica that has it (walking the
+// key's successor chain, alive peers only). ok=false means no
+// reachable replica holds the artifact — the caller computes it.
+func (c *Cluster) Pull(ctx context.Context, akey string) ([]byte, bool) {
+	for _, id := range c.ring.Successors(akey, len(c.cfg.Nodes)) {
+		if id == c.cfg.Self {
+			continue
+		}
+		c.mu.Lock()
+		p, ok := c.peers[id]
+		reachable := ok && p.alive && p.url != ""
+		base := ""
+		if ok {
+			base = p.url
+		}
+		c.mu.Unlock()
+		if !reachable {
+			continue
+		}
+		data, err := c.pullArtifact(ctx, base, akey)
+		if err != nil {
+			continue // miss or fault — try the next replica
+		}
+		return data, true
+	}
+	return nil, false
+}
+
+func (c *Cluster) pullArtifact(ctx context.Context, base, akey string) ([]byte, error) {
+	if err := c.fire(); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET",
+		base+"/cluster/artifact?key="+url.QueryEscape(akey), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+}
+
+// FencedKeys implements the reboot side of epoch fencing: it asks
+// every reachable peer which of this node's journal keys were
+// adopted at an epoch below the current one, retrying until the
+// context expires. The caller (journal recovery) commits those keys
+// away instead of re-running them.
+//
+// Best-effort by design: if no peer answers before the deadline,
+// recovery proceeds un-fenced — jobs may re-run, which wastes cycles
+// but cannot corrupt anything (immutable store) and is the correct
+// fail-open choice for a node booting into a dead or partitioned
+// cluster.
+func (c *Cluster) FencedKeys(ctx context.Context) map[string]Adoption {
+	fenced := make(map[string]Adoption)
+	answered := make(map[string]bool)
+	for {
+		c.mu.Lock()
+		var targets []*peer
+		for _, p := range c.peers {
+			if p.url != "" && !answered[p.id] {
+				targets = append(targets, p)
+			}
+		}
+		c.mu.Unlock()
+		for _, p := range targets {
+			ads, err := c.fetchAdoptions(ctx, p.url)
+			if err != nil {
+				continue
+			}
+			answered[p.id] = true
+			for _, a := range ads {
+				if a.From == c.cfg.Self && a.Epoch < c.cfg.Epoch {
+					fenced[a.Key] = a
+				}
+			}
+		}
+		c.mu.Lock()
+		missing := 0
+		for _, p := range c.peers {
+			if !answered[p.id] {
+				missing++
+			}
+		}
+		c.mu.Unlock()
+		if missing == 0 {
+			return fenced
+		}
+		select {
+		case <-ctx.Done():
+			if len(answered) == 0 {
+				c.cfg.Logf("cluster: fence query: no peer answered — recovering un-fenced")
+			} else {
+				c.cfg.Logf("cluster: fence query: %d peer(s) silent — fencing on partial answers", missing)
+			}
+			return fenced
+		case <-time.After(100 * time.Millisecond):
+			c.reloadPeersFile() // a peer may have just published its port
+		}
+	}
+}
+
+func (c *Cluster) fetchAdoptions(ctx context.Context, base string) ([]Adoption, error) {
+	if err := c.fire(); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET",
+		base+"/cluster/adoptions?from="+url.QueryEscape(c.cfg.Self), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var ads []Adoption
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&ads); err != nil {
+		return nil, err
+	}
+	return ads, nil
+}
+
+// PeerStatus is one row of the /cluster status answer.
+type PeerStatus struct {
+	ID     string `json:"id"`
+	URL    string `json:"url,omitempty"`
+	Alive  bool   `json:"alive"`
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+	// AgoMS is milliseconds since the last successful heartbeat
+	// (-1: never heard from).
+	AgoMS   int64 `json:"last_heartbeat_ms,omitempty"`
+	Pending int   `json:"pending,omitempty"`
+}
+
+// Status is the cluster section of the daemon's observability
+// answers (/cluster, /readyz, /stats).
+type Status struct {
+	Self      string       `json:"self"`
+	Epoch     uint64       `json:"epoch"`
+	Nodes     []string     `json:"nodes"`
+	VNodes    int          `json:"vnodes"`
+	Replicas  int          `json:"replicas"`
+	Quorum    bool         `json:"quorum"`
+	Alive     int          `json:"alive"`
+	Peers     []PeerStatus `json:"peers"`
+	Adoptions []Adoption   `json:"adoptions,omitempty"`
+}
+
+// StatusNow snapshots the cluster view.
+func (c *Cluster) StatusNow() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		Self:     c.cfg.Self,
+		Epoch:    c.cfg.Epoch,
+		Nodes:    c.ring.Nodes(),
+		VNodes:   c.ring.vnodes,
+		Replicas: c.cfg.Replicas,
+		Quorum:   c.quorumLocked(),
+		Alive:    1,
+	}
+	for _, p := range c.peers {
+		ps := PeerStatus{ID: p.id, URL: p.url, Alive: p.alive, Status: p.status, Epoch: p.epoch, Pending: len(p.pending)}
+		if p.everSeen {
+			ps.AgoMS = c.now().Sub(p.lastOK).Milliseconds()
+		} else {
+			ps.AgoMS = -1
+		}
+		if p.alive {
+			st.Alive++
+		}
+		st.Peers = append(st.Peers, ps)
+	}
+	sort.Slice(st.Peers, func(i, j int) bool { return st.Peers[i].ID < st.Peers[j].ID })
+	st.Adoptions = append(st.Adoptions, c.adoptions...)
+	return st
+}

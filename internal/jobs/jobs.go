@@ -78,6 +78,7 @@ type call struct {
 	val     any
 	err     error
 	waiters int                // callers still interested in the result
+	started bool               // fn is on a worker (an abandoned call still finishes)
 	cancel  context.CancelFunc // cancels the execution when waiters == 0
 }
 
@@ -156,11 +157,15 @@ func (e *Engine) SetWrap(w func(key string, fn JobFunc) JobFunc) {
 // first and submit only the leaf work.
 func (e *Engine) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
 	e.mu.Lock()
-	// Join an in-flight call only while its execution is still live: once
-	// the last previous waiter cancelled it (c.cancel fired but finish has
-	// not yet removed it from the map), joining would inherit a spurious
-	// context.Canceled, so start a fresh execution instead.
-	if c, ok := e.inflight[key]; ok && c.ctx.Err() == nil {
+	// Join an in-flight call while its execution is live — or while an
+	// abandoned execution is still on a worker: a running job keeps going
+	// after its last waiter cancelled (it must land its artifact), so a
+	// retry arriving mid-run shares that result instead of queueing a
+	// second execution of work that is already happening. Only a call
+	// cancelled before it ever reached a worker is truly dead (it will
+	// finish with context.Canceled without running fn), and only then
+	// does a new arrival start a fresh execution.
+	if c, ok := e.inflight[key]; ok && (c.ctx.Err() == nil || c.started) {
 		c.waiters++
 		e.coalesced++
 		e.mu.Unlock()
@@ -214,6 +219,18 @@ func (e *Engine) run(ctx context.Context, key string, c *call, fn func(context.C
 		return
 	}
 	e.mu.Lock()
+	// Both select arms may have been ready. A call cancelled while it
+	// was still queued has no waiters and admits no new ones (Do only
+	// joins cancelled calls that started), so running fn now would be
+	// work nobody can observe — and for fns that ignore cancellation, a
+	// duplicate execution racing the fresh call that replaced this one.
+	if c.ctx.Err() != nil {
+		e.mu.Unlock()
+		<-e.sem
+		e.finish(key, c, 0, c.ctx.Err())
+		return
+	}
+	c.started = true
 	if w := e.wrap; w != nil {
 		fn = w(key, fn)
 	}

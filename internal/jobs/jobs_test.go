@@ -234,35 +234,118 @@ func TestAllWaitersCancelled(t *testing.T) {
 // waiter cancelled an in-flight call — but before the dying execution
 // cleaned itself out of the inflight map — must start a fresh execution
 // instead of inheriting a spurious context.Canceled.
-func TestJoinAfterAbandonStartsFresh(t *testing.T) {
+// TestJoinAbandonedRunningExecution: an execution whose every waiter
+// cancelled keeps running (it must land its artifact); a retry arriving
+// mid-run joins it and shares the landed result instead of queueing a
+// second execution of work that is already happening.
+func TestJoinAbandonedRunningExecution(t *testing.T) {
 	e := New(2)
 	ctx1, cancel1 := context.WithCancel(context.Background())
 	started := make(chan struct{})
 	hold := make(chan struct{})
+	var runs atomic.Int64
 	done1 := make(chan error, 1)
 	go func() {
 		_, err := e.Do(ctx1, "k", func(jctx context.Context) (any, error) {
+			runs.Add(1)
 			close(started)
-			<-jctx.Done()
-			<-hold // keep the dying call in the inflight map
-			return nil, jctx.Err()
+			<-jctx.Done() // every waiter abandoned...
+			<-hold        // ...but the execution keeps going
+			return "landed", nil
 		})
 		done1 <- err
 	}()
 	<-started
 	cancel1()
 	// Once the waiter returned, c.cancel() has fired, but the execution is
-	// still blocked on hold, so the call is still in the inflight map.
+	// still on its worker, so the call is still in the inflight map.
 	if err := <-done1; !errors.Is(err, context.Canceled) {
 		t.Fatalf("abandoning caller: err = %v, want context.Canceled", err)
 	}
 
+	type res struct {
+		v   any
+		err error
+	}
+	joined := make(chan res, 1)
+	go func() {
+		v, err := e.Do(context.Background(), "k", func(context.Context) (any, error) {
+			runs.Add(1)
+			return "fresh", nil
+		})
+		joined <- res{v, err}
+	}()
+	// Release the running execution only after the retry has joined it
+	// (a fresh execution would bump Submitted instead).
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Coalesced == 0 {
+		if time.Now().After(deadline) || e.Stats().Submitted > 1 {
+			t.Fatalf("retry did not join the abandoned execution: %+v", e.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(hold)
+	r := <-joined
+	if r.err != nil || r.v != "landed" {
+		t.Fatalf("retry got v=%v err=%v, want the abandoned execution's result", r.v, r.err)
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+}
+
+// TestCancelledQueuedCallNeverRuns: a call abandoned while still queued
+// (it never reached a worker) must not execute its fn when a slot frees
+// up — nobody can observe it, and for fns that ignore cancellation it
+// would duplicate the fresh execution that replaced it.
+func TestCancelledQueuedCallNeverRuns(t *testing.T) {
+	e := New(1)
+	block := make(chan struct{})
+	occupying := make(chan struct{})
+	occupied := make(chan struct{}, 1)
+	go func() {
+		e.Do(context.Background(), "occupier", func(context.Context) (any, error) {
+			close(occupying)
+			<-block
+			return nil, nil
+		})
+		occupied <- struct{}{}
+	}()
+	<-occupying
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Do(ctx, "k", func(context.Context) (any, error) {
+			ran.Store(true)
+			return nil, nil
+		})
+		done <- err
+	}()
+	// Cancel while the call is queued behind the occupier.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().InFlight < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued call never registered: %+v", e.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning caller: err = %v, want context.Canceled", err)
+	}
+
+	close(block)
+	<-occupied
 	v, err := e.Do(context.Background(), "k", func(context.Context) (any, error) {
 		return "fresh", nil
 	})
-	close(hold)
 	if err != nil || v != "fresh" {
-		t.Fatalf("joiner after abandon: v=%v err=%v, want fresh execution", v, err)
+		t.Fatalf("arrival after a dead queued call: v=%v err=%v, want fresh execution", v, err)
+	}
+	if ran.Load() {
+		t.Fatal("a call cancelled before reaching a worker executed its fn")
 	}
 }
 

@@ -79,6 +79,26 @@ func Evaluate(a Assertions, o *Outcome) []AssertionResult {
 		add("no_corrupt_artifacts", o.Quarantined == 0,
 			fmt.Sprintf("%d quarantined", o.Quarantined), "0 quarantined")
 	}
+	if a.MinAdoptions != nil {
+		add("adoptions", o.AdoptionsDone >= *a.MinAdoptions,
+			fmt.Sprintf("%d completed (%d claimed)", o.AdoptionsDone, o.Adoptions),
+			fmt.Sprintf(">= %d completed", *a.MinAdoptions))
+	}
+	if a.MaxKeyExec != nil {
+		add("key_executions", o.MaxKeyExecutions <= *a.MaxKeyExec,
+			fmt.Sprintf("worst key executed %d times (%d keys over 1)", o.MaxKeyExecutions, o.DoubleExecuted),
+			fmt.Sprintf("<= %d per key fleet-wide", *a.MaxKeyExec))
+	}
+	if a.ClusterOK != nil && *a.ClusterOK {
+		add("cluster_converged", o.ClusterConverged,
+			fmt.Sprintf("%v", o.FinalCluster), "every node: quorum held, whole fleet alive")
+	}
+	if a.NoLostJobs != nil && *a.NoLostJobs {
+		ok := o.PendingJobs == 0 && o.Adoptions == o.AdoptionsDone
+		add("no_lost_jobs", ok,
+			fmt.Sprintf("%d pending, %d/%d adoptions completed", o.PendingJobs, o.AdoptionsDone, o.Adoptions),
+			"0 pending, every adoption completed")
+	}
 	return out
 }
 

@@ -1,0 +1,456 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tlssync/internal/fault"
+)
+
+// clusterScenario is a minimal valid cluster scenario; the validation
+// cases below mutate one aspect at a time.
+const clusterScenario = `
+name: cluster-demo
+duration: 10s
+seed: 7
+daemons:
+  nodes: 3
+  ring_replicas: 1
+  heartbeat: 100ms
+  dead_after: 500ms
+  benchmarks: [gzip_comp]
+  fault_surface: true
+fleet:
+  clients: 3
+  retry:
+    max: 2
+    base: 10ms
+    cap: 100ms
+  startup:
+    pattern: instant
+  templates:
+    - name: simmers
+      weight: 1.0
+      bench: [gzip_comp]
+      policy: [C]
+      think: {dist: fixed, mean: 100ms}
+faults:
+  - {at: 2s, kind: partition, target: 0, heal: 3s}
+  - {at: 6s, kind: slow_peer, target: 1, delay: 20ms, heal: 1s}
+assertions:
+  min_adoptions: 1
+  max_key_executions: 1
+  cluster_converged: true
+  no_lost_jobs: true
+`
+
+func TestParseClusterScenario(t *testing.T) {
+	sc, err := Parse("cluster.yaml", []byte(clusterScenario))
+	if err != nil {
+		t.Fatalf("valid cluster scenario rejected: %v", err)
+	}
+	ds := sc.Daemons
+	if !ds.Cluster() || ds.Nodes != 3 || ds.RingReplicas != 1 ||
+		ds.Heartbeat != 100*time.Millisecond || ds.DeadAfter != 500*time.Millisecond {
+		t.Errorf("cluster spec parsed wrong: %+v", ds)
+	}
+	if ds.Count != 3 {
+		t.Errorf("Count = %d, want normalized to Nodes (3)", ds.Count)
+	}
+	r := sc.Fleet.Retry
+	if r.Max != 2 || r.Base != 10*time.Millisecond || r.Cap != 100*time.Millisecond {
+		t.Errorf("retry spec parsed wrong: %+v", r)
+	}
+	if sc.Faults[0].Kind != "partition" || sc.Faults[0].Heal != 3*time.Second {
+		t.Errorf("partition fault parsed wrong: %+v", sc.Faults[0])
+	}
+	if sc.Faults[1].Kind != "slow_peer" || sc.Faults[1].Delay != 20*time.Millisecond {
+		t.Errorf("slow_peer fault parsed wrong: %+v", sc.Faults[1])
+	}
+	a := sc.Assert
+	if *a.MinAdoptions != 1 || *a.MaxKeyExec != 1 || !*a.ClusterOK || !*a.NoLostJobs {
+		t.Errorf("cluster assertions parsed wrong: %+v", a)
+	}
+}
+
+// swap mutates one fragment of the cluster scenario.
+func swap(t *testing.T, old, new string) string {
+	t.Helper()
+	if !strings.Contains(clusterScenario, old) {
+		t.Fatalf("test bug: %q not in the cluster scenario", old)
+	}
+	return strings.Replace(clusterScenario, old, new, 1)
+}
+
+func TestValidateClusterErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "one-node cluster",
+			src:  swap(t, "nodes: 3", "nodes: 1"),
+			want: "daemons.nodes must be >= 2",
+		},
+		{
+			name: "count conflicts with nodes",
+			src:  swap(t, "  nodes: 3", "  count: 2\n  nodes: 3"),
+			want: "conflicts with daemons.nodes",
+		},
+		{
+			name: "ring replicas out of range",
+			src:  swap(t, "ring_replicas: 1", "ring_replicas: 3"),
+			want: "daemons.ring_replicas 3 out of range",
+		},
+		{
+			name: "cluster keys without nodes",
+			src:  swap(t, "  nodes: 3\n", ""),
+			want: "need daemons.nodes >= 2",
+		},
+		{
+			name: "negative retry budget",
+			src:  swap(t, "max: 2", "max: -1"),
+			want: "fleet.retry.max must be >= 0",
+		},
+		{
+			name: "slow_peer without delay",
+			src:  swap(t, "kind: slow_peer, target: 1, delay: 20ms, heal: 1s", "kind: slow_peer, target: 1, heal: 1s"),
+			want: "slow_peer needs a positive delay",
+		},
+		{
+			name: "heal past the scenario end",
+			src:  swap(t, "kind: partition, target: 0, heal: 3s", "kind: partition, target: 0, heal: 9s"),
+			want: "after the scenario duration",
+		},
+		{
+			name: "heal on a kill event",
+			src:  swap(t, "kind: slow_peer, target: 1, delay: 20ms, heal: 1s", "kind: kill, target: 1, heal: 1s"),
+			want: "heal only applies to partition/slow_peer",
+		},
+		{
+			name: "zero key-execution ceiling",
+			src:  swap(t, "max_key_executions: 1", "max_key_executions: 0"),
+			want: "max_key_executions must be >= 1",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("cluster.yaml", []byte(tc.src))
+			if err == nil {
+				t.Fatal("scenario accepted, want an error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateClusterAssertionsNeedNodes: each cluster assertion is
+// rejected on a single-daemon scenario.
+func TestValidateClusterAssertionsNeedNodes(t *testing.T) {
+	base := `
+name: solo
+duration: 5s
+daemons:
+  count: 1
+  benchmarks: [gzip_comp]
+fleet:
+  clients: 1
+  startup: {pattern: instant}
+  templates:
+    - name: simmers
+      weight: 1.0
+      think: {dist: fixed, mean: 100ms}
+assertions:
+  %s
+`
+	for _, line := range []string{
+		"min_adoptions: 1", "max_key_executions: 1", "cluster_converged: true", "no_lost_jobs: true",
+	} {
+		_, err := Parse("solo.yaml", []byte(fmt.Sprintf(base, line)))
+		if err == nil || !strings.Contains(err.Error(), "needs daemons.nodes >= 2") {
+			t.Errorf("assertion %q on a solo daemon: err = %v, want a nodes>=2 error", line, err)
+		}
+	}
+}
+
+// TestValidatePartitionNeedsCluster: cluster fault kinds are rejected
+// outside cluster mode.
+func TestValidatePartitionNeedsCluster(t *testing.T) {
+	src := `
+name: solo
+duration: 5s
+daemons:
+  count: 1
+  benchmarks: [gzip_comp]
+  fault_surface: true
+fleet:
+  clients: 1
+  startup: {pattern: instant}
+  templates:
+    - name: simmers
+      weight: 1.0
+      think: {dist: fixed, mean: 100ms}
+faults:
+  - {at: 1s, kind: partition, target: 0}
+`
+	_, err := Parse("solo.yaml", []byte(src))
+	if err == nil || !strings.Contains(err.Error(), "needs daemons.nodes >= 2") {
+		t.Fatalf("partition on a solo daemon: err = %v, want a nodes>=2 error", err)
+	}
+}
+
+func TestArmSpecStringClusterKinds(t *testing.T) {
+	p := FaultEvent{Kind: "partition"}
+	if got, want := p.ArmSpecString(), "cluster.in=error;cluster.out=error"; got != want {
+		t.Errorf("partition spec = %q, want %q", got, want)
+	}
+	s := FaultEvent{Kind: "slow_peer", Delay: 20 * time.Millisecond}
+	if got, want := s.ArmSpecString(), "cluster.in=latency:20ms;cluster.out=latency:20ms"; got != want {
+		t.Errorf("slow_peer spec = %q, want %q", got, want)
+	}
+}
+
+// TestEvaluateClusterAssertions: the four cluster assertions judge the
+// scraped outcome fields.
+func TestEvaluateClusterAssertions(t *testing.T) {
+	one, two := int64(1), int64(2)
+	yes := true
+	pass := &Outcome{
+		Adoptions: 2, AdoptionsDone: 2,
+		MaxKeyExecutions: 1, PendingJobs: 0, ClusterConverged: true,
+	}
+	a := Assertions{MinAdoptions: &two, MaxKeyExec: &one, ClusterOK: &yes, NoLostJobs: &yes}
+	for _, r := range Evaluate(a, pass) {
+		if !r.OK {
+			t.Errorf("assertion %s failed on a passing outcome: got %s, want %s", r.Name, r.Got, r.Want)
+		}
+	}
+
+	for name, o := range map[string]*Outcome{
+		"too few adoptions":   {Adoptions: 1, AdoptionsDone: 1, MaxKeyExecutions: 1, ClusterConverged: true},
+		"double execution":    {Adoptions: 2, AdoptionsDone: 2, MaxKeyExecutions: 2, ClusterConverged: true},
+		"cluster split":       {Adoptions: 2, AdoptionsDone: 2, MaxKeyExecutions: 1, ClusterConverged: false},
+		"pending backlog":     {Adoptions: 2, AdoptionsDone: 2, MaxKeyExecutions: 1, ClusterConverged: true, PendingJobs: 3},
+		"unfinished adoption": {Adoptions: 2, AdoptionsDone: 1, MaxKeyExecutions: 1, ClusterConverged: true},
+	} {
+		if Passed(Evaluate(a, o)) {
+			t.Errorf("%s: assertions passed, want a failure", name)
+		}
+	}
+}
+
+// fakeClusterNode is a cluster-mode tlsd stand-in: /simulate fails
+// closed (503 + Retry-After) while the cluster.in fault point is armed
+// with an error — exactly the daemon's partition behavior — and
+// /cluster serves a fabricated but shape-accurate scrape.
+type fakeClusterNode struct {
+	self string
+	reg  *fault.Registry
+	srv  *httptest.Server
+
+	mu   sync.Mutex
+	shed int
+}
+
+func newFakeClusterNode(t *testing.T, self string, nodes []string, executions map[string]int64, adoptions []map[string]any) *fakeClusterNode {
+	d := &fakeClusterNode{self: self, reg: fault.NewRegistry()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"status": "ok", "quarantined": 0})
+	})
+	mux.HandleFunc("GET /simulate", func(w http.ResponseWriter, r *http.Request) {
+		if err := d.reg.Fire("cluster.in"); err != nil {
+			d.mu.Lock()
+			d.shed++
+			d.mu.Unlock()
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			writeJSON(w, map[string]string{"error": "cluster fault injected"})
+			return
+		}
+		w.Header().Set("X-Tlsd-Cache", "hit")
+		writeJSON(w, map[string]string{"cache": "hit"})
+	})
+	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"cluster": map[string]any{
+				"self": self, "nodes": nodes, "quorum": true, "alive": len(nodes),
+				"adoptions": adoptions,
+			},
+			"executions":      executions,
+			"journal_pending": 0,
+		})
+	})
+	mux.HandleFunc("GET /_faults", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"armed": d.reg.Armed(), "fired": d.reg.FiredAll()})
+	})
+	mux.HandleFunc("POST /_faults/arm", func(w http.ResponseWriter, r *http.Request) {
+		specs, err := fault.ParseSpec(r.URL.Query().Get("spec"))
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		fault.ArmAll(d.reg, specs)
+		writeJSON(w, map[string]any{"armed": d.reg.Armed()})
+	})
+	mux.HandleFunc("POST /_faults/reset", func(w http.ResponseWriter, r *http.Request) {
+		for _, pt := range r.URL.Query()["point"] {
+			d.reg.Disarm(pt)
+		}
+		writeJSON(w, map[string]any{"armed": d.reg.Armed()})
+	})
+	d.srv = httptest.NewServer(mux)
+	return d
+}
+
+func (d *fakeClusterNode) URL() string                     { return d.srv.URL }
+func (d *fakeClusterNode) Kill() error                     { return fmt.Errorf("not killable") }
+func (d *fakeClusterNode) Restart() error                  { return fmt.Errorf("not restartable") }
+func (d *fakeClusterNode) WaitReady(context.Context) error { return nil }
+func (d *fakeClusterNode) Close()                          { d.srv.Close() }
+func (d *fakeClusterNode) shedCount() int                  { d.mu.Lock(); defer d.mu.Unlock(); return d.shed }
+
+// TestRunnerClusterEndToEnd drives a 2-node cluster of fakes through a
+// partition + heal and retries: the partitioned node sheds 503s, the
+// fleet's retry budget is spent and surfaced, the heal disarms the
+// cluster points before the scrape, and the cluster scrape feeds the
+// new assertions.
+func TestRunnerClusterEndToEnd(t *testing.T) {
+	src := `
+name: cluster-runner
+duration: 1200ms
+seed: 5
+daemons:
+  nodes: 2
+  heartbeat: 20ms
+  dead_after: 100ms
+  benchmarks: [gzip_comp]
+  fault_surface: true
+fleet:
+  clients: 4
+  retry:
+    max: 2
+    base: 5ms
+    cap: 20ms
+  startup:
+    pattern: instant
+  templates:
+    - name: simmers
+      weight: 1.0
+      bench: [gzip_comp]
+      policy: [C]
+      think: {dist: fixed, mean: 60ms}
+faults:
+  - {at: 100ms, kind: partition, target: 0, heal: 400ms}
+assertions:
+  min_shed: 1
+  min_adoptions: 1
+  max_key_executions: 1
+  cluster_converged: true
+  no_lost_jobs: true
+  readyz_converged: true
+`
+	sc, err := Parse("cluster-runner.yaml", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []string{"n0", "n1"}
+	fakes := make([]*fakeClusterNode, 2)
+	rep, err := Run(sc, 5, RunOptions{
+		StartDaemon: func(i int) (Daemon, error) {
+			// n1 adopted and executed one key from n0; n0 executed none
+			// (it was partitioned before its queue drained).
+			var exec map[string]int64
+			var adoptions []map[string]any
+			if i == 1 {
+				exec = map[string]int64{"gzip_comp|C": 1}
+				adoptions = []map[string]any{{"key": "gzip_comp|C", "done": true}}
+			}
+			fakes[i] = newFakeClusterNode(t, nodes[i], nodes, exec, adoptions)
+			return fakes[i], nil
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcome
+	if fakes[0].shedCount() == 0 {
+		t.Error("partitioned node never shed a request")
+	}
+	if o.Shed == 0 {
+		t.Errorf("no sheds surfaced in the outcome: %+v", o)
+	}
+	if o.Retries == 0 {
+		t.Errorf("retry budget unspent despite 503s: %+v", o)
+	}
+	if o.FaultsByPoint["cluster.in"] == 0 {
+		t.Errorf("cluster.in never fired: %v", o.FaultsByPoint)
+	}
+	if got := fakes[0].reg.Armed(); len(got) != 0 {
+		t.Errorf("heal left faults armed on n0: %v", got)
+	}
+	if o.Adoptions != 1 || o.AdoptionsDone != 1 {
+		t.Errorf("adoptions scraped wrong: %d/%d", o.AdoptionsDone, o.Adoptions)
+	}
+	if o.MaxKeyExecutions != 1 || o.DoubleExecuted != 0 {
+		t.Errorf("execution counters scraped wrong: max=%d double=%d", o.MaxKeyExecutions, o.DoubleExecuted)
+	}
+	if !o.ClusterConverged {
+		t.Errorf("cluster not converged: %v", o.FinalCluster)
+	}
+	if !rep.Pass {
+		t.Errorf("scenario should pass, assertions: %+v", rep.Assertions)
+	}
+}
+
+// TestScrapeClusterDoubleExecution: a key executed on two nodes is
+// surfaced as a double-compute.
+func TestScrapeClusterDoubleExecution(t *testing.T) {
+	nodes := []string{"n0", "n1"}
+	a := newFakeClusterNode(t, "n0", nodes, map[string]int64{"k1": 1, "k2": 1}, nil)
+	b := newFakeClusterNode(t, "n1", nodes, map[string]int64{"k1": 1}, nil)
+	defer a.Close()
+	defer b.Close()
+	o := &Outcome{}
+	var notes syncNotes
+	scrapeCluster([]Daemon{a, b}, http.DefaultClient, o, &notes)
+	if o.MaxKeyExecutions != 2 || o.DoubleExecuted != 1 {
+		t.Errorf("max=%d double=%d, want 2 and 1 (k1 ran on both nodes)", o.MaxKeyExecutions, o.DoubleExecuted)
+	}
+	if !o.ClusterConverged {
+		t.Errorf("converged view expected: %v", o.FinalCluster)
+	}
+}
+
+// TestScrapeClusterUnreachableNode: a dead node makes convergence
+// false and is recorded as evidence.
+func TestScrapeClusterUnreachableNode(t *testing.T) {
+	nodes := []string{"n0", "n1"}
+	a := newFakeClusterNode(t, "n0", nodes, nil, nil)
+	defer a.Close()
+	dead := newFakeClusterNode(t, "n1", nodes, nil, nil)
+	dead.Close() // nothing listens anymore
+	o := &Outcome{}
+	var notes syncNotes
+	scrapeCluster([]Daemon{a, dead}, http.DefaultClient, o, &notes)
+	if o.ClusterConverged {
+		t.Error("converged despite an unreachable node")
+	}
+	found := false
+	for _, line := range o.FinalCluster {
+		found = found || strings.Contains(line, "unreachable")
+	}
+	if !found {
+		t.Errorf("unreachable node not recorded: %v", o.FinalCluster)
+	}
+}

@@ -7,11 +7,13 @@ import (
 
 // sample is one executed request's outcome.
 type sample struct {
-	endpoint string
-	status   int  // 0 = transport error (daemon down, timeout, reset)
-	cacheHit bool // X-Tlsd-Cache: hit (simulate endpoint only)
-	cacheHdr bool // header present at all
-	latency  time.Duration
+	endpoint  string
+	status    int  // 0 = transport error (daemon down, timeout, reset)
+	cacheHit  bool // X-Tlsd-Cache: hit (simulate endpoint only)
+	cacheHdr  bool // header present at all
+	latency   time.Duration
+	retries   int  // re-issues after the first attempt (fleet.retry)
+	exhausted bool // gave up still failing after the retry budget
 }
 
 // Outcome aggregates everything the run measured: client-side traffic
@@ -40,11 +42,27 @@ type Outcome struct {
 	Restarts       int64            `json:"restarts"`
 	Recoveries     []time.Duration  `json:"recoveries,omitempty"` // restart → /readyz ok, per restart
 
+	// Retry budget spent by the fleet (fleet.retry): total re-issues
+	// beyond the first attempt and how many requests gave up with the
+	// budget exhausted (their final status is what the sample records).
+	Retries          int64 `json:"retries,omitempty"`
+	RetriesExhausted int64 `json:"retries_exhausted,omitempty"`
+
 	FinalReady   []string         `json:"final_readyz"` // per-daemon final /readyz status
 	Quarantined  int64            `json:"quarantined"`  // summed corrupt_quarantined across daemons
 	DiskErrors   int64            `json:"disk_errors"`
 	JournalBad   int64            `json:"journal_append_errors"`
 	EndpointHits map[string]int64 `json:"endpoint_hits,omitempty"` // client-side per-endpoint totals
+
+	// Cluster fields (daemons.nodes >= 2), scraped from each node's
+	// /cluster endpoint after the clock stops.
+	Adoptions        int64    `json:"adoptions,omitempty"`          // dead-node jobs claimed by a successor
+	AdoptionsDone    int64    `json:"adoptions_done,omitempty"`     // of those, completed (artifact committed)
+	MaxKeyExecutions int64    `json:"max_key_executions,omitempty"` // worst per-key execution count summed across nodes
+	DoubleExecuted   int64    `json:"double_executed,omitempty"`    // keys whose fleet-wide execution count exceeds 1
+	PendingJobs      int64    `json:"pending_jobs,omitempty"`       // final journal-pending sum across nodes
+	ClusterConverged bool     `json:"cluster_converged,omitempty"`  // every node: quorum held, whole fleet alive
+	FinalCluster     []string `json:"final_cluster,omitempty"`      // per-node "id: alive x/y quorum=bool" evidence
 }
 
 // ErrorRate is the assertion's error definition: server failures plus
@@ -115,6 +133,10 @@ func aggregate(samples []sample) *Outcome {
 			} else {
 				o.CacheMisses++
 			}
+		}
+		o.Retries += int64(s.retries)
+		if s.exhausted {
+			o.RetriesExhausted++
 		}
 	}
 	o.P50, o.P95, o.P99, o.Max = percentiles(lats)

@@ -8,8 +8,12 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"tlssync/internal/httpretry"
+	"tlssync/internal/progen"
 )
 
 // A Daemon is one tlsd under test, as the runner sees it: a base URL
@@ -124,14 +128,18 @@ func Run(sc *Scenario, seed uint64, opts RunOptions) (*Report, error) {
 	}()
 
 	// Client fleet: one goroutine per client, each with its own sample
-	// slice (no shared state on the hot path).
+	// slice (no shared state on the hot path). Retry jitter draws from a
+	// per-client generator — runtime-only randomness, so the plan (the
+	// determinism contract) is untouched; the seed salt differs from the
+	// planner's so retry draws never correlate with planned schedules.
 	perClient := make([][]sample, len(plan.Clients))
 	var clientWG sync.WaitGroup
 	for i := range plan.Clients {
 		clientWG.Add(1)
 		go func(i int) {
 			defer clientWG.Done()
-			perClient[i] = runClient(&plan.Clients[i], daemons, t0, client)
+			pol := retryPolicy(sc.Fleet.Retry, seed, i)
+			perClient[i] = runClient(&plan.Clients[i], daemons, t0, client, pol)
 		}(i)
 	}
 	clientWG.Wait()
@@ -150,6 +158,9 @@ func Run(sc *Scenario, seed uint64, opts RunOptions) (*Report, error) {
 	agg.Restarts = outcome.Restarts
 	agg.Recoveries = outcome.Recoveries
 	scrapeDaemons(daemons, client, agg, &notes)
+	if sc.Daemons.Cluster() {
+		scrapeCluster(daemons, client, agg, &notes)
+	}
 	agg.FaultsInjected = agg.Kills
 	for _, n := range agg.FaultsByPoint {
 		agg.FaultsInjected += n
@@ -191,11 +202,27 @@ func (n *syncNotes) take() []string {
 	return n.notes
 }
 
+// retryPolicy builds client i's httpretry policy from the fleet spec.
+// A zero-valued spec returns a Max=0 policy, which issue treats as
+// plain single-attempt Gets.
+func retryPolicy(rs RetrySpec, seed uint64, i int) httpretry.Policy {
+	if rs.Max <= 0 {
+		return httpretry.Policy{}
+	}
+	rnd := progen.NewRand(seed ^ (uint64(i)+1)*0x517cc1b727220a95)
+	return httpretry.Policy{
+		Max:    rs.Max,
+		Base:   rs.Base,
+		Cap:    rs.Cap,
+		Jitter: func() float64 { return float64(rnd.Next()>>11) / float64(uint64(1)<<53) },
+	}
+}
+
 // runClient replays one client's planned request schedule against its
 // daemon. Offsets are earliest-start times: the client sleeps until
 // each request's planned time, or issues immediately when already past
 // it.
-func runClient(cp *ClientPlan, daemons []Daemon, t0 time.Time, client *http.Client) []sample {
+func runClient(cp *ClientPlan, daemons []Daemon, t0 time.Time, client *http.Client, pol httpretry.Policy) []sample {
 	d := daemons[cp.Daemon]
 	out := make([]sample, 0, len(cp.Requests))
 	for i := range cp.Requests {
@@ -203,13 +230,17 @@ func runClient(cp *ClientPlan, daemons []Daemon, t0 time.Time, client *http.Clie
 		if wait := time.Until(t0.Add(rq.At)); wait > 0 {
 			time.Sleep(wait)
 		}
-		out = append(out, issue(client, d.URL(), rq))
+		out = append(out, issue(client, d.URL(), rq, pol))
 	}
 	return out
 }
 
-// issue performs one planned request and records its outcome.
-func issue(client *http.Client, base string, rq *RequestPlan) sample {
+// issue performs one planned request and records its outcome. With a
+// retry budget (fleet.retry), shed answers (429/503, honoring
+// Retry-After) and transient failures back off and re-issue; the
+// sample's latency then covers the whole exchange, backoffs included,
+// and its status is the final attempt's answer.
+func issue(client *http.Client, base string, rq *RequestPlan, pol httpretry.Policy) sample {
 	var url string
 	switch rq.Endpoint {
 	case "simulate":
@@ -221,7 +252,16 @@ func issue(client *http.Client, base string, rq *RequestPlan) sample {
 	}
 	s := sample{endpoint: rq.Endpoint}
 	start := time.Now()
-	resp, err := client.Get(url)
+	var resp *http.Response
+	var err error
+	if pol.Max > 0 {
+		var res httpretry.Result
+		resp, res, err = httpretry.Get(client, url, pol)
+		s.retries = res.Retries
+		s.exhausted = res.Exhausted
+	} else {
+		resp, err = client.Get(url)
+	}
 	s.latency = time.Since(start)
 	if err != nil {
 		return s // status 0: transport failure (daemon down, timeout)
@@ -242,6 +282,11 @@ func issue(client *http.Client, base string, rq *RequestPlan) sample {
 // walks the timeline.
 func runFaults(events []FaultEvent, daemons []Daemon, t0 time.Time, readyTO time.Duration,
 	client *http.Client, om *sync.Mutex, o *Outcome, notes *syncNotes, logf func(string, ...any)) {
+	// Heals run off-timeline (a 10s partition healing at +8s must not
+	// stall the +9s event), but must land before the final scrape reads
+	// the fleet's converged state.
+	var healWG sync.WaitGroup
+	defer healWG.Wait()
 	for i := range events {
 		ev := &events[i]
 		if wait := time.Until(t0.Add(ev.At)); wait > 0 {
@@ -256,6 +301,26 @@ func runFaults(events []FaultEvent, daemons []Daemon, t0 time.Time, readyTO time
 				continue
 			}
 			logf("fault: armed %q on daemon %d at +%v", spec, ev.Target, ev.At)
+		case "partition", "slow_peer":
+			spec := ev.ArmSpecString()
+			if err := armFault(client, d.URL(), spec); err != nil {
+				notes.add("fault at %v: %s of daemon %d failed to arm: %v", ev.At, ev.Kind, ev.Target, err)
+				continue
+			}
+			logf("fault: %s on daemon %d at +%v (%q)", ev.Kind, ev.Target, ev.At, spec)
+			if ev.Heal <= 0 {
+				continue
+			}
+			healWG.Add(1)
+			go func(ev *FaultEvent, base string) {
+				defer healWG.Done()
+				time.Sleep(ev.Heal)
+				if err := healClusterFaults(client, base); err != nil {
+					notes.add("fault at %v: healing %s on daemon %d failed: %v", ev.At, ev.Kind, ev.Target, err)
+					return
+				}
+				logf("fault: healed %s on daemon %d at +%v", ev.Kind, ev.Target, ev.At+ev.Heal)
+			}(ev, d.URL())
 		case "kill":
 			if err := d.Kill(); err != nil {
 				notes.add("fault at %v: kill of daemon %d failed: %v", ev.At, ev.Target, err)
@@ -309,6 +374,28 @@ func armFault(client *http.Client, base, spec string) error {
 	return nil
 }
 
+// healClusterFaults disarms the cluster fault points (point-wise, so
+// fired counters survive as evidence the fault actually bit).
+func healClusterFaults(client *http.Client, base string) error {
+	q := ""
+	for _, pt := range ClusterFaultPoints {
+		if q != "" {
+			q += "&"
+		}
+		q += "point=" + url.QueryEscape(pt)
+	}
+	resp, err := client.Post(base+"/_faults/reset?"+q, "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("reset answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
 // scrapeDaemons collects each surviving daemon's final state: /readyz
 // status (convergence + corruption evidence) and, where the fault
 // surface is up, the /_faults fired counters — the proof the chaos
@@ -348,6 +435,68 @@ func scrapeDaemons(daemons []Daemon, client *http.Client, o *Outcome, notes *syn
 			}
 		}
 	}
+}
+
+// scrapeCluster collects the fleet's final cluster view from every
+// node's /cluster endpoint: per-key execution counters summed across
+// the fleet (>1 for any key = double-compute), adoption ledgers,
+// journal backlogs, and whether every node converged back to a full
+// quorum view. This is the evidence the cluster assertions judge.
+func scrapeCluster(daemons []Daemon, client *http.Client, o *Outcome, notes *syncNotes) {
+	execTotals := map[string]int64{}
+	execWhere := map[string][]string{}
+	converged := true
+	for i, d := range daemons {
+		var cl struct {
+			Cluster struct {
+				Self      string   `json:"self"`
+				Nodes     []string `json:"nodes"`
+				Quorum    bool     `json:"quorum"`
+				Alive     int      `json:"alive"`
+				Adoptions []struct {
+					Key  string `json:"key"`
+					Done bool   `json:"done"`
+				} `json:"adoptions"`
+			} `json:"cluster"`
+			Executions     map[string]int64 `json:"executions"`
+			JournalPending int64            `json:"journal_pending"`
+		}
+		if err := getJSON(client, d.URL()+"/cluster", &cl); err != nil {
+			notes.add("final scrape: daemon %d /cluster unreachable: %v", i, err)
+			o.FinalCluster = append(o.FinalCluster, fmt.Sprintf("n%d: unreachable", i))
+			converged = false
+			continue
+		}
+		for k, n := range cl.Executions {
+			execTotals[k] += n
+			execWhere[k] = append(execWhere[k], fmt.Sprintf("%s×%d", cl.Cluster.Self, n))
+		}
+		for _, a := range cl.Cluster.Adoptions {
+			o.Adoptions++
+			if a.Done {
+				o.AdoptionsDone++
+			}
+		}
+		o.PendingJobs += cl.JournalPending
+		nodeOK := cl.Cluster.Quorum && cl.Cluster.Alive == len(cl.Cluster.Nodes)
+		converged = converged && nodeOK
+		o.FinalCluster = append(o.FinalCluster,
+			fmt.Sprintf("%s: alive %d/%d quorum=%v pending=%d",
+				cl.Cluster.Self, cl.Cluster.Alive, len(cl.Cluster.Nodes), cl.Cluster.Quorum, cl.JournalPending))
+	}
+	for k, n := range execTotals {
+		if n > o.MaxKeyExecutions {
+			o.MaxKeyExecutions = n
+		}
+		if n > 1 {
+			o.DoubleExecuted++
+			// Name the offenders: "which key, on which nodes" is the
+			// first question a failing max_key_executions assertion asks.
+			sort.Strings(execWhere[k])
+			notes.add("cluster: key %s executed %d times (%s)", k, n, strings.Join(execWhere[k], " "))
+		}
+	}
+	o.ClusterConverged = converged && len(daemons) > 0
 }
 
 // getJSON fetches and decodes one JSON endpoint. Non-2xx statuses are

@@ -39,13 +39,37 @@ type DaemonSpec struct {
 	ReqTimeout   time.Duration `json:"req_timeout,omitempty"`   // per-request deadline (0: daemon default)
 	Warm         bool          `json:"warm,omitempty"`          // prewarm the serving set before the clock starts
 	FaultSurface bool          `json:"fault_surface,omitempty"` // start with -enable-fault-injection (required by point/crash events)
+
+	// Nodes turns the daemons into a consistent-hash cluster of N
+	// members (n0..n<N-1>): each gets -node-id/-peers/-peersfile and
+	// the fleet self-heals through adoption (see docs/cluster.md).
+	// 0 keeps the daemons independent; >= 2 implies Count = Nodes.
+	Nodes        int           `json:"nodes,omitempty"`
+	RingReplicas int           `json:"ring_replicas,omitempty"` // artifact copies beyond the owner (0: tlsd default)
+	Heartbeat    time.Duration `json:"heartbeat,omitempty"`     // cluster probe period (0: tlsd default)
+	DeadAfter    time.Duration `json:"dead_after,omitempty"`    // silence before a peer is dead (0: tlsd default)
 }
+
+// Cluster reports whether the daemons form a cluster.
+func (ds *DaemonSpec) Cluster() bool { return ds.Nodes >= 2 }
 
 // FleetSpec declares the synthetic client fleet.
 type FleetSpec struct {
 	Clients   int        `json:"clients"`
 	Startup   Startup    `json:"startup"`
 	Templates []Template `json:"templates"`
+	// Retry opts the fleet into client-side retries: 429/503 answers
+	// (honoring the server's Retry-After) and transient 5xx/transport
+	// failures back off and re-issue instead of counting an immediate
+	// failure. Zero value: no retries (every sample is one attempt).
+	Retry RetrySpec `json:"retry,omitempty"`
+}
+
+// RetrySpec is the fleet's retry budget (see internal/httpretry).
+type RetrySpec struct {
+	Max  int           `json:"max,omitempty"`  // retries after the first attempt (0: disabled)
+	Base time.Duration `json:"base,omitempty"` // first backoff (0: 50ms)
+	Cap  time.Duration `json:"cap,omitempty"`  // per-delay ceiling (0: 2s)
 }
 
 // Startup is the fleet's arrival shape.
@@ -82,22 +106,42 @@ type Think struct {
 // FaultEvent is one scheduled injection.
 type FaultEvent struct {
 	At     time.Duration `json:"at"`
-	Kind   string        `json:"kind"`             // point, kill
-	Target int           `json:"target"`           // daemon index
+	Kind   string        `json:"kind"`             // point, kill, partition, slow_peer
+	Target int           `json:"target"`           // daemon index (in a cluster: node n<target>)
 	Point  string        `json:"point,omitempty"`  // kind=point: fault-registry point (fs.read, jobs.simulate, ...)
 	Effect string        `json:"effect,omitempty"` // kind=point: latency, error, panic, crash
-	Delay  time.Duration `json:"delay,omitempty"`  // kind=point: injected latency; kind=kill: restart delay
+	Delay  time.Duration `json:"delay,omitempty"`  // kind=point/slow_peer: injected latency; kind=kill: restart delay
 	Times  int           `json:"times,omitempty"`  // kind=point: firing budget (default 1)
 	// Restart re-execs the killed daemon over the same cache dir after
 	// Delay, exercising the crash-recovery path; recovery time (restart
 	// to /readyz ok) feeds the recovery assertion.
 	Restart bool `json:"restart,omitempty"`
+	// Heal, for partition/slow_peer, disarms the cluster fault points
+	// this long after arming them (fired counters are kept as
+	// evidence). 0 leaves the fault armed to the end of the run.
+	Heal time.Duration `json:"heal,omitempty"`
 }
 
-// ArmSpecString renders a point fault as the textual arming spec the
+// ClusterFaultPoints are the fault-registry points partition and
+// slow_peer events arm: every inbound and outbound peer call on the
+// target node crosses one of them.
+var ClusterFaultPoints = []string{"cluster.in", "cluster.out"}
+
+// ArmSpecString renders a fault event as the textual arming spec the
 // tlsd /_faults surface (and -faults flag) accepts:
 // point=effect[:delay][:times=N].
+//
+// partition severs the target from its peers in both directions
+// (unbounded error budget — the heal disarms it); slow_peer keeps the
+// links up but adds Delay to every peer call.
 func (e *FaultEvent) ArmSpecString() string {
+	switch e.Kind {
+	case "partition":
+		return "cluster.in=error;cluster.out=error"
+	case "slow_peer":
+		d := e.Delay.String()
+		return "cluster.in=latency:" + d + ";cluster.out=latency:" + d
+	}
 	s := e.Point + "=" + e.Effect
 	if e.Effect == "latency" {
 		s += ":" + e.Delay.String()
@@ -122,6 +166,12 @@ type Assertions struct {
 	MinInjected  *int64        `json:"min_faults_injected,omitempty"`
 	Converged    *bool         `json:"readyz_converged,omitempty"`     // final /readyz must be ok on every daemon
 	NoCorrupt    *bool         `json:"no_corrupt_artifacts,omitempty"` // final quarantined count must be 0
+
+	// Cluster assertions (require daemons.nodes >= 2).
+	MinAdoptions *int64 `json:"min_adoptions,omitempty"`      // completed dead-node job adoptions across the fleet
+	MaxKeyExec   *int64 `json:"max_key_executions,omitempty"` // per-key execution ceiling summed across nodes (1 = zero double-compute)
+	ClusterOK    *bool  `json:"cluster_converged,omitempty"`  // final view: every node sees quorum and the whole fleet alive
+	NoLostJobs   *bool  `json:"no_lost_jobs,omitempty"`       // final journal pending must be 0 everywhere, every adoption completed
 }
 
 // Load reads, parses and validates a scenario file.
@@ -323,7 +373,8 @@ func (d *decoder) scenario(root *node) *Scenario {
 
 func (d *decoder) daemons(n *node) DaemonSpec {
 	d.strict(n, "daemons",
-		"count", "benchmarks", "workers", "cache", "queue", "req_timeout", "warm", "fault_surface")
+		"count", "benchmarks", "workers", "cache", "queue", "req_timeout", "warm", "fault_surface",
+		"nodes", "ring_replicas", "heartbeat", "dead_after")
 	if d.err != nil {
 		return DaemonSpec{}
 	}
@@ -352,11 +403,23 @@ func (d *decoder) daemons(n *node) DaemonSpec {
 	if c := n.get("fault_surface"); c != nil {
 		ds.FaultSurface = d.boolean(c, "daemons.fault_surface")
 	}
+	if c := n.get("nodes"); c != nil {
+		ds.Nodes = d.num(c, "daemons.nodes")
+	}
+	if c := n.get("ring_replicas"); c != nil {
+		ds.RingReplicas = d.num(c, "daemons.ring_replicas")
+	}
+	if c := n.get("heartbeat"); c != nil {
+		ds.Heartbeat = d.dur(c, "daemons.heartbeat")
+	}
+	if c := n.get("dead_after"); c != nil {
+		ds.DeadAfter = d.dur(c, "daemons.dead_after")
+	}
 	return ds
 }
 
 func (d *decoder) fleet(n *node) FleetSpec {
-	d.strict(n, "fleet", "clients", "startup", "templates")
+	d.strict(n, "fleet", "clients", "startup", "templates", "retry")
 	if d.err != nil {
 		return FleetSpec{}
 	}
@@ -376,7 +439,28 @@ func (d *decoder) fleet(n *node) FleetSpec {
 			fs.Templates = append(fs.Templates, d.template(it))
 		}
 	}
+	if c := n.get("retry"); c != nil {
+		fs.Retry = d.retry(c)
+	}
 	return fs
+}
+
+func (d *decoder) retry(n *node) RetrySpec {
+	d.strict(n, "fleet.retry", "max", "base", "cap")
+	if d.err != nil {
+		return RetrySpec{}
+	}
+	var rs RetrySpec
+	if c := n.get("max"); c != nil {
+		rs.Max = d.num(c, "fleet.retry.max")
+	}
+	if c := n.get("base"); c != nil {
+		rs.Base = d.dur(c, "fleet.retry.base")
+	}
+	if c := n.get("cap"); c != nil {
+		rs.Cap = d.dur(c, "fleet.retry.cap")
+	}
+	return rs
 }
 
 func (d *decoder) startup(n *node) Startup {
@@ -455,7 +539,7 @@ func (d *decoder) faults(n *node) []FaultEvent {
 	}
 	var out []FaultEvent
 	for _, it := range n.items {
-		d.strict(it, "fault event", "at", "kind", "target", "point", "effect", "delay", "times", "restart")
+		d.strict(it, "fault event", "at", "kind", "target", "point", "effect", "delay", "times", "restart", "heal")
 		if d.err != nil {
 			return nil
 		}
@@ -484,6 +568,9 @@ func (d *decoder) faults(n *node) []FaultEvent {
 		if c := it.get("restart"); c != nil {
 			ev.Restart = d.boolean(c, "fault.restart")
 		}
+		if c := it.get("heal"); c != nil {
+			ev.Heal = d.dur(c, "fault.heal")
+		}
 		out = append(out, ev)
 	}
 	return out
@@ -493,7 +580,8 @@ func (d *decoder) assertions(n *node) Assertions {
 	d.strict(n, "assertions",
 		"max_p50", "max_p95", "max_p99", "max_error_rate", "min_cache_hit_rate",
 		"max_shed_rate", "min_shed", "max_recovery", "min_faults_injected",
-		"readyz_converged", "no_corrupt_artifacts")
+		"readyz_converged", "no_corrupt_artifacts",
+		"min_adoptions", "max_key_executions", "cluster_converged", "no_lost_jobs")
 	if d.err != nil {
 		return Assertions{}
 	}
@@ -538,6 +626,22 @@ func (d *decoder) assertions(n *node) Assertions {
 		v := d.boolean(c, "assertions.no_corrupt_artifacts")
 		a.NoCorrupt = &v
 	}
+	if c := n.get("min_adoptions"); c != nil {
+		v := int64(d.num(c, "assertions.min_adoptions"))
+		a.MinAdoptions = &v
+	}
+	if c := n.get("max_key_executions"); c != nil {
+		v := int64(d.num(c, "assertions.max_key_executions"))
+		a.MaxKeyExec = &v
+	}
+	if c := n.get("cluster_converged"); c != nil {
+		v := d.boolean(c, "assertions.cluster_converged")
+		a.ClusterOK = &v
+	}
+	if c := n.get("no_lost_jobs"); c != nil {
+		v := d.boolean(c, "assertions.no_lost_jobs")
+		a.NoLostJobs = &v
+	}
 	return a
 }
 
@@ -578,6 +682,28 @@ func (sc *Scenario) validate(file string) error {
 	}
 	if sc.Daemons.Count <= 0 {
 		return fail("daemons.count must be >= 1")
+	}
+	switch {
+	case sc.Daemons.Nodes == 0:
+		if sc.Daemons.RingReplicas != 0 || sc.Daemons.Heartbeat != 0 || sc.Daemons.DeadAfter != 0 {
+			return fail("daemons.ring_replicas/heartbeat/dead_after need daemons.nodes >= 2 (cluster mode)")
+		}
+	case sc.Daemons.Nodes == 1:
+		return fail("daemons.nodes must be >= 2 (a one-node cluster is just a daemon; drop the key)")
+	default:
+		if sc.Daemons.Count > 1 && sc.Daemons.Count != sc.Daemons.Nodes {
+			return fail("daemons.count %d conflicts with daemons.nodes %d (nodes implies the count; drop one)",
+				sc.Daemons.Count, sc.Daemons.Nodes)
+		}
+		// Cluster mode: the node count IS the daemon count. Normalized
+		// here so the planner and runner need no second field.
+		sc.Daemons.Count = sc.Daemons.Nodes
+		if sc.Daemons.RingReplicas < 0 || sc.Daemons.RingReplicas >= sc.Daemons.Nodes {
+			return fail("daemons.ring_replicas %d out of range (want 0 <= r < nodes)", sc.Daemons.RingReplicas)
+		}
+	}
+	if sc.Fleet.Retry.Max < 0 {
+		return fail("fleet.retry.max must be >= 0")
 	}
 	if len(sc.Daemons.Benchmarks) == 0 {
 		return fail("daemons.benchmarks must name at least one benchmark")
@@ -688,8 +814,23 @@ func (sc *Scenario) validate(file string) error {
 			if ev.Restart && ev.Delay < 0 {
 				return fail("%s: negative restart delay", ctx)
 			}
+		case "partition", "slow_peer":
+			if !sc.Daemons.Cluster() {
+				return fail("%s: kind %s needs daemons.nodes >= 2 (there are no peer links to fault)", ctx, ev.Kind)
+			}
+			if ev.Kind == "slow_peer" && ev.Delay <= 0 {
+				return fail("%s: kind slow_peer needs a positive delay (the latency added to every peer call)", ctx)
+			}
+			if ev.Heal > 0 && ev.At+ev.Heal > sc.Duration {
+				return fail("%s: heal at %v is after the scenario duration %v (the run would end still faulted)",
+					ctx, ev.At+ev.Heal, sc.Duration)
+			}
+			needsSurface = true
 		default:
-			return fail("%s: unknown kind %q (want point or kill)", ctx, ev.Kind)
+			return fail("%s: unknown kind %q (want point, kill, partition or slow_peer)", ctx, ev.Kind)
+		}
+		if ev.Heal > 0 && ev.Kind != "partition" && ev.Kind != "slow_peer" {
+			return fail("%s: heal only applies to partition/slow_peer events", ctx)
 		}
 	}
 	if needsSurface && !sc.Daemons.FaultSurface {
@@ -707,6 +848,21 @@ func (sc *Scenario) validate(file string) error {
 	}
 	if a.MaxRecovery > 0 && !hasRestart(sc.Faults) {
 		return fail("assertions.max_recovery is set but no fault event restarts a daemon")
+	}
+	if !sc.Daemons.Cluster() {
+		switch {
+		case a.MinAdoptions != nil:
+			return fail("assertions.min_adoptions needs daemons.nodes >= 2 (adoption is a cluster behavior)")
+		case a.MaxKeyExec != nil:
+			return fail("assertions.max_key_executions needs daemons.nodes >= 2")
+		case a.ClusterOK != nil:
+			return fail("assertions.cluster_converged needs daemons.nodes >= 2")
+		case a.NoLostJobs != nil:
+			return fail("assertions.no_lost_jobs needs daemons.nodes >= 2")
+		}
+	}
+	if a.MaxKeyExec != nil && *a.MaxKeyExec < 1 {
+		return fail("assertions.max_key_executions must be >= 1 (every served key executes at least once)")
 	}
 	return nil
 }

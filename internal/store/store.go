@@ -149,8 +149,12 @@ func NewWithFS(capacity int, dir string, fsys FS) (*Store, error) {
 	return s, nil
 }
 
-// reservedDirs are cache-dir subdirectories that are not shards.
-func reservedDir(name string) bool { return name == "quarantine" || name == "journal" }
+// reservedDirs are cache-dir subdirectories that are not shards:
+// quarantined corrupt artifacts, the write-ahead journal, and the
+// cluster layer's epoch file (cmd/tlsd).
+func reservedDir(name string) bool {
+	return name == "quarantine" || name == "journal" || name == "cluster"
+}
 
 // scanDisk walks the disk tier once at open, registering every
 // well-formed entry so Stats and Keys reflect prior processes' work.
