@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,15 +45,23 @@ const fenceTimeout = 10 * time.Second
 // key is computed locally again.
 const adoptedAwayTTL = 30 * time.Second
 
+// decommissionDrain bounds how long POST /cluster/decommission waits
+// for this node's journaled-pending backlog to drain before refusing
+// with 409 — a decommission must never orphan begun work.
+const decommissionDrain = 10 * time.Second
+
 // clusterConfig is the parsed -node-id/-peers/... flag set.
 type clusterConfig struct {
-	nodeID    string
-	nodes     []string          // full membership, including self
-	urls      map[string]string // static id → base URL from -peers
-	peersFile string
-	replicas  int
-	heartbeat time.Duration
-	deadAfter time.Duration
+	nodeID      string
+	nodes       []string          // boot membership, including self
+	urls        map[string]string // static id → base URL from -peers
+	selfURL     string            // advertised base URL (gossiped so late joiners find us)
+	memberEpoch uint64            // member-set version a joiner boots with (0: seed boot)
+	peersFile   string
+	replicas    int
+	heartbeat   time.Duration
+	deadAfter   time.Duration
+	sweep       time.Duration // anti-entropy period (0: off)
 }
 
 // parsePeers parses the -peers flag: comma-separated node ids, each
@@ -119,7 +129,10 @@ type clusterState struct {
 	mu          sync.Mutex
 	executions  map[string]int64 // akey → completed simulate executions on THIS node
 	adopting    map[string]bool  // akeys with an adoption in flight here
+	computing   map[string]int   // akeys queued or executing here (spans the engine queue)
+	executing   map[string]int   // akeys whose simulation loop has actually started
 	adoptedAway map[string]adoptedAwayEntry
+	leaving     bool // decommission accepted; gossiped as "leaving"
 }
 
 // noteExecution counts one completed simulate execution for an
@@ -137,6 +150,10 @@ func (s *server) noteExecution(akey string) {
 	s.cstate.mu.Lock()
 	s.cstate.executions[akey]++
 	s.cstate.mu.Unlock()
+	// A completed execution completes any adoption record for the same
+	// artifact — covers an adopted job finished via journal replay
+	// after the adopter itself was restarted.
+	s.cluster.MarkAdoptionDone(akey)
 }
 
 func (s *server) executionsSnapshot() map[string]int64 {
@@ -163,6 +180,95 @@ func (s *server) isAdopting(akey string) bool {
 	s.cstate.mu.Lock()
 	defer s.cstate.mu.Unlock()
 	return s.cstate.adopting[akey]
+}
+
+// markComputing/doneComputing bracket a simulate execution for the
+// cross-node singleflight: GET /cluster/inflight answers from this
+// refcount, so a peer that just became the key's owner (membership
+// change) can join this node's in-flight execution instead of
+// starting a second one. Counted, not boolean — coalesced waiters
+// overlap.
+func (s *server) markComputing(akey string) {
+	if s.cluster == nil {
+		return
+	}
+	s.cstate.mu.Lock()
+	s.cstate.computing[akey]++
+	s.cstate.mu.Unlock()
+}
+
+func (s *server) doneComputing(akey string) {
+	if s.cluster == nil {
+		return
+	}
+	s.cstate.mu.Lock()
+	if s.cstate.computing[akey]--; s.cstate.computing[akey] <= 0 {
+		delete(s.cstate.computing, akey)
+	}
+	s.cstate.mu.Unlock()
+}
+
+func (s *server) isComputing(akey string) bool {
+	s.cstate.mu.Lock()
+	defer s.cstate.mu.Unlock()
+	return s.cstate.computing[akey] > 0
+}
+
+// markExecuting/doneExecuting bracket only the simulation loop itself,
+// inside the engine job — unlike markComputing, which spans the time a
+// job spends waiting in the engine queue. The distinction matters to
+// the late guard in simulateSpec: a peer that has merely QUEUED the
+// key must not make this node defer (both could be queued, each
+// deferring to the other), but a peer whose execution has started is
+// already past its own guard and will finish.
+func (s *server) markExecuting(akey string) {
+	if s.cluster == nil {
+		return
+	}
+	s.cstate.mu.Lock()
+	s.cstate.executing[akey]++
+	s.cstate.mu.Unlock()
+}
+
+func (s *server) doneExecuting(akey string) {
+	if s.cluster == nil {
+		return
+	}
+	s.cstate.mu.Lock()
+	if s.cstate.executing[akey]--; s.cstate.executing[akey] <= 0 {
+		delete(s.cstate.executing, akey)
+	}
+	s.cstate.mu.Unlock()
+}
+
+func (s *server) isExecuting(akey string) bool {
+	s.cstate.mu.Lock()
+	defer s.cstate.mu.Unlock()
+	return s.cstate.executing[akey] > 0
+}
+
+// beginLeaving marks the decommission in progress; reports whether
+// this call was the transition (false: already leaving).
+func (s *server) beginLeaving() bool {
+	s.cstate.mu.Lock()
+	defer s.cstate.mu.Unlock()
+	if s.cstate.leaving {
+		return false
+	}
+	s.cstate.leaving = true
+	return true
+}
+
+func (s *server) abortLeaving() {
+	s.cstate.mu.Lock()
+	s.cstate.leaving = false
+	s.cstate.mu.Unlock()
+}
+
+func (s *server) isLeaving() bool {
+	s.cstate.mu.Lock()
+	defer s.cstate.mu.Unlock()
+	return s.cstate.leaving
 }
 
 func (s *server) noteAdoptedAway(akey, node string) {
@@ -231,6 +337,9 @@ func (s *server) clusterPending() []cluster.Job {
 
 // clusterLocalStatus is the readiness string gossiped in heartbeats.
 func (s *server) clusterLocalStatus() string {
+	if s.isLeaving() {
+		return "leaving"
+	}
 	if s.gate.Stats().Draining {
 		return "draining"
 	}
@@ -260,7 +369,10 @@ func (s *server) adoptJob(job cluster.Job, from string, epoch uint64) {
 			s.cfg.logf("tlsd: cluster: adopted %s from %s@%d warm (artifact already here)", job.Key, from, epoch)
 			return
 		}
-		if data, ok := s.cluster.Pull(ctx, job.AKey); ok && json.Valid(data) {
+		// Last-resort pull: the "dead" owner may be alive but wedged past
+		// DeadAfter with the artifact already committed — a probe to it
+		// succeeds, and to a truly dead peer fails fast.
+		if data, ok := s.cluster.PullAny(ctx, job.AKey); ok && json.Valid(data) {
 			s.store.Put(job.AKey, data)
 			s.cluster.MarkAdoptionDone(job.Key)
 			s.cfg.logf("tlsd: cluster: adopted %s from %s@%d via replica pull", job.Key, from, epoch)
@@ -272,11 +384,53 @@ func (s *server) adoptJob(job cluster.Job, from string, epoch uint64) {
 			return
 		}
 		if _, err := s.simulateSpec(ctx, run, job.Bench, job.Label); err != nil {
+			if errors.Is(err, errArtifactLanded) {
+				s.cluster.MarkAdoptionDone(job.Key)
+				s.cfg.logf("tlsd: cluster: adopted %s from %s@%d warm (artifact landed while queued)", job.Key, from, epoch)
+				return
+			}
+			if errors.Is(err, errComputingElsewhere) && s.waitArtifactElsewhere(job.AKey) {
+				s.cluster.MarkAdoptionDone(job.Key)
+				s.cfg.logf("tlsd: cluster: adopted %s from %s@%d by waiting out a chain peer's execution", job.Key, from, epoch)
+				return
+			}
 			s.cfg.logf("tlsd: cluster: adoption of %s failed: %v", job.Key, err)
 			return
 		}
 		s.cluster.MarkAdoptionDone(job.Key)
 		s.cfg.logf("tlsd: cluster: adopted %s (bench %s, policy %s) from dead %s@%d", job.Key, job.Bench, job.Label, from, epoch)
+	}()
+}
+
+// resumeAdoptions finishes adoption records reloaded from a previous
+// incarnation that never completed — this node was itself killed or
+// rolled mid-adoption. The persisted record fences the original
+// owner's journal entry away, so nobody else will run that job: the
+// restarted adopter must, or the job is lost. Before re-executing,
+// wait for the artifact to surface elsewhere on the chain (a peer may
+// have computed it as acting owner while this node was down, or be
+// mid-execution right now); only a job nobody else has or is
+// producing re-runs, through the same path a fresh adoption takes.
+func (s *server) resumeAdoptions() {
+	var todo []cluster.Adoption
+	for _, a := range s.cluster.Adoptions("") {
+		if !a.Done {
+			todo = append(todo, a)
+		}
+	}
+	if len(todo) == 0 {
+		return
+	}
+	go func() {
+		for _, a := range todo {
+			s.cfg.logf("tlsd: cluster: resuming unfinished adoption of %s (from %s@%d) after restart",
+				a.Key, a.From, a.Epoch)
+			if s.waitArtifactElsewhere(a.AKey) {
+				s.cluster.MarkAdoptionDone(a.Key)
+				continue
+			}
+			s.adoptJob(a.Job, a.From, a.Epoch)
+		}
 	}()
 }
 
@@ -287,7 +441,7 @@ func (s *server) adoptJob(job cluster.Job, from string, epoch uint64) {
 // single-node path.
 func (s *server) recoverFenced(jobs []recoverable) {
 	ctx, cancel := context.WithTimeout(context.Background(), fenceTimeout)
-	fenced := s.cluster.FencedKeys(ctx)
+	fenced, silent := s.cluster.FencedKeys(ctx)
 	cancel()
 	for _, j := range jobs {
 		if ad, ok := fenced[j.rec.Key]; ok {
@@ -301,8 +455,135 @@ func (s *server) recoverFenced(jobs []recoverable) {
 				j.rec.Key, ad.Adopter, ad.Epoch, s.cluster.Epoch())
 			continue
 		}
-		go s.recoverJob(j.rec, j.w)
+		if len(silent) > 0 {
+			// Fail-open: a silent peer may hold an adoption record we never
+			// saw, so this key recovers without a fence verdict. Name it —
+			// this line is the audit trail if a double-run is suspected.
+			s.cfg.logf("tlsd: cluster: journal entry %s NOT fenced (peer(s) %v never answered the fence query); re-running — audit for double-run",
+				j.rec.Key, silent)
+		}
+		go s.recoverJobCluster(j)
 	}
+}
+
+// recoverQuietWait is how long a recovering job keeps checking for
+// the artifact after the chain last reported the key in flight
+// anywhere, before concluding nobody else will produce it. The wait
+// extends as long as a chain member is queued on or executing the key
+// — under heavy load (race-enabled binaries, deep admission queues) a
+// single execution can take tens of seconds, and giving up early is
+// exactly what double-runs work.
+const recoverQuietWait = 2 * time.Second
+
+// recoverInflightCap is the hard ceiling on one waitArtifactElsewhere
+// call — a backstop against a peer that reports the key in flight
+// forever (it would otherwise pin the waiter for the process
+// lifetime). The late guard in simulateSpec keeps even a post-cap
+// re-run from double-executing.
+const recoverInflightCap = 2 * time.Minute
+
+// errArtifactLanded: the engine job found the artifact already in the
+// local store when its turn to execute came — a chain peer computed
+// it (and replicated it here) while this job sat in the admission or
+// engine queue. The intent is committed; the caller serves the
+// landed artifact instead of a fresh result.
+var errArtifactLanded = errors.New("artifact landed while queued (computed by a chain peer)")
+
+// errComputingElsewhere: when this job's turn came, a chain peer's
+// execution of the same key had already started. Running here too
+// would be the double-compute the counters catch, so the job defers:
+// the intent is committed, and the caller either waits the peer out
+// (recovery, adoption) or answers 503 so the client's retry joins the
+// peer's execution by proxy (the normal request path).
+var errComputingElsewhere = errors.New("key is executing on a chain peer")
+
+// chainComputing reports whether any other member of akey's replica
+// chain has it queued or mid-execution right now (the cross-node
+// singleflight probe, aimed at recovery instead of routing).
+func (s *server) chainComputing(akey string) bool {
+	for _, id := range s.cluster.Ring().Successors(akey, s.cluster.Replicas()+1) {
+		if id == s.cluster.Self() {
+			continue
+		}
+		if s.cluster.InflightAt(id, akey) {
+			return true
+		}
+	}
+	return false
+}
+
+// chainExecuting is the strict form: only peers whose simulation loop
+// has actually started count, not peers that merely hold the key in a
+// queue. This is what the late guard in simulateSpec consults — see
+// markExecuting for why queued peers must not count there.
+func (s *server) chainExecuting(akey string) bool {
+	for _, id := range s.cluster.Ring().Successors(akey, s.cluster.Replicas()+1) {
+		if id == s.cluster.Self() {
+			continue
+		}
+		if s.cluster.ExecutingAt(id, akey) {
+			return true
+		}
+	}
+	return false
+}
+
+// waitArtifactElsewhere tries to obtain akey without executing it:
+// the local store, a last-resort replica pull off the chain (PullAny,
+// because the peer holding the artifact may be alive but flagged dead
+// by a twitchy detector), and waiting out any chain member's in-flight
+// work on the same key. Reports whether the artifact is now local. The
+// quiet window restarts every time the chain reports the key in
+// flight, so the wait tracks real progress at the peer (however slow)
+// and expires only after the chain has been quiet for
+// recoverQuietWait — which also covers the first heartbeat rounds
+// after boot, before gossip has taught this node its peers' URLs (a
+// pull can only probe peers it has an address for).
+func (s *server) waitArtifactElsewhere(akey string) bool {
+	heartbeat := 500 * time.Millisecond
+	if s.cfg.cluster != nil && s.cfg.cluster.heartbeat > 0 {
+		heartbeat = s.cfg.cluster.heartbeat
+	}
+	quiet := 3 * heartbeat
+	if quiet < recoverQuietWait {
+		quiet = recoverQuietWait
+	}
+	start := time.Now()
+	lastActive := start
+	for {
+		if _, ok := s.store.Get(akey); ok {
+			return true
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		data, ok := s.cluster.PullAny(ctx, akey)
+		cancel()
+		if ok && json.Valid(data) {
+			s.store.Put(akey, data)
+			s.cfg.logf("tlsd: cluster: %s obtained via replica pull (computed elsewhere while this node was down)", akey)
+			return true
+		}
+		if s.chainComputing(akey) {
+			lastActive = time.Now()
+		}
+		now := time.Now()
+		if now.Sub(lastActive) > quiet || now.Sub(start) > recoverInflightCap {
+			return false
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+}
+
+// recoverJobCluster completes one non-fenced pending job in cluster
+// mode. The fence only protects entries a peer ADOPTED; it cannot see
+// an entry a live peer computed as acting owner while this node was
+// down (client retries route to the first alive successor, which runs
+// the job with no adoption record — nothing to fence). So before
+// re-executing, look for that computation elsewhere on the chain;
+// recoverJob then commits a found artifact warm, and re-runs only
+// when nobody else has it or is producing it.
+func (s *server) recoverJobCluster(j recoverable) {
+	s.waitArtifactElsewhere(tlssync.WorkloadArtifactKey("simulate", j.w, j.rec.Label))
+	s.recoverJob(j.rec, j.w)
 }
 
 // --- routing (request path) ---
@@ -329,7 +610,10 @@ func (s *server) routeSimulate(w http.ResponseWriter, r *http.Request, akey stri
 			s.shedCluster(w, "cluster fault injected")
 			return true
 		}
-		if s.isAdopting(akey) {
+		if s.isAdopting(akey) || s.isComputing(akey) {
+			// Mid-adoption or mid-execution of exactly this key: serve
+			// locally and coalesce on the engine, even if a membership
+			// change moved ownership away mid-flight.
 			return false
 		}
 		owner, ok := s.cluster.Route(akey)
@@ -359,12 +643,11 @@ func (s *server) routeSimulate(w http.ResponseWriter, r *http.Request, akey stri
 	// we were down and is still working on it, defer to the adopter
 	// (proxy joins its in-flight execution) rather than starting a
 	// second one.
-	if adopter, away := s.adoptedAwayTo(akey); away {
+	adopter, away := s.adoptedAwayTo(akey)
+	if away {
 		if alive := s.cluster.PeerURL(adopter) != ""; alive && s.proxySimulate(w, r, adopter, akey) {
 			return true
 		}
-		// Adopter unreachable: reclaim the key.
-		s.clearAdoptedAway(akey)
 	}
 	// Pull-on-miss: a replica may already hold the artifact (computed
 	// while this node was down, or pushed by a successor). Cheap when
@@ -373,6 +656,42 @@ func (s *server) routeSimulate(w http.ResponseWriter, r *http.Request, akey stri
 		s.store.Put(akey, data)
 		w.Header().Set("X-Tlsd-Cache", "peer")
 		s.writeJSON(w, http.StatusOK, map[string]any{"cache": "peer", "result": json.RawMessage(data)})
+		return true
+	}
+	// Cross-node singleflight: this node may have become the owner
+	// mid-execution elsewhere (a join shifted the ring while the
+	// previous owner was computing). Before paying for a second
+	// execution, ask the other chain members whether the key is in
+	// flight there and join that execution by proxy. The previous
+	// owner is by construction the next chain successor, so Replicas+1
+	// probes cover the rebalance case.
+	for _, id := range s.cluster.Ring().Successors(akey, s.cluster.Replicas()+1) {
+		if id == s.cluster.Self() {
+			continue
+		}
+		if s.cluster.InflightAt(id, akey) && s.proxySimulate(w, r, id, akey) {
+			return true
+		}
+	}
+	if away {
+		// The adopter is unreachable — dead, partitioned, or the cluster
+		// breaker is open — and the key is cold everywhere we can see.
+		// Its adoption record fenced our journal entry: the adopter owns
+		// this execution, and running it here anyway is exactly the
+		// double-compute the fence exists to prevent. Try one last-resort
+		// pull (the adopter may be alive-but-flagged-dead with the
+		// artifact already committed), then fail closed: shed, and let
+		// the client's retry find the adopter back up or the artifact
+		// replicated. The adopted-away TTL bounds how long an adopter
+		// that died mid-execution can wedge the key.
+		if data, ok := s.cluster.PullAny(r.Context(), akey); ok && json.Valid(data) {
+			s.store.Put(akey, data)
+			s.clearAdoptedAway(akey)
+			w.Header().Set("X-Tlsd-Cache", "peer")
+			s.writeJSON(w, http.StatusOK, map[string]any{"cache": "peer", "result": json.RawMessage(data)})
+			return true
+		}
+		s.shedCluster(w, "key adopted by "+adopter+"; awaiting its execution")
 		return true
 	}
 	return false
@@ -446,10 +765,13 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	if s.journal != nil {
 		pending = len(s.journal.Pending())
 	}
+	keys := s.store.Keys()
+	sort.Strings(keys)
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"cluster":         s.cluster.StatusNow(),
 		"executions":      s.executionsSnapshot(),
 		"journal_pending": pending,
+		"store_keys":      keys,
 	})
 }
 
@@ -518,6 +840,146 @@ func (s *server) handleClusterAdoptions(w http.ResponseWriter, r *http.Request) 
 	s.writeJSON(w, http.StatusOK, ads)
 }
 
+// handleClusterJoin admits a new member: the joiner POSTs its id and
+// advertised URL, this node bumps the member epoch, and the answer is
+// the authoritative new view the joiner boots from. The rest of the
+// fleet learns the view by broadcast (backgrounded here) with
+// heartbeat gossip as the safety net.
+func (s *server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	if err := s.fireCluster("cluster.in"); err != nil {
+		s.shedCluster(w, "cluster fault injected")
+		return
+	}
+	var req struct {
+		Node string `json:"node"`
+		URL  string `json:"url"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil || req.Node == "" {
+		s.writeError(w, errBadRequest("join body must be {\"node\": id, \"url\": base-url}"))
+		return
+	}
+	view, err := s.cluster.ApplyJoin(req.Node, req.URL)
+	if err != nil {
+		s.writeError(w, errBadRequest("%v", err))
+		return
+	}
+	s.cfg.logf("tlsd: cluster: %s joined (member epoch %d, %d members)", req.Node, view.MemberEpoch, len(view.Members))
+	go s.cluster.BroadcastView(view)
+	s.writeJSON(w, http.StatusOK, view)
+}
+
+// handleClusterMembers folds a broadcast member-set view (from a join
+// coordinator or a decommissioning node) into local state.
+func (s *server) handleClusterMembers(w http.ResponseWriter, r *http.Request) {
+	if err := s.fireCluster("cluster.in"); err != nil {
+		s.shedCluster(w, "cluster fault injected")
+		return
+	}
+	var v cluster.MemberView
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&v); err != nil {
+		s.writeError(w, errBadRequest("member view body is not valid JSON"))
+		return
+	}
+	applied := s.cluster.ApplyMembers(v.MemberEpoch, v.Members, v.URLs)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"applied":      applied,
+		"member_epoch": s.cluster.MemberEpoch(),
+	})
+}
+
+// handleClusterDecommission removes THIS node from the cluster: drain
+// the journaled-pending backlog (409 if it will not drain — a
+// decommission must never orphan begun work), hand every local
+// artifact to the replica chains of the post-departure ring, remove
+// self from the member set, and broadcast the new view. The process
+// keeps serving (warm hits locally, cold work proxied to the new
+// owners) until the supervisor stops it.
+func (s *server) handleClusterDecommission(w http.ResponseWriter, r *http.Request) {
+	if err := s.fireCluster("cluster.in"); err != nil {
+		s.shedCluster(w, "cluster fault injected")
+		return
+	}
+	if !s.beginLeaving() {
+		s.writeJSON(w, http.StatusOK, map[string]any{"status": "already leaving"})
+		return
+	}
+	deadline := time.Now().Add(decommissionDrain)
+	for len(s.clusterPending()) > 0 && time.Now().Before(deadline) {
+		select {
+		case <-r.Context().Done():
+			s.abortLeaving()
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	if n := len(s.clusterPending()); n > 0 {
+		s.abortLeaving()
+		s.writeJSON(w, http.StatusConflict, map[string]any{
+			"error":   fmt.Sprintf("%d journaled job(s) still pending after %v; not decommissioning", n, decommissionDrain),
+			"pending": n,
+		})
+		return
+	}
+	pushed, failed := s.cluster.DecommissionHandoff()
+	view, err := s.cluster.Leave()
+	if err != nil {
+		s.abortLeaving()
+		s.writeError(w, errBadRequest("%v", err))
+		return
+	}
+	acked := s.cluster.BroadcastView(view)
+	s.cfg.logf("tlsd: cluster: decommissioned self (member epoch %d, handoff %d pushed / %d failed, view acked by %d peer(s))",
+		view.MemberEpoch, pushed, failed, acked)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "decommissioned",
+		"member_epoch":    view.MemberEpoch,
+		"members":         view.Members,
+		"handoff_pushed":  pushed,
+		"handoff_failed":  failed,
+		"broadcast_acked": acked,
+	})
+}
+
+// handleClusterDigest answers the anti-entropy key digest: every
+// artifact key this node holds, sorted.
+func (s *server) handleClusterDigest(w http.ResponseWriter, r *http.Request) {
+	if err := s.fireCluster("cluster.in"); err != nil {
+		s.shedCluster(w, "cluster fault injected")
+		return
+	}
+	keys := s.store.Keys()
+	sort.Strings(keys)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"node": s.cluster.Self(),
+		"keys": keys,
+	})
+}
+
+// handleClusterInflight answers the cross-node singleflight probe: is
+// this node currently working on (or adopting) the given artifact
+// key? The default answer covers queued work too (markComputing spans
+// the engine queue); `exec=1` narrows it to executions whose
+// simulation loop has actually started — what the late guard in
+// simulateSpec needs (see markExecuting).
+func (s *server) handleClusterInflight(w http.ResponseWriter, r *http.Request) {
+	if err := s.fireCluster("cluster.in"); err != nil {
+		s.shedCluster(w, "cluster fault injected")
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		s.writeError(w, errBadRequest("need a key query parameter"))
+		return
+	}
+	computing := s.isComputing(key) || s.isAdopting(key)
+	if r.URL.Query().Get("exec") != "" {
+		computing = s.isExecuting(key)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"computing": computing,
+	})
+}
+
 // registerClusterHandlers mounts the /cluster surface on the mux.
 func (s *server) registerClusterHandlers() {
 	s.mux.HandleFunc("GET /cluster", s.handleCluster)
@@ -525,6 +987,11 @@ func (s *server) registerClusterHandlers() {
 	s.mux.HandleFunc("GET /cluster/artifact", s.handleClusterArtifact)
 	s.mux.HandleFunc("POST /cluster/artifact", s.handleClusterArtifact)
 	s.mux.HandleFunc("GET /cluster/adoptions", s.handleClusterAdoptions)
+	s.mux.HandleFunc("POST /cluster/join", s.handleClusterJoin)
+	s.mux.HandleFunc("POST /cluster/members", s.handleClusterMembers)
+	s.mux.HandleFunc("POST /cluster/decommission", s.handleClusterDecommission)
+	s.mux.HandleFunc("GET /cluster/digest", s.handleClusterDigest)
+	s.mux.HandleFunc("GET /cluster/inflight", s.handleClusterInflight)
 }
 
 // newCluster builds the cluster layer for a server from the parsed
@@ -545,20 +1012,41 @@ func (s *server) newCluster(cc *clusterConfig) error {
 		reg := s.cfg.faults
 		fire = func(point string) error { return reg.Fire(point) }
 	}
+	membersFile, adoptionsFile := "", ""
+	if s.cfg.cacheDir != "" {
+		membersFile = filepath.Join(s.cfg.cacheDir, "cluster", "members")
+		adoptionsFile = filepath.Join(s.cfg.cacheDir, "cluster", "adoptions")
+	}
 	cl, err := cluster.New(cluster.Config{
 		Self:           cc.nodeID,
 		Nodes:          cc.nodes,
 		URLs:           cc.urls,
+		SelfURL:        cc.selfURL,
+		MemberEpoch:    cc.memberEpoch,
+		MembersFile:    membersFile,
+		AdoptionsFile:  adoptionsFile,
 		PeersFile:      cc.peersFile,
 		Replicas:       cc.replicas,
 		Epoch:          epoch,
 		HeartbeatEvery: cc.heartbeat,
 		DeadAfter:      cc.deadAfter,
+		SweepEvery:     cc.sweep,
 		Logf:           s.cfg.logf,
 		Fire:           fire,
 		LocalPending:   s.clusterPending,
 		LocalStatus:    s.clusterLocalStatus,
 		Adopt:          s.adoptJob,
+		LocalKeys:      s.store.Keys,
+		LocalGet:       s.store.Get,
+		StoreLocal: func(key string, data []byte) error {
+			if !json.Valid(data) {
+				return fmt.Errorf("pulled artifact %q is not valid JSON", key)
+			}
+			s.store.Put(key, data)
+			s.clearAdoptedAway(key)
+			s.cluster.MarkAdoptionDone(key)
+			return nil
+		},
 	})
 	if err != nil {
 		return err
@@ -567,6 +1055,8 @@ func (s *server) newCluster(cc *clusterConfig) error {
 	s.cstate = &clusterState{
 		executions:  make(map[string]int64),
 		adopting:    make(map[string]bool),
+		computing:   make(map[string]int),
+		executing:   make(map[string]int),
 		adoptedAway: make(map[string]adoptedAwayEntry),
 	}
 	// The proxy client carries whole simulations; the request context

@@ -35,10 +35,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -50,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"tlssync/internal/cluster"
 	"tlssync/internal/fault"
 )
 
@@ -68,9 +72,11 @@ func main() {
 	nodeID := flag.String("node-id", "", "cluster node id (empty: single-node mode; see docs/cluster.md)")
 	peers := flag.String("peers", "", "cluster membership: comma-separated node ids, optionally id=http://host:port")
 	peersFile := flag.String("peersfile", "", "file with 'id address' lines, re-read on change (how dynamic ports are discovered)")
+	joinURL := flag.String("join", "", "URL of an existing cluster member to join at startup (requires -node-id; -peers may then be empty)")
 	ringReplicas := flag.Int("ring-replicas", 1, "artifact copies on ring successors beyond the owner")
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "cluster heartbeat probe period")
 	deadAfter := flag.Duration("dead-after", 0, "silence before a peer is declared dead (0: 4x heartbeat)")
+	sweep := flag.Duration("sweep", 2*time.Second, "anti-entropy sweep period: digest exchange + replica repair (0: off)")
 	enableFaults := flag.Bool("enable-fault-injection", false,
 		"expose the fault-injection surface (-faults, TLSD_FAULTS, /_faults endpoints); for chaos testing only, never production")
 	faultSpec := flag.String("faults", "",
@@ -97,6 +103,21 @@ func main() {
 		scrubEvery: *scrub,
 	}
 
+	// Listen early: cluster mode needs the bound address before the
+	// server exists — the advertised self URL is gossiped to peers, and
+	// a -join handshake must name it. With -addr :0 the kernel picks
+	// the port. The portfile (written atomically, so a watcher never
+	// reads a torn address) is how supervisors like tlssim discover it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("tlsd: %v", err)
+	}
+	if *portFile != "" {
+		if err := writeFileAtomic(*portFile, ln.Addr().String()+"\n"); err != nil {
+			log.Fatalf("tlsd: portfile: %v", err)
+		}
+	}
+
 	if *nodeID != "" {
 		nodes, urls, err := parsePeers(*peers)
 		if err != nil {
@@ -111,17 +132,38 @@ func main() {
 		if !hasSelf {
 			nodes = append(nodes, *nodeID)
 		}
-		cfg.cluster = &clusterConfig{
+		cc := &clusterConfig{
 			nodeID:    *nodeID,
 			nodes:     nodes,
 			urls:      urls,
+			selfURL:   advertiseURL(ln.Addr().String()),
 			peersFile: *peersFile,
 			replicas:  *ringReplicas,
 			heartbeat: *heartbeat,
 			deadAfter: *deadAfter,
+			sweep:     *sweep,
 		}
-	} else if *peers != "" || *peersFile != "" {
-		log.Fatal("tlsd: -peers/-peersfile require -node-id")
+		if *joinURL != "" {
+			// Elastic join: ask a seed member to admit this node. The
+			// answer is the authoritative member set this node boots with —
+			// -peers (often empty for a joiner) only supplements it.
+			view, err := joinCluster(*joinURL, cc.nodeID, cc.selfURL)
+			if err != nil {
+				log.Fatalf("tlsd: join %s: %v", *joinURL, err)
+			}
+			cc.nodes = view.Members
+			cc.memberEpoch = view.MemberEpoch
+			for id, u := range view.URLs {
+				if _, have := cc.urls[id]; !have {
+					cc.urls[id] = u
+				}
+			}
+			log.Printf("tlsd: joined cluster via %s: member epoch %d, members %v",
+				*joinURL, view.MemberEpoch, view.Members)
+		}
+		cfg.cluster = cc
+	} else if *peers != "" || *peersFile != "" || *joinURL != "" {
+		log.Fatal("tlsd: -peers/-peersfile/-join require -node-id")
 	}
 
 	// The fault-injection surface is opt-in and loud. A spec without the
@@ -184,19 +226,6 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go drainThenShutdown(srv, s, sig, 2*time.Second, 30*time.Second)
 
-	// Listen before announcing: with -addr :0 the kernel picks the port,
-	// and the portfile (written atomically, so a watcher never reads a
-	// torn address) is how supervisors like tlssim discover it.
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("tlsd: %v", err)
-	}
-	if *portFile != "" {
-		if err := writeFileAtomic(*portFile, ln.Addr().String()+"\n"); err != nil {
-			log.Fatalf("tlsd: portfile: %v", err)
-		}
-	}
-
 	disk := "memory-only"
 	if *cacheDir != "" {
 		disk = fmt.Sprintf("disk cache at %s", *cacheDir)
@@ -210,6 +239,68 @@ func main() {
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("tlsd: %v", err)
 	}
+}
+
+// advertiseURL turns the bound listen address into a base URL peers
+// can actually dial: an unspecified host (":8149", "0.0.0.0", "::")
+// becomes loopback — the fleet harnesses are single-machine, and a
+// multi-host deployment names an explicit -addr host anyway.
+func advertiseURL(bound string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return "http://" + bound
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// joinCluster asks a seed member to admit this node, retrying briefly
+// (the seed may itself still be booting). The answer is the
+// authoritative member-set view the joiner boots with.
+func joinCluster(seed, nodeID, selfURL string) (*cluster.MemberView, error) {
+	if !strings.Contains(seed, "://") {
+		seed = "http://" + seed
+	}
+	seed = strings.TrimSuffix(seed, "/")
+	body, err := json.Marshal(map[string]string{"node": nodeID, "url": selfURL})
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: 2 * time.Second}
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 {
+			time.Sleep(300 * time.Millisecond)
+		}
+		resp, err := client.Post(seed+"/cluster/join", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ans, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(ans)))
+			continue
+		}
+		var view cluster.MemberView
+		if err := json.Unmarshal(ans, &view); err != nil {
+			lastErr = err
+			continue
+		}
+		if view.MemberEpoch == 0 || len(view.Members) < 2 {
+			lastErr = fmt.Errorf("implausible join answer: %+v", view)
+			continue
+		}
+		return &view, nil
+	}
+	return nil, lastErr
 }
 
 // writeFileAtomic writes data to path via a temp file + rename, so a

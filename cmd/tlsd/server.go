@@ -213,6 +213,7 @@ func newServer(cfg config) (*server, error) {
 	if s.cluster != nil {
 		s.registerClusterHandlers()
 		s.cluster.Start()
+		s.resumeAdoptions()
 	}
 	// Counters sit outside the timeout wrapper so they observe the
 	// status the client actually received (504s included).
@@ -346,6 +347,13 @@ func (s *server) recoverJob(rec journal.Record, w *tlssync.Workload) {
 		return
 	}
 	if _, err := s.simulateSpec(ctx, run, rec.Bench, rec.Label); err != nil {
+		if errors.Is(err, errArtifactLanded) || errors.Is(err, errComputingElsewhere) {
+			// The work exists (or is in flight) on a chain peer; the
+			// intent was committed inside the job. Nothing to re-run.
+			s.eng.NoteRecovered()
+			s.cfg.logf("tlsd: journal: %s completed elsewhere in the cluster; recovered without re-running", rec.Key)
+			return
+		}
 		s.cfg.logf("tlsd: journal: recovery of %s failed: %v", rec.Key, err)
 		return
 	}
@@ -785,6 +793,12 @@ func (s *server) simulateSpec(ctx context.Context, run *tlssync.Run, bench, poli
 	}
 	akey := tlssync.WorkloadArtifactKey("simulate", run.W, policy)
 	s.journalBegin(journal.Record{Key: jkey, Kind: "simulate", Bench: bench, Label: policy})
+	// Visible to peers via GET /cluster/inflight while the execution is
+	// in flight: a node that became this key's owner mid-execution
+	// (membership change) joins this run by proxy instead of starting
+	// a second one.
+	s.markComputing(akey)
+	defer s.doneComputing(akey)
 	v, err := s.eng.Do(ctx, jkey, func(context.Context) (any, error) {
 		// A caller that warm-missed the store before this key's execution
 		// landed can reach the engine after it finished: serve the landed
@@ -795,6 +809,39 @@ func (s *server) simulateSpec(ctx context.Context, run *tlssync.Run, bench, poli
 		if prev != nil {
 			s.journalCommit(jkey)
 			return prev, nil
+		}
+		if s.cluster != nil {
+			// Late guard: this job may have sat in the admission or engine
+			// queue for a long time (deep backlogs, slow simulations), and
+			// the routing-time checks are stale by now. Re-check at the
+			// last moment — the artifact may have landed here via a replica
+			// push, or a chain peer's execution of the same key may already
+			// be underway; either way, running it again here is the
+			// double-compute the per-key execution counters catch.
+			if _, ok := s.store.Get(akey); ok {
+				s.journalCommit(jkey)
+				return nil, errArtifactLanded
+			}
+			// Purely local check, immune to partitions and open breakers:
+			// if a peer's adoption record fences this key (learned at
+			// journal replay), the adopter is executing it and this node
+			// must not. The one exception is mutual cross-adoption — the
+			// key was pending in both nodes' journals when both rolled, so
+			// each adopted the other's entry and each holds a fence naming
+			// the other; without a tiebreak both would defer forever. The
+			// lower node ID wins (both sides compare the same two IDs, so
+			// they agree on the winner).
+			if adopter, away := s.adoptedAwayTo(akey); away &&
+				!(s.isAdopting(akey) && s.cluster.Self() < adopter) {
+				s.journalCommit(jkey)
+				return nil, errComputingElsewhere
+			}
+			if s.chainExecuting(akey) {
+				s.journalCommit(jkey)
+				return nil, errComputingElsewhere
+			}
+			s.markExecuting(akey)
+			defer s.doneExecuting(akey)
 		}
 		res, serr := run.SimulateSpec(sp)
 		if serr == nil {
@@ -824,6 +871,14 @@ func (s *server) simulateSpec(ctx context.Context, run *tlssync.Run, bench, poli
 		s.journalCommit(jkey)
 		return res, nil
 	})
+	if errors.Is(err, errArtifactLanded) || errors.Is(err, errComputingElsewhere) {
+		// Deferrals are not failures: the work exists (or is being
+		// produced) elsewhere on the chain, the intent is already
+		// committed inside the job, and the breaker must not count
+		// strikes against a healthy key.
+		bdone(nil)
+		return nil, err
+	}
 	bdone(err)
 	if err != nil {
 		// The commit above only runs when OUR job executes. A caller that
@@ -888,7 +943,23 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.simulateSpec(r.Context(), run, bench, policy)
 	if err != nil {
-		s.writeError(w, err)
+		switch {
+		case errors.Is(err, errArtifactLanded):
+			// A chain peer computed this while our job was queued and the
+			// replica push landed: serve the landed artifact.
+			if data, ok := s.store.Get(key); ok {
+				w.Header().Set("X-Tlsd-Cache", "peer")
+				s.writeJSON(w, http.StatusOK, map[string]any{"cache": "peer", "result": json.RawMessage(data)})
+				return
+			}
+			s.writeError(w, err)
+		case errors.Is(err, errComputingElsewhere):
+			// The retry joins the peer's in-flight execution by proxy
+			// (routeSimulate probes chain inflight before computing).
+			s.shedCluster(w, "key is executing on a chain peer; a retry joins it")
+		default:
+			s.writeError(w, err)
+		}
 		return
 	}
 	data, err := simPayloadBytes(run, bench, policy, res)

@@ -84,6 +84,7 @@ type procDaemon struct {
 	idx      int
 	nodeID   string      // cluster node id ("" outside cluster mode)
 	peers    *fleetPeers // shared peers file (nil outside cluster mode)
+	joinURL  string      // non-empty for a joiner: the seed member it joins via
 	logf     func(string, ...any)
 
 	mu          sync.Mutex
@@ -115,6 +116,34 @@ func startDaemon(sc *scenario.Scenario, idx int, bin, root string, peers *fleetP
 	if sc.Daemons.Cluster() {
 		d.nodeID = fmt.Sprintf("n%d", idx)
 		d.peers = peers
+	}
+	if err := d.start(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// startJoiner launches tlsd number idx as a cluster JOINER: it is not
+// in the initial membership, so instead of -peers it gets -join with a
+// live member's URL and admits itself through the join protocol.
+func startJoiner(sc *scenario.Scenario, idx int, bin, root string, peers *fleetPeers, seedURL string, logf func(string, ...any)) (*procDaemon, error) {
+	dir := filepath.Join(root, fmt.Sprintf("d%d", idx))
+	cacheDir := filepath.Join(dir, "cache")
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &procDaemon{
+		bin:      bin,
+		sc:       sc,
+		dir:      dir,
+		cacheDir: cacheDir,
+		logPath:  filepath.Join(dir, "tlsd.log"),
+		client:   &http.Client{Timeout: 5 * time.Second},
+		idx:      idx,
+		nodeID:   fmt.Sprintf("n%d", idx),
+		peers:    peers,
+		joinURL:  seedURL,
+		logf:     logf,
 	}
 	if err := d.start(); err != nil {
 		return nil, err
@@ -162,8 +191,8 @@ func tlsdArgs(sc *scenario.Scenario, portfile, cacheDir string) []string {
 }
 
 // clusterArgs appends daemon idx's cluster identity: node id, the full
-// fixed membership, and the shared peers file that resolves everyone's
-// :0-assigned addresses.
+// initial membership, and the shared peers file that resolves
+// everyone's :0-assigned addresses.
 func clusterArgs(sc *scenario.Scenario, idx int, peersPath string) []string {
 	ds := sc.Daemons
 	ids := make([]string, ds.Nodes)
@@ -175,6 +204,24 @@ func clusterArgs(sc *scenario.Scenario, idx int, peersPath string) []string {
 		"-peers", strings.Join(ids, ","),
 		"-peersfile", peersPath,
 	}
+	return append(args, clusterTuning(ds)...)
+}
+
+// joinerArgs is clusterArgs for a node that is NOT in the initial
+// membership: instead of -peers it joins a live member (-join) and
+// boots from the returned view.
+func joinerArgs(sc *scenario.Scenario, idx int, peersPath, seedURL string) []string {
+	args := []string{
+		"-node-id", fmt.Sprintf("n%d", idx),
+		"-join", seedURL,
+		"-peersfile", peersPath,
+	}
+	return append(args, clusterTuning(sc.Daemons)...)
+}
+
+// clusterTuning renders the spec's cluster timing knobs.
+func clusterTuning(ds scenario.DaemonSpec) []string {
+	var args []string
 	if ds.RingReplicas > 0 {
 		args = append(args, "-ring-replicas", strconv.Itoa(ds.RingReplicas))
 	}
@@ -183,6 +230,9 @@ func clusterArgs(sc *scenario.Scenario, idx int, peersPath string) []string {
 	}
 	if ds.DeadAfter > 0 {
 		args = append(args, "-dead-after", ds.DeadAfter.String())
+	}
+	if ds.Sweep > 0 {
+		args = append(args, "-sweep", ds.Sweep.String())
 	}
 	return args
 }
@@ -200,7 +250,13 @@ func (d *procDaemon) start() error {
 	d.mu.Unlock()
 
 	args := tlsdArgs(d.sc, portfile, d.cacheDir)
-	if d.peers != nil {
+	switch {
+	case d.joinURL != "":
+		// A joiner re-joins on every (re)start: tlsd's join handler is
+		// idempotent for an existing member, so a restart mid-run simply
+		// refreshes its URL and picks the current view back up.
+		args = append(args, joinerArgs(d.sc, d.idx, d.peers.path, d.joinURL)...)
+	case d.peers != nil:
 		args = append(args, clusterArgs(d.sc, d.idx, d.peers.path)...)
 	}
 	logFile, err := os.OpenFile(d.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -161,6 +161,9 @@ func cmdRun(argv []string) error {
 		StartDaemon: func(i int) (scenario.Daemon, error) {
 			return startDaemon(sc, i, bin, root, peers, logf)
 		},
+		StartJoiner: func(i int, seedURL string) (scenario.Daemon, error) {
+			return startJoiner(sc, i, bin, root, peers, seedURL, logf)
+		},
 		Logf:         logf,
 		ReadyTimeout: *ready,
 	})
@@ -283,6 +286,12 @@ func cmdPlan(argv []string) error {
 				heal = fmt.Sprintf("heal after %v", ev.Heal)
 			}
 			fmt.Printf("  fault +%-8v daemon %d  %s (%s, %s)\n", ev.At, ev.Target, ev.Kind, ev.ArmSpecString(), heal)
+		case "join_node":
+			fmt.Printf("  fault +%-8v daemon %d  joins the cluster\n", ev.At, ev.Target)
+		case "decommission_node":
+			fmt.Printf("  fault +%-8v daemon %d  decommissions (drain, handoff, leave)\n", ev.At, ev.Target)
+		case "rolling_restart":
+			fmt.Printf("  fault +%-8v rolling restart of every node (%v pause per node)\n", ev.At, ev.Delay)
 		}
 	}
 	return nil

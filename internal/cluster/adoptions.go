@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Adoption-record persistence. A node's adoption records are half of
+// the exactly-once fence: a rebooted owner asks its peers "who
+// adopted my keys while I was down?" and commits away any journal
+// entry a peer answers for. That answer has to survive the ADOPTER
+// being restarted too — a rolling upgrade restarts every node, so an
+// in-memory-only record set would go blank exactly when the fence is
+// needed most (the owner and its adopter rolled back to back). The
+// daemon reconciles reloaded not-yet-done records against its local
+// artifact store at boot, so a record whose job finished just before
+// the crash is not reported as stuck.
+
+// loadAdoptionsFile folds persisted adoption records into a freshly
+// built cluster. Records are appended verbatim; the dedupe map keeps
+// a re-gossiped pending job from being adopted a second time by this
+// node's new incarnation.
+func (c *Cluster) loadAdoptionsFile() error {
+	if c.cfg.AdoptionsFile == "" {
+		return nil
+	}
+	data, err := os.ReadFile(c.cfg.AdoptionsFile)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var ads []Adoption
+	if err := json.Unmarshal(data, &ads); err != nil {
+		return fmt.Errorf("%s: %w", c.cfg.AdoptionsFile, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range ads {
+		if a.Key == "" || c.adopted[a.Key] {
+			continue
+		}
+		c.adopted[a.Key] = true
+		c.adoptions = append(c.adoptions, a)
+	}
+	return nil
+}
+
+// saveAdoptionsLocked persists the record list atomically
+// (temp+rename). Callers hold c.mu.
+func (c *Cluster) saveAdoptionsLocked() {
+	if c.cfg.AdoptionsFile == "" {
+		return
+	}
+	data, err := json.Marshal(c.adoptions)
+	if err != nil {
+		return
+	}
+	dir := filepath.Dir(c.cfg.AdoptionsFile)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		c.cfg.Logf("cluster: adoptions file: %v", err)
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".adoptions-*")
+	if err != nil {
+		c.cfg.Logf("cluster: adoptions file: %v", err)
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Close()
+		if err == nil {
+			err = os.Rename(name, c.cfg.AdoptionsFile)
+		}
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(name)
+		c.cfg.Logf("cluster: adoptions file: %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAdoptionsPersistence: adoption records survive the adopter's
+// own restart via the adoptions file — the rebooted adopter still
+// answers fence queries for work it took over before the roll, and
+// the dedupe map keeps the new incarnation from re-adopting a key a
+// previous one already holds.
+func TestAdoptionsPersistence(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "adoptions")
+	mut := func(cfg *Config) { cfg.AdoptionsFile = file }
+	c := newTestCluster(t, "n0", []string{"n0", "n1"}, mut)
+	c.mu.Lock()
+	c.adopted["job-1"] = true
+	c.adoptions = append(c.adoptions,
+		Adoption{Job: Job{Key: "job-1", AKey: "akey-1"}, From: "n1", Epoch: 3})
+	c.saveAdoptionsLocked()
+	c.mu.Unlock()
+	c.MarkAdoptionDone("job-1")
+
+	// "Reboot": a fresh cluster reloading the same file.
+	c2 := newTestCluster(t, "n0", []string{"n0", "n1"}, mut)
+	recs := c2.Adoptions("n1")
+	if len(recs) != 1 || recs[0].Key != "job-1" || recs[0].Epoch != 3 || !recs[0].Done {
+		t.Fatalf("reloaded records: %+v", recs)
+	}
+	c2.mu.Lock()
+	dedup := c2.adopted["job-1"]
+	c2.mu.Unlock()
+	if !dedup {
+		t.Fatal("reloaded record missing from the adoption-dedupe map")
+	}
+
+	// Done-by-artifact-key: a replay or replica pull that lands the
+	// artifact completes the record without knowing the journal key.
+	c2.mu.Lock()
+	c2.adopted["job-2"] = true
+	c2.adoptions = append(c2.adoptions,
+		Adoption{Job: Job{Key: "job-2", AKey: "akey-2"}, From: "n1", Epoch: 4})
+	c2.saveAdoptionsLocked()
+	c2.mu.Unlock()
+	c2.MarkAdoptionDone("akey-2")
+	if recs := c2.Adoptions("n1"); len(recs) != 2 || !recs[1].Done {
+		t.Fatalf("MarkAdoptionDone by akey did not stick: %+v", recs)
+	}
+
+	// The second record persisted too — a third boot sees both done.
+	c3 := newTestCluster(t, "n0", []string{"n0", "n1"}, mut)
+	if recs := c3.Adoptions(""); len(recs) != 2 || !recs[0].Done || !recs[1].Done {
+		t.Fatalf("third boot records: %+v", recs)
+	}
+
+	// A corrupt file is ignored (logged), not fatal.
+	if err := os.WriteFile(file, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c4 := newTestCluster(t, "n0", []string{"n0", "n1"}, mut)
+	if recs := c4.Adoptions(""); len(recs) != 0 {
+		t.Fatalf("corrupt file produced records: %+v", recs)
+	}
+}

@@ -24,12 +24,18 @@ type Job struct {
 // Heartbeat is one node's gossip payload: identity, boot epoch,
 // readiness, and its journaled-pending jobs. The pending list is the
 // cluster's safety net — it is what a successor adopts if this node
-// dies before committing.
+// dies before committing. Members/MemberEpoch/URLs gossip the
+// versioned member set: a probe that sees a strictly higher member
+// epoch folds the new view in, which is how joins and decommissions
+// reach nodes that missed the direct broadcast.
 type Heartbeat struct {
-	Node    string `json:"node"`
-	Epoch   uint64 `json:"epoch"`
-	Status  string `json:"status"`
-	Pending []Job  `json:"pending,omitempty"`
+	Node        string            `json:"node"`
+	Epoch       uint64            `json:"epoch"`
+	Status      string            `json:"status"`
+	Pending     []Job             `json:"pending,omitempty"`
+	Members     []string          `json:"members,omitempty"`
+	MemberEpoch uint64            `json:"member_epoch,omitempty"`
+	URLs        map[string]string `json:"urls,omitempty"`
 }
 
 // Adoption records one job taken over from a dead peer. Epoch is the
@@ -54,7 +60,29 @@ type Adoption struct {
 // corresponding feature, which keeps unit tests small).
 type Config struct {
 	Self  string   // this node's id, must appear in Nodes
-	Nodes []string // full membership, including Self
+	Nodes []string // boot membership, including Self (the live set may grow/shrink)
+
+	// SelfURL is this node's advertised base URL, gossiped to peers so
+	// late joiners learn how to reach everyone ("" disables).
+	SelfURL string
+
+	// MemberEpoch is the member-set version this node boots with (0
+	// for a seed boot; a joiner boots with the epoch its join answer
+	// named). The live epoch only moves forward.
+	MemberEpoch uint64
+	// MembersFile, when set, persists the live member set
+	// ({epoch, members, urls} JSON, written atomically on every
+	// change) so a rebooted node resumes the dynamic membership even
+	// though its -peers flag still names the boot-time set.
+	MembersFile string
+	// AdoptionsFile, when set, persists this node's adoption records
+	// ([]Adoption JSON, written atomically on every change) so a
+	// rebooted adopter still answers fence queries for work it took
+	// over in an earlier incarnation. Without it a restarted adopter
+	// forgets its records and a rebooted owner's fence query falls
+	// back to fail-open — safe against loss, but open to re-running
+	// work that was already done.
+	AdoptionsFile string
 
 	// URLs maps node id → base URL (http://host:port). Entries may be
 	// missing at boot (peers not yet started); PeersFile supplements
@@ -88,6 +116,17 @@ type Config struct {
 	// partition and slow_peer scenarios arm. An error fails the call.
 	Fire func(point string) error
 
+	// SendQueue bounds the replication sender's backlog (<=0: 512).
+	// A full queue drops the push (accounted, never blocking the
+	// commit path) — anti-entropy repairs the hole within one sweep.
+	SendQueue int
+
+	// SweepEvery is the anti-entropy period (<=0: sweeper disabled).
+	// Each sweep exchanges key digests with the alive peers, pushes
+	// artifacts a replica-chain member is missing, and pulls holes in
+	// this node's own chains.
+	SweepEvery time.Duration
+
 	// LocalPending returns this node's journaled-pending jobs for the
 	// heartbeat payload.
 	LocalPending func() []Job
@@ -97,6 +136,13 @@ type Config struct {
 	// Adopt is called (from the detector goroutine) once per job this
 	// node adopts from a dead peer; implementations must not block.
 	Adopt func(job Job, from string, epoch uint64)
+	// LocalKeys returns this node's artifact keys (the anti-entropy
+	// digest); nil disables the sweeper and decommission handoff.
+	LocalKeys func() []string
+	// LocalGet returns one local artifact's bytes for a repair push.
+	LocalGet func(key string) ([]byte, bool)
+	// StoreLocal stores a pulled artifact (validation included).
+	StoreLocal func(key string, data []byte) error
 }
 
 // peer is the detector's view of one remote member.
@@ -105,23 +151,53 @@ type peer struct {
 	url      string
 	everSeen bool      // at least one heartbeat ever succeeded
 	alive    bool      // last declared state (transitions are logged/acted on)
+	suspect  bool      // silent past DeadAfter/2 but not yet dead (no adoption)
 	lastOK   time.Time // last successful heartbeat
 	epoch    uint64
 	status   string
 	pending  []Job
 }
 
+// counters is the cluster's operational accounting, guarded by
+// Cluster.mu and surfaced verbatim in Status.
+type counters struct {
+	repQueued    int64 // replication pushes accepted into the sender queue
+	repPushed    int64 // replication pushes delivered
+	repFailed    int64 // replication pushes that failed after the retry
+	repDropped   int64 // replication pushes dropped on a full queue
+	sweeps       int64 // anti-entropy sweeps completed
+	repairPushed int64 // artifacts pushed to a replica that lacked them
+	repairPulled int64 // holes in this node's own chains pulled back
+	sweepErrors  int64 // digest/push/pull failures during sweeps
+	rebalances   int64 // membership changes applied (ring rebuilds)
+}
+
+// repTask is one queued replication push; targets are resolved at
+// send time so a push enqueued mid-rebalance lands on the live chain.
+type repTask struct {
+	akey string
+	data []byte
+}
+
 // Cluster is one node's membership, routing, and failure-detection
 // state. All exported methods are safe for concurrent use.
 type Cluster struct {
-	cfg  Config
-	ring *Ring
+	cfg Config
 
-	mu        sync.Mutex
-	peers     map[string]*peer
-	adoptions []Adoption
-	adopted   map[string]bool // journal keys already adopted (dedupe across ticks)
-	fileMtime time.Time
+	mu          sync.Mutex
+	ring        *Ring    // rebuilt on membership change; read under mu
+	members     []string // live member set, sorted
+	memberEpoch uint64
+	peers       map[string]*peer
+	fileAddrs   map[string]string // every "id url" the peersfile ever named
+	adoptions   []Adoption
+	adopted     map[string]bool // journal keys already adopted (dedupe across ticks)
+	fileMtime   time.Time
+	ctr         counters
+
+	sendQ     chan repTask
+	senderWG  sync.WaitGroup
+	sweepTrig chan struct{} // buffered; membership changes nudge the sweeper
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -172,33 +248,69 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	c := &Cluster{
-		cfg:     cfg,
-		ring:    NewRing(cfg.Nodes, cfg.VNodes),
-		peers:   make(map[string]*peer),
-		adopted: make(map[string]bool),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-		now:     time.Now,
+	if cfg.SendQueue <= 0 {
+		cfg.SendQueue = 512
 	}
-	for _, n := range cfg.Nodes {
+	members := append([]string(nil), cfg.Nodes...)
+	sort.Strings(members)
+	c := &Cluster{
+		cfg:         cfg,
+		ring:        NewRing(members, cfg.VNodes),
+		members:     members,
+		memberEpoch: cfg.MemberEpoch,
+		peers:       make(map[string]*peer),
+		fileAddrs:   make(map[string]string),
+		adopted:     make(map[string]bool),
+		sendQ:       make(chan repTask, cfg.SendQueue),
+		sweepTrig:   make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		now:         time.Now,
+	}
+	for _, n := range members {
 		if n == cfg.Self {
 			continue
 		}
 		c.peers[n] = &peer{id: n, url: cfg.URLs[n], status: "unknown"}
 	}
+	// A persisted member set from a previous incarnation wins over the
+	// boot flags when it is newer and still contains self: the flags
+	// name the seed-time fleet, the file names what it grew into.
+	if err := c.loadMembersFile(); err != nil {
+		cfg.Logf("cluster: members file ignored: %v", err)
+	}
+	if c.memberEpoch > 0 {
+		c.saveMembersLocked()
+	}
+	// Adoption records survive the adopter's own restarts: the fence
+	// depends on the adopter answering for work it took over before
+	// it was itself rolled.
+	if err := c.loadAdoptionsFile(); err != nil {
+		cfg.Logf("cluster: adoptions file ignored: %v", err)
+	}
 	return c, nil
 }
 
-// Start launches the failure detector. Close stops it.
+// Start launches the failure detector, the bounded replication
+// senders, and (when configured) the anti-entropy sweeper. Close
+// stops them all.
 func (c *Cluster) Start() {
 	go c.detectorLoop()
+	for i := 0; i < 2; i++ {
+		c.senderWG.Add(1)
+		go c.senderLoop()
+	}
+	if c.cfg.SweepEvery > 0 && c.cfg.LocalKeys != nil {
+		c.senderWG.Add(1)
+		go c.sweepLoop()
+	}
 }
 
-// Close stops the detector and waits for it to exit.
+// Close stops the detector, senders, and sweeper and waits for them.
 func (c *Cluster) Close() {
 	c.stopOnce.Do(func() { close(c.stop) })
 	<-c.done
+	c.senderWG.Wait()
 }
 
 // Self returns this node's id.
@@ -207,8 +319,13 @@ func (c *Cluster) Self() string { return c.cfg.Self }
 // Epoch returns this node's boot epoch.
 func (c *Cluster) Epoch() uint64 { return c.cfg.Epoch }
 
-// Ring exposes the placement ring (for tests and status reporting).
-func (c *Cluster) Ring() *Ring { return c.ring }
+// Ring returns the current placement ring. Membership changes swap
+// in a rebuilt ring; the returned snapshot is immutable.
+func (c *Cluster) Ring() *Ring {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring
+}
 
 // Replicas returns the configured successor-copy count.
 func (c *Cluster) Replicas() int { return c.cfg.Replicas }
@@ -272,24 +389,25 @@ func (c *Cluster) Quorum() bool {
 }
 
 func (c *Cluster) quorumLocked() bool {
-	alive := 1 // self
-	for _, p := range c.peers {
-		if p.alive {
+	alive := 0
+	for _, id := range c.members {
+		if c.aliveLocked(id) {
 			alive++
 		}
 	}
-	return 2*alive > len(c.cfg.Nodes)
+	return 2*alive > len(c.members)
 }
 
 // ActingOwner returns the first *alive* node on the key's successor
 // chain — the node that should execute the key right now. With every
 // member alive this is the ring owner; when the owner is dead its
 // successor acts, and ownership snaps back the moment the owner
-// returns (the ring itself never changes on failure).
+// returns (the ring only changes on membership changes, never on
+// failure).
 func (c *Cluster) ActingOwner(akey string) (string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, id := range c.ring.Successors(akey, len(c.cfg.Nodes)) {
+	for _, id := range c.ring.Successors(akey, len(c.members)) {
 		if c.aliveLocked(id) {
 			return id, true
 		}
@@ -306,7 +424,8 @@ func (c *Cluster) Route(akey string) (node string, ok bool) {
 	return c.ActingOwner(akey)
 }
 
-// HeartbeatPayload assembles this node's gossip answer.
+// HeartbeatPayload assembles this node's gossip answer, including the
+// versioned member-set view and every peer address this node knows.
 func (c *Cluster) HeartbeatPayload() Heartbeat {
 	hb := Heartbeat{Node: c.cfg.Self, Epoch: c.cfg.Epoch, Status: "ok"}
 	if c.cfg.LocalStatus != nil {
@@ -315,6 +434,19 @@ func (c *Cluster) HeartbeatPayload() Heartbeat {
 	if c.cfg.LocalPending != nil {
 		hb.Pending = c.cfg.LocalPending()
 	}
+	c.mu.Lock()
+	hb.Members = append([]string(nil), c.members...)
+	hb.MemberEpoch = c.memberEpoch
+	hb.URLs = make(map[string]string, len(c.peers)+1)
+	if c.cfg.SelfURL != "" {
+		hb.URLs[c.cfg.Self] = c.cfg.SelfURL
+	}
+	for id, p := range c.peers {
+		if p.url != "" {
+			hb.URLs[id] = p.url
+		}
+	}
+	c.mu.Unlock()
 	return hb
 }
 
@@ -333,15 +465,22 @@ func (c *Cluster) Adoptions(from string) []Adoption {
 }
 
 // MarkAdoptionDone flips the Done flag of the adoption holding the
-// given journal key (called by the daemon when the adopted job's
-// artifact is committed).
+// given journal or artifact key (called by the daemon when the
+// adopted job's artifact is committed — by the adoption itself, by a
+// journal replay after the adopter's own restart, or by a replica
+// pull that landed the artifact another way).
 func (c *Cluster) MarkAdoptionDone(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	changed := false
 	for i := range c.adoptions {
-		if c.adoptions[i].Key == key {
+		if (c.adoptions[i].Key == key || c.adoptions[i].AKey == key) && !c.adoptions[i].Done {
 			c.adoptions[i].Done = true
+			changed = true
 		}
+	}
+	if changed {
+		c.saveAdoptionsLocked()
 	}
 }
 

@@ -224,12 +224,15 @@ func TestFencedKeys(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
-	fenced := c.FencedKeys(ctx)
+	fenced, silent := c.FencedKeys(ctx)
 	if len(fenced) != 1 {
 		t.Fatalf("fenced = %v, want exactly {old-job}", fenced)
 	}
 	if a, ok := fenced["old-job"]; !ok || a.Epoch != 4 {
 		t.Fatalf("fenced = %v, want old-job@4", fenced)
+	}
+	if len(silent) != 0 {
+		t.Fatalf("silent = %v, want none (both peers answered)", silent)
 	}
 }
 
@@ -249,8 +252,12 @@ func TestFencedKeysNoPeers(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
 	defer cancel()
-	if fenced := c.FencedKeys(ctx); len(fenced) != 0 {
+	fenced, silent := c.FencedKeys(ctx)
+	if len(fenced) != 0 {
 		t.Fatalf("fenced = %v, want empty", fenced)
+	}
+	if len(silent) != 1 || silent[0] != "n1" {
+		t.Fatalf("silent = %v, want [n1] (the unreachable peer is named)", silent)
 	}
 }
 

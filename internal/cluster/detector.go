@@ -38,8 +38,9 @@ func (c *Cluster) detectorLoop() {
 
 // reloadPeersFile re-reads cfg.PeersFile when its mtime moved.
 // Format: one "id url" pair per line; blank lines and # comments
-// ignored; unknown ids ignored (membership is fixed at boot — the
-// file only resolves addresses).
+// ignored. Every parsed address is retained (fileAddrs) even for ids
+// that are not members yet: a later join can then resolve the new
+// node's address without waiting for another file rewrite.
 func (c *Cluster) reloadPeersFile() {
 	if c.cfg.PeersFile == "" {
 		return
@@ -58,8 +59,7 @@ func (c *Cluster) reloadPeersFile() {
 	if err != nil {
 		return
 	}
-	c.mu.Lock()
-	c.fileMtime = fi.ModTime()
+	addrs := make(map[string]string)
 	for _, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -69,10 +69,16 @@ func (c *Cluster) reloadPeersFile() {
 		if len(fields) != 2 {
 			continue
 		}
-		id, url := fields[0], strings.TrimSuffix(fields[1], "/")
+		url := strings.TrimSuffix(fields[1], "/")
 		if !strings.Contains(url, "://") {
 			url = "http://" + url
 		}
+		addrs[fields[0]] = url
+	}
+	c.mu.Lock()
+	c.fileMtime = fi.ModTime()
+	for id, url := range addrs {
+		c.fileAddrs[id] = url
 		if p, ok := c.peers[id]; ok && p.url != url {
 			c.cfg.Logf("cluster: peer %s now at %s", id, url)
 			p.url = url
@@ -104,7 +110,10 @@ func (c *Cluster) probeAll() {
 	wg.Wait()
 }
 
-// probe fetches one peer's heartbeat and folds it into the view.
+// probe fetches one peer's heartbeat and folds it into the view —
+// liveness, pending gossip, and any strictly newer member-set view
+// the peer has seen (how joins/decommissions reach nodes the direct
+// broadcast missed).
 func (c *Cluster) probe(p *peer) {
 	hb, err := c.fetchHeartbeat(p)
 	c.mu.Lock()
@@ -118,12 +127,26 @@ func (c *Cluster) probe(p *peer) {
 	if !p.alive && p.everSeen {
 		c.cfg.Logf("cluster: peer %s is back (epoch %d)", p.id, hb.Epoch)
 	}
+	if p.suspect {
+		c.cfg.Logf("cluster: peer %s healthy again (was suspect)", p.id)
+		p.suspect = false
+	}
 	p.everSeen = true
 	p.alive = true
 	p.lastOK = c.now()
 	p.epoch = hb.Epoch
 	p.status = hb.Status
 	p.pending = hb.Pending
+	if hb.MemberEpoch > c.memberEpoch {
+		c.applyRemoteViewLocked(hb.MemberEpoch, hb.Members, hb.URLs)
+	}
+	// Gossiped addresses fill gaps only: the peersfile and explicit
+	// SetPeerURL stay authoritative for nodes we can already reach.
+	for id, url := range hb.URLs {
+		if q, ok := c.peers[id]; ok && q.url == "" && url != "" {
+			q.url = strings.TrimSuffix(url, "/")
+		}
+	}
 }
 
 func (c *Cluster) fetchHeartbeat(p *peer) (*Heartbeat, error) {
@@ -164,16 +187,30 @@ func (c *Cluster) sweepDead() {
 	c.mu.Lock()
 	now := c.now()
 	for _, p := range c.peers {
-		if !p.alive || now.Sub(p.lastOK) <= c.cfg.DeadAfter {
+		if !p.alive {
+			continue
+		}
+		silent := now.Sub(p.lastOK)
+		if silent <= c.cfg.DeadAfter {
+			// Half the death budget spent → suspect: logged for the
+			// operator, but still alive for routing, quorum, and adoption
+			// purposes, so a jittered heartbeat cannot trigger a spurious
+			// adoption (it must stay silent for the full DeadAfter).
+			if !p.suspect && p.everSeen && silent > c.cfg.DeadAfter/2 {
+				p.suspect = true
+				c.cfg.Logf("cluster: peer %s suspect (silent %v of %v)",
+					p.id, silent.Round(time.Millisecond), c.cfg.DeadAfter)
+			}
 			continue
 		}
 		p.alive = false
+		p.suspect = false
 		p.status = "dead"
 		c.cfg.Logf("cluster: peer %s declared dead (silent %v, %d pending jobs gossiped)",
-			p.id, now.Sub(p.lastOK).Round(time.Millisecond), len(p.pending))
+			p.id, silent.Round(time.Millisecond), len(p.pending))
 		if !c.quorumLocked() {
 			c.cfg.Logf("cluster: no quorum (%d/%d alive) — not adopting from %s",
-				len(c.cfg.Nodes)-c.deadCountLocked(), len(c.cfg.Nodes), p.id)
+				len(c.members)-c.deadCountLocked(), len(c.members), p.id)
 			continue
 		}
 		for _, job := range p.pending {
@@ -184,7 +221,7 @@ func (c *Cluster) sweepDead() {
 			// other survivors run the same rule over the same gossip, so
 			// each orphan lands on exactly one successor.
 			owner := ""
-			for _, id := range c.ring.Successors(job.AKey, len(c.cfg.Nodes)) {
+			for _, id := range c.ring.Successors(job.AKey, len(c.members)) {
 				if c.aliveLocked(id) {
 					owner = id
 					break
@@ -201,6 +238,9 @@ func (c *Cluster) sweepDead() {
 		// another survivor's responsibility. A later heartbeat from a
 		// rebooted incarnation repopulates the list.
 		p.pending = nil
+	}
+	if len(orphans) > 0 {
+		c.saveAdoptionsLocked()
 	}
 	c.mu.Unlock()
 	for _, o := range orphans {

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Membership: the member set is versioned by a monotonically
+// increasing member epoch. Joins and decommissions bump the epoch on
+// the node that performs them; every heartbeat carries the sender's
+// (epoch, set, urls) view and probes fold in any strictly higher
+// epoch they see, so a change reaches the whole fleet within a probe
+// period even when the direct broadcast missed someone. Each applied
+// change rebuilds the consistent-hash ring and logs the ownership
+// diff (what fraction of the keyspace changed hands) — the rebalance
+// the anti-entropy sweeper then makes real by moving artifacts.
+
+// Members returns the live member set (sorted copy).
+func (c *Cluster) Members() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.members...)
+}
+
+// MemberEpoch returns the version of the live member set.
+func (c *Cluster) MemberEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memberEpoch
+}
+
+// MemberView is the broadcast/persisted form of one member-set
+// version.
+type MemberView struct {
+	MemberEpoch uint64            `json:"member_epoch"`
+	Members     []string          `json:"members"`
+	URLs        map[string]string `json:"urls,omitempty"`
+}
+
+// View snapshots the current member-set view, with every peer
+// address this node can vouch for.
+func (c *Cluster) View() MemberView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.viewLocked()
+}
+
+func (c *Cluster) viewLocked() MemberView {
+	v := MemberView{
+		MemberEpoch: c.memberEpoch,
+		Members:     append([]string(nil), c.members...),
+		URLs:        make(map[string]string, len(c.peers)+1),
+	}
+	if c.cfg.SelfURL != "" {
+		v.URLs[c.cfg.Self] = c.cfg.SelfURL
+	}
+	for id, p := range c.peers {
+		if p.url != "" {
+			v.URLs[id] = p.url
+		}
+	}
+	return v
+}
+
+// ApplyJoin adds a node to the member set, bumping the member epoch,
+// and returns the resulting view (what a join answer sends back).
+// Re-joining an existing member is idempotent: the URL is refreshed
+// and the current view returned without an epoch bump.
+func (c *Cluster) ApplyJoin(node, url string) (MemberView, error) {
+	if node == "" || strings.ContainsAny(node, " \t\n,=") {
+		return MemberView{}, fmt.Errorf("cluster: bad node id %q", node)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.members {
+		if m == node {
+			if p, ok := c.peers[node]; ok && url != "" {
+				p.url = strings.TrimSuffix(url, "/")
+			}
+			return c.viewLocked(), nil
+		}
+	}
+	members := append(append([]string(nil), c.members...), node)
+	urls := map[string]string{node: strings.TrimSuffix(url, "/")}
+	c.applyMembersLocked(c.memberEpoch+1, members, urls, "join of "+node)
+	return c.viewLocked(), nil
+}
+
+// Leave removes self from the member set (a decommission), bumping
+// the epoch, and returns the view the leaving node must broadcast to
+// the survivors. The leaving node keeps serving warm hits and proxies
+// cold work to the new owners until its process exits.
+func (c *Cluster) Leave() (MemberView, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var members []string
+	for _, m := range c.members {
+		if m != c.cfg.Self {
+			members = append(members, m)
+		}
+	}
+	if len(members) == len(c.members) {
+		return c.viewLocked(), nil // already left
+	}
+	if len(members) == 0 {
+		return MemberView{}, fmt.Errorf("cluster: cannot decommission the last member")
+	}
+	c.applyMembersLocked(c.memberEpoch+1, members, nil, "decommission of self")
+	return c.viewLocked(), nil
+}
+
+// ApplyMembers folds an authoritative member-set view into local
+// state. Views at or below the current epoch are ignored; a view
+// that would remove self is refused (only a local Leave may do that —
+// a stale or confused peer must not be able to evict this node).
+// Reports whether the view was applied.
+func (c *Cluster) ApplyMembers(epoch uint64, members []string, urls map[string]string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.applyRemoteViewLocked(epoch, members, urls)
+}
+
+func (c *Cluster) applyRemoteViewLocked(epoch uint64, members []string, urls map[string]string) bool {
+	if epoch <= c.memberEpoch || len(members) == 0 {
+		return false
+	}
+	self := false
+	for _, m := range members {
+		self = self || m == c.cfg.Self
+	}
+	if !self {
+		// A decommission of this node can only originate here. The one
+		// legitimate case — the fleet removed us while we were down — is
+		// for the operator: keep serving, keep logging.
+		c.cfg.Logf("cluster: refusing member view epoch %d %v: it drops self (%s)", epoch, members, c.cfg.Self)
+		return false
+	}
+	c.applyMembersLocked(epoch, members, urls, fmt.Sprintf("gossiped view epoch %d", epoch))
+	return true
+}
+
+// applyMembersLocked installs a new member set: rebuild the ring, log
+// the ownership diff, reconcile the peer map, persist, and nudge the
+// anti-entropy sweeper so the rebalance starts moving artifacts now
+// rather than a sweep period from now.
+func (c *Cluster) applyMembersLocked(epoch uint64, members []string, urls map[string]string, why string) {
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	old := c.ring
+	c.members = sorted
+	c.memberEpoch = epoch
+	c.ring = NewRing(sorted, c.cfg.VNodes)
+	moved := ownershipDiff(old, c.ring)
+	c.ctr.rebalances++
+
+	have := make(map[string]bool, len(sorted))
+	for _, m := range sorted {
+		have[m] = true
+		if m == c.cfg.Self {
+			continue
+		}
+		if _, ok := c.peers[m]; !ok {
+			url := urls[m]
+			if url == "" {
+				url = c.fileAddrs[m]
+			}
+			c.peers[m] = &peer{id: m, url: strings.TrimSuffix(url, "/"), status: "unknown"}
+		} else if u := urls[m]; u != "" && c.peers[m].url == "" {
+			c.peers[m].url = strings.TrimSuffix(u, "/")
+		}
+	}
+	for id := range c.peers {
+		if !have[id] {
+			delete(c.peers, id) // removed members must not degrade quorum or /readyz
+		}
+	}
+	c.cfg.Logf("cluster: membership epoch %d (%s): %d member(s) %v, ~%.0f%% of keyspace changed owner",
+		epoch, why, len(sorted), sorted, 100*moved)
+	c.saveMembersLocked()
+	select {
+	case c.sweepTrig <- struct{}{}:
+	default:
+	}
+}
+
+// ownershipDiff estimates the fraction of the keyspace whose owner
+// differs between two rings by comparing the owner at every vnode
+// point of the new ring — each point carries roughly 1/len(points) of
+// the hash space.
+func ownershipDiff(old, new *Ring) float64 {
+	if old == nil || len(new.points) == 0 {
+		return 1
+	}
+	changed := 0
+	for _, pt := range new.points {
+		if old.ownerAt(pt.hash) != pt.node {
+			changed++
+		}
+	}
+	return float64(changed) / float64(len(new.points))
+}
+
+// --- persistence ---
+
+type membersFile struct {
+	Epoch   uint64            `json:"epoch"`
+	Members []string          `json:"members"`
+	URLs    map[string]string `json:"urls,omitempty"`
+}
+
+// loadMembersFile folds a persisted member set into a freshly built
+// cluster when it is newer than the boot view and still names self.
+func (c *Cluster) loadMembersFile() error {
+	if c.cfg.MembersFile == "" {
+		return nil
+	}
+	data, err := os.ReadFile(c.cfg.MembersFile)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var mf membersFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return fmt.Errorf("%s: %w", c.cfg.MembersFile, err)
+	}
+	if mf.Epoch <= c.memberEpoch || len(mf.Members) < 2 {
+		return nil
+	}
+	self := false
+	for _, m := range mf.Members {
+		if m == "" || strings.ContainsAny(m, " \t\n,=") {
+			return fmt.Errorf("%s: bad node id %q", c.cfg.MembersFile, m)
+		}
+		self = self || m == c.cfg.Self
+	}
+	if !self {
+		return fmt.Errorf("%s: persisted set %v does not contain self", c.cfg.MembersFile, mf.Members)
+	}
+	c.applyMembersLocked(mf.Epoch, mf.Members, mf.URLs, "persisted members file")
+	return nil
+}
+
+// saveMembersLocked persists the live view atomically (temp+rename).
+// Epoch 0 — the never-changed boot set — is not worth a file.
+func (c *Cluster) saveMembersLocked() {
+	if c.cfg.MembersFile == "" || c.memberEpoch == 0 {
+		return
+	}
+	v := c.viewLocked()
+	data, err := json.Marshal(membersFile{Epoch: v.MemberEpoch, Members: v.Members, URLs: v.URLs})
+	if err != nil {
+		return
+	}
+	dir := filepath.Dir(c.cfg.MembersFile)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		c.cfg.Logf("cluster: members file: %v", err)
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".members-*")
+	if err != nil {
+		c.cfg.Logf("cluster: members file: %v", err)
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Close()
+		if err == nil {
+			err = os.Rename(name, c.cfg.MembersFile)
+		}
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(name)
+		c.cfg.Logf("cluster: members file: %v", err)
+	}
+}

@@ -143,10 +143,23 @@ func (r *Ring) Successors(key string, n int) []string {
 // search returns the index of the first point at or clockwise of the
 // key's hash (wrapping to 0 past the last point).
 func (r *Ring) search(key string) int {
-	h := hash64(key)
+	i := r.searchHash(hash64(key))
+	return i
+}
+
+func (r *Ring) searchHash(h uint64) int {
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0
 	}
 	return i
+}
+
+// ownerAt returns the owner of a raw ring position — the
+// ownership-diff computation compares two rings point by point.
+func (r *Ring) ownerAt(h uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.searchHash(h)].node
 }

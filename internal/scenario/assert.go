@@ -99,6 +99,16 @@ func Evaluate(a Assertions, o *Outcome) []AssertionResult {
 			fmt.Sprintf("%d pending, %d/%d adoptions completed", o.PendingJobs, o.AdoptionsDone, o.Adoptions),
 			"0 pending, every adoption completed")
 	}
+	if a.RepConverged != nil && *a.RepConverged {
+		add("replication_converged", o.ReplicationConverged,
+			fmt.Sprintf("%d replica hole(s)", o.ReplicaHoles),
+			"every artifact on every member of its replica chain")
+	}
+	if a.NoOrphans != nil && *a.NoOrphans {
+		add("no_orphaned_artifacts", o.OrphanedArtifacts == 0,
+			fmt.Sprintf("%d orphaned", o.OrphanedArtifacts),
+			"0 artifacts with no copy on their replica chain")
+	}
 	return out
 }
 

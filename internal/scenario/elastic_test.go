@@ -1,0 +1,383 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tlssync/internal/cluster"
+)
+
+// elasticScenario exercises the elastic-membership DSL surface: the
+// sweep knob, the three membership actions, and the replication
+// assertions with a settle window.
+const elasticScenario = `
+name: elastic-demo
+duration: 20s
+seed: 7
+daemons:
+  nodes: 3
+  ring_replicas: 1
+  heartbeat: 100ms
+  dead_after: 500ms
+  sweep: 500ms
+  benchmarks: [gzip_comp]
+fleet:
+  clients: 3
+  startup:
+    pattern: instant
+  templates:
+    - name: simmers
+      weight: 1.0
+      bench: [gzip_comp]
+      policy: [C]
+      think: {dist: fixed, mean: 100ms}
+faults:
+  - {at: 2s, kind: rolling_restart, delay: 200ms}
+  - {at: 8s, kind: join_node, target: 3}
+  - {at: 12s, kind: decommission_node, target: 1}
+assertions:
+  max_recovery: 10s
+  replication_converged: true
+  no_orphaned_artifacts: true
+  settle: 5s
+`
+
+func TestParseElasticScenario(t *testing.T) {
+	sc, err := Parse("elastic.yaml", []byte(elasticScenario))
+	if err != nil {
+		t.Fatalf("valid elastic scenario rejected: %v", err)
+	}
+	if sc.Daemons.Sweep != 500*time.Millisecond {
+		t.Errorf("sweep parsed wrong: %v", sc.Daemons.Sweep)
+	}
+	kinds := []string{sc.Faults[0].Kind, sc.Faults[1].Kind, sc.Faults[2].Kind}
+	if kinds[0] != "rolling_restart" || kinds[1] != "join_node" || kinds[2] != "decommission_node" {
+		t.Errorf("fault kinds parsed wrong: %v", kinds)
+	}
+	if sc.Faults[1].Target != 3 || sc.Faults[2].Target != 1 {
+		t.Errorf("fault targets parsed wrong: %+v", sc.Faults)
+	}
+	a := sc.Assert
+	if a.RepConverged == nil || !*a.RepConverged || a.NoOrphans == nil || !*a.NoOrphans {
+		t.Errorf("replication assertions parsed wrong: %+v", a)
+	}
+	if a.Settle != 5*time.Second {
+		t.Errorf("settle parsed wrong: %v", a.Settle)
+	}
+}
+
+// swapElastic mutates one fragment of the elastic scenario.
+func swapElastic(t *testing.T, old, new string) string {
+	t.Helper()
+	if !strings.Contains(elasticScenario, old) {
+		t.Fatalf("test bug: %q not in the elastic scenario", old)
+	}
+	return strings.Replace(elasticScenario, old, new, 1)
+}
+
+func TestValidateElasticErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "join target not the next free index",
+			src:  swapElastic(t, "kind: join_node, target: 3", "kind: join_node, target: 5"),
+			want: "must be the next free daemon index 3",
+		},
+		{
+			name: "rolling restart with a target",
+			src:  swapElastic(t, "kind: rolling_restart, delay: 200ms", "kind: rolling_restart, target: 1, delay: 200ms"),
+			want: "rolling_restart walks every live node",
+		},
+		{
+			name: "decommission target out of range",
+			src:  swapElastic(t, "kind: decommission_node, target: 1", "kind: decommission_node, target: 4"),
+			want: "target 4 out of range",
+		},
+		{
+			name: "sweep without cluster mode",
+			src: `
+name: solo-sweep
+duration: 5s
+daemons:
+  count: 1
+  sweep: 500ms
+  benchmarks: [gzip_comp]
+fleet:
+  clients: 1
+  startup: {pattern: instant}
+  templates:
+    - name: simmers
+      weight: 1.0
+      think: {dist: fixed, mean: 100ms}
+`,
+			want: "need daemons.nodes >= 2",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("elastic.yaml", []byte(tc.src))
+			if err == nil {
+				t.Fatal("scenario accepted, want an error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateElasticNeedsCluster: the membership fault kinds and the
+// new assertions are rejected outside cluster mode.
+func TestValidateElasticNeedsCluster(t *testing.T) {
+	base := `
+name: solo
+duration: 5s
+daemons:
+  count: 1
+  benchmarks: [gzip_comp]
+fleet:
+  clients: 1
+  startup: {pattern: instant}
+  templates:
+    - name: simmers
+      weight: 1.0
+      think: {dist: fixed, mean: 100ms}
+%s
+`
+	for _, frag := range []string{
+		"faults:\n  - {at: 1s, kind: join_node, target: 1}",
+		"faults:\n  - {at: 1s, kind: decommission_node, target: 0}",
+		"faults:\n  - {at: 1s, kind: rolling_restart}",
+		"assertions:\n  replication_converged: true",
+		"assertions:\n  no_orphaned_artifacts: true",
+		"assertions:\n  settle: 5s",
+	} {
+		_, err := Parse("solo.yaml", []byte(fmt.Sprintf(base, frag)))
+		if err == nil || !strings.Contains(err.Error(), "needs daemons.nodes >= 2") {
+			t.Errorf("%q on a solo daemon: err = %v, want a nodes>=2 error", frag, err)
+		}
+	}
+}
+
+// elasticNode is a fake cluster daemon whose /cluster scrape carries
+// the full elastic shape (member epoch, ring parameters, store keys)
+// and which accepts POST /cluster/decommission.
+type elasticNode struct {
+	self string
+
+	mu             sync.Mutex
+	nodes          []string
+	epoch          uint64
+	keys           []string
+	replicas       int
+	decommissioned bool
+	srv            *httptest.Server
+}
+
+func newElasticNode(t *testing.T, self string, nodes []string, epoch uint64, replicas int, keys []string) *elasticNode {
+	t.Helper()
+	d := &elasticNode{self: self, nodes: nodes, epoch: epoch, replicas: replicas, keys: keys}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"status": "ok"})
+	})
+	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		writeJSON(w, map[string]any{
+			"cluster": map[string]any{
+				"self": d.self, "nodes": d.nodes, "member_epoch": d.epoch,
+				"vnodes": 0, "replicas": d.replicas,
+				"quorum": true, "alive": len(d.nodes),
+			},
+			"executions":      map[string]int64{},
+			"journal_pending": 0,
+			"store_keys":      d.keys,
+		})
+	})
+	mux.HandleFunc("POST /cluster/decommission", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		d.decommissioned = true
+		d.mu.Unlock()
+		writeJSON(w, map[string]any{"status": "decommissioned"})
+	})
+	d.srv = httptest.NewServer(mux)
+	t.Cleanup(d.srv.Close)
+	return d
+}
+
+func (d *elasticNode) URL() string                     { return d.srv.URL }
+func (d *elasticNode) Kill() error                     { return nil }
+func (d *elasticNode) Restart() error                  { return nil }
+func (d *elasticNode) WaitReady(context.Context) error { return nil }
+func (d *elasticNode) Close()                          {}
+func (d *elasticNode) wasDecommissioned() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.decommissioned
+}
+
+// TestScrapeClusterReplicationAudit: a missing replica copy is a hole
+// (not converged); once both nodes hold both keys, the audit passes.
+func TestScrapeClusterReplicationAudit(t *testing.T) {
+	nodes := []string{"n0", "n1"}
+	// 2 nodes, 1 replica: every key's chain is both nodes. n1 lacks "b".
+	a := newElasticNode(t, "n0", nodes, 3, 1, []string{"a", "b"})
+	b := newElasticNode(t, "n1", nodes, 3, 1, []string{"a"})
+	o := &Outcome{}
+	var notes syncNotes
+	scrapeCluster([]Daemon{a, b}, http.DefaultClient, o, &notes)
+	if o.ReplicationConverged || o.ReplicaHoles != 1 {
+		t.Errorf("converged=%v holes=%d, want false/1 (n1 lacks b)", o.ReplicationConverged, o.ReplicaHoles)
+	}
+	if o.OrphanedArtifacts != 0 {
+		t.Errorf("orphans=%d, want 0 (n0 still holds b)", o.OrphanedArtifacts)
+	}
+	if !o.ClusterConverged {
+		t.Errorf("membership should agree: %v", o.FinalCluster)
+	}
+
+	b.mu.Lock()
+	b.keys = []string{"a", "b"}
+	b.mu.Unlock()
+	o = &Outcome{}
+	scrapeCluster([]Daemon{a, b}, http.DefaultClient, o, &notes)
+	if !o.ReplicationConverged || o.ReplicaHoles != 0 {
+		t.Errorf("healed fleet: converged=%v holes=%d, want true/0", o.ReplicationConverged, o.ReplicaHoles)
+	}
+}
+
+// TestScrapeClusterOrphan: an artifact whose entire replica chain
+// lacks it is an orphan — routing would never find it again.
+func TestScrapeClusterOrphan(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2"}
+	// 3 nodes, 0 replicas: each key's chain is just its owner. Find a
+	// key owned by some node other than n0 and park it only on n0.
+	ring := cluster.NewRing(nodes, 0)
+	key := ""
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("stray-%d", i)
+		if ring.Owner(k) != "n0" {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key owned away from n0 in 10000 tries")
+	}
+	a := newElasticNode(t, "n0", nodes, 1, 0, []string{key})
+	b := newElasticNode(t, "n1", nodes, 1, 0, nil)
+	c := newElasticNode(t, "n2", nodes, 1, 0, nil)
+	o := &Outcome{}
+	var notes syncNotes
+	scrapeCluster([]Daemon{a, b, c}, http.DefaultClient, o, &notes)
+	if o.OrphanedArtifacts != 1 || o.ReplicationConverged {
+		t.Errorf("orphans=%d converged=%v, want 1/false", o.OrphanedArtifacts, o.ReplicationConverged)
+	}
+}
+
+// TestScrapeClusterMembershipDisagreement: nodes reporting different
+// member epochs never converged, and no replication verdict is issued.
+func TestScrapeClusterMembershipDisagreement(t *testing.T) {
+	a := newElasticNode(t, "n0", []string{"n0", "n1"}, 2, 1, nil)
+	b := newElasticNode(t, "n1", []string{"n0", "n1", "n2"}, 3, 1, nil)
+	o := &Outcome{}
+	var notes syncNotes
+	scrapeCluster([]Daemon{a, b}, http.DefaultClient, o, &notes)
+	if o.ClusterConverged {
+		t.Error("converged despite disagreeing member views")
+	}
+	if o.ReplicationConverged {
+		t.Error("replication verdict issued without an agreed member set")
+	}
+	found := false
+	for _, n := range notes.take() {
+		found = found || strings.Contains(n, "disagrees on membership")
+	}
+	if !found {
+		t.Error("membership disagreement not noted")
+	}
+}
+
+// TestRunnerElasticMembership: the runner executes join_node and
+// decommission_node — the joiner starts from a live seed URL, the
+// decommissioned node receives the POST and leaves the final scrape.
+func TestRunnerElasticMembership(t *testing.T) {
+	src := `
+name: elastic-runner
+duration: 900ms
+seed: 3
+daemons:
+  nodes: 2
+  benchmarks: [gzip_comp]
+fleet:
+  clients: 2
+  startup:
+    pattern: instant
+  templates:
+    - name: simmers
+      weight: 1.0
+      bench: [gzip_comp]
+      policy: [C]
+      think: {dist: fixed, mean: 80ms}
+faults:
+  - {at: 150ms, kind: join_node, target: 2}
+  - {at: 450ms, kind: decommission_node, target: 2}
+assertions:
+  cluster_converged: true
+`
+	sc, err := Parse("elastic-runner.yaml", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []string{"n0", "n1"}
+	fakes := make([]*elasticNode, 2)
+	var joiner *elasticNode
+	var joinSeed string
+	rep, err := Run(sc, 3, RunOptions{
+		StartDaemon: func(i int) (Daemon, error) {
+			fakes[i] = newElasticNode(t, nodes[i], nodes, 1, 0, nil)
+			return fakes[i], nil
+		},
+		StartJoiner: func(i int, seedURL string) (Daemon, error) {
+			joinSeed = seedURL
+			joiner = newElasticNode(t, fmt.Sprintf("n%d", i), nodes, 1, 0, nil)
+			return joiner, nil
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcome
+	if o.Joins != 1 || o.Decommissions != 1 {
+		t.Errorf("joins=%d decommissions=%d, want 1/1", o.Joins, o.Decommissions)
+	}
+	if joiner == nil || !joiner.wasDecommissioned() {
+		t.Error("the joiner never received the decommission POST")
+	}
+	if joinSeed != fakes[0].URL() && joinSeed != fakes[1].URL() {
+		t.Errorf("join seed %q is not a live member URL", joinSeed)
+	}
+	// The retired node is out of the final scrapes: 2 readyz lines, 2
+	// cluster lines, and the surviving views agree.
+	if len(o.FinalReady) != 2 || len(o.FinalCluster) != 2 {
+		t.Errorf("final scrape covers %d readyz / %d cluster daemons, want 2/2 (joiner retired)",
+			len(o.FinalReady), len(o.FinalCluster))
+	}
+	if !o.ClusterConverged {
+		t.Errorf("cluster not converged: %v", o.FinalCluster)
+	}
+	if !rep.Pass {
+		t.Errorf("scenario should pass: %+v", rep.Assertions)
+	}
+}

@@ -63,6 +63,16 @@ type Outcome struct {
 	PendingJobs      int64    `json:"pending_jobs,omitempty"`       // final journal-pending sum across nodes
 	ClusterConverged bool     `json:"cluster_converged,omitempty"`  // every node: quorum held, whole fleet alive
 	FinalCluster     []string `json:"final_cluster,omitempty"`      // per-node "id: alive x/y quorum=bool" evidence
+
+	// Elastic-membership evidence: joins/decommissions that actually
+	// completed, and the final replica-placement audit (the agreed ring
+	// is rebuilt from the scraped member view and every artifact is
+	// checked against every member of its replica chain).
+	Joins                int64 `json:"joins,omitempty"`
+	Decommissions        int64 `json:"decommissions,omitempty"`
+	ReplicationConverged bool  `json:"replication_converged,omitempty"`
+	ReplicaHoles         int64 `json:"replica_holes,omitempty"`      // (key, chain member) pairs missing their copy
+	OrphanedArtifacts    int64 `json:"orphaned_artifacts,omitempty"` // keys with zero copies anywhere on their chain
 }
 
 // ErrorRate is the assertion's error definition: server failures plus

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"tlssync/internal/cluster"
 	"tlssync/internal/httpretry"
 	"tlssync/internal/progen"
 )
@@ -40,6 +41,11 @@ type RunOptions struct {
 	// StartDaemon launches daemon i of the scenario's fleet. cmd/tlssim
 	// installs the real tlsd process launcher; tests install fakes.
 	StartDaemon func(i int) (Daemon, error)
+	// StartJoiner launches daemon i as a cluster JOINER: instead of
+	// booting with the static membership it joins via seedURL (a live
+	// member's base URL). Required when the scenario has join_node
+	// events.
+	StartJoiner func(i int, seedURL string) (Daemon, error)
 	// Logf receives progress lines (nil: silent).
 	Logf func(format string, args ...any)
 	// Client issues the fleet's requests (nil: a default with a
@@ -48,6 +54,89 @@ type RunOptions struct {
 	// ReadyTimeout bounds each daemon's startup/recovery wait
 	// (<=0: 60s).
 	ReadyTimeout time.Duration
+}
+
+// liveFleet tracks the daemons as membership events mutate the fleet
+// mid-run: join_node appends a daemon, decommission_node marks one
+// gone. Final scrapes walk live() so a retired node is neither probed
+// nor counted against convergence.
+type liveFleet struct {
+	mu      sync.Mutex
+	daemons []Daemon
+	gone    []bool
+}
+
+func newLiveFleet(ds []Daemon) *liveFleet {
+	return &liveFleet{daemons: ds, gone: make([]bool, len(ds))}
+}
+
+// add registers daemon i (growing the fleet for a joiner).
+func (f *liveFleet) add(i int, d Daemon) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.daemons) <= i {
+		f.daemons = append(f.daemons, nil)
+		f.gone = append(f.gone, false)
+	}
+	f.daemons[i] = d
+}
+
+// markGone retires daemon i: it stays closable but is no longer live.
+func (f *liveFleet) markGone(i int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if i < len(f.gone) {
+		f.gone[i] = true
+	}
+}
+
+// get returns daemon i, or nil when it never started or was retired.
+func (f *liveFleet) get(i int) Daemon {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if i < 0 || i >= len(f.daemons) || f.gone[i] {
+		return nil
+	}
+	return f.daemons[i]
+}
+
+// live returns the running fleet in index order.
+func (f *liveFleet) live() []Daemon {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []Daemon
+	for i, d := range f.daemons {
+		if d != nil && !f.gone[i] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// liveIndexes returns the indexes of the running fleet.
+func (f *liveFleet) liveIndexes() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []int
+	for i, d := range f.daemons {
+		if d != nil && !f.gone[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// all returns every daemon ever started, for cleanup.
+func (f *liveFleet) all() []Daemon {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Daemon, 0, len(f.daemons))
+	for _, d := range f.daemons {
+		if d != nil {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // Run executes a validated scenario against real daemons: expands the
@@ -83,13 +172,13 @@ func Run(sc *Scenario, seed uint64, opts RunOptions) (*Report, error) {
 
 	startedAt := time.Now()
 
-	// Start the fleet.
+	// Start the fleet. Joiners (join_node events) start later, through
+	// the fault timeline.
 	daemons := make([]Daemon, sc.Daemons.Count)
+	fl := newLiveFleet(daemons)
 	defer func() {
-		for _, d := range daemons {
-			if d != nil {
-				d.Close()
-			}
+		for _, d := range fl.all() {
+			d.Close()
 		}
 	}()
 	for i := range daemons {
@@ -98,6 +187,7 @@ func Run(sc *Scenario, seed uint64, opts RunOptions) (*Report, error) {
 			return nil, fmt.Errorf("scenario: daemon %d: %w", i, err)
 		}
 		daemons[i] = d
+		fl.add(i, d)
 	}
 	readyCtx, cancelReady := context.WithTimeout(context.Background(), readyTO)
 	for i, d := range daemons {
@@ -124,7 +214,7 @@ func Run(sc *Scenario, seed uint64, opts RunOptions) (*Report, error) {
 	faultWG.Add(1)
 	go func() {
 		defer faultWG.Done()
-		runFaults(plan.Faults, daemons, t0, readyTO, client, &om, outcome, &notes, logf)
+		runFaults(plan.Faults, fl, opts.StartJoiner, t0, readyTO, client, &om, outcome, &notes, logf)
 	}()
 
 	// Client fleet: one goroutine per client, each with its own sample
@@ -157,9 +247,34 @@ func Run(sc *Scenario, seed uint64, opts RunOptions) (*Report, error) {
 	agg.Kills = outcome.Kills
 	agg.Restarts = outcome.Restarts
 	agg.Recoveries = outcome.Recoveries
-	scrapeDaemons(daemons, client, agg, &notes)
+	agg.Joins = outcome.Joins
+	agg.Decommissions = outcome.Decommissions
+
+	// Settle window: give the fleet a bounded chance to converge —
+	// heartbeats fold membership views, the anti-entropy sweeper heals
+	// replica holes, journals drain — before the verdict scrape.
+	// Runtime-only; the deterministic report sections are untouched.
+	if sc.Daemons.Cluster() && sc.Assert.Settle > 0 {
+		settleStart := time.Now()
+		var quiet syncNotes // polling noise is not run evidence
+		for {
+			probe := &Outcome{}
+			scrapeCluster(fl.live(), client, probe, &quiet)
+			if probe.ClusterConverged && probe.ReplicationConverged && probe.PendingJobs == 0 {
+				logf("settle: fleet converged in %v", time.Since(settleStart).Round(time.Millisecond))
+				break
+			}
+			if time.Since(settleStart) >= sc.Assert.Settle {
+				logf("settle: window %v exhausted without convergence", sc.Assert.Settle)
+				break
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+	}
+
+	scrapeDaemons(fl.live(), client, agg, &notes)
 	if sc.Daemons.Cluster() {
-		scrapeCluster(daemons, client, agg, &notes)
+		scrapeCluster(fl.live(), client, agg, &notes)
 	}
 	agg.FaultsInjected = agg.Kills
 	for _, n := range agg.FaultsByPoint {
@@ -277,10 +392,12 @@ func issue(client *http.Client, base string, rq *RequestPlan, pol httpretry.Poli
 }
 
 // runFaults drives the scenario's fault timeline: arming point faults
-// over the /_faults surface and SIGKILLing (and restarting) daemons at
-// their scheduled offsets. Events are sorted by At, so a plain sleep
-// walks the timeline.
-func runFaults(events []FaultEvent, daemons []Daemon, t0 time.Time, readyTO time.Duration,
+// over the /_faults surface, SIGKILLing (and restarting) daemons, and
+// executing membership actions (join, decommission, rolling restart)
+// at their scheduled offsets. Events are sorted by At, so a plain
+// sleep walks the timeline.
+func runFaults(events []FaultEvent, fl *liveFleet, startJoiner func(int, string) (Daemon, error),
+	t0 time.Time, readyTO time.Duration,
 	client *http.Client, om *sync.Mutex, o *Outcome, notes *syncNotes, logf func(string, ...any)) {
 	// Heals run off-timeline (a 10s partition healing at +8s must not
 	// stall the +9s event), but must land before the final scrape reads
@@ -292,7 +409,19 @@ func runFaults(events []FaultEvent, daemons []Daemon, t0 time.Time, readyTO time
 		if wait := time.Until(t0.Add(ev.At)); wait > 0 {
 			time.Sleep(wait)
 		}
-		d := daemons[ev.Target]
+		if ev.Kind == "join_node" {
+			joinNode(ev, fl, startJoiner, readyTO, om, o, notes, logf)
+			continue
+		}
+		if ev.Kind == "rolling_restart" {
+			rollingRestart(ev, fl, readyTO, om, o, notes, logf)
+			continue
+		}
+		d := fl.get(ev.Target)
+		if d == nil {
+			notes.add("fault at %v: daemon %d is not running (never joined, or decommissioned)", ev.At, ev.Target)
+			continue
+		}
 		switch ev.Kind {
 		case "point":
 			spec := ev.ArmSpecString()
@@ -356,7 +485,110 @@ func runFaults(events []FaultEvent, daemons []Daemon, t0 time.Time, readyTO time
 			o.Recoveries = append(o.Recoveries, rec)
 			om.Unlock()
 			logf("fault: daemon %d recovered in %v", ev.Target, rec.Round(time.Millisecond))
+		case "decommission_node":
+			// The drain inside tlsd can take up to its 10s deadline plus
+			// the artifact handoff; give the call its own generous client.
+			dc := &http.Client{Timeout: 30 * time.Second}
+			resp, err := dc.Post(d.URL()+"/cluster/decommission", "application/json", nil)
+			if err != nil {
+				notes.add("fault at %v: decommission of daemon %d failed: %v", ev.At, ev.Target, err)
+				continue
+			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				notes.add("fault at %v: decommission of daemon %d answered %d: %s",
+					ev.At, ev.Target, resp.StatusCode, strings.TrimSpace(string(body)))
+				continue
+			}
+			// The node has left the member set and handed off its
+			// artifacts; retire the process and stop scraping it.
+			fl.markGone(ev.Target)
+			_ = d.Kill()
+			om.Lock()
+			o.Decommissions++
+			om.Unlock()
+			logf("fault: daemon %d decommissioned at +%v", ev.Target, ev.At)
 		}
+	}
+}
+
+// joinNode starts daemon ev.Target as a joiner seeded from the first
+// live member and folds it into the fleet once ready.
+func joinNode(ev *FaultEvent, fl *liveFleet, startJoiner func(int, string) (Daemon, error),
+	readyTO time.Duration, om *sync.Mutex, o *Outcome, notes *syncNotes, logf func(string, ...any)) {
+	if startJoiner == nil {
+		notes.add("fault at %v: join_node needs a StartJoiner launcher (RunOptions.StartJoiner is nil)", ev.At)
+		return
+	}
+	live := fl.live()
+	if len(live) == 0 {
+		notes.add("fault at %v: join_node has no live member to join via", ev.At)
+		return
+	}
+	d, err := startJoiner(ev.Target, live[0].URL())
+	if err != nil {
+		notes.add("fault at %v: starting joiner %d failed: %v", ev.At, ev.Target, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), readyTO)
+	err = d.WaitReady(ctx)
+	cancel()
+	if err != nil {
+		d.Close()
+		notes.add("fault at %v: joiner %d never became ready: %v", ev.At, ev.Target, err)
+		return
+	}
+	fl.add(ev.Target, d)
+	om.Lock()
+	o.Joins++
+	om.Unlock()
+	logf("fault: daemon %d joined the cluster at +%v", ev.Target, ev.At)
+}
+
+// rollingRestart kills and restarts every live node in sequence — the
+// upgrade drill: at most one node is down at any moment, and each must
+// recover (journal replay, re-fenced adoptions, membership catch-up)
+// before the next goes down.
+func rollingRestart(ev *FaultEvent, fl *liveFleet, readyTO time.Duration,
+	om *sync.Mutex, o *Outcome, notes *syncNotes, logf func(string, ...any)) {
+	idxs := fl.liveIndexes()
+	logf("fault: rolling restart of %d node(s) at +%v", len(idxs), ev.At)
+	for _, i := range idxs {
+		d := fl.get(i)
+		if d == nil {
+			continue // decommissioned mid-roll
+		}
+		if err := d.Kill(); err != nil {
+			notes.add("fault at %v: rolling restart: kill of daemon %d failed: %v", ev.At, i, err)
+			continue
+		}
+		om.Lock()
+		o.Kills++
+		om.Unlock()
+		if ev.Delay > 0 {
+			time.Sleep(ev.Delay)
+		}
+		restartStart := time.Now()
+		if err := d.Restart(); err != nil {
+			notes.add("fault at %v: rolling restart: restart of daemon %d failed: %v", ev.At, i, err)
+			continue
+		}
+		om.Lock()
+		o.Restarts++
+		om.Unlock()
+		ctx, cancel := context.WithTimeout(context.Background(), readyTO)
+		err := d.WaitReady(ctx)
+		cancel()
+		if err != nil {
+			notes.add("fault at %v: rolling restart: daemon %d never recovered: %v", ev.At, i, err)
+			continue
+		}
+		rec := time.Since(restartStart)
+		om.Lock()
+		o.Recoveries = append(o.Recoveries, rec)
+		om.Unlock()
+		logf("fault: rolling restart: daemon %d back in %v", i, rec.Round(time.Millisecond))
 	}
 }
 
@@ -446,20 +678,30 @@ func scrapeCluster(daemons []Daemon, client *http.Client, o *Outcome, notes *syn
 	execTotals := map[string]int64{}
 	execWhere := map[string][]string{}
 	converged := true
+	membersAgree := true
+	var memberNodes []string // the first reachable node's member set
+	var memberEpoch uint64
+	var vnodes, replicas int
+	haveView := false
+	holdings := map[string]map[string]bool{} // node id -> keys it stores
 	for i, d := range daemons {
 		var cl struct {
 			Cluster struct {
-				Self      string   `json:"self"`
-				Nodes     []string `json:"nodes"`
-				Quorum    bool     `json:"quorum"`
-				Alive     int      `json:"alive"`
-				Adoptions []struct {
+				Self        string   `json:"self"`
+				Nodes       []string `json:"nodes"`
+				MemberEpoch uint64   `json:"member_epoch"`
+				VNodes      int      `json:"vnodes"`
+				Replicas    int      `json:"replicas"`
+				Quorum      bool     `json:"quorum"`
+				Alive       int      `json:"alive"`
+				Adoptions   []struct {
 					Key  string `json:"key"`
 					Done bool   `json:"done"`
 				} `json:"adoptions"`
 			} `json:"cluster"`
 			Executions     map[string]int64 `json:"executions"`
 			JournalPending int64            `json:"journal_pending"`
+			StoreKeys      []string         `json:"store_keys"`
 		}
 		if err := getJSON(client, d.URL()+"/cluster", &cl); err != nil {
 			notes.add("final scrape: daemon %d /cluster unreachable: %v", i, err)
@@ -467,6 +709,25 @@ func scrapeCluster(daemons []Daemon, client *http.Client, o *Outcome, notes *syn
 			converged = false
 			continue
 		}
+		// Membership agreement: every live node must report the same
+		// member set at the same epoch, or the views never converged.
+		if !haveView {
+			haveView = true
+			memberNodes = cl.Cluster.Nodes
+			memberEpoch = cl.Cluster.MemberEpoch
+			vnodes = cl.Cluster.VNodes
+			replicas = cl.Cluster.Replicas
+		} else if cl.Cluster.MemberEpoch != memberEpoch ||
+			strings.Join(cl.Cluster.Nodes, ",") != strings.Join(memberNodes, ",") {
+			membersAgree = false
+			notes.add("cluster: %s disagrees on membership: epoch %d %v (vs epoch %d %v)",
+				cl.Cluster.Self, cl.Cluster.MemberEpoch, cl.Cluster.Nodes, memberEpoch, memberNodes)
+		}
+		keys := map[string]bool{}
+		for _, k := range cl.StoreKeys {
+			keys[k] = true
+		}
+		holdings[cl.Cluster.Self] = keys
 		for k, n := range cl.Executions {
 			execTotals[k] += n
 			execWhere[k] = append(execWhere[k], fmt.Sprintf("%s×%d", cl.Cluster.Self, n))
@@ -481,8 +742,9 @@ func scrapeCluster(daemons []Daemon, client *http.Client, o *Outcome, notes *syn
 		nodeOK := cl.Cluster.Quorum && cl.Cluster.Alive == len(cl.Cluster.Nodes)
 		converged = converged && nodeOK
 		o.FinalCluster = append(o.FinalCluster,
-			fmt.Sprintf("%s: alive %d/%d quorum=%v pending=%d",
-				cl.Cluster.Self, cl.Cluster.Alive, len(cl.Cluster.Nodes), cl.Cluster.Quorum, cl.JournalPending))
+			fmt.Sprintf("%s: alive %d/%d quorum=%v pending=%d epoch=%d keys=%d",
+				cl.Cluster.Self, cl.Cluster.Alive, len(cl.Cluster.Nodes), cl.Cluster.Quorum,
+				cl.JournalPending, cl.Cluster.MemberEpoch, len(cl.StoreKeys)))
 	}
 	for k, n := range execTotals {
 		if n > o.MaxKeyExecutions {
@@ -496,7 +758,44 @@ func scrapeCluster(daemons []Daemon, client *http.Client, o *Outcome, notes *syn
 			notes.add("cluster: key %s executed %d times (%s)", k, n, strings.Join(execWhere[k], " "))
 		}
 	}
-	o.ClusterConverged = converged && len(daemons) > 0
+	o.ClusterConverged = converged && membersAgree && len(daemons) > 0
+
+	// Replica-placement audit: rebuild the agreed ring and check every
+	// artifact anyone holds sits on every member of its replica chain.
+	// A hole is one missing copy; an orphan has NO copy on its chain
+	// (routing's pull-on-miss would never find it). Dead or missing
+	// chain members count as holes — convergence means the data really
+	// is where the ring says.
+	o.ReplicationConverged = false
+	if haveView && membersAgree {
+		ring := cluster.NewRing(memberNodes, vnodes)
+		union := map[string]bool{}
+		for _, keys := range holdings {
+			for k := range keys {
+				union[k] = true
+			}
+		}
+		sortedKeys := make([]string, 0, len(union))
+		for k := range union {
+			sortedKeys = append(sortedKeys, k)
+		}
+		sort.Strings(sortedKeys)
+		for _, k := range sortedKeys {
+			onChain := false
+			for _, id := range ring.Successors(k, replicas+1) {
+				if holdings[id][k] {
+					onChain = true
+				} else {
+					o.ReplicaHoles++
+				}
+			}
+			if !onChain {
+				o.OrphanedArtifacts++
+				notes.add("cluster: artifact %s has no copy on its replica chain %v", k, ring.Successors(k, replicas+1))
+			}
+		}
+		o.ReplicationConverged = o.ReplicaHoles == 0
+	}
 }
 
 // getJSON fetches and decodes one JSON endpoint. Non-2xx statuses are

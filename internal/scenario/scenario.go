@@ -48,6 +48,7 @@ type DaemonSpec struct {
 	RingReplicas int           `json:"ring_replicas,omitempty"` // artifact copies beyond the owner (0: tlsd default)
 	Heartbeat    time.Duration `json:"heartbeat,omitempty"`     // cluster probe period (0: tlsd default)
 	DeadAfter    time.Duration `json:"dead_after,omitempty"`    // silence before a peer is dead (0: tlsd default)
+	Sweep        time.Duration `json:"sweep,omitempty"`         // anti-entropy sweep period (0: tlsd default)
 }
 
 // Cluster reports whether the daemons form a cluster.
@@ -103,14 +104,18 @@ type Think struct {
 	Max  time.Duration `json:"max,omitempty"`  // uniform
 }
 
-// FaultEvent is one scheduled injection.
+// FaultEvent is one scheduled injection or membership action.
 type FaultEvent struct {
-	At     time.Duration `json:"at"`
-	Kind   string        `json:"kind"`             // point, kill, partition, slow_peer
-	Target int           `json:"target"`           // daemon index (in a cluster: node n<target>)
+	At   time.Duration `json:"at"`
+	Kind string        `json:"kind"` // point, kill, partition, slow_peer, join_node, decommission_node, rolling_restart
+	// Target is the daemon index (node n<target> in a cluster). For
+	// join_node it names the NEW daemon: joiners are numbered after the
+	// initial nodes (the first join is daemons.nodes, the next one up).
+	// rolling_restart walks every live node and ignores it.
+	Target int           `json:"target"`
 	Point  string        `json:"point,omitempty"`  // kind=point: fault-registry point (fs.read, jobs.simulate, ...)
 	Effect string        `json:"effect,omitempty"` // kind=point: latency, error, panic, crash
-	Delay  time.Duration `json:"delay,omitempty"`  // kind=point/slow_peer: injected latency; kind=kill: restart delay
+	Delay  time.Duration `json:"delay,omitempty"`  // kind=point/slow_peer: injected latency; kind=kill: restart delay; kind=rolling_restart: pause between kill and restart per node
 	Times  int           `json:"times,omitempty"`  // kind=point: firing budget (default 1)
 	// Restart re-execs the killed daemon over the same cache dir after
 	// Delay, exercising the crash-recovery path; recovery time (restart
@@ -168,10 +173,18 @@ type Assertions struct {
 	NoCorrupt    *bool         `json:"no_corrupt_artifacts,omitempty"` // final quarantined count must be 0
 
 	// Cluster assertions (require daemons.nodes >= 2).
-	MinAdoptions *int64 `json:"min_adoptions,omitempty"`      // completed dead-node job adoptions across the fleet
-	MaxKeyExec   *int64 `json:"max_key_executions,omitempty"` // per-key execution ceiling summed across nodes (1 = zero double-compute)
-	ClusterOK    *bool  `json:"cluster_converged,omitempty"`  // final view: every node sees quorum and the whole fleet alive
-	NoLostJobs   *bool  `json:"no_lost_jobs,omitempty"`       // final journal pending must be 0 everywhere, every adoption completed
+	MinAdoptions *int64 `json:"min_adoptions,omitempty"`         // completed dead-node job adoptions across the fleet
+	MaxKeyExec   *int64 `json:"max_key_executions,omitempty"`    // per-key execution ceiling summed across nodes (1 = zero double-compute)
+	ClusterOK    *bool  `json:"cluster_converged,omitempty"`     // final view: every node sees quorum and the whole fleet alive
+	NoLostJobs   *bool  `json:"no_lost_jobs,omitempty"`          // final journal pending must be 0 everywhere, every adoption completed
+	RepConverged *bool  `json:"replication_converged,omitempty"` // every artifact present on every member of its replica chain
+	NoOrphans    *bool  `json:"no_orphaned_artifacts,omitempty"` // no artifact stranded with zero copies on its replica chain
+
+	// Settle bounds a post-run convergence wait: before the final
+	// cluster scrape the runner polls until membership agrees,
+	// replication has healed and journals drained — or this long has
+	// passed. Runtime-only; the deterministic report is unaffected.
+	Settle time.Duration `json:"settle,omitempty"`
 }
 
 // Load reads, parses and validates a scenario file.
@@ -374,7 +387,7 @@ func (d *decoder) scenario(root *node) *Scenario {
 func (d *decoder) daemons(n *node) DaemonSpec {
 	d.strict(n, "daemons",
 		"count", "benchmarks", "workers", "cache", "queue", "req_timeout", "warm", "fault_surface",
-		"nodes", "ring_replicas", "heartbeat", "dead_after")
+		"nodes", "ring_replicas", "heartbeat", "dead_after", "sweep")
 	if d.err != nil {
 		return DaemonSpec{}
 	}
@@ -414,6 +427,9 @@ func (d *decoder) daemons(n *node) DaemonSpec {
 	}
 	if c := n.get("dead_after"); c != nil {
 		ds.DeadAfter = d.dur(c, "daemons.dead_after")
+	}
+	if c := n.get("sweep"); c != nil {
+		ds.Sweep = d.dur(c, "daemons.sweep")
 	}
 	return ds
 }
@@ -581,7 +597,8 @@ func (d *decoder) assertions(n *node) Assertions {
 		"max_p50", "max_p95", "max_p99", "max_error_rate", "min_cache_hit_rate",
 		"max_shed_rate", "min_shed", "max_recovery", "min_faults_injected",
 		"readyz_converged", "no_corrupt_artifacts",
-		"min_adoptions", "max_key_executions", "cluster_converged", "no_lost_jobs")
+		"min_adoptions", "max_key_executions", "cluster_converged", "no_lost_jobs",
+		"replication_converged", "no_orphaned_artifacts", "settle")
 	if d.err != nil {
 		return Assertions{}
 	}
@@ -642,6 +659,17 @@ func (d *decoder) assertions(n *node) Assertions {
 		v := d.boolean(c, "assertions.no_lost_jobs")
 		a.NoLostJobs = &v
 	}
+	if c := n.get("replication_converged"); c != nil {
+		v := d.boolean(c, "assertions.replication_converged")
+		a.RepConverged = &v
+	}
+	if c := n.get("no_orphaned_artifacts"); c != nil {
+		v := d.boolean(c, "assertions.no_orphaned_artifacts")
+		a.NoOrphans = &v
+	}
+	if c := n.get("settle"); c != nil {
+		a.Settle = d.dur(c, "assertions.settle")
+	}
 	return a
 }
 
@@ -685,8 +713,8 @@ func (sc *Scenario) validate(file string) error {
 	}
 	switch {
 	case sc.Daemons.Nodes == 0:
-		if sc.Daemons.RingReplicas != 0 || sc.Daemons.Heartbeat != 0 || sc.Daemons.DeadAfter != 0 {
-			return fail("daemons.ring_replicas/heartbeat/dead_after need daemons.nodes >= 2 (cluster mode)")
+		if sc.Daemons.RingReplicas != 0 || sc.Daemons.Heartbeat != 0 || sc.Daemons.DeadAfter != 0 || sc.Daemons.Sweep != 0 {
+			return fail("daemons.ring_replicas/heartbeat/dead_after/sweep need daemons.nodes >= 2 (cluster mode)")
 		}
 	case sc.Daemons.Nodes == 1:
 		return fail("daemons.nodes must be >= 2 (a one-node cluster is just a daemon; drop the key)")
@@ -783,14 +811,34 @@ func (sc *Scenario) validate(file string) error {
 		return fail("fleet.templates weights sum to %g, want exactly 1", sum)
 	}
 
+	// join_node events grow the fleet: joiners are numbered after the
+	// initial nodes, in file order, so every daemon index is known up
+	// front and later events may target joined nodes.
+	totalNodes := sc.Daemons.Count
+	for i, ev := range sc.Faults {
+		if ev.Kind != "join_node" {
+			continue
+		}
+		ctx := fmt.Sprintf("faults[%d]", i)
+		if !sc.Daemons.Cluster() {
+			return fail("%s: kind join_node needs daemons.nodes >= 2 (there is no cluster to join)", ctx)
+		}
+		if ev.Target != totalNodes {
+			return fail("%s: join_node target %d must be the next free daemon index %d (joiners are numbered after the initial nodes, in file order)",
+				ctx, ev.Target, totalNodes)
+		}
+		totalNodes++
+	}
+
 	needsSurface := false
 	for i, ev := range sc.Faults {
 		ctx := fmt.Sprintf("faults[%d]", i)
 		if ev.At > sc.Duration {
 			return fail("%s: at %v is after the scenario duration %v", ctx, ev.At, sc.Duration)
 		}
-		if ev.Target < 0 || ev.Target >= sc.Daemons.Count {
-			return fail("%s: target %d out of range (daemons.count is %d)", ctx, ev.Target, sc.Daemons.Count)
+		if ev.Target < 0 || ev.Target >= totalNodes {
+			return fail("%s: target %d out of range (daemons.count is %d, plus %d join(s))",
+				ctx, ev.Target, sc.Daemons.Count, totalNodes-sc.Daemons.Count)
 		}
 		switch ev.Kind {
 		case "point":
@@ -826,8 +874,21 @@ func (sc *Scenario) validate(file string) error {
 					ctx, ev.At+ev.Heal, sc.Duration)
 			}
 			needsSurface = true
+		case "join_node":
+			// Cluster gating and index numbering validated in the pre-pass.
+		case "decommission_node":
+			if !sc.Daemons.Cluster() {
+				return fail("%s: kind decommission_node needs daemons.nodes >= 2 (there is no cluster to leave)", ctx)
+			}
+		case "rolling_restart":
+			if !sc.Daemons.Cluster() {
+				return fail("%s: kind rolling_restart needs daemons.nodes >= 2 (restarting one daemon is just kill+restart)", ctx)
+			}
+			if ev.Target != 0 {
+				return fail("%s: rolling_restart walks every live node; drop the target", ctx)
+			}
 		default:
-			return fail("%s: unknown kind %q (want point, kill, partition or slow_peer)", ctx, ev.Kind)
+			return fail("%s: unknown kind %q (want point, kill, partition, slow_peer, join_node, decommission_node or rolling_restart)", ctx, ev.Kind)
 		}
 		if ev.Heal > 0 && ev.Kind != "partition" && ev.Kind != "slow_peer" {
 			return fail("%s: heal only applies to partition/slow_peer events", ctx)
@@ -859,6 +920,12 @@ func (sc *Scenario) validate(file string) error {
 			return fail("assertions.cluster_converged needs daemons.nodes >= 2")
 		case a.NoLostJobs != nil:
 			return fail("assertions.no_lost_jobs needs daemons.nodes >= 2")
+		case a.RepConverged != nil:
+			return fail("assertions.replication_converged needs daemons.nodes >= 2 (replication is a cluster behavior)")
+		case a.NoOrphans != nil:
+			return fail("assertions.no_orphaned_artifacts needs daemons.nodes >= 2")
+		case a.Settle > 0:
+			return fail("assertions.settle needs daemons.nodes >= 2 (only cluster scrapes settle)")
 		}
 	}
 	if a.MaxKeyExec != nil && *a.MaxKeyExec < 1 {
@@ -869,7 +936,7 @@ func (sc *Scenario) validate(file string) error {
 
 func hasRestart(evs []FaultEvent) bool {
 	for _, ev := range evs {
-		if ev.Kind == "kill" && ev.Restart {
+		if (ev.Kind == "kill" && ev.Restart) || ev.Kind == "rolling_restart" {
 			return true
 		}
 	}
