@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -18,6 +17,7 @@ import (
 
 	"tlssync"
 	"tlssync/internal/cluster"
+	"tlssync/internal/store"
 )
 
 // This file is the daemon side of internal/cluster: epoch
@@ -96,20 +96,20 @@ func parsePeers(spec string) (nodes []string, urls map[string]string, err error)
 // adopted" from "the n1 serving now": adoptions are recorded against
 // the epoch that died, and a rebooted node only fences journal
 // entries adopted at an epoch strictly below its current one.
-func bumpEpoch(cacheDir string) (uint64, error) {
+func bumpEpoch(fsys store.FS, cacheDir string) (uint64, error) {
 	dir := filepath.Join(cacheDir, "cluster")
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	if err := fsys.MkdirAll(dir, 0o777); err != nil {
 		return 0, err
 	}
 	path := filepath.Join(dir, "epoch")
 	var epoch uint64
-	if data, err := os.ReadFile(path); err == nil {
+	if data, err := store.ReadFile(fsys, path); err == nil {
 		if v, perr := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64); perr == nil {
 			epoch = v
 		}
 	}
 	epoch++
-	if err := writeFileAtomic(path, strconv.FormatUint(epoch, 10)+"\n"); err != nil {
+	if err := store.WriteFileAtomic(fsys, path, []byte(strconv.FormatUint(epoch, 10)+"\n"), 0o777); err != nil {
 		return 0, err
 	}
 	return epoch, nil
@@ -1001,7 +1001,7 @@ func (s *server) newCluster(cc *clusterConfig) error {
 	epoch := uint64(1)
 	if s.cfg.cacheDir != "" {
 		var err error
-		if epoch, err = bumpEpoch(s.cfg.cacheDir); err != nil {
+		if epoch, err = bumpEpoch(s.fs(), s.cfg.cacheDir); err != nil {
 			return fmt.Errorf("cluster epoch: %w", err)
 		}
 	} else {
@@ -1028,6 +1028,7 @@ func (s *server) newCluster(cc *clusterConfig) error {
 		PeersFile:      cc.peersFile,
 		Replicas:       cc.replicas,
 		Epoch:          epoch,
+		FS:             s.fs(),
 		HeartbeatEvery: cc.heartbeat,
 		DeadAfter:      cc.deadAfter,
 		SweepEvery:     cc.sweep,

@@ -11,6 +11,7 @@ import (
 
 	"tlssync"
 	"tlssync/internal/journal"
+	"tlssync/internal/store"
 )
 
 // The cluster integration tests run real multi-node fleets in one
@@ -207,7 +208,7 @@ func TestParsePeers(t *testing.T) {
 func TestBumpEpoch(t *testing.T) {
 	dir := t.TempDir()
 	for want := uint64(1); want <= 3; want++ {
-		got, err := bumpEpoch(dir)
+		got, err := bumpEpoch(store.OS, dir)
 		if err != nil {
 			t.Fatal(err)
 		}

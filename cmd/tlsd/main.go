@@ -47,7 +47,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -55,6 +54,7 @@ import (
 
 	"tlssync/internal/cluster"
 	"tlssync/internal/fault"
+	"tlssync/internal/store"
 )
 
 func main() {
@@ -304,22 +304,12 @@ func joinCluster(seed, nodeID, selfURL string) (*cluster.MemberView, error) {
 }
 
 // writeFileAtomic writes data to path via a temp file + rename, so a
-// concurrent reader sees either nothing or the complete content.
+// concurrent reader sees either nothing or the complete content. The
+// port file is parent-process handshake plumbing written before the
+// server (and any fault wiring) exists, so it goes through the
+// production seam value directly.
 func writeFileAtomic(path, data string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".portfile-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.WriteString(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return store.WriteFileAtomic(store.OS, path, []byte(data), 0o755)
 }
 
 // drainThenShutdown is the graceful-shutdown path: on the first signal

@@ -223,6 +223,16 @@ func newServer(cfg config) (*server, error) {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
+// fs resolves the configured filesystem seam (nil means the real one),
+// so sidecar files (cluster epoch/members/adoptions) see the same
+// injected faults as the artifact store.
+func (s *server) fs() store.FS {
+	if s.cfg.fsys != nil {
+		return s.cfg.fsys
+	}
+	return store.OS
+}
+
 // BeginDrain puts the server into draining mode: requests already
 // admitted (and warm cache hits) keep being served, but new compute
 // work is rejected with 503 and /readyz reports draining so load

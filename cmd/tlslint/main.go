@@ -1,0 +1,86 @@
+// Command tlslint runs the repo's static-analysis suite: the
+// invariants every dynamic suite assumes — byte-determinism (D001),
+// store-key purity (K001), fault-seam coverage (S001),
+// journal-before-execute (J001), lock hygiene (L001) — re-proven at
+// compile time over the whole tree. Zero findings is the contract;
+// `make lint` gates CI on it fail-closed.
+//
+// Usage:
+//
+//	tlslint [-json] [-fix] [-dir DIR] [packages...]
+//
+// Packages default to ./... relative to -dir (default "."). Exit code
+// 0 means clean, 1 means findings, 2 means the load itself failed.
+// -json renders the findings as a machine-readable report (archived by
+// CI); -fix applies the mechanical fixes (the sorted-keys rewrite for
+// eligible D001 findings) and re-reports what remains.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tlssync/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "render findings as JSON")
+	fix := flag.Bool("fix", false, "apply mechanical fixes, then re-lint")
+	dir := flag.String("dir", ".", "module directory to analyze")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := run(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlslint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *fix {
+		n, ferr := lint.ApplyFixes(diags)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "tlslint: applying fixes: %v\n", ferr)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "tlslint: applied %d fix(es)\n", n)
+		// Re-lint: the remaining findings (and any the fixes uncovered)
+		// are the real report.
+		diags, err = run(*dir, patterns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlslint: after fixes: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if *jsonOut {
+		out, jerr := lint.RenderJSON(diags)
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "tlslint: %v\n", jerr)
+			os.Exit(2)
+		}
+		fmt.Printf("%s\n", out)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "tlslint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func run(dir string, patterns []string) ([]lint.Diagnostic, error) {
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Run(pkgs, lint.RepoConfig()), nil
+}

@@ -56,7 +56,7 @@ func PrepareWorkloads(ctx context.Context, eng *jobs.Engine, ws []*Workload, bui
 	g := eng.NewGroup(ctx)
 	for i, w := range ws {
 		i, w := i, w
-		start := time.Now()
+		start := time.Now() //lint:ignore D001 progress-callback latency only; never reaches artifact bytes
 		g.Go("prepare/"+w.Name, func(context.Context) (any, error) {
 			return NewRunWithWorkers(w, buildWorkers)
 		}, func(val any, err error) {
@@ -64,6 +64,7 @@ func PrepareWorkloads(ctx context.Context, eng *jobs.Engine, ws []*Workload, bui
 				runs[i] = val.(*Run)
 			}
 			if progress != nil {
+				//lint:ignore D001 progress-callback latency only; never reaches artifact bytes
 				progress(w.Name, time.Since(start), err)
 			}
 		})
@@ -135,6 +136,7 @@ var fig6Thresholds = []struct {
 // violating in more than frac of epochs.
 func (r *Run) fig6Policy(label string, frac float64) sim.Policy {
 	set := make(map[int]bool)
+	//lint:ignore D001 set union across regions — membership is order-free
 	for _, rp := range r.Build.RefProfile.Regions {
 		for id := range rp.LoadsAboveThreshold(frac) {
 			set[id] = true
@@ -152,6 +154,7 @@ func Fig7(runs []*Run) (*Figure, error) {
 	agg := make(map[int]int)
 	for _, r := range runs {
 		h := make(map[int]int)
+		//lint:ignore D001 integer histogram accumulation (+=) is commutative across regions
 		for _, rp := range r.Build.RefProfile.Regions {
 			for d, n := range rp.DistanceHistogram() {
 				h[d] += n
@@ -424,7 +427,7 @@ func Prewarm(ctx context.Context, eng *jobs.Engine, runs []*Run, ids []string,
 			}
 			seen[key] = true
 			sp := sp
-			start := time.Now()
+			start := time.Now() //lint:ignore D001 progress-callback latency only; never reaches artifact bytes
 			g.Go(key, func(jctx context.Context) (any, error) {
 				if err := jctx.Err(); err != nil {
 					return nil, err
@@ -432,6 +435,7 @@ func Prewarm(ctx context.Context, eng *jobs.Engine, runs []*Run, ids []string,
 				return sp.Run.SimulateSpec(sp)
 			}, func(_ any, err error) {
 				if progress != nil {
+					//lint:ignore D001 progress-callback latency only; never reaches artifact bytes
 					progress(sp.Run.W.Name, sp.Label, time.Since(start), err)
 				}
 			})

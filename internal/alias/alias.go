@@ -178,12 +178,14 @@ func (a *Analysis) apply(f *ir.Func, regs []locset, in *ir.Instr) bool {
 			changed = true
 		}
 	case ir.Load, ir.LoadSync:
+		//lint:ignore D001 points-to set union is commutative and the changed flag is monotone
 		for l := range regs[in.A] {
 			if regs[in.Dst].addAll(a.memPts[l]) {
 				changed = true
 			}
 		}
 	case ir.Store:
+		//lint:ignore D001 points-to set union is commutative and the changed flag is monotone
 		for l := range regs[in.A] {
 			if a.memPts[l].addAll(regs[in.B]) {
 				changed = true

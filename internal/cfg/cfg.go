@@ -4,7 +4,11 @@
 // delimit epochs.
 package cfg
 
-import "tlssync/internal/ir"
+import (
+	"sort"
+
+	"tlssync/internal/ir"
+)
 
 // ReversePostorder returns the blocks of f reachable from the entry in
 // reverse postorder.
@@ -120,6 +124,19 @@ type Loop struct {
 // Contains reports whether b belongs to the loop.
 func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
 
+// SortedBlocks returns the loop's block set in block-index order — the
+// iteration to use whenever the result can reach deterministic output
+// (IR bytes, diagnostics, exit lists), where ranging the Blocks map
+// directly would leak map order into it.
+func (l *Loop) SortedBlocks() []*ir.Block {
+	blocks := make([]*ir.Block, 0, len(l.Blocks))
+	for b := range l.Blocks {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Index < blocks[j].Index })
+	return blocks
+}
+
 // NaturalLoops finds all natural loops of f (one per header; multiple back
 // edges to the same header are merged), in header-RPO order.
 func NaturalLoops(f *ir.Func) []*Loop {
@@ -163,7 +180,9 @@ func NaturalLoops(f *ir.Func) []*Loop {
 	for _, h := range headers {
 		l := byHeader[h]
 		seenExit := make(map[*ir.Block]bool)
-		for b := range l.Blocks {
+		// Exits is part of the deterministic analysis surface: collect in
+		// block-index order, not map order.
+		for _, b := range l.SortedBlocks() {
 			for _, s := range b.Succs {
 				if !l.Blocks[s] && !seenExit[s] {
 					seenExit[s] = true

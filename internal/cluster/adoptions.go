@@ -4,7 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
+
+	"tlssync/internal/store"
 )
 
 // Adoption-record persistence. A node's adoption records are half of
@@ -26,7 +27,7 @@ func (c *Cluster) loadAdoptionsFile() error {
 	if c.cfg.AdoptionsFile == "" {
 		return nil
 	}
-	data, err := os.ReadFile(c.cfg.AdoptionsFile)
+	data, err := store.ReadFile(c.cfg.FS, c.cfg.AdoptionsFile)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
@@ -59,27 +60,7 @@ func (c *Cluster) saveAdoptionsLocked() {
 	if err != nil {
 		return
 	}
-	dir := filepath.Dir(c.cfg.AdoptionsFile)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		c.cfg.Logf("cluster: adoptions file: %v", err)
-		return
-	}
-	tmp, err := os.CreateTemp(dir, ".adoptions-*")
-	if err != nil {
-		c.cfg.Logf("cluster: adoptions file: %v", err)
-		return
-	}
-	name := tmp.Name()
-	if _, err := tmp.Write(data); err == nil {
-		err = tmp.Close()
-		if err == nil {
-			err = os.Rename(name, c.cfg.AdoptionsFile)
-		}
-	} else {
-		tmp.Close()
-	}
-	if err != nil {
-		os.Remove(name)
+	if err := store.WriteFileAtomic(c.cfg.FS, c.cfg.AdoptionsFile, data, 0o755); err != nil {
 		c.cfg.Logf("cluster: adoptions file: %v", err)
 	}
 }

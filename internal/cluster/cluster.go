@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tlssync/internal/store"
 )
 
 // Job is one journaled-pending unit of work as gossiped in
@@ -106,6 +108,12 @@ type Config struct {
 
 	HeartbeatEvery time.Duration // probe period (<=0: 500ms)
 	DeadAfter      time.Duration // silence before a peer is dead (<=0: 4×heartbeat)
+
+	// FS is the filesystem seam used for the members/adoptions/peers
+	// files (nil: store.OS). Chaos tests inject a fault.FS here so
+	// membership persistence sees the same injected failures as the
+	// artifact store.
+	FS store.FS
 
 	// Client issues all peer HTTP calls (nil: 2s-timeout client).
 	Client *http.Client
@@ -247,6 +255,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.FS == nil {
+		cfg.FS = store.OS
 	}
 	if cfg.SendQueue <= 0 {
 		cfg.SendQueue = 512

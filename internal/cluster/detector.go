@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tlssync/internal/store"
 )
 
 // detectorLoop is the failure detector: every HeartbeatEvery it
@@ -55,7 +57,7 @@ func (c *Cluster) reloadPeersFile() {
 	if unchanged {
 		return
 	}
-	data, err := os.ReadFile(c.cfg.PeersFile)
+	data, err := store.ReadFile(c.cfg.FS, c.cfg.PeersFile)
 	if err != nil {
 		return
 	}

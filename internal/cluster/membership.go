@@ -4,9 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
+
+	"tlssync/internal/store"
 )
 
 // Membership: the member set is versioned by a monotonically
@@ -218,7 +219,7 @@ func (c *Cluster) loadMembersFile() error {
 	if c.cfg.MembersFile == "" {
 		return nil
 	}
-	data, err := os.ReadFile(c.cfg.MembersFile)
+	data, err := store.ReadFile(c.cfg.FS, c.cfg.MembersFile)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
@@ -257,27 +258,7 @@ func (c *Cluster) saveMembersLocked() {
 	if err != nil {
 		return
 	}
-	dir := filepath.Dir(c.cfg.MembersFile)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		c.cfg.Logf("cluster: members file: %v", err)
-		return
-	}
-	tmp, err := os.CreateTemp(dir, ".members-*")
-	if err != nil {
-		c.cfg.Logf("cluster: members file: %v", err)
-		return
-	}
-	name := tmp.Name()
-	if _, err := tmp.Write(data); err == nil {
-		err = tmp.Close()
-		if err == nil {
-			err = os.Rename(name, c.cfg.MembersFile)
-		}
-	} else {
-		tmp.Close()
-	}
-	if err != nil {
-		os.Remove(name)
+	if err := store.WriteFileAtomic(c.cfg.FS, c.cfg.MembersFile, data, 0o755); err != nil {
 		c.cfg.Logf("cluster: members file: %v", err)
 	}
 }

@@ -36,32 +36,32 @@ import (
 // Config configures a compilation.
 type Config struct {
 	// Source is the MiniC program text.
-	Source string
+	Source string `json:"Source"`
 
 	// TrainInput and RefInput are the two input vectors (the paper's
 	// train and ref data sets). RefInput is required; TrainInput defaults
 	// to RefInput.
-	TrainInput []int64
-	RefInput   []int64
+	TrainInput []int64 `json:"TrainInput"`
+	RefInput   []int64 `json:"RefInput"`
 
 	// Seed seeds the deterministic PRNG for all runs.
-	Seed uint64
+	Seed uint64 `json:"Seed"`
 
 	// Heuristics are the region-selection thresholds (zero value: paper
 	// defaults).
-	Heuristics regions.Heuristics
+	Heuristics regions.Heuristics `json:"Heuristics"`
 
 	// NoScalarSchedule disables the critical-forwarding-path scheduling
 	// of scalar signals (ablation knob; default on, as in the paper).
-	NoScalarSchedule bool
+	NoScalarSchedule bool `json:"NoScalarSchedule"`
 
 	// NoClone disables call-path cloning in the memsync pass (ablation
 	// knob; default on, as in the paper).
-	NoClone bool
+	NoClone bool `json:"NoClone"`
 
 	// Threshold overrides the memory-sync dependence-frequency threshold
 	// (0 means the paper's 5%).
-	Threshold float64
+	Threshold float64 `json:"Threshold"`
 
 	// Optimize enables the classical scalar optimizations (constant
 	// folding, copy propagation, dead-code elimination) before profiling
@@ -70,17 +70,17 @@ type Config struct {
 	// against unoptimized code, and every variant (including the
 	// sequential baseline) must see the same instruction stream either
 	// way.
-	Optimize bool
+	Optimize bool `json:"Optimize"`
 
 	// MaxSteps bounds each functional run (0: interpreter default).
-	MaxSteps int64
+	MaxSteps int64 `json:"MaxSteps"`
 
 	// Verify selects how the static synchronization verifier treats
 	// each produced binary. The zero value is verify.ModeEnforce:
 	// every compile fails closed if a binary carries a synchronization
 	// soundness error. ModeWarn records findings without failing;
 	// ModeOff skips verification.
-	Verify verify.Mode
+	Verify verify.Mode `json:"Verify"`
 
 	// Workers bounds the pipeline's internal parallelism (dependence
 	// profiling, memsync variants, binary verification). 0 or 1 runs
@@ -156,7 +156,7 @@ func (c Config) Canonical() Config {
 }
 
 func Compile(cfg Config) (*Build, error) {
-	start := time.Now()
+	start := time.Now() //lint:ignore D001 StageTimes is observability only (excluded from artifacts and keys)
 	cfg.fill()
 	file, err := lang.Parse(cfg.Source)
 	if err != nil {
@@ -170,6 +170,7 @@ func Compile(cfg Config) (*Build, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore D001 StageTimes is observability only (excluded from artifacts and keys)
 	b.StageTimes["compile"] = time.Since(start) - b.StageTimes["profile"]
 	return b, nil
 }
@@ -193,7 +194,7 @@ func compileChecked(checked *lang.Checked, cfg Config) (*Build, error) {
 	b.Plain = p0.DeepCopy()
 
 	// Selection profiling: run with every candidate as a region.
-	selStart := time.Now()
+	selStart := time.Now() //lint:ignore D001 StageTimes is observability only (excluded from artifacts and keys)
 	selTrace, err := interp.Run(p0, interp.Options{
 		Input: cfg.TrainInput, Seed: cfg.Seed, Regions: regions.Regions(p0, nil),
 		MaxSteps: cfg.MaxSteps,
@@ -203,6 +204,7 @@ func compileChecked(checked *lang.Checked, cfg Config) (*Build, error) {
 	}
 	selProf := profile.Analyze(selTrace)
 	selTrace.Release() // the profile retains no event references
+	//lint:ignore D001 StageTimes is observability only (excluded from artifacts and keys)
 	b.StageTimes["profile"] += time.Since(selStart)
 	b.Decisions = regions.Select(p0, selProf, cfg.Heuristics)
 	if err := regions.ApplyUnrolling(p0, b.Decisions); err != nil {
@@ -224,7 +226,7 @@ func compileChecked(checked *lang.Checked, cfg Config) (*Build, error) {
 	// path's "train profiling" error precedence.
 	profNames := [2]string{"train", "ref"}
 	profInputs := [2][]int64{cfg.TrainInput, cfg.RefInput}
-	depStart := time.Now()
+	depStart := time.Now() //lint:ignore D001 StageTimes is observability only (excluded from artifacts and keys)
 	profs, err := parallel.MapVals(context.Background(), cfg.Workers, 2,
 		func(_ context.Context, i int) (*profile.Profile, error) {
 			p, err := b.DepProfile(profInputs[i])
@@ -237,6 +239,7 @@ func compileChecked(checked *lang.Checked, cfg Config) (*Build, error) {
 		return nil, err
 	}
 	b.TrainProfile, b.RefProfile = profs[0], profs[1]
+	//lint:ignore D001 StageTimes is observability only (excluded from artifacts and keys)
 	b.StageTimes["profile"] += time.Since(depStart)
 
 	// Memory-synchronized variants: each works on its own deep copy of

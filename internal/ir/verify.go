@@ -1,6 +1,9 @@
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Verify checks structural invariants of a function's IR:
 //
@@ -97,11 +100,24 @@ func (f *Func) Verify() error {
 			predCount[key]--
 		}
 	}
+	// Report the lowest-numbered broken edge, not whichever the map
+	// yields first: verifier errors are part of deterministic output.
+	var bad [][2]*Block
 	for key, n := range predCount {
 		if n != 0 {
-			return fmt.Errorf("%s: edge b%d->b%d missing from pred list of b%d",
-				f.Name, key[0].Index, key[1].Index, key[1].Index)
+			bad = append(bad, key)
 		}
+	}
+	sort.Slice(bad, func(i, j int) bool {
+		if bad[i][0].Index != bad[j][0].Index {
+			return bad[i][0].Index < bad[j][0].Index
+		}
+		return bad[i][1].Index < bad[j][1].Index
+	})
+	if len(bad) > 0 {
+		key := bad[0]
+		return fmt.Errorf("%s: edge b%d->b%d missing from pred list of b%d",
+			f.Name, key[0].Index, key[1].Index, key[1].Index)
 	}
 	return nil
 }

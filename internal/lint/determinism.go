@@ -1,0 +1,655 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyzeDeterminism is rule D001: inside the determinism-contract
+// packages (whose outputs — IR, simulation results, fingerprints,
+// deterministic report sections — must be byte-identical across runs
+// and across -j), flag
+//
+//   - range statements over maps whose iteration order can escape into
+//     the loop's results. A map range is fine when the body is provably
+//     order-insensitive: writes into other maps, delete, integer/bool
+//     commutative accumulation (+=, ++, |=, ...), true max/min
+//     selection (`if v > best { best = v }` over the same expressions),
+//     idempotent constant assignment (`changed = true`), and constant
+//     existence-returns over an otherwise side-effect-free body.
+//     Anything that turns iteration order into data order — append,
+//     plain assignment of a different expression to an outer variable
+//     (the select-a-winner pattern that caused the sim.staleRead
+//     flicker), early break, calls with effects — is flagged unless the
+//     keys are collected and sorted first.
+//   - wall-clock and environment reads (time.Now, global math/rand,
+//     GOMAXPROCS, ...) whose values could flow into deterministic
+//     bytes. Seeded *rand.Rand methods are allowed; the package-level
+//     math/rand functions (process-global state) are not.
+//
+// The compliant form for an order-escaping loop is keys-sort-range:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, ...)
+//	for _, k := range keys { ... m[k] ... }
+//
+// and for the eligible subset (key-only or key+value ranges with a
+// basic ordered key type) the diagnostic carries a mechanical fix that
+// tlslint -fix applies.
+var analyzeDeterminism = &Analyzer{
+	Rule: RuleDeterminism,
+	Doc:  "map-iteration order or wall-clock state escaping into deterministic outputs",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	cfg, pkg := p.Cfg, p.Pkg
+	if !cfg.DetScope.HasPackage(pkg.Path) {
+		return
+	}
+	u := newPurity(pkg)
+	for i, f := range pkg.Files {
+		if !cfg.DetScope.HasFile(pkg.Path, pkg.GoFiles[i]) {
+			continue
+		}
+		d := &detWalker{p: p, u: u, file: f}
+		ast.Inspect(f, d.visit)
+	}
+}
+
+type detWalker struct {
+	p    *Pass
+	u    *purity
+	file *ast.File
+}
+
+func (d *detWalker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		d.checkCall(n)
+	case *ast.RangeStmt:
+		d.checkRange(n)
+	}
+	return true
+}
+
+// checkCall flags wall-clock/environment reads and global math/rand use.
+func (d *detWalker) checkCall(call *ast.CallExpr) {
+	fn := calleeFunc(d.p.Pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	id := funcID(fn)
+	if inList(id, d.p.Cfg.DetForbiddenCalls) {
+		d.p.Report(call.Pos(), "call to %s in a determinism-contract package: its result must not flow into deterministic outputs", id)
+		return
+	}
+	// Global math/rand functions draw from process-global state that
+	// differs run to run; seeded rand.Rand methods are deterministic.
+	if pkgp := fn.Pkg(); pkgp != nil && (pkgp.Path() == "math/rand" || pkgp.Path() == "math/rand/v2") {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && fn.Name() != "New" && fn.Name() != "NewSource" && fn.Name() != "NewPCG" && fn.Name() != "NewChaCha8" {
+			d.p.Report(call.Pos(), "global %s.%s uses process-wide PRNG state; use a seeded *rand.Rand", pkgp.Path(), fn.Name())
+		}
+	}
+}
+
+// checkRange flags order-escaping map ranges.
+func (d *detWalker) checkRange(r *ast.RangeStmt) {
+	info := d.p.Pkg.Info
+	tv, ok := info.Types[r.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if r.Key == nil {
+		return // `for range m`: iteration count only, order-free
+	}
+	if benignBody(d.u, r.Body.List) {
+		return
+	}
+	if existenceBody(d.u, r.Body.List) {
+		return // side-effect-free scan returning constants: order-free
+	}
+	// The keys-collect form is fine iff the collected slice is sorted
+	// afterwards in the enclosing block.
+	var target string
+	if collectBody(d.u, r.Body.List, &target) && target != "" {
+		if sortedAfter(d.u, d.enclosingBlock(r), r, target) {
+			return
+		}
+		d.p.Report(r.Pos(), "map keys collected into %q are never sorted: iteration order escapes into deterministic output; sort %s before use", target, target)
+		return
+	}
+	fix, suggestion := sortedKeysFix(d.p.Pkg, d.file, r)
+	d.p.ReportFix(r.Pos(), fix, suggestion,
+		"range over map with order-escaping body in a determinism-contract package: iterate sorted keys instead")
+}
+
+// ---------------------------------------------------------------------------
+// Purity context
+
+// purity memoizes which same-package functions are read-only, letting
+// pureExpr accept calls to trivial predicates (isMemSyncOp-style
+// classifiers) without a cross-package effect system.
+type purity struct {
+	pkg   *Package
+	cache map[*types.Func]bool
+	decls map[token.Pos]*ast.FuncDecl
+}
+
+func newPurity(pkg *Package) *purity {
+	return &purity{pkg: pkg, cache: make(map[*types.Func]bool)}
+}
+
+func (u *purity) info() *types.Info { return u.pkg.Info }
+
+// readOnlyFunc reports whether fn is a same-package function whose body
+// provably has no side effects and no order-observable state (no
+// assignments beyond pure local defines, no loops, no calls except
+// builtins/conversions/other read-only functions). Calls to such a
+// function may appear in "pure" expressions.
+func (u *purity) readOnlyFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != u.pkg.Path {
+		return false
+	}
+	if v, ok := u.cache[fn]; ok {
+		return v
+	}
+	u.cache[fn] = false // cycle guard: recursive functions are not accepted
+	decl := u.funcDeclFor(fn)
+	ok := decl != nil && decl.Body != nil && u.readOnlyBody(decl.Body)
+	u.cache[fn] = ok
+	return ok
+}
+
+func (u *purity) funcDeclFor(fn *types.Func) *ast.FuncDecl {
+	if u.decls == nil {
+		u.decls = make(map[token.Pos]*ast.FuncDecl)
+		for _, f := range u.pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					u.decls[fd.Name.Pos()] = fd
+				}
+			}
+		}
+	}
+	return u.decls[fn.Pos()]
+}
+
+func (u *purity) readOnlyBody(body ast.Node) bool {
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				ok = false
+			}
+		case *ast.IncDecStmt, *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt,
+			*ast.RangeStmt, *ast.ForStmt, *ast.SelectStmt, *ast.FuncLit:
+			ok = false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ok = false
+			}
+		case *ast.CallExpr:
+			if isBuiltin(u.info(), n, "len", "cap", "min", "max") || isConversion(u.info(), n) {
+				return true
+			}
+			if fn := calleeFunc(u.info(), n); fn != nil && u.readOnlyFunc(fn) {
+				return true
+			}
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Benign-body analysis
+
+// benignBody reports whether executing stmts in any iteration order
+// provably yields the same final state: map-index writes, delete,
+// integer/bool commutative accumulation, order-free control flow.
+// Notably NOT benign: append, plain `=` of a non-constant to an outer
+// variable (the select-a-winner pattern — a min/max by a non-total
+// order flickers with map order), early return/break, effectful calls,
+// sends, string/float accumulation (concatenation order / FP rounding
+// order are observable).
+func benignBody(u *purity, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !benignStmt(u, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func benignStmt(u *purity, s ast.Stmt) bool {
+	info := u.info()
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		return isBuiltin(info, call, "delete") && pureExprs(u, call.Args)
+	case *ast.IncDecStmt:
+		return pureExpr(u, s.X)
+	case *ast.AssignStmt:
+		return benignAssign(u, s)
+	case *ast.IfStmt:
+		if isMaxMin(u, s) {
+			return true
+		}
+		if s.Init != nil && !benignStmt(u, s.Init) {
+			return false
+		}
+		if !pureExpr(u, s.Cond) {
+			return false
+		}
+		if !benignBody(u, s.Body.List) {
+			return false
+		}
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				return benignBody(u, e.List)
+			case *ast.IfStmt:
+				return benignStmt(u, e)
+			}
+			return false
+		}
+		return true
+	case *ast.BlockStmt:
+		return benignBody(u, s.List)
+	case *ast.BranchStmt:
+		// continue skips one element order-independently; break/goto
+		// make which elements were processed depend on order.
+		return s.Tok == token.CONTINUE
+	case *ast.ForStmt, *ast.RangeStmt:
+		// Nested loops: benign iff their own bodies are (a nested map
+		// range is visited separately by the walker anyway).
+		switch l := s.(type) {
+		case *ast.ForStmt:
+			return (l.Init == nil || benignStmt(u, l.Init)) &&
+				(l.Cond == nil || pureExpr(u, l.Cond)) &&
+				(l.Post == nil || benignStmt(u, l.Post)) &&
+				benignBody(u, l.Body.List)
+		case *ast.RangeStmt:
+			return pureExpr(u, l.X) && benignBody(u, l.Body.List)
+		}
+		return false
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || !pureExprs(u, vs.Values) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// benignAssign classifies one assignment.
+func benignAssign(u *purity, a *ast.AssignStmt) bool {
+	info := u.info()
+	switch a.Tok {
+	case token.DEFINE:
+		// Loop-local definition with a pure RHS cannot observe order by
+		// itself; any order-escaping USE of it is caught where it is used.
+		return pureExprs(u, a.Rhs)
+	case token.ASSIGN:
+		// Plain `=`: benign when every target is a map index (the
+		// transfer-into-another-map idiom), the blank identifier, or —
+		// for pairwise assignments — a variable assigned a constant
+		// (idempotent: every iteration writes the same value, so final
+		// state does not depend on which iteration wrote it last).
+		pairwise := len(a.Lhs) == len(a.Rhs)
+		for i, lhs := range a.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if pairwise {
+				if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+					if tv, ok := info.Types[a.Rhs[i]]; ok && tv.Value != nil {
+						continue // constant RHS: idempotent
+					}
+				}
+			}
+			ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				return false
+			}
+			tv, ok := info.Types[ix.X]
+			if !ok {
+				return false
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return false
+			}
+		}
+		return pureExprs(u, a.Rhs)
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative accumulation — for integers and booleans only.
+		// String += concatenates in iteration order; float += rounds in
+		// iteration order; both are order-observable.
+		if len(a.Lhs) != 1 || !pureExpr(u, a.Lhs[0]) || !pureExprs(u, a.Rhs) {
+			return false
+		}
+		tv, ok := info.Types[a.Lhs[0]]
+		if !ok {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok {
+			return false
+		}
+		return b.Info()&(types.IsInteger|types.IsBoolean) != 0
+	}
+	return false
+}
+
+// isMaxMin recognizes the true max/min selection
+//
+//	if A < B { B = A }   (any of < > <= >=)
+//
+// where the compared expressions are exactly the assigned ones: the
+// final value of B is the extremum over all A, independent of
+// iteration order (on ties the candidate equals the incumbent, so
+// first-wins vs last-wins is unobservable). The staleRead bug class —
+// comparing one expression but assigning ANOTHER alongside it — does
+// not match: the body must be that single assignment.
+func isMaxMin(u *purity, s *ast.IfStmt) bool {
+	if s.Init != nil || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	cond, ok := ast.Unparen(s.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	a, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || a.Tok != token.ASSIGN || len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+		return false
+	}
+	if !pureExpr(u, a.Lhs[0]) || !pureExpr(u, a.Rhs[0]) {
+		return false
+	}
+	lhs, rhs := types.ExprString(a.Lhs[0]), types.ExprString(a.Rhs[0])
+	cx, cy := types.ExprString(ast.Unparen(cond.X)), types.ExprString(ast.Unparen(cond.Y))
+	if lhs == rhs {
+		return false
+	}
+	return (lhs == cx && rhs == cy) || (lhs == cy && rhs == cx)
+}
+
+// existenceBody recognizes the order-free early-return scan: every
+// statement is side-effect-free (pure defines, pure conditions) and
+// every return yields only constants — `for k, v := range m { if
+// pred(v) { return true } }`. Which element triggers the return varies
+// with order, but the returned value and the program state do not.
+func existenceBody(u *purity, stmts []ast.Stmt) bool {
+	info := u.info()
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				tv, ok := info.Types[res]
+				if !ok || tv.Value == nil {
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if s.Tok != token.DEFINE || !pureExprs(u, s.Rhs) {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil && !existenceBody(u, []ast.Stmt{s.Init}) {
+				return false
+			}
+			if !pureExpr(u, s.Cond) || !existenceBody(u, s.Body.List) {
+				return false
+			}
+			if s.Else != nil {
+				if !existenceBody(u, []ast.Stmt{s.Else}) {
+					return false
+				}
+			}
+		case *ast.BlockStmt:
+			if !existenceBody(u, s.List) {
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// pureExpr reports whether e evaluates without effects: no calls
+// except len/cap/min/max, conversions, and same-package read-only
+// functions; no channel operations — i.e. its value depends only on
+// current state, and evaluating it cannot observe iteration order
+// through side effects.
+func pureExpr(u *purity, e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	info := u.info()
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "len", "cap", "min", "max") || isConversion(info, n) {
+				return true
+			}
+			if fn := calleeFunc(info, n); fn != nil && u.readOnlyFunc(fn) {
+				return true
+			}
+			pure = false
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return true
+	})
+	return pure
+}
+
+func pureExprs(u *purity, es []ast.Expr) bool {
+	for _, e := range es {
+		if !pureExpr(u, e) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Keys-collect-then-sort recognition
+
+// collectBody reports whether stmts form a collect loop: appends into
+// exactly one outer slice (possibly under pure conditions, alongside
+// otherwise-benign statements). The target name is written through
+// target; the caller must verify the slice is sorted after the loop.
+func collectBody(u *purity, stmts []ast.Stmt, target *string) bool {
+	for _, s := range stmts {
+		if name := appendTarget(u, s); name != "" {
+			if *target == "" {
+				*target = name
+			}
+			if *target != name {
+				return false // two targets: relative order between them escapes
+			}
+			continue
+		}
+		if benignStmt(u, s) {
+			continue
+		}
+		switch s := s.(type) {
+		case *ast.IfStmt:
+			if s.Init != nil && !benignStmt(u, s.Init) {
+				return false
+			}
+			if !pureExpr(u, s.Cond) {
+				return false
+			}
+			if !collectBody(u, s.Body.List, target) {
+				return false
+			}
+			if s.Else != nil {
+				if !collectBody(u, []ast.Stmt{s.Else}, target) {
+					return false
+				}
+			}
+		case *ast.BlockStmt:
+			if !collectBody(u, s.List, target) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// appendTarget returns the name x when s is `x = append(x, <pure>...)`
+// with x a plain identifier, else "".
+func appendTarget(u *purity, s ast.Stmt) string {
+	a, ok := s.(*ast.AssignStmt)
+	if !ok || len(a.Lhs) != 1 || len(a.Rhs) != 1 || (a.Tok != token.ASSIGN && a.Tok != token.DEFINE) {
+		return ""
+	}
+	lhs, ok := a.Lhs[0].(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	call, ok := a.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(u.info(), call, "append") || len(call.Args) < 1 {
+		return ""
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != lhs.Name {
+		return ""
+	}
+	if !pureExprs(u, call.Args[1:]) {
+		return ""
+	}
+	return lhs.Name
+}
+
+// sortedAfter reports whether, in the block containing the range
+// statement, a later statement sorts the named slice (sort.* or
+// slices.Sort* with the slice as first argument).
+func sortedAfter(u *purity, block *ast.BlockStmt, r *ast.RangeStmt, name string) bool {
+	if block == nil {
+		return false
+	}
+	info := u.info()
+	past := false
+	for _, s := range block.List {
+		if s == ast.Stmt(r) {
+			past = true
+			continue
+		}
+		if !past {
+			continue
+		}
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || !isSortFunc(fn.Pkg().Path(), fn.Name()) {
+				return true
+			}
+			if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && arg.Name == name {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortFunc recognizes the stdlib slice-sorting entry points.
+func isSortFunc(pkgPath, name string) bool {
+	switch pkgPath {
+	case "sort":
+		switch name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(name, "Sort")
+	}
+	return false
+}
+
+// enclosingBlock finds the block statement that has r as a direct
+// member, or nil (range directly under a case/comm clause).
+func (d *detWalker) enclosingBlock(r ast.Stmt) *ast.BlockStmt {
+	var found *ast.BlockStmt
+	ast.Inspect(d.file, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if b, ok := n.(*ast.BlockStmt); ok {
+			for _, s := range b.List {
+				if s == r {
+					found = b
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rangeKeyType returns the key type of the ranged-over map.
+func rangeKeyType(info *types.Info, r *ast.RangeStmt) (types.Type, bool) {
+	tv, ok := info.Types[r.X]
+	if !ok {
+		return nil, false
+	}
+	m, ok := tv.Type.Underlying().(*types.Map)
+	if !ok {
+		return nil, false
+	}
+	return m.Key(), true
+}

@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// sortedKeysFix builds the mechanical sort-before-range rewrite for an
+// order-escaping map range, when the shape is eligible: the key
+// variable is a plain identifier (not blank) and the key type is a
+// basic ordered type, so a total order exists without user input. It
+// returns the fix (nil when ineligible) and a human-readable
+// suggestion rendering of the same rewrite.
+//
+// The rewrite turns
+//
+//	for k := range m {            for k, v := range m {
+//	        BODY                          BODY
+//	}                             }
+//
+// into
+//
+//	ks := make([]K, 0, len(m))
+//	for k := range m {
+//	        ks = append(ks, k)
+//	}
+//	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+//	for _, k := range ks {
+//	        v := m[k]             // key+value form only
+//	        BODY
+//	}
+//
+// (sort.Strings / sort.Ints for string / int keys).
+func sortedKeysFix(pkg *Package, file *ast.File, r *ast.RangeStmt) (*Fix, string) {
+	info := pkg.Info
+	keyID, ok := ast.Unparen(r.Key).(*ast.Ident)
+	if !ok || keyID.Name == "_" || r.Tok != token.DEFINE {
+		return nil, "collect the keys into a slice, sort it, and range over the sorted slice"
+	}
+	keyT, ok := rangeKeyType(info, r)
+	if !ok {
+		return nil, ""
+	}
+	basic, ok := keyT.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsOrdered == 0 {
+		return nil, "collect the keys into a slice, sort it with an explicit total order, and range over the sorted slice"
+	}
+	// Only rewrite when the map expression is repeatable without side
+	// effects (it is evaluated twice in the rewritten form).
+	if !pureExpr(newPurity(pkg), r.X) {
+		return nil, "hoist the map into a local, then collect+sort its keys before ranging"
+	}
+
+	fset := pkg.Fset
+	start := fset.Position(r.Pos())
+	src, err := os.ReadFile(start.Filename)
+	if err != nil {
+		return nil, ""
+	}
+	tf := fset.File(r.Pos())
+	if tf == nil {
+		return nil, ""
+	}
+
+	mapExpr := string(src[tf.Offset(r.X.Pos()):tf.Offset(r.X.End())])
+	indent := lineIndent(src, tf.Offset(r.Pos()))
+	keysVar := freshName(pkg, r, keyID.Name+"s")
+
+	// The textual type of the key for the make() call. Named basic
+	// types from this package keep their name; from other packages they
+	// are qualified with the file's import name (falling back to the
+	// underlying basic type when unqualifiable).
+	keyType := types.TypeString(keyT, types.RelativeTo(pkg.Types))
+	if strings.Contains(keyType, "/") || strings.Contains(keyType, "invalid") {
+		keyType = basic.Name()
+	}
+
+	sortCall := ""
+	switch {
+	case basic.Kind() == types.String:
+		sortCall = fmt.Sprintf("sort.Strings(%s)", keysVar)
+	case basic.Kind() == types.Int:
+		sortCall = fmt.Sprintf("sort.Ints(%s)", keysVar)
+	default:
+		sortCall = fmt.Sprintf("sort.Slice(%s, func(i, j int) bool { return %s[i] < %s[j] })", keysVar, keysVar, keysVar)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s := make([]%s, 0, len(%s))\n", keysVar, keyType, mapExpr)
+	fmt.Fprintf(&sb, "%sfor %s := range %s {\n", indent, keyID.Name, mapExpr)
+	fmt.Fprintf(&sb, "%s\t%s = append(%s, %s)\n", indent, keysVar, keysVar, keyID.Name)
+	fmt.Fprintf(&sb, "%s}\n", indent)
+	fmt.Fprintf(&sb, "%s%s\n", indent, sortCall)
+	fmt.Fprintf(&sb, "%sfor _, %s := range %s {", indent, keyID.Name, keysVar)
+	if r.Value != nil {
+		if vID, ok := ast.Unparen(r.Value).(*ast.Ident); ok && vID.Name != "_" {
+			fmt.Fprintf(&sb, "\n%s\t%s := %s[%s]", indent, vID.Name, mapExpr, keyID.Name)
+		}
+	}
+	header := sb.String()
+
+	// Replace the range header "for ... range m {" with the rewrite.
+	hdrStart := tf.Offset(r.Pos())
+	hdrEnd := tf.Offset(r.Body.Lbrace) + 1
+	fix := &Fix{
+		File:  start.Filename,
+		Edits: []Edit{{Start: hdrStart, End: hdrEnd, New: header}},
+	}
+	if ed, needed := ensureImportEdit(pkg, file, src, tf, "sort"); needed {
+		fix.Edits = append(fix.Edits, ed)
+	}
+	return fix, header
+}
+
+// freshName returns base if unbound in the scopes enclosing r, else
+// base2, base3, ...
+func freshName(pkg *Package, r ast.Node, base string) string {
+	inner := pkg.Types.Scope().Innermost(r.Pos())
+	if inner == nil {
+		inner = pkg.Types.Scope()
+	}
+	name := base
+	for i := 2; ; i++ {
+		if s, _ := inner.LookupParent(name, r.Pos()); s == nil && pkg.Types.Scope().Lookup(name) == nil {
+			return name
+		}
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+}
+
+// ensureImportEdit returns an edit adding `"sort"` to the file's
+// imports when missing.
+func ensureImportEdit(pkg *Package, file *ast.File, src []byte, tf *token.File, path string) (Edit, bool) {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return Edit{}, false
+		}
+	}
+	// Grouped import block: insert alphabetically-first position (gofmt
+	// will settle ordering; correctness only needs presence).
+	for _, d := range file.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			off := tf.Offset(gd.Lparen) + 1
+			return Edit{Start: off, End: off, New: fmt.Sprintf("\n\t%q", path)}, true
+		}
+		// Single-import form: turn the decl into a grouped one.
+		s, e := tf.Offset(gd.Pos()), tf.Offset(gd.End())
+		old := string(src[s:e])
+		one := strings.TrimPrefix(old, "import")
+		return Edit{Start: s, End: e, New: fmt.Sprintf("import (\n\t%q\n\t%s\n)", path, strings.TrimSpace(one))}, true
+	}
+	// No imports at all: add after the package clause.
+	off := tf.Offset(file.Name.End())
+	return Edit{Start: off, End: off, New: fmt.Sprintf("\n\nimport %q", path)}, true
+}
+
+// lineIndent returns the whitespace prefix of the line containing off.
+func lineIndent(src []byte, off int) string {
+	start := off
+	for start > 0 && src[start-1] != '\n' {
+		start--
+	}
+	end := start
+	for end < len(src) && (src[end] == ' ' || src[end] == '\t') {
+		end++
+	}
+	return string(src[start:end])
+}
+
+// ApplyFixes applies every mechanical fix among diags to the files on
+// disk, returning how many fixes were applied. Overlapping fixes in
+// one file are applied back-to-front; a fix overlapping an
+// already-applied one is skipped (re-run tlslint to regenerate it
+// against the new file content).
+func ApplyFixes(diags []Diagnostic) (int, error) {
+	type edit struct {
+		Edit
+		fixIdx int
+	}
+	byFile := make(map[string][]*Fix)
+	for i := range diags {
+		if f := diags[i].Fix; f != nil {
+			byFile[f.File] = append(byFile[f.File], f)
+		}
+	}
+	applied := 0
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return applied, err
+		}
+		var edits []edit
+		for fi, f := range byFile[path] {
+			for _, e := range f.Edits {
+				edits = append(edits, edit{e, fi})
+			}
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		out := src
+		lastStart := len(src) + 1
+		appliedFix := make(map[int]bool)
+		for _, e := range edits {
+			if e.End > lastStart {
+				continue // overlaps an already-applied edit
+			}
+			out = append(out[:e.Start], append([]byte(e.New), out[e.End:]...)...)
+			lastStart = e.Start
+			appliedFix[e.fixIdx] = true
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			return applied, err
+		}
+		applied += len(appliedFix)
+	}
+	return applied, nil
+}

@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one rule: a pure function from a type-checked package to
+// diagnostics.
+type Analyzer struct {
+	Rule string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full rule set in rule-ID order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzeDeterminism,
+		analyzeKeyPurity,
+		analyzeSeamBypass,
+		analyzeJournalOrder,
+		analyzeLockHygiene,
+	}
+}
+
+// Pass is the per-(analyzer × package) context handed to a rule.
+type Pass struct {
+	Cfg   *Config
+	Pkg   *Package
+	rule  string
+	diags *[]Diagnostic
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.ReportFix(pos, nil, "", format, args...)
+}
+
+// ReportFix records a finding carrying a suggestion and an optional
+// mechanical fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *Fix, suggestion, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:       p.rule,
+		Pos:        position,
+		File:       position.Filename,
+		Line:       position.Line,
+		Col:        position.Column,
+		Message:    fmt.Sprintf(format, args...),
+		Suggestion: suggestion,
+		Fix:        fix,
+	})
+}
+
+// Run executes every analyzer over every package, applies the
+// //lint:ignore suppressions, and returns the surviving findings,
+// position-sorted. Unused or malformed suppressions are findings too
+// (I001): a suppression must name a real, present diagnostic and a
+// reason, or it is rot.
+func Run(pkgs []*Package, cfg *Config) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range Analyzers() {
+			pass := &Pass{Cfg: cfg, Pkg: pkg, rule: a.Rule, diags: &raw}
+			a.Run(pass)
+		}
+		ignores, malformed := collectIgnores(pkg)
+		all = append(all, malformed...)
+		for _, d := range raw {
+			if ig := matchIgnore(ignores, d); ig != nil {
+				ig.used = true
+				continue
+			}
+			all = append(all, d)
+		}
+		for _, ig := range ignores {
+			if !ig.used {
+				position := pkg.Fset.Position(ig.pos)
+				all = append(all, Diagnostic{
+					Rule: RuleIgnore, Pos: position,
+					File: position.Filename, Line: position.Line, Col: position.Column,
+					Message: fmt.Sprintf("unused suppression: no %s finding on this or the next line", ig.rule),
+				})
+			}
+		}
+	}
+	sortDiags(all)
+	return all
+}
+
+// ignore is one parsed //lint:ignore directive.
+type ignore struct {
+	pos    token.Pos
+	file   string
+	line   int // line the directive sits on
+	rule   string
+	reason string
+	used   bool
+}
+
+// collectIgnores parses every //lint:ignore comment in the package.
+// The directive suppresses findings of the named rule(s) on the same
+// line or on the next line (the usual form: the comment sits alone
+// above the offending statement). "//lint:ignore D001,L001 reason"
+// names several rules.
+func collectIgnores(pkg *Package) ([]*ignore, []Diagnostic) {
+	var igs []*ignore
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				position := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Rule: RuleIgnore, Pos: position,
+						File: position.Filename, Line: position.Line, Col: position.Column,
+						Message: "malformed suppression: want //lint:ignore RULE reason (a reason is mandatory)",
+					})
+					continue
+				}
+				for _, rule := range strings.Split(fields[0], ",") {
+					igs = append(igs, &ignore{
+						pos:  c.Pos(),
+						file: position.Filename, line: position.Line,
+						rule: rule, reason: strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	return igs, malformed
+}
+
+func matchIgnore(igs []*ignore, d Diagnostic) *ignore {
+	for _, ig := range igs {
+		if ig.rule != d.Rule || ig.file != d.Pos.Filename {
+			continue
+		}
+		if ig.line == d.Pos.Line || ig.line == d.Pos.Line-1 {
+			return ig
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared type-resolution helpers
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function, method, or interface method), or nil for builtins,
+// conversions and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcID names a function for config matching: "pkgpath.Func" for
+// package functions, "pkgpath.Type.Method" for methods (pointer
+// receivers dereferenced, so value and pointer methods match the same
+// ID).
+func funcID(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+			return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + fn.Name()
+		}
+		if iface, ok := t.(*types.Interface); ok {
+			_ = iface // anonymous interface receiver: fall through to pkg-qualified name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// calleeID resolves a call to its config ID, or "".
+func calleeID(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	return funcID(fn)
+}
+
+// inList reports whether s is one of list.
+func inList(s string, list []string) bool {
+	for _, x := range list {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	if !ok {
+		return false
+	}
+	return inList(b.Name(), names)
+}
+
+// isConversion reports whether the call is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}

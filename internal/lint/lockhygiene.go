@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzeLockHygiene is rule L001: a sync.Mutex/RWMutex must not be
+// held across a slow call — network I/O, an fsync, a journal append
+// (which fsyncs internally). Under load, one stalled disk or peer then
+// convoys every goroutine contending the lock: the admission
+// controller sees saturation, breakers trip, heartbeats miss. The
+// repo-wide discipline (established in the store: snapshot under the
+// lock, do I/O outside it) is what this rule pins down.
+//
+// Span detection is structural: from an `x.Lock()` statement, the span
+// is the following statements of the same block until the matching
+// `x.Unlock()`; a `defer x.Unlock()` extends the span to the end of
+// the block. Calls inside nested function literals are not counted
+// (they run later, off the critical section, unless invoked inline —
+// a case for human review, not a sound rule).
+var analyzeLockHygiene = &Analyzer{
+	Rule: RuleLockHygiene,
+	Doc:  "mutex held across a network/fsync/journal call",
+	Run:  runLockHygiene,
+}
+
+func runLockHygiene(p *Pass) {
+	cfg, pkg := p.Cfg, p.Pkg
+	if !cfg.LockScope.HasPackage(pkg.Path) {
+		return
+	}
+	for i, f := range pkg.Files {
+		if !cfg.LockScope.HasFile(pkg.Path, pkg.GoFiles[i]) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if b, ok := n.(*ast.BlockStmt); ok {
+				checkLockSpans(p, b)
+			}
+			return true
+		})
+	}
+}
+
+// checkLockSpans scans one block's statement list for Lock()/Unlock()
+// pairs and flags slow calls between them.
+func checkLockSpans(p *Pass, b *ast.BlockStmt) {
+	info := p.Pkg.Info
+	for i, s := range b.List {
+		recv, rlock := lockCall(info, s, "Lock", "RLock")
+		if recv == "" {
+			continue
+		}
+		// Deferred unlock directly after: span is the rest of the block.
+		span := b.List[i+1:]
+		if len(span) > 0 && isDeferredUnlock(info, span[0], recv) {
+			span = span[1:]
+		} else {
+			// Explicit unlock: span ends there.
+			for j, t := range span {
+				if u, _ := lockCall(info, t, "Unlock", "RUnlock"); u == recv {
+					span = span[:j]
+					break
+				}
+			}
+		}
+		_ = rlock
+		for _, t := range span {
+			flagSlowCalls(p, t, recv)
+		}
+	}
+}
+
+// lockCall reports (receiver rendering, wasRLock) when s is a plain
+// `recv.M()` statement with M one of names and recv a sync.Mutex or
+// sync.RWMutex (directly or through an embedded/promoted field).
+func lockCall(info *types.Info, s ast.Stmt, names ...string) (string, bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	return lockCallExpr(info, es.X, names...)
+}
+
+func isDeferredUnlock(info *types.Info, s ast.Stmt, recv string) bool {
+	ds, ok := s.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	r, _ := lockCallExpr(info, ds.Call, "Unlock", "RUnlock")
+	return r == recv
+}
+
+func lockCallExpr(info *types.Info, e ast.Expr, names ...string) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	if !inList(fn.Name(), names) {
+		return "", false
+	}
+	return types.ExprString(sel.X), fn.Name() == "RLock" || fn.Name() == "RUnlock"
+}
+
+// flagSlowCalls reports slow calls in the statement (not descending
+// into function literals).
+func flagSlowCalls(p *Pass, s ast.Stmt, recv string) {
+	cfg, info := p.Cfg, p.Pkg.Info
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		id := funcID(fn)
+		slow := inList(id, cfg.SlowCallFuncs)
+		if !slow && fn.Pkg() != nil && inList(fn.Pkg().Path(), cfg.SlowCallPkgs) {
+			slow = true
+		}
+		if slow {
+			p.Report(call.Pos(), "%s called while holding %s: a mutex must not be held across network/fsync/journal calls (snapshot under the lock, do the slow work outside it)", id, recv)
+		}
+		return true
+	})
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// analyzeSeamBypass is rule S001: in packages that own (or sit above)
+// a store.FS fault seam, direct os.* filesystem calls are forbidden.
+// The chaos suite, the crash harness, and the scenario fault timelines
+// all inject failures through the seam; a file written with os.Create
+// never sees an injected error, a simulated torn write, or a
+// SIGKILL-between-write-and-rename schedule, so its durability story
+// is untested by construction. Route the operation through the
+// package's FS value (store.OS in production) instead.
+var analyzeSeamBypass = &Analyzer{
+	Rule: RuleSeamBypass,
+	Doc:  "direct os filesystem call bypasses the store.FS fault-injection seam",
+	Run:  runSeamBypass,
+}
+
+func runSeamBypass(p *Pass) {
+	cfg, pkg := p.Cfg, p.Pkg
+	if !cfg.SeamScope.HasPackage(pkg.Path) {
+		return
+	}
+	for i, f := range pkg.Files {
+		if !cfg.SeamScope.HasFile(pkg.Path, pkg.GoFiles[i]) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id := calleeID(pkg.Info, call)
+			if inList(id, cfg.OSFuncs) {
+				p.Report(call.Pos(), "direct %s in a seam-owning package: this write/read dodges fault injection and the crash harness; route it through the package's store.FS seam", id)
+			}
+			return true
+		})
+	}
+}

@@ -39,8 +39,12 @@ func (tx *transformer) insertNullSignals(region *interp.Region, syncID int) {
 
 	// Callee level: every function that may store the group gets the same
 	// treatment over its whole CFG (it is only called from inside epochs).
-	for fn := range mayStoreFn {
-		if fn == region.Func {
+	// Program order, not map order: placeFrontierNulls allocates global
+	// instruction IDs, so iterating mayStoreFn directly would let map
+	// order leak into the IR bytes whenever a group is stored by two or
+	// more callees.
+	for _, fn := range tx.prog.Funcs {
+		if !mayStoreFn[fn] || fn == region.Func {
 			continue
 		}
 		all := func(b *ir.Block) bool { return true }

@@ -1,0 +1,91 @@
+package memsync
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tlssync/internal/ir"
+)
+
+// idFingerprint renders every instruction's position together with its
+// ID/Origin pair. The printed IR deliberately omits IDs, but they are
+// still part of the binary's identity: Origin keys dependence profiles
+// and policy tables (sim.OracleLoads, the violation-history table), and
+// verifier messages name IDs — so ID assignment must be reproducible.
+func idFingerprint(p *ir.Program) string {
+	var sb strings.Builder
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i, in := range b.Instrs {
+				fmt.Fprintf(&sb, "%s b%d %d: %s id=%d origin=%d\n", f.Name, b.Index, i, in.Op, in.ID, in.Origin)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// TestNullSigMultiCalleeDeterminism pins the D001-class bug tlslint
+// caught in placeFrontierNulls' caller: when a sync group is stored by
+// two or more callees, the per-callee NULL-placement pass allocates
+// global instruction IDs, so iterating the may-store set in map order
+// let map iteration order decide which callee's NULL signals got which
+// IDs. The fix iterates tx.prog.Funcs (program order); this test
+// re-runs the whole memsync pipeline on a two-callee-store program and
+// asserts the full ID assignment is identical every time. Before the
+// fix this flickers within a few repetitions (Go randomizes map order
+// per range statement).
+func TestNullSigMultiCalleeDeterminism(t *testing.T) {
+	src := `
+var g int;
+var acc int;
+var work [256]int;
+func addEven(i int) {
+	if i % 4 == 0 {
+		g = g + i;
+	}
+}
+func addOdd(i int) {
+	if i % 3 == 0 {
+		g = g + 2 * i;
+	}
+}
+func main() {
+	var i int;
+	parallel for i = 0; i < 400; i = i + 1 {
+		acc = acc + g;
+		if i % 2 == 0 {
+			addEven(i);
+		} else {
+			addOdd(i);
+		}
+		work[i % 256] = acc;
+	}
+	print(acc);
+}
+`
+	p0, res := pipeline(t, src, DefaultOptions())
+	if len(res[0].Groups) == 0 {
+		t.Fatal("no groups synchronized — the program no longer exercises multi-callee stores")
+	}
+	nulls := 0
+	for _, f := range p0.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.SignalMemNull {
+					nulls++
+				}
+			}
+		}
+	}
+	if nulls == 0 {
+		t.Fatal("no NULL signals placed — the program no longer exercises placeFrontierNulls")
+	}
+	want := idFingerprint(p0) + p0.String()
+	for rep := 1; rep <= 7; rep++ {
+		p, _ := pipeline(t, src, DefaultOptions())
+		if got := idFingerprint(p) + p.String(); got != want {
+			t.Fatalf("rep %d: instruction ID assignment differs between identical compiles (map order leaked into NewInstr allocation)", rep)
+		}
+	}
+}

@@ -183,6 +183,7 @@ func (rp *RegionProfile) FrequentDeps(thresh float64, d1Only bool) []DepKey {
 		freq = rp.FrequencyD1
 	}
 	var keys []DepKey
+	//lint:ignore D001 freq only filters membership (a set property); keys are explicitly sorted below before use
 	for k := range rp.Deps {
 		if freq(k) > thresh {
 			keys = append(keys, k)

@@ -201,7 +201,7 @@ func inductionStep(loop *cfg.Loop, dom *cfg.DomTree, reg ir.Reg) (int64, bool) {
 	}
 	var def *ir.Instr
 	var defBlock *ir.Block
-	for b := range loop.Blocks {
+	for _, b := range loop.SortedBlocks() {
 		for _, in := range b.Instrs {
 			if in.HasDst() && in.Dst == reg {
 				if def != nil {
@@ -284,8 +284,10 @@ func lastDominatingDef(f *ir.Func, loop *cfg.Loop, dom *cfg.DomTree, reg ir.Reg)
 			}
 		}
 	}
+	// Block-index order, not map order: which def block wins the
+	// dominance filter below must not depend on map iteration.
 	var defBlocks []*ir.Block
-	for b := range loop.Blocks {
+	for _, b := range loop.SortedBlocks() {
 		for _, in := range b.Instrs {
 			if in.HasDst() && in.Dst == reg {
 				defBlocks = append(defBlocks, b)

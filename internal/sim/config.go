@@ -29,36 +29,36 @@ import (
 // MachineConfig mirrors the paper's Table 1 simulation parameters, scaled
 // to the trace-driven model.
 type MachineConfig struct {
-	CPUs       int // processing cores
-	IssueWidth int // instructions graduated per cycle per CPU
+	CPUs       int `json:"CPUs"`       // processing cores
+	IssueWidth int `json:"IssueWidth"` // instructions graduated per cycle per CPU
 
 	// Latencies (cycles).
-	IntMulLat   int
-	IntDivLat   int
-	L1Lat       int // L1 hit
-	L2Lat       int // L1 miss, L2 hit
-	MemLat      int // L2 miss
-	CommLat     int // signal->wait forwarding (crossbar)
-	RestartCost int // squash-to-restart penalty
-	CommitCost  int // epoch commit overhead
-	SpawnCost   int // starting the next epoch on a CPU
-	CallCost    int // call/return overhead
-	AllocCost   int // arena allocation (new)
+	IntMulLat   int `json:"IntMulLat"`
+	IntDivLat   int `json:"IntDivLat"`
+	L1Lat       int `json:"L1Lat"`       // L1 hit
+	L2Lat       int `json:"L2Lat"`       // L1 miss, L2 hit
+	MemLat      int `json:"MemLat"`      // L2 miss
+	CommLat     int `json:"CommLat"`     // signal->wait forwarding (crossbar)
+	RestartCost int `json:"RestartCost"` // squash-to-restart penalty
+	CommitCost  int `json:"CommitCost"`  // epoch commit overhead
+	SpawnCost   int `json:"SpawnCost"`   // starting the next epoch on a CPU
+	CallCost    int `json:"CallCost"`    // call/return overhead
+	AllocCost   int `json:"AllocCost"`   // arena allocation (new)
 
 	// Caches.
-	LineSize int64
-	L1Sets   int // per-CPU L1: L1Sets * L1Ways * LineSize bytes
-	L1Ways   int
-	L2Sets   int // shared L2
-	L2Ways   int
+	LineSize int64 `json:"LineSize"`
+	L1Sets   int   `json:"L1Sets"` // per-CPU L1: L1Sets * L1Ways * LineSize bytes
+	L1Ways   int   `json:"L1Ways"`
+	L2Sets   int   `json:"L2Sets"` // shared L2
+	L2Ways   int   `json:"L2Ways"`
 
 	// Hardware synchronization (when the policy enables it).
-	HWTableSize   int // entries in the violation-history table
-	HWResetEpochs int // periodic reset interval, in committed epochs
+	HWTableSize   int `json:"HWTableSize"`   // entries in the violation-history table
+	HWResetEpochs int `json:"HWResetEpochs"` // periodic reset interval, in committed epochs
 
 	// SignalAddrBufSize bounds the producer-side signal address buffer
 	// (the paper reports 10 entries always suffice).
-	SignalAddrBufSize int
+	SignalAddrBufSize int `json:"SignalAddrBufSize"`
 }
 
 // DefaultMachine returns the paper's 4-processor configuration.

@@ -148,9 +148,10 @@ func (t *hwTable) record(pc int) {
 		return
 	}
 	if len(t.lru) >= t.size {
-		victim, oldest := 0, int64(1)<<62
+		victim, oldest := -1, int64(1)<<62
+		//lint:ignore D001 victim selection is totally ordered: ticks are unique per insert/refresh, and the (when, pc) tie-break keeps the minimum unique even if that ever changes
 		for p, when := range t.lru {
-			if when < oldest {
+			if when < oldest || (when == oldest && p < victim) {
 				victim, oldest = p, when
 			}
 		}

@@ -290,12 +290,14 @@ func staleRead(committing, later *epochRun) (int, bool) {
 	// Iterate over the smaller map; every match is considered, so the
 	// direction cannot change the outcome.
 	if len(committing.storeLines) <= len(later.loadLines) {
+		//lint:ignore D001 consider() keeps the minimum by the total (cycle, pc) order, so every iteration order converges to the same winner (the PR-5 staleRead fix)
 		for line, storeCycle := range committing.storeLines {
 			if mark, ok := later.loadLines[line]; ok && mark.cycle > storeCycle {
 				consider(mark)
 			}
 		}
 	} else {
+		//lint:ignore D001 same total-order selection as the branch above, scanning the smaller map
 		for line, mark := range later.loadLines {
 			if storeCycle, ok := committing.storeLines[line]; ok && mark.cycle > storeCycle {
 				consider(mark)

@@ -98,6 +98,7 @@ func (r *Result) RegionCycles() int64 {
 // RegionSlots sums slot breakdowns across regions.
 func (r *Result) RegionSlots() Slots {
 	var s Slots
+	//lint:ignore D001 Slots.Add is integer addition — commutative, so the summation order is unobservable
 	for _, rs := range r.Regions {
 		s.Add(rs.Slots)
 	}

@@ -3,6 +3,7 @@ package store
 import (
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // FS abstracts the filesystem operations the disk layer performs. It
@@ -30,6 +31,48 @@ type File interface {
 	io.Closer
 	Name() string
 	Sync() error
+}
+
+// ReadFile reads the named file through the seam (os.ReadFile would
+// bypass fault injection). Not-found errors satisfy os.IsNotExist.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// WriteFileAtomic writes data to path through the seam via a
+// same-directory temp file + rename, creating parent directories as
+// needed: a concurrent reader sees either nothing or the complete
+// content, and a chaos FS can inject a failure (or a simulated crash)
+// at every step.
+func WriteFileAtomic(fsys FS, path string, data []byte, dirPerm os.FileMode) error {
+	dir := filepath.Dir(path)
+	if err := fsys.MkdirAll(dir, dirPerm); err != nil {
+		return err
+	}
+	tmp, err := fsys.CreateTemp(dir, "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		fsys.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		fsys.Remove(name)
+		return err
+	}
+	if err := fsys.Rename(name, path); err != nil {
+		fsys.Remove(name)
+		return err
+	}
+	return nil
 }
 
 // OS is the real filesystem.

@@ -128,6 +128,7 @@ func (v *verifier) calleeReach(blocks map[*ir.Block]bool) map[*ir.Func]bool {
 			work = append(work, f)
 		}
 	}
+	//lint:ignore D001 seeds a worklist whose fixpoint (the reachable-callee set) is the same for every seed order
 	for b := range blocks {
 		for _, in := range b.Instrs {
 			if in.Op == ir.Call {
@@ -193,6 +194,7 @@ func (v *verifier) buildReleaseSummaries() {
 	for changed := true; changed; {
 		changed = false
 		for _, f := range v.prog.Funcs {
+			//lint:ignore D001 monotone boolean dataflow — the fixpoint does not depend on propagation order
 			for s, may := range v.mayRel[f] {
 				if !may || v.mustRel[f][s] {
 					continue
@@ -365,6 +367,7 @@ func (v *verifier) checkSignalRelease() {
 		for _, s := range sc.chans {
 			a := v.analyzeRelease(sc, s)
 			v.fireStarvedPoint(sc, s, a)
+			//lint:ignore D001 one report per (f,s) pair behind the reportedFn dedup set; the set is order-free and reports are position-sorted at assembly
 			for f := range sc.reach {
 				if f == sc.region.Func || !v.mayRel[f][s] || v.mustRel[f][s] {
 					continue

@@ -1,0 +1,130 @@
+// Package d001 seeds violations and compliant forms for the D001
+// determinism analyzer. A want comment (rule ID plus a quoted message
+// substring) marks a line where exactly one diagnostic of that rule
+// must be reported; unmarked lines must stay silent.
+package d001
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// winner re-introduces the sim.staleRead bug class the rule exists
+// for: a two-variable select-a-winner over a map, where the compared
+// value is not a total order — which (key, value) wins a tie depends
+// on iteration order.
+func winner(m map[int]int) (int, int) {
+	bestK, bestV := -1, -1
+	for k, v := range m { // want D001 "order-escaping body"
+		if v > bestV {
+			bestK, bestV = k, v
+		}
+	}
+	return bestK, bestV
+}
+
+// stamp reads the wall clock inside a determinism-contract package.
+func stamp() int64 {
+	return time.Now().UnixNano() // want D001 "call to time.Now"
+}
+
+// globalRand draws from the process-global PRNG.
+func globalRand() int {
+	return rand.Int() // want D001 "process-wide PRNG state"
+}
+
+// keysUnsorted collects keys but never sorts them: iteration order
+// becomes slice order.
+func keysUnsorted(m map[string]bool) []string {
+	var ks []string
+	for k := range m { // want D001 "never sorted"
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// ---------------------------------------------------------------------------
+// Compliant forms: all silent.
+
+// keysSorted is the canonical collect-then-sort idiom.
+func keysSorted(m map[string]bool) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// total accumulates commutatively (integer +=).
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// transfer writes into another map: final state is order-free.
+func transfer(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// largest is a true max: compared and assigned expressions coincide.
+func largest(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// hasZero is an order-free existence scan returning constants.
+func hasZero(m map[string]int) bool {
+	for _, v := range m {
+		if v == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// markDirty assigns a constant: idempotent regardless of which
+// iteration writes it.
+func markDirty(m map[string]int, dirty map[string]bool) bool {
+	changed := false
+	for k := range m {
+		if !dirty[k] {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// prune deletes while ranging (legal Go, order-free final state).
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// size uses the key-less form: iteration count only.
+func size(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// jitter uses a seeded *rand.Rand method, not the global PRNG.
+func jitter(r *rand.Rand) int {
+	return r.Intn(10)
+}

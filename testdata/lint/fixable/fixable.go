@@ -1,0 +1,18 @@
+// Package fixable holds the one seeded violation whose diagnostic
+// carries a mechanical fix: the -fix golden test copies this package to
+// a scratch module, applies the fix, compares the rewritten file to
+// fixable.go.golden, and re-lints it clean.
+package fixable
+
+import "strconv"
+
+// Render concatenates in map-iteration order: string += is
+// order-observable, and the key is a plain string identifier over a
+// pure map expression, so the sorted-keys rewrite is mechanical.
+func Render(m map[string]int) string {
+	s := ""
+	for k, v := range m { // want D001 "order-escaping body"
+		s += k + ":" + strconv.Itoa(v) + "\n"
+	}
+	return s
+}

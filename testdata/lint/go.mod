@@ -1,0 +1,3 @@
+module lintfixtures
+
+go 1.22

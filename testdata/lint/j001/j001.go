@@ -1,0 +1,61 @@
+// Package j001 seeds violations and compliant forms for the J001
+// journal-before-execute analyzer. Engine.Do (config: EnqueueFuncs)
+// submits recoverable work; Journal.Begin (config: BeginFuncs) is the
+// write-ahead intent that must structurally dominate every enqueue;
+// "prepare/" keys (config: NonJournaledKeyPrefixes) are exempt.
+package j001
+
+import "context"
+
+// Engine is a miniature jobs.Engine.
+type Engine struct{}
+
+// Do enqueues work under a key.
+func (e *Engine) Do(ctx context.Context, key string, fn func()) {}
+
+// Journal is a miniature write-ahead journal.
+type Journal struct{}
+
+// Begin appends a durable intent record.
+func (j *Journal) Begin(kind, key string) error { return nil }
+
+type server struct {
+	eng *Engine
+	jrn *Journal
+}
+
+// journaled begins before enqueueing: silent.
+func (s *server) journaled(ctx context.Context) {
+	s.jrn.Begin("sim", "k1")
+	s.eng.Do(ctx, "sim/k1", func() {})
+}
+
+// unjournaled enqueues with no intent record: a crash between the
+// enqueue and the first journal append loses the job.
+func (s *server) unjournaled(ctx context.Context) {
+	s.eng.Do(ctx, "sim/k2", func() {}) // want J001 "not dominated by a journal begin"
+}
+
+// branchOnly begins on only one path: a begin inside an if-branch does
+// not dominate the enqueue after it.
+func (s *server) branchOnly(ctx context.Context, ok bool) {
+	if ok {
+		s.jrn.Begin("sim", "k3")
+	}
+	s.eng.Do(ctx, "sim/k3", func() {}) // want J001 "not dominated by a journal begin"
+}
+
+// prepare enqueues idempotent re-derivable work under the exempt
+// prefix: silent.
+func (s *server) prepare(ctx context.Context, key string) {
+	s.eng.Do(ctx, "prepare/"+key, func() {})
+}
+
+// nested proves dominance is found across nesting levels: the begin on
+// the function spine dominates an enqueue inside a loop body. Silent.
+func (s *server) nested(ctx context.Context, keys []string) {
+	s.jrn.Begin("sim", "batch")
+	for _, k := range keys {
+		s.eng.Do(ctx, "sim/"+k, func() {})
+	}
+}

@@ -1,0 +1,49 @@
+// Package k001 seeds violations and compliant forms for the K001
+// key-purity analyzer. Key (listed in the fixture config as a store-key
+// struct) must have every field explicitly tagged, no unexported
+// fields, and its `json:"-"` fields must never be read inside an
+// artifact-content producer.
+package k001
+
+import "encoding/json"
+
+// Key stands in for core.Config: its JSON feeds store keys.
+type Key struct {
+	Name    string `json:"name"`
+	Seed    int64  `json:"seed"`
+	Workers int    `json:"-"` // wall-clock knob, key-excluded
+
+	Comment string // want K001 "no explicit json tag"
+	stamp   int64  // want K001 "unexported field"
+}
+
+// ArtifactBytes is an artifact-content producer (it calls
+// json.Marshal) that leaks the key-excluded Workers field into the
+// bytes the key addresses.
+func ArtifactBytes(k Key) []byte {
+	payload := struct {
+		Name    string
+		Workers int
+	}{k.Name, k.Workers} // want K001 "key-excluded field Key.Workers"
+	b, _ := json.Marshal(payload)
+	return b
+}
+
+// CleanBytes reads only key-included fields: silent.
+func CleanBytes(k Key) []byte {
+	payload := struct {
+		Name string
+		Seed int64
+	}{k.Name, k.Seed}
+	b, _ := json.Marshal(payload)
+	return b
+}
+
+// Tune reads Workers OUTSIDE any marshal path (scheduling, not
+// artifact content): silent.
+func Tune(k Key) int {
+	if k.Workers > 0 {
+		return k.Workers
+	}
+	return 1
+}

@@ -1,0 +1,50 @@
+// Package l001 seeds violations and compliant forms for the L001
+// lock-hygiene analyzer: fsyncAll stands in for the configured slow
+// calls (fsync, journal append, network I/O) that must not run while a
+// mutex is held.
+package l001
+
+import "sync"
+
+type cache struct {
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+// fsyncAll is the fixture's slow call (config: SlowCallFuncs).
+func fsyncAll() error { return nil }
+
+// badFlush holds the lock across the slow call (explicit unlock).
+func (c *cache) badFlush() {
+	c.mu.Lock()
+	fsyncAll() // want L001 "called while holding c.mu"
+	c.mu.Unlock()
+}
+
+// badDeferred holds the lock across the slow call (deferred unlock
+// extends the span to the end of the block).
+func (c *cache) badDeferred(key string, v []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data[key] = v
+	fsyncAll() // want L001 "called while holding c.mu"
+}
+
+// goodFlush snapshots under the lock and does the slow work outside
+// it — the repo-wide discipline. Silent.
+func (c *cache) goodFlush(key string, v []byte) {
+	c.mu.Lock()
+	c.data[key] = v
+	c.mu.Unlock()
+	fsyncAll()
+}
+
+// goodAsync starts the slow work in a function literal (it runs later,
+// off the critical section): silent.
+func (c *cache) goodAsync() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		fsyncAll()
+	}()
+}

@@ -1,0 +1,31 @@
+// Package s001 seeds violations and compliant forms for the S001
+// seam-bypass analyzer: this package "owns" an FS fault seam (seam.go,
+// config-exempted, is the implementation), so direct os.* filesystem
+// calls elsewhere in it dodge fault injection.
+package s001
+
+import "os"
+
+// Persist bypasses the seam: an injected write error or a simulated
+// crash between write and rename can never reach this call.
+func Persist(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want S001 "direct os.WriteFile"
+}
+
+// Load bypasses the seam on the read side.
+func Load(path string) ([]byte, error) {
+	return os.ReadFile(path) // want S001 "direct os.ReadFile"
+}
+
+// PersistSeamed routes the same write through the package's seam:
+// silent.
+func PersistSeamed(fsys FS, path string, data []byte) error {
+	return fsys.WriteFile(path, data)
+}
+
+// Probe calls an os function that is not a filesystem mutation entry
+// point (not in the configured list): silent.
+func Probe(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

@@ -1,0 +1,25 @@
+// seam.go IS the seam implementation (a miniature of store.OS): the
+// fixture config lists it in SkipFiles, so its direct os calls are the
+// one sanctioned place — all silent.
+package s001
+
+import "os"
+
+// FS is the package's fault seam.
+type FS interface {
+	WriteFile(path string, data []byte) error
+	ReadFile(path string) ([]byte, error)
+}
+
+// OS is the production implementation.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) WriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

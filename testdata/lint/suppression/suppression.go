@@ -1,0 +1,42 @@
+// Package suppression exercises the //lint:ignore machinery: a real
+// finding suppressed with a reason (silent), an unused suppression
+// (I001), and a reason-less suppression (I001). `// wantbelow` marks a
+// diagnostic expected on the line after the comment — needed because a
+// //lint:ignore directive consumes its whole line.
+package suppression
+
+// suppressed contains a genuine D001 winner-selection finding that the
+// directive on the line above the range suppresses.
+func suppressed(m map[string]int) string {
+	best := ""
+	//lint:ignore D001 fixture: tie-free by construction in this test corpus, winner is order-independent
+	for k := range m {
+		if len(k) > len(best) {
+			best = k
+		}
+	}
+	return best
+}
+
+// unused carries a suppression for a rule that never fires here: the
+// directive itself becomes the finding.
+func unused(m map[string]bool) int {
+	n := 0
+	// wantbelow I001 "unused suppression: no L001 finding"
+	//lint:ignore L001 nothing here ever held a lock
+	for range m {
+		n++
+	}
+	return n
+}
+
+// malformed omits the mandatory reason.
+func malformed(m map[int]int) int {
+	total := 0
+	// wantbelow I001 "malformed suppression"
+	//lint:ignore D001
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
