@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race diff bench bench-json bench-smoke verify-fuzz chaos crash scenario-smoke cluster-smoke figs csv serve clean
+.PHONY: all build vet lint test test-short race diff bench bench-json bench-smoke bench-matrix profile verify-fuzz chaos crash scenario-smoke cluster-smoke figs csv serve clean
 
 all: build vet lint test race
 
@@ -34,12 +34,14 @@ test-short:
 # (benchmark × policy) fan-out over a shared Run.
 race:
 	$(GO) test -race ./internal/tlsrt/ ./internal/jobs/ ./internal/store/ ./internal/fault/ ./internal/resilience/ ./internal/parallel/ ./internal/scenario/ ./internal/cluster/
-	$(GO) test -race -run 'TestConcurrentSimulate|TestPrewarmMatchesSequential' .
+	$(GO) test -race -run 'TestConcurrentSimulate|TestPrewarmMatchesSequential|TestConcurrentBuildsShareNoPooledObjects' .
 
 # Differential determinism suites under the race detector: the parallel
 # pipeline must produce byte-identical artifacts at every -j (compiler
 # internals, sharded sequential baseline, benchmark-level fingerprints,
-# golden files).
+# golden files) and at every point of the GOMAXPROCS {1,8} x -j {1,8}
+# cross-product (TestParallelDiffMatrix — scheduler-dimension
+# invariance on top of worker-count invariance).
 diff:
 	$(GO) test -race -short -run 'TestParallelDiff|TestWorkersExcluded' ./internal/core/
 	$(GO) test -race -run 'TestSeqShard' ./internal/sim/
@@ -120,6 +122,24 @@ bench-json:
 # more than 10% slower than -j1 (a parallelism regression).
 bench-smoke:
 	$(MAKE) bench-json BENCH_SHORT=-short BENCH_SMOKE=1
+
+# Multi-core bench matrix: time one benchmark's build at every point of
+# GOMAXPROCS {1,4,8} x -j {1,4,8} and write BENCH_matrix.json
+# (machine-readable, archived by CI). With BENCH_SMOKE=1 the run fails
+# if -j4 at GOMAXPROCS=4 is >10% slower than -j1 — the canary for
+# parallel-build overhead creeping back. BENCH_SHORT=-short drops to a
+# single repetition per point.
+bench-matrix:
+	BENCH_MATRIX=1 BENCH_SMOKE=$(BENCH_SMOKE) $(GO) test -run '^TestBenchMatrix$$' $(BENCH_SHORT) -timeout 30m -v .
+
+# CPU and heap profiles of the two hot paths (compiler pipeline on the
+# largest workload, raw simulator throughput). Inspect with
+# `go tool pprof cpu.prof` / `go tool pprof mem.prof`; the live daemon
+# equivalent is `tlsd -pprof` (see docs/perf.md).
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkCompilePipeline|BenchmarkSimulator' -benchtime 10x \
+		-cpuprofile cpu.prof -memprofile mem.prof .
+	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
 
 # Regenerate every figure and table of the paper.
 figs:

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"tlssync/internal/jobs"
+	"tlssync/internal/profile"
+	"tlssync/internal/sim"
 )
 
 // TestBenchJSON is the bench-regression harness behind `make bench-json`:
@@ -65,6 +67,15 @@ func TestBenchJSON(t *testing.T) {
 	j4 := record("pipeline/j4", func(b *testing.B) { benchPipeline(b, names, 4) }, "pipeline/j1")
 	record("build/j1", func(b *testing.B) { benchBuild(b, names[0], 1) }, "")
 	record("build/j4", func(b *testing.B) { benchBuild(b, names[0], 4) }, "build/j1")
+
+	// Per-stage allocation metrics (bytes/op, allocs/op) so a regression
+	// can be attributed to the stage that caused it; the budgets these
+	// trend against live in allocbudget_test.go and docs/perf.md.
+	record("stage/compile", func(b *testing.B) { benchStageCompile(b, names[0]) }, "")
+	record("stage/clone", func(b *testing.B) { benchStageClone(b, names[0]) }, "")
+	record("stage/trace", func(b *testing.B) { benchStageTrace(b, names[0]) }, "")
+	record("stage/profile", func(b *testing.B) { benchStageProfile(b, names[0]) }, "")
+	record("stage/sim", func(b *testing.B) { benchStageSim(b, names[0]) }, "")
 
 	byName := make(map[string]*benchResult, len(results))
 	for _, r := range results {
@@ -151,5 +162,87 @@ func benchBuild(b *testing.B, name string, buildWorkers int) {
 		if _, err := Compile(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-stage benchmarks. Each isolates one pipeline stage on one
+// workload so its bytes/op and allocs/op can be trended independently.
+
+// stageBuild compiles a workload once and returns the pieces the stage
+// benchmarks operate on.
+func stageBuild(b *testing.B, name string) (*Build, *Workload) {
+	b.Helper()
+	w, err := Benchmark(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build, err := Compile(Config{
+		Source: w.Source, TrainInput: w.Train, RefInput: w.Ref, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return build, w
+}
+
+// benchStageCompile times front-end + selection + transformation
+// (everything inside core.Compile at -j1).
+func benchStageCompile(b *testing.B, name string) { benchBuild(b, name, 1) }
+
+// benchStageClone times the arena-backed Program.DeepCopy/Recycle
+// cycle — the per-variant clone every parallel build performs.
+func benchStageClone(b *testing.B, name string) {
+	b.ReportAllocs()
+	build, _ := stageBuild(b, name)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := build.Base.DeepCopy()
+		cp.Recycle()
+	}
+}
+
+// benchStageTrace times the functional interpreter producing (and
+// releasing) a full region-delimited trace.
+func benchStageTrace(b *testing.B, name string) {
+	b.ReportAllocs()
+	build, w := stageBuild(b, name)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := build.Trace(build.Base, w.Ref)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.Release()
+	}
+}
+
+// benchStageProfile times dependence-profile analysis over a fixed
+// trace.
+func benchStageProfile(b *testing.B, name string) {
+	b.ReportAllocs()
+	build, w := stageBuild(b, name)
+	tr, err := build.Trace(build.Base, w.Ref)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profile.Analyze(tr)
+	}
+}
+
+// benchStageSim times the timing simulator (policy U) over a fixed
+// trace.
+func benchStageSim(b *testing.B, name string) {
+	b.ReportAllocs()
+	build, w := stageBuild(b, name)
+	tr, err := build.Trace(build.Base, w.Ref)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Simulate(sim.Input{Trace: tr, Policy: sim.PolicyU()})
 	}
 }

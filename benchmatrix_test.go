@@ -1,0 +1,124 @@
+package tlssync
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestBenchMatrix is the multi-core bench harness behind `make
+// bench-matrix`: it times a single benchmark's build (core.Compile) at
+// every point of the GOMAXPROCS {1,4,8} x -j {1,4,8} cross-product and
+// writes BENCH_matrix.json for CI to archive and trend.
+//
+// Each point reports the MINIMUM ns/op over a few repetitions —
+// benchmark noise is one-sided (interference only adds time), so the
+// minimum is the stable estimator on shared runners. Opt-in via
+// BENCH_MATRIX=1; with BENCH_SMOKE=1 the run fails when the parallel
+// build (-j4) is more than 10% slower than -j1 at the same GOMAXPROCS
+// — the canary for parallel-build overhead creeping back (see
+// docs/perf.md). The gated GOMAXPROCS is host-aware: 4 on hosts with
+// >= 4 CPUs, 1 otherwise. GOMAXPROCS is process-global, so the sweep
+// is strictly serial.
+func TestBenchMatrix(t *testing.T) {
+	if os.Getenv("BENCH_MATRIX") == "" {
+		t.Skip("set BENCH_MATRIX=1 to run the multi-core bench matrix")
+	}
+	// parser is the matrix workload: the mid-size benchmark whose build
+	// the allocation work was profiled against (docs/perf.md), big
+	// enough that parallel overhead would show, small enough that its
+	// peak footprint does not thrash the GC on small runners. Override
+	// with BENCH_MATRIX_NAME to sweep another workload.
+	name := "parser"
+	if n := os.Getenv("BENCH_MATRIX_NAME"); n != "" {
+		name = n
+	}
+	gomaxprocs := []int{1, 4, 8}
+	workerCounts := []int{1, 4, 8}
+	reps := 3
+	if testing.Short() {
+		reps = 1
+	}
+
+	type point struct {
+		Name        string `json:"name"` // "build/g4/j8"
+		GOMAXPROCS  int    `json:"gomaxprocs"`
+		Workers     int    `json:"workers"`
+		NsPerOp     int64  `json:"ns_per_op"`
+		BytesPerOp  int64  `json:"bytes_per_op"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+		Iterations  int    `json:"iterations"`
+		// Speedup is vs the -j1 point at the same GOMAXPROCS.
+		Speedup float64 `json:"speedup,omitempty"`
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var points []*point
+	byName := make(map[string]*point)
+	for _, g := range gomaxprocs {
+		runtime.GOMAXPROCS(g)
+		for _, j := range workerCounts {
+			p := &point{GOMAXPROCS: g, Workers: j}
+			p.Name = fmt.Sprintf("build/g%d/j%d", g, j)
+			t.Logf("timing %s (%d reps) ...", p.Name, reps)
+			for rep := 0; rep < reps; rep++ {
+				r := testing.Benchmark(func(b *testing.B) { benchBuild(b, name, j) })
+				if rep == 0 || r.NsPerOp() < p.NsPerOp {
+					p.NsPerOp = r.NsPerOp()
+					p.BytesPerOp = r.AllocedBytesPerOp()
+					p.AllocsPerOp = r.AllocsPerOp()
+					p.Iterations = r.N
+				}
+			}
+			points = append(points, p)
+			byName[p.Name] = p
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+
+	for _, p := range points {
+		if base := byName[fmt.Sprintf("build/g%d/j1", p.GOMAXPROCS)]; base != nil && p.NsPerOp > 0 {
+			p.Speedup = float64(base.NsPerOp) / float64(p.NsPerOp)
+		}
+	}
+
+	out := struct {
+		Benchmark  string   `json:"benchmark"`
+		HostCPUs   int      `json:"host_cpus"`
+		GOMAXPROCS []int    `json:"gomaxprocs_swept"`
+		Workers    []int    `json:"workers_swept"`
+		Reps       int      `json:"reps"`
+		Short      bool     `json:"short"`
+		Points     []*point `json:"points"`
+	}{name, runtime.NumCPU(), gomaxprocs, workerCounts, reps, testing.Short(), points}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("BENCH_matrix.json", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_matrix.json:\n%s", data)
+
+	if os.Getenv("BENCH_SMOKE") != "" {
+		// Gate on the point the host can actually speak to. With >= 4
+		// CPUs, GOMAXPROCS=4 runs the four workers on real cores and
+		// -j4 must not lose to -j1. On fewer cores GOMAXPROCS=4 is pure
+		// time-slicing (kernel context switches, GC with more Ps than
+		// cores) — there the honest invariant is the GOMAXPROCS=1 row:
+		// the parallel code path must cost nothing when the scheduler
+		// serializes it.
+		gate := "build/g1/j4"
+		if runtime.NumCPU() >= 4 {
+			gate = "build/g4/j4"
+		}
+		if p := byName[gate]; p != nil && p.Speedup != 0 && p.Speedup < 0.9 {
+			t.Errorf("%s is >10%% slower than -j1 at the same GOMAXPROCS (speedup %.2f): parallel-build overhead regression", gate, p.Speedup)
+		}
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux; exposed only behind -pprof
 	"os"
 	"os/signal"
 	"runtime"
@@ -77,6 +78,8 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "cluster heartbeat probe period")
 	deadAfter := flag.Duration("dead-after", 0, "silence before a peer is declared dead (0: 4x heartbeat)")
 	sweep := flag.Duration("sweep", 2*time.Second, "anti-entropy sweep period: digest exchange + replica repair (0: off)")
+	pprofOn := flag.Bool("pprof", false,
+		"serve net/http/pprof profiling endpoints under /debug/pprof/ (opt-in: profiling exposes internals)")
 	enableFaults := flag.Bool("enable-fault-injection", false,
 		"expose the fault-injection surface (-faults, TLSD_FAULTS, /_faults endpoints); for chaos testing only, never production")
 	faultSpec := flag.String("faults", "",
@@ -221,7 +224,18 @@ func main() {
 	// ReadHeaderTimeout bounds how long a connection may dribble its
 	// request headers — without it, slowloris clients pin connections
 	// (and eventually file descriptors) forever.
-	srv := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	var handler http.Handler = s
+	if *pprofOn {
+		// pprof registers itself on http.DefaultServeMux at import time;
+		// route /debug/pprof/ there and everything else to the app, so
+		// the profiler is reachable only when explicitly enabled.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", s)
+		handler = mux
+		log.Printf("tlsd: pprof enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go drainThenShutdown(srv, s, sig, 2*time.Second, 30*time.Second)

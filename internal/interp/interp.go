@@ -13,6 +13,7 @@ package interp
 
 import (
 	"fmt"
+	"math"
 
 	"tlssync/internal/cfg"
 	"tlssync/internal/ir"
@@ -86,6 +87,16 @@ type interp struct {
 	regionIns *trace.RegionInstance
 	epoch     *trace.Epoch
 	epochOrd  int // ordinal of the current epoch within the region instance
+	// epochImpure tracks whether the current epoch performed any
+	// side effect (store, call, print, signal, allocation); exitRegion
+	// folds a side-effect-free final header visit into the previous
+	// epoch without rescanning its events.
+	epochImpure bool
+
+	// freeFrames recycles popped call frames (and their register
+	// slices): call-heavy programs would otherwise allocate one frame +
+	// one register file per dynamic call.
+	freeFrames []*frame
 
 	// Region state.
 	headerMap   map[*ir.Block]*Region
@@ -160,8 +171,16 @@ func Run(p *ir.Program, opts Options) (*trace.ProgramTrace, error) {
 	if main.NParams != 0 {
 		return nil, fmt.Errorf("interp: main must take no parameters")
 	}
-	it.pushFrame(main, nil, ir.None)
-	if err := it.run(); err != nil {
+	if id := p.MaxInstrID(); id > math.MaxInt32 {
+		return nil, fmt.Errorf("interp: program has %d instruction IDs; trace encoding caps at %d", id, math.MaxInt32)
+	}
+	it.tr.Code = p.Code()
+	it.pushFrame(main, ir.None)
+	err := it.run()
+	// Simulation memory is private to this run; hand its pages back to
+	// the pool whether or not the run succeeded.
+	it.mem.release()
+	if err != nil {
 		return nil, err
 	}
 	it.flushSeq()
@@ -180,7 +199,10 @@ func (it *interp) rnd(n int64) int64 {
 	return v % n
 }
 
-func (it *interp) pushFrame(fn *ir.Func, args []int64, retDst ir.Reg) {
+// pushFrame activates a new frame for fn and returns it with all
+// registers zeroed; the caller deposits arguments directly into
+// f.regs[0:NParams]. Popped frames are recycled through it.freeFrames.
+func (it *interp) pushFrame(fn *ir.Func, retDst ir.Reg) *frame {
 	base := ir.StackBase
 	if n := len(it.frames); n > 0 {
 		prev := it.frames[n-1]
@@ -189,20 +211,33 @@ func (it *interp) pushFrame(fn *ir.Func, args []int64, retDst ir.Reg) {
 	if base+fn.FrameSize > ir.StackLimit {
 		panic(interpError{fmt.Errorf("interp: stack overflow in %s", fn.Name)})
 	}
-	f := &frame{
-		fn:     fn,
-		regs:   make([]int64, fn.NumRegs),
-		base:   base,
-		block:  fn.Entry,
-		retDst: retDst,
+	var f *frame
+	if n := len(it.freeFrames); n > 0 {
+		f = it.freeFrames[n-1]
+		it.freeFrames = it.freeFrames[:n-1]
+		if cap(f.regs) < fn.NumRegs {
+			f.regs = make([]int64, fn.NumRegs)
+		} else {
+			f.regs = f.regs[:fn.NumRegs]
+			clear(f.regs)
+		}
+		f.fn, f.base, f.block, f.idx, f.retDst = fn, base, fn.Entry, 0, retDst
+	} else {
+		f = &frame{
+			fn:     fn,
+			regs:   make([]int64, fn.NumRegs),
+			base:   base,
+			block:  fn.Entry,
+			retDst: retDst,
+		}
 	}
-	copy(f.regs, args)
 	// Frame memory is zeroed on entry (MiniC locals are zero-initialized;
 	// stack addresses are reused across calls).
 	for off := int64(0); off < fn.FrameSize; off += lang.WordSize {
 		it.mem.zero(base + off)
 	}
 	it.frames = append(it.frames, f)
+	return f
 }
 
 type interpError struct{ err error }
@@ -223,12 +258,19 @@ func (it *interp) run() (err error) {
 			it.blockBoundary(f)
 			f = it.frames[len(it.frames)-1]
 		}
-		in := f.block.Instrs[f.idx]
-		it.steps++
-		if it.steps > it.maxStep {
-			return fmt.Errorf("interp: exceeded %d steps (infinite loop?)", it.maxStep)
+		// Flat dispatch: run the current block's straight-line suffix in
+		// one tight loop. exec returns false on any control transfer
+		// (branch, call, return), which invalidates the cached block.
+		instrs := f.block.Instrs
+		for f.idx < len(instrs) {
+			it.steps++
+			if it.steps > it.maxStep {
+				return fmt.Errorf("interp: exceeded %d steps (infinite loop?)", it.maxStep)
+			}
+			if !it.exec(f, instrs[f.idx]) {
+				break
+			}
 		}
-		it.exec(f, in)
 	}
 	return nil
 }
@@ -257,18 +299,21 @@ func (it *interp) enterRegion(r *Region, depth int) {
 	it.regionDepth = depth
 	it.regionIns = &trace.RegionInstance{RegionID: r.ID}
 	it.epochOrd = -1
-	it.scalarCur = make(map[int64]int64)
-	it.scalarNext = it.scalarNextPending // signals from the preheader
-	it.scalarNextPending = nil
-	if it.scalarNext == nil {
-		it.scalarNext = make(map[int64]int64)
+	// Protocol state is cleared in place, not reallocated: region entry
+	// is a hot boundary in loop-nest-heavy programs.
+	clear(it.scalarCur)
+	if it.scalarNextPending != nil {
+		it.scalarNext = it.scalarNextPending // signals from the preheader
+		it.scalarNextPending = nil
+	} else {
+		clear(it.scalarNext)
 	}
-	it.scalarSet = make(map[int64]bool)
-	it.memCur = make(map[int64]memMsg)
-	it.memNext = make(map[int64]memMsg)
-	it.uff = make(map[int64]bool)
-	it.sigAddrs = make(map[int64][]int64)
-	it.lastStoreEpoch = make(map[int64]int)
+	clear(it.scalarSet)
+	clear(it.memCur)
+	clear(it.memNext)
+	clear(it.uff)
+	clear(it.sigAddrs)
+	clear(it.lastStoreEpoch)
 	it.nextEpoch()
 }
 
@@ -278,15 +323,22 @@ func (it *interp) nextEpoch() {
 	}
 	it.epochOrd++
 	it.epoch = &trace.Epoch{Index: it.epochOrd, Events: trace.GetEvents()}
+	it.epochImpure = false
 	// Mailbox handover: what was signaled during the previous epoch is now
-	// available to this epoch.
-	it.scalarCur, it.scalarNext = it.scalarNext, make(map[int64]int64)
-	it.scalarSet = make(map[int64]bool, len(it.scalarCur))
+	// available to this epoch. The consumed generation's maps are cleared
+	// and swapped back in as the next producer side, so an epoch boundary
+	// allocates nothing but the Epoch header.
+	oldScalar := it.scalarCur
+	clear(oldScalar)
+	it.scalarCur, it.scalarNext = it.scalarNext, oldScalar
+	clear(it.scalarSet)
 	for k := range it.scalarCur {
 		it.scalarSet[k] = true
 	}
-	it.memCur, it.memNext = it.memNext, make(map[int64]memMsg)
-	it.sigAddrs = make(map[int64][]int64)
+	oldMem := it.memCur
+	clear(oldMem)
+	it.memCur, it.memNext = it.memNext, oldMem
+	clear(it.sigAddrs)
 	for k := range it.uff {
 		it.uff[k] = false
 	}
@@ -299,14 +351,10 @@ func (it *interp) exitRegion() {
 		// belong to the last real epoch (the thread that discovers
 		// termination), not to an epoch of their own. An epoch that did
 		// real work before leaving (e.g. via break) stays separate.
-		pure := true
-		for _, ev := range it.epoch.Events {
-			switch ev.In.Op {
-			case ir.Store, ir.Call, ir.Print, ir.SignalMem, ir.SignalMemNull, ir.SignalScalar, ir.NewObj:
-				pure = false
-			}
-		}
-		if n := len(it.regionIns.Epochs); pure && n > 0 {
+		// Purity is tracked incrementally (epochImpure, set by exec on any
+		// store, call, print, signal or allocation) instead of rescanning
+		// the epoch's events here.
+		if n := len(it.regionIns.Epochs); !it.epochImpure && n > 0 {
 			last := it.regionIns.Epochs[n-1]
 			last.Events = append(last.Events, it.epoch.Events...)
 			trace.PutEvents(it.epoch.Events) // merged by copy; recycle the source
@@ -338,12 +386,14 @@ func (it *interp) emit(ev trace.Event) {
 	}
 }
 
-// exec executes one instruction. Control-transfer cases (Call, Ret, Br,
-// CondBr) emit their event and return directly; every other case falls
-// through to the shared emit-and-advance tail.
-func (it *interp) exec(f *frame, in *ir.Instr) {
+// exec executes one instruction and reports whether execution stayed
+// inside the current block (so run's flat dispatch loop can keep
+// iterating its cached instruction slice). Control-transfer cases (Call,
+// Ret, Br, CondBr) emit their event and return false; every other case
+// falls through to the shared emit-and-advance tail.
+func (it *interp) exec(f *frame, in *ir.Instr) bool {
 	r := f.regs
-	ev := trace.Event{In: in}
+	ev := trace.Event{SI: int32(in.ID)}
 	switch in.Op {
 	case ir.Const:
 		r[in.Dst] = in.Imm
@@ -369,6 +419,7 @@ func (it *interp) exec(f *frame, in *ir.Instr) {
 		it.checkAddr(addr, in)
 		it.mem.store(addr, r[in.B])
 		ev.Addr, ev.Val = addr, r[in.B]
+		it.epochImpure = true
 		it.noteStore(addr, ev.Val)
 	case ir.AddrGlobal:
 		g := it.prog.GlobalMap[in.Sym]
@@ -380,6 +431,7 @@ func (it *interp) exec(f *frame, in *ir.Instr) {
 		r[in.Dst] = it.heapPtr
 		it.heapPtr += size
 		ev.Addr = r[in.Dst]
+		it.epochImpure = true
 	case ir.Rnd:
 		r[in.Dst] = it.rnd(r[in.A])
 	case ir.Input:
@@ -395,16 +447,17 @@ func (it *interp) exec(f *frame, in *ir.Instr) {
 	case ir.Print:
 		it.tr.Output = append(it.tr.Output, r[in.A])
 		ev.Val = r[in.A]
+		it.epochImpure = true
 	case ir.Call:
 		callee := it.prog.FuncMap[in.Sym]
-		args := make([]int64, len(in.Args))
-		for i, a := range in.Args {
-			args[i] = r[a]
-		}
+		it.epochImpure = true
 		it.emit(ev)
 		f.idx++ // resume after the call on return
-		it.pushFrame(callee, args, in.Dst)
-		return
+		nf := it.pushFrame(callee, in.Dst)
+		for i, a := range in.Args {
+			nf.regs[i] = r[a]
+		}
+		return false
 	case ir.Ret:
 		var v int64
 		if in.A != ir.None {
@@ -422,12 +475,14 @@ func (it *interp) exec(f *frame, in *ir.Instr) {
 				caller.regs[f.retDst] = v
 			}
 		}
-		return
+		// f is dead (popped, nothing aliases it): recycle it.
+		it.freeFrames = append(it.freeFrames, f)
+		return false
 	case ir.Br:
 		it.emit(ev)
 		f.block = f.block.Succs[0]
 		f.idx = 0
-		return
+		return false
 	case ir.CondBr:
 		it.emit(ev)
 		if r[in.A] != 0 {
@@ -436,7 +491,7 @@ func (it *interp) exec(f *frame, in *ir.Instr) {
 			f.block = f.block.Succs[1]
 		}
 		f.idx = 0
-		return
+		return false
 
 	case ir.WaitScalar:
 		if it.scalarSet != nil && it.scalarSet[in.Imm] {
@@ -455,6 +510,7 @@ func (it *interp) exec(f *frame, in *ir.Instr) {
 			it.scalarNextPending[in.Imm] = r[in.A]
 		}
 		ev.Val = r[in.A]
+		it.epochImpure = true
 	case ir.WaitMemAddr:
 		m := it.memCur[in.Imm]
 		switch {
@@ -505,17 +561,20 @@ func (it *interp) exec(f *frame, in *ir.Instr) {
 			it.sigAddrs[addr] = append(it.sigAddrs[addr], in.Imm)
 		}
 		ev.Addr, ev.Val = addr, val
+		it.epochImpure = true
 	case ir.SignalMemNull:
 		// Conditional: only the first signal of an epoch wins, so NULL
 		// signals placed on storeless paths never clobber a real one.
 		if _, already := it.memNext[in.Imm]; !already {
 			it.memNext[in.Imm] = memMsg{valid: true, null: true}
 		}
+		it.epochImpure = true
 	default:
 		panic(interpError{fmt.Errorf("interp: unknown op %v", in.Op)})
 	}
 	it.emit(ev)
 	f.idx++
+	return true
 }
 
 // noteStore updates TLS bookkeeping for a store: the per-region

@@ -367,7 +367,7 @@ func main() {
 		for _, e := range s.Region.Epochs[:4] {
 			loads, stores := 0, 0
 			for _, ev := range e.Events {
-				switch ev.In.Op {
+				switch tr.Code[ev.SI].Op {
 				case ir.Load:
 					if ev.Addr == gAddr {
 						loads++
@@ -462,7 +462,7 @@ func main() {
 		for _, e := range s.Region.Epochs {
 			depth := 0
 			for _, ev := range e.Events {
-				switch ev.In.Op {
+				switch tr.Code[ev.SI].Op {
 				case ir.Call:
 					depth++
 				case ir.Ret:
@@ -501,7 +501,7 @@ func main() {
 		}
 		for _, e := range s.Region.Epochs {
 			for _, ev := range e.Events {
-				if ev.In.Op.IsMemAccess() && ir.IsStackAddr(ev.Addr) {
+				if tr.Code[ev.SI].Op.IsMemAccess() && ir.IsStackAddr(ev.Addr) {
 					sawStack = true
 				}
 			}

@@ -1,5 +1,7 @@
 package interp
 
+import "sync"
+
 // memory is the interpreter's simulated address space: a two-level page
 // table over 64-bit byte addresses, replacing a flat map (the single
 // hottest structure in the pipeline — every dynamic load and store walks
@@ -22,8 +24,46 @@ const (
 
 type page [pageWords]int64
 
+// Memories (the struct + its page table map) and 4 KiB pages are pooled
+// across runs: a figure sweep interprets the same programs hundreds of
+// times, and without reuse each run re-faults its whole working set.
+// Pages are zeroed on release, so a pooled page is indistinguishable
+// from a fresh one — the lazily-zero-filled contract above still holds.
+var (
+	memoryPool sync.Pool
+	pagePool   sync.Pool
+)
+
 func newMemory() *memory {
+	if v := memoryPool.Get(); v != nil {
+		m := v.(*memory)
+		m.lastIdx, m.lastPage = -1, nil
+		return m
+	}
 	return &memory{pages: make(map[int64]*page), lastIdx: -1}
+}
+
+func getPage() *page {
+	if v := pagePool.Get(); v != nil {
+		return v.(*page)
+	}
+	return new(page)
+}
+
+// release zeroes every mapped page, returns it to the page pool, and
+// returns the (emptied) memory itself to the memory pool. The memory
+// must not be used afterwards.
+func (m *memory) release() {
+	// Iteration order escapes only into sync.Pool stacking order, and
+	// pooled pages are zeroed — interchangeable by construction.
+	//lint:ignore D001 order escapes only into pool stacking of zeroed, interchangeable pages
+	for idx, p := range m.pages {
+		*p = page{}
+		pagePool.Put(p)
+		delete(m.pages, idx)
+	}
+	m.lastIdx, m.lastPage = -1, nil
+	memoryPool.Put(m)
 }
 
 func (m *memory) load(addr int64) int64 {
@@ -44,7 +84,7 @@ func (m *memory) store(addr, v int64) {
 	if idx != m.lastIdx {
 		p, ok := m.pages[idx]
 		if !ok {
-			p = new(page)
+			p = getPage()
 			m.pages[idx] = p
 		}
 		m.lastIdx, m.lastPage = idx, p

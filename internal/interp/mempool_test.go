@@ -1,0 +1,77 @@
+package interp
+
+import (
+	"testing"
+
+	"tlssync/internal/racedetect"
+)
+
+// TestMemoryPoolNoContamination pins the zero-on-release invariant of
+// the interpreter's memory pool: a released memory's pages are zeroed
+// before pooling, so a recycled memory must be indistinguishable from a
+// fresh one — reads of never-written addresses return 0 even when the
+// backing page previously held another run's data.
+func TestMemoryPoolNoContamination(t *testing.T) {
+	const addr = 0x42000 // heap-ish address, same page likely reused
+	m := newMemory()
+	for a := int64(0); a < 64; a++ {
+		m.store(addr+a*8, 0xDEAD+a)
+	}
+	if m.load(addr) != 0xDEAD {
+		t.Fatal("store/load sanity check failed")
+	}
+	m.release()
+
+	// The next memory reuses the pooled struct and pages.
+	m2 := newMemory()
+	for a := int64(0); a < 64; a++ {
+		if got := m2.load(addr + a*8); got != 0 {
+			t.Fatalf("recycled memory leaked value %#x at %#x: pages not zeroed on release", got, addr+a*8)
+		}
+	}
+	// Faulting the same page back in must also observe zeroes.
+	m2.store(addr+8, 1)
+	if got := m2.load(addr); got != 0 {
+		t.Fatalf("recycled page leaked value %#x next to a fresh store", got)
+	}
+	m2.release()
+}
+
+// TestInterpStepAllocBudget is the allocation-budget regression test
+// for the interpreter's step loop: with the event-buffer, memory-page
+// and frame pools warm, re-interpreting the same program must cost a
+// small bounded number of allocations per run — NOT per dynamic
+// instruction. The budget is per-run and deliberately loose (pools can
+// be emptied by GC mid-measurement); what it catches is a regression to
+// per-event or per-page allocation, which overshoots it by orders of
+// magnitude. See docs/perf.md.
+func TestInterpStepAllocBudget(t *testing.T) {
+	if racedetect.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	p := compile(t, poolSrc)
+	regs := regionsOf(p)
+	run := func() {
+		tr, err := Run(p, Options{Input: []int64{3, 1, 4}, Seed: 7, Regions: regs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Release()
+	}
+	run() // warm every pool
+	steps := func() int {
+		tr, err := Run(p, Options{Input: []int64{3, 1, 4}, Seed: 7, Regions: regs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tr.Events()
+		tr.Release()
+		return n
+	}()
+
+	const budget = 200 // per run: trace skeleton, epochs, stray pool misses
+	allocs := testing.AllocsPerRun(50, run)
+	if allocs > budget {
+		t.Errorf("interpreting %d events allocates %.0f objects/run, budget %d — a pooled path (events, pages, frames) regressed (see docs/perf.md)", steps, allocs, budget)
+	}
+}

@@ -77,9 +77,9 @@ func sameEvents(a, b [][]trace.Event) bool {
 }
 
 // equivEvents compares snapshots of two independent runs: each run
-// compiles its own ir.Program, so Event.In pointers differ even when
-// the dynamic streams are identical. Compare by instruction identity
-// and payload instead.
+// compiles its own ir.Program, but instruction numbering is
+// deterministic, so identical dynamic streams carry identical static
+// indices and payloads.
 func equivEvents(a, b [][]trace.Event) bool {
 	if len(a) != len(b) {
 		return false
@@ -90,8 +90,7 @@ func equivEvents(a, b [][]trace.Event) bool {
 		}
 		for j := range a[i] {
 			x, y := a[i][j], b[i][j]
-			if x.In.ID != y.In.ID || x.In.Op != y.In.Op ||
-				x.Addr != y.Addr || x.Val != y.Val || x.Flags != y.Flags {
+			if x.SI != y.SI || x.Addr != y.Addr || x.Val != y.Val || x.Flags != y.Flags {
 				return false
 			}
 		}

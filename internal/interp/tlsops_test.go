@@ -166,12 +166,12 @@ func TestWaitMemReceivesPreviousEpochSignal(t *testing.T) {
 	gAddr := p.GlobalMap["g"].Addr
 	for _, e := range eventsOf(t, tr) {
 		for _, ev := range e.Events {
-			if ev.In.Op == ir.WaitMemAddr && e.Index > 0 {
+			if tr.Code[ev.SI].Op == ir.WaitMemAddr && e.Index > 0 {
 				if ev.Addr != gAddr {
 					t.Errorf("epoch %d: forwarded addr %#x, want %#x", e.Index, ev.Addr, gAddr)
 				}
 			}
-			if ev.In.Op == ir.WaitMemVal && e.Index > 0 {
+			if tr.Code[ev.SI].Op == ir.WaitMemVal && e.Index > 0 {
 				if ev.Val != int64(e.Index-1) {
 					t.Errorf("epoch %d: forwarded val %d, want %d", e.Index, ev.Val, e.Index-1)
 				}
@@ -197,7 +197,7 @@ func TestEpochZeroWaitSeesNull(t *testing.T) {
 	}
 	epochs := eventsOf(t, tr)
 	for _, ev := range epochs[0].Events {
-		if ev.In.Op == ir.WaitMemAddr {
+		if tr.Code[ev.SI].Op == ir.WaitMemAddr {
 			if ev.Flags&trace.FlagNullSignal == 0 {
 				t.Error("epoch 0 wait should carry the NULL flag")
 			}
@@ -246,12 +246,12 @@ func TestUFFSetOnAddressMatch(t *testing.T) {
 	// Every epoch after the first must run its LoadSync with UFF set.
 	for _, e := range epochs[1:] {
 		for _, ev := range e.Events {
-			if ev.In.Op == ir.LoadSync {
+			if tr.Code[ev.SI].Op == ir.LoadSync {
 				if ev.Flags&trace.FlagUFF == 0 {
 					t.Errorf("epoch %d: UFF not set on matching forward", e.Index)
 				}
 			}
-			if ev.In.Op == ir.SelectFwd {
+			if tr.Code[ev.SI].Op == ir.SelectFwd {
 				if ev.Val != int64(e.Index) {
 					t.Errorf("epoch %d: select produced %d, want %d", e.Index, ev.Val, e.Index)
 				}
@@ -300,11 +300,11 @@ func TestUFFClearedOnAddressMismatch(t *testing.T) {
 	}
 	for _, e := range eventsOf(t, tr) {
 		for _, ev := range e.Events {
-			if ev.In.Op == ir.LoadSync && ev.Flags&trace.FlagUFF != 0 {
+			if tr.Code[ev.SI].Op == ir.LoadSync && ev.Flags&trace.FlagUFF != 0 {
 				t.Errorf("epoch %d: UFF set despite address mismatch", e.Index)
 			}
 			// Select must take the memory value: g counts 1,2,3,...
-			if ev.In.Op == ir.SelectFwd && ev.Val != int64(e.Index) {
+			if tr.Code[ev.SI].Op == ir.SelectFwd && ev.Val != int64(e.Index) {
 				t.Errorf("epoch %d: select = %d, want %d", e.Index, ev.Val, e.Index)
 			}
 		}
@@ -343,7 +343,7 @@ func TestUFFClearedByLocalOverwrite(t *testing.T) {
 	}
 	for _, e := range eventsOf(t, tr) {
 		for _, ev := range e.Events {
-			if ev.In.Op == ir.LoadSync {
+			if tr.Code[ev.SI].Op == ir.LoadSync {
 				if ev.Flags&trace.FlagUFF != 0 {
 					t.Errorf("epoch %d: UFF survived a local overwrite", e.Index)
 				}
@@ -390,10 +390,10 @@ func TestStaleFlagOnPostSignalStore(t *testing.T) {
 	staleSeen := false
 	for _, e := range epochs[1:] {
 		for _, ev := range e.Events {
-			if ev.In.Op == ir.WaitMemAddr && ev.Flags&trace.FlagStale != 0 {
+			if tr.Code[ev.SI].Op == ir.WaitMemAddr && ev.Flags&trace.FlagStale != 0 {
 				staleSeen = true
 			}
-			if ev.In.Op == ir.LoadSync && ev.Flags&trace.FlagUFF != 0 {
+			if tr.Code[ev.SI].Op == ir.LoadSync && ev.Flags&trace.FlagUFF != 0 {
 				t.Errorf("epoch %d: UFF set on a stale forward", e.Index)
 			}
 		}
@@ -429,7 +429,7 @@ func TestScalarSignalWaitRoundTrip(t *testing.T) {
 	}
 	for _, e := range eventsOf(t, tr) {
 		for _, ev := range e.Events {
-			if ev.In.Op == ir.WaitScalar && ev.Val != int64(e.Index) {
+			if tr.Code[ev.SI].Op == ir.WaitScalar && ev.Val != int64(e.Index) {
 				t.Errorf("epoch %d: wait.s = %d, want %d", e.Index, ev.Val, e.Index)
 			}
 		}

@@ -1,0 +1,27 @@
+package ir
+
+// Code is a program's static-instruction table: instruction IDs index
+// directly into it (IDs start at 1; slot 0 is unused). Trace events name
+// their static instruction by ID (trace.Event.SI) instead of carrying an
+// *Instr, which keeps the multi-million-entry event buffers pointer-free
+// — the garbage collector never scans them, and pooled buffers cannot
+// pin instruction objects of dead programs. Code is how the profiler and
+// the timing simulator resolve an event back to its instruction.
+type Code []*Instr
+
+// Code builds the ID-indexed instruction table for the program. Only
+// instructions reachable from a block appear (detached scratch
+// instructions keep their IDs but can never be executed, so no event
+// references them). The table is O(static instructions) to build — noise
+// next to the dynamic event streams indexed by it.
+func (p *Program) Code() Code {
+	tbl := make(Code, p.nextID)
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				tbl[in.ID] = in
+			}
+		}
+	}
+	return tbl
+}

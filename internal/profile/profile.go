@@ -270,7 +270,7 @@ func Analyze(tr *trace.ProgramTrace) *Profile {
 			p.Regions[ri.RegionID] = rp
 		}
 		rp.Instances++
-		analyzeInstance(ri, rp)
+		analyzeInstance(ri, rp, tr.Code)
 		for _, e := range ri.Epochs {
 			rp.Events += int64(len(e.Events))
 			p.TotalEvents += int64(len(e.Events))
@@ -280,21 +280,31 @@ func Analyze(tr *trace.ProgramTrace) *Profile {
 	return p
 }
 
-func analyzeInstance(ri *trace.RegionInstance, rp *RegionProfile) {
+func analyzeInstance(ri *trace.RegionInstance, rp *RegionProfile, code ir.Code) {
 	writers := make(map[int64]lastWrite)
 	// Per-epoch dedup sets: a dependence and a violating load are counted
-	// once per epoch.
+	// once per epoch. The sets are allocated once per instance and
+	// cleared per epoch — region traces routinely hold thousands of
+	// epochs, and five fresh maps per epoch used to show up in the
+	// allocation profile (docs/perf.md).
+	depSeen := make(map[DepKey]bool)
+	depSeenD1 := make(map[DepKey]bool)
+	depSeenWin := make(map[DepKey]bool)
+	loadSeen := make(map[Ref]bool)
+	instrSeen := make(map[int]bool)
+	var stack []int
 	for _, e := range ri.Epochs {
-		depSeen := make(map[DepKey]bool)
-		depSeenD1 := make(map[DepKey]bool)
-		depSeenWin := make(map[DepKey]bool)
-		loadSeen := make(map[Ref]bool)
-		instrSeen := make(map[int]bool)
-		var stack []int
+		clear(depSeen)
+		clear(depSeenD1)
+		clear(depSeenWin)
+		clear(loadSeen)
+		clear(instrSeen)
+		stack = stack[:0]
 		for _, ev := range e.Events {
-			switch ev.In.Op {
+			in := code[ev.SI]
+			switch in.Op {
 			case ir.Call:
-				stack = append(stack, ev.In.Origin)
+				stack = append(stack, in.Origin)
 			case ir.Ret:
 				if len(stack) > 0 {
 					stack = stack[:len(stack)-1]
@@ -305,7 +315,7 @@ func analyzeInstance(ri *trace.RegionInstance, rp *RegionProfile) {
 				}
 				writers[ev.Addr] = lastWrite{
 					epoch: e.Index,
-					ref:   Ref{Instr: ev.In.Origin, Path: MakePath(stack)},
+					ref:   Ref{Instr: in.Origin, Path: MakePath(stack)},
 				}
 			case ir.Load, ir.LoadSync:
 				if ir.IsStackAddr(ev.Addr) {
@@ -315,7 +325,7 @@ func analyzeInstance(ri *trace.RegionInstance, rp *RegionProfile) {
 				if !ok || w.epoch >= e.Index {
 					continue // no producer, or intra-epoch
 				}
-				loadRef := Ref{Instr: ev.In.Origin, Path: MakePath(stack)}
+				loadRef := Ref{Instr: in.Origin, Path: MakePath(stack)}
 				key := DepKey{Store: w.ref, Load: loadRef}
 				st, ok := rp.Deps[key]
 				if !ok {

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package racedetect reports whether the binary was built with the race
+// detector. Allocation-budget tests skip under -race: the detector
+// instruments every allocation and makes testing.AllocsPerRun counts
+// meaningless against budgets calibrated for ordinary builds.
+package racedetect
+
+// Enabled is true when the race detector is compiled in.
+const Enabled = true

@@ -151,6 +151,7 @@ type machine struct {
 	res  *Result
 	hier *hierarchy
 	lat  latencySource // memory-latency provider: hier, or a recorded replay
+	code ir.Code       // static-instruction table resolving trace.Event.SI
 
 	table  *hwTable // violation-history table (shadow in all modes)
 	pred   *predictor
@@ -180,6 +181,10 @@ func newMachine(in Input) *machine {
 	if in.Policy.CompilerHints && in.Policy.CompilerMarks != nil {
 		table.sticky = in.Policy.CompilerMarks
 	}
+	var code ir.Code
+	if in.Trace != nil {
+		code = in.Trace.Code
+	}
 	m := &machine{
 		in:     in,
 		cfg:    in.Mach,
@@ -188,6 +193,7 @@ func newMachine(in Input) *machine {
 		table:  table,
 		pred:   pred,
 		filter: newSyncFilter(),
+		code:   code,
 		res: &Result{
 			Policy:     in.Policy.Name,
 			Machine:    in.Mach,
@@ -214,8 +220,7 @@ func (m *machine) run() {
 // Sequential segments: one CPU, no speculation, sync ops are unit-latency.
 
 func (m *machine) runSequential(events []trace.Event) {
-	run := m.newRun(nil, 0)
-	run.epoch = &trace.Epoch{Events: events}
+	run := m.newRun(&trace.Epoch{Events: events}, 0)
 	start := m.cycle
 	for run.idx < len(run.epoch.Events) {
 		m.stepSequential(run)
@@ -225,6 +230,7 @@ func (m *machine) runSequential(events []trace.Event) {
 		m.cycle = run.lastComplete
 	}
 	m.res.SeqCycles += m.cycle - start
+	putRun(run)
 }
 
 func (m *machine) stepSequential(run *epochRun) {
@@ -252,13 +258,23 @@ func (m *machine) runRegion(ri *trace.RegionInstance) {
 	}
 	m.curRegion = rs
 	m.epochs = ri.Epochs
-	m.runs = make(map[int]*epochRun)
-	m.committedGen = make(map[int]int)
-	m.mail = make(map[mailKey]mailEntry)
+	// Region bookkeeping maps are reused (cleared) across instances; note
+	// that m.runs stays non-nil after the first region on purpose — the
+	// sequential-segment guards in spec.go test nil-ness, and a
+	// post-region sequential segment has always taken the non-nil path.
+	if m.runs == nil {
+		m.runs = make(map[int]*epochRun)
+		m.committedGen = make(map[int]int)
+		m.mail = make(map[mailKey]mailEntry)
+		m.cpuFree = make([]int64, m.cfg.CPUs)
+	} else {
+		clear(m.runs)
+		clear(m.committedGen)
+		clear(m.mail)
+	}
 	m.oldest = 0
 	m.nextStart = 0
 	m.lastStarted = m.cycle - int64(m.cfg.SpawnCost)
-	m.cpuFree = make([]int64, m.cfg.CPUs)
 	for i := range m.cpuFree {
 		m.cpuFree[i] = m.cycle
 	}
@@ -291,20 +307,6 @@ func (m *machine) runRegion(ri *trace.RegionInstance) {
 
 func (m *machine) curRegionIdle(slots int64) {
 	m.curRegion.Slots.Other += slots
-}
-
-func (m *machine) newRun(epoch *trace.Epoch, cpu int) *epochRun {
-	return &epochRun{
-		epoch:       epoch,
-		cpu:         cpu,
-		frames:      []*frameSB{{ready: make(map[ir.Reg]int64), callDst: ir.None}},
-		loadLines:   make(map[int64]loadMark),
-		storeLines:  make(map[int64]int64),
-		storeWords:  make(map[int64]bool),
-		consumedGen: -1,
-		signaled:    make(map[int64]bool),
-		sigBuf:      make(map[int64]int64),
-	}
 }
 
 // startRuns launches epochs in order as CPUs free up, with spawn stagger.
@@ -402,7 +404,7 @@ func (m *machine) stepRun(run *epochRun) {
 func (m *machine) operandsReady(run *epochRun, ev *trace.Event) int64 {
 	f := run.frames[len(run.frames)-1]
 	t := f.base
-	for _, u := range ev.In.Uses() {
+	for _, u := range m.code[ev.SI].Uses() {
 		if r, ok := f.ready[u]; ok && r > t {
 			t = r
 		}
@@ -415,12 +417,13 @@ func (m *machine) operandsReady(run *epochRun, ev *trace.Event) int64 {
 func (m *machine) gate(run *epochRun, ev *trace.Event) (bool, bool) {
 	e := m.epochIdxOf(run)
 	isOldest := e == m.oldest
-	switch ev.In.Op {
+	in := m.code[ev.SI]
+	switch in.Op {
 	case ir.WaitScalar:
 		// Scalar synchronization applies in every mode, including the
 		// perfect-memory oracle (the paper's O bars keep the scalar sync
 		// segment).
-		if ok := m.waitReady(run, e, ev.In.Imm, true); !ok {
+		if ok := m.waitReady(run, e, in.Imm, true); !ok {
 			run.scalarWait++
 			return false, true
 		}
@@ -429,7 +432,7 @@ func (m *machine) gate(run *epochRun, ev *trace.Event) (bool, bool) {
 		if m.pol.PerfectSyncedValues || m.pol.PerfectMemory {
 			return true, false
 		}
-		if m.pol.FilterSync && m.filter.bypass(ev.In.Imm) {
+		if m.pol.FilterSync && m.filter.bypass(in.Imm) {
 			return true, false // hardware filtered this channel out
 		}
 		if m.pol.StallSyncedUntilOldest {
@@ -439,19 +442,19 @@ func (m *machine) gate(run *epochRun, ev *trace.Event) (bool, bool) {
 			}
 			return true, false
 		}
-		if ok := m.waitReady(run, e, ev.In.Imm, false); !ok {
+		if ok := m.waitReady(run, e, in.Imm, false); !ok {
 			run.memWait++
 			return false, true
 		}
-		if ev.In.Op == ir.WaitMemAddr {
-			m.filter.noteWait(ev.In.Imm)
+		if in.Op == ir.WaitMemAddr {
+			m.filter.noteWait(in.Imm)
 		}
 		return true, false
 	case ir.Load, ir.LoadSync:
 		if m.immuneLoad(run, ev) {
 			return true, false
 		}
-		if m.pol.HWSync && !isOldest && m.table.contains(ev.In.Origin) {
+		if m.pol.HWSync && !isOldest && m.table.contains(in.Origin) {
 			run.hwWait++
 			return false, true
 		}
@@ -466,10 +469,11 @@ func (m *machine) immuneLoad(run *epochRun, ev *trace.Event) bool {
 	if m.pol.PerfectMemory {
 		return true
 	}
-	if m.pol.OracleLoads != nil && m.pol.OracleLoads[ev.In.Origin] {
+	in := m.code[ev.SI]
+	if m.pol.OracleLoads != nil && m.pol.OracleLoads[in.Origin] {
 		return true
 	}
-	if ev.In.Op == ir.LoadSync {
+	if in.Op == ir.LoadSync {
 		if m.pol.PerfectSyncedValues || m.pol.StallSyncedUntilOldest {
 			return true
 		}
@@ -477,7 +481,7 @@ func (m *machine) immuneLoad(run *epochRun, ev *trace.Event) bool {
 			// A filtered channel's wait was bypassed, so no forwarded
 			// value arrived and the use-forwarded-value flag cannot be
 			// set: the load behaves like a plain speculative load.
-			if m.pol.FilterSync && m.filter.bypass(ev.In.Imm) {
+			if m.pol.FilterSync && m.filter.bypass(in.Imm) {
 				return false
 			}
 			return true // forwarded value used: cannot violate
@@ -527,7 +531,7 @@ func (m *machine) waitReady(run *epochRun, e int, ch int64, scalar bool) bool {
 // micro-architectural side effects (cache access, dependence tracking,
 // signaling, violations).
 func (m *machine) execLatency(run *epochRun, ev *trace.Event) int {
-	in := ev.In
+	in := m.code[ev.SI]
 	switch in.Op {
 	case ir.Bin:
 		switch in.Alu {
@@ -565,7 +569,7 @@ func (m *machine) execLatency(run *epochRun, ev *trace.Event) int {
 
 // completeEvent updates the scoreboard (and call-frame stack) after issue.
 func (m *machine) completeEvent(run *epochRun, ev *trace.Event, lat int) {
-	in := ev.In
+	in := m.code[ev.SI]
 	done := m.cycle + int64(lat)
 	if done > run.lastComplete {
 		run.lastComplete = done
@@ -574,8 +578,7 @@ func (m *machine) completeEvent(run *epochRun, ev *trace.Event, lat int) {
 	case ir.Call:
 		// Push the callee frame; its registers become ready after the
 		// call overhead (parameters arrive with the call).
-		nf := &frameSB{ready: make(map[ir.Reg]int64), base: done, callDst: in.Dst}
-		run.frames = append(run.frames, nf)
+		run.frames = append(run.frames, getFrameSB(done, in.Dst))
 	case ir.Ret:
 		// Pop back to the caller; the call's destination register is
 		// ready once the return completes (including the returned
@@ -588,8 +591,10 @@ func (m *machine) completeEvent(run *epochRun, ev *trace.Event, lat int) {
 			}
 		}
 		if len(run.frames) > 1 {
-			callDst := run.frames[len(run.frames)-1].callDst
+			popped := run.frames[len(run.frames)-1]
+			callDst := popped.callDst
 			run.frames = run.frames[:len(run.frames)-1]
+			putFrameSB(popped)
 			if callDst != ir.None {
 				run.frames[len(run.frames)-1].ready[callDst] = retReady
 			}

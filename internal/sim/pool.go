@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"sync"
+
+	"tlssync/internal/ir"
+	"tlssync/internal/trace"
+)
+
+// Scoreboard pooling. A figure sweep simulates the same traces under a
+// dozen policies, and every epoch of every region instance materializes
+// one epochRun (five maps + a frame scoreboard); call-heavy epochs add
+// one frameSB per dynamic call. Both are recycled here. The put side
+// clears every map and resets every scalar field, so a pooled object is
+// indistinguishable from a freshly allocated one — which is also what
+// keeps simulation deterministic under pooling, and what
+// pool_test.go's contamination tests pin down. sync.Pool is shared
+// across concurrently running machines (parallel variant simulation);
+// it is safe for that because no object is ever put while referenced.
+
+var runPool sync.Pool
+
+// newRun returns a reset epochRun with one base frame, reusing pooled
+// scoreboards when available.
+func (m *machine) newRun(epoch *trace.Epoch, cpu int) *epochRun {
+	run, _ := runPool.Get().(*epochRun)
+	if run == nil {
+		run = &epochRun{
+			loadLines:  make(map[int64]loadMark),
+			storeLines: make(map[int64]int64),
+			storeWords: make(map[int64]bool),
+			signaled:   make(map[int64]bool),
+			sigBuf:     make(map[int64]int64),
+		}
+	}
+	run.epoch = epoch
+	run.cpu = cpu
+	run.consumedGen = -1
+	run.frames = append(run.frames, getFrameSB(0, ir.None))
+	return run
+}
+
+// putRun recycles a finished (committed or locally-scoped) run. The
+// caller must not touch it afterwards.
+func putRun(run *epochRun) {
+	for _, f := range run.frames {
+		putFrameSB(f)
+	}
+	run.frames = run.frames[:0]
+	clear(run.loadLines)
+	clear(run.storeLines)
+	clear(run.storeWords)
+	clear(run.signaled)
+	clear(run.sigBuf)
+	run.epoch = nil
+	run.span = nil
+	run.idx, run.gen, run.cpu = 0, 0, 0
+	run.slots = Slots{}
+	run.finished = false
+	run.finishCycle, run.lastComplete, run.stallUntil = 0, 0, 0
+	run.stallSync, run.stallFail = false, false
+	run.consumedGen = 0
+	run.sigBufPeak = 0
+	run.mispredicted, run.predictBan = false, false
+	run.mispredictPCs = run.mispredictPCs[:0]
+	run.trainings = run.trainings[:0]
+	run.scalarWait, run.memWait, run.hwWait = 0, 0, 0
+	runPool.Put(run)
+}
+
+var framePool sync.Pool
+
+// getFrameSB returns a frame scoreboard with an empty ready map.
+func getFrameSB(base int64, callDst ir.Reg) *frameSB {
+	f, _ := framePool.Get().(*frameSB)
+	if f == nil {
+		f = &frameSB{ready: make(map[ir.Reg]int64)}
+	}
+	f.base, f.callDst = base, callDst
+	return f
+}
+
+// putFrameSB recycles a popped frame scoreboard.
+func putFrameSB(f *frameSB) {
+	clear(f.ready)
+	framePool.Put(f)
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+
+	"tlssync/internal/ir"
+	"tlssync/internal/racedetect"
+	"tlssync/internal/trace"
+)
+
+// Pool-contamination tests for the scoreboard pools, mirroring
+// internal/interp/pool_test.go: dirty an object, recycle it, re-acquire
+// it, and assert it is indistinguishable from a fresh allocation. This
+// is the invariant that keeps simulation deterministic under pooling.
+
+// dirtyRun fills every recyclable field of an epochRun with junk.
+func dirtyRun(run *epochRun) {
+	run.idx, run.gen, run.cpu = 7, 3, 5
+	run.slots = Slots{Busy: 11, Fail: 13}
+	run.finished = true
+	run.finishCycle, run.lastComplete, run.stallUntil = 101, 102, 103
+	run.stallSync, run.stallFail = true, true
+	run.loadLines[0x1000] = loadMark{}
+	run.storeLines[0x2000] = 9
+	run.storeWords[0x3000] = true
+	run.consumedGen = 4
+	run.signaled[5] = true
+	run.sigBuf[0x4000] = 6
+	run.sigBufPeak = 7
+	run.mispredicted, run.predictBan = true, true
+	run.mispredictPCs = append(run.mispredictPCs, 42)
+	run.trainings = append(run.trainings, pcVal{})
+	run.scalarWait, run.memWait, run.hwWait = 1, 2, 3
+	run.span = &EpochSpan{}
+	run.frames = append(run.frames, getFrameSB(99, 3))
+	run.frames[0].ready[7] = 1234
+}
+
+func TestRunPoolNoContamination(t *testing.T) {
+	m := &machine{}
+	run := m.newRun(&trace.Epoch{Index: 1}, 2)
+	dirtyRun(run)
+	putRun(run)
+
+	got := m.newRun(&trace.Epoch{Index: 0}, 0)
+	if got.idx != 0 || got.gen != 0 || got.cpu != 0 {
+		t.Errorf("recycled run leaked position state: idx=%d gen=%d cpu=%d", got.idx, got.gen, got.cpu)
+	}
+	if got.slots != (Slots{}) {
+		t.Errorf("recycled run leaked slot accounting: %+v", got.slots)
+	}
+	if got.finished || got.finishCycle != 0 || got.lastComplete != 0 || got.stallUntil != 0 || got.stallSync || got.stallFail {
+		t.Error("recycled run leaked stall/finish state")
+	}
+	if len(got.loadLines) != 0 || len(got.storeLines) != 0 || len(got.storeWords) != 0 {
+		t.Error("recycled run leaked dependence-tracking maps")
+	}
+	if got.consumedGen != -1 || len(got.signaled) != 0 || len(got.sigBuf) != 0 || got.sigBufPeak != 0 {
+		t.Error("recycled run leaked synchronization state")
+	}
+	if got.mispredicted || got.predictBan || len(got.mispredictPCs) != 0 || len(got.trainings) != 0 {
+		t.Error("recycled run leaked prediction state")
+	}
+	if got.scalarWait != 0 || got.memWait != 0 || got.hwWait != 0 {
+		t.Error("recycled run leaked stall accounting")
+	}
+	if got.span != nil {
+		t.Error("recycled run leaked its timeline span")
+	}
+	if len(got.frames) != 1 {
+		t.Fatalf("recycled run has %d frames, want exactly the base frame", len(got.frames))
+	}
+	if f := got.frames[0]; len(f.ready) != 0 || f.base != 0 || f.callDst != ir.None {
+		t.Errorf("recycled run's base frame leaked: ready=%v base=%d callDst=%v", f.ready, f.base, f.callDst)
+	}
+}
+
+func TestFramePoolNoContamination(t *testing.T) {
+	f := getFrameSB(50, 2)
+	f.ready[1] = 99
+	f.ready[2] = 100
+	putFrameSB(f)
+
+	got := getFrameSB(7, ir.None)
+	if len(got.ready) != 0 {
+		t.Errorf("recycled frame leaked register readiness: %v", got.ready)
+	}
+	if got.base != 7 || got.callDst != ir.None {
+		t.Errorf("getFrameSB did not apply requested state: base=%d callDst=%v", got.base, got.callDst)
+	}
+}
+
+// TestSimulateAllocBudget is the allocation-budget regression test for
+// the simulator's scoreboard path: with the run and frame pools warm,
+// re-simulating a fixed trace must stay within a small per-epoch
+// allocation budget rather than reallocating five maps per epoch. See
+// docs/perf.md for the budget rationale.
+func TestSimulateAllocBudget(t *testing.T) {
+	if racedetect.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	p := newSynthProg()
+	epochs := make([][]trace.Event, 8)
+	for i := range epochs {
+		evs := filler(p, 50)
+		evs = append(evs, mkEvent(p, ir.Store, 0x20000+int64(i)*256, int64(i), ir.None, 0, 1))
+		epochs[i] = evs
+	}
+	tr := synthTrace(p, epochs...)
+	run := func() { Simulate(Input{Trace: tr, Policy: PolicyU()}) }
+	run() // warm the pools
+
+	const budget = 120 // per simulation of 8 epochs: machine + result + pool misses
+	allocs := testing.AllocsPerRun(50, run)
+	if allocs > budget {
+		t.Errorf("simulating 8 epochs allocates %.0f objects/run, budget %d — the scoreboard pools regressed (see docs/perf.md)", allocs, budget)
+	}
+}

@@ -88,9 +88,10 @@ func simulateSeqSharded(in Input) *Result {
 	// single CPU, same access order (stepSequential consumes events
 	// strictly in order, and only Load/LoadSync/Store touch the cache).
 	hier := newHierarchy(in.Mach)
+	code := in.Trace.Code
 	for _, u := range units {
 		for i := range u.events {
-			switch u.events[i].In.Op {
+			switch code[u.events[i].SI].Op {
 			case ir.Load, ir.LoadSync, ir.Store:
 				u.lats = append(u.lats, int32(hier.latency(0, u.events[i].Addr)))
 			}
@@ -103,10 +104,11 @@ func simulateSeqSharded(in Input) *Result {
 	_ = parallel.Map(context.Background(), in.Workers, len(units), func(_ context.Context, i int) error {
 		u := units[i]
 		um := &machine{
-			in:  in,
-			cfg: in.Mach,
-			pol: in.Policy,
-			lat: &replayLatencies{lats: u.lats},
+			in:   in,
+			cfg:  in.Mach,
+			pol:  in.Policy,
+			code: code,
+			lat:  &replayLatencies{lats: u.lats},
 			res: &Result{
 				Policy:     in.Policy.Name,
 				Machine:    in.Mach,

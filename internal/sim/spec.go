@@ -16,10 +16,11 @@ func (m *machine) trackLoad(run *epochRun, ev *trace.Event) {
 	if ir.IsStackAddr(ev.Addr) {
 		return // per-CPU stacks are private to an epoch
 	}
-	if ev.In.Op == ir.LoadSync && ev.Flags&trace.FlagUFF != 0 {
+	in := m.code[ev.SI]
+	if in.Op == ir.LoadSync && ev.Flags&trace.FlagUFF != 0 {
 		// Forwarding-usefulness bookkeeping for the FilterSync extension
 		// (counted per issue, matching the wait counting).
-		m.filter.noteUseful(ev.In.Imm)
+		m.filter.noteUseful(in.Imm)
 	}
 	if m.immuneLoad(run, ev) {
 		return
@@ -31,16 +32,16 @@ func (m *machine) trackLoad(run *epochRun, ev *trace.Event) {
 	// instead of the (possibly stale) memory value, so it is never
 	// exposed to coherence; verification happens at commit, where a
 	// misprediction forces one squash-and-replay (without prediction).
-	if (m.pol.Predict || m.pol.StridePredict) && m.table.contains(ev.In.Origin) {
+	if (m.pol.Predict || m.pol.StridePredict) && m.table.contains(in.Origin) {
 		// Trainings are collected even during a post-misprediction replay
 		// (predictBan) so the predictor learns the committed value and
 		// loses confidence in changed ones; only prediction USE is banned.
-		run.trainings = append(run.trainings, pcVal{pc: ev.In.Origin, v: ev.Val})
+		run.trainings = append(run.trainings, pcVal{pc: in.Origin, v: ev.Val})
 		if !run.predictBan {
-			if v, ok := m.pred.predict(ev.In.Origin, m.epochIdxOf(run)); ok {
+			if v, ok := m.pred.predict(in.Origin, m.epochIdxOf(run)); ok {
 				if v != ev.Val {
 					run.mispredicted = true
-					run.mispredictPCs = append(run.mispredictPCs, ev.In.Origin)
+					run.mispredictPCs = append(run.mispredictPCs, in.Origin)
 				}
 				return // value comes from the predictor, not memory
 			}
@@ -48,7 +49,7 @@ func (m *machine) trackLoad(run *epochRun, ev *trace.Event) {
 	}
 	line := m.cfg.Line(ev.Addr)
 	if _, seen := run.loadLines[line]; !seen {
-		run.loadLines[line] = loadMark{cycle: m.cycle, pc: ev.In.Origin}
+		run.loadLines[line] = loadMark{cycle: m.cycle, pc: in.Origin}
 	}
 }
 
@@ -105,12 +106,13 @@ func (m *machine) signal(run *epochRun, ev *trace.Event, scalar bool) {
 		return
 	}
 	e := m.epochIdxOf(run)
-	key := mailKey{consumer: e + 1, ch: ev.In.Imm, scalar: scalar}
+	ch := m.code[ev.SI].Imm
+	key := mailKey{consumer: e + 1, ch: ch, scalar: scalar}
 	m.mail[key] = mailEntry{ready: m.cycle + int64(m.cfg.CommLat), gen: run.gen}
 	if !scalar {
-		run.signaled[ev.In.Imm] = true
+		run.signaled[ch] = true
 		if !ir.IsStackAddr(ev.Addr) && ev.Addr != 0 {
-			run.sigBuf[ev.Addr] = ev.In.Imm
+			run.sigBuf[ev.Addr] = ch
 			if len(run.sigBuf) > run.sigBufPeak {
 				run.sigBufPeak = len(run.sigBuf)
 			}
@@ -122,13 +124,14 @@ func (m *machine) signalNull(run *epochRun, ev *trace.Event) {
 	if m.mail == nil {
 		return
 	}
-	if run.signaled[ev.In.Imm] {
+	ch := m.code[ev.SI].Imm
+	if run.signaled[ch] {
 		return // conditional NULL: a signal was already sent this epoch
 	}
 	e := m.epochIdxOf(run)
-	key := mailKey{consumer: e + 1, ch: ev.In.Imm, scalar: false}
+	key := mailKey{consumer: e + 1, ch: ch, scalar: false}
 	m.mail[key] = mailEntry{ready: m.cycle + int64(m.cfg.CommLat), gen: run.gen, null: true}
-	run.signaled[ev.In.Imm] = true
+	run.signaled[ch] = true
 }
 
 // ---------------------------------------------------------------------------
@@ -174,13 +177,23 @@ func (m *machine) restart(victim *epochRun) {
 	victim.finished = false
 	victim.finishCycle = 0
 	victim.lastComplete = 0
-	victim.frames = []*frameSB{{ready: make(map[ir.Reg]int64), base: m.cycle, callDst: ir.None}}
-	victim.loadLines = make(map[int64]loadMark)
-	victim.storeLines = make(map[int64]int64)
-	victim.storeWords = make(map[int64]bool)
+	// Replay state is cleared in place (squash-heavy policies restart
+	// the same epochs many times); call frames beyond the base one are
+	// recycled.
+	for len(victim.frames) > 1 {
+		popped := victim.frames[len(victim.frames)-1]
+		victim.frames = victim.frames[:len(victim.frames)-1]
+		putFrameSB(popped)
+	}
+	base := victim.frames[0]
+	clear(base.ready)
+	base.base, base.callDst = m.cycle, ir.None
+	clear(victim.loadLines)
+	clear(victim.storeLines)
+	clear(victim.storeWords)
 	victim.consumedGen = -1
-	victim.signaled = make(map[int64]bool)
-	victim.sigBuf = make(map[int64]int64)
+	clear(victim.signaled)
+	clear(victim.sigBuf)
 	victim.mispredicted = false
 	victim.mispredictPCs = victim.mispredictPCs[:0]
 	victim.trainings = victim.trainings[:0]
@@ -267,6 +280,7 @@ func (m *machine) tryCommit() {
 		m.cpuFree[run.cpu] = m.cycle // commit overhead already elapsed
 		m.table.epochCommitted()
 		m.oldest++
+		putRun(run)
 	}
 }
 

@@ -15,8 +15,42 @@ import (
 	"tlssync/internal/trace"
 )
 
-// mkEvent builds a trace event for a synthetic instruction.
-func mkEvent(p *ir.Program, op ir.Op, addr, val int64, regs ...ir.Reg) trace.Event {
+// synthProg issues synthetic instructions and remembers them so the
+// trace's Code table can be built — real programs get theirs from
+// Program.Code() (which walks function bodies), but these test
+// instructions are never attached to a block.
+type synthProg struct {
+	*ir.Program
+	insts []*ir.Instr
+}
+
+func newSynthProg() *synthProg { return &synthProg{Program: ir.NewProgram()} }
+
+func (p *synthProg) NewInstr(op ir.Op) *ir.Instr {
+	in := p.Program.NewInstr(op)
+	p.insts = append(p.insts, in)
+	return in
+}
+
+func (p *synthProg) code() ir.Code {
+	tbl := make(ir.Code, p.MaxInstrID())
+	for _, in := range p.insts {
+		tbl[in.ID] = in
+	}
+	return tbl
+}
+
+// evFor builds the trace event for an existing instruction.
+func evFor(in *ir.Instr, addr, val int64, flags ...uint8) trace.Event {
+	ev := trace.Event{SI: int32(in.ID), Addr: addr, Val: val}
+	for _, f := range flags {
+		ev.Flags |= f
+	}
+	return ev
+}
+
+// mkEvent builds a trace event for a fresh synthetic instruction.
+func mkEvent(p *synthProg, op ir.Op, addr, val int64, regs ...ir.Reg) trace.Event {
 	in := p.NewInstr(op)
 	if len(regs) > 0 {
 		in.Dst = regs[0]
@@ -27,37 +61,37 @@ func mkEvent(p *ir.Program, op ir.Op, addr, val int64, regs ...ir.Reg) trace.Eve
 	if len(regs) > 2 {
 		in.B = regs[2]
 	}
-	return trace.Event{In: in, Addr: addr, Val: val}
+	return evFor(in, addr, val)
 }
 
 // synthTrace builds a single region instance from per-epoch event lists.
-func synthTrace(epochs ...[]trace.Event) *trace.ProgramTrace {
+func synthTrace(p *synthProg, epochs ...[]trace.Event) *trace.ProgramTrace {
 	ri := &trace.RegionInstance{RegionID: 0}
 	for i, evs := range epochs {
 		ri.Epochs = append(ri.Epochs, &trace.Epoch{Index: i, Events: evs})
 	}
-	return &trace.ProgramTrace{Segments: []trace.Segment{{Region: ri}}}
+	return &trace.ProgramTrace{Segments: []trace.Segment{{Region: ri}}, Code: p.code()}
 }
 
 // filler returns n cheap ALU events to pad an epoch.
-func filler(p *ir.Program, n int) []trace.Event {
+func filler(p *synthProg, n int) []trace.Event {
 	out := make([]trace.Event, 0, n)
 	for i := 0; i < n; i++ {
 		in := p.NewInstr(ir.Const)
 		in.Dst = ir.Reg(i % 4)
-		out = append(out, trace.Event{In: in})
+		out = append(out, evFor(in, 0, 0))
 	}
 	return out
 }
 
 func TestEagerViolationStoreHitsExposedLoad(t *testing.T) {
-	p := ir.NewProgram()
+	p := newSynthProg()
 	const addr = 0x20000
 	// Epoch 0: long prefix, then store to addr.
 	e0 := append(filler(p, 80), mkEvent(p, ir.Store, addr, 1, ir.None, 0, 1))
 	// Epoch 1: loads addr immediately (before epoch 0's store executes).
 	e1 := append([]trace.Event{mkEvent(p, ir.Load, addr, 0, 2, 0)}, filler(p, 40)...)
-	r := Simulate(Input{Trace: synthTrace(e0, e1), Policy: PolicyU()})
+	r := Simulate(Input{Trace: synthTrace(p, e0, e1), Policy: PolicyU()})
 	if r.ViolByKind["eager"] == 0 {
 		t.Errorf("expected an eager violation: %v", r.ViolByKind)
 	}
@@ -67,20 +101,20 @@ func TestEagerViolationStoreHitsExposedLoad(t *testing.T) {
 }
 
 func TestStaleReadViolationAtCommit(t *testing.T) {
-	p := ir.NewProgram()
+	p := newSynthProg()
 	const addr = 0x20000
 	// Epoch 0: stores addr early, then a long tail (stays uncommitted).
 	e0 := append([]trace.Event{mkEvent(p, ir.Store, addr, 1, ir.None, 0, 1)}, filler(p, 100)...)
 	// Epoch 1: loads addr late (after the store executed, producer active).
 	e1 := append(filler(p, 60), mkEvent(p, ir.Load, addr, 0, 2, 0))
-	r := Simulate(Input{Trace: synthTrace(e0, e1), Policy: PolicyU()})
+	r := Simulate(Input{Trace: synthTrace(p, e0, e1), Policy: PolicyU()})
 	if r.ViolByKind["stale"] == 0 {
 		t.Errorf("expected a stale-read violation at commit: %v", r.ViolByKind)
 	}
 }
 
 func TestPrivateHitNoViolation(t *testing.T) {
-	p := ir.NewProgram()
+	p := newSynthProg()
 	const addr = 0x20000
 	// Epoch 1 stores addr itself before loading: private hit, immune.
 	e0 := append(filler(p, 80), mkEvent(p, ir.Store, addr, 1, ir.None, 0, 1))
@@ -88,7 +122,7 @@ func TestPrivateHitNoViolation(t *testing.T) {
 		mkEvent(p, ir.Store, addr, 7, ir.None, 0, 1),
 		mkEvent(p, ir.Load, addr, 7, 2, 0),
 	}, filler(p, 40)...)
-	r := Simulate(Input{Trace: synthTrace(e0, e1), Policy: PolicyU()})
+	r := Simulate(Input{Trace: synthTrace(p, e0, e1), Policy: PolicyU()})
 	if r.ViolByKind["eager"] != 0 {
 		t.Errorf("private hit must not be violated eagerly: %v", r.ViolByKind)
 	}
@@ -98,11 +132,11 @@ func TestPrivateHitNoViolation(t *testing.T) {
 }
 
 func TestFalseSharingLineGranularity(t *testing.T) {
-	p := ir.NewProgram()
+	p := newSynthProg()
 	// Distinct words, same 32-byte line.
 	e0 := append(filler(p, 80), mkEvent(p, ir.Store, 0x20000, 1, ir.None, 0, 1))
 	e1 := append([]trace.Event{mkEvent(p, ir.Load, 0x20008, 0, 2, 0)}, filler(p, 40)...)
-	r := Simulate(Input{Trace: synthTrace(e0, e1), Policy: PolicyU()})
+	r := Simulate(Input{Trace: synthTrace(p, e0, e1), Policy: PolicyU()})
 	if r.Violations == 0 {
 		t.Error("false sharing not detected at line granularity")
 	}
@@ -110,25 +144,25 @@ func TestFalseSharingLineGranularity(t *testing.T) {
 	// With 8-byte lines, no violation.
 	mach := DefaultMachine()
 	mach.LineSize = 8
-	r2 := Simulate(Input{Trace: synthTrace(e0, e1), Policy: PolicyU(), Mach: mach})
+	r2 := Simulate(Input{Trace: synthTrace(p, e0, e1), Policy: PolicyU(), Mach: mach})
 	if r2.Violations != 0 {
 		t.Errorf("word-granularity tracking still violated: %d", r2.Violations)
 	}
 }
 
 func TestStackAddressesNotTracked(t *testing.T) {
-	p := ir.NewProgram()
+	p := newSynthProg()
 	addr := ir.StackBase + 0x100
 	e0 := append(filler(p, 80), mkEvent(p, ir.Store, addr, 1, ir.None, 0, 1))
 	e1 := append([]trace.Event{mkEvent(p, ir.Load, addr, 0, 2, 0)}, filler(p, 40)...)
-	r := Simulate(Input{Trace: synthTrace(e0, e1), Policy: PolicyU()})
+	r := Simulate(Input{Trace: synthTrace(p, e0, e1), Policy: PolicyU()})
 	if r.Violations != 0 {
 		t.Errorf("stack accesses tracked: %d violations", r.Violations)
 	}
 }
 
 func TestCascadeRestartOnProducerSquash(t *testing.T) {
-	p := ir.NewProgram()
+	p := newSynthProg()
 	const addrA = 0x20000 // line A: epoch0 -> epoch1 dependence
 	const sync = 0
 	// Epoch 0: exposed-loads line B late... build a 3-epoch chain:
@@ -144,13 +178,13 @@ func TestCascadeRestartOnProducerSquash(t *testing.T) {
 	e0 := append(filler(p, 120), mkEvent(p, ir.Store, addrA, 5, ir.None, 0, 1))
 	e1 := append([]trace.Event{
 		mkEvent(p, ir.Load, addrA, 0, 2, 0), // exposed early: will be violated
-		{In: sigIn, Addr: 0x30000, Val: 9},  // signals epoch 2 early
+		evFor(sigIn, 0x30000, 9),            // signals epoch 2 early
 	}, filler(p, 60)...)
 	e2 := append([]trace.Event{
-		{In: waitA, Addr: 0x30000}, // consumes epoch 1's signal
+		evFor(waitA, 0x30000, 0), // consumes epoch 1's signal
 	}, filler(p, 30)...)
 
-	r := Simulate(Input{Trace: synthTrace(e0, e1, e2), Policy: PolicyU()})
+	r := Simulate(Input{Trace: synthTrace(p, e0, e1, e2), Policy: PolicyU()})
 	// Epoch 1 violated by epoch 0's store; epoch 2 consumed epoch 1's
 	// (now withdrawn) signal and must cascade.
 	if r.Violations < 1 {
@@ -162,7 +196,7 @@ func TestCascadeRestartOnProducerSquash(t *testing.T) {
 }
 
 func TestSignalAddressBufferRestartsConsumer(t *testing.T) {
-	p := ir.NewProgram()
+	p := newSynthProg()
 	const sync = 0
 	const addr = 0x20000
 	sigIn := p.NewInstr(ir.SignalMem)
@@ -173,38 +207,38 @@ func TestSignalAddressBufferRestartsConsumer(t *testing.T) {
 
 	// Epoch 0: signal (addr), then later store to the SAME addr.
 	e0 := append([]trace.Event{
-		{In: sigIn, Addr: addr, Val: 1},
+		evFor(sigIn, addr, 1),
 	}, append(filler(p, 60), mkEvent(p, ir.Store, addr, 2, ir.None, 0, 1))...)
 	// Epoch 1: consumes the signal early.
-	e1 := append([]trace.Event{{In: waitA, Addr: addr}}, filler(p, 80)...)
+	e1 := append([]trace.Event{evFor(waitA, addr, 0)}, filler(p, 80)...)
 
-	r := Simulate(Input{Trace: synthTrace(e0, e1), Policy: PolicyU()})
+	r := Simulate(Input{Trace: synthTrace(p, e0, e1), Policy: PolicyU()})
 	if r.ViolByKind["sigbuf"] == 0 {
 		t.Errorf("signal-address-buffer hit not detected: %v", r.ViolByKind)
 	}
 }
 
 func TestUFFLoadImmune(t *testing.T) {
-	p := ir.NewProgram()
+	p := newSynthProg()
 	const addr = 0x20000
 	// Epoch 0 stores addr late; epoch 1's load carries FlagUFF (the
 	// functional interpreter validated the forwarded value): no violation.
 	ld := p.NewInstr(ir.LoadSync)
 	ld.Dst, ld.A, ld.Imm = 2, 0, 0
 	e0 := append(filler(p, 80), mkEvent(p, ir.Store, addr, 1, ir.None, 0, 1))
-	e1 := append([]trace.Event{{In: ld, Addr: addr, Val: 1, Flags: trace.FlagUFF}}, filler(p, 40)...)
-	r := Simulate(Input{Trace: synthTrace(e0, e1), Policy: PolicyU()})
+	e1 := append([]trace.Event{evFor(ld, addr, 1, trace.FlagUFF)}, filler(p, 40)...)
+	r := Simulate(Input{Trace: synthTrace(p, e0, e1), Policy: PolicyU()})
 	if r.Violations != 0 {
 		t.Errorf("UFF load violated: %d (%v)", r.Violations, r.ViolByKind)
 	}
 }
 
 func TestOldestEpochCannotBeViolated(t *testing.T) {
-	p := ir.NewProgram()
+	p := newSynthProg()
 	// Only one epoch: it is always oldest; no speculation state can harm
 	// it and it must commit exactly once.
 	e0 := filler(p, 50)
-	r := Simulate(Input{Trace: synthTrace(e0), Policy: PolicyU()})
+	r := Simulate(Input{Trace: synthTrace(p, e0), Policy: PolicyU()})
 	if r.Violations != 0 || r.Restarts != 0 {
 		t.Errorf("single epoch violated: %v", r.ViolByKind)
 	}
@@ -214,12 +248,12 @@ func TestOldestEpochCannotBeViolated(t *testing.T) {
 }
 
 func TestManyEpochsCommitInOrder(t *testing.T) {
-	p := ir.NewProgram()
+	p := newSynthProg()
 	var epochs [][]trace.Event
 	for i := 0; i < 37; i++ {
 		epochs = append(epochs, filler(p, 20+i%13))
 	}
-	r := Simulate(Input{Trace: synthTrace(epochs...), Policy: PolicyU()})
+	r := Simulate(Input{Trace: synthTrace(p, epochs...), Policy: PolicyU()})
 	if r.Regions[0].Epochs != 37 {
 		t.Errorf("committed %d epochs, want 37", r.Regions[0].Epochs)
 	}
@@ -238,7 +272,7 @@ func TestEmptyTrace(t *testing.T) {
 }
 
 func TestSeqSegmentsBetweenRegions(t *testing.T) {
-	p := ir.NewProgram()
+	p := newSynthProg()
 	tr := &trace.ProgramTrace{Segments: []trace.Segment{
 		{Seq: filler(p, 40)},
 		{Region: &trace.RegionInstance{RegionID: 0, Epochs: []*trace.Epoch{
@@ -247,6 +281,7 @@ func TestSeqSegmentsBetweenRegions(t *testing.T) {
 		}}},
 		{Seq: filler(p, 40)},
 	}}
+	tr.Code = p.code()
 	r := Simulate(Input{Trace: tr, Policy: PolicyU()})
 	if r.SeqCycles == 0 {
 		t.Error("sequential cycles not accounted")
@@ -505,7 +540,7 @@ func TestCompilerHintsStickyTableEntries(t *testing.T) {
 func TestCompilerHintsPolicy(t *testing.T) {
 	// On a bursty dependence, plain H forgets the load at every reset and
 	// pays a fresh violation per burst; hints keep the entry pinned.
-	p := ir.NewProgram()
+	p := newSynthProg()
 	ld := p.NewInstr(ir.Load)
 	ld.Dst, ld.A = 2, 0
 	st := p.NewInstr(ir.Store)
@@ -514,18 +549,18 @@ func TestCompilerHintsPolicy(t *testing.T) {
 	var epochs [][]trace.Event
 	for i := 0; i < 200; i++ {
 		var evs []trace.Event
-		evs = append(evs, trace.Event{In: ld, Addr: addr, Val: int64(i)})
+		evs = append(evs, evFor(ld, addr, int64(i)))
 		evs = append(evs, filler(p, 30)...)
-		evs = append(evs, trace.Event{In: st, Addr: addr, Val: int64(i + 1)})
+		evs = append(evs, evFor(st, addr, int64(i+1)))
 		epochs = append(epochs, evs)
 	}
 	marks := map[int]bool{ld.Origin: true}
 	mach := DefaultMachine()
 	mach.HWResetEpochs = 8
 
-	plainH := Simulate(Input{Trace: synthTrace(epochs...),
+	plainH := Simulate(Input{Trace: synthTrace(p, epochs...),
 		Policy: Policy{Name: "H", HWSync: true, CompilerMarks: marks}, Mach: mach})
-	hinted := Simulate(Input{Trace: synthTrace(epochs...),
+	hinted := Simulate(Input{Trace: synthTrace(p, epochs...),
 		Policy: Policy{Name: "H+hint", HWSync: true, CompilerMarks: marks, CompilerHints: true}, Mach: mach})
 	if hinted.Violations >= plainH.Violations {
 		t.Errorf("hints should cut post-reset violations: %d vs %d",
@@ -534,17 +569,17 @@ func TestCompilerHintsPolicy(t *testing.T) {
 }
 
 func TestTimelineCollection(t *testing.T) {
-	p := ir.NewProgram()
+	p := newSynthProg()
 	const addr = 0x20000
 	var epochs [][]trace.Event
 	for i := 0; i < 12; i++ {
 		var evs []trace.Event
-		evs = append(evs, trace.Event{In: loadInstr(p), Addr: addr, Val: int64(i)})
+		evs = append(evs, evFor(loadInstr(p), addr, int64(i)))
 		evs = append(evs, filler(p, 25)...)
-		evs = append(evs, trace.Event{In: storeInstr(p), Addr: addr, Val: int64(i + 1)})
+		evs = append(evs, evFor(storeInstr(p), addr, int64(i+1)))
 		epochs = append(epochs, evs)
 	}
-	r := Simulate(Input{Trace: synthTrace(epochs...), Policy: PolicyU(), CollectTimeline: true})
+	r := Simulate(Input{Trace: synthTrace(p, epochs...), Policy: PolicyU(), CollectTimeline: true})
 	if len(r.Spans) != 12 {
 		t.Fatalf("spans = %d, want 12", len(r.Spans))
 	}
@@ -582,13 +617,13 @@ func TestTimelineCollection(t *testing.T) {
 	}
 }
 
-func loadInstr(p *ir.Program) *ir.Instr {
+func loadInstr(p *synthProg) *ir.Instr {
 	in := p.NewInstr(ir.Load)
 	in.Dst, in.A = 2, 0
 	return in
 }
 
-func storeInstr(p *ir.Program) *ir.Instr {
+func storeInstr(p *synthProg) *ir.Instr {
 	in := p.NewInstr(ir.Store)
 	in.A, in.B = 0, 1
 	return in

@@ -29,15 +29,15 @@ func GetEvents() []Event {
 }
 
 // PutEvents returns one event buffer to the pool. The caller must not
-// use the slice afterwards. Entries are zeroed so pooled buffers do not
-// pin instruction objects of dead programs.
+// use the slice afterwards. Events are pointer-free (the static
+// instruction is an index, not an *ir.Instr), so pooled buffers cannot
+// pin anything and need no zeroing pass — the memclr that used to
+// dominate the profile of buffer-heavy runs (see docs/perf.md). Stale
+// contents beyond the logical length are invisible: GetEvents hands the
+// buffer back at length zero and every consumer appends.
 func PutEvents(evs []Event) {
 	if cap(evs) < minEventCap {
 		return
-	}
-	evs = evs[:cap(evs)]
-	for i := range evs {
-		evs[i] = Event{}
 	}
 	evs = evs[:0]
 	eventPool.Put(&evs)

@@ -16,15 +16,25 @@ package trace
 import "tlssync/internal/ir"
 
 // Event is one dynamic instruction execution.
+//
+// The static instruction is named by index (SI), not by pointer: a full
+// figure sweep materializes tens of millions of events, and a pointer
+// field would make every event buffer a GC-scannable object that pins
+// its program's instructions. The 24-byte pointer-free encoding lets
+// the collector skip event buffers entirely and lets the buffer pool
+// recycle them without zeroing. Resolve SI through the owning trace's
+// Code table: tr.Code[ev.SI].
 type Event struct {
-	In *ir.Instr // static instruction: op, registers, sync ids, profiling ID
-
 	// Addr is the effective address for Load/Store/LoadSync, and the
 	// forwarded address for SignalMem / WaitMemAddr events.
 	Addr int64
 
 	// Val is the value loaded, stored, or forwarded.
 	Val int64
+
+	// SI is the static instruction's program-unique ID (ir.Instr.ID),
+	// an index into the trace's Code table.
+	SI int32
 
 	// Flags carries protocol outcomes computed by the functional
 	// interpreter (see the Flag* constants).
@@ -72,6 +82,12 @@ type Segment struct {
 // parallelized region instances, in program order.
 type ProgramTrace struct {
 	Segments []Segment
+
+	// Code is the executed program's static-instruction table: Code[ev.SI]
+	// is the instruction that produced ev. Each variant's trace carries
+	// its own program's table (instruction IDs are preserved across
+	// DeepCopy, so profiling references stay valid in every variant).
+	Code ir.Code
 
 	// Output collects values printed by the program, for functional
 	// correctness checks across compiled variants.

@@ -8,7 +8,7 @@ import (
 
 func mkProgramTrace() *ProgramTrace {
 	p := ir.NewProgram()
-	ev := func() Event { return Event{In: p.NewInstr(ir.Const)} }
+	ev := func() Event { return Event{SI: int32(p.NewInstr(ir.Const).ID)} }
 	seq := []Event{ev(), ev(), ev()}
 	e0 := &Epoch{Index: 0, Events: []Event{ev(), ev()}}
 	e1 := &Epoch{Index: 1, Events: []Event{ev(), ev(), ev(), ev()}}

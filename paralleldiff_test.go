@@ -3,6 +3,7 @@ package tlssync
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"tlssync/internal/report"
@@ -66,6 +67,37 @@ func TestParallelDiffBenchmarks(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestParallelDiffMatrix asserts the determinism contract across the
+// scheduler dimension too: byte-identical fingerprints at every point
+// of GOMAXPROCS {1,8} x -j {1,8}. Worker-count invariance alone could
+// mask bugs that only appear when goroutines actually run concurrently
+// (GOMAXPROCS>1) or are forcibly serialized (GOMAXPROCS=1) — e.g. a
+// pooled object handed to two builds, which only one schedule
+// interleaving would expose. GOMAXPROCS is process-global, so the sweep
+// is strictly serial (no t.Run parallelism) and restores the previous
+// value even on failure.
+func TestParallelDiffMatrix(t *testing.T) {
+	ws := Benchmarks()[:2]
+	if testing.Short() {
+		ws = ws[:1]
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, w := range ws {
+		want := runFingerprint(t, w, 1) // at the ambient GOMAXPROCS
+		for _, g := range []int{1, 8} {
+			runtime.GOMAXPROCS(g)
+			for _, workers := range []int{1, 8} {
+				if got := runFingerprint(t, w, workers); got != want {
+					t.Errorf("%s: GOMAXPROCS=%d -j%d: fingerprint diverged from baseline",
+						w.Name, g, workers)
+				}
+			}
+		}
+		runtime.GOMAXPROCS(prev)
 	}
 }
 
